@@ -1,0 +1,60 @@
+"""A1 — Ablation: linker function-alignment policy vs link-order bias.
+
+DESIGN.md calls out function alignment as the knob separating two
+link-order mechanisms: with coarse alignment (64 = one cache line) a
+relink can only change *which sets* code occupies; with byte alignment it
+also changes every intra-function fetch-window offset.  This ablation
+quantifies both regimes.
+"""
+
+from repro.core.bias import link_order_study
+from repro.core.report import render_table
+
+from common import BASE, TREATMENT, experiment, publish
+
+ALIGNMENTS = (1, 4, 16, 64)
+
+
+def test_a1_function_alignment_ablation(benchmark):
+    exp = experiment("perlbench")
+    rows = []
+    magnitudes = {}
+    for alignment in ALIGNMENTS:
+        base = BASE.with_changes(function_alignment=alignment)
+        treatment = TREATMENT.with_changes(function_alignment=alignment)
+        study = link_order_study(exp, base, treatment, max_orders=6)
+        raw = study.base_bias()
+        rep = study.speedup_bias()
+        magnitudes[alignment] = raw.magnitude
+        rows.append(
+            [
+                alignment,
+                f"{raw.magnitude:.5f}",
+                f"{rep.magnitude:.5f}",
+                "YES" if rep.flips else "",
+            ]
+        )
+    publish(
+        "A1_alignment_policy",
+        render_table(
+            [
+                "function alignment",
+                "O2 runtime bias (link order)",
+                "speedup bias",
+                "flips?",
+            ],
+            rows,
+            title="A1: link-order bias vs linker function alignment "
+            "(perlbench, core2, gcc)",
+        ),
+    )
+    # Byte-aligned functions expose strictly more layout variation than
+    # window-aligned ones.
+    assert magnitudes[1] >= magnitudes[16] * 0.5  # both nonzero regimes
+    assert all(m > 1.0 for m in magnitudes.values())
+
+    benchmark.pedantic(
+        lambda: exp.build(BASE.with_changes(function_alignment=1)),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,67 @@
+"""A2 — Ablation: which microarchitectural features carry the bias?
+
+Knocks out model features one at a time (loop stream detector, alignment
+penalties, window straddle cost) and re-measures the perlbench
+environment-size bias.  DESIGN.md's claim: the LSD asymmetry and the
+stack alignment penalties are the load-bearing mechanisms.
+"""
+
+from repro.core.bias import env_size_study
+from repro.core.report import render_table
+
+from common import BASE, TREATMENT, experiment, publish
+
+ENV_SIZES = list(range(100, 228, 8))
+
+KNOCKOUTS = (
+    ("full model", {}),
+    ("no LSD", {"has_lsd": False}),
+    ("no unaligned penalty", {"unaligned_cycles": 0.0}),
+    ("no split penalty", {"split_line_cycles": 0.0}),
+    ("no straddle cost", {"straddle_cycles": 0.0}),
+    (
+        "no alignment penalties at all",
+        {"unaligned_cycles": 0.0, "split_line_cycles": 0.0},
+    ),
+)
+
+
+def test_a2_microarch_knockouts(benchmark):
+    exp = experiment("perlbench")
+    rows = []
+    results = {}
+    for label, overrides in KNOCKOUTS:
+        machine = BASE.machine_config().with_overrides(**overrides)
+        base = BASE.with_changes(machine=machine)
+        treatment = TREATMENT.with_changes(machine=machine)
+        study = env_size_study(exp, base, treatment, ENV_SIZES)
+        rep = study.speedup_bias()
+        raw = study.base_bias()
+        results[label] = (raw.magnitude, rep.flips)
+        rows.append(
+            [
+                label,
+                f"{raw.magnitude:.4f}",
+                f"{rep.stats.minimum:.4f}..{rep.stats.maximum:.4f}",
+                "YES" if rep.flips else "",
+            ]
+        )
+    publish(
+        "A2_microarch",
+        render_table(
+            ["model variant", "O2 env bias", "speedup range", "flips?"],
+            rows,
+            title="A2: feature knockouts vs environment-size bias "
+            "(perlbench, core2, gcc)",
+        ),
+    )
+    full_bias = results["full model"][0]
+    no_align_bias = results["no alignment penalties at all"][0]
+    # Removing alignment penalties must remove most of the runtime bias.
+    assert (no_align_bias - 1.0) < (full_bias - 1.0) * 0.5
+
+    benchmark.pedantic(
+        lambda: env_size_study(exp, BASE, TREATMENT, ENV_SIZES[:3]),
+        rounds=1,
+        iterations=1,
+    )

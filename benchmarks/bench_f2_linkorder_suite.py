@@ -1,0 +1,60 @@
+"""F2 — Figure: link-order bias across the whole suite (paper Figure:
+per-benchmark range of O3-over-O2 speedups across link orders).
+
+For every workload, the O3/O2 speedup is measured under several link
+orders; the row reports the speedup's min/max and whether the conclusion
+flips.  The paper's shape: most benchmarks move, a few flip.
+"""
+
+from repro import workloads
+from repro.core.bias import link_order_study
+from repro.core.report import render_table
+
+from common import BASE, TREATMENT, experiment, publish
+
+#: Orders per workload: enough to expose spread while keeping the
+#: full-suite bench affordable.
+N_ORDERS = 4
+
+
+def test_f2_linkorder_suite(benchmark):
+    rows = []
+    any_flip = False
+    spreads = []
+    for wl in workloads.suite():
+        exp = experiment(wl.name)
+        study = link_order_study(
+            exp, BASE, TREATMENT, max_orders=N_ORDERS, seed=17
+        )
+        rep = study.speedup_bias()
+        spreads.append(rep.magnitude)
+        any_flip |= rep.flips
+        rows.append(
+            [
+                wl.name,
+                f"{rep.stats.minimum:.4f}",
+                f"{rep.stats.maximum:.4f}",
+                f"{rep.magnitude:.4f}",
+                "YES" if rep.flips else "",
+            ]
+        )
+    publish(
+        "F2_linkorder_suite",
+        render_table(
+            ["benchmark", "min speedup", "max speedup", "bias", "flips?"],
+            rows,
+            title=(
+                f"F2: O3/O2 speedup range across {N_ORDERS} link orders "
+                "(core2, gcc)"
+            ),
+        ),
+    )
+    # Shape: link order must move measured speedups somewhere in the suite.
+    assert max(spreads) > 1.002
+
+    exp = experiment("sphinx3")
+    benchmark.pedantic(
+        lambda: link_order_study(exp, BASE, TREATMENT, max_orders=2),
+        rounds=1,
+        iterations=1,
+    )

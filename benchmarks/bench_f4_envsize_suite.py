@@ -1,0 +1,66 @@
+"""F4 — Figure: environment-size bias across the whole suite (paper
+Figure: per-benchmark violin of O3-over-O2 speedups across environment
+sizes).
+
+The paper's shape: most benchmarks are measurably biased by environment
+size; magnitudes differ widely; a few flip their O2-vs-O3 conclusion.
+"""
+
+from repro import workloads
+from repro.core.bias import env_size_study
+from repro.core.report import render_table
+
+from common import BASE, TREATMENT, experiment, publish
+
+#: Both stack-alignment regimes at several 64-byte phases.
+ENV_SIZES = list(range(100, 356, 16))
+
+
+def test_f4_envsize_suite(benchmark):
+    rows = []
+    magnitudes = {}
+    for wl in workloads.suite():
+        exp = experiment(wl.name)
+        study = env_size_study(exp, BASE, TREATMENT, ENV_SIZES)
+        rep = study.speedup_bias()
+        magnitudes[wl.name] = rep.magnitude
+        rows.append(
+            [
+                wl.name,
+                f"{rep.stats.minimum:.4f}",
+                f"{rep.stats.median:.4f}",
+                f"{rep.stats.maximum:.4f}",
+                f"{rep.magnitude:.4f}",
+                "YES" if rep.flips else "",
+            ]
+        )
+    publish(
+        "F4_envsize_suite",
+        render_table(
+            [
+                "benchmark",
+                "min speedup",
+                "median",
+                "max speedup",
+                "bias",
+                "flips?",
+            ],
+            rows,
+            title=(
+                f"F4: O3/O2 speedup across {len(ENV_SIZES)} environment "
+                "sizes (core2, gcc)"
+            ),
+        ),
+    )
+    # Shapes from the paper: bias is commonplace (most benchmarks move)
+    # and uneven (perlbench among the most affected; at least one flip).
+    biased = [name for name, m in magnitudes.items() if m > 1.001]
+    assert len(biased) >= 8, f"expected widespread bias, got {biased}"
+    assert any(r[5] == "YES" for r in rows)
+
+    exp = experiment("sphinx3")
+    benchmark.pedantic(
+        lambda: env_size_study(exp, BASE, TREATMENT, ENV_SIZES[:4]),
+        rounds=1,
+        iterations=1,
+    )

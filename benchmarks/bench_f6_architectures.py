@@ -1,0 +1,70 @@
+"""F6 — Figure: bias is commonplace across architectures (paper: "all
+architectures that we tried (Pentium 4, Core 2, and m5 O3CPU)").
+
+The same environment-size sweep runs on all three machine models; every
+one must show measurable bias (with different magnitudes/shapes — the
+models differ in exactly the structures that carry the bias).
+"""
+
+from repro.core.bias import env_size_study
+from repro.core.report import render_table
+
+from common import BASE, TREATMENT, experiment, publish
+
+ENV_SIZES = list(range(100, 296, 8))
+MACHINES = ("core2", "pentium4", "m5_o3cpu")
+
+
+def test_f6_bias_on_all_architectures(benchmark):
+    exp = experiment("perlbench")
+    rows = []
+    magnitudes = {}
+    for machine in MACHINES:
+        base = BASE.with_changes(machine=machine)
+        treatment = TREATMENT.with_changes(machine=machine)
+        study = env_size_study(exp, base, treatment, ENV_SIZES)
+        rep = study.speedup_bias()
+        raw = study.base_bias()
+        magnitudes[machine] = raw.magnitude
+        rows.append(
+            [
+                machine,
+                f"{rep.stats.minimum:.4f}",
+                f"{rep.stats.maximum:.4f}",
+                f"{rep.magnitude:.4f}",
+                f"{raw.magnitude:.4f}",
+                "YES" if rep.flips else "",
+            ]
+        )
+    publish(
+        "F6_architectures",
+        render_table(
+            [
+                "machine",
+                "speedup min",
+                "speedup max",
+                "speedup bias",
+                "O2 runtime bias",
+                "flips?",
+            ],
+            rows,
+            title=(
+                "F6: environment-size bias on every architecture "
+                "(perlbench, gcc)"
+            ),
+        ),
+    )
+    # The paper's claim: no architecture is immune.
+    for machine, magnitude in magnitudes.items():
+        assert magnitude > 1.01, f"{machine} shows no runtime bias"
+
+    benchmark.pedantic(
+        lambda: env_size_study(
+            exp,
+            BASE.with_changes(machine="m5_o3cpu"),
+            TREATMENT.with_changes(machine="m5_o3cpu"),
+            ENV_SIZES[:3],
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,46 @@
+"""T1 — Table: the experimental platforms (paper Table "machines").
+
+Prints the three machine models' key properties, and benchmarks raw
+simulator throughput on each (instructions per wall-second) — the cost of
+a measurement on this substrate.
+"""
+
+import pytest
+
+from repro.arch import available_machines, execute, get_machine
+from repro.core.report import render_table
+from repro.os import load_process
+
+from common import BASE, experiment, publish
+
+
+def test_t1_platform_table(benchmark):
+    def build_table():
+        rows = []
+        headers = None
+        for name in ("core2", "pentium4", "m5_o3cpu"):
+            summary = get_machine(name).summary()
+            if headers is None:
+                headers = list(summary.keys())
+            rows.append([summary[h] for h in headers])
+        return headers, rows
+
+    headers, rows = benchmark.pedantic(build_table, rounds=5, iterations=1)
+    publish(
+        "T1_platforms",
+        render_table(headers, rows, title="T1: simulated platforms"),
+    )
+    assert len(rows) == len(available_machines())
+
+
+@pytest.mark.parametrize("machine", ["core2", "pentium4", "m5_o3cpu"])
+def test_t1_simulator_throughput(benchmark, machine):
+    exp = experiment("sphinx3")
+    exe = exp.build(BASE)
+    img = load_process(exe, BASE.environment(), inputs=exp._bindings)
+    cfg = get_machine(machine)
+
+    result = benchmark.pedantic(
+        lambda: execute(img, cfg.build()), rounds=3, iterations=1
+    )
+    assert result.exit_value == exp.expected

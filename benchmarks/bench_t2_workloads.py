@@ -1,0 +1,56 @@
+"""T2 — Table: the benchmark suite (paper Table "benchmarks").
+
+For each workload: modules, static size, dynamic instruction count and
+headline microarchitectural rates at the default setup — the
+character sheet the paper gives for its SPEC CPU2006 C programs.
+"""
+
+from repro import workloads
+from repro.core.report import render_table
+
+from common import BASE, experiment, publish
+
+
+def test_t2_workload_table(benchmark):
+    rows = []
+    for wl in workloads.suite():
+        exp = experiment(wl.name)
+        m = exp.run(BASE)
+        c = m.counters
+        rows.append(
+            [
+                wl.name,
+                len(wl.sources),
+                f"{c.instructions:,}",
+                f"{c.cpi:.2f}",
+                f"{c.mispredict_rate:.1%}",
+                f"{c.l1d_miss_rate:.1%}",
+                ", ".join(wl.tags[:2]),
+            ]
+        )
+    publish(
+        "T2_workloads",
+        render_table(
+            [
+                "benchmark",
+                "modules",
+                "instructions (test)",
+                "CPI",
+                "mispredict",
+                "L1D miss",
+                "character",
+            ],
+            rows,
+            title="T2: workload suite at the default setup (core2/gcc/O2)",
+        ),
+    )
+    assert len(rows) == 12
+
+    # Benchmark: one full measured (uncached) run of the fastest workload.
+    exp = experiment("sphinx3")
+
+    def fresh_run():
+        exp.clear_run_cache()
+        return exp.run(BASE)
+
+    benchmark.pedantic(fresh_run, rounds=3, iterations=1)

@@ -1,0 +1,34 @@
+"""T3 — Table: the literature survey (paper: "133 recent papers from
+ASPLOS, PACT, PLDI, and CGO").
+
+Regenerates the survey's reported numbers from the (synthetic, clearly
+labelled) corpus: papers per venue, how many report the biased setup
+parameters (none), single-setup prevalence, statistics usage.
+"""
+
+from repro.core.report import render_table
+from repro.core.survey import (
+    bias_blind_count,
+    generate_corpus,
+    survey_table,
+)
+
+from common import publish
+
+
+def test_t3_survey_table(benchmark):
+    corpus = benchmark.pedantic(generate_corpus, rounds=5, iterations=1)
+    rows = survey_table(corpus)
+    publish(
+        "T3_survey",
+        render_table(
+            ["metric", "value"],
+            rows,
+            title=(
+                "T3: literature survey (synthetic corpus consistent with "
+                "the paper's aggregates)"
+            ),
+        ),
+    )
+    assert len(corpus) == 133
+    assert bias_blind_count(corpus) == 133

@@ -1,0 +1,50 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures (see
+DESIGN.md's experiment index), prints it, and archives it under
+``benchmarks/results/`` so EXPERIMENTS.md can reference stable artifacts.
+
+Experiments are cached per (workload, size, seed) for the whole pytest
+session, so benches that share sweeps don't recompute them.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import Sequence
+
+from repro import workloads
+from repro.core import Experiment, ExperimentalSetup
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Canonical base/treatment pair: the paper's "is O3 beneficial?" question.
+BASE = ExperimentalSetup(machine="core2", compiler="gcc", opt_level=2)
+TREATMENT = BASE.with_changes(opt_level=3)
+
+#: Environment sweep used by figure benches: two alignment periods at two
+#: distant offsets, plus a coarse scan to 4 KiB (the paper's x-range).
+ENV_SWEEP_FINE = list(range(100, 164, 4)) + list(range(1000, 1064, 4))
+ENV_SWEEP_COARSE = list(range(100, 4196, 128))
+
+
+@lru_cache(maxsize=None)
+def experiment(name: str, size: str = "test", seed: int = 0) -> Experiment:
+    """Session-cached experiment handle."""
+    return Experiment(workloads.get(name), size=size, seed=seed)
+
+
+def publish(experiment_id: str, text: str) -> None:
+    """Print a rendered table/figure and archive it."""
+    banner = f"===== {experiment_id} ====="
+    print()
+    print(banner)
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{experiment_id}.txt"), "w") as fh:
+        fh.write(text + "\n")
+
+
+def fmt_speedups(values: Sequence[float]) -> str:
+    return " ".join(f"{v:.4f}" for v in values)

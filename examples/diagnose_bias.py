@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Diagnose a bias like a performance analyst: counters -> cause -> proof.
+
+Scenario: a sweep shows that perlbench's runtime jumps around as the
+environment grows.  This example walks the paper's section-4 workflow:
+
+1. find the hot code (function-level profiling),
+2. correlate hardware counters with cycles across the sweep (suspects),
+3. decompose one bad-vs-good cycle delta exactly (the model is linear in
+   its counters for same-binary runs),
+4. *intervene*: force-align the stack and show the bias disappears —
+   correlation upgraded to cause.
+
+Run:  python examples/diagnose_bias.py
+"""
+
+from repro import Experiment, ExperimentalSetup, workloads
+from repro.analysis import (
+    attribute_delta,
+    confirm_stack_alignment_cause,
+    counter_correlations,
+    hot_functions,
+)
+from repro.core.bias import env_size_study
+
+ENV_SIZES = list(range(100, 196, 4))
+
+
+def main() -> None:
+    wl = workloads.get("perlbench")
+    exp = Experiment(wl, size="test", seed=0)
+    o2 = ExperimentalSetup(opt_level=2)
+    o3 = o2.with_changes(opt_level=3)
+
+    print("=== step 0: observe the bias ===")
+    study = env_size_study(exp, o2, o3, ENV_SIZES)
+    rep = study.base_bias()
+    print(f"O2 cycles across {len(ENV_SIZES)} env sizes: "
+          f"min={rep.stats.minimum:.0f} max={rep.stats.maximum:.0f} "
+          f"({(rep.magnitude - 1) * 100:.1f}% swing)\n")
+
+    print("=== step 1: where does the time go? ===")
+    profiled = exp.run(o2.with_changes(env_bytes=100), profile_functions=True)
+    for name, cycles in hot_functions(profiled, top=4):
+        share = cycles / profiled.cycles
+        print(f"  {name:16s} {share:6.1%} of cycles")
+    print()
+
+    print("=== step 2: which counters move with the bias? ===")
+    for name, r in counter_correlations(study.base_measurements)[:5]:
+        print(f"  {name:22s} r={r:+.3f}")
+    print()
+
+    print("=== step 3: decompose one bad-vs-good delta exactly ===")
+    good = exp.run(o2.with_changes(env_bytes=104))
+    bad = exp.run(o2.with_changes(env_bytes=100))
+    att = attribute_delta(good, bad, o2.machine_config())
+    print(f"  total: {att.total_delta:+.0f} cycles "
+          f"(unexplained: {att.unexplained:+.1f})")
+    for mechanism, cycles in att.ranked()[:4]:
+        print(f"    {mechanism:22s} {cycles:+10.0f}")
+    print()
+
+    print("=== step 4: intervene to confirm the cause ===")
+    result = confirm_stack_alignment_cause(
+        exp, o2, o3, env_sizes=ENV_SIZES, aligned_to=64
+    )
+    print(f"  {result.summary_line()}")
+    print(
+        "\nConclusion: the environment size shifts the stack start, which"
+        "\nchanges the alignment of stack-resident hot data — exactly the"
+        "\npaper's diagnosis for perlbench."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Evaluate "your" optimization the right way.
+
+Scenario: you are a compiler engineer proposing a more aggressive
+inliner + unroller (a custom vendor profile).  Should it ship?
+
+The example contrasts the two evaluation styles on the full suite:
+
+- the common practice: one setup per benchmark, report the speedups;
+- the paper's practice: randomized setups with confidence intervals —
+  some wins evaporate into "inconclusive", which is the honest answer.
+
+Run:  python examples/evaluate_new_optimization.py   (takes a few minutes)
+"""
+
+from repro import (
+    CompilerProfile,
+    Experiment,
+    ExperimentalSetup,
+    evaluate_with_randomization,
+    geometric_mean,
+    workloads,
+)
+from repro.core.report import render_table
+
+#: "Your" proposal: gcc, but inlining much more and unrolling by 8.
+AGGRESSIVE = CompilerProfile(
+    name="gcc-aggressive",
+    inline_threshold=(0, 0, 24, 48),
+    unroll_factor=(1, 1, 4, 8),
+    promote_registers=(0, 4, 4, 4),
+    cache_global_bases=(0, 0, 2, 2),
+    schedule=(False, False, False, True),
+    loop_alignment=(1, 1, 1, 1),
+)
+
+#: Subset keeping the example affordable; drop the list to run everything.
+SUBSET = ("perlbench", "sphinx3", "libquantum", "hmmer", "lbm")
+
+
+def main() -> None:
+    base = ExperimentalSetup(compiler="gcc", opt_level=3)
+    treatment = base.with_changes(compiler=AGGRESSIVE)
+
+    naive_rows = []
+    honest_rows = []
+    naive_speedups = []
+    for name in SUBSET:
+        exp = Experiment(workloads.get(name), size="test", seed=0)
+
+        # Style 1: one arbitrary setup.
+        s = exp.speedup(base, treatment)
+        naive_speedups.append(s)
+        naive_rows.append(
+            [name, f"{s:.4f}", "ship it!" if s > 1 else "regression"]
+        )
+
+        # Style 2: randomized setups + interval.
+        ev = evaluate_with_randomization(
+            exp, base, treatment, n_setups=8, seed=3
+        )
+        honest_rows.append(
+            [
+                name,
+                f"{ev.mean:.4f}",
+                f"[{ev.interval.lo:.4f}, {ev.interval.hi:.4f}]",
+                ev.verdict,
+            ]
+        )
+
+    print(
+        render_table(
+            ["benchmark", "speedup", "verdict"],
+            naive_rows,
+            title="style 1 — single setup per benchmark",
+        )
+    )
+    print(
+        f"\n  geometric mean: {geometric_mean(naive_speedups):.4f}"
+        "  <- the number that goes in the paper...\n"
+    )
+    print(
+        render_table(
+            ["benchmark", "mean speedup", "95% CI", "verdict"],
+            honest_rows,
+            title="style 2 — randomized setups (the paper's protocol)",
+        )
+    )
+    print(
+        "\nStyle 2's verdicts come with calibrated uncertainty: when an"
+        "\ninterval includes 1.0 the honest answer is 'inconclusive', and"
+        "\nany style-1 verdict on that benchmark was measurement bias"
+        "\nwearing a lab coat.  (Here the proposal's effect exceeds the"
+        "\nbias on most benchmarks — the intervals are how you *know*.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""The repetition fallacy: why "we ran it 30 times" does not fix bias.
+
+Two labs benchmark the *same binary* of the same program.  Each lab runs
+it many times on a quiet machine (small, realistic noise), computes a
+95% confidence interval, and publishes.  Their intervals are tight,
+non-overlapping — and contradictory, because each lab's UNIX environment
+froze a different stack alignment for every one of its runs.
+
+Then the paper's protocol resolves the dispute.
+
+Run:  python examples/repetition_fallacy.py
+"""
+
+from repro import (
+    Experiment,
+    ExperimentalSetup,
+    evaluate_with_randomization,
+    workloads,
+)
+from repro.core.noise import NoiseModel, bias_vs_noise_demo
+from repro.core.report import render_interval_row
+
+
+def main() -> None:
+    exp = Experiment(workloads.get("sphinx3"), size="test", seed=0)
+    o2 = ExperimentalSetup(opt_level=2)
+
+    lab_a = o2.with_changes(env_bytes=104)  # happens to align the stack
+    lab_b = o2.with_changes(env_bytes=100)  # happens not to
+
+    print("two labs, same program, same binary, 12 repetitions each")
+    print("(each lab's environment is frozen for the whole session):\n")
+    demo = bias_vs_noise_demo(
+        exp,
+        [lab_a, lab_b],
+        repetitions=12,
+        noise=NoiseModel(magnitude=0.005, seed=7),
+    )
+    values = [
+        v for m in demo.measurements for v in (m.interval.lo, m.interval.hi)
+    ]
+    scale = (min(values) * 0.999, max(values) * 1.001)
+    for label, m in zip(("lab A", "lab B"), demo.measurements):
+        print(
+            render_interval_row(
+                f"  {label}",
+                m.interval.lo,
+                m.mean,
+                m.interval.hi,
+                scale=scale,
+            )
+        )
+    print()
+    if demo.repetition_misleads:
+        print("the intervals are DISJOINT: both labs are statistically")
+        print("confident, and they disagree about the same binary.")
+        gap = abs(demo.measurements[0].mean - demo.measurements[1].mean)
+        print(f"(the {gap:.0f}-cycle gap is bias, not noise — repetition")
+        print(" only measured each lab's precision)\n")
+
+    print("the paper's protocol — diversify the setup instead:")
+    o3 = o2.with_changes(opt_level=3)
+    ev = evaluate_with_randomization(exp, o2, o3, n_setups=10, seed=2)
+    print(f"  {ev.summary_line()}")
+    print(
+        "\nmoral: within-setup statistics measure precision; only setup"
+        "\ndiversity measures accuracy."
+    )
+
+
+if __name__ == "__main__":
+    main()

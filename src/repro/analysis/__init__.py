@@ -1,0 +1,75 @@
+"""Causal analysis of measurement bias (the paper's section 4).
+
+Three complementary tools:
+
+- :mod:`~repro.analysis.attribution` — decompose cycle deltas by
+  mechanism and correlate counters with cycles across sweeps,
+- :mod:`~repro.analysis.causal` — intervention experiments that confirm
+  or refute a suspected cause,
+- :mod:`~repro.analysis.layout` — static placement inspection (loop-head
+  alignment, cache-set footprints, stack positions).
+"""
+
+from repro.analysis.attribution import (
+    Attribution,
+    attribute_delta,
+    counter_correlations,
+    hot_functions,
+    pearson,
+)
+from repro.analysis.causal import (
+    InterventionResult,
+    run_intervention,
+    confirm_function_alignment_cause,
+    confirm_lsd_cause,
+    confirm_stack_alignment_cause,
+)
+from repro.analysis.profilediff import FunctionDelta, ProfileDiff, profile_diff
+from repro.workloads.characterize import (
+    DynamicCharacter,
+    StaticCharacter,
+    dynamic_character,
+    footprint_vs_cache,
+    opcode_mix,
+    static_character,
+)
+from repro.analysis.layout import (
+    LoopHeadInfo,
+    code_set_footprint,
+    data_set_footprint,
+    function_placement_table,
+    loop_heads,
+    set_conflict_score,
+    stack_alignment_profile,
+    stack_start_for_env,
+)
+
+__all__ = [
+    "Attribution",
+    "InterventionResult",
+    "LoopHeadInfo",
+    "attribute_delta",
+    "code_set_footprint",
+    "counter_correlations",
+    "data_set_footprint",
+    "function_placement_table",
+    "hot_functions",
+    "loop_heads",
+    "pearson",
+    "run_intervention",
+    "set_conflict_score",
+    "stack_alignment_profile",
+    "stack_start_for_env",
+    "confirm_function_alignment_cause",
+    "confirm_lsd_cause",
+    "confirm_stack_alignment_cause",
+    "FunctionDelta",
+    "ProfileDiff",
+    "profile_diff",
+    "DynamicCharacter",
+    "StaticCharacter",
+    "dynamic_character",
+    "footprint_vs_cache",
+    "opcode_mix",
+    "static_character",
+]

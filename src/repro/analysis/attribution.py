@@ -1,0 +1,163 @@
+"""Cycle attribution: explain *where* a cycle difference came from.
+
+The paper's section 4 traces observed bias back to microarchitectural
+mechanisms using hardware performance counters.  Our machine model's cost
+structure is linear in its counters with known weights, so the simulator
+supports an exact version of that analysis: given two measurements of
+the same binary-under-different-setups (or two binaries), decompose the
+cycle delta into per-mechanism contributions.
+
+For sweeps, :func:`counter_correlations` mirrors what an analyst does on
+real hardware: correlate each counter with cycles across the sweep and
+rank the suspects.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.arch.machines import MachineConfig
+from repro.core.experiment import Measurement
+
+#: Counter -> the MachineConfig weight that prices it.  ``issue`` uses
+#: instructions; cache-miss contributions are computed separately because
+#: an L2 hit and a memory access have different prices.
+_LINEAR_WEIGHTS: Tuple[Tuple[str, str], ...] = (
+    ("instructions", "issue_cycles"),
+    ("mispredicts", "mispredict_cycles"),
+    ("taken_branches", "taken_branch_cycles"),
+    ("window_fetches", "window_cycles"),
+    ("window_straddles", "straddle_cycles"),
+    ("unaligned_accesses", "unaligned_cycles"),
+    ("line_splits", "split_line_cycles"),
+    ("calls", "call_extra"),
+    ("returns", "ret_extra"),
+)
+
+
+@dataclass(frozen=True)
+class Attribution:
+    """Cycle-delta decomposition between two measurements.
+
+    ``contributions`` maps mechanism -> cycles it added going from
+    ``baseline`` to ``subject`` (negative = it saved cycles).
+    ``unexplained`` is the residual (op-latency mix, cache-level mix and
+    load-use stalls are not per-counter decomposable).
+    """
+
+    baseline: Measurement
+    subject: Measurement
+    total_delta: float
+    contributions: Dict[str, float]
+    unexplained: float
+
+    def ranked(self) -> List[Tuple[str, float]]:
+        """Mechanisms sorted by absolute contribution, largest first."""
+        return sorted(
+            self.contributions.items(), key=lambda kv: -abs(kv[1])
+        )
+
+    def dominant_cause(self) -> str:
+        """The mechanism contributing the most |cycles|."""
+        ranked = self.ranked()
+        return ranked[0][0] if ranked else "none"
+
+
+def attribute_delta(
+    baseline: Measurement, subject: Measurement, machine: MachineConfig
+) -> Attribution:
+    """Decompose ``subject.cycles - baseline.cycles`` by mechanism."""
+    b = baseline.counters
+    s = subject.counters
+    contributions: Dict[str, float] = {}
+    for counter_name, weight_name in _LINEAR_WEIGHTS:
+        weight = getattr(machine, weight_name)
+        delta = getattr(s, counter_name) - getattr(b, counter_name)
+        if delta:
+            contributions[counter_name] = delta * weight
+    # Cache misses: L1 misses that hit L2 cost lat_l2; L2 misses cost
+    # lat_mem - (already-counted lat_l2 is not charged on memory paths in
+    # the engine, so price them independently).
+    l1_delta = (s.l1i_misses + s.l1d_misses) - (b.l1i_misses + b.l1d_misses)
+    l2_delta = s.l2_misses - b.l2_misses
+    l2_hit_delta = l1_delta - l2_delta
+    if l2_hit_delta:
+        contributions["cache_l2_hits"] = l2_hit_delta * machine.lat_l2
+    if l2_delta:
+        contributions["cache_memory"] = l2_delta * machine.lat_mem
+    total = s.cycles - b.cycles
+    unexplained = total - sum(contributions.values())
+    return Attribution(
+        baseline=baseline,
+        subject=subject,
+        total_delta=total,
+        contributions=contributions,
+        unexplained=unexplained,
+    )
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient (0.0 for degenerate inputs)."""
+    n = len(xs)
+    if n != len(ys):
+        raise ValueError("xs and ys must align")
+    if n < 2:
+        return 0.0
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    sx = math.sqrt(sum((x - mx) ** 2 for x in xs))
+    sy = math.sqrt(sum((y - my) ** 2 for y in ys))
+    if sx == 0 or sy == 0:
+        return 0.0
+    cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    return cov / (sx * sy)
+
+
+def counter_correlations(
+    measurements: Sequence[Measurement],
+) -> List[Tuple[str, float]]:
+    """Correlate each counter with cycles across a sweep, ranked by |r|.
+
+    This is the portable (real-hardware) version of
+    :func:`attribute_delta`: it needs no model weights, only counters.
+    """
+    if len(measurements) < 3:
+        raise ValueError("need at least 3 measurements to correlate")
+    cycles = [m.counters.cycles for m in measurements]
+    names = [
+        "instructions",
+        "mispredicts",
+        "taken_branches",
+        "window_fetches",
+        "window_straddles",
+        "unaligned_accesses",
+        "line_splits",
+        "l1i_misses",
+        "l1d_misses",
+        "l2_misses",
+        "lsd_covered",
+    ]
+    out: List[Tuple[str, float]] = []
+    for name in names:
+        xs = [float(getattr(m.counters, name)) for m in measurements]
+        out.append((name, pearson(xs, cycles)))
+    out.sort(key=lambda kv: -abs(kv[1]))
+    return out
+
+
+def hot_functions(
+    measurement: Measurement, top: int = 5
+) -> List[Tuple[str, float]]:
+    """Top functions by attributed cycles (requires a run made with
+    ``profile_functions=True``)."""
+    if not measurement.function_cycles:
+        raise ValueError(
+            "measurement has no function profile; rerun with "
+            "profile_functions=True"
+        )
+    ranked = sorted(
+        measurement.function_cycles.items(), key=lambda kv: -kv[1]
+    )
+    return ranked[:top]

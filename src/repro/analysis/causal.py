@@ -1,0 +1,165 @@
+"""Causal intervention experiments.
+
+Correlation (``attribution``) suggests a mechanism; the paper's
+methodology then *intervenes* — change the suspected cause, hold all else
+fixed, and check whether the bias disappears.  Each intervention here
+reruns an environment-size or link-order study under a modified world:
+
+- :func:`confirm_stack_alignment_cause` — loader aligns ``sp`` to 16 bytes:
+  if environment-size bias vanishes, stack data alignment was the cause
+  (the paper's conclusion for perlbench).
+- :func:`confirm_lsd_cause` — machine without a loop stream detector: if the
+  O2/O3 flip vanishes, LSD eligibility asymmetry was the cause.
+- :func:`confirm_function_alignment_cause` — linker aligns functions to one
+  byte vs a full fetch window: separates set-mapping from window-offset
+  link-order effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.core.bias import BiasReport, StudyResult, env_size_study, link_order_study
+from repro.core.experiment import Experiment
+from repro.core.setup import ExperimentalSetup
+
+
+@dataclass(frozen=True)
+class InterventionResult:
+    """Bias before/after an intervention, with a verdict.
+
+    The verdict is deliberately coarse (the paper's standard): the cause
+    is *confirmed* when the intervention removes most of the bias.
+    """
+
+    name: str
+    bias_before: BiasReport
+    bias_after: BiasReport
+    reduction_threshold: float = 0.7
+
+    @property
+    def bias_removed_fraction(self) -> float:
+        """Fraction of the (max-min) bias span the intervention removed."""
+        before = self.bias_before.stats.maximum - self.bias_before.stats.minimum
+        after = self.bias_after.stats.maximum - self.bias_after.stats.minimum
+        if before == 0:
+            return 0.0
+        return max(0.0, 1.0 - after / before)
+
+    @property
+    def confirmed(self) -> bool:
+        return self.bias_removed_fraction >= self.reduction_threshold
+
+    def summary_line(self) -> str:
+        return (
+            f"{self.name}: bias span "
+            f"{self.bias_before.stats.maximum - self.bias_before.stats.minimum:.4f}"
+            f" -> {self.bias_after.stats.maximum - self.bias_after.stats.minimum:.4f}"
+            f" ({self.bias_removed_fraction:.0%} removed; "
+            f"{'CAUSE CONFIRMED' if self.confirmed else 'not confirmed'})"
+        )
+
+
+def _speedup_bias(study: StudyResult) -> BiasReport:
+    return study.speedup_bias()
+
+
+def run_intervention(
+    name: str,
+    experiment: Experiment,
+    base: ExperimentalSetup,
+    treatment: ExperimentalSetup,
+    transform: Callable[[ExperimentalSetup], ExperimentalSetup],
+    env_sizes: Optional[Sequence[int]] = None,
+    orders: Optional[Iterable[Sequence[str]]] = None,
+    reduction_threshold: float = 0.7,
+) -> InterventionResult:
+    """Generic intervention: rerun a study with ``transform`` applied to
+    both base and treatment, and compare speedup bias before/after.
+
+    Exactly one of ``env_sizes`` / ``orders`` selects the study type.
+    """
+    if (env_sizes is None) == (orders is None):
+        raise ValueError("provide exactly one of env_sizes or orders")
+
+    def study(b: ExperimentalSetup, t: ExperimentalSetup) -> StudyResult:
+        if env_sizes is not None:
+            return env_size_study(experiment, b, t, env_sizes)
+        return link_order_study(experiment, b, t, orders=orders)
+
+    before = study(base, treatment)
+    after = study(transform(base), transform(treatment))
+    return InterventionResult(
+        name=name,
+        bias_before=_speedup_bias(before),
+        bias_after=_speedup_bias(after),
+        reduction_threshold=reduction_threshold,
+    )
+
+
+def confirm_stack_alignment_cause(
+    experiment: Experiment,
+    base: ExperimentalSetup,
+    treatment: ExperimentalSetup,
+    env_sizes: Sequence[int],
+    aligned_to: int = 16,
+    reduction_threshold: float = 0.7,
+) -> InterventionResult:
+    """Does force-aligning the stack remove the environment-size bias?"""
+    return run_intervention(
+        name=f"stack alignment (sp aligned to {aligned_to})",
+        experiment=experiment,
+        base=base,
+        treatment=treatment,
+        transform=lambda s: s.with_changes(stack_align=aligned_to),
+        env_sizes=env_sizes,
+        reduction_threshold=reduction_threshold,
+    )
+
+
+def confirm_lsd_cause(
+    experiment: Experiment,
+    base: ExperimentalSetup,
+    treatment: ExperimentalSetup,
+    env_sizes: Sequence[int],
+    reduction_threshold: float = 0.5,
+) -> InterventionResult:
+    """Does disabling the loop stream detector remove the O2/O3 bias
+    asymmetry?  (Both configurations lose the LSD.)"""
+
+    def no_lsd(setup: ExperimentalSetup) -> ExperimentalSetup:
+        machine = setup.machine_config().with_overrides(has_lsd=False)
+        return setup.with_changes(machine=machine)
+
+    return run_intervention(
+        name="loop stream detector disabled",
+        experiment=experiment,
+        base=base,
+        treatment=treatment,
+        transform=no_lsd,
+        env_sizes=env_sizes,
+        reduction_threshold=reduction_threshold,
+    )
+
+
+def confirm_function_alignment_cause(
+    experiment: Experiment,
+    base: ExperimentalSetup,
+    treatment: ExperimentalSetup,
+    orders: Iterable[Sequence[str]],
+    alignment: int = 64,
+    reduction_threshold: float = 0.5,
+) -> InterventionResult:
+    """Does coarse function alignment change link-order bias?  Aligning
+    every function to a cache line removes the line-phase component of
+    relinking, isolating set-mapping and predictor aliasing effects."""
+    return run_intervention(
+        name=f"function alignment {alignment}",
+        experiment=experiment,
+        base=base,
+        treatment=treatment,
+        transform=lambda s: s.with_changes(function_alignment=alignment),
+        orders=orders,
+        reduction_threshold=reduction_threshold,
+    )

@@ -1,0 +1,94 @@
+"""Function-level bias localization.
+
+The paper's section-4 workflow narrows a whole-program bias down to the
+function (then the loop, then the access) that absorbs it.  This module
+does the function step: profile the same binary under two setups and
+rank functions by how much their attributed cycles moved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.experiment import Experiment, Measurement
+from repro.core.setup import ExperimentalSetup
+
+
+@dataclass(frozen=True)
+class FunctionDelta:
+    """One function's share of a cycle difference between two setups."""
+
+    function: str
+    cycles_a: float
+    cycles_b: float
+
+    @property
+    def delta(self) -> float:
+        return self.cycles_b - self.cycles_a
+
+    @property
+    def relative(self) -> float:
+        """Delta relative to the function's own baseline cycles."""
+        if self.cycles_a == 0:
+            return 0.0 if self.cycles_b == 0 else float("inf")
+        return self.delta / self.cycles_a
+
+
+@dataclass(frozen=True)
+class ProfileDiff:
+    """Per-function decomposition of a setup-induced cycle delta."""
+
+    setup_a: ExperimentalSetup
+    setup_b: ExperimentalSetup
+    total_delta: float
+    functions: Tuple[FunctionDelta, ...]
+
+    def ranked(self) -> List[FunctionDelta]:
+        """Functions by |delta|, largest first."""
+        return sorted(self.functions, key=lambda f: -abs(f.delta))
+
+    def culprit(self) -> FunctionDelta:
+        """The function absorbing the most of the difference."""
+        return self.ranked()[0]
+
+    def concentration(self) -> float:
+        """|culprit delta| / |total delta| — 1.0 means one function
+        explains everything (the perlbench case in the paper)."""
+        if self.total_delta == 0:
+            return 0.0
+        return abs(self.culprit().delta) / abs(self.total_delta)
+
+
+def profile_diff(
+    experiment: Experiment,
+    setup_a: ExperimentalSetup,
+    setup_b: ExperimentalSetup,
+) -> ProfileDiff:
+    """Profile under both setups and diff the per-function cycles.
+
+    The two setups should share a build (same compiler/O-level/link
+    order) so functions correspond one-to-one; a differing build raises.
+    """
+    if setup_a.build_key() != setup_b.build_key():
+        raise ValueError(
+            "profile_diff requires setups sharing a build; got "
+            f"{setup_a.describe()} vs {setup_b.describe()}"
+        )
+    a: Measurement = experiment.run(setup_a, profile_functions=True)
+    b: Measurement = experiment.run(setup_b, profile_functions=True)
+    names = sorted(set(a.function_cycles) | set(b.function_cycles))
+    functions = tuple(
+        FunctionDelta(
+            function=name,
+            cycles_a=a.function_cycles.get(name, 0.0),
+            cycles_b=b.function_cycles.get(name, 0.0),
+        )
+        for name in names
+    )
+    return ProfileDiff(
+        setup_a=setup_a,
+        setup_b=setup_b,
+        total_delta=b.cycles - a.cycles,
+        functions=functions,
+    )

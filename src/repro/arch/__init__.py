@@ -1,0 +1,43 @@
+"""Microarchitectural simulation substrate.
+
+Deterministic timing models of the paper's three platforms (Core 2,
+Pentium 4, m5 O3CPU): set-associative caches, branch predictors,
+fetch-window/alignment behaviour, a Core 2-style loop stream detector,
+and the execution engine that runs linked executables while collecting
+performance counters.
+"""
+
+from repro.arch.branch import BimodalPredictor, BranchPredictor, GSharePredictor
+from repro.arch.cache import Cache, CacheConfig, CacheHierarchy
+from repro.arch.counters import PerfCounters, RunResult
+from repro.arch.engine import SimulationError, compute_lsd_eligible, execute
+from repro.arch.machines import (
+    Machine,
+    MachineConfig,
+    available_machines,
+    core2,
+    get_machine,
+    m5_o3cpu,
+    pentium4,
+)
+
+__all__ = [
+    "BimodalPredictor",
+    "BranchPredictor",
+    "Cache",
+    "CacheConfig",
+    "CacheHierarchy",
+    "GSharePredictor",
+    "Machine",
+    "MachineConfig",
+    "PerfCounters",
+    "RunResult",
+    "SimulationError",
+    "available_machines",
+    "compute_lsd_eligible",
+    "core2",
+    "execute",
+    "get_machine",
+    "m5_o3cpu",
+    "pentium4",
+]

@@ -1,0 +1,103 @@
+"""Branch direction predictors.
+
+Predictors index prediction tables with address bits, so they alias: two
+branches whose addresses share low bits fight over the same 2-bit
+counter.  Relinking moves branches, changing who aliases with whom — a
+direct mechanism for link-order measurement bias.
+
+Two classic designs:
+
+- :class:`BimodalPredictor` — per-address 2-bit saturating counters.
+- :class:`GSharePredictor` — counters indexed by (address XOR global
+  history); captures correlated branches but aliases under history too.
+"""
+
+from __future__ import annotations
+
+
+class BranchPredictor:
+    """Interface: ``observe(addr, taken)`` returns True on mispredict."""
+
+    name = "abstract"
+
+    def observe(self, addr: int, taken: bool) -> bool:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+
+class BimodalPredictor(BranchPredictor):
+    """2-bit saturating counters indexed by branch-address bits."""
+
+    __slots__ = ("_table", "_mask")
+    name = "bimodal"
+
+    def __init__(self, table_bits: int = 12) -> None:
+        if not 4 <= table_bits <= 24:
+            raise ValueError("table_bits out of range")
+        size = 1 << table_bits
+        self._table = [2] * size  # weakly taken: typical reset state
+        self._mask = size - 1
+
+    def observe(self, addr: int, taken: bool) -> bool:
+        idx = (addr >> 1) & self._mask
+        counter = self._table[idx]
+        predicted_taken = counter >= 2
+        if taken:
+            if counter < 3:
+                self._table[idx] = counter + 1
+        else:
+            if counter > 0:
+                self._table[idx] = counter - 1
+        return predicted_taken != taken
+
+    def reset(self) -> None:
+        for i in range(len(self._table)):
+            self._table[i] = 2
+
+
+class GSharePredictor(BranchPredictor):
+    """gshare: counters indexed by address XOR global branch history."""
+
+    __slots__ = ("_table", "_mask", "_history", "_history_mask")
+    name = "gshare"
+
+    def __init__(self, table_bits: int = 14, history_bits: int = 12) -> None:
+        if not 4 <= table_bits <= 24:
+            raise ValueError("table_bits out of range")
+        if not 1 <= history_bits <= table_bits:
+            raise ValueError("history_bits out of range")
+        size = 1 << table_bits
+        self._table = [2] * size
+        self._mask = size - 1
+        self._history = 0
+        self._history_mask = (1 << history_bits) - 1
+
+    def observe(self, addr: int, taken: bool) -> bool:
+        idx = ((addr >> 1) ^ self._history) & self._mask
+        counter = self._table[idx]
+        predicted_taken = counter >= 2
+        if taken:
+            if counter < 3:
+                self._table[idx] = counter + 1
+            self._history = ((self._history << 1) | 1) & self._history_mask
+        else:
+            if counter > 0:
+                self._table[idx] = counter - 1
+            self._history = (self._history << 1) & self._history_mask
+        return predicted_taken != taken
+
+    def reset(self) -> None:
+        for i in range(len(self._table)):
+            self._table[i] = 2
+        self._history = 0
+
+
+def make_predictor(kind: str, table_bits: int, history_bits: int) -> BranchPredictor:
+    """Factory used by machine presets."""
+    if kind == "bimodal":
+        return BimodalPredictor(table_bits)
+    if kind == "gshare":
+        return GSharePredictor(table_bits, history_bits)
+    raise ValueError(f"unknown predictor kind {kind!r}")

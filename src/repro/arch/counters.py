@@ -1,0 +1,101 @@
+"""Performance counters collected by the execution engine.
+
+The analysis surface of the library: the paper's methodology reads
+hardware performance counters (cycles, instructions, cache misses, branch
+mispredictions) to both *measure* performance and *explain* bias; every
+mechanism the simulator models is observable here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class PerfCounters:
+    """One run's counter values.
+
+    ``cycles`` is the modelled execution time (the quantity every
+    experiment compares); the remaining counters explain where it went.
+    """
+
+    cycles: float = 0.0
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    mispredicts: int = 0
+    taken_branches: int = 0
+    calls: int = 0
+    returns: int = 0
+    nops: int = 0
+    l1i_misses: int = 0
+    l1d_misses: int = 0
+    l2_misses: int = 0
+    window_fetches: int = 0
+    window_straddles: int = 0
+    unaligned_accesses: int = 0
+    line_splits: int = 0
+    lsd_covered: int = 0
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction."""
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def l1d_miss_rate(self) -> float:
+        accesses = self.loads + self.stores
+        return self.l1d_misses / accesses if accesses else 0.0
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredicts / self.branches if self.branches else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Counter values keyed by name (for reports and serialization)."""
+        out: Dict[str, float] = {
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "loads": self.loads,
+            "stores": self.stores,
+            "branches": self.branches,
+            "mispredicts": self.mispredicts,
+            "taken_branches": self.taken_branches,
+            "calls": self.calls,
+            "returns": self.returns,
+            "nops": self.nops,
+            "l1i_misses": self.l1i_misses,
+            "l1d_misses": self.l1d_misses,
+            "l2_misses": self.l2_misses,
+            "window_fetches": self.window_fetches,
+            "window_straddles": self.window_straddles,
+            "unaligned_accesses": self.unaligned_accesses,
+            "line_splits": self.line_splits,
+            "lsd_covered": self.lsd_covered,
+        }
+        return out
+
+
+@dataclass
+class RunResult:
+    """Engine output: exit value plus counters (per-function cycles when
+    profiling was requested; a bounded instruction trace when asked)."""
+
+    exit_value: int
+    counters: PerfCounters
+    function_cycles: Dict[str, float] = field(default_factory=dict)
+    trace: tuple = ()
+
+    def __repr__(self) -> str:
+        return (
+            f"RunResult(exit={self.exit_value}, "
+            f"cycles={self.counters.cycles:.0f}, "
+            f"instructions={self.counters.instructions})"
+        )

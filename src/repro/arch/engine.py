@@ -1,0 +1,473 @@
+"""The execution engine: runs an :class:`Executable` on a :class:`Machine`.
+
+One loop both *executes* (architectural state: registers, memory) and
+*times* (microarchitectural cost model) the program.  Time is a
+deterministic function of the dynamic instruction stream **and its byte
+addresses** — which is the entire point: two programs with identical
+instruction streams at different addresses take different times, exactly
+the phenomenon the paper measures on hardware.
+
+Cost model summary (all per-machine constants from
+:class:`~repro.arch.machines.MachineConfig`):
+
+- every instruction: ``issue_cycles`` (+ ``mul_extra``/``div_extra``),
+- front end: entering a new fetch window costs ``window_cycles`` plus an
+  I-cache line access when the line changes; an instruction *straddling*
+  a window boundary costs ``straddle_cycles``; a loop stream detector
+  (when present) waives all front-end costs for small hot loops,
+- loads/stores: L1D/L2/memory latencies; ``unaligned_cycles`` when a word
+  access is not 8-byte aligned, ``split_line_cycles`` (plus a second
+  cache access) when it crosses a 64-byte line,
+- an instruction consuming the immediately preceding load's result pays
+  ``load_use_penalty``,
+- conditional branches consult the predictor (``mispredict_cycles``);
+  taken control transfers pay ``taken_branch_cycles``; calls and returns
+  pay extras and generate real stack traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.arch.counters import PerfCounters, RunResult
+from repro.arch.machines import Machine, MachineConfig
+from repro.isa.program import Executable
+from repro.os.loader import ProcessImage
+
+_M64 = (1 << 64) - 1
+_I64_MAX = (1 << 63) - 1
+_I64_MIN = -(1 << 63)
+
+
+class SimulationError(Exception):
+    """The simulated program performed an illegal operation."""
+
+
+def _wrap64(value: int) -> int:
+    if _I64_MIN <= value <= _I64_MAX:
+        return value
+    value &= _M64
+    if value > _I64_MAX:
+        value -= 1 << 64
+    return value
+
+
+def compute_lsd_eligible(exe: Executable, capacity: int) -> List[bool]:
+    """Per-instruction flag: is this a backward transfer whose loop body
+    fits the loop stream detector (and contains no call/ret/halt)?"""
+    ops = exe.ops
+    n = len(ops)
+    eligible = [False] * n
+    for i in range(n):
+        op = ops[i]
+        if op not in (28, 29, 30):  # BEQZ, BNEZ, JMP
+            continue
+        tgt = exe.targets[i]
+        if tgt < 0 or tgt > i:
+            continue
+        if i - tgt + 1 > capacity:
+            continue
+        body = ops[tgt : i + 1]
+        if any(o in (31, 32, 34) for o in body):  # CALL, RET, HALT
+            continue
+        eligible[i] = True
+    return eligible
+
+
+def execute(
+    image: ProcessImage,
+    machine: Machine,
+    max_instructions: int = 2_000_000_000,
+    profile_functions: bool = False,
+    trace_limit: int = 0,
+) -> RunResult:
+    """Run ``image`` to completion on ``machine``; returns the result.
+
+    ``machine`` must be freshly built (its caches/predictor carry state);
+    use :meth:`MachineConfig.build` per run.  With ``trace_limit > 0``,
+    the first ``trace_limit`` executed flat-instruction indices are
+    recorded on the result (debugging/analysis; the architectural path is
+    an environment-independent property worth asserting).  Raises
+    :class:`SimulationError` on traps (division by zero, wild return,
+    runaway execution past ``max_instructions``).
+    """
+    exe = image.executable
+    cfg: MachineConfig = machine.config
+
+    ops = exe.ops
+    rds = exe.rds
+    ras = exe.ras
+    rbs = exe.rbs
+    imms = exe.imms
+    targets = exe.targets
+    addrs = exe.addrs
+    sizes = exe.sizes
+    addr_to_index = exe.addr_to_index
+    n_instr = len(ops)
+
+    mem: Dict[int, int] = dict(image.initial_memory)
+    regs = [0] * 16
+    regs[15] = image.sp_start
+
+    hierarchy = machine.hierarchy
+    predictor_observe = machine.predictor.observe
+    access_data = hierarchy.access_data
+    access_instruction = hierarchy.access_instruction
+
+    issue = cfg.issue_cycles
+    mul_extra = cfg.mul_extra
+    div_extra = cfg.div_extra
+    load_use = cfg.load_use_penalty
+    window_shift = cfg.fetch_window_bytes.bit_length() - 1
+    window_cycles = cfg.window_cycles
+    straddle_cycles = cfg.straddle_cycles
+    taken_cycles = cfg.taken_branch_cycles
+    mispredict_cycles = cfg.mispredict_cycles
+    unaligned_cycles = cfg.unaligned_cycles
+    split_cycles = cfg.split_line_cycles
+    call_extra = cfg.call_extra
+    ret_extra = cfg.ret_extra
+    has_lsd = cfg.has_lsd
+    lsd_warmup = cfg.lsd_warmup
+    lsd_eligible = (
+        compute_lsd_eligible(exe, cfg.lsd_capacity) if has_lsd else None
+    )
+
+    c = PerfCounters()
+    cycles = 0.0
+    executed = 0
+    loads = stores = branches = mispredicts = taken = 0
+    calls = rets = nops = 0
+    window_fetches = straddles = unaligned = splits = lsd_covered = 0
+
+    cur_window = -1
+    cur_line = -1
+    lsd_active = False
+    lsd_lo = lsd_hi = -1
+    lsd_streak = 0
+    lsd_branch = -1
+    last_load_reg = -1
+
+    trace: List[int] = []
+    tracing = trace_limit > 0
+
+    func_cycles: Dict[str, float] = {}
+    func_of: Optional[List[str]] = None
+    if profile_functions:
+        func_of = [""] * n_instr
+        for pf in exe.placed:
+            for i in range(pf.flat_start, pf.flat_end):
+                func_of[i] = pf.name
+        func_cycles = {pf.name: 0.0 for pf in exe.placed}
+
+    pc = exe.entry
+    while True:
+        if pc < 0 or pc >= n_instr:
+            raise SimulationError(f"pc out of range: {pc}")
+        executed += 1
+        if executed > max_instructions:
+            raise SimulationError(
+                f"exceeded {max_instructions} instructions (runaway loop?)"
+            )
+        cycles_before = cycles
+        if tracing:
+            trace.append(pc)
+            if len(trace) >= trace_limit:
+                tracing = False
+        addr = addrs[pc]
+
+        # ---- front end ----
+        if lsd_active:
+            if lsd_lo <= pc <= lsd_hi:
+                lsd_covered += 1
+            else:
+                lsd_active = False
+                lsd_streak = 0
+                w = addr >> window_shift
+                if w != cur_window:
+                    cycles += window_cycles
+                    window_fetches += 1
+                    cur_window = w
+                    line = addr >> 6
+                    if line != cur_line:
+                        cycles += access_instruction(line)
+                        cur_line = line
+                end = addr + sizes[pc] - 1
+                wend = end >> window_shift
+                if wend != cur_window:
+                    cycles += straddle_cycles
+                    straddles += 1
+                    cur_window = wend
+                    lend = end >> 6
+                    if lend != cur_line:
+                        cycles += access_instruction(lend)
+                        cur_line = lend
+        else:
+            w = addr >> window_shift
+            if w != cur_window:
+                cycles += window_cycles
+                window_fetches += 1
+                cur_window = w
+                line = addr >> 6
+                if line != cur_line:
+                    cycles += access_instruction(line)
+                    cur_line = line
+            end = addr + sizes[pc] - 1
+            wend = end >> window_shift
+            if wend != cur_window:
+                cycles += straddle_cycles
+                straddles += 1
+                cur_window = wend
+                lend = end >> 6
+                if lend != cur_line:
+                    cycles += access_instruction(lend)
+                    cur_line = lend
+
+        cycles += issue
+        op = ops[pc]
+        next_pc = pc + 1
+
+        # ---- execute ----
+        if op <= 23:  # register-to-register and immediate ALU, CONST, MOV
+            if op == 0:  # CONST
+                regs[rds[pc]] = imms[pc]
+            elif op == 1:  # MOV
+                if ras[pc] == last_load_reg:
+                    cycles += load_use
+                regs[rds[pc]] = regs[ras[pc]]
+            elif op <= 15:
+                a = ras[pc]
+                b = rbs[pc]
+                if a == last_load_reg or b == last_load_reg:
+                    cycles += load_use
+                va = regs[a]
+                vb = regs[b]
+                if op == 2:
+                    regs[rds[pc]] = va + vb
+                elif op == 3:
+                    regs[rds[pc]] = va - vb
+                elif op == 4:
+                    cycles += mul_extra
+                    regs[rds[pc]] = _wrap64(va * vb)
+                elif op == 5:
+                    cycles += div_extra
+                    if vb == 0:
+                        raise SimulationError(f"division by zero at pc={pc}")
+                    q = abs(va) // abs(vb)
+                    regs[rds[pc]] = -q if (va < 0) != (vb < 0) else q
+                elif op == 6:
+                    cycles += div_extra
+                    if vb == 0:
+                        raise SimulationError(f"modulo by zero at pc={pc}")
+                    q = abs(va) // abs(vb)
+                    q = -q if (va < 0) != (vb < 0) else q
+                    regs[rds[pc]] = va - q * vb
+                elif op == 7:
+                    regs[rds[pc]] = _wrap64((va & _M64) & (vb & _M64))
+                elif op == 8:
+                    regs[rds[pc]] = _wrap64((va & _M64) | (vb & _M64))
+                elif op == 9:
+                    regs[rds[pc]] = _wrap64((va & _M64) ^ (vb & _M64))
+                elif op == 10:
+                    regs[rds[pc]] = _wrap64((va & _M64) << (vb & 63))
+                elif op == 11:
+                    regs[rds[pc]] = (va & _M64) >> (vb & 63)
+                elif op == 12:
+                    regs[rds[pc]] = 1 if va < vb else 0
+                elif op == 13:
+                    regs[rds[pc]] = 1 if va <= vb else 0
+                elif op == 14:
+                    regs[rds[pc]] = 1 if va == vb else 0
+                else:  # 15 SNE
+                    regs[rds[pc]] = 1 if va != vb else 0
+            else:  # immediate ALU
+                a = ras[pc]
+                if a == last_load_reg:
+                    cycles += load_use
+                va = regs[a]
+                imm = imms[pc]
+                if op == 16:
+                    regs[rds[pc]] = va + imm
+                elif op == 17:
+                    cycles += mul_extra
+                    regs[rds[pc]] = _wrap64(va * imm)
+                elif op == 18:
+                    regs[rds[pc]] = _wrap64((va & _M64) & (imm & _M64))
+                elif op == 19:
+                    regs[rds[pc]] = _wrap64((va & _M64) | (imm & _M64))
+                elif op == 20:
+                    regs[rds[pc]] = _wrap64((va & _M64) ^ (imm & _M64))
+                elif op == 21:
+                    regs[rds[pc]] = _wrap64((va & _M64) << (imm & 63))
+                elif op == 22:
+                    regs[rds[pc]] = (va & _M64) >> (imm & 63)
+                else:  # 23 SLTI
+                    regs[rds[pc]] = 1 if va < imm else 0
+            last_load_reg = -1
+        elif op <= 27:  # memory
+            a = ras[pc]
+            if a == last_load_reg:
+                cycles += load_use
+            ea = regs[a] + imms[pc]
+            if op == 24:  # LOAD
+                loads += 1
+                if ea & 7:
+                    unaligned += 1
+                    cycles += unaligned_cycles
+                line = ea >> 6
+                cycles += access_data(line)
+                if (ea & 63) > 56:
+                    splits += 1
+                    cycles += split_cycles
+                    cycles += access_data(line + 1)
+                regs[rds[pc]] = mem.get(ea, 0)
+                last_load_reg = rds[pc]
+            elif op == 25:  # STORE
+                b = rbs[pc]
+                if b == last_load_reg:
+                    cycles += load_use
+                stores += 1
+                if ea & 7:
+                    unaligned += 1
+                    cycles += unaligned_cycles
+                line = ea >> 6
+                cycles += access_data(line)
+                if (ea & 63) > 56:
+                    splits += 1
+                    cycles += split_cycles
+                    cycles += access_data(line + 1)
+                mem[ea] = regs[b]
+                last_load_reg = -1
+            elif op == 26:  # LOADB
+                loads += 1
+                cycles += access_data(ea >> 6)
+                regs[rds[pc]] = mem.get(ea, 0) & 0xFF
+                last_load_reg = rds[pc]
+            else:  # STOREB
+                b = rbs[pc]
+                if b == last_load_reg:
+                    cycles += load_use
+                stores += 1
+                cycles += access_data(ea >> 6)
+                mem[ea] = regs[b] & 0xFF
+                last_load_reg = -1
+        elif op <= 32:  # control
+            if op == 28 or op == 29:  # BEQZ / BNEZ
+                a = ras[pc]
+                if a == last_load_reg:
+                    cycles += load_use
+                branches += 1
+                value = regs[a]
+                is_taken = (value == 0) if op == 28 else (value != 0)
+                if predictor_observe(addr, is_taken):
+                    mispredicts += 1
+                    cycles += mispredict_cycles
+                if is_taken:
+                    taken += 1
+                    cycles += taken_cycles
+                    tgt = targets[pc]
+                    if has_lsd and tgt <= pc and lsd_eligible[pc]:
+                        if lsd_branch == pc:
+                            lsd_streak += 1
+                        else:
+                            lsd_branch = pc
+                            lsd_streak = 1
+                        if lsd_streak >= lsd_warmup and not lsd_active:
+                            lsd_active = True
+                            lsd_lo = tgt
+                            lsd_hi = pc
+                    next_pc = tgt
+            elif op == 30:  # JMP
+                cycles += taken_cycles
+                tgt = targets[pc]
+                if has_lsd and tgt <= pc and lsd_eligible[pc]:
+                    if lsd_branch == pc:
+                        lsd_streak += 1
+                    else:
+                        lsd_branch = pc
+                        lsd_streak = 1
+                    if lsd_streak >= lsd_warmup and not lsd_active:
+                        lsd_active = True
+                        lsd_lo = tgt
+                        lsd_hi = pc
+                next_pc = tgt
+            elif op == 31:  # CALL
+                calls += 1
+                cycles += taken_cycles + call_extra
+                sp = regs[15] - 8
+                regs[15] = sp
+                if sp & 7:
+                    unaligned += 1
+                    cycles += unaligned_cycles
+                line = sp >> 6
+                cycles += access_data(line)
+                if (sp & 63) > 56:
+                    splits += 1
+                    cycles += split_cycles
+                    cycles += access_data(line + 1)
+                stores += 1
+                mem[sp] = addr + sizes[pc]
+                next_pc = targets[pc]
+            else:  # RET
+                rets += 1
+                cycles += taken_cycles + ret_extra
+                sp = regs[15]
+                ret_addr = mem.get(sp)
+                if ret_addr is None:
+                    raise SimulationError(
+                        f"return with corrupt stack at pc={pc} (sp={sp:#x})"
+                    )
+                loads += 1
+                if sp & 7:
+                    unaligned += 1
+                    cycles += unaligned_cycles
+                line = sp >> 6
+                cycles += access_data(line)
+                if (sp & 63) > 56:
+                    splits += 1
+                    cycles += split_cycles
+                    cycles += access_data(line + 1)
+                regs[15] = sp + 8
+                idx = addr_to_index.get(ret_addr)
+                if idx is None:
+                    raise SimulationError(
+                        f"return to non-instruction address {ret_addr:#x}"
+                    )
+                next_pc = idx
+            last_load_reg = -1
+        elif op == 33:  # NOP
+            nops += 1
+            last_load_reg = -1
+        else:  # HALT
+            if profile_functions and func_of is not None:
+                func_cycles[func_of[pc]] += cycles - cycles_before
+            break
+
+        if profile_functions and func_of is not None:
+            func_cycles[func_of[pc]] += cycles - cycles_before
+        pc = next_pc
+
+    c.cycles = cycles
+    c.instructions = executed
+    c.loads = loads
+    c.stores = stores
+    c.branches = branches
+    c.mispredicts = mispredicts
+    c.taken_branches = taken
+    c.calls = calls
+    c.returns = rets
+    c.nops = nops
+    c.window_fetches = window_fetches
+    c.window_straddles = straddles
+    c.unaligned_accesses = unaligned
+    c.line_splits = splits
+    c.lsd_covered = lsd_covered
+    c.l1i_misses = hierarchy.l1i.misses
+    c.l1d_misses = hierarchy.l1d.misses
+    c.l2_misses = hierarchy.l2.misses if hierarchy.l2 is not None else 0
+    return RunResult(
+        exit_value=regs[0],
+        counters=c,
+        function_cycles=func_cycles,
+        trace=tuple(trace),
+    )

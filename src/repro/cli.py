@@ -1,0 +1,287 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``workloads`` — list the benchmark suite,
+- ``machines`` — list machine models and their key properties,
+- ``run`` — measure one workload under one explicit setup,
+- ``study`` — sweep environment size or link order for O-level pairs,
+- ``randomized`` — the paper's randomized-setup evaluation protocol,
+- ``characterize`` — static + dynamic shape of one workload,
+- ``archive`` / ``verify-archive`` — persist a sweep as JSON and later
+  re-measure it, reporting any drift,
+- ``survey`` — print the literature-survey table.
+
+Every command prints plain text (the same renderers the benchmark
+harness uses) and exits non-zero on verification failures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import workloads
+from repro.arch import available_machines, get_machine
+from repro.core import Experiment, ExperimentalSetup
+from repro.core.bias import env_size_study, link_order_study
+from repro.core.randomization import evaluate_with_randomization
+from repro.core.report import render_series, render_table
+from repro.core.survey import generate_corpus, survey_table
+
+
+def _setup_from_args(args: argparse.Namespace, opt_level: int) -> ExperimentalSetup:
+    return ExperimentalSetup(
+        machine=args.machine,
+        compiler=args.compiler,
+        opt_level=opt_level,
+        env_bytes=getattr(args, "env_bytes", None),
+    )
+
+
+def _add_setup_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--machine", default="core2", choices=list(available_machines())
+    )
+    parser.add_argument("--compiler", default="gcc", choices=["gcc", "icc"])
+    parser.add_argument("--size", default="test", choices=["test", "train", "ref"])
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    rows = [
+        [wl.name, len(wl.sources), wl.description]
+        for wl in workloads.suite()
+    ]
+    print(render_table(["name", "modules", "description"], rows))
+    return 0
+
+
+def cmd_machines(args: argparse.Namespace) -> int:
+    rows = []
+    headers: Optional[List[str]] = None
+    for name in available_machines():
+        summary = get_machine(name).summary()
+        if headers is None:
+            headers = list(summary)
+        rows.append([summary[h] for h in headers])
+    assert headers is not None
+    print(render_table(headers, rows))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    exp = Experiment(workloads.get(args.workload), size=args.size, seed=args.seed)
+    setup = _setup_from_args(args, args.opt)
+    m = exp.run(setup)
+    c = m.counters
+    rows = [[k, f"{v:,.0f}" if v >= 100 else f"{v:g}"] for k, v in c.as_dict().items()]
+    print(render_table(["counter", "value"], rows, title=m.setup.describe()))
+    print(f"\nexit value {m.exit_value} (verified against reference)")
+    return 0
+
+
+def cmd_study(args: argparse.Namespace) -> int:
+    exp = Experiment(workloads.get(args.workload), size=args.size, seed=args.seed)
+    base = _setup_from_args(args, args.base_opt)
+    treatment = _setup_from_args(args, args.treatment_opt)
+    if args.parameter == "env":
+        sweep = list(range(args.env_start, args.env_stop, args.env_step))
+        study = env_size_study(exp, base, treatment, sweep)
+    else:
+        study = link_order_study(exp, base, treatment, max_orders=args.orders)
+    print(
+        render_series(
+            study.points,
+            study.speedups,
+            title=(
+                f"speedup of O{args.treatment_opt} over O{args.base_opt} "
+                f"across {args.parameter} ({args.workload}, {args.machine})"
+            ),
+            reference=1.0,
+        )
+    )
+    print("\n" + study.speedup_bias().summary_line())
+    return 0
+
+
+def cmd_randomized(args: argparse.Namespace) -> int:
+    exp = Experiment(workloads.get(args.workload), size=args.size, seed=args.seed)
+    base = _setup_from_args(args, args.base_opt)
+    treatment = _setup_from_args(args, args.treatment_opt)
+    ev = evaluate_with_randomization(
+        exp, base, treatment, n_setups=args.setups, seed=args.seed
+    )
+    print(ev.summary_line())
+    return 0
+
+
+def cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.workloads.characterize import (
+        dynamic_character,
+        opcode_mix,
+        static_character,
+    )
+
+    exp = Experiment(workloads.get(args.workload), size=args.size, seed=args.seed)
+    setup = _setup_from_args(args, args.opt)
+    st = static_character(exp.build(setup))
+    dyn = dynamic_character(exp, setup)
+    mix = opcode_mix(exp.build(setup))
+    rows = [
+        ("modules", st.modules),
+        ("functions", st.functions),
+        ("static instructions", st.instructions),
+        ("code bytes", st.code_bytes),
+        ("data bytes", st.data_bytes),
+        ("static loops", st.loops),
+        ("dynamic instructions", f"{dyn.instructions:,}"),
+        ("cycles", f"{dyn.cycles:,.0f}"),
+        ("memory intensity", f"{dyn.memory_intensity:.1%}"),
+        ("branch intensity", f"{dyn.branch_intensity:.1%}"),
+        ("call intensity", f"{dyn.call_intensity:.2%}"),
+        ("mispredict rate", f"{dyn.mispredict_rate:.1%}"),
+        ("L1D miss rate", f"{dyn.l1d_miss_rate:.1%}"),
+        ("hottest function", f"{dyn.hot_function} ({dyn.hot_share:.0%})"),
+        ("opcode mix", ", ".join(f"{k}={v}" for k, v in mix.items())),
+    ]
+    print(
+        render_table(
+            ["property", "value"],
+            rows,
+            title=f"{args.workload} at {setup.describe()}",
+        )
+    )
+    return 0
+
+
+def cmd_archive(args: argparse.Namespace) -> int:
+    from repro.core.session import save_measurements
+
+    exp = Experiment(workloads.get(args.workload), size=args.size, seed=args.seed)
+    setups = [
+        _setup_from_args(args, args.opt).with_changes(env_bytes=env)
+        for env in range(args.env_start, args.env_stop, args.env_step)
+    ]
+    measurements = [exp.run(s) for s in setups]
+    save_measurements(args.path, measurements, note=f"{args.workload} sweep")
+    print(f"archived {len(measurements)} measurements to {args.path}")
+    return 0
+
+
+def cmd_verify_archive(args: argparse.Namespace) -> int:
+    from repro.core.session import load_measurements, verify_against_archive
+
+    archived = load_measurements(args.path)
+    if not archived:
+        print("archive is empty")
+        return 1
+    wl = archived[0].workload
+    exp = Experiment(
+        workloads.get(wl), size=archived[0].size, seed=archived[0].seed
+    )
+    drift = verify_against_archive(exp, archived)
+    if drift is None:
+        print(f"OK: {len(archived)} measurements reproduce exactly")
+        return 0
+    print(f"DRIFT: {drift}")
+    return 1
+
+
+def cmd_survey(args: argparse.Namespace) -> int:
+    print(
+        render_table(
+            ["metric", "value"],
+            survey_table(generate_corpus(args.seed)),
+            title="literature survey (synthetic corpus; see DESIGN.md)",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Measurement-bias laboratory (ASPLOS 2009 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list the benchmark suite").set_defaults(
+        func=cmd_workloads
+    )
+    sub.add_parser("machines", help="list machine models").set_defaults(
+        func=cmd_machines
+    )
+
+    run = sub.add_parser("run", help="measure one workload once")
+    run.add_argument("workload", choices=workloads.all_names())
+    run.add_argument("--opt", type=int, default=2, choices=[0, 1, 2, 3])
+    run.add_argument("--env-bytes", type=int, default=None)
+    _add_setup_args(run)
+    run.set_defaults(func=cmd_run)
+
+    study = sub.add_parser("study", help="sweep an 'innocuous' parameter")
+    study.add_argument("workload", choices=workloads.all_names())
+    study.add_argument("parameter", choices=["env", "link"])
+    study.add_argument("--base-opt", type=int, default=2, choices=[0, 1, 2, 3])
+    study.add_argument(
+        "--treatment-opt", type=int, default=3, choices=[0, 1, 2, 3]
+    )
+    study.add_argument("--env-start", type=int, default=100)
+    study.add_argument("--env-stop", type=int, default=356)
+    study.add_argument("--env-step", type=int, default=16)
+    study.add_argument("--orders", type=int, default=6)
+    _add_setup_args(study)
+    study.set_defaults(func=cmd_study)
+
+    rand = sub.add_parser(
+        "randomized", help="the paper's randomized evaluation protocol"
+    )
+    rand.add_argument("workload", choices=workloads.all_names())
+    rand.add_argument("--base-opt", type=int, default=2, choices=[0, 1, 2, 3])
+    rand.add_argument(
+        "--treatment-opt", type=int, default=3, choices=[0, 1, 2, 3]
+    )
+    rand.add_argument("--setups", type=int, default=12)
+    _add_setup_args(rand)
+    rand.set_defaults(func=cmd_randomized)
+
+    char = sub.add_parser("characterize", help="profile one workload's shape")
+    char.add_argument("workload", choices=workloads.all_names())
+    char.add_argument("--opt", type=int, default=2, choices=[0, 1, 2, 3])
+    _add_setup_args(char)
+    char.set_defaults(func=cmd_characterize)
+
+    archive = sub.add_parser(
+        "archive", help="measure an env sweep and save it as JSON"
+    )
+    archive.add_argument("workload", choices=workloads.all_names())
+    archive.add_argument("path")
+    archive.add_argument("--opt", type=int, default=2, choices=[0, 1, 2, 3])
+    archive.add_argument("--env-start", type=int, default=100)
+    archive.add_argument("--env-stop", type=int, default=196)
+    archive.add_argument("--env-step", type=int, default=32)
+    _add_setup_args(archive)
+    archive.set_defaults(func=cmd_archive)
+
+    verify = sub.add_parser(
+        "verify-archive", help="re-measure an archive and report drift"
+    )
+    verify.add_argument("path")
+    verify.set_defaults(func=cmd_verify_archive)
+
+    survey = sub.add_parser("survey", help="print the literature survey")
+    survey.add_argument("--seed", type=int, default=0)
+    survey.set_defaults(func=cmd_survey)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

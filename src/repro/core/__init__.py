@@ -1,0 +1,76 @@
+"""The paper's contribution: measurement-bias methodology.
+
+- :mod:`~repro.core.setup` — experimental setups as first-class values,
+- :mod:`~repro.core.experiment` — self-checking measurement harness,
+- :mod:`~repro.core.bias` — bias metrics and the env-size / link-order
+  study protocols,
+- :mod:`~repro.core.randomization` — the paper's setup-randomization
+  evaluation protocol,
+- :mod:`~repro.core.stats` — intervals, summaries, violin densities,
+- :mod:`~repro.core.survey` — the 133-paper literature survey analysis,
+- :mod:`~repro.core.report` — plain-text table/figure rendering.
+"""
+
+from repro.core.bias import (
+    BiasReport,
+    StudyResult,
+    detect_bias,
+    env_size_study,
+    link_order_study,
+    sample_link_orders,
+    suite_bias_table,
+)
+from repro.core.experiment import Experiment, Measurement, VerificationError
+from repro.core.noise import (
+    BiasVsNoiseResult,
+    NoiseModel,
+    RepeatedMeasurement,
+    bias_vs_noise_demo,
+    repeated_measurement,
+)
+from repro.core.randomization import (
+    RandomizedEvaluation,
+    evaluate_with_randomization,
+    interval_vs_setup_count,
+    random_setups,
+)
+from repro.core.setup import ExperimentalSetup
+from repro.core.stats import (
+    ConfidenceInterval,
+    SummaryStats,
+    ViolinSummary,
+    bootstrap_confidence_interval,
+    geometric_mean,
+    kernel_density,
+    t_confidence_interval,
+)
+
+__all__ = [
+    "BiasReport",
+    "BiasVsNoiseResult",
+    "NoiseModel",
+    "RepeatedMeasurement",
+    "bias_vs_noise_demo",
+    "repeated_measurement",
+    "ConfidenceInterval",
+    "Experiment",
+    "ExperimentalSetup",
+    "Measurement",
+    "RandomizedEvaluation",
+    "StudyResult",
+    "SummaryStats",
+    "VerificationError",
+    "ViolinSummary",
+    "bootstrap_confidence_interval",
+    "detect_bias",
+    "env_size_study",
+    "evaluate_with_randomization",
+    "geometric_mean",
+    "interval_vs_setup_count",
+    "kernel_density",
+    "link_order_study",
+    "random_setups",
+    "sample_link_orders",
+    "suite_bias_table",
+    "t_confidence_interval",
+]

@@ -1,0 +1,181 @@
+"""Experiments: measure a workload under explicit setups.
+
+An :class:`Experiment` fixes a (workload, input) pair and measures it
+under any number of :class:`~repro.core.setup.ExperimentalSetup`\\ s.
+Every run is **self-checking** — the simulated exit value is compared
+against the workload's Python reference — so a miscompilation can never
+masquerade as a performance result.
+
+Builds and measurements are memoized: sweeping 100 environment sizes
+compiles twice (O2 and O3), not 200 times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.arch.counters import PerfCounters, RunResult
+from repro.arch.engine import execute
+from repro.core.setup import ExperimentalSetup
+from repro.isa.program import Executable
+from repro.os.loader import load_process
+from repro.toolchain.compiler import compile_program
+from repro.toolchain.linker import LinkLayout, link
+from repro.workloads.base import Workload
+
+
+class VerificationError(Exception):
+    """A simulated run produced the wrong answer — toolchain or input bug."""
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One measured run."""
+
+    workload: str
+    size: str
+    seed: int
+    setup: ExperimentalSetup
+    counters: PerfCounters
+    exit_value: int
+    function_cycles: Dict[str, float] = field(default_factory=dict, compare=False)
+
+    @property
+    def cycles(self) -> float:
+        """The headline quantity every experiment compares."""
+        return self.counters.cycles
+
+    def __repr__(self) -> str:
+        return (
+            f"Measurement({self.workload}/{self.size} @ {self.setup.describe()}: "
+            f"{self.cycles:.0f} cycles)"
+        )
+
+
+class Experiment:
+    """Measurement harness for one (workload, input) pair.
+
+    Args:
+        workload: the benchmark to measure.
+        size: input class ("test", "train", "ref").
+        seed: input generator seed.
+        verify: check every run against the Python reference (default on;
+            disable only in throughput-critical sweeps where the same
+            binary/input pair was verified before).
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        size: str = "test",
+        seed: int = 0,
+        verify: bool = True,
+    ) -> None:
+        self.workload = workload
+        self.size = size
+        self.seed = seed
+        self.verify = verify
+        self._bindings = workload.input_for(size, seed)
+        self._expected: Optional[int] = None
+        self._build_cache: Dict[tuple, Executable] = {}
+        self._run_cache: Dict[ExperimentalSetup, Measurement] = {}
+
+    @property
+    def expected(self) -> int:
+        """Reference exit value (computed lazily, once)."""
+        if self._expected is None:
+            self._expected = self.workload.expected(self._bindings)
+        return self._expected
+
+    # -- building ---------------------------------------------------------
+
+    def build(self, setup: ExperimentalSetup) -> Executable:
+        """Compile and link the workload for ``setup`` (memoized)."""
+        key = setup.build_key()
+        exe = self._build_cache.get(key)
+        if exe is None:
+            modules = compile_program(
+                dict(self.workload.sources),
+                opt_level=setup.opt_level,
+                profile=setup.compiler,
+            )
+            layout = LinkLayout(function_alignment=setup.function_alignment)
+            exe = link(modules, order=setup.link_order, layout=layout)
+            self._build_cache[key] = exe
+        return exe
+
+    # -- running ----------------------------------------------------------
+
+    def run(
+        self, setup: ExperimentalSetup, profile_functions: bool = False
+    ) -> Measurement:
+        """Measure the workload under ``setup`` (memoized per setup).
+
+        Raises :class:`VerificationError` if the run's exit value differs
+        from the Python reference.
+        """
+        if not profile_functions:
+            cached = self._run_cache.get(setup)
+            if cached is not None:
+                return cached
+        exe = self.build(setup)
+        image = load_process(
+            exe,
+            environment=setup.environment(),
+            inputs=self._bindings,
+            stack_align=setup.stack_align,
+        )
+        result: RunResult = execute(
+            image,
+            setup.machine_config().build(),
+            profile_functions=profile_functions,
+        )
+        if self.verify and result.exit_value != self.expected:
+            raise VerificationError(
+                f"{self.workload.name}/{self.size} under {setup.describe()}: "
+                f"exit {result.exit_value} != expected {self.expected}"
+            )
+        measurement = Measurement(
+            workload=self.workload.name,
+            size=self.size,
+            seed=self.seed,
+            setup=setup,
+            counters=result.counters,
+            exit_value=result.exit_value,
+            function_cycles=result.function_cycles,
+        )
+        if not profile_functions:
+            self._run_cache[setup] = measurement
+        return measurement
+
+    def sweep(self, setups: Iterable[ExperimentalSetup]) -> List[Measurement]:
+        """Measure under every setup, in order."""
+        return [self.run(s) for s in setups]
+
+    def speedup(
+        self, base: ExperimentalSetup, treatment: ExperimentalSetup
+    ) -> float:
+        """cycles(base) / cycles(treatment): > 1 means treatment wins."""
+        return self.run(base).cycles / self.run(treatment).cycles
+
+    def speedups(
+        self,
+        pairs: Iterable[Tuple[ExperimentalSetup, ExperimentalSetup]],
+    ) -> List[float]:
+        """Speedups for many (base, treatment) pairs."""
+        return [self.speedup(b, t) for b, t in pairs]
+
+    def clear_caches(self) -> None:
+        """Drop memoized builds and runs (used by ablations that mutate
+        global state between sweeps)."""
+        self._build_cache.clear()
+        self._run_cache.clear()
+
+    def clear_run_cache(self) -> None:
+        """Drop memoized measurements but keep compiled executables
+        (used to time fresh runs of an already-built binary)."""
+        self._run_cache.clear()
+
+    def __repr__(self) -> str:
+        return f"Experiment({self.workload.name}, size={self.size!r}, seed={self.seed})"

@@ -1,0 +1,129 @@
+"""Measurement persistence: archive runs as JSON, reload them later.
+
+Reproducibility bookkeeping: a study's measurements can be archived with
+their *complete* setups (the paper's complaint is precisely that setups
+go unreported), reloaded, and re-analyzed — or re-measured and compared
+against the archive to confirm the substrate hasn't drifted.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.arch.counters import PerfCounters
+from repro.arch.machines import MachineConfig
+from repro.core.experiment import Measurement
+from repro.core.setup import ExperimentalSetup
+
+#: Format marker written into every archive.
+FORMAT = "repro-measurements-v1"
+
+
+def setup_to_dict(setup: ExperimentalSetup) -> Dict:
+    """Serialize a setup, embedding custom machine configs inline."""
+    machine: Union[str, Dict]
+    if isinstance(setup.machine, MachineConfig):
+        machine = {"__machine_config__": setup.machine.to_dict()}
+    else:
+        machine = setup.machine
+    return {
+        "machine": machine,
+        "compiler": setup.compiler,
+        "opt_level": setup.opt_level,
+        "link_order": list(setup.link_order) if setup.link_order else None,
+        "env_bytes": setup.env_bytes,
+        "stack_align": setup.stack_align,
+        "function_alignment": setup.function_alignment,
+    }
+
+
+def setup_from_dict(data: Dict) -> ExperimentalSetup:
+    """Inverse of :func:`setup_to_dict` (default base environment)."""
+    machine = data["machine"]
+    if isinstance(machine, dict):
+        machine = MachineConfig.from_dict(machine["__machine_config__"])
+    return ExperimentalSetup(
+        machine=machine,
+        compiler=data["compiler"],
+        opt_level=data["opt_level"],
+        link_order=tuple(data["link_order"]) if data["link_order"] else None,
+        env_bytes=data["env_bytes"],
+        stack_align=data["stack_align"],
+        function_alignment=data["function_alignment"],
+    )
+
+
+def measurement_to_dict(m: Measurement) -> Dict:
+    return {
+        "workload": m.workload,
+        "size": m.size,
+        "seed": m.seed,
+        "setup": setup_to_dict(m.setup),
+        "counters": asdict(m.counters),
+        "exit_value": m.exit_value,
+        "function_cycles": dict(m.function_cycles),
+    }
+
+
+def measurement_from_dict(data: Dict) -> Measurement:
+    return Measurement(
+        workload=data["workload"],
+        size=data["size"],
+        seed=data["seed"],
+        setup=setup_from_dict(data["setup"]),
+        counters=PerfCounters(**data["counters"]),
+        exit_value=data["exit_value"],
+        function_cycles=dict(data.get("function_cycles", {})),
+    )
+
+
+def save_measurements(
+    path: str, measurements: Sequence[Measurement], note: str = ""
+) -> None:
+    """Write measurements (with full setups) to a JSON archive."""
+    payload = {
+        "format": FORMAT,
+        "note": note,
+        "measurements": [measurement_to_dict(m) for m in measurements],
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1)
+
+
+def load_measurements(path: str) -> List[Measurement]:
+    """Read a JSON archive written by :func:`save_measurements`."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    if payload.get("format") != FORMAT:
+        raise ValueError(
+            f"{path}: not a {FORMAT} archive (got {payload.get('format')!r})"
+        )
+    return [measurement_from_dict(d) for d in payload["measurements"]]
+
+
+def verify_against_archive(
+    experiment, archived: Sequence[Measurement], tolerance: float = 0.0
+) -> Optional[str]:
+    """Re-measure every archived setup; return a description of the first
+    drift found, or None when everything matches.
+
+    With a deterministic substrate ``tolerance=0.0`` is the right
+    setting: any cycle difference means the toolchain or model changed.
+    """
+    for m in archived:
+        fresh = experiment.run(m.setup)
+        if fresh.exit_value != m.exit_value:
+            return (
+                f"{m.setup.describe()}: exit {fresh.exit_value} != archived "
+                f"{m.exit_value}"
+            )
+        delta = abs(fresh.cycles - m.counters.cycles)
+        allowed = tolerance * m.counters.cycles
+        if delta > allowed:
+            return (
+                f"{m.setup.describe()}: cycles {fresh.cycles:.0f} != archived "
+                f"{m.counters.cycles:.0f} (drift {delta:.0f})"
+            )
+    return None

@@ -1,0 +1,66 @@
+"""Instruction-set architecture for the repro simulator.
+
+The ISA is a small load/store register machine with *x86-like variable
+instruction sizes*.  Variable sizes are not cosmetic: the paper's
+measurement-bias mechanisms (fetch-window alignment, cache-line crossing,
+set-index changes under relinking) only exist when code bytes occupy
+realistic, irregular amounts of space.
+
+Public surface:
+
+- :class:`~repro.isa.instructions.Op` — opcode enumeration.
+- :class:`~repro.isa.instructions.Instr` — a single instruction.
+- :mod:`~repro.isa.encoding` — byte sizes of encoded instructions.
+- :class:`~repro.isa.program.BasicBlock`, :class:`~repro.isa.program.Function`,
+  :class:`~repro.isa.program.Module`, :class:`~repro.isa.program.DataObject`
+  — pre-link program form.
+- :class:`~repro.isa.program.Executable` — post-link, address-assigned form.
+- :func:`~repro.isa.validate.validate_module` /
+  :func:`~repro.isa.validate.validate_function` — structural checking.
+"""
+
+from repro.isa.encoding import encoded_size
+from repro.isa.instructions import (
+    ALU_OPS,
+    ALU_IMM_OPS,
+    CONTROL_OPS,
+    MEMORY_OPS,
+    NUM_REGS,
+    REG_FP,
+    REG_RET,
+    REG_SP,
+    Instr,
+    Op,
+)
+from repro.isa.program import (
+    BasicBlock,
+    DataObject,
+    Executable,
+    Function,
+    Module,
+    PlacedFunction,
+)
+from repro.isa.validate import ValidationError, validate_function, validate_module
+
+__all__ = [
+    "ALU_OPS",
+    "ALU_IMM_OPS",
+    "CONTROL_OPS",
+    "MEMORY_OPS",
+    "NUM_REGS",
+    "REG_FP",
+    "REG_RET",
+    "REG_SP",
+    "BasicBlock",
+    "DataObject",
+    "Executable",
+    "Function",
+    "Instr",
+    "Module",
+    "Op",
+    "PlacedFunction",
+    "ValidationError",
+    "encoded_size",
+    "validate_function",
+    "validate_module",
+]

@@ -1,0 +1,57 @@
+"""Encoded byte sizes for instructions.
+
+The simulator never materializes machine-code bytes; it only needs every
+instruction's *size* so that the linker can assign realistic, irregular
+addresses.  Sizes follow an x86-flavoured scheme:
+
+- register-register ALU ops are compact (3 bytes),
+- immediates grow the encoding (an immediate that fits in a signed byte
+  costs 1 extra byte; otherwise 4 extra),
+- memory operands pay for their displacement the same way,
+- control transfers carry a 4-byte displacement,
+- ``NOP`` is exactly 1 byte — it is the linker's padding unit,
+- ``RET`` and ``HALT`` are 1 byte.
+
+These constants are part of the architecture contract: tests assert them,
+and changing them changes every layout-dependent measurement.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import ALU_IMM_OPS, ALU_OPS, Instr, Op
+
+
+def _fits_i8(value: int) -> bool:
+    return -128 <= value <= 127
+
+
+def encoded_size(instr: Instr) -> int:
+    """Return the encoded size of ``instr`` in bytes."""
+    op = instr.op
+    if op is Op.NOP or op is Op.RET or op is Op.HALT:
+        return 1
+    if op is Op.MOV:
+        return 2
+    if op in ALU_OPS:
+        return 3
+    if op is Op.CONST:
+        # A CONST carrying a relocation (symbolic address) always uses the
+        # full-width encoding: the linker must be able to patch in any
+        # address without changing layout.
+        if instr.target is not None:
+            return 6
+        return 3 if _fits_i8(instr.imm) else 6
+    if op in ALU_IMM_OPS:
+        return 4 if _fits_i8(instr.imm) else 7
+    if op is Op.LOAD or op is Op.STORE or op is Op.LOADB or op is Op.STOREB:
+        return 3 if _fits_i8(instr.imm) else 6
+    if op is Op.BEQZ or op is Op.BNEZ:
+        return 5
+    if op is Op.JMP or op is Op.CALL:
+        return 5
+    raise ValueError(f"unknown opcode: {op!r}")
+
+
+def block_size(instrs) -> int:
+    """Total encoded size of a sequence of instructions."""
+    return sum(encoded_size(i) for i in instrs)

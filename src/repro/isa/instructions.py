@@ -1,0 +1,241 @@
+"""Opcodes and the instruction container.
+
+The machine has 16 integer registers, ``r0`` .. ``r15``.  By convention
+(enforced by the toolchain, not the hardware):
+
+- ``r0`` holds function return values,
+- ``r1`` .. ``r6`` carry arguments and are caller-saved,
+- ``r7`` .. ``r12`` are callee-saved temporaries,
+- ``r13`` (:data:`REG_RET`) is scratch used during call sequences,
+- ``r14`` (:data:`REG_FP`) is the frame pointer,
+- ``r15`` (:data:`REG_SP`) is the stack pointer.
+
+Words are 8 bytes.  Memory is byte-addressable; ``LOAD``/``STORE`` move
+words, ``LOADB``/``STOREB`` move single bytes.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Optional
+
+NUM_REGS = 16
+REG_RET = 13
+REG_FP = 14
+REG_SP = 15
+
+WORD_SIZE = 8
+
+
+class Op(IntEnum):
+    """Operation codes.
+
+    The numeric values are dense so interpreters can dispatch on ``int``
+    comparisons; never rely on specific values across versions.
+    """
+
+    # Register-immediate moves.
+    CONST = 0  # rd <- imm
+    MOV = 1  # rd <- ra
+
+    # Three-address register-register ALU.
+    ADD = 2
+    SUB = 3
+    MUL = 4
+    DIV = 5  # truncating toward zero; divide by zero traps
+    MOD = 6
+    AND = 7
+    OR = 8
+    XOR = 9
+    SHL = 10
+    SHR = 11  # logical shift right on 64-bit patterns
+    SLT = 12  # rd <- 1 if ra < rb else 0
+    SLE = 13
+    SEQ = 14
+    SNE = 15
+
+    # Register-immediate ALU (rd <- ra <op> imm).
+    ADDI = 16
+    MULI = 17
+    ANDI = 18
+    ORI = 19
+    XORI = 20
+    SHLI = 21
+    SHRI = 22
+    SLTI = 23
+
+    # Memory.
+    LOAD = 24  # rd <- mem64[ra + imm]
+    STORE = 25  # mem64[ra + imm] <- rb
+    LOADB = 26  # rd <- mem8[ra + imm]
+    STOREB = 27  # mem8[ra + imm] <- rb
+
+    # Control transfer.  Branch/jump targets are block labels before
+    # linking and absolute addresses afterwards.
+    BEQZ = 28  # if ra == 0 jump target
+    BNEZ = 29
+    JMP = 30
+    CALL = 31  # push return address, jump to function
+    RET = 32  # pop return address, jump to it
+
+    # Misc.
+    NOP = 33  # 1-byte padding; the linker's alignment tool
+    HALT = 34
+
+
+ALU_OPS = frozenset(
+    {
+        Op.ADD,
+        Op.SUB,
+        Op.MUL,
+        Op.DIV,
+        Op.MOD,
+        Op.AND,
+        Op.OR,
+        Op.XOR,
+        Op.SHL,
+        Op.SHR,
+        Op.SLT,
+        Op.SLE,
+        Op.SEQ,
+        Op.SNE,
+    }
+)
+
+ALU_IMM_OPS = frozenset(
+    {Op.ADDI, Op.MULI, Op.ANDI, Op.ORI, Op.XORI, Op.SHLI, Op.SHRI, Op.SLTI}
+)
+
+MEMORY_OPS = frozenset({Op.LOAD, Op.STORE, Op.LOADB, Op.STOREB})
+
+CONTROL_OPS = frozenset({Op.BEQZ, Op.BNEZ, Op.JMP, Op.CALL, Op.RET, Op.HALT})
+
+#: Opcodes that terminate a basic block.
+TERMINATORS = frozenset({Op.BEQZ, Op.BNEZ, Op.JMP, Op.RET, Op.HALT})
+
+#: Map an ALU-immediate opcode to its register-register counterpart.
+IMM_TO_REG = {
+    Op.ADDI: Op.ADD,
+    Op.MULI: Op.MUL,
+    Op.ANDI: Op.AND,
+    Op.ORI: Op.OR,
+    Op.XORI: Op.XOR,
+    Op.SHLI: Op.SHL,
+    Op.SHRI: Op.SHR,
+    Op.SLTI: Op.SLT,
+}
+
+
+class Instr:
+    """One machine instruction.
+
+    Operand fields are interpreted per opcode:
+
+    - ``rd``: destination register (ALU, ``CONST``, ``MOV``, loads).
+    - ``ra``: first source register; base register for memory ops;
+      condition register for conditional branches.
+    - ``rb``: second source register; value register for stores.
+    - ``imm``: immediate operand / memory displacement.
+    - ``target``: symbolic label (pre-link) for branches, jumps and calls.
+
+    Instances are mutable on purpose: optimizer passes rewrite operands in
+    place, and the linker patches ``target`` into resolved addresses via
+    the side tables on :class:`~repro.isa.program.Executable`.
+    """
+
+    __slots__ = ("op", "rd", "ra", "rb", "imm", "target")
+
+    def __init__(
+        self,
+        op: Op,
+        rd: int = 0,
+        ra: int = 0,
+        rb: int = 0,
+        imm: int = 0,
+        target: Optional[str] = None,
+    ) -> None:
+        self.op = op
+        self.rd = rd
+        self.ra = ra
+        self.rb = rb
+        self.imm = imm
+        self.target = target
+
+    def copy(self) -> "Instr":
+        """Return an independent copy of this instruction."""
+        return Instr(self.op, self.rd, self.ra, self.rb, self.imm, self.target)
+
+    def is_terminator(self) -> bool:
+        """True if this instruction must end a basic block."""
+        return self.op in TERMINATORS
+
+    def is_branch(self) -> bool:
+        """True for conditional branches (``BEQZ``/``BNEZ``)."""
+        return self.op is Op.BEQZ or self.op is Op.BNEZ
+
+    def reads(self) -> tuple:
+        """Registers this instruction reads, as a tuple."""
+        op = self.op
+        if op in ALU_OPS:
+            return (self.ra, self.rb)
+        if op in ALU_IMM_OPS:
+            return (self.ra,)
+        if op is Op.MOV:
+            return (self.ra,)
+        if op is Op.LOAD or op is Op.LOADB:
+            return (self.ra,)
+        if op is Op.STORE or op is Op.STOREB:
+            return (self.ra, self.rb)
+        if op is Op.BEQZ or op is Op.BNEZ:
+            return (self.ra,)
+        return ()
+
+    def writes(self) -> tuple:
+        """Registers this instruction writes, as a tuple."""
+        op = self.op
+        if (
+            op in ALU_OPS
+            or op in ALU_IMM_OPS
+            or op is Op.CONST
+            or op is Op.MOV
+            or op is Op.LOAD
+            or op is Op.LOADB
+        ):
+            return (self.rd,)
+        return ()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instr):
+            return NotImplemented
+        return (
+            self.op == other.op
+            and self.rd == other.rd
+            and self.ra == other.ra
+            and self.rb == other.rb
+            and self.imm == other.imm
+            and self.target == other.target
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.op, self.rd, self.ra, self.rb, self.imm, self.target))
+
+    def __repr__(self) -> str:
+        op = self.op
+        name = op.name.lower()
+        if op is Op.CONST:
+            return f"{name} r{self.rd}, {self.imm}"
+        if op is Op.MOV:
+            return f"{name} r{self.rd}, r{self.ra}"
+        if op in ALU_OPS:
+            return f"{name} r{self.rd}, r{self.ra}, r{self.rb}"
+        if op in ALU_IMM_OPS:
+            return f"{name} r{self.rd}, r{self.ra}, {self.imm}"
+        if op is Op.LOAD or op is Op.LOADB:
+            return f"{name} r{self.rd}, [r{self.ra}{self.imm:+d}]"
+        if op is Op.STORE or op is Op.STOREB:
+            return f"{name} [r{self.ra}{self.imm:+d}], r{self.rb}"
+        if op is Op.BEQZ or op is Op.BNEZ:
+            return f"{name} r{self.ra}, {self.target}"
+        if op is Op.JMP or op is Op.CALL:
+            return f"{name} {self.target}"
+        return name

@@ -1,0 +1,359 @@
+"""Program containers: pre-link modules and the post-link executable.
+
+The toolchain moves a program through three shapes:
+
+1. :class:`Module` — one compiled translation unit: named functions made of
+   labelled :class:`BasicBlock`\\ s, plus global :class:`DataObject`\\ s.
+   Control-flow targets and address materializations are *symbolic*.
+2. The linker places modules (in **link order** — the paper's bias source)
+   and produces :class:`PlacedFunction`\\ s with concrete byte addresses.
+3. :class:`Executable` — the flat, address-assigned form the simulator
+   runs: parallel operand arrays plus resolved control-flow targets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.isa.encoding import encoded_size
+from repro.isa.instructions import Instr, Op
+
+
+class BasicBlock:
+    """A labelled straight-line instruction sequence.
+
+    The final instruction should be a terminator (branch, jump, return or
+    halt); a block may instead fall through to the next block in the
+    function's layout order, in which case the toolchain appends an
+    explicit ``JMP`` during lowering if layout changes would break the
+    fall-through.
+    """
+
+    __slots__ = ("label", "instrs", "align")
+
+    def __init__(
+        self,
+        label: str,
+        instrs: Optional[List[Instr]] = None,
+        align: int = 1,
+    ) -> None:
+        self.label = label
+        self.instrs: List[Instr] = list(instrs) if instrs is not None else []
+        #: Requested start alignment within the function (power of two).
+        #: The linker pads with 1-byte NOPs to honour it.  Compilers that
+        #: align hot loop heads (the icc profile) set this.
+        self.align = align
+
+    def append(self, instr: Instr) -> None:
+        """Add an instruction at the end of the block."""
+        self.instrs.append(instr)
+
+    def terminator(self) -> Optional[Instr]:
+        """The block's final instruction if it is a terminator, else None."""
+        if self.instrs and self.instrs[-1].is_terminator():
+            return self.instrs[-1]
+        return None
+
+    def successors(self) -> Tuple[Optional[str], ...]:
+        """Symbolic successor labels; ``None`` denotes fall-through."""
+        term = self.terminator()
+        if term is None:
+            return (None,)
+        if term.op is Op.JMP:
+            return (term.target,)
+        if term.op is Op.BEQZ or term.op is Op.BNEZ:
+            return (term.target, None)
+        return ()  # RET / HALT
+
+    def size_bytes(self) -> int:
+        """Encoded size of the block."""
+        return sum(encoded_size(i) for i in self.instrs)
+
+    def copy(self) -> "BasicBlock":
+        return BasicBlock(self.label, [i.copy() for i in self.instrs], self.align)
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def __iter__(self) -> Iterator[Instr]:
+        return iter(self.instrs)
+
+    def __repr__(self) -> str:
+        return f"BasicBlock({self.label!r}, {len(self.instrs)} instrs)"
+
+
+class Function:
+    """A function: ordered basic blocks plus frame metadata.
+
+    ``blocks`` order is the *layout order* — it determines code bytes and
+    therefore addresses, so optimizer passes that reorder blocks change
+    microarchitectural behaviour (by design).
+
+    ``frame_size`` is the byte size of the stack frame the prologue
+    reserves for locals (spill slots and local arrays).
+    """
+
+    __slots__ = ("name", "num_params", "blocks", "frame_size", "hot")
+
+    def __init__(
+        self,
+        name: str,
+        num_params: int = 0,
+        blocks: Optional[List[BasicBlock]] = None,
+        frame_size: int = 0,
+        hot: bool = False,
+    ) -> None:
+        self.name = name
+        self.num_params = num_params
+        self.blocks: List[BasicBlock] = list(blocks) if blocks is not None else []
+        self.frame_size = frame_size
+        #: Marked by the compiler when profile heuristics consider the
+        #: function hot; the icc profile aligns hot loops differently.
+        self.hot = hot
+
+    def block(self, label: str) -> BasicBlock:
+        """Return the block with ``label`` (raises KeyError if absent)."""
+        for blk in self.blocks:
+            if blk.label == label:
+                return blk
+        raise KeyError(f"{self.name}: no block {label!r}")
+
+    def block_labels(self) -> List[str]:
+        return [blk.label for blk in self.blocks]
+
+    def instructions(self) -> Iterator[Instr]:
+        """Iterate instructions in layout order."""
+        for blk in self.blocks:
+            yield from blk.instrs
+
+    def num_instructions(self) -> int:
+        return sum(len(blk) for blk in self.blocks)
+
+    def size_bytes(self) -> int:
+        """Encoded size of the whole function."""
+        return sum(blk.size_bytes() for blk in self.blocks)
+
+    def copy(self) -> "Function":
+        return Function(
+            self.name,
+            self.num_params,
+            [blk.copy() for blk in self.blocks],
+            self.frame_size,
+            self.hot,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Function({self.name!r}, params={self.num_params}, "
+            f"blocks={len(self.blocks)}, frame={self.frame_size})"
+        )
+
+
+class DataObject:
+    """A global data object (scalar or array) in the data segment.
+
+    ``kind`` is ``"words"`` (8-byte elements) or ``"bytes"``.
+    ``init`` optionally provides initial element values; missing elements
+    are zero.
+    """
+
+    __slots__ = ("name", "count", "kind", "align", "init")
+
+    def __init__(
+        self,
+        name: str,
+        count: int,
+        kind: str = "words",
+        align: int = 8,
+        init: Optional[List[int]] = None,
+    ) -> None:
+        if kind not in ("words", "bytes"):
+            raise ValueError(f"bad data kind: {kind!r}")
+        if count <= 0:
+            raise ValueError(f"{name}: data object must have positive size")
+        if align <= 0 or (align & (align - 1)) != 0:
+            raise ValueError(f"{name}: alignment must be a positive power of two")
+        if init is not None and len(init) > count:
+            raise ValueError(f"{name}: initializer longer than object")
+        self.name = name
+        self.count = count
+        self.kind = kind
+        self.align = align
+        self.init = init
+
+    @property
+    def size_bytes(self) -> int:
+        """Total object size in bytes."""
+        return self.count * (8 if self.kind == "words" else 1)
+
+    def __repr__(self) -> str:
+        return f"DataObject({self.name!r}, {self.count} {self.kind})"
+
+
+class Module:
+    """One compiled translation unit ("object file").
+
+    Functions call each other by name; cross-module calls are resolved at
+    link time.  Address materializations (``CONST rd, &symbol``) carry the
+    symbol name in ``Instr.target`` and are patched by the linker.
+    """
+
+    __slots__ = ("name", "functions", "data")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+        self.data: Dict[str, DataObject] = {}
+
+    def add_function(self, func: Function) -> None:
+        if func.name in self.functions:
+            raise ValueError(f"{self.name}: duplicate function {func.name!r}")
+        self.functions[func.name] = func
+
+    def add_data(self, obj: DataObject) -> None:
+        if obj.name in self.data:
+            raise ValueError(f"{self.name}: duplicate data object {obj.name!r}")
+        self.data[obj.name] = obj
+
+    def defined_symbols(self) -> Iterable[str]:
+        yield from self.functions
+        yield from self.data
+
+    def undefined_symbols(self) -> Iterable[str]:
+        """Symbols referenced but not defined in this module."""
+        defined = set(self.defined_symbols())
+        seen = set()
+        for func in self.functions.values():
+            for instr in func.instructions():
+                sym = instr.target
+                if sym is None or sym in defined or sym in seen:
+                    continue
+                if instr.op is Op.CALL or instr.op is Op.CONST:
+                    seen.add(sym)
+                    yield sym
+
+    def num_instructions(self) -> int:
+        return sum(f.num_instructions() for f in self.functions.values())
+
+    def size_bytes(self) -> int:
+        return sum(f.size_bytes() for f in self.functions.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"Module({self.name!r}, funcs={sorted(self.functions)}, "
+            f"data={sorted(self.data)})"
+        )
+
+
+class PlacedFunction:
+    """A function fixed at a base address by the linker."""
+
+    __slots__ = ("name", "base", "size", "flat_start", "flat_end", "module")
+
+    def __init__(
+        self,
+        name: str,
+        base: int,
+        size: int,
+        flat_start: int,
+        flat_end: int,
+        module: str,
+    ) -> None:
+        self.name = name
+        self.base = base
+        self.size = size
+        self.flat_start = flat_start
+        self.flat_end = flat_end
+        self.module = module
+
+    @property
+    def end(self) -> int:
+        """One past the last code byte."""
+        return self.base + self.size
+
+    def __repr__(self) -> str:
+        return f"PlacedFunction({self.name!r} @ {self.base:#x}, {self.size}B)"
+
+
+class Executable:
+    """The flat, runnable image produced by the linker.
+
+    Instructions live in parallel arrays indexed by *flat index*; control
+    flow is expressed as flat indices in ``targets``.  ``addrs[i]`` and
+    ``sizes[i]`` give instruction ``i``'s byte address and encoded size —
+    the inputs to every layout-sensitive machine structure.
+
+    Attributes:
+        ops, rds, ras, rbs, imms: per-instruction operand arrays.
+        targets: resolved flat-index target for control transfers, -1
+            otherwise.  ``CALL`` targets are callee entry indices.
+        addrs, sizes: byte address / encoded size per instruction.
+        addr_to_index: map from instruction byte address to flat index
+            (used to resolve return addresses).
+        placed: :class:`PlacedFunction` records in placement order.
+        symbols: every linked symbol name -> byte address.
+        data_addrs: data symbol name -> byte address.
+        data_init: byte address -> initial value writes (word-granular for
+            ``words`` objects, byte-granular for ``bytes`` objects).
+        entry: flat index of the entry function's first instruction.
+        text_start / text_end: code segment bounds.
+        frame_sizes: function entry flat index -> frame size (informational).
+    """
+
+    def __init__(self) -> None:
+        self.ops: List[int] = []
+        self.rds: List[int] = []
+        self.ras: List[int] = []
+        self.rbs: List[int] = []
+        self.imms: List[int] = []
+        self.targets: List[int] = []
+        self.addrs: List[int] = []
+        self.sizes: List[int] = []
+        self.addr_to_index: Dict[int, int] = {}
+        self.placed: List[PlacedFunction] = []
+        self.symbols: Dict[str, int] = {}
+        self.data_addrs: Dict[str, int] = {}
+        self.data_init: Dict[int, int] = {}
+        self.data_kinds: Dict[str, str] = {}
+        self.data_counts: Dict[str, int] = {}
+        self.entry: int = 0
+        self.text_start: int = 0
+        self.text_end: int = 0
+        self.data_start: int = 0
+        self.data_end: int = 0
+        self.frame_sizes: Dict[int, int] = {}
+
+    def num_instructions(self) -> int:
+        return len(self.ops)
+
+    def function_at(self, flat_index: int) -> Optional[PlacedFunction]:
+        """The placed function containing ``flat_index``, if any."""
+        for pf in self.placed:
+            if pf.flat_start <= flat_index < pf.flat_end:
+                return pf
+        return None
+
+    def placed_by_name(self, name: str) -> PlacedFunction:
+        for pf in self.placed:
+            if pf.name == name:
+                return pf
+        raise KeyError(f"no placed function {name!r}")
+
+    def disassemble(self, name: str) -> str:
+        """Human-readable listing of one function with addresses."""
+        pf = self.placed_by_name(name)
+        lines = [f"{pf.name} @ {pf.base:#x} ({pf.size} bytes)"]
+        for i in range(pf.flat_start, pf.flat_end):
+            op = Op(self.ops[i])
+            instr = Instr(op, self.rds[i], self.ras[i], self.rbs[i], self.imms[i])
+            tgt = self.targets[i]
+            suffix = f"  -> [{tgt}]" if tgt >= 0 else ""
+            lines.append(f"  {self.addrs[i]:#08x}: {instr!r}{suffix}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Executable({len(self.placed)} functions, "
+            f"{self.num_instructions()} instructions, "
+            f"text {self.text_start:#x}..{self.text_end:#x})"
+        )

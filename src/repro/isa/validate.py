@@ -1,0 +1,117 @@
+"""Structural validation of modules and functions.
+
+The toolchain validates every module it emits; the linker validates its
+inputs.  Validation catches toolchain bugs early, with errors that name
+the offending function/block instead of failing deep inside the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.isa.instructions import (
+    ALU_IMM_OPS,
+    ALU_OPS,
+    NUM_REGS,
+    Instr,
+    Op,
+)
+from repro.isa.program import Function, Module
+
+
+class ValidationError(Exception):
+    """A module or function violates ISA structural rules."""
+
+
+def _check_reg(value: int, what: str, where: str) -> None:
+    if not isinstance(value, int) or not 0 <= value < NUM_REGS:
+        raise ValidationError(f"{where}: {what} register out of range: {value!r}")
+
+
+def _validate_instr(instr: Instr, labels: Iterable[str], where: str) -> None:
+    op = instr.op
+    if not isinstance(op, Op):
+        raise ValidationError(f"{where}: not an Op: {op!r}")
+    if op in ALU_OPS:
+        _check_reg(instr.rd, "dest", where)
+        _check_reg(instr.ra, "src a", where)
+        _check_reg(instr.rb, "src b", where)
+    elif op in ALU_IMM_OPS or op is Op.LOAD or op is Op.LOADB:
+        _check_reg(instr.rd, "dest", where)
+        _check_reg(instr.ra, "src", where)
+    elif op is Op.CONST:
+        _check_reg(instr.rd, "dest", where)
+    elif op is Op.MOV:
+        _check_reg(instr.rd, "dest", where)
+        _check_reg(instr.ra, "src", where)
+    elif op is Op.STORE or op is Op.STOREB:
+        _check_reg(instr.ra, "base", where)
+        _check_reg(instr.rb, "value", where)
+    elif op is Op.BEQZ or op is Op.BNEZ:
+        _check_reg(instr.ra, "condition", where)
+        if instr.target is None or instr.target not in labels:
+            raise ValidationError(
+                f"{where}: branch target {instr.target!r} not a block label"
+            )
+    elif op is Op.JMP:
+        if instr.target is None or instr.target not in labels:
+            raise ValidationError(
+                f"{where}: jump target {instr.target!r} not a block label"
+            )
+    elif op is Op.CALL:
+        if instr.target is None:
+            raise ValidationError(f"{where}: CALL without a target symbol")
+    # RET / NOP / HALT carry no operands.
+
+
+def validate_function(func: Function, where_prefix: str = "") -> None:
+    """Check one function's structural invariants.
+
+    Enforced rules:
+
+    - block labels are unique within the function,
+    - every branch/jump targets an existing label in the same function,
+    - register operands are in range,
+    - the final block ends in a terminator (no falling off the function),
+    - only the final instruction of a block may be a terminator.
+    """
+    where = f"{where_prefix}{func.name}"
+    if not func.blocks:
+        raise ValidationError(f"{where}: function has no blocks")
+    labels = [blk.label for blk in func.blocks]
+    if len(set(labels)) != len(labels):
+        raise ValidationError(f"{where}: duplicate block labels")
+    label_set = set(labels)
+    for blk in func.blocks:
+        blk_where = f"{where}:{blk.label}"
+        # Empty blocks are legal join points (their label resolves to the
+        # next instruction) — except at the end of the function, where
+        # nothing follows to fall into.
+        if not blk.instrs and blk is func.blocks[-1]:
+            raise ValidationError(f"{blk_where}: empty final block")
+        for pos, instr in enumerate(blk.instrs):
+            _validate_instr(instr, label_set, f"{blk_where}[{pos}]")
+            if instr.is_terminator() and pos != len(blk.instrs) - 1:
+                raise ValidationError(
+                    f"{blk_where}[{pos}]: terminator in middle of block"
+                )
+    last = func.blocks[-1]
+    if last.terminator() is None:
+        raise ValidationError(f"{where}: final block does not end in a terminator")
+    if func.frame_size < 0 or func.frame_size % 8 != 0:
+        raise ValidationError(
+            f"{where}: frame size must be a non-negative multiple of 8, "
+            f"got {func.frame_size}"
+        )
+
+
+def validate_module(module: Module) -> None:
+    """Validate every function in ``module``.
+
+    Cross-module references (calls and address materializations of symbols
+    not defined here) are legal — the linker resolves them — but the data
+    objects that *are* defined must be well-formed, which
+    :class:`~repro.isa.program.DataObject` enforces at construction.
+    """
+    for func in module.functions.values():
+        validate_function(func, where_prefix=f"{module.name}:")

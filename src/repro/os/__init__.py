@@ -1,0 +1,13 @@
+"""Operating-system substrate: environment blocks and process loading.
+
+The paper's headline bias source is the **UNIX environment size**: the
+kernel copies environment strings to the top of the new process's stack,
+so every byte of ``$ENV`` shifts the stack start address — and with it the
+alignment and cache-set placement of every stack-allocated variable in the
+program.  This package models exactly that mechanism.
+"""
+
+from repro.os.environment import Environment
+from repro.os.loader import ProcessImage, load_process, STACK_TOP
+
+__all__ = ["Environment", "ProcessImage", "STACK_TOP", "load_process"]

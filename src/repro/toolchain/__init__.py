@@ -1,0 +1,41 @@
+"""The toolchain substrate: minic compiler, optimizer and linker.
+
+Entry points:
+
+- :func:`~repro.toolchain.compiler.compile_unit` /
+  :func:`~repro.toolchain.compiler.compile_program` — source to modules,
+- :func:`~repro.toolchain.linker.link` — modules + link order to an
+  executable,
+- :data:`~repro.toolchain.profiles.GCC` / :data:`~repro.toolchain.profiles.ICC`
+  — the two modelled compiler vendors.
+"""
+
+from repro.toolchain.compiler import compile_program, compile_unit
+from repro.toolchain.errors import CompileError, LinkError, ToolchainError
+from repro.toolchain.linker import DATA_BASE, TEXT_BASE, LinkLayout, link
+from repro.toolchain.parser import parse_source
+from repro.toolchain.profiles import (
+    GCC,
+    ICC,
+    CompilerProfile,
+    available_profiles,
+    get_profile,
+)
+
+__all__ = [
+    "CompileError",
+    "CompilerProfile",
+    "DATA_BASE",
+    "GCC",
+    "ICC",
+    "LinkError",
+    "LinkLayout",
+    "TEXT_BASE",
+    "ToolchainError",
+    "available_profiles",
+    "compile_program",
+    "compile_unit",
+    "get_profile",
+    "link",
+    "parse_source",
+]

@@ -1,0 +1,259 @@
+"""Abstract syntax tree for minic.
+
+minic is deliberately small: a single 64-bit integer type, global scalars
+and arrays (word- or byte-element), local scalars and word arrays,
+functions with by-value word parameters, structured control flow, and a
+handful of intrinsics (``peek``/``poke``/``peekb``/``pokeb``) for
+pointer-style access through computed addresses.  It is just expressive
+enough to write the multi-module SPEC-like kernels the paper's evaluation
+needs, while keeping the compiler honest (real codegen, real layout).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class Node:
+    """Base class: every node records its source line for diagnostics."""
+
+    line: int = field(default=0, compare=False)
+
+
+# --------------------------------------------------------------------------
+# Expressions
+
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class Num(Expr):
+    value: int = 0
+
+
+@dataclass
+class Var(Expr):
+    name: str = ""
+
+
+@dataclass
+class BinOp(Expr):
+    op: str = "+"
+    lhs: Expr = None  # type: ignore[assignment]
+    rhs: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class UnOp(Expr):
+    op: str = "-"
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Call(Expr):
+    """A function call; also carries intrinsic calls (peek/poke/...)."""
+
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    """``name[index]`` — element read from a declared array."""
+
+    name: str = ""
+    index: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class AddrOf(Expr):
+    """``&name`` — byte address of a global or local array/scalar."""
+
+    name: str = ""
+
+
+# --------------------------------------------------------------------------
+# Statements
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Block(Node):
+    stmts: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Stmt):
+    """``var x;`` or ``var buf[64];`` — a local scalar or word array."""
+
+    name: str = ""
+    count: int = 1
+    is_array: bool = False
+
+
+@dataclass
+class Assign(Stmt):
+    name: str = ""
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class StoreStmt(Stmt):
+    """``name[index] = value;`` — element write to a declared array."""
+
+    name: str = ""
+    index: Expr = None  # type: ignore[assignment]
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    then: Block = None  # type: ignore[assignment]
+    els: Optional[Block] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    body: Block = None  # type: ignore[assignment]
+
+
+@dataclass
+class For(Stmt):
+    """``for (v = init; cond; v = update) body``.
+
+    The induction variable appears in both the init and update clauses;
+    keeping the clauses this restricted is what makes AST-level loop
+    unrolling tractable.
+    """
+
+    var: str = ""
+    init: Expr = None  # type: ignore[assignment]
+    cond: Expr = None  # type: ignore[assignment]
+    update: Expr = None  # type: ignore[assignment]
+    body: Block = None  # type: ignore[assignment]
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None  # type: ignore[assignment]
+
+
+# --------------------------------------------------------------------------
+# Declarations
+
+
+@dataclass
+class GlobalDecl(Node):
+    """``int name;`` / ``int name[n] = {..};`` / ``byte name[n];``"""
+
+    name: str = ""
+    kind: str = "words"  # "words" or "bytes"
+    count: int = 1
+    is_array: bool = False
+    init: Optional[List[int]] = None
+
+
+@dataclass
+class FuncDecl(Node):
+    name: str = ""
+    params: List[str] = field(default_factory=list)
+    body: Block = None  # type: ignore[assignment]
+
+
+@dataclass
+class SourceUnit(Node):
+    """One parsed translation unit."""
+
+    name: str = ""
+    globals: List[GlobalDecl] = field(default_factory=list)
+    funcs: List[FuncDecl] = field(default_factory=list)
+
+    def func(self, name: str) -> FuncDecl:
+        for f in self.funcs:
+            if f.name == name:
+                return f
+        raise KeyError(name)
+
+
+#: Intrinsic functions the compiler lowers directly to memory instructions.
+#: name -> (argument count, has result)
+INTRINSICS = {
+    "peek": (1, True),  # word load from byte address
+    "poke": (2, False),  # word store to byte address
+    "peekb": (1, True),  # byte load
+    "pokeb": (2, False),  # byte store
+}
+
+
+def walk_exprs(expr: Expr):
+    """Yield ``expr`` and all sub-expressions, pre-order."""
+    yield expr
+    if isinstance(expr, BinOp):
+        yield from walk_exprs(expr.lhs)
+        yield from walk_exprs(expr.rhs)
+    elif isinstance(expr, UnOp):
+        yield from walk_exprs(expr.operand)
+    elif isinstance(expr, Call):
+        for arg in expr.args:
+            yield from walk_exprs(arg)
+    elif isinstance(expr, Index):
+        yield from walk_exprs(expr.index)
+
+
+def walk_stmts(block: Block):
+    """Yield every statement in ``block``, recursively, pre-order."""
+    for stmt in block.stmts:
+        yield stmt
+        if isinstance(stmt, If):
+            yield from walk_stmts(stmt.then)
+            if stmt.els is not None:
+                yield from walk_stmts(stmt.els)
+        elif isinstance(stmt, While):
+            yield from walk_stmts(stmt.body)
+        elif isinstance(stmt, For):
+            yield from walk_stmts(stmt.body)
+
+
+def stmt_exprs(stmt: Stmt) -> Tuple[Expr, ...]:
+    """The immediate expressions referenced by one statement."""
+    if isinstance(stmt, Assign):
+        return (stmt.value,)
+    if isinstance(stmt, StoreStmt):
+        return (stmt.index, stmt.value)
+    if isinstance(stmt, If):
+        return (stmt.cond,)
+    if isinstance(stmt, While):
+        return (stmt.cond,)
+    if isinstance(stmt, For):
+        return (stmt.init, stmt.cond, stmt.update)
+    if isinstance(stmt, Return) and stmt.value is not None:
+        return (stmt.value,)
+    if isinstance(stmt, ExprStmt):
+        return (stmt.expr,)
+    return ()

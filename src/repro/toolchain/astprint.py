@@ -1,0 +1,153 @@
+"""minic pretty-printer.
+
+Renders an AST back to canonical minic source.  Round-tripping
+(``parse(print(parse(src)))`` equals ``parse(src)`` structurally) is a
+property the test suite enforces, which pins the parser and printer
+against each other; the printer is also the debugging tool for AST-level
+transforms (print a unit after inlining/unrolling to see what the
+optimizer actually did).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.toolchain import ast
+
+#: Binary operators by precedence level, loosest first (mirrors the
+#: parser's table; used to parenthesize minimally).
+_LEVELS = [
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+_PRECEDENCE = {op: level for level, ops in enumerate(_LEVELS) for op in ops}
+_UNARY_LEVEL = len(_LEVELS)
+
+
+def format_expr(expr: ast.Expr, parent_level: int = -1) -> str:
+    """Render one expression with minimal parentheses."""
+    if isinstance(expr, ast.Num):
+        return str(expr.value) if expr.value >= 0 else f"(0 - {-expr.value})"
+    if isinstance(expr, ast.Var):
+        return expr.name
+    if isinstance(expr, ast.AddrOf):
+        return f"&{expr.name}"
+    if isinstance(expr, ast.Index):
+        return f"{expr.name}[{format_expr(expr.index)}]"
+    if isinstance(expr, ast.Call):
+        args = ", ".join(format_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, ast.UnOp):
+        if expr.op == "-":
+            # minic has no negative literals; canonicalize unary minus to
+            # the subtraction it denotes, at subtraction's precedence (so
+            # printing is a fixpoint: `-1` -> `0 - 1` -> `0 - 1`).
+            level = _PRECEDENCE["-"]
+            text = f"0 - {format_expr(expr.operand, level + 1)}"
+            return f"({text})" if level < parent_level else text
+        inner = format_expr(expr.operand, _UNARY_LEVEL)
+        return f"{expr.op}{inner}"
+    if isinstance(expr, ast.BinOp):
+        level = _PRECEDENCE[expr.op]
+        lhs = format_expr(expr.lhs, level)
+        # Right operand needs parens at equal precedence (left-assoc).
+        rhs = format_expr(expr.rhs, level + 1)
+        text = f"{lhs} {expr.op} {rhs}"
+        if level < parent_level:
+            return f"({text})"
+        return text
+    raise TypeError(f"cannot format {expr!r}")
+
+
+class _Printer:
+    def __init__(self, indent: str = "    ") -> None:
+        self._indent = indent
+        self._lines: List[str] = []
+        self._depth = 0
+
+    def line(self, text: str) -> None:
+        self._lines.append(self._indent * self._depth + text)
+
+    def block(self, body: ast.Block) -> None:
+        self._depth += 1
+        for stmt in body.stmts:
+            self.stmt(stmt)
+        self._depth -= 1
+
+    def stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            suffix = f"[{stmt.count}]" if stmt.is_array else ""
+            self.line(f"var {stmt.name}{suffix};")
+        elif isinstance(stmt, ast.Assign):
+            self.line(f"{stmt.name} = {format_expr(stmt.value)};")
+        elif isinstance(stmt, ast.StoreStmt):
+            self.line(
+                f"{stmt.name}[{format_expr(stmt.index)}] = "
+                f"{format_expr(stmt.value)};"
+            )
+        elif isinstance(stmt, ast.If):
+            self.line(f"if ({format_expr(stmt.cond)}) {{")
+            self.block(stmt.then)
+            if stmt.els is not None:
+                self.line("} else {")
+                self.block(stmt.els)
+            self.line("}")
+        elif isinstance(stmt, ast.While):
+            self.line(f"while ({format_expr(stmt.cond)}) {{")
+            self.block(stmt.body)
+            self.line("}")
+        elif isinstance(stmt, ast.For):
+            self.line(
+                f"for ({stmt.var} = {format_expr(stmt.init)}; "
+                f"{format_expr(stmt.cond)}; "
+                f"{stmt.var} = {format_expr(stmt.update)}) {{"
+            )
+            self.block(stmt.body)
+            self.line("}")
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                self.line("return;")
+            else:
+                self.line(f"return {format_expr(stmt.value)};")
+        elif isinstance(stmt, ast.Break):
+            self.line("break;")
+        elif isinstance(stmt, ast.Continue):
+            self.line("continue;")
+        elif isinstance(stmt, ast.ExprStmt):
+            self.line(f"{format_expr(stmt.expr)};")
+        else:
+            raise TypeError(f"cannot format {stmt!r}")
+
+    def text(self) -> str:
+        return "\n".join(self._lines)
+
+
+def format_unit(unit: ast.SourceUnit) -> str:
+    """Render a whole translation unit as canonical minic source."""
+    printer = _Printer()
+    for decl in unit.globals:
+        kw = "int" if decl.kind == "words" else "byte"
+        suffix = f"[{decl.count}]" if decl.is_array else ""
+        init = ""
+        if decl.init is not None:
+            if decl.is_array:
+                init = " = {" + ", ".join(str(v) for v in decl.init) + "}"
+            else:
+                init = f" = {decl.init[0]}"
+        printer.line(f"{kw} {decl.name}{suffix}{init};")
+    for func in unit.funcs:
+        params = ", ".join(func.params)
+        printer.line("")
+        printer.line(f"func {func.name}({params}) {{")
+        printer.block(func.body)
+        printer.line("}")
+    return printer.text() + "\n"

@@ -1,0 +1,678 @@
+"""Code generation: minic AST -> :class:`~repro.isa.program.Module`.
+
+Register conventions (see :mod:`repro.isa.instructions`):
+
+- ``r0`` — return value,
+- ``r1`` .. ``r6`` — arguments and expression temporaries (caller-saved),
+- ``r7`` .. ``r12`` — promoted locals and cached global base addresses
+  (callee-saved: saved/restored by the using function),
+- ``r13`` — address-computation scratch, never live across instructions,
+- ``r14`` — frame pointer, ``r15`` — stack pointer.
+
+Stack frame (all offsets relative to ``fp``; caller's ``fp`` saved at
+``[fp+0]``, return address pushed by ``CALL`` just above it):
+
+.. code-block:: text
+
+    [fp -  8 ..]   callee-saved register save area
+    [..       ]    non-promoted scalar locals and parameters
+    [..       ]    local arrays
+    [..       ]    temporary-register home slots (spills across calls)
+    [..       ]    per-call-site argument build areas (one per nesting depth)
+
+The generator is deliberately naive at ``-O0`` (every constant
+materialized, every local in memory); optimization levels recover
+performance through the pass pipeline and through the promotion/caching
+decisions made here.  Block order emitted here is *layout order*; no later
+pass may reorder blocks (fall-through is implicit in the flat executable).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.isa.instructions import Instr, Op, REG_FP, REG_SP
+from repro.isa.program import BasicBlock, Function, Module
+from repro.toolchain import ast
+from repro.toolchain.errors import CompileError
+from repro.toolchain.profiles import CompilerProfile
+from repro.toolchain.sema import FuncInfo, UnitInfo
+
+SCRATCH = 13
+RETVAL = 0
+FIRST_TEMP = 1
+LAST_TEMP = 6
+FIRST_SAVED = 7
+LAST_SAVED = 12
+
+_BIN_TO_OP = {
+    "+": Op.ADD,
+    "-": Op.SUB,
+    "*": Op.MUL,
+    "/": Op.DIV,
+    "%": Op.MOD,
+    "&": Op.AND,
+    "|": Op.OR,
+    "^": Op.XOR,
+    "<<": Op.SHL,
+    ">>": Op.SHR,
+}
+
+#: comparison operator -> (opcode, swap operands?)
+_CMP_TO_OP = {
+    "<": (Op.SLT, False),
+    "<=": (Op.SLE, False),
+    ">": (Op.SLT, True),
+    ">=": (Op.SLE, True),
+    "==": (Op.SEQ, False),
+    "!=": (Op.SNE, False),
+}
+
+
+class FunctionCodegen:
+    """Generates one :class:`Function` from one :class:`ast.FuncDecl`."""
+
+    def __init__(
+        self,
+        decl: ast.FuncDecl,
+        fi: FuncInfo,
+        unit_info: UnitInfo,
+        opt_level: int,
+        profile: CompilerProfile,
+    ) -> None:
+        self._decl = decl
+        self._fi = fi
+        self._unit_info = unit_info
+        self._level = opt_level
+        self._profile = profile
+
+        self._blocks: List[BasicBlock] = []
+        self._cur: Optional[BasicBlock] = None
+        self._label_counter = 0
+        self._loop_stack: List[Tuple[str, str]] = []  # (continue, break)
+
+        self._free_temps = list(range(FIRST_TEMP, LAST_TEMP + 1))
+        self._allocated: List[int] = []
+
+        self._promoted: Dict[str, int] = {}  # scalar name -> register
+        self._cached_bases: Dict[str, int] = {}  # global name -> register
+        self._slots: Dict[str, int] = {}  # var name -> fp-relative offset
+        self._temp_homes: Dict[int, int] = {}
+        self._arg_areas: Dict[int, int] = {}  # nesting depth -> offset
+        self._call_depth = 0
+        self._frame_bytes = 0
+
+    # -- frame and promotion setup ------------------------------------------
+
+    def _addr_taken_names(self) -> Set[str]:
+        names: Set[str] = set()
+        for stmt in ast.walk_stmts(self._decl.body):
+            for top in ast.stmt_exprs(stmt):
+                for expr in ast.walk_exprs(top):
+                    if isinstance(expr, ast.AddrOf):
+                        names.add(expr.name)
+        return names
+
+    def _plan_registers(self) -> None:
+        addr_taken = self._addr_taken_names()
+        next_reg = FIRST_SAVED
+        budget_promote = self._profile.promote_registers[self._level]
+        candidates = [
+            (count, name)
+            for name, count in self._fi.scalar_use_counts.items()
+            if (vi := self._fi.vars.get(name)) is not None
+            and vi.kind in ("param", "local")
+            and not vi.is_array
+            and name not in addr_taken
+        ]
+        candidates.sort(key=lambda item: (-item[0], item[1]))
+        for __, name in candidates[:budget_promote]:
+            if next_reg > LAST_SAVED:
+                break
+            self._promoted[name] = next_reg
+            next_reg += 1
+        budget_cache = self._profile.cache_global_bases[self._level]
+        base_candidates = sorted(
+            self._fi.global_base_counts.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        for name, __ in base_candidates[:budget_cache]:
+            if next_reg > LAST_SAVED:
+                break
+            self._cached_bases[name] = next_reg
+            next_reg += 1
+
+    def _alloc_slot(self, size: int) -> int:
+        """Reserve ``size`` frame bytes; returns the fp-relative offset."""
+        self._frame_bytes += size
+        return self._frame_bytes
+
+    def _plan_frame(self) -> List[int]:
+        """Lay out the fixed part of the frame; returns used saved regs."""
+        used_saved = sorted(
+            set(self._promoted.values()) | set(self._cached_bases.values())
+        )
+        for reg in used_saved:
+            self._slots[f"__save_r{reg}"] = self._alloc_slot(8)
+        for name in self._fi.params:
+            if name not in self._promoted:
+                self._slots[name] = self._alloc_slot(8)
+        for name, vi in self._fi.vars.items():
+            if vi.kind != "local":
+                continue
+            if vi.is_array:
+                self._slots[name] = self._alloc_slot(8 * vi.count)
+            elif name not in self._promoted:
+                self._slots[name] = self._alloc_slot(8)
+        for reg in range(FIRST_TEMP, LAST_TEMP + 1):
+            self._temp_homes[reg] = self._alloc_slot(8)
+        return used_saved
+
+    def _arg_area(self, depth: int) -> int:
+        if depth not in self._arg_areas:
+            self._arg_areas[depth] = self._alloc_slot(8 * 6)
+        return self._arg_areas[depth]
+
+    # -- block plumbing ------------------------------------------------------
+
+    def _new_label(self, hint: str) -> str:
+        self._label_counter += 1
+        return f"L{self._label_counter}{hint}"
+
+    def _start_block(self, label: str, align: int = 1) -> None:
+        self._cur = BasicBlock(label, align=align)
+        self._blocks.append(self._cur)
+
+    def _emit(self, instr: Instr) -> None:
+        assert self._cur is not None
+        self._cur.append(instr)
+
+    # -- temporary registers ------------------------------------------------
+
+    def _alloc_temp(self, line: int = 0) -> int:
+        if not self._free_temps:
+            raise CompileError(
+                f"{self._fi.name}: expression too deep (more than "
+                f"{LAST_TEMP - FIRST_TEMP + 1} live temporaries)",
+                line,
+            )
+        reg = self._free_temps.pop(0)
+        self._allocated.append(reg)
+        return reg
+
+    def _free_temp(self, reg: int) -> None:
+        self._allocated.remove(reg)
+        self._free_temps.append(reg)
+        self._free_temps.sort()
+
+    # -- entry point ---------------------------------------------------------
+
+    def generate(self) -> Function:
+        self._plan_registers()
+        used_saved = self._plan_frame()
+
+        first_body_label = self._new_label("body")
+        self._start_block(first_body_label)
+        self._gen_block(self._decl.body)
+        # Implicit ``return 0`` in case control falls off the end.
+        if self._cur is not None and self._cur.terminator() is None:
+            self._emit(Instr(Op.CONST, rd=RETVAL, imm=0))
+            self._gen_epilogue(used_saved)
+
+        frame_size = (self._frame_bytes + 7) & ~7
+        prologue = BasicBlock("entry")
+        prologue.append(Instr(Op.ADDI, rd=REG_SP, ra=REG_SP, imm=-8))
+        prologue.append(Instr(Op.STORE, ra=REG_SP, imm=0, rb=REG_FP))
+        prologue.append(Instr(Op.MOV, rd=REG_FP, ra=REG_SP))
+        if frame_size:
+            prologue.append(Instr(Op.ADDI, rd=REG_SP, ra=REG_SP, imm=-frame_size))
+        for reg in used_saved:
+            prologue.append(
+                Instr(
+                    Op.STORE,
+                    ra=REG_FP,
+                    imm=-self._slots[f"__save_r{reg}"],
+                    rb=reg,
+                )
+            )
+        for name, reg in sorted(self._cached_bases.items(), key=lambda kv: kv[1]):
+            prologue.append(Instr(Op.CONST, rd=reg, imm=0, target=name))
+        for idx, name in enumerate(self._fi.params):
+            src = FIRST_TEMP + idx
+            if name in self._promoted:
+                prologue.append(Instr(Op.MOV, rd=self._promoted[name], ra=src))
+            else:
+                prologue.append(
+                    Instr(Op.STORE, ra=REG_FP, imm=-self._slots[name], rb=src)
+                )
+        self._blocks.insert(0, prologue)
+
+        func = Function(
+            self._decl.name,
+            num_params=len(self._fi.params),
+            blocks=self._blocks,
+            frame_size=frame_size,
+        )
+        self._epilogue_saved = used_saved
+        return func
+
+    def _gen_epilogue(self, used_saved: Optional[List[int]] = None) -> None:
+        if used_saved is None:
+            used_saved = sorted(
+                set(self._promoted.values()) | set(self._cached_bases.values())
+            )
+        for reg in used_saved:
+            self._emit(
+                Instr(Op.LOAD, rd=reg, ra=REG_FP, imm=-self._slots[f"__save_r{reg}"])
+            )
+        self._emit(Instr(Op.MOV, rd=REG_SP, ra=REG_FP))
+        self._emit(Instr(Op.LOAD, rd=REG_FP, ra=REG_SP, imm=0))
+        self._emit(Instr(Op.ADDI, rd=REG_SP, ra=REG_SP, imm=8))
+        self._emit(Instr(Op.RET))
+        self._cur = None
+
+    # -- statements ----------------------------------------------------------
+
+    def _gen_block(self, block: ast.Block) -> None:
+        for stmt in block.stmts:
+            if self._cur is None:
+                # Unreachable code after return/break/continue; a fresh
+                # block keeps generation simple and DCE removes it later.
+                self._start_block(self._new_label("dead"))
+            self._gen_stmt(stmt)
+
+    def _gen_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            return  # slots preassigned
+        if isinstance(stmt, ast.Assign):
+            reg = self._gen_expr(stmt.value)
+            self._store_scalar(stmt.name, reg)
+            self._free_temp(reg)
+            return
+        if isinstance(stmt, ast.StoreStmt):
+            self._gen_array_store(stmt)
+            return
+        if isinstance(stmt, ast.If):
+            self._gen_if(stmt)
+            return
+        if isinstance(stmt, ast.While):
+            self._gen_while(stmt)
+            return
+        if isinstance(stmt, ast.For):
+            self._gen_for(stmt)
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                reg = self._gen_expr(stmt.value)
+                self._emit(Instr(Op.MOV, rd=RETVAL, ra=reg))
+                self._free_temp(reg)
+            else:
+                self._emit(Instr(Op.CONST, rd=RETVAL, imm=0))
+            self._gen_epilogue()
+            return
+        if isinstance(stmt, ast.Break):
+            self._emit(Instr(Op.JMP, target=self._loop_stack[-1][1]))
+            self._cur = None
+            return
+        if isinstance(stmt, ast.Continue):
+            self._emit(Instr(Op.JMP, target=self._loop_stack[-1][0]))
+            self._cur = None
+            return
+        if isinstance(stmt, ast.ExprStmt):
+            reg = self._gen_expr(stmt.expr)
+            self._free_temp(reg)
+            return
+        raise CompileError(f"{self._fi.name}: cannot generate {stmt!r}", stmt.line)
+
+    def _gen_if(self, stmt: ast.If) -> None:
+        label_id = self._new_label("")
+        else_label = f"{label_id}else"
+        end_label = f"{label_id}endif"
+        target = else_label if stmt.els is not None else end_label
+        self._branch_if_false(stmt.cond, target)
+        self._gen_block(stmt.then)
+        if stmt.els is not None:
+            if self._cur is not None:
+                self._emit(Instr(Op.JMP, target=end_label))
+            self._start_block(else_label)
+            self._gen_block(stmt.els)
+        self._start_block(end_label)
+
+    def _gen_while(self, stmt: ast.While) -> None:
+        label_id = self._new_label("")
+        head = f"{label_id}head"
+        exit_label = f"{label_id}exit"
+        self._emit(Instr(Op.JMP, target=head))
+        self._start_block(head)
+        self._branch_if_false(stmt.cond, exit_label)
+        self._loop_stack.append((head, exit_label))
+        self._gen_block(stmt.body)
+        self._loop_stack.pop()
+        if self._cur is not None:
+            self._emit(Instr(Op.JMP, target=head))
+        self._start_block(exit_label)
+
+    def _gen_for(self, stmt: ast.For) -> None:
+        reg = self._gen_expr(stmt.init)
+        self._store_scalar(stmt.var, reg)
+        self._free_temp(reg)
+        label_id = self._new_label("")
+        head = f"{label_id}head"
+        cont = f"{label_id}cont"
+        exit_label = f"{label_id}exit"
+        self._emit(Instr(Op.JMP, target=head))
+        self._start_block(head)
+        self._branch_if_false(stmt.cond, exit_label)
+        self._loop_stack.append((cont, exit_label))
+        self._gen_block(stmt.body)
+        self._loop_stack.pop()
+        if self._cur is not None:
+            self._emit(Instr(Op.JMP, target=cont))
+        self._start_block(cont)
+        reg = self._gen_expr(stmt.update)
+        self._store_scalar(stmt.var, reg)
+        self._free_temp(reg)
+        self._emit(Instr(Op.JMP, target=head))
+        self._start_block(exit_label)
+
+    # -- scalar and array access ----------------------------------------------
+
+    def _store_scalar(self, name: str, reg: int) -> None:
+        vi = self._fi.vars[name]
+        if name in self._promoted:
+            self._emit(Instr(Op.MOV, rd=self._promoted[name], ra=reg))
+        elif vi.kind == "global":
+            if name in self._cached_bases:
+                self._emit(
+                    Instr(Op.STORE, ra=self._cached_bases[name], imm=0, rb=reg)
+                )
+            else:
+                self._emit(Instr(Op.CONST, rd=SCRATCH, imm=0, target=name))
+                self._emit(Instr(Op.STORE, ra=SCRATCH, imm=0, rb=reg))
+        else:
+            self._emit(Instr(Op.STORE, ra=REG_FP, imm=-self._slots[name], rb=reg))
+
+    def _load_scalar(self, name: str, line: int) -> int:
+        vi = self._fi.vars[name]
+        if name in self._promoted:
+            reg = self._alloc_temp(line)
+            self._emit(Instr(Op.MOV, rd=reg, ra=self._promoted[name]))
+            return reg
+        reg = self._alloc_temp(line)
+        if vi.kind == "global":
+            if name in self._cached_bases:
+                self._emit(
+                    Instr(Op.LOAD, rd=reg, ra=self._cached_bases[name], imm=0)
+                )
+            else:
+                self._emit(Instr(Op.CONST, rd=SCRATCH, imm=0, target=name))
+                self._emit(Instr(Op.LOAD, rd=reg, ra=SCRATCH, imm=0))
+        else:
+            self._emit(Instr(Op.LOAD, rd=reg, ra=REG_FP, imm=-self._slots[name]))
+        return reg
+
+    def _element_address(self, name: str, index_reg: int, line: int) -> None:
+        """Compute &name[index] into SCRATCH, consuming ``index_reg``'s value.
+
+        ``index_reg`` is scaled in place (callers must free it afterwards).
+        """
+        vi = self._fi.vars[name]
+        if vi.elem_kind == "words":
+            self._emit(Instr(Op.SHLI, rd=index_reg, ra=index_reg, imm=3))
+        if vi.kind == "global":
+            if name in self._cached_bases:
+                self._emit(
+                    Instr(
+                        Op.ADD, rd=SCRATCH, ra=self._cached_bases[name], rb=index_reg
+                    )
+                )
+            else:
+                self._emit(Instr(Op.CONST, rd=SCRATCH, imm=0, target=name))
+                self._emit(Instr(Op.ADD, rd=SCRATCH, ra=SCRATCH, rb=index_reg))
+        else:
+            self._emit(
+                Instr(Op.ADDI, rd=SCRATCH, ra=REG_FP, imm=-self._slots[name])
+            )
+            self._emit(Instr(Op.ADD, rd=SCRATCH, ra=SCRATCH, rb=index_reg))
+
+    def _gen_array_store(self, stmt: ast.StoreStmt) -> None:
+        value = self._gen_expr(stmt.value)
+        index = self._gen_expr(stmt.index)
+        self._element_address(stmt.name, index, stmt.line)
+        vi = self._fi.vars[stmt.name]
+        op = Op.STORE if vi.elem_kind == "words" else Op.STOREB
+        self._emit(Instr(op, ra=SCRATCH, imm=0, rb=value))
+        self._free_temp(index)
+        self._free_temp(value)
+
+    # -- expressions -----------------------------------------------------------
+
+    def _gen_expr(self, expr: ast.Expr) -> int:
+        """Generate code leaving the value in a fresh temp; returns the reg."""
+        if isinstance(expr, ast.Num):
+            reg = self._alloc_temp(expr.line)
+            self._emit(Instr(Op.CONST, rd=reg, imm=expr.value))
+            return reg
+        if isinstance(expr, ast.Var):
+            return self._load_scalar(expr.name, expr.line)
+        if isinstance(expr, ast.AddrOf):
+            return self._gen_addr_of(expr)
+        if isinstance(expr, ast.Index):
+            index = self._gen_expr(expr.index)
+            self._element_address(expr.name, index, expr.line)
+            vi = self._fi.vars[expr.name]
+            op = Op.LOAD if vi.elem_kind == "words" else Op.LOADB
+            self._emit(Instr(op, rd=index, ra=SCRATCH, imm=0))
+            return index
+        if isinstance(expr, ast.UnOp):
+            return self._gen_unop(expr)
+        if isinstance(expr, ast.BinOp):
+            return self._gen_binop(expr)
+        if isinstance(expr, ast.Call):
+            return self._gen_call(expr)
+        raise CompileError(f"{self._fi.name}: cannot evaluate {expr!r}", expr.line)
+
+    def _gen_addr_of(self, expr: ast.AddrOf) -> int:
+        vi = self._fi.vars[expr.name]
+        reg = self._alloc_temp(expr.line)
+        if vi.kind == "global":
+            self._emit(Instr(Op.CONST, rd=reg, imm=0, target=expr.name))
+        else:
+            if expr.name not in self._slots:
+                raise CompileError(
+                    f"{self._fi.name}: cannot take address of register-resident "
+                    f"{expr.name!r}",
+                    expr.line,
+                )
+            self._emit(
+                Instr(Op.ADDI, rd=reg, ra=REG_FP, imm=-self._slots[expr.name])
+            )
+        return reg
+
+    def _gen_unop(self, expr: ast.UnOp) -> int:
+        if expr.op == "-":
+            operand = self._gen_expr(expr.operand)
+            zero = self._alloc_temp(expr.line)
+            self._emit(Instr(Op.CONST, rd=zero, imm=0))
+            self._emit(Instr(Op.SUB, rd=operand, ra=zero, rb=operand))
+            self._free_temp(zero)
+            return operand
+        if expr.op == "~":
+            operand = self._gen_expr(expr.operand)
+            self._emit(Instr(Op.XORI, rd=operand, ra=operand, imm=-1))
+            return operand
+        if expr.op == "!":
+            operand = self._gen_expr(expr.operand)
+            zero = self._alloc_temp(expr.line)
+            self._emit(Instr(Op.CONST, rd=zero, imm=0))
+            self._emit(Instr(Op.SEQ, rd=operand, ra=operand, rb=zero))
+            self._free_temp(zero)
+            return operand
+        raise CompileError(f"unknown unary op {expr.op!r}", expr.line)
+
+    def _gen_binop(self, expr: ast.BinOp) -> int:
+        if expr.op in ("&&", "||"):
+            return self._gen_logical_value(expr)
+        if expr.op in _CMP_TO_OP:
+            op, swap = _CMP_TO_OP[expr.op]
+            lhs = self._gen_expr(expr.lhs)
+            rhs = self._gen_expr(expr.rhs)
+            if swap:
+                lhs, rhs = rhs, lhs
+            self._emit(Instr(op, rd=lhs, ra=lhs, rb=rhs))
+            self._free_temp(rhs)
+            return lhs
+        op = _BIN_TO_OP.get(expr.op)
+        if op is None:
+            raise CompileError(f"unknown binary op {expr.op!r}", expr.line)
+        lhs = self._gen_expr(expr.lhs)
+        rhs = self._gen_expr(expr.rhs)
+        self._emit(Instr(op, rd=lhs, ra=lhs, rb=rhs))
+        self._free_temp(rhs)
+        return lhs
+
+    def _gen_logical_value(self, expr: ast.BinOp) -> int:
+        """``a && b`` / ``a || b`` in value context, short-circuiting."""
+        label_id = self._new_label("")
+        short_label = f"{label_id}sc"
+        end_label = f"{label_id}scend"
+        result = self._alloc_temp(expr.line)
+        lhs = self._gen_expr(expr.lhs)
+        if expr.op == "&&":
+            self._emit(Instr(Op.BEQZ, ra=lhs, target=short_label))
+        else:
+            self._emit(Instr(Op.BNEZ, ra=lhs, target=short_label))
+        self._free_temp(lhs)
+        self._start_block(self._new_label("rhs"))
+        rhs = self._gen_expr(expr.rhs)
+        zero = self._alloc_temp(expr.line)
+        self._emit(Instr(Op.CONST, rd=zero, imm=0))
+        self._emit(Instr(Op.SNE, rd=result, ra=rhs, rb=zero))
+        self._free_temp(zero)
+        self._free_temp(rhs)
+        self._emit(Instr(Op.JMP, target=end_label))
+        self._start_block(short_label)
+        self._emit(
+            Instr(Op.CONST, rd=result, imm=0 if expr.op == "&&" else 1)
+        )
+        self._start_block(end_label)
+        return result
+
+    # -- conditional branches ----------------------------------------------------
+
+    def _branch_if_false(self, cond: ast.Expr, label: str) -> None:
+        if isinstance(cond, ast.BinOp) and cond.op == "&&":
+            self._branch_if_false(cond.lhs, label)
+            self._branch_if_false(cond.rhs, label)
+            return
+        if isinstance(cond, ast.BinOp) and cond.op == "||":
+            skip = self._new_label("or")
+            self._branch_if_true(cond.lhs, skip)
+            self._branch_if_false(cond.rhs, label)
+            self._start_block(skip)
+            return
+        if isinstance(cond, ast.UnOp) and cond.op == "!":
+            self._branch_if_true(cond.operand, label)
+            return
+        reg = self._gen_expr(cond)
+        self._emit(Instr(Op.BEQZ, ra=reg, target=label))
+        self._free_temp(reg)
+        self._start_block(self._new_label("fall"))
+
+    def _branch_if_true(self, cond: ast.Expr, label: str) -> None:
+        if isinstance(cond, ast.BinOp) and cond.op == "||":
+            self._branch_if_true(cond.lhs, label)
+            self._branch_if_true(cond.rhs, label)
+            return
+        if isinstance(cond, ast.BinOp) and cond.op == "&&":
+            skip = self._new_label("and")
+            self._branch_if_false(cond.lhs, skip)
+            self._branch_if_true(cond.rhs, label)
+            self._start_block(skip)
+            return
+        if isinstance(cond, ast.UnOp) and cond.op == "!":
+            self._branch_if_false(cond.operand, label)
+            return
+        reg = self._gen_expr(cond)
+        self._emit(Instr(Op.BNEZ, ra=reg, target=label))
+        self._free_temp(reg)
+        self._start_block(self._new_label("fall"))
+
+    # -- calls ---------------------------------------------------------------------
+
+    def _gen_call(self, expr: ast.Call) -> int:
+        if expr.name in ast.INTRINSICS:
+            return self._gen_intrinsic(expr)
+        saved = list(self._allocated)
+        for reg in saved:
+            self._emit(
+                Instr(Op.STORE, ra=REG_FP, imm=-self._temp_homes[reg], rb=reg)
+            )
+        depth = self._call_depth
+        self._call_depth += 1
+        try:
+            area = self._arg_area(depth)
+            for idx, arg in enumerate(expr.args):
+                reg = self._gen_expr(arg)
+                self._emit(
+                    Instr(Op.STORE, ra=REG_FP, imm=-(area - 8 * idx), rb=reg)
+                )
+                self._free_temp(reg)
+        finally:
+            self._call_depth -= 1
+        for idx in range(len(expr.args)):
+            self._emit(
+                Instr(
+                    Op.LOAD,
+                    rd=FIRST_TEMP + idx,
+                    ra=REG_FP,
+                    imm=-(area - 8 * idx),
+                )
+            )
+        self._emit(Instr(Op.CALL, target=expr.name))
+        for reg in saved:
+            self._emit(
+                Instr(Op.LOAD, rd=reg, ra=REG_FP, imm=-self._temp_homes[reg])
+            )
+        result = self._alloc_temp(expr.line)
+        self._emit(Instr(Op.MOV, rd=result, ra=RETVAL))
+        return result
+
+    def _gen_intrinsic(self, expr: ast.Call) -> int:
+        name = expr.name
+        if name in ("peek", "peekb"):
+            addr = self._gen_expr(expr.args[0])
+            op = Op.LOAD if name == "peek" else Op.LOADB
+            self._emit(Instr(op, rd=addr, ra=addr, imm=0))
+            return addr
+        # poke / pokeb
+        value = self._gen_expr(expr.args[1])
+        addr = self._gen_expr(expr.args[0])
+        op = Op.STORE if name == "poke" else Op.STOREB
+        self._emit(Instr(op, ra=addr, imm=0, rb=value))
+        self._free_temp(value)
+        self._emit(Instr(Op.CONST, rd=addr, imm=0))
+        return addr
+
+
+def generate_module(
+    unit_info: UnitInfo, opt_level: int, profile: CompilerProfile
+) -> Module:
+    """Generate a :class:`Module` for an analyzed unit (no optimization)."""
+    unit = unit_info.unit
+    module = Module(unit.name)
+    for decl in unit.globals:
+        from repro.isa.program import DataObject
+
+        module.add_data(
+            DataObject(
+                decl.name,
+                decl.count,
+                kind=decl.kind,
+                init=list(decl.init) if decl.init is not None else None,
+            )
+        )
+    for func in unit.funcs:
+        fi = unit_info.funcs[func.name]
+        gen = FunctionCodegen(func, fi, unit_info, opt_level, profile)
+        module.add_function(gen.generate())
+    return module

@@ -1,0 +1,121 @@
+"""The compiler driver: minic source -> optimized :class:`Module`.
+
+Pipeline per translation unit (separate compilation — a unit never sees
+another unit's functions, so cross-module inlining is impossible, as with
+the paper's toolchains):
+
+1. parse,
+2. AST transforms: inlining, loop unrolling (levels/profile permitting),
+3. semantic analysis,
+4. code generation (register promotion / global-base caching levels),
+5. machine passes: CFG cleanup, peephole, local value numbering,
+   dead-code elimination (O1+); list scheduling and hot-loop alignment
+   per profile,
+6. validation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
+
+from repro.isa.program import Module
+from repro.isa.validate import validate_module
+from repro.toolchain.codegen import generate_module
+from repro.toolchain.errors import CompileError
+from repro.toolchain.opt import (
+    align_hot_loops,
+    eliminate_dead_code,
+    inline_calls,
+    local_value_number,
+    peephole_optimize,
+    schedule_blocks,
+    simplify_cfg,
+    unroll_loops,
+)
+from repro.toolchain.parser import parse_source
+from repro.toolchain.profiles import CompilerProfile, get_profile
+from repro.toolchain.sema import analyze_unit
+
+ProfileLike = Union[str, CompilerProfile]
+
+
+def _resolve_profile(profile: ProfileLike) -> CompilerProfile:
+    if isinstance(profile, CompilerProfile):
+        profile.validate()
+        return profile
+    return get_profile(profile)
+
+
+def compile_unit(
+    source: str,
+    name: str,
+    opt_level: int = 2,
+    profile: ProfileLike = "gcc",
+) -> Module:
+    """Compile one translation unit.
+
+    ``opt_level`` is 0-3 (the paper's central comparison is O2 vs O3);
+    ``profile`` selects the vendor heuristics ("gcc" or "icc", or a custom
+    :class:`CompilerProfile`).
+    """
+    if opt_level not in (0, 1, 2, 3):
+        raise CompileError(f"unsupported optimization level O{opt_level}")
+    prof = _resolve_profile(profile)
+
+    unit = parse_source(source, name, filename=name)
+    inline_calls(unit, prof.inline_threshold[opt_level])
+    unroll_loops(unit, prof.unroll_factor[opt_level])
+    info = analyze_unit(unit)
+    module = generate_module(info, opt_level, prof)
+
+    if opt_level >= 1:
+        for func in module.functions.values():
+            simplify_cfg(func)
+            peephole_optimize(func)
+            local_value_number(func)
+            eliminate_dead_code(func)
+            peephole_optimize(func)
+            eliminate_dead_code(func)
+            simplify_cfg(func)
+    if prof.schedule[opt_level]:
+        for func in module.functions.values():
+            schedule_blocks(func)
+    if prof.loop_alignment[opt_level] > 1:
+        for func in module.functions.values():
+            align_hot_loops(func, prof.loop_alignment[opt_level])
+    validate_module(module)
+    return module
+
+
+def compile_program(
+    sources: Mapping[str, str],
+    opt_level: int = 2,
+    profile: ProfileLike = "gcc",
+) -> List[Module]:
+    """Compile a multi-module program (name -> source), preserving order."""
+    return [
+        compile_unit(src, name, opt_level=opt_level, profile=profile)
+        for name, src in sources.items()
+    ]
+
+
+def compilation_report(
+    sources: Mapping[str, str], profile: ProfileLike = "gcc"
+) -> Dict[str, Dict[int, Tuple[int, int]]]:
+    """(instructions, bytes) per module per opt level — toolchain QA tool."""
+    report: Dict[str, Dict[int, Tuple[int, int]]] = {}
+    for name, src in sources.items():
+        per_level: Dict[int, Tuple[int, int]] = {}
+        for level in (0, 1, 2, 3):
+            module = compile_unit(src, name, opt_level=level, profile=profile)
+            per_level[level] = (module.num_instructions(), module.size_bytes())
+        report[name] = per_level
+    return report
+
+
+def check_sources_order(sources: Mapping[str, str], order: Sequence[str]) -> None:
+    """Validate that ``order`` names exactly the modules of ``sources``."""
+    if sorted(order) != sorted(sources):
+        raise CompileError(
+            f"link order {list(order)} does not match modules {sorted(sources)}"
+        )

@@ -1,0 +1,41 @@
+"""Toolchain error types with source locations."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ToolchainError(Exception):
+    """Base class for all toolchain failures."""
+
+
+class CompileError(ToolchainError):
+    """A minic source program is malformed.
+
+    Carries an optional (line, column) pair so workload authors can find
+    the offending construct.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line: Optional[int] = None,
+        col: Optional[int] = None,
+        filename: Optional[str] = None,
+    ) -> None:
+        self.message = message
+        self.line = line
+        self.col = col
+        self.filename = filename
+        where = ""
+        if filename is not None:
+            where += f"{filename}:"
+        if line is not None:
+            where += f"{line}:"
+            if col is not None:
+                where += f"{col}:"
+        super().__init__(f"{where} {message}" if where else message)
+
+
+class LinkError(ToolchainError):
+    """The linker cannot produce an executable from its inputs."""

@@ -1,0 +1,130 @@
+"""Lexer for minic, the toolchain's small C-like source language."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple, Optional
+
+from repro.toolchain.errors import CompileError
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "byte",
+        "var",
+        "func",
+        "if",
+        "else",
+        "while",
+        "for",
+        "return",
+        "break",
+        "continue",
+    }
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+_MULTI_OPS = ("<<", ">>", "<=", ">=", "==", "!=", "&&", "||")
+
+_SINGLE_OPS = set("+-*/%&|^~!<>=()[]{},;")
+
+
+class Token(NamedTuple):
+    """A lexical token: ``kind`` is 'num', 'name', 'kw', or 'op'."""
+
+    kind: str
+    text: str
+    line: int
+    col: int
+
+
+def tokenize(source: str, filename: Optional[str] = None) -> List[Token]:
+    """Tokenize ``source`` into a token list.
+
+    Supports decimal and hex (``0x``) integers, ``//`` line comments and
+    ``/* */`` block comments.  Raises :class:`CompileError` on any
+    character outside the language.
+    """
+    return list(_tokens(source, filename))
+
+
+def _tokens(source: str, filename: Optional[str]) -> Iterator[Token]:
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise CompileError("unterminated block comment", line, col, filename)
+            skipped = source[i : end + 2]
+            newlines = skipped.count("\n")
+            if newlines:
+                line += newlines
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            i = end + 2
+            continue
+        if ch.isdigit():
+            start = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                i += 2
+                while i < n and source[i] in "0123456789abcdefABCDEF":
+                    i += 1
+                text = source[start:i]
+                if len(text) == 2:
+                    raise CompileError("malformed hex literal", line, col, filename)
+            else:
+                while i < n and source[i].isdigit():
+                    i += 1
+                text = source[start:i]
+            yield Token("num", text, line, col)
+            col += len(text)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "kw" if text in KEYWORDS else "name"
+            yield Token(kind, text, line, col)
+            col += len(text)
+            continue
+        matched = None
+        for op in _MULTI_OPS:
+            if source.startswith(op, i):
+                matched = op
+                break
+        if matched is not None:
+            yield Token("op", matched, line, col)
+            i += len(matched)
+            col += len(matched)
+            continue
+        if ch in _SINGLE_OPS:
+            yield Token("op", ch, line, col)
+            i += 1
+            col += 1
+            continue
+        raise CompileError(f"unexpected character {ch!r}", line, col, filename)
+
+
+def token_value(token: Token) -> int:
+    """Integer value of a 'num' token."""
+    if token.kind != "num":
+        raise ValueError(f"not a number token: {token!r}")
+    return int(token.text, 0)

@@ -1,0 +1,258 @@
+"""The linker: modules + link order -> :class:`Executable`.
+
+This is where the paper's *link-order bias* physically happens.  Functions
+are placed in the text segment in module order, each aligned to the layout
+policy's function alignment; permuting the module order moves every
+function to different addresses, which changes I-cache set mappings,
+fetch-window offsets of loop heads, and branch-predictor index aliasing —
+without changing a single instruction.
+
+Data objects are merged across modules by name (the classic COMMON-symbol
+model: identical shape required, at most one initializer) and placed in
+link order as well, so relinking also shifts global data.
+
+A synthetic ``_start`` (``CALL main; HALT``) is always placed first, like
+a real ``crt0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.isa.encoding import encoded_size
+from repro.isa.instructions import Instr, Op
+from repro.isa.program import (
+    BasicBlock,
+    DataObject,
+    Executable,
+    Function,
+    Module,
+    PlacedFunction,
+)
+from repro.isa.validate import validate_module
+from repro.toolchain.errors import LinkError
+
+#: Canonical segment bases (flat, Linux-flavoured address space).
+TEXT_BASE = 0x400000
+DATA_BASE = 0x600000
+
+
+@dataclass(frozen=True)
+class LinkLayout:
+    """Layout policy knobs.
+
+    ``function_alignment`` is the paper-relevant ablation (A1): with large
+    alignments, link order changes only which cache sets code occupies;
+    with byte alignment it also changes every intra-function offset.
+    """
+
+    text_base: int = TEXT_BASE
+    data_base: int = DATA_BASE
+    function_alignment: int = 16
+    entry_symbol: str = "main"
+
+    def validated(self) -> "LinkLayout":
+        if self.function_alignment < 1 or (
+            self.function_alignment & (self.function_alignment - 1)
+        ):
+            raise LinkError("function alignment must be a power of two")
+        if self.text_base % 4096 or self.data_base % 4096:
+            raise LinkError("segment bases must be page-aligned")
+        if self.data_base <= self.text_base:
+            raise LinkError("data segment must sit above the text segment")
+        return self
+
+
+def _merge_data(
+    modules: Sequence[Module], order: Sequence[str]
+) -> List[Tuple[str, DataObject]]:
+    """Merge COMMON data symbols; returns (defining module, object) pairs
+    in placement order (link order, then declaration order)."""
+    by_name: Dict[str, DataObject] = {}
+    first_module: Dict[str, str] = {}
+    placement: List[Tuple[str, str]] = []
+    module_map = {m.name: m for m in modules}
+    for mod_name in order:
+        module = module_map[mod_name]
+        for name, obj in module.data.items():
+            if name not in by_name:
+                by_name[name] = obj
+                first_module[name] = mod_name
+                placement.append((mod_name, name))
+                continue
+            existing = by_name[name]
+            if existing.kind != obj.kind or existing.count != obj.count:
+                raise LinkError(
+                    f"data symbol {name!r} declared with conflicting shapes "
+                    f"in {first_module[name]!r} and {mod_name!r}"
+                )
+            if obj.init is not None:
+                if existing.init is not None:
+                    raise LinkError(
+                        f"data symbol {name!r} initialized in both "
+                        f"{first_module[name]!r} and {mod_name!r}"
+                    )
+                by_name[name] = obj
+    return [(mod, by_name[name]) for mod, name in placement]
+
+
+def _start_function(entry_symbol: str) -> Function:
+    block = BasicBlock("entry")
+    block.append(Instr(Op.CALL, target=entry_symbol))
+    block.append(Instr(Op.HALT))
+    return Function("_start", blocks=[block])
+
+
+def _align_up(value: int, alignment: int) -> int:
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def link(
+    modules: Sequence[Module],
+    order: Optional[Sequence[str]] = None,
+    layout: Optional[LinkLayout] = None,
+) -> Executable:
+    """Link ``modules`` in ``order`` under ``layout``.
+
+    ``order`` defaults to the given module sequence; when provided it must
+    be a permutation of the module names.  Raises :class:`LinkError` on
+    duplicate/unresolved symbols or conflicting data shapes.
+    """
+    layout = (layout or LinkLayout()).validated()
+    names = [m.name for m in modules]
+    if len(set(names)) != len(names):
+        raise LinkError(f"duplicate module names: {names}")
+    if order is None:
+        order = list(names)
+    else:
+        order = list(order)
+        if sorted(order) != sorted(names):
+            raise LinkError(
+                f"link order {order} is not a permutation of modules {names}"
+            )
+    for module in modules:
+        validate_module(module)
+    module_map = {m.name: m for m in modules}
+
+    # ---- gather functions in placement order ----
+    placement: List[Tuple[str, Function]] = [("<crt>", _start_function(layout.entry_symbol))]
+    seen_funcs: Dict[str, str] = {"_start": "<crt>"}
+    for mod_name in order:
+        for func in module_map[mod_name].functions.values():
+            if func.name in seen_funcs:
+                raise LinkError(
+                    f"function {func.name!r} defined in both "
+                    f"{seen_funcs[func.name]!r} and {mod_name!r}"
+                )
+            seen_funcs[func.name] = mod_name
+            placement.append((mod_name, func))
+
+    exe = Executable()
+    exe.text_start = layout.text_base
+    cursor = layout.text_base
+
+    #: (flat index, label->flat map, function name) for target resolution.
+    label_maps: Dict[str, Dict[str, int]] = {}
+    entry_index: Dict[str, int] = {}
+    pending: List[Tuple[int, Instr]] = []  # instructions needing resolution
+
+    for mod_name, func in placement:
+        cursor = _align_up(cursor, layout.function_alignment)
+        base = cursor
+        flat_start = len(exe.ops)
+        labels: Dict[str, int] = {}
+        for block in func.blocks:
+            if block.align > 1:
+                target = _align_up(cursor - base, block.align) + base
+                while cursor < target:
+                    _append_instr(exe, Instr(Op.NOP), cursor)
+                    cursor += 1
+            labels[block.label] = len(exe.ops)
+            for instr in block.instrs:
+                placed = instr.copy()
+                _append_instr(exe, placed, cursor)
+                cursor += encoded_size(placed)
+                if placed.target is not None:
+                    pending.append((len(exe.ops) - 1, placed))
+        flat_end = len(exe.ops)
+        label_maps[func.name] = labels
+        entry_index[func.name] = flat_start
+        exe.placed.append(
+            PlacedFunction(
+                func.name, base, cursor - base, flat_start, flat_end, mod_name
+            )
+        )
+        exe.symbols[func.name] = base
+        exe.frame_sizes[flat_start] = func.frame_size
+    exe.text_end = cursor
+
+    # ---- place data ----
+    data_cursor = layout.data_base
+    for __, obj in _merge_data(modules, order):
+        data_cursor = _align_up(data_cursor, obj.align)
+        exe.data_addrs[obj.name] = data_cursor
+        exe.data_kinds[obj.name] = obj.kind
+        exe.data_counts[obj.name] = obj.count
+        exe.symbols[obj.name] = data_cursor
+        if obj.init is not None:
+            stride = 8 if obj.kind == "words" else 1
+            for i, value in enumerate(obj.init):
+                exe.data_init[data_cursor + i * stride] = value
+        data_cursor += obj.size_bytes
+    exe.data_start = layout.data_base
+    exe.data_end = data_cursor
+
+    # ---- resolve targets and relocations ----
+    index_func: Dict[int, str] = {}
+    for pf in exe.placed:
+        for i in range(pf.flat_start, pf.flat_end):
+            index_func[i] = pf.name
+
+    for idx, instr in pending:
+        op = instr.op
+        symbol = instr.target
+        assert symbol is not None
+        if op is Op.CALL:
+            if symbol not in entry_index:
+                raise LinkError(f"unresolved call target {symbol!r}")
+            exe.targets[idx] = entry_index[symbol]
+        elif op is Op.JMP or op is Op.BEQZ or op is Op.BNEZ:
+            func_name = index_func[idx]
+            labels = label_maps[func_name]
+            if symbol not in labels:
+                raise LinkError(
+                    f"unresolved label {symbol!r} in function {func_name!r}"
+                )
+            exe.targets[idx] = labels[symbol]
+        elif op is Op.CONST:
+            if symbol not in exe.symbols:
+                raise LinkError(f"unresolved data/function symbol {symbol!r}")
+            instr_index = idx
+            exe.imms[instr_index] = exe.symbols[symbol]
+        else:  # pragma: no cover - codegen emits no other relocations
+            raise LinkError(f"unexpected relocation on {op!r}")
+
+    if layout.entry_symbol not in entry_index:
+        raise LinkError(f"entry symbol {layout.entry_symbol!r} not defined")
+    exe.entry = entry_index["_start"]
+    return exe
+
+
+def _append_instr(exe: Executable, instr: Instr, addr: int) -> None:
+    exe.ops.append(int(instr.op))
+    exe.rds.append(instr.rd)
+    exe.ras.append(instr.ra)
+    exe.rbs.append(instr.rb)
+    exe.imms.append(instr.imm)
+    exe.targets.append(-1)
+    exe.addrs.append(addr)
+    exe.sizes.append(encoded_size(instr))
+    exe.addr_to_index[addr] = len(exe.ops) - 1
+
+
+def link_orders(module_names: Iterable[str]) -> List[List[str]]:
+    """All permutations of ``module_names`` — convenience for small sweeps."""
+    import itertools
+
+    return [list(p) for p in itertools.permutations(module_names)]

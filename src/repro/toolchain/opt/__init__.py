@@ -1,0 +1,36 @@
+"""Optimization passes.
+
+Two families:
+
+- **AST-level** (:mod:`.inline`, :mod:`.unroll`) run before semantic
+  analysis and code generation; they change program *shape* (code size,
+  loop body size) — the properties whose interaction with layout the paper
+  studies.
+- **Machine-level** (:mod:`.peephole`, :mod:`.lvn`, :mod:`.liveness`,
+  :mod:`.cfgopt`, :mod:`.schedule`, :mod:`.align`) run on generated
+  :class:`~repro.isa.program.Function` objects.
+
+Pass-ordering contract: machine passes may merge and delete basic blocks
+but must never reorder them — the executable relies on fall-through
+between consecutive blocks.
+"""
+
+from repro.toolchain.opt.align import align_hot_loops
+from repro.toolchain.opt.cfgopt import simplify_cfg
+from repro.toolchain.opt.inline import inline_calls
+from repro.toolchain.opt.liveness import eliminate_dead_code
+from repro.toolchain.opt.lvn import local_value_number
+from repro.toolchain.opt.peephole import peephole_optimize
+from repro.toolchain.opt.schedule import schedule_blocks
+from repro.toolchain.opt.unroll import unroll_loops
+
+__all__ = [
+    "align_hot_loops",
+    "eliminate_dead_code",
+    "inline_calls",
+    "local_value_number",
+    "peephole_optimize",
+    "schedule_blocks",
+    "simplify_cfg",
+    "unroll_loops",
+]

@@ -1,0 +1,29 @@
+"""Hot-loop alignment (the icc profile's behaviour).
+
+Requests byte alignment for loop-head blocks; the linker realizes the
+request with 1-byte NOP padding.  When the padding falls on a fall-through
+path the NOPs actually execute — the same cost trade-off real compilers
+make with ``-falign-loops``.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Function
+
+
+def is_loop_head_label(label: str) -> bool:
+    """Codegen labels loop headers ``L<n>head``; this is the contract the
+    alignment pass and the analysis tooling share."""
+    return label.endswith("head")
+
+
+def align_hot_loops(func: Function, alignment: int) -> int:
+    """Request ``alignment`` for every loop-head block; returns how many."""
+    if alignment <= 1:
+        return 0
+    count = 0
+    for block in func.blocks:
+        if is_loop_head_label(block.label):
+            block.align = alignment
+            count += 1
+    return count

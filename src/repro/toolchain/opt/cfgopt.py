@@ -1,0 +1,144 @@
+"""Control-flow graph cleanup.
+
+Four transformations, iterated to a fixed point; blocks are merged or
+deleted but **never reordered** (fall-through is implicit):
+
+1. *Unreachable block removal* — blocks not reachable from the entry
+   block disappear.
+2. *Jump threading* — a transfer targeting a block that consists of a
+   single ``JMP`` is retargeted past it.
+3. *Jump-to-next removal* — a ``JMP`` whose target is the lexically next
+   block becomes a fall-through (deleting 5 bytes: this pass visibly
+   changes layout, as on real toolchains).
+4. *Fall-through merging* — a block whose single predecessor falls
+   through into it (and which requests no alignment) is absorbed,
+   giving the scheduler longer blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.isa.instructions import Op
+from repro.isa.program import BasicBlock, Function
+from repro.toolchain.opt.liveness import successors
+
+
+def _reachable(func: Function) -> Set[str]:
+    succ = successors(func)
+    if not func.blocks:
+        return set()
+    seen: Set[str] = set()
+    stack = [func.blocks[0].label]
+    while stack:
+        label = stack.pop()
+        if label in seen:
+            continue
+        seen.add(label)
+        stack.extend(succ.get(label, ()))
+    return seen
+
+
+def _remove_unreachable(func: Function) -> bool:
+    reachable = _reachable(func)
+    before = len(func.blocks)
+    # Keep an unreachable block only if dropping it would break the
+    # fall-through of the previous block — cannot happen, since a block
+    # falling through has its next block as successor, making it
+    # reachable whenever the predecessor is.
+    func.blocks = [b for b in func.blocks if b.label in reachable]
+    return len(func.blocks) != before
+
+
+def _thread_jumps(func: Function) -> bool:
+    # Map each trivial-jump block to its ultimate destination.
+    trivial: Dict[str, str] = {}
+    for block in func.blocks:
+        if len(block.instrs) == 1 and block.instrs[0].op is Op.JMP:
+            trivial[block.label] = block.instrs[0].target  # type: ignore[arg-type]
+
+    def resolve(label: str) -> str:
+        seen = set()
+        while label in trivial and label not in seen:
+            seen.add(label)
+            label = trivial[label]
+        return label
+
+    changed = False
+    for block in func.blocks:
+        for instr in block.instrs:
+            if instr.op in (Op.JMP, Op.BEQZ, Op.BNEZ) and instr.target is not None:
+                dest = resolve(instr.target)
+                if dest != instr.target:
+                    instr.target = dest
+                    changed = True
+    return changed
+
+
+def _drop_jump_to_next(func: Function) -> bool:
+    changed = False
+    for idx, block in enumerate(func.blocks[:-1]):
+        term = block.terminator()
+        if (
+            term is not None
+            and term.op is Op.JMP
+            and term.target == func.blocks[idx + 1].label
+        ):
+            block.instrs.pop()
+            changed = True
+    return changed
+
+
+def _merge_fallthrough(func: Function) -> bool:
+    # Count references to each label.
+    refs: Dict[str, int] = {}
+    for block in func.blocks:
+        for instr in block.instrs:
+            if instr.target is not None and instr.op in (Op.JMP, Op.BEQZ, Op.BNEZ):
+                refs[instr.target] = refs.get(instr.target, 0) + 1
+    merged: List[BasicBlock] = []
+    changed = False
+    for block in func.blocks:
+        if (
+            merged
+            and merged[-1].terminator() is None
+            and refs.get(block.label, 0) == 0
+            and block.align == 1
+            and block is not func.blocks[0]
+        ):
+            merged[-1].instrs.extend(block.instrs)
+            changed = True
+        else:
+            merged.append(block)
+    func.blocks = merged
+    return changed
+
+
+def _drop_empty(func: Function) -> bool:
+    """Remove blocks emptied by jump deletion (only unreferenced ones —
+    jump threading has already rewritten every reference past them)."""
+    refs: Set[str] = set()
+    for block in func.blocks:
+        for instr in block.instrs:
+            if instr.target is not None and instr.op in (Op.JMP, Op.BEQZ, Op.BNEZ):
+                refs.add(instr.target)
+    before = len(func.blocks)
+    func.blocks = [
+        b
+        for idx, b in enumerate(func.blocks)
+        if b.instrs or b.label in refs or idx == 0
+    ]
+    return len(func.blocks) != before
+
+
+def simplify_cfg(func: Function) -> None:
+    """Run all CFG cleanups on ``func`` to a fixed point (in place)."""
+    for __ in range(64):  # fixed-point with a safety bound
+        changed = False
+        changed |= _thread_jumps(func)
+        changed |= _remove_unreachable(func)
+        changed |= _drop_jump_to_next(func)
+        changed |= _drop_empty(func)
+        changed |= _merge_fallthrough(func)
+        if not changed:
+            return

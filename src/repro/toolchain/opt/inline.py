@@ -1,0 +1,284 @@
+"""AST-level function inlining.
+
+Inlines calls appearing in statement position — ``f(x);``,
+``y = f(x);`` and ``return f(x);`` — when the callee:
+
+- is defined in the *same translation unit* (separate compilation: the
+  compiler cannot see other modules, exactly as in the paper's toolchains),
+- is small enough for the profile's threshold at this optimization level,
+- has at most one ``return``, as the final top-level statement,
+- does not (transitively, within the unit) call back into the caller.
+
+Parameters and locals are alpha-renamed with a per-site prefix, so
+inlining composes with every later phase.  Inlining grows code and
+changes downstream layout — one of the two O2→O3 shape changes whose
+layout sensitivity the paper measures.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Optional, Set
+
+from repro.toolchain import ast
+
+
+def _stmt_count(block: ast.Block) -> int:
+    return sum(1 for _ in ast.walk_stmts(block))
+
+
+def _direct_callees(func: ast.FuncDecl) -> Set[str]:
+    callees: Set[str] = set()
+    for stmt in ast.walk_stmts(func.body):
+        for top in ast.stmt_exprs(stmt):
+            for expr in ast.walk_exprs(top):
+                if isinstance(expr, ast.Call) and expr.name not in ast.INTRINSICS:
+                    callees.add(expr.name)
+    return callees
+
+
+def _reaches(
+    src: str, dst: str, graph: Dict[str, Set[str]], seen: Optional[Set[str]] = None
+) -> bool:
+    if seen is None:
+        seen = set()
+    if src == dst:
+        return True
+    if src in seen:
+        return False
+    seen.add(src)
+    return any(_reaches(nxt, dst, graph, seen) for nxt in graph.get(src, ()))
+
+
+def _single_trailing_return(func: ast.FuncDecl) -> bool:
+    returns = [
+        s for s in ast.walk_stmts(func.body) if isinstance(s, ast.Return)
+    ]
+    if not returns:
+        return True
+    if len(returns) > 1:
+        return False
+    return func.body.stmts and func.body.stmts[-1] is returns[0]
+
+
+class _Renamer:
+    """Alpha-renames a callee body for one inline site."""
+
+    def __init__(self, prefix: str, names: Set[str]) -> None:
+        self._map = {name: prefix + name for name in names}
+
+    def name(self, name: str) -> str:
+        return self._map.get(name, name)
+
+    def expr(self, expr: ast.Expr) -> ast.Expr:
+        expr = copy.deepcopy(expr)
+        for node in ast.walk_exprs(expr):
+            if isinstance(node, (ast.Var, ast.Index, ast.AddrOf)):
+                node.name = self.name(node.name)
+        return expr
+
+    def block(self, block: ast.Block) -> ast.Block:
+        block = copy.deepcopy(block)
+        for stmt in ast.walk_stmts(block):
+            if isinstance(stmt, (ast.VarDecl, ast.Assign, ast.StoreStmt)):
+                stmt.name = self.name(stmt.name)
+            if isinstance(stmt, ast.For):
+                stmt.var = self.name(stmt.var)
+            for top in ast.stmt_exprs(stmt):
+                for node in ast.walk_exprs(top):
+                    if isinstance(node, (ast.Var, ast.Index, ast.AddrOf)):
+                        node.name = self.name(node.name)
+        return block
+
+
+def _local_names(func: ast.FuncDecl) -> Set[str]:
+    names = set(func.params)
+    for stmt in ast.walk_stmts(func.body):
+        if isinstance(stmt, ast.VarDecl):
+            names.add(stmt.name)
+    return names
+
+
+def _expand_site(
+    call: ast.Call, callee: ast.FuncDecl, site_id: int, result_var: Optional[str]
+) -> List[ast.Stmt]:
+    prefix = f"__in{site_id}_"
+    renamer = _Renamer(prefix, _local_names(callee))
+    stmts: List[ast.Stmt] = []
+    for param, arg in zip(callee.params, call.args):
+        renamed = renamer.name(param)
+        stmts.append(ast.VarDecl(line=call.line, name=renamed))
+        stmts.append(ast.Assign(line=call.line, name=renamed, value=arg))
+    body = renamer.block(callee.body)
+    trailing_return: Optional[ast.Return] = None
+    if body.stmts and isinstance(body.stmts[-1], ast.Return):
+        trailing_return = body.stmts.pop()  # type: ignore[assignment]
+    stmts.extend(body.stmts)
+    if result_var is not None:
+        value: ast.Expr
+        if trailing_return is not None and trailing_return.value is not None:
+            value = trailing_return.value
+        else:
+            value = ast.Num(line=call.line, value=0)
+        stmts.append(ast.Assign(line=call.line, name=result_var, value=value))
+    return stmts
+
+
+def _extract_nested_calls(unit: ast.SourceUnit, eligible_names: Set[str]) -> int:
+    """Normalization: hoist eligible calls out of expressions.
+
+    ``y = f(x) & m;`` becomes ``var t; t = f(x); y = t & m;`` so the
+    statement-position inliner can see the call.  Extraction follows the
+    code generator's evaluation order (post-order, left-to-right; for
+    element stores: value before index) and never hoists out of the
+    short-circuited right operand of ``&&``/``||``.
+    """
+    counter = 0
+
+    def extract_expr(expr: ast.Expr, acc: List[ast.Stmt]) -> ast.Expr:
+        nonlocal counter
+        if isinstance(expr, ast.BinOp):
+            expr.lhs = extract_expr(expr.lhs, acc)
+            if expr.op not in ("&&", "||"):
+                expr.rhs = extract_expr(expr.rhs, acc)
+            return expr
+        if isinstance(expr, ast.UnOp):
+            expr.operand = extract_expr(expr.operand, acc)
+            return expr
+        if isinstance(expr, ast.Index):
+            expr.index = extract_expr(expr.index, acc)
+            return expr
+        if isinstance(expr, ast.Call):
+            expr.args = [extract_expr(a, acc) for a in expr.args]
+            if expr.name in eligible_names:
+                counter += 1
+                tmp = f"__cx{counter}"
+                acc.append(ast.VarDecl(line=expr.line, name=tmp))
+                acc.append(ast.Assign(line=expr.line, name=tmp, value=expr))
+                return ast.Var(line=expr.line, name=tmp)
+            return expr
+        return expr
+
+    def rewrite_block(block: ast.Block) -> None:
+        out: List[ast.Stmt] = []
+        for stmt in block.stmts:
+            if isinstance(stmt, ast.If):
+                rewrite_block(stmt.then)
+                if stmt.els is not None:
+                    rewrite_block(stmt.els)
+            elif isinstance(stmt, (ast.While, ast.For)):
+                rewrite_block(stmt.body)
+            acc: List[ast.Stmt] = []
+            if isinstance(stmt, ast.Assign):
+                if not isinstance(stmt.value, ast.Call):
+                    stmt.value = extract_expr(stmt.value, acc)
+            elif isinstance(stmt, ast.StoreStmt):
+                stmt.value = extract_expr(stmt.value, acc)
+                stmt.index = extract_expr(stmt.index, acc)
+            elif isinstance(stmt, ast.Return):
+                if stmt.value is not None and not isinstance(stmt.value, ast.Call):
+                    stmt.value = extract_expr(stmt.value, acc)
+            elif isinstance(stmt, ast.ExprStmt):
+                if isinstance(stmt.expr, ast.Call):
+                    stmt.expr.args = [
+                        extract_expr(a, acc) for a in stmt.expr.args
+                    ]
+                else:
+                    stmt.expr = extract_expr(stmt.expr, acc)
+            out.extend(acc)
+            out.append(stmt)
+        block.stmts = out
+
+    for func in unit.funcs:
+        rewrite_block(func.body)
+    return counter
+
+
+def inline_calls(unit: ast.SourceUnit, threshold: int) -> int:
+    """Inline eligible call sites in ``unit`` (one round); returns count.
+
+    ``threshold`` is the maximum callee statement count; 0 disables
+    inlining entirely.
+    """
+    if threshold <= 0:
+        return 0
+    by_name = {f.name: f for f in unit.funcs}
+    graph = {f.name: _direct_callees(f) for f in unit.funcs}
+    inlined = 0
+    site_counter = 0
+
+    # Hoist inline-candidate calls out of expressions first so the
+    # statement-position matcher below sees them.
+    candidate_names = {
+        f.name
+        for f in unit.funcs
+        if _stmt_count(f.body) <= threshold and _single_trailing_return(f)
+    }
+    if candidate_names:
+        _extract_nested_calls(unit, candidate_names)
+
+    def eligible(caller: str, name: str) -> Optional[ast.FuncDecl]:
+        callee = by_name.get(name)
+        if callee is None or callee.name == caller:
+            return None
+        if _stmt_count(callee.body) > threshold:
+            return None
+        if not _single_trailing_return(callee):
+            return None
+        if _reaches(callee.name, caller, graph):
+            return None
+        return callee
+
+    def rewrite_block(caller: str, block: ast.Block) -> None:
+        nonlocal inlined, site_counter
+        out: List[ast.Stmt] = []
+        for stmt in block.stmts:
+            if isinstance(stmt, ast.If):
+                rewrite_block(caller, stmt.then)
+                if stmt.els is not None:
+                    rewrite_block(caller, stmt.els)
+            elif isinstance(stmt, (ast.While, ast.For)):
+                rewrite_block(caller, stmt.body)
+
+            call: Optional[ast.Call] = None
+            result_var: Optional[str] = None
+            replacement_tail: Optional[ast.Stmt] = None
+            if isinstance(stmt, ast.ExprStmt) and isinstance(stmt.expr, ast.Call):
+                call = stmt.expr
+            elif isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
+                call = stmt.value
+            elif isinstance(stmt, ast.Return) and isinstance(stmt.value, ast.Call):
+                call = stmt.value
+            if call is not None and call.name not in ast.INTRINSICS:
+                callee = eligible(caller, call.name)
+                if callee is not None and len(call.args) == len(callee.params):
+                    site_counter += 1
+                    needs_result = not isinstance(stmt, ast.ExprStmt)
+                    if needs_result:
+                        result_var = f"__ret{site_counter}"
+                        out.append(
+                            ast.VarDecl(line=stmt.line, name=result_var)
+                        )
+                    expansion = _expand_site(call, callee, site_counter, result_var)
+                    out.extend(expansion)
+                    if isinstance(stmt, ast.Assign):
+                        replacement_tail = ast.Assign(
+                            line=stmt.line,
+                            name=stmt.name,
+                            value=ast.Var(line=stmt.line, name=result_var),
+                        )
+                    elif isinstance(stmt, ast.Return):
+                        replacement_tail = ast.Return(
+                            line=stmt.line,
+                            value=ast.Var(line=stmt.line, name=result_var),
+                        )
+                    if replacement_tail is not None:
+                        out.append(replacement_tail)
+                    inlined += 1
+                    continue
+            out.append(stmt)
+        block.stmts = out
+
+    for func in unit.funcs:
+        rewrite_block(func.name, func.body)
+    return inlined

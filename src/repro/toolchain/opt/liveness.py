@@ -1,0 +1,166 @@
+"""Global liveness analysis and dead-code elimination.
+
+Backward dataflow over the function CFG (blocks in layout order; implicit
+fall-through between consecutive blocks).  An instruction is removed when
+it has no side effects and every register it writes is dead at that point.
+
+Interprocedural contract encoded at the boundaries:
+
+- ``CALL`` *reads* the argument registers ``r1``..``r6`` (arity unknown at
+  this level) and the stack pointer, and *clobbers* ``r0``..``r6`` and the
+  scratch register ``r13``.
+- ``RET`` *reads* the return register ``r0``, all callee-saved registers
+  ``r7``..``r12`` (the caller expects them preserved), and ``fp``/``sp``.
+- ``HALT`` reads ``r0`` (the process exit value).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.isa.instructions import Instr, Op, REG_FP, REG_SP
+from repro.isa.program import Function
+
+_CALL_READS = frozenset({1, 2, 3, 4, 5, 6, REG_SP})
+_CALL_WRITES = frozenset({0, 1, 2, 3, 4, 5, 6, 13})
+_RET_READS = frozenset({0, 7, 8, 9, 10, 11, 12, REG_FP, REG_SP})
+_HALT_READS = frozenset({0})
+
+
+def instr_uses_defs(instr: Instr) -> Tuple[FrozenSet[int], FrozenSet[int]]:
+    """(registers read, registers written) including the ABI contract."""
+    op = instr.op
+    if op is Op.CALL:
+        return _CALL_READS, _CALL_WRITES
+    if op is Op.RET:
+        return _RET_READS, frozenset({REG_FP, REG_SP})
+    if op is Op.HALT:
+        return _HALT_READS, frozenset()
+    return frozenset(instr.reads()), frozenset(instr.writes())
+
+
+def successors(func: Function) -> Dict[str, List[str]]:
+    """CFG successor labels per block, honouring fall-through."""
+    result: Dict[str, List[str]] = {}
+    blocks = func.blocks
+    for idx, block in enumerate(blocks):
+        succ: List[str] = []
+        term = block.terminator()
+        fall = blocks[idx + 1].label if idx + 1 < len(blocks) else None
+        if term is None:
+            if fall is not None:
+                succ.append(fall)
+        elif term.op is Op.JMP:
+            succ.append(term.target)  # type: ignore[arg-type]
+        elif term.op is Op.BEQZ or term.op is Op.BNEZ:
+            succ.append(term.target)  # type: ignore[arg-type]
+            if fall is not None:
+                succ.append(fall)
+        # RET / HALT: no successors.
+        result[block.label] = succ
+    return result
+
+
+def block_use_def(block) -> Tuple[Set[int], Set[int]]:
+    """(upward-exposed uses, definitely-defined registers) for one block."""
+    uses: Set[int] = set()
+    defs: Set[int] = set()
+    for instr in block.instrs:
+        iu, idf = instr_uses_defs(instr)
+        uses |= iu - defs
+        defs |= idf
+    return uses, defs
+
+
+def live_in_out(func: Function) -> Tuple[Dict[str, Set[int]], Dict[str, Set[int]]]:
+    """Compute live-in/live-out register sets per block label."""
+    succ = successors(func)
+    use: Dict[str, Set[int]] = {}
+    deff: Dict[str, Set[int]] = {}
+    for block in func.blocks:
+        use[block.label], deff[block.label] = block_use_def(block)
+    live_in = {block.label: set() for block in func.blocks}
+    live_out = {block.label: set() for block in func.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(func.blocks):
+            label = block.label
+            out: Set[int] = set()
+            for s in succ[label]:
+                out |= live_in.get(s, set())
+            inn = use[label] | (out - deff[label])
+            if out != live_out[label] or inn != live_in[label]:
+                live_out[label] = out
+                live_in[label] = inn
+                changed = True
+    return live_in, live_out
+
+
+#: Opcodes safe to delete when their results are dead.  Loads are
+#: included: a dead load has no architectural effect in this machine
+#: model (exactly the deletion real compilers perform).
+_PURE_OPS = frozenset(
+    {
+        Op.CONST,
+        Op.MOV,
+        Op.ADD,
+        Op.SUB,
+        Op.MUL,
+        Op.AND,
+        Op.OR,
+        Op.XOR,
+        Op.SHL,
+        Op.SHR,
+        Op.SLT,
+        Op.SLE,
+        Op.SEQ,
+        Op.SNE,
+        Op.ADDI,
+        Op.MULI,
+        Op.ANDI,
+        Op.ORI,
+        Op.XORI,
+        Op.SHLI,
+        Op.SHRI,
+        Op.SLTI,
+        Op.LOAD,
+        Op.LOADB,
+    }
+)
+
+#: Pure opcodes that can trap and therefore must not be removed even when
+#: dead — division by zero is an architectural event.
+_TRAPPING = frozenset({Op.DIV, Op.MOD})
+
+
+def eliminate_dead_code(func: Function) -> int:
+    """Remove dead pure instructions; returns the number removed.
+
+    Iterates (liveness, sweep) to a fixed point so chains of dead
+    definitions disappear completely.
+    """
+    removed_total = 0
+    while True:
+        __, live_out = live_in_out(func)
+        removed = 0
+        for block in func.blocks:
+            live = set(live_out[block.label])
+            kept: List[Instr] = []
+            for instr in reversed(block.instrs):
+                uses, defs = instr_uses_defs(instr)
+                if (
+                    instr.op in _PURE_OPS
+                    and defs
+                    and not (defs & live)
+                ):
+                    removed += 1
+                    continue
+                live -= defs
+                live |= uses
+                kept.append(instr)
+            kept.reverse()
+            block.instrs = kept
+        removed_total += removed
+        if removed == 0:
+            return removed_total

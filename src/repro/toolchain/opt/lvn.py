@@ -1,0 +1,181 @@
+"""Local value numbering (block-scoped CSE with copy propagation).
+
+Within each basic block we assign value numbers to register contents and
+recognize recomputations of available expressions: the recomputation
+becomes a ``MOV`` from the register still holding the value (later cleaned
+to nothing by dead-code elimination when the MOV is redundant).
+
+Memory is modelled with an epoch counter: loads are available expressions
+keyed by (address value number, displacement, epoch); any store or call
+advances the epoch.  A store additionally publishes the stored value as
+the result of the matching load in the *new* epoch (store-to-load
+forwarding).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.isa.instructions import ALU_IMM_OPS, ALU_OPS, Instr, Op
+from repro.isa.program import Function
+
+#: ALU ops where operand order does not matter; keys are canonicalized.
+_COMMUTATIVE = {Op.ADD, Op.MUL, Op.AND, Op.OR, Op.XOR, Op.SEQ, Op.SNE}
+
+
+class _Numbering:
+    def __init__(self) -> None:
+        self._next = 0
+        self.reg_vn: Dict[int, int] = {}
+        self.vn_home: Dict[int, int] = {}  # value number -> reg holding it
+
+    def fresh(self) -> int:
+        self._next += 1
+        return self._next
+
+    def vn_of(self, reg: int) -> int:
+        vn = self.reg_vn.get(reg)
+        if vn is None:
+            vn = self.fresh()
+            self.reg_vn[reg] = vn
+            self.vn_home[vn] = reg
+        return vn
+
+    def set_reg(self, reg: int, vn: int) -> None:
+        old = self.reg_vn.get(reg)
+        if old is not None and self.vn_home.get(old) == reg:
+            del self.vn_home[old]
+        self.reg_vn[reg] = vn
+        self.vn_home.setdefault(vn, reg)
+
+    def invalidate(self, reg: int) -> None:
+        old = self.reg_vn.pop(reg, None)
+        if old is not None and self.vn_home.get(old) == reg:
+            del self.vn_home[old]
+
+    def home_of(self, vn: int) -> int:
+        return self.vn_home.get(vn, -1)
+
+
+def lvn_block(instrs: List[Instr]) -> List[Instr]:
+    """Value-number one block; returns the rewritten instruction list."""
+    numbering = _Numbering()
+    expr_vn: Dict[Tuple, int] = {}
+    mem_epoch = 0
+    out: List[Instr] = []
+    for instr in instrs:
+        op = instr.op
+        # Copy-propagate sources to the canonical home register when the
+        # home still holds the value.
+        instr = instr.copy()
+        for attr in ("ra", "rb"):
+            reg = getattr(instr, attr)
+            if not _reads_attr(op, attr):
+                continue
+            vn = numbering.vn_of(reg)
+            home = numbering.home_of(vn)
+            if home >= 0 and home != reg and numbering.reg_vn.get(home) == vn:
+                setattr(instr, attr, home)
+
+        if op is Op.CONST:
+            key = ("const", instr.imm, instr.target)
+            vn = expr_vn.get(key)
+            home = numbering.home_of(vn) if vn is not None else -1
+            if vn is not None and home >= 0 and numbering.reg_vn.get(home) == vn:
+                if home != instr.rd:
+                    out.append(Instr(Op.MOV, rd=instr.rd, ra=home))
+                numbering.set_reg(instr.rd, vn)
+                continue
+            vn = numbering.fresh()
+            expr_vn[key] = vn
+            numbering.set_reg(instr.rd, vn)
+            out.append(instr)
+            continue
+
+        if op is Op.MOV:
+            vn = numbering.vn_of(instr.ra)
+            numbering.set_reg(instr.rd, vn)
+            out.append(instr)
+            continue
+
+        if op in ALU_OPS or op in ALU_IMM_OPS:
+            if op in ALU_OPS:
+                va, vb = numbering.vn_of(instr.ra), numbering.vn_of(instr.rb)
+                if op in _COMMUTATIVE and vb < va:
+                    va, vb = vb, va
+                key = (int(op), va, vb)
+            else:
+                key = (int(op), numbering.vn_of(instr.ra), instr.imm)
+            vn = expr_vn.get(key)
+            home = numbering.home_of(vn) if vn is not None else -1
+            if vn is not None and home >= 0 and numbering.reg_vn.get(home) == vn:
+                if home != instr.rd:
+                    out.append(Instr(Op.MOV, rd=instr.rd, ra=home))
+                numbering.set_reg(instr.rd, vn)
+                continue
+            vn = numbering.fresh()
+            expr_vn[key] = vn
+            numbering.set_reg(instr.rd, vn)
+            out.append(instr)
+            continue
+
+        if op is Op.LOAD or op is Op.LOADB:
+            key = ("ld", int(op), numbering.vn_of(instr.ra), instr.imm, mem_epoch)
+            vn = expr_vn.get(key)
+            home = numbering.home_of(vn) if vn is not None else -1
+            if vn is not None and home >= 0 and numbering.reg_vn.get(home) == vn:
+                if home != instr.rd:
+                    out.append(Instr(Op.MOV, rd=instr.rd, ra=home))
+                numbering.set_reg(instr.rd, vn)
+                continue
+            vn = numbering.fresh()
+            expr_vn[key] = vn
+            numbering.set_reg(instr.rd, vn)
+            out.append(instr)
+            continue
+
+        if op is Op.STORE or op is Op.STOREB:
+            mem_epoch += 1
+            load_op = Op.LOAD if op is Op.STORE else Op.LOADB
+            key = (
+                "ld",
+                int(load_op),
+                numbering.vn_of(instr.ra),
+                instr.imm,
+                mem_epoch,
+            )
+            expr_vn[key] = numbering.vn_of(instr.rb)
+            out.append(instr)
+            continue
+
+        if op is Op.CALL:
+            mem_epoch += 1
+            for reg in range(0, 7):
+                numbering.invalidate(reg)
+            numbering.invalidate(13)
+            out.append(instr)
+            continue
+
+        # Branches, RET, NOP, HALT: no value effects we track.
+        out.append(instr)
+    return out
+
+
+def _reads_attr(op: Op, attr: str) -> bool:
+    if attr == "ra":
+        return op in ALU_OPS or op in ALU_IMM_OPS or op in (
+            Op.MOV,
+            Op.LOAD,
+            Op.LOADB,
+            Op.STORE,
+            Op.STOREB,
+            Op.BEQZ,
+            Op.BNEZ,
+        )
+    return op in ALU_OPS or op in (Op.STORE, Op.STOREB)
+
+
+def local_value_number(func: Function) -> None:
+    """Run LVN over every block of ``func`` (in place)."""
+    for block in func.blocks:
+        block.instrs = lvn_block(block.instrs)

@@ -1,0 +1,246 @@
+"""Block-local peephole optimizations.
+
+Three rewrite families, iterated to a fixed point per block:
+
+1. **Immediate forming** — ``CONST t, c`` followed (not necessarily
+   adjacently) by an ALU instruction using ``t`` becomes the
+   register-immediate form when ``t`` is dead afterwards.  This is what
+   turns the -O0 generator's constant soup into compact code, and it
+   *shrinks encodings*, moving every later byte.
+2. **Constant folding** — register-immediate ops whose source was a known
+   constant fold to ``CONST``.
+3. **Strength reduction / algebraic identities** — multiply by a power of
+   two becomes a shift; ``x+0``, ``x*1``, ``x<<0``, ``x|0``, ``x^0``
+   disappear; ``x*0`` and ``x&0`` become ``CONST 0``; ``MOV x, x`` is
+   dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.isa.instructions import ALU_IMM_OPS, IMM_TO_REG, Instr, Op
+from repro.isa.program import Function
+
+_REG_TO_IMM = {reg: imm for imm, reg in IMM_TO_REG.items()}
+
+_I32_MIN, _I32_MAX = -(2**31), 2**31 - 1
+
+_MASK64 = (1 << 64) - 1
+
+
+def _wrap64(value: int) -> int:
+    """Wrap to the simulator's signed 64-bit arithmetic."""
+    value &= _MASK64
+    if value >= 1 << 63:
+        value -= 1 << 64
+    return value
+
+
+def fold_binop(op: Op, a: int, b: int) -> Optional[int]:
+    """Evaluate a register-register ALU op on constants; None if it traps."""
+    if op is Op.ADD:
+        return _wrap64(a + b)
+    if op is Op.SUB:
+        return _wrap64(a - b)
+    if op is Op.MUL:
+        return _wrap64(a * b)
+    if op is Op.DIV:
+        if b == 0:
+            return None
+        q = abs(a) // abs(b)
+        return -q if (a < 0) != (b < 0) else q
+    if op is Op.MOD:
+        if b == 0:
+            return None
+        q = abs(a) // abs(b)
+        q = -q if (a < 0) != (b < 0) else q
+        return a - q * b
+    if op is Op.AND:
+        return _wrap64((a & _MASK64) & (b & _MASK64))
+    if op is Op.OR:
+        return _wrap64((a & _MASK64) | (b & _MASK64))
+    if op is Op.XOR:
+        return _wrap64((a & _MASK64) ^ (b & _MASK64))
+    if op is Op.SHL:
+        return _wrap64((a & _MASK64) << (b & 63))
+    if op is Op.SHR:
+        return (a & _MASK64) >> (b & 63)
+    if op is Op.SLT:
+        return 1 if a < b else 0
+    if op is Op.SLE:
+        return 1 if a <= b else 0
+    if op is Op.SEQ:
+        return 1 if a == b else 0
+    if op is Op.SNE:
+        return 1 if a != b else 0
+    return None
+
+
+def _dead_after(instrs: List[Instr], start: int, reg: int) -> bool:
+    """True if ``reg`` is written before being read in ``instrs[start:]``
+    and the block cannot expose it to successors live (conservatively,
+    requires an overwrite before any read; falling off the block end
+    counts as *live*)."""
+    for instr in instrs[start:]:
+        if reg in instr.reads():
+            return False
+        if instr.op is Op.CALL and 0 <= reg <= 6:
+            # The call sequence reads argument registers.
+            return False
+        if reg in instr.writes():
+            return True
+        if instr.op is Op.CALL and (1 <= reg <= 6 or reg == 13 or reg == 0):
+            return True  # clobbered by the call
+    return False
+
+
+def _is_pow2(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def peephole_block(instrs: List[Instr]) -> List[Instr]:
+    """One fixed-point pass over a single block's instruction list."""
+    changed = True
+    out = list(instrs)
+    while changed:
+        changed = False
+        # Track constants: reg -> value, invalidated on redefinition.
+        const_of: Dict[int, int] = {}
+        const_def_index: Dict[int, int] = {}
+        result: List[Instr] = []
+        kill_indices: set = set()
+        for idx, instr in enumerate(out):
+            op = instr.op
+            new = instr
+            if op is Op.MOV and instr.rd == instr.ra:
+                changed = True
+                continue
+            # Immediate forming: reg-reg ALU with a known-constant rb.
+            if op in _REG_TO_IMM.values() or op in (Op.SUB, Op.DIV, Op.MOD):
+                pass  # handled below via generic path
+            if (
+                op in (Op.ADD, Op.MUL, Op.AND, Op.OR, Op.XOR, Op.SHL, Op.SHR, Op.SLT)
+                and instr.rb in const_of
+                and instr.rb != instr.ra
+                and _fits_imm(const_of[instr.rb])
+                and _dead_after(out, idx + 1, instr.rb)
+            ):
+                new = Instr(
+                    _REG_TO_IMM[op], rd=instr.rd, ra=instr.ra, imm=const_of[instr.rb]
+                )
+                kill_indices.add(const_def_index.get(instr.rb, -1))
+                changed = True
+            elif (
+                op is Op.SUB
+                and instr.rb in const_of
+                and instr.rb != instr.ra
+                and _fits_imm(-const_of[instr.rb])
+                and _dead_after(out, idx + 1, instr.rb)
+            ):
+                new = Instr(
+                    Op.ADDI, rd=instr.rd, ra=instr.ra, imm=-const_of[instr.rb]
+                )
+                kill_indices.add(const_def_index.get(instr.rb, -1))
+                changed = True
+            # Commutative ops with constant in ra instead.
+            elif (
+                op in (Op.ADD, Op.MUL, Op.AND, Op.OR, Op.XOR)
+                and instr.ra in const_of
+                and instr.ra != instr.rb
+                and _fits_imm(const_of[instr.ra])
+                and _dead_after(out, idx + 1, instr.ra)
+            ):
+                new = Instr(
+                    _REG_TO_IMM[op], rd=instr.rd, ra=instr.rb, imm=const_of[instr.ra]
+                )
+                kill_indices.add(const_def_index.get(instr.ra, -1))
+                changed = True
+            op = new.op
+            # Constant folding of immediate forms fed by constants.
+            if (
+                op in ALU_IMM_OPS
+                and new.ra in const_of
+                and new.target is None
+            ):
+                folded = fold_binop(IMM_TO_REG[op], const_of[new.ra], new.imm)
+                if folded is not None:
+                    new = Instr(Op.CONST, rd=new.rd, imm=folded)
+                    changed = True
+                    op = new.op
+            # Algebraic identities and strength reduction.
+            if op is Op.ADDI and new.imm == 0 and new.rd == new.ra:
+                changed = True
+                continue
+            if op is Op.ADDI and new.imm == 0:
+                new = Instr(Op.MOV, rd=new.rd, ra=new.ra)
+                changed = True
+            elif op is Op.MULI:
+                if new.imm == 1:
+                    if new.rd == new.ra:
+                        changed = True
+                        continue
+                    new = Instr(Op.MOV, rd=new.rd, ra=new.ra)
+                    changed = True
+                elif new.imm == 0:
+                    new = Instr(Op.CONST, rd=new.rd, imm=0)
+                    changed = True
+                elif _is_pow2(new.imm):
+                    new = Instr(
+                        Op.SHLI,
+                        rd=new.rd,
+                        ra=new.ra,
+                        imm=new.imm.bit_length() - 1,
+                    )
+                    changed = True
+            elif op is Op.ANDI and new.imm == 0:
+                new = Instr(Op.CONST, rd=new.rd, imm=0)
+                changed = True
+            elif (
+                op in (Op.ORI, Op.XORI, Op.SHLI, Op.SHRI)
+                and new.imm == 0
+                and new.rd == new.ra
+            ):
+                changed = True
+                continue
+            # Bookkeeping: constant tracking.
+            written = new.writes()
+            for reg in written:
+                const_of.pop(reg, None)
+                const_def_index.pop(reg, None)
+            if new.op is Op.CONST and new.target is None:
+                const_of[new.rd] = new.imm
+                const_def_index[new.rd] = len(result)
+            if new.op is Op.CALL:
+                for reg in list(const_of):
+                    if reg <= 6 or reg == 13:
+                        const_of.pop(reg, None)
+                        const_def_index.pop(reg, None)
+            result.append(new)
+        if kill_indices:
+            result = [
+                instr
+                for pos, instr in enumerate(result)
+                if pos not in kill_indices or not _removable_const(result, pos)
+            ]
+            changed = True
+        out = result
+    return out
+
+
+def _removable_const(instrs: List[Instr], pos: int) -> bool:
+    """The CONST at ``pos`` may be dropped if its reg is dead afterwards."""
+    instr = instrs[pos]
+    if instr.op is not Op.CONST:
+        return False
+    return _dead_after(instrs, pos + 1, instr.rd)
+
+
+def _fits_imm(value: int) -> bool:
+    return _I32_MIN <= value <= _I32_MAX
+
+
+def peephole_optimize(func: Function) -> None:
+    """Run the peephole pass over every block of ``func`` (in place)."""
+    for block in func.blocks:
+        block.instrs = peephole_block(block.instrs)

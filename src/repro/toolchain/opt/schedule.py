@@ -1,0 +1,138 @@
+"""List scheduling within basic blocks.
+
+Reorders independent instructions to separate loads from their consumers
+(the simulated pipelines charge a load-use stall) and to start long-latency
+operations early.  Constraints:
+
+- register dependences (RAW/WAR/WAW, including the scratch register),
+- memory operations keep their order relative to stores,
+- ``CALL`` is a full barrier,
+- a block's terminator stays last.
+
+Scheduling does not change total code bytes, but it changes *which* byte
+boundaries instructions fall on — so even this "pure win" pass perturbs
+fetch-window behaviour downstream, one of the paper's core observations
+about innocuous changes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.isa.instructions import Instr, Op
+from repro.isa.program import Function
+from repro.toolchain.opt.liveness import instr_uses_defs
+
+#: Result latency used for priority computation (not for semantics).
+_LATENCY = {
+    Op.LOAD: 3,
+    Op.LOADB: 3,
+    Op.MUL: 3,
+    Op.MULI: 3,
+    Op.DIV: 12,
+    Op.MOD: 12,
+}
+
+_MEM_READS = (Op.LOAD, Op.LOADB)
+_MEM_WRITES = (Op.STORE, Op.STOREB)
+
+
+def _build_deps(instrs: List[Instr]) -> List[Set[int]]:
+    """deps[i] = set of indices that must precede instruction i."""
+    deps: List[Set[int]] = [set() for _ in instrs]
+    last_def: Dict[int, int] = {}
+    last_uses: Dict[int, List[int]] = {}
+    last_store = -1
+    last_mem: List[int] = []
+    barrier = -1
+    for i, instr in enumerate(instrs):
+        uses, defs = instr_uses_defs(instr)
+        if barrier >= 0:
+            deps[i].add(barrier)
+        for reg in uses:
+            if reg in last_def:
+                deps[i].add(last_def[reg])  # RAW
+        for reg in defs:
+            if reg in last_def:
+                deps[i].add(last_def[reg])  # WAW
+            for j in last_uses.get(reg, ()):
+                deps[i].add(j)  # WAR
+        op = instr.op
+        if op in _MEM_READS:
+            if last_store >= 0:
+                deps[i].add(last_store)
+            last_mem.append(i)
+        elif op in _MEM_WRITES or op is Op.CALL:
+            for j in last_mem:
+                deps[i].add(j)
+            if last_store >= 0:
+                deps[i].add(last_store)
+            last_store = i
+            last_mem = []
+        if op is Op.CALL:
+            # Full barrier: everything before stays before, everything
+            # after stays after.
+            for j in range(i):
+                deps[i].add(j)
+            barrier = i
+        for reg in defs:
+            last_def[reg] = i
+            last_uses[reg] = []
+        for reg in uses:
+            last_uses.setdefault(reg, []).append(i)
+        deps[i].discard(i)
+    return deps
+
+
+def schedule_block(instrs: List[Instr]) -> List[Instr]:
+    """Return a legal reordering of one block's instructions."""
+    if len(instrs) < 3:
+        return list(instrs)
+    body = list(instrs)
+    tail: List[Instr] = []
+    if body and body[-1].is_terminator():
+        tail = [body.pop()]
+    if len(body) < 2:
+        return body + tail
+
+    deps = _build_deps(body)
+    # Successor lists and priority = longest latency path to any leaf.
+    succs: List[List[int]] = [[] for _ in body]
+    for i, dset in enumerate(deps):
+        for j in dset:
+            succs[j].append(i)
+    priority = [0] * len(body)
+    for i in range(len(body) - 1, -1, -1):
+        lat = _LATENCY.get(body[i].op, 1)
+        best = 0
+        for j in succs[i]:
+            if priority[j] > best:
+                best = priority[j]
+        priority[i] = lat + best
+
+    remaining_deps = [set(d) for d in deps]
+    scheduled: List[Instr] = []
+    done: Set[int] = set()
+    ready = [i for i, d in enumerate(remaining_deps) if not d]
+    while len(done) < len(body):
+        # Highest priority first; original order breaks ties for
+        # determinism.
+        ready.sort(key=lambda i: (-priority[i], i))
+        pick = ready.pop(0)
+        done.add(pick)
+        scheduled.append(body[pick])
+        for j in succs[pick]:
+            if j in done or j in ready:
+                continue
+            remaining_deps[j].discard(pick)
+            if not remaining_deps[j] and all(
+                k in done for k in deps[j]
+            ):
+                ready.append(j)
+    return scheduled + tail
+
+
+def schedule_blocks(func: Function) -> None:
+    """Schedule every block of ``func`` (in place)."""
+    for block in func.blocks:
+        block.instrs = schedule_block(block.instrs)

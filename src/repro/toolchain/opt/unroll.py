@@ -1,0 +1,206 @@
+"""AST-level loop unrolling.
+
+Unrolls ``for`` loops with a constant positive step and a ``<``/``<=``
+upper bound into a guarded main loop executing ``factor`` bodies per trip
+plus the original loop as remainder:
+
+.. code-block:: text
+
+    for (i = a; i < L; i = i + s) B
+      ==>
+    i = a;
+    while (i + (f-1)*s < L) { B; i = i + s;  ... f copies ... }
+    while (i < L)           { B; i = i + s; }
+
+Safety conditions (checked syntactically, conservatively):
+
+- the induction variable is not assigned inside the body,
+- the bound ``L`` is a literal or a scalar variable not assigned in the
+  body; if the body contains calls or ``poke``-family intrinsics, ``L``
+  must not be a global (a callee or a poke could change it),
+- the body contains no ``break``/``continue``/``return``.
+
+Unrolling multiplies hot-loop body size — the paper's key O3 shape change:
+bigger loop bodies interact with fetch windows and the loop stream
+detector, so whether unrolling *helps* becomes layout-dependent.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import List, Set
+
+from repro.toolchain import ast
+
+
+def _body_assigns(body: ast.Block) -> Set[str]:
+    names: Set[str] = set()
+    for stmt in ast.walk_stmts(body):
+        if isinstance(stmt, ast.Assign):
+            names.add(stmt.name)
+        elif isinstance(stmt, ast.For):
+            names.add(stmt.var)
+    return names
+
+
+def _body_has_escapes(body: ast.Block) -> bool:
+    depth_zero_loop_breaks = False
+    for stmt in ast.walk_stmts(body):
+        if isinstance(stmt, (ast.Break, ast.Continue, ast.Return)):
+            depth_zero_loop_breaks = True
+    return depth_zero_loop_breaks
+
+
+def _body_has_calls_or_pokes(body: ast.Block) -> bool:
+    for stmt in ast.walk_stmts(body):
+        for top in ast.stmt_exprs(stmt):
+            for expr in ast.walk_exprs(top):
+                if isinstance(expr, ast.Call):
+                    if expr.name in ("poke", "pokeb") or (
+                        expr.name not in ast.INTRINSICS
+                    ):
+                        return True
+    return False
+
+
+def _step_of(loop: ast.For) -> int:
+    """Constant positive step if the update is ``var = var + c``; else 0."""
+    upd = loop.update
+    if (
+        isinstance(upd, ast.BinOp)
+        and upd.op == "+"
+        and isinstance(upd.lhs, ast.Var)
+        and upd.lhs.name == loop.var
+        and isinstance(upd.rhs, ast.Num)
+        and upd.rhs.value > 0
+    ):
+        return upd.rhs.value
+    return 0
+
+
+def _unrollable(loop: ast.For, unit_globals: Set[str]) -> bool:
+    step = _step_of(loop)
+    if step == 0:
+        return False
+    cond = loop.cond
+    if not (
+        isinstance(cond, ast.BinOp)
+        and cond.op in ("<", "<=")
+        and isinstance(cond.lhs, ast.Var)
+        and cond.lhs.name == loop.var
+    ):
+        return False
+    bound = cond.rhs
+    if not isinstance(bound, (ast.Num, ast.Var)):
+        return False
+    assigns = _body_assigns(loop.body)
+    if loop.var in assigns:
+        return False
+    if isinstance(bound, ast.Var):
+        if bound.name in assigns:
+            return False
+        if bound.name in unit_globals and _body_has_calls_or_pokes(loop.body):
+            return False
+    if _body_has_escapes(loop.body):
+        return False
+    # Body copies would re-declare locals; minic scopes declarations to
+    # the function, so unrolling a declaring body is ill-formed.
+    if any(isinstance(s, ast.VarDecl) for s in ast.walk_stmts(loop.body)):
+        return False
+    return True
+
+
+def _unroll_one(loop: ast.For, factor: int) -> List[ast.Stmt]:
+    step = _step_of(loop)
+    line = loop.line
+    var = loop.var
+
+    def var_ref() -> ast.Var:
+        return ast.Var(line=line, name=var)
+
+    def bump() -> ast.Assign:
+        return ast.Assign(
+            line=line,
+            name=var,
+            value=ast.BinOp(
+                line=line,
+                op="+",
+                lhs=var_ref(),
+                rhs=ast.Num(line=line, value=step),
+            ),
+        )
+
+    cond = loop.cond
+    assert isinstance(cond, ast.BinOp)
+    guard_lhs: ast.Expr = var_ref()
+    lookahead = (factor - 1) * step
+    if lookahead:
+        guard_lhs = ast.BinOp(
+            line=line,
+            op="+",
+            lhs=guard_lhs,
+            rhs=ast.Num(line=line, value=lookahead),
+        )
+    guard = ast.BinOp(
+        line=line, op=cond.op, lhs=guard_lhs, rhs=copy.deepcopy(cond.rhs)
+    )
+
+    main_body_stmts: List[ast.Stmt] = []
+    for __ in range(factor):
+        main_body_stmts.extend(copy.deepcopy(loop.body).stmts)
+        main_body_stmts.append(bump())
+    main_loop = ast.While(
+        line=line, cond=guard, body=ast.Block(line=line, stmts=main_body_stmts)
+    )
+
+    remainder_body = copy.deepcopy(loop.body)
+    remainder_body.stmts.append(bump())
+    remainder = ast.While(
+        line=line, cond=copy.deepcopy(cond), body=remainder_body
+    )
+
+    init_assign = ast.Assign(line=line, name=var, value=loop.init)
+    return [init_assign, main_loop, remainder]
+
+
+def unroll_loops(unit: ast.SourceUnit, factor: int) -> int:
+    """Unroll eligible ``for`` loops in ``unit`` by ``factor``; returns count.
+
+    Only innermost eligible loops are transformed (outer loops keep their
+    structure: unrolling everything would explode code size beyond
+    anything real compilers do).
+    """
+    if factor <= 1:
+        return 0
+    unit_globals = {g.name for g in unit.globals}
+    unrolled = 0
+
+    def contains_for(body: ast.Block) -> bool:
+        return any(isinstance(s, ast.For) for s in ast.walk_stmts(body))
+
+    def rewrite_block(block: ast.Block) -> None:
+        nonlocal unrolled
+        out: List[ast.Stmt] = []
+        for stmt in block.stmts:
+            if isinstance(stmt, ast.If):
+                rewrite_block(stmt.then)
+                if stmt.els is not None:
+                    rewrite_block(stmt.els)
+            elif isinstance(stmt, ast.While):
+                rewrite_block(stmt.body)
+            elif isinstance(stmt, ast.For):
+                # Innermost-ness is judged on the *original* structure:
+                # a loop whose body contained a for is an outer loop even
+                # after its child was rewritten into whiles.
+                was_innermost = not contains_for(stmt.body)
+                rewrite_block(stmt.body)
+                if was_innermost and _unrollable(stmt, unit_globals):
+                    out.extend(_unroll_one(stmt, factor))
+                    unrolled += 1
+                    continue
+            out.append(stmt)
+        block.stmts = out
+
+    for func in unit.funcs:
+        rewrite_block(func.body)
+    return unrolled

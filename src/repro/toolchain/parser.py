@@ -1,0 +1,383 @@
+"""Recursive-descent parser for minic.
+
+Grammar (EBNF; ``//`` and ``/* */`` comments allowed anywhere):
+
+.. code-block:: text
+
+    unit       := (global | func)*
+    global     := ("int" | "byte") NAME array? ("=" init)? ";"
+    array      := "[" NUM "]"
+    init       := NUM | "{" NUM ("," NUM)* "}"
+    func       := "func" NAME "(" (NAME ("," NAME)*)? ")" block
+    block      := "{" stmt* "}"
+    stmt       := "var" NAME array? ";"
+                | NAME "=" expr ";"
+                | NAME "[" expr "]" "=" expr ";"
+                | "if" "(" expr ")" block ("else" (block | if_stmt))?
+                | "while" "(" expr ")" block
+                | "for" "(" NAME "=" expr ";" expr ";"
+                           NAME "=" expr ")" block
+                | "return" expr? ";"
+                | "break" ";" | "continue" ";"
+                | expr ";"
+    expr       := binary expression over || && | ^ & == != < <= > >=
+                  << >> + - * / % with C precedence;
+                  unary - ! ~ ; primary := NUM | NAME | NAME "(" args ")"
+                | NAME "[" expr "]" | "&" NAME | "(" expr ")"
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.toolchain import ast
+from repro.toolchain.errors import CompileError
+from repro.toolchain.lexer import Token, token_value, tokenize
+
+#: Binary operator precedence levels, loosest first.
+_PRECEDENCE = [
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+
+class Parser:
+    """Single-use parser over a token list."""
+
+    def __init__(self, tokens: List[Token], filename: Optional[str] = None) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._filename = filename
+
+    # -- token helpers ----------------------------------------------------
+
+    def _peek(self) -> Optional[Token]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self) -> Token:
+        tok = self._peek()
+        if tok is None:
+            raise CompileError("unexpected end of input", filename=self._filename)
+        self._pos += 1
+        return tok
+
+    def _error(self, message: str, tok: Optional[Token] = None) -> CompileError:
+        if tok is None:
+            tok = self._peek()
+        if tok is None:
+            return CompileError(message, filename=self._filename)
+        return CompileError(message, tok.line, tok.col, self._filename)
+
+    def _expect_op(self, text: str) -> Token:
+        tok = self._next()
+        if tok.kind != "op" or tok.text != text:
+            raise self._error(f"expected {text!r}, got {tok.text!r}", tok)
+        return tok
+
+    def _expect_kw(self, text: str) -> Token:
+        tok = self._next()
+        if tok.kind != "kw" or tok.text != text:
+            raise self._error(f"expected {text!r}, got {tok.text!r}", tok)
+        return tok
+
+    def _expect_name(self) -> Token:
+        tok = self._next()
+        if tok.kind != "name":
+            raise self._error(f"expected identifier, got {tok.text!r}", tok)
+        return tok
+
+    def _expect_num(self) -> int:
+        tok = self._next()
+        if tok.kind != "num":
+            raise self._error(f"expected number, got {tok.text!r}", tok)
+        return token_value(tok)
+
+    def _at_op(self, text: str) -> bool:
+        tok = self._peek()
+        return tok is not None and tok.kind == "op" and tok.text == text
+
+    def _at_kw(self, text: str) -> bool:
+        tok = self._peek()
+        return tok is not None and tok.kind == "kw" and tok.text == text
+
+    def _accept_op(self, text: str) -> bool:
+        if self._at_op(text):
+            self._pos += 1
+            return True
+        return False
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse_unit(self, name: str) -> ast.SourceUnit:
+        """Parse a whole translation unit."""
+        unit = ast.SourceUnit(name=name, line=1)
+        while self._peek() is not None:
+            if self._at_kw("int") or self._at_kw("byte"):
+                unit.globals.append(self._global_decl())
+            elif self._at_kw("func"):
+                unit.funcs.append(self._func_decl())
+            else:
+                raise self._error("expected 'int', 'byte' or 'func' at top level")
+        return unit
+
+    def _global_decl(self) -> ast.GlobalDecl:
+        kw = self._next()
+        kind = "words" if kw.text == "int" else "bytes"
+        name_tok = self._expect_name()
+        count = 1
+        is_array = False
+        if self._accept_op("["):
+            count = self._expect_num()
+            self._expect_op("]")
+            is_array = True
+        if kind == "bytes" and not is_array:
+            raise self._error("byte globals must be arrays", name_tok)
+        init: Optional[List[int]] = None
+        if self._accept_op("="):
+            if self._accept_op("{"):
+                init = []
+                if not self._at_op("}"):
+                    init.append(self._signed_num())
+                    while self._accept_op(","):
+                        init.append(self._signed_num())
+                self._expect_op("}")
+            else:
+                init = [self._signed_num()]
+        self._expect_op(";")
+        return ast.GlobalDecl(
+            line=kw.line,
+            name=name_tok.text,
+            kind=kind,
+            count=count,
+            is_array=is_array,
+            init=init,
+        )
+
+    def _signed_num(self) -> int:
+        if self._accept_op("-"):
+            return -self._expect_num()
+        return self._expect_num()
+
+    def _func_decl(self) -> ast.FuncDecl:
+        kw = self._expect_kw("func")
+        name_tok = self._expect_name()
+        self._expect_op("(")
+        params: List[str] = []
+        if not self._at_op(")"):
+            params.append(self._expect_name().text)
+            while self._accept_op(","):
+                params.append(self._expect_name().text)
+        self._expect_op(")")
+        body = self._block()
+        return ast.FuncDecl(
+            line=kw.line, name=name_tok.text, params=params, body=body
+        )
+
+    def _block(self) -> ast.Block:
+        open_tok = self._expect_op("{")
+        stmts: List[ast.Stmt] = []
+        while not self._at_op("}"):
+            if self._peek() is None:
+                raise self._error("unterminated block", open_tok)
+            stmts.append(self._stmt())
+        self._expect_op("}")
+        return ast.Block(line=open_tok.line, stmts=stmts)
+
+    def _stmt(self) -> ast.Stmt:
+        if self._at_kw("var"):
+            return self._var_decl()
+        if self._at_kw("if"):
+            return self._if_stmt()
+        if self._at_kw("while"):
+            return self._while_stmt()
+        if self._at_kw("for"):
+            return self._for_stmt()
+        if self._at_kw("return"):
+            kw = self._next()
+            value = None if self._at_op(";") else self._expr()
+            self._expect_op(";")
+            return ast.Return(line=kw.line, value=value)
+        if self._at_kw("break"):
+            kw = self._next()
+            self._expect_op(";")
+            return ast.Break(line=kw.line)
+        if self._at_kw("continue"):
+            kw = self._next()
+            self._expect_op(";")
+            return ast.Continue(line=kw.line)
+        return self._assign_or_expr_stmt()
+
+    def _var_decl(self) -> ast.VarDecl:
+        kw = self._expect_kw("var")
+        name_tok = self._expect_name()
+        count = 1
+        is_array = False
+        if self._accept_op("["):
+            count = self._expect_num()
+            self._expect_op("]")
+            is_array = True
+            if count <= 0:
+                raise self._error("local array must have positive size", name_tok)
+        self._expect_op(";")
+        return ast.VarDecl(
+            line=kw.line, name=name_tok.text, count=count, is_array=is_array
+        )
+
+    def _if_stmt(self) -> ast.If:
+        kw = self._expect_kw("if")
+        self._expect_op("(")
+        cond = self._expr()
+        self._expect_op(")")
+        then = self._block()
+        els: Optional[ast.Block] = None
+        if self._at_kw("else"):
+            self._next()
+            if self._at_kw("if"):
+                nested = self._if_stmt()
+                els = ast.Block(line=nested.line, stmts=[nested])
+            else:
+                els = self._block()
+        return ast.If(line=kw.line, cond=cond, then=then, els=els)
+
+    def _while_stmt(self) -> ast.While:
+        kw = self._expect_kw("while")
+        self._expect_op("(")
+        cond = self._expr()
+        self._expect_op(")")
+        body = self._block()
+        return ast.While(line=kw.line, cond=cond, body=body)
+
+    def _for_stmt(self) -> ast.For:
+        kw = self._expect_kw("for")
+        self._expect_op("(")
+        var_tok = self._expect_name()
+        self._expect_op("=")
+        init = self._expr()
+        self._expect_op(";")
+        cond = self._expr()
+        self._expect_op(";")
+        update_var = self._expect_name()
+        if update_var.text != var_tok.text:
+            raise self._error(
+                f"for-loop update must assign {var_tok.text!r}", update_var
+            )
+        self._expect_op("=")
+        update = self._expr()
+        self._expect_op(")")
+        body = self._block()
+        return ast.For(
+            line=kw.line,
+            var=var_tok.text,
+            init=init,
+            cond=cond,
+            update=update,
+            body=body,
+        )
+
+    def _assign_or_expr_stmt(self) -> ast.Stmt:
+        tok = self._peek()
+        if tok is not None and tok.kind == "name":
+            nxt = (
+                self._tokens[self._pos + 1]
+                if self._pos + 1 < len(self._tokens)
+                else None
+            )
+            if nxt is not None and nxt.kind == "op" and nxt.text == "=":
+                name = self._next().text
+                self._next()  # '='
+                value = self._expr()
+                self._expect_op(";")
+                return ast.Assign(line=tok.line, name=name, value=value)
+            if nxt is not None and nxt.kind == "op" and nxt.text == "[":
+                # Could be a store (``a[i] = v;``) or an indexed read in an
+                # expression statement; decide by scanning to the matching
+                # bracket.
+                save = self._pos
+                name = self._next().text
+                self._next()  # '['
+                index = self._expr()
+                self._expect_op("]")
+                if self._accept_op("="):
+                    value = self._expr()
+                    self._expect_op(";")
+                    return ast.StoreStmt(
+                        line=tok.line, name=name, index=index, value=value
+                    )
+                self._pos = save
+        expr = self._expr()
+        self._expect_op(";")
+        return ast.ExprStmt(line=expr.line, expr=expr)
+
+    # -- expressions -------------------------------------------------------
+
+    def _expr(self) -> ast.Expr:
+        return self._binary(0)
+
+    def _binary(self, level: int) -> ast.Expr:
+        if level >= len(_PRECEDENCE):
+            return self._unary()
+        ops = _PRECEDENCE[level]
+        lhs = self._binary(level + 1)
+        while True:
+            tok = self._peek()
+            if tok is None or tok.kind != "op" or tok.text not in ops:
+                return lhs
+            self._next()
+            rhs = self._binary(level + 1)
+            lhs = ast.BinOp(line=tok.line, op=tok.text, lhs=lhs, rhs=rhs)
+
+    def _unary(self) -> ast.Expr:
+        tok = self._peek()
+        if tok is not None and tok.kind == "op" and tok.text in ("-", "!", "~"):
+            self._next()
+            operand = self._unary()
+            return ast.UnOp(line=tok.line, op=tok.text, operand=operand)
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        tok = self._next()
+        if tok.kind == "num":
+            return ast.Num(line=tok.line, value=token_value(tok))
+        if tok.kind == "op" and tok.text == "(":
+            inner = self._expr()
+            self._expect_op(")")
+            return inner
+        if tok.kind == "op" and tok.text == "&":
+            name_tok = self._expect_name()
+            return ast.AddrOf(line=tok.line, name=name_tok.text)
+        if tok.kind == "name":
+            if self._at_op("("):
+                self._next()
+                args: List[ast.Expr] = []
+                if not self._at_op(")"):
+                    args.append(self._expr())
+                    while self._accept_op(","):
+                        args.append(self._expr())
+                self._expect_op(")")
+                return ast.Call(line=tok.line, name=tok.text, args=args)
+            if self._at_op("["):
+                self._next()
+                index = self._expr()
+                self._expect_op("]")
+                return ast.Index(line=tok.line, name=tok.text, index=index)
+            return ast.Var(line=tok.line, name=tok.text)
+        raise self._error(f"unexpected token {tok.text!r}", tok)
+
+
+def parse_source(
+    source: str, name: str = "<unit>", filename: Optional[str] = None
+) -> ast.SourceUnit:
+    """Parse minic ``source`` into a :class:`~repro.toolchain.ast.SourceUnit`."""
+    tokens = tokenize(source, filename)
+    parser = Parser(tokens, filename)
+    return parser.parse_unit(name)

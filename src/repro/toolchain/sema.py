@@ -1,0 +1,287 @@
+"""Semantic analysis for minic.
+
+Builds per-unit and per-function symbol information, enforces the
+language's static rules, and computes the usage statistics later consumed
+by the code generator's register-promotion and global-base-caching
+heuristics.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.toolchain import ast
+from repro.toolchain.errors import CompileError
+
+#: Maximum by-register call arguments (r1..r6).
+MAX_ARGS = 6
+
+
+@dataclass
+class VarInfo:
+    """Resolved information for one name visible inside a function."""
+
+    name: str
+    kind: str  # "param" | "local" | "global"
+    is_array: bool = False
+    elem_kind: str = "words"  # "words" | "bytes"
+    count: int = 1
+    param_index: int = -1
+
+
+@dataclass
+class FuncInfo:
+    """Per-function analysis results."""
+
+    name: str
+    params: List[str] = field(default_factory=list)
+    vars: Dict[str, VarInfo] = field(default_factory=dict)
+    #: Scalar locals/params ranked for register promotion.
+    scalar_use_counts: Counter = field(default_factory=Counter)
+    #: Global symbols whose base address the function materializes.
+    global_base_counts: Counter = field(default_factory=Counter)
+    callees: Set[str] = field(default_factory=set)
+    has_calls: bool = False
+    num_stmts: int = 0
+
+    def lookup(self, name: str) -> Optional[VarInfo]:
+        return self.vars.get(name)
+
+
+@dataclass
+class UnitInfo:
+    """Whole-translation-unit analysis results."""
+
+    unit: ast.SourceUnit
+    globals: Dict[str, ast.GlobalDecl] = field(default_factory=dict)
+    funcs: Dict[str, FuncInfo] = field(default_factory=dict)
+
+
+def analyze_unit(unit: ast.SourceUnit) -> UnitInfo:
+    """Analyze ``unit``; raises :class:`CompileError` on any violation.
+
+    Rules enforced:
+
+    - globals, functions, parameters and locals must not collide in their
+      respective scopes; a local may shadow a global;
+    - scalar assignment targets must be scalars, element stores must
+      target declared arrays;
+    - a bare array name is not a value — take ``&name`` instead;
+    - intrinsics (:data:`~repro.toolchain.ast.INTRINSICS`) have fixed
+      arities and statement/expression roles;
+    - calls pass at most :data:`MAX_ARGS` arguments;
+    - ``break``/``continue`` appear only inside loops.
+    """
+    info = UnitInfo(unit=unit)
+    for decl in unit.globals:
+        if decl.name in info.globals:
+            raise CompileError(f"duplicate global {decl.name!r}", decl.line)
+        if decl.name in ast.INTRINSICS:
+            raise CompileError(
+                f"global {decl.name!r} collides with an intrinsic", decl.line
+            )
+        info.globals[decl.name] = decl
+    func_names = set()
+    for func in unit.funcs:
+        if func.name in func_names:
+            raise CompileError(f"duplicate function {func.name!r}", func.line)
+        if func.name in ast.INTRINSICS:
+            raise CompileError(
+                f"function {func.name!r} collides with an intrinsic", func.line
+            )
+        if func.name in info.globals:
+            raise CompileError(
+                f"function {func.name!r} collides with a global", func.line
+            )
+        func_names.add(func.name)
+    for func in unit.funcs:
+        info.funcs[func.name] = _analyze_func(func, info)
+    return info
+
+
+def _analyze_func(func: ast.FuncDecl, unit_info: UnitInfo) -> FuncInfo:
+    fi = FuncInfo(name=func.name, params=list(func.params))
+    if len(func.params) > MAX_ARGS:
+        raise CompileError(
+            f"{func.name}: more than {MAX_ARGS} parameters", func.line
+        )
+    seen_params = set()
+    for idx, param in enumerate(func.params):
+        if param in seen_params:
+            raise CompileError(f"{func.name}: duplicate parameter {param!r}", func.line)
+        seen_params.add(param)
+        fi.vars[param] = VarInfo(name=param, kind="param", param_index=idx)
+    # Collect local declarations first (minic requires declaration before
+    # use, which the resolution walk below enforces naturally since we
+    # walk in statement order).
+    _walk_block(func.body, fi, unit_info, loop_depth=0)
+    return fi
+
+
+def _declare_local(stmt: ast.VarDecl, fi: FuncInfo) -> None:
+    if stmt.name in fi.vars and fi.vars[stmt.name].kind != "global":
+        raise CompileError(
+            f"{fi.name}: duplicate declaration of {stmt.name!r}", stmt.line
+        )
+    fi.vars[stmt.name] = VarInfo(
+        name=stmt.name,
+        kind="local",
+        is_array=stmt.is_array,
+        count=stmt.count,
+    )
+
+
+def _resolve(name: str, fi: FuncInfo, unit_info: UnitInfo) -> Optional[VarInfo]:
+    vi = fi.vars.get(name)
+    if vi is not None:
+        return vi
+    decl = unit_info.globals.get(name)
+    if decl is None:
+        return None
+    vi = VarInfo(
+        name=name,
+        kind="global",
+        is_array=decl.is_array,
+        elem_kind=decl.kind,
+        count=decl.count,
+    )
+    fi.vars[name] = vi
+    return vi
+
+
+def _walk_block(
+    block: ast.Block, fi: FuncInfo, unit_info: UnitInfo, loop_depth: int
+) -> None:
+    for stmt in block.stmts:
+        fi.num_stmts += 1
+        if isinstance(stmt, ast.VarDecl):
+            _declare_local(stmt, fi)
+        elif isinstance(stmt, ast.Assign):
+            vi = _resolve(stmt.name, fi, unit_info)
+            if vi is None:
+                raise CompileError(
+                    f"{fi.name}: assignment to undeclared {stmt.name!r}", stmt.line
+                )
+            if vi.is_array:
+                raise CompileError(
+                    f"{fi.name}: cannot assign to array {stmt.name!r}", stmt.line
+                )
+            fi.scalar_use_counts[stmt.name] += _loop_weight(loop_depth)
+            _walk_expr(stmt.value, fi, unit_info, loop_depth)
+        elif isinstance(stmt, ast.StoreStmt):
+            vi = _resolve(stmt.name, fi, unit_info)
+            if vi is None or not vi.is_array:
+                raise CompileError(
+                    f"{fi.name}: element store to non-array {stmt.name!r}",
+                    stmt.line,
+                )
+            if vi.kind == "global":
+                fi.global_base_counts[stmt.name] += _loop_weight(loop_depth)
+            _walk_expr(stmt.index, fi, unit_info, loop_depth)
+            _walk_expr(stmt.value, fi, unit_info, loop_depth)
+        elif isinstance(stmt, ast.If):
+            _walk_expr(stmt.cond, fi, unit_info, loop_depth)
+            _walk_block(stmt.then, fi, unit_info, loop_depth)
+            if stmt.els is not None:
+                _walk_block(stmt.els, fi, unit_info, loop_depth)
+        elif isinstance(stmt, ast.While):
+            _walk_expr(stmt.cond, fi, unit_info, loop_depth + 1)
+            _walk_block(stmt.body, fi, unit_info, loop_depth + 1)
+        elif isinstance(stmt, ast.For):
+            vi = _resolve(stmt.var, fi, unit_info)
+            if vi is None:
+                raise CompileError(
+                    f"{fi.name}: for-loop over undeclared {stmt.var!r}", stmt.line
+                )
+            if vi.is_array:
+                raise CompileError(
+                    f"{fi.name}: for-loop variable {stmt.var!r} is an array",
+                    stmt.line,
+                )
+            fi.scalar_use_counts[stmt.var] += 3 * _loop_weight(loop_depth + 1)
+            _walk_expr(stmt.init, fi, unit_info, loop_depth)
+            _walk_expr(stmt.cond, fi, unit_info, loop_depth + 1)
+            _walk_expr(stmt.update, fi, unit_info, loop_depth + 1)
+            _walk_block(stmt.body, fi, unit_info, loop_depth + 1)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                _walk_expr(stmt.value, fi, unit_info, loop_depth)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if loop_depth == 0:
+                kind = "break" if isinstance(stmt, ast.Break) else "continue"
+                raise CompileError(f"{fi.name}: {kind} outside a loop", stmt.line)
+        elif isinstance(stmt, ast.ExprStmt):
+            _walk_expr(stmt.expr, fi, unit_info, loop_depth)
+        else:  # pragma: no cover - parser produces no other statements
+            raise CompileError(f"{fi.name}: unknown statement {stmt!r}", stmt.line)
+
+
+def _loop_weight(loop_depth: int) -> int:
+    """Heuristic use weight: uses inside loops count much more."""
+    return 10 ** min(loop_depth, 3)
+
+
+def _walk_expr(
+    expr: ast.Expr, fi: FuncInfo, unit_info: UnitInfo, loop_depth: int
+) -> None:
+    if isinstance(expr, ast.Num):
+        return
+    if isinstance(expr, ast.Var):
+        vi = _resolve(expr.name, fi, unit_info)
+        if vi is None:
+            raise CompileError(
+                f"{fi.name}: use of undeclared {expr.name!r}", expr.line
+            )
+        if vi.is_array:
+            raise CompileError(
+                f"{fi.name}: array {expr.name!r} is not a value; use &{expr.name}",
+                expr.line,
+            )
+        fi.scalar_use_counts[expr.name] += _loop_weight(loop_depth)
+        return
+    if isinstance(expr, ast.BinOp):
+        _walk_expr(expr.lhs, fi, unit_info, loop_depth)
+        _walk_expr(expr.rhs, fi, unit_info, loop_depth)
+        return
+    if isinstance(expr, ast.UnOp):
+        _walk_expr(expr.operand, fi, unit_info, loop_depth)
+        return
+    if isinstance(expr, ast.Call):
+        if expr.name in ast.INTRINSICS:
+            arity, has_result = ast.INTRINSICS[expr.name]
+            if len(expr.args) != arity:
+                raise CompileError(
+                    f"{fi.name}: {expr.name} takes {arity} argument(s)", expr.line
+                )
+        else:
+            if len(expr.args) > MAX_ARGS:
+                raise CompileError(
+                    f"{fi.name}: call to {expr.name!r} passes more than "
+                    f"{MAX_ARGS} arguments",
+                    expr.line,
+                )
+            fi.callees.add(expr.name)
+            fi.has_calls = True
+        for arg in expr.args:
+            _walk_expr(arg, fi, unit_info, loop_depth)
+        return
+    if isinstance(expr, ast.Index):
+        vi = _resolve(expr.name, fi, unit_info)
+        if vi is None or not vi.is_array:
+            raise CompileError(
+                f"{fi.name}: indexing non-array {expr.name!r}", expr.line
+            )
+        if vi.kind == "global":
+            fi.global_base_counts[expr.name] += _loop_weight(loop_depth)
+        _walk_expr(expr.index, fi, unit_info, loop_depth)
+        return
+    if isinstance(expr, ast.AddrOf):
+        vi = _resolve(expr.name, fi, unit_info)
+        if vi is None:
+            raise CompileError(
+                f"{fi.name}: address of undeclared {expr.name!r}", expr.line
+            )
+        return
+    raise CompileError(f"{fi.name}: unknown expression {expr!r}", expr.line)

@@ -1,0 +1,80 @@
+"""The SPEC-CPU2006-C-inspired workload suite.
+
+Twelve multi-module minic benchmarks named for their SPEC counterparts.
+Each is a domain-faithful kernel — not the original program, but code
+whose hot loops exert the same *kind* of pressure (branchy interpreter
+dispatch, byte-stream compression, pointer chasing, stencils, DP
+recurrences, game-tree search, ...), which is what the paper's
+measurement-bias experiments require of their suite.
+
+Use :func:`get` / :func:`suite` for access; see
+:class:`repro.workloads.base.Workload` for the per-workload API.
+"""
+
+from typing import Dict, List
+
+from repro.workloads.base import SIZES, Bindings, Workload, WorkloadError
+
+from repro.workloads import (  # noqa: E402  (registry population)
+    bzip2,
+    gcc_bench,
+    gobmk,
+    h264ref,
+    hmmer,
+    lbm,
+    libquantum,
+    mcf,
+    milc,
+    perlbench,
+    sjeng,
+    sphinx3,
+)
+
+_REGISTRY: Dict[str, Workload] = {
+    wl.name: wl
+    for wl in (
+        perlbench.WORKLOAD,
+        bzip2.WORKLOAD,
+        gcc_bench.WORKLOAD,
+        mcf.WORKLOAD,
+        milc.WORKLOAD,
+        gobmk.WORKLOAD,
+        hmmer.WORKLOAD,
+        sjeng.WORKLOAD,
+        libquantum.WORKLOAD,
+        h264ref.WORKLOAD,
+        lbm.WORKLOAD,
+        sphinx3.WORKLOAD,
+    )
+}
+
+
+def get(name: str) -> Workload:
+    """Look up a workload by (SPEC-counterpart) name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; available: {all_names()}"
+        ) from None
+
+
+def all_names() -> List[str]:
+    """All workload names, in the suite's canonical order."""
+    return list(_REGISTRY)
+
+
+def suite() -> List[Workload]:
+    """The full suite, in canonical order."""
+    return list(_REGISTRY.values())
+
+
+__all__ = [
+    "SIZES",
+    "Bindings",
+    "Workload",
+    "WorkloadError",
+    "all_names",
+    "get",
+    "suite",
+]

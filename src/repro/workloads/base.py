@@ -1,0 +1,95 @@
+"""Workload framework.
+
+A :class:`Workload` is a multi-module minic program plus:
+
+- **input classes** ("test"/"train"/"ref", after SPEC's convention) that
+  bind global data objects and parameter scalars at load time,
+- a **Python reference implementation** computing the expected exit
+  value — every simulated run is self-checking, and the reference doubles
+  as a differential-testing oracle for the whole toolchain.
+
+Multi-module sources are the point: the linker's input order can be
+permuted (the paper's link-order experiments), so each workload splits
+its code across several translation units the way real programs do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple, Union
+
+Bindings = Dict[str, Union[int, List[int]]]
+
+#: Input-class names in increasing size, mirroring SPEC.
+SIZES = ("test", "train", "ref")
+
+
+class WorkloadError(Exception):
+    """A workload definition or input request is invalid."""
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark program.
+
+    Attributes:
+        name: suite-unique identifier (SPEC-counterpart name).
+        description: one-line domain description.
+        sources: module name -> minic source text.  Iteration order is the
+            default link order.
+        make_input: ``(size, seed) -> bindings`` producing loader bindings
+            (global symbol -> scalar or array contents).
+        reference: ``(bindings) -> int`` computing the expected exit value
+            with minic semantics (use :mod:`repro.workloads.refops`).
+        tags: free-form descriptors ("branchy", "memory-bound", ...).
+    """
+
+    name: str
+    description: str
+    sources: Mapping[str, str]
+    make_input: Callable[[str, int], Bindings]
+    reference: Callable[[Bindings], int]
+    tags: Tuple[str, ...] = ()
+
+    def module_names(self) -> List[str]:
+        """Module names in default link order."""
+        return list(self.sources)
+
+    def input_for(self, size: str = "test", seed: int = 0) -> Bindings:
+        """Input bindings for one (size, seed) pair."""
+        if size not in SIZES:
+            raise WorkloadError(
+                f"{self.name}: unknown input class {size!r} (use one of {SIZES})"
+            )
+        return self.make_input(size, seed)
+
+    def expected(self, bindings: Bindings) -> int:
+        """Expected exit value for ``bindings``."""
+        return self.reference(bindings)
+
+    def __repr__(self) -> str:
+        return f"Workload({self.name!r}, modules={self.module_names()})"
+
+
+def lcg_stream(seed: int) -> Callable[[], int]:
+    """Deterministic 63-bit LCG; the suite's only randomness source.
+
+    Returns a zero-argument function yielding the next value.  Workload
+    input generators must use this (never :mod:`random`) so inputs are
+    stable across Python versions.
+    """
+    state = (seed * 2862933555777941757 + 3037000493) & ((1 << 63) - 1)
+
+    def next_value() -> int:
+        nonlocal state
+        state = (state * 3202034522624059733 + 4354685564936845319) & (
+            (1 << 63) - 1
+        )
+        return state >> 16
+
+    return next_value
+
+
+def scaled(size: str, test: int, train: int, ref: int) -> int:
+    """Pick a size-dependent parameter value."""
+    return {"test": test, "train": train, "ref": ref}[size]

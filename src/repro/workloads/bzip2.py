@@ -1,0 +1,147 @@
+"""bzip2-like workload: RLE + move-to-front + frequency modelling.
+
+The SPEC original is block-sorting compression; its hot code is
+byte-stream scanning (run-length encoding), the move-to-front transform's
+search/shift loops, and frequency counting.  The MTF table lives on the
+stack — a hot frame that makes this benchmark environment-size sensitive
+through data alignment, like the paper's stack-allocation analysis.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.base import Bindings, Workload, lcg_stream, scaled
+
+_RLE = """
+int p_n = 3000;
+byte src[12288];
+int rsym[8192];
+int rlen[8192];
+
+func rle_encode(n) {
+    var i; var m; var sym; var run;
+    i = 0; m = 0;
+    while (i < n) {
+        sym = src[i];
+        run = 1;
+        i = i + 1;
+        while (i < n && src[i] == sym && run < 255) {
+            run = run + 1;
+            i = i + 1;
+        }
+        rsym[m] = sym;
+        rlen[m] = run;
+        m = m + 1;
+    }
+    return m;
+}
+"""
+
+_MTF = """
+int rsym[8192];
+int mout[8192];
+
+func mtf_encode(m) {
+    var tab[64];
+    var i; var j; var sym;
+    for (i = 0; i < 64; i = i + 1) { tab[i] = i; }
+    for (i = 0; i < m; i = i + 1) {
+        sym = rsym[i];
+        j = 0;
+        while (tab[j] != sym) { j = j + 1; }
+        mout[i] = j;
+        while (j > 0) {
+            tab[j] = tab[j - 1];
+            j = j - 1;
+        }
+        tab[0] = sym;
+    }
+    return m;
+}
+"""
+
+_MAIN = """
+int p_n;
+int rlen[8192];
+int mout[8192];
+int freq[64];
+
+func main() {
+    var m; var i; var s; var c;
+    m = rle_encode(p_n);
+    mtf_encode(m);
+    for (i = 0; i < 64; i = i + 1) { freq[i] = 0; }
+    s = 0;
+    for (i = 0; i < m; i = i + 1) {
+        c = mout[i];
+        freq[c] = freq[c] + 1;
+        s = s + c * rlen[i] + (s >> 7);
+        s = s & 268435455;
+    }
+    for (i = 0; i < 64; i = i + 1) {
+        s = s + freq[i] * i;
+    }
+    return (s + m) & 1073741823;
+}
+"""
+
+
+def _gen_stream(total: int, seed: int) -> List[int]:
+    rng = lcg_stream(seed + 29)
+    out: List[int] = []
+    while len(out) < total:
+        sym = rng() & 63
+        run = 1 + (rng() % 9)
+        out.extend([sym] * run)
+    return out[:total]
+
+
+def make_input(size: str, seed: int) -> Bindings:
+    n = scaled(size, 2200, 5500, 12288)
+    return {"p_n": n, "src": _gen_stream(n, seed)}
+
+
+def reference(bindings: Bindings) -> int:
+    n = bindings["p_n"]
+    src = bindings["src"]
+    rsym: List[int] = []
+    rlen: List[int] = []
+    i = 0
+    while i < n:
+        sym = src[i]
+        run = 1
+        i += 1
+        while i < n and src[i] == sym and run < 255:
+            run += 1
+            i += 1
+        rsym.append(sym)
+        rlen.append(run)
+    m = len(rsym)
+    tab = list(range(64))
+    mout: List[int] = []
+    for sym in rsym:
+        j = tab.index(sym)
+        mout.append(j)
+        tab.pop(j)
+        tab.insert(0, sym)
+    freq = [0] * 64
+    s = 0
+    for k in range(m):
+        c = mout[k]
+        freq[c] += 1
+        s = s + c * rlen[k] + (s >> 7)
+        s &= 268435455
+    for k in range(64):
+        s += freq[k] * k
+    return (s + m) & 1073741823
+
+
+WORKLOAD = Workload(
+    name="bzip2",
+    description="run-length encoding + move-to-front + frequency modelling",
+    sources={"rle": _RLE, "mtf": _MTF, "main": _MAIN},
+    make_input=make_input,
+    reference=reference,
+    tags=("byte-stream", "stack-hot", "search-loops"),
+)

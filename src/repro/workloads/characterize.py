@@ -1,0 +1,131 @@
+"""Workload characterization.
+
+Static and dynamic characterization of a workload — the data behind
+suite tables like the paper's benchmark descriptions: opcode mix,
+memory/branch intensity, code/data footprints, hot-function
+concentration.  Used by the T2 bench and available as a library tool for
+anyone adding workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.arch.counters import PerfCounters
+from repro.core.experiment import Experiment, Measurement
+from repro.core.setup import ExperimentalSetup
+from repro.isa.program import Executable
+
+
+@dataclass(frozen=True)
+class StaticCharacter:
+    """Compile-time shape of one built workload."""
+
+    modules: int
+    functions: int
+    instructions: int
+    code_bytes: int
+    data_bytes: int
+    loops: int
+
+
+@dataclass(frozen=True)
+class DynamicCharacter:
+    """Run-time shape of one measured workload."""
+
+    instructions: int
+    cycles: float
+    memory_intensity: float  # (loads+stores)/instructions
+    branch_intensity: float  # branches/instructions
+    call_intensity: float  # calls/instructions
+    mispredict_rate: float
+    l1d_miss_rate: float
+    hot_function: str
+    hot_share: float  # fraction of cycles in the hottest function
+
+
+def static_character(exe: Executable) -> StaticCharacter:
+    """Characterize a linked executable."""
+    code_bytes = sum(pf.size for pf in exe.placed)
+    data_bytes = exe.data_end - exe.data_start
+    loops = sum(
+        1
+        for i, op in enumerate(exe.ops)
+        if op in (28, 29, 30) and 0 <= exe.targets[i] <= i
+    )
+    return StaticCharacter(
+        modules=len({pf.module for pf in exe.placed if pf.module != "<crt>"}),
+        functions=len(exe.placed) - 1,  # excluding _start
+        instructions=exe.num_instructions(),
+        code_bytes=code_bytes,
+        data_bytes=data_bytes,
+        loops=loops,
+    )
+
+
+def dynamic_character(
+    experiment: Experiment, setup: ExperimentalSetup
+) -> DynamicCharacter:
+    """Characterize one measured run (uses function profiling)."""
+    m: Measurement = experiment.run(setup, profile_functions=True)
+    c: PerfCounters = m.counters
+    hot_function, hot_cycles = max(
+        m.function_cycles.items(), key=lambda kv: kv[1]
+    )
+    n = c.instructions or 1
+    return DynamicCharacter(
+        instructions=c.instructions,
+        cycles=c.cycles,
+        memory_intensity=(c.loads + c.stores) / n,
+        branch_intensity=c.branches / n,
+        call_intensity=c.calls / n,
+        mispredict_rate=c.mispredict_rate,
+        l1d_miss_rate=c.l1d_miss_rate,
+        hot_function=hot_function,
+        hot_share=hot_cycles / c.cycles if c.cycles else 0.0,
+    )
+
+
+def opcode_mix(exe: Executable) -> Dict[str, int]:
+    """Static opcode histogram, grouped into the families analysts use."""
+    from repro.isa.instructions import (
+        ALU_IMM_OPS,
+        ALU_OPS,
+        CONTROL_OPS,
+        MEMORY_OPS,
+        Op,
+    )
+
+    families = {
+        "alu": 0,
+        "const/mov": 0,
+        "memory": 0,
+        "control": 0,
+        "nop": 0,
+    }
+    for op_int in exe.ops:
+        op = Op(op_int)
+        if op in ALU_OPS or op in ALU_IMM_OPS:
+            families["alu"] += 1
+        elif op in (Op.CONST, Op.MOV):
+            families["const/mov"] += 1
+        elif op in MEMORY_OPS:
+            families["memory"] += 1
+        elif op in CONTROL_OPS:
+            families["control"] += 1
+        else:
+            families["nop"] += 1
+    return families
+
+
+def footprint_vs_cache(
+    exe: Executable, cache_bytes: int
+) -> Tuple[float, float]:
+    """(code, data) footprints as fractions of a cache capacity —
+    a quick pressure gauge against any cache level."""
+    static = static_character(exe)
+    return (
+        static.code_bytes / cache_bytes,
+        static.data_bytes / cache_bytes,
+    )

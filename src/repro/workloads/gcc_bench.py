@@ -1,0 +1,236 @@
+"""gcc-like workload: dataflow bitsets + greedy register allocation.
+
+The SPEC original is the GNU C compiler; its hot code is dominated by
+bitset dataflow (liveness propagation over the CFG) and allocation-style
+graph walks.  This kernel runs both: iterative liveness over word-packed
+bitsets (regular, unrollable loops) and greedy graph coloring with
+bit-scan inner loops (branchy, irregular).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.base import Bindings, Workload, lcg_stream, scaled
+from repro.workloads.refops import band, bnot, bor, shl, shr
+
+#: Problem shape: B basic blocks, W bitset words per block, N graph nodes.
+_B = 192
+_W = 3
+_N = 160
+
+_BITSET = """
+int live_in[576];
+int live_out[576];
+int use_set[576];
+int def_set[576];
+int succ1[192];
+int succ2[192];
+int p_blocks;
+
+func liveness_round() {
+    var b; var w; var o; var s1; var s2; var changed; var outv; var inv;
+    changed = 0;
+    b = p_blocks - 1;
+    while (b >= 0) {
+        s1 = succ1[b];
+        s2 = succ2[b];
+        o = b * 3;
+        for (w = 0; w < 3; w = w + 1) {
+            outv = 0;
+            if (s1 >= 0) { outv = outv | live_in[s1 * 3 + w]; }
+            if (s2 >= 0) { outv = outv | live_in[s2 * 3 + w]; }
+            live_out[o + w] = outv;
+            inv = use_set[o + w] | (outv & (~def_set[o + w]));
+            if (inv != live_in[o + w]) {
+                live_in[o + w] = inv;
+                changed = changed + 1;
+            }
+        }
+        b = b - 1;
+    }
+    return changed;
+}
+"""
+
+_COLOR = """
+int adj[480];
+int color[160];
+int p_nodes;
+
+func pick_color(mask) {
+    var c;
+    c = 0;
+    while ((mask & 1) != 0 && c < 62) {
+        mask = mask >> 1;
+        c = c + 1;
+    }
+    return c;
+}
+
+func color_all() {
+    var i; var j; var w; var mask; var bits; var base; var total;
+    total = 0;
+    for (i = 0; i < p_nodes; i = i + 1) {
+        mask = 0;
+        base = i * 3;
+        for (w = 0; w < 3; w = w + 1) {
+            bits = adj[base + w];
+            j = w * 64;
+            while (bits != 0) {
+                if ((bits & 1) != 0) {
+                    if (j < i) {
+                        mask = mask | (1 << color[j]);
+                    }
+                }
+                bits = bits >> 1;
+                j = j + 1;
+            }
+        }
+        color[i] = pick_color(mask);
+        total = total + color[i];
+    }
+    return total;
+}
+"""
+
+_MAIN = """
+int p_blocks;
+int p_nodes;
+int p_rounds;
+int live_in[576];
+int color[160];
+
+func main() {
+    var r; var s; var i; var ch; var iter;
+    s = 0;
+    for (r = 0; r < p_rounds; r = r + 1) {
+        ch = 1;
+        iter = 0;
+        while (ch > 0 && iter < 20) {
+            ch = liveness_round();
+            s = s + ch;
+            iter = iter + 1;
+        }
+        s = s + color_all();
+        for (i = 0; i < p_blocks * 3; i = i + 1) {
+            live_in[i] = live_in[i] ^ (s & 255);
+        }
+    }
+    for (i = 0; i < p_nodes; i = i + 1) {
+        s = s + color[i] * i;
+    }
+    return s & 1073741823;
+}
+"""
+
+
+def make_input(size: str, seed: int) -> Bindings:
+    rng = lcg_stream(seed + 41)
+    blocks = scaled(size, 128, 160, 192)
+    nodes = scaled(size, 112, 136, 160)
+    rounds = scaled(size, 2, 4, 8)
+    use_set = [rng() & 0x3FFFFFFF for __ in range(_B * _W)]
+    def_set = [rng() & 0x3FFFFFFF for __ in range(_B * _W)]
+    succ1 = [(rng() % (blocks + 8)) - 8 for __ in range(_B)]
+    succ2 = [(rng() % (blocks + 8)) - 8 for __ in range(_B)]
+    succ1 = [s if s < blocks else -1 for s in succ1]
+    succ2 = [s if s < blocks else -1 for s in succ2]
+    adj: List[int] = [0] * (_N * _W)
+    for __ in range(nodes * 3):
+        a = rng() % nodes
+        b = rng() % nodes
+        if a != b:
+            adj[a * _W + (b >> 6)] |= 1 << (b & 63)
+            adj[b * _W + (a >> 6)] |= 1 << (a & 63)
+    return {
+        "p_blocks": blocks,
+        "p_nodes": nodes,
+        "p_rounds": rounds,
+        "use_set": use_set,
+        "def_set": def_set,
+        "succ1": succ1,
+        "succ2": succ2,
+        "adj": adj,
+    }
+
+
+def reference(bindings: Bindings) -> int:
+    blocks = bindings["p_blocks"]
+    nodes = bindings["p_nodes"]
+    rounds = bindings["p_rounds"]
+    use_set = list(bindings["use_set"]) + [0] * (_B * _W)
+    def_set = list(bindings["def_set"]) + [0] * (_B * _W)
+    succ1 = bindings["succ1"]
+    succ2 = bindings["succ2"]
+    adj = list(bindings["adj"]) + [0] * (_N * _W)
+    live_in = [0] * (_B * _W)
+    live_out = [0] * (_B * _W)
+    color = [0] * _N
+
+    def liveness_round() -> int:
+        changed = 0
+        for b in range(blocks - 1, -1, -1):
+            s1, s2 = succ1[b], succ2[b]
+            o = b * 3
+            for w in range(3):
+                outv = 0
+                if s1 >= 0:
+                    outv = bor(outv, live_in[s1 * 3 + w])
+                if s2 >= 0:
+                    outv = bor(outv, live_in[s2 * 3 + w])
+                live_out[o + w] = outv
+                inv = bor(use_set[o + w], band(outv, bnot(def_set[o + w])))
+                if inv != live_in[o + w]:
+                    live_in[o + w] = inv
+                    changed += 1
+        return changed
+
+    def pick_color(mask: int) -> int:
+        c = 0
+        while band(mask, 1) != 0 and c < 62:
+            mask = shr(mask, 1)
+            c += 1
+        return c
+
+    def color_all() -> int:
+        total = 0
+        for i in range(nodes):
+            mask = 0
+            base = i * 3
+            for w in range(3):
+                bits = adj[base + w]
+                j = w * 64
+                while bits != 0:
+                    if band(bits, 1) != 0 and j < i:
+                        mask = bor(mask, shl(1, color[j]))
+                    bits = shr(bits, 1)
+                    j += 1
+            color[i] = pick_color(mask)
+            total += color[i]
+        return total
+
+    s = 0
+    for __ in range(rounds):
+        ch = 1
+        iters = 0
+        while ch > 0 and iters < 20:
+            ch = liveness_round()
+            s += ch
+            iters += 1
+        s += color_all()
+        for i in range(blocks * 3):
+            live_in[i] = live_in[i] ^ (s & 255)
+    for i in range(nodes):
+        s += color[i] * i
+    return s & 1073741823
+
+
+WORKLOAD = Workload(
+    name="gcc",
+    description="liveness dataflow over bitsets + greedy graph coloring",
+    sources={"bitset": _BITSET, "coloring": _COLOR, "main": _MAIN},
+    make_input=make_input,
+    reference=reference,
+    tags=("branchy", "bitsets", "irregular"),
+)

@@ -1,0 +1,215 @@
+"""gobmk-like workload: Go board liberties via flood fill + pattern scan.
+
+The SPEC original is the GNU Go engine; its hot code walks a 19x19 board
+counting liberties of stone chains (branchy flood fill with an explicit
+worklist) and matches local patterns.  The flood-fill worklist and the
+visited markers live on the stack — hot frames, as in the paper's
+environment-size analysis.
+
+Board encoding: 21x21 with a border ring (offset ``y * 21 + x``);
+0 empty, 1 black, 2 white, 3 border.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.base import Bindings, Workload, lcg_stream, scaled
+
+_BOARD = """
+int board[441];
+
+func count_liberties(pos) {
+    var stack[96];
+    var seen[441];
+    var top; var libs; var color; var p; var q; var d; var dirs[4];
+    color = board[pos];
+    if (color != 1 && color != 2) { return 0; }
+    dirs[0] = 1; dirs[1] = 0 - 1; dirs[2] = 21; dirs[3] = 0 - 21;
+    for (p = 0; p < 441; p = p + 1) { seen[p] = 0; }
+    top = 0;
+    stack[top] = pos;
+    top = top + 1;
+    seen[pos] = 1;
+    libs = 0;
+    while (top > 0) {
+        top = top - 1;
+        p = stack[top];
+        for (d = 0; d < 4; d = d + 1) {
+            q = p + dirs[d];
+            if (seen[q] == 0) {
+                seen[q] = 1;
+                if (board[q] == 0) {
+                    libs = libs + 1;
+                }
+                if (board[q] == color) {
+                    if (top < 95) {
+                        stack[top] = q;
+                        top = top + 1;
+                    }
+                }
+            }
+        }
+    }
+    return libs;
+}
+"""
+
+_PATTERNS = """
+int board[441];
+
+func pattern_score(pos) {
+    var s; var c; var n; var e; var w2; var so;
+    c = board[pos];
+    if (c != 0) { return 0; }
+    n = board[pos - 21];
+    so = board[pos + 21];
+    e = board[pos + 1];
+    w2 = board[pos - 1];
+    s = 0;
+    if (n == 1) { s = s + 3; }
+    if (so == 1) { s = s + 3; }
+    if (e == 1) { s = s + 2; }
+    if (w2 == 1) { s = s + 2; }
+    if (n == 2) { s = s - 2; }
+    if (so == 2) { s = s - 2; }
+    if (e == 2) { s = s - 1; }
+    if (w2 == 2) { s = s - 1; }
+    if (n == 3 || so == 3 || e == 3 || w2 == 3) { s = s + 1; }
+    return s;
+}
+"""
+
+_MAIN = """
+int p_stones;
+int p_passes;
+int board[441];
+int moves[256];
+
+func main() {
+    var i; var s; var pos; var y; var x;
+    for (i = 0; i < 441; i = i + 1) { board[i] = 0; }
+    for (x = 0; x < 21; x = x + 1) {
+        board[x] = 3;
+        board[420 + x] = 3;
+    }
+    for (y = 0; y < 21; y = y + 1) {
+        board[y * 21] = 3;
+        board[y * 21 + 20] = 3;
+    }
+    for (i = 0; i < p_stones; i = i + 1) {
+        pos = moves[i];
+        if (board[pos] == 0) {
+            board[pos] = 1 + (i & 1);
+        }
+    }
+    s = 0;
+    for (i = 0; i < p_passes; i = i + 1) {
+        for (y = 1; y < 20; y = y + 1) {
+            for (x = 1; x < 20; x = x + 1) {
+                pos = y * 21 + x;
+                if (board[pos] == 1 || board[pos] == 2) {
+                    s = s + count_liberties(pos);
+                } else {
+                    s = s + pattern_score(pos);
+                }
+            }
+        }
+    }
+    return (s + p_stones) & 1073741823;
+}
+"""
+
+
+def make_input(size: str, seed: int) -> Bindings:
+    rng = lcg_stream(seed + 71)
+    stones = scaled(size, 90, 140, 200)
+    passes = scaled(size, 1, 2, 4)
+    moves: List[int] = []
+    for __ in range(256):
+        y = 1 + (rng() % 19)
+        x = 1 + (rng() % 19)
+        moves.append(y * 21 + x)
+    return {
+        "p_stones": stones,
+        "p_passes": passes,
+        "moves": moves,
+    }
+
+
+def reference(bindings: Bindings) -> int:
+    stones = bindings["p_stones"]
+    passes = bindings["p_passes"]
+    moves = bindings["moves"]
+    board = [0] * 441
+    for x in range(21):
+        board[x] = 3
+        board[420 + x] = 3
+    for y in range(21):
+        board[y * 21] = 3
+        board[y * 21 + 20] = 3
+    for i in range(stones):
+        pos = moves[i]
+        if board[pos] == 0:
+            board[pos] = 1 + (i & 1)
+
+    dirs = (1, -1, 21, -21)
+
+    def count_liberties(pos: int) -> int:
+        color = board[pos]
+        if color not in (1, 2):
+            return 0
+        seen = [0] * 441
+        stack = [pos]
+        seen[pos] = 1
+        libs = 0
+        while stack:
+            p = stack.pop()
+            for d in dirs:
+                q = p + d
+                if seen[q] == 0:
+                    seen[q] = 1
+                    if board[q] == 0:
+                        libs += 1
+                    if board[q] == color and len(stack) < 95:
+                        stack.append(q)
+        return libs
+
+    def pattern_score(pos: int) -> int:
+        if board[pos] != 0:
+            return 0
+        n, so = board[pos - 21], board[pos + 21]
+        e, w2 = board[pos + 1], board[pos - 1]
+        s = 0
+        s += 3 if n == 1 else 0
+        s += 3 if so == 1 else 0
+        s += 2 if e == 1 else 0
+        s += 2 if w2 == 1 else 0
+        s -= 2 if n == 2 else 0
+        s -= 2 if so == 2 else 0
+        s -= 1 if e == 2 else 0
+        s -= 1 if w2 == 2 else 0
+        if 3 in (n, so, e, w2):
+            s += 1
+        return s
+
+    s = 0
+    for __ in range(passes):
+        for y in range(1, 20):
+            for x in range(1, 20):
+                pos = y * 21 + x
+                if board[pos] in (1, 2):
+                    s += count_liberties(pos)
+                else:
+                    s += pattern_score(pos)
+    return (s + stones) & 1073741823
+
+
+WORKLOAD = Workload(
+    name="gobmk",
+    description="Go liberties flood fill + 3x3 pattern scoring",
+    sources={"boardlib": _BOARD, "patterns": _PATTERNS, "main": _MAIN},
+    make_input=make_input,
+    reference=reference,
+    tags=("branchy", "stack-hot", "worklist"),
+)

@@ -1,0 +1,157 @@
+"""h264ref-like workload: block motion estimation over byte frames.
+
+The SPEC original is the H.264 reference encoder; the dominant kernel is
+motion search — sum-of-absolute-differences (SAD) between a current
+macroblock and candidate positions in a reference frame, both byte
+arrays.  The SAD routine sits in its own module and is called per
+candidate, putting a hot cross-module call inside the search loop.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.base import Bindings, Workload, lcg_stream, scaled
+
+_W = 96  # reference frame width
+_H = 64  # reference frame height
+
+_SAD = """
+byte ref_frame[6144];
+byte cur_block[64];
+
+// SAD of the 8x8 current block against ref at (x, y); ref is 96 wide.
+func sad_block(x, y) {
+    var r; var c; var s; var d; var base;
+    s = 0;
+    for (r = 0; r < 8; r = r + 1) {
+        base = (y + r) * 96 + x;
+        for (c = 0; c < 8; c = c + 1) {
+            d = cur_block[r * 8 + c] - ref_frame[base + c];
+            if (d < 0) { d = 0 - d; }
+            s = s + d;
+        }
+    }
+    return s;
+}
+"""
+
+_MOTION = """
+int best_x;
+int best_y;
+
+func motion_search(cx, cy) {
+    var dx; var dy; var best; var s; var x; var y;
+    best = 1 << 30;
+    for (dy = 0 - 7; dy <= 7; dy = dy + 1) {
+        for (dx = 0 - 7; dx <= 7; dx = dx + 1) {
+            x = cx + dx;
+            y = cy + dy;
+            if (x >= 0 && y >= 0 && x <= 88 && y <= 56) {
+                s = sad_block(x, y);
+                if (s < best) {
+                    best = s;
+                    best_x = x;
+                    best_y = y;
+                }
+            }
+        }
+    }
+    return best;
+}
+"""
+
+_MAIN = """
+int p_blocks;
+int block_x[48];
+int block_y[48];
+byte cur_blocks[3072];
+byte cur_block[64];
+int best_x;
+int best_y;
+
+func main() {
+    var b; var i; var s;
+    s = 0;
+    for (b = 0; b < p_blocks; b = b + 1) {
+        for (i = 0; i < 64; i = i + 1) {
+            cur_block[i] = cur_blocks[b * 64 + i];
+        }
+        s = s + motion_search(block_x[b], block_y[b]);
+        s = s + best_x * 3 + best_y * 7;
+    }
+    return s & 1073741823;
+}
+"""
+
+
+def make_input(size: str, seed: int) -> Bindings:
+    rng = lcg_stream(seed + 103)
+    blocks = scaled(size, 2, 6, 16)
+    # A smooth-ish reference frame: local gradients plus noise, so SAD
+    # surfaces have real minima.
+    ref_frame: List[int] = []
+    for y in range(_H):
+        for x in range(_W):
+            ref_frame.append((x * 2 + y * 3 + (rng() & 15)) & 0xFF)
+    block_x = [4 + (rng() % 80) for __ in range(48)]
+    block_y = [4 + (rng() % 48) for __ in range(48)]
+    cur_blocks: List[int] = []
+    for b in range(48):
+        bx, by = block_x[b], block_y[b]
+        for r in range(8):
+            for c in range(8):
+                cur_blocks.append(
+                    (ref_frame[(by + r) * _W + bx + c] + (rng() & 7)) & 0xFF
+                )
+    return {
+        "p_blocks": blocks,
+        "ref_frame": ref_frame,
+        "block_x": block_x,
+        "block_y": block_y,
+        "cur_blocks": cur_blocks,
+    }
+
+
+def reference(bindings: Bindings) -> int:
+    blocks = bindings["p_blocks"]
+    ref_frame = bindings["ref_frame"]
+    block_x = bindings["block_x"]
+    block_y = bindings["block_y"]
+    cur_blocks = bindings["cur_blocks"]
+
+    def sad(cur: List[int], x: int, y: int) -> int:
+        s = 0
+        for r in range(8):
+            base = (y + r) * _W + x
+            for c in range(8):
+                d = cur[r * 8 + c] - ref_frame[base + c]
+                s += -d if d < 0 else d
+        return s
+
+    s = 0
+    for b in range(blocks):
+        cur = cur_blocks[b * 64 : b * 64 + 64]
+        best = 1 << 30
+        bx = by = 0
+        for dy in range(-7, 8):
+            for dx in range(-7, 8):
+                x = block_x[b] + dx
+                y = block_y[b] + dy
+                if 0 <= x <= 88 and 0 <= y <= 56:
+                    v = sad(cur, x, y)
+                    if v < best:
+                        best = v
+                        bx, by = x, y
+        s += best + bx * 3 + by * 7
+    return s & 1073741823
+
+
+WORKLOAD = Workload(
+    name="h264ref",
+    description="8x8 SAD motion search over byte frames",
+    sources={"sad": _SAD, "motion": _MOTION, "main": _MAIN},
+    make_input=make_input,
+    reference=reference,
+    tags=("byte-stream", "nested-loops", "cross-module-hot-call"),
+)

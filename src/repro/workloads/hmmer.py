@@ -1,0 +1,126 @@
+"""hmmer-like workload: profile-HMM Viterbi dynamic programming.
+
+The SPEC original searches protein databases with profile hidden Markov
+models; its hot code is the Viterbi inner loop — per observation, per
+state, a max over incoming transitions.  The two DP rows live on the
+stack (the textbook rolling-array implementation), giving the kernel the
+stack-alignment sensitivity the paper dissects.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.base import Bindings, Workload, lcg_stream, scaled
+
+_NS = 24  # states
+_NO = 8  # observation alphabet
+
+_VITERBI = """
+int trans[576];
+int emit[192];
+int obs[2048];
+
+func viterbi(t_len) {
+    var prev[24];
+    var cur[24];
+    var t; var j; var k; var best; var cand; var o; var score;
+    for (j = 0; j < 24; j = j + 1) { prev[j] = 0; }
+    score = 0;
+    for (t = 0; t < t_len; t = t + 1) {
+        o = obs[t];
+        for (j = 0; j < 24; j = j + 1) {
+            best = prev[j] + trans[j * 24 + j];
+            k = j - 1;
+            if (k >= 0) {
+                cand = prev[k] + trans[k * 24 + j];
+                if (cand > best) { best = cand; }
+            }
+            k = j - 2;
+            if (k >= 0) {
+                cand = prev[k] + trans[k * 24 + j];
+                if (cand > best) { best = cand; }
+            }
+            cur[j] = best + emit[j * 8 + o];
+            if (cur[j] > 100000000) { cur[j] = cur[j] - 90000000; }
+        }
+        for (j = 0; j < 24; j = j + 1) { prev[j] = cur[j]; }
+        score = (score + cur[23]) & 268435455;
+    }
+    return score;
+}
+"""
+
+_MAIN = """
+int p_tlen;
+int p_reps;
+
+func main() {
+    var r; var s;
+    s = 0;
+    for (r = 0; r < p_reps; r = r + 1) {
+        s = s + viterbi(p_tlen);
+    }
+    return s & 1073741823;
+}
+"""
+
+
+def make_input(size: str, seed: int) -> Bindings:
+    rng = lcg_stream(seed + 83)
+    tlen = scaled(size, 260, 700, 2048)
+    reps = scaled(size, 1, 2, 3)
+    trans = [rng() & 255 for __ in range(_NS * _NS)]
+    emit = [rng() & 511 for __ in range(_NS * _NO)]
+    obs = [rng() & 7 for __ in range(2048)]
+    return {
+        "p_tlen": tlen,
+        "p_reps": reps,
+        "trans": trans,
+        "emit": emit,
+        "obs": obs,
+    }
+
+
+def reference(bindings: Bindings) -> int:
+    tlen = bindings["p_tlen"]
+    reps = bindings["p_reps"]
+    trans = bindings["trans"]
+    emit = bindings["emit"]
+    obs = bindings["obs"]
+
+    def viterbi() -> int:
+        prev: List[int] = [0] * _NS
+        score = 0
+        for t in range(tlen):
+            o = obs[t]
+            cur = [0] * _NS
+            for j in range(_NS):
+                best = prev[j] + trans[j * _NS + j]
+                for dk in (1, 2):
+                    k = j - dk
+                    if k >= 0:
+                        cand = prev[k] + trans[k * _NS + j]
+                        if cand > best:
+                            best = cand
+                cur[j] = best + emit[j * _NO + o]
+                if cur[j] > 100000000:
+                    cur[j] -= 90000000
+            prev = cur
+            score = (score + cur[_NS - 1]) & 268435455
+        return score
+
+    s = 0
+    for __ in range(reps):
+        s += viterbi()
+    return s & 1073741823
+
+
+WORKLOAD = Workload(
+    name="hmmer",
+    description="profile-HMM Viterbi DP with rolling stack rows",
+    sources={"viterbi": _VITERBI, "main": _MAIN},
+    make_input=make_input,
+    reference=reference,
+    tags=("dp", "stack-hot", "max-reduction"),
+)

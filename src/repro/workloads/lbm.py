@@ -1,0 +1,140 @@
+"""lbm-like workload: lattice-Boltzmann stream/collide sweeps.
+
+The SPEC original advects fluid distribution functions over a 3-D grid
+in long streaming passes; performance is dominated by regular memory
+bandwidth with simple per-cell arithmetic.  This kernel keeps a 1-D
+three-velocity lattice (rest/left/right) with double-buffered streaming
+and a fixed-point collision step — long unrollable loops over arrays
+that overflow L1 into L2, the memory-bound signature of lbm.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.base import Bindings, Workload, lcg_stream, scaled
+from repro.workloads.refops import band, shr
+
+_NX = 1200
+
+_STREAM = """
+int f0[1200];
+int f1[1200];
+int f2[1200];
+int g0[1200];
+int g1[1200];
+int g2[1200];
+
+func stream(nx) {
+    var i;
+    g0[0] = f0[0];
+    g1[0] = f1[nx - 1];
+    g2[0] = f2[1];
+    for (i = 1; i < nx - 1; i = i + 1) {
+        g0[i] = f0[i];
+        g1[i] = f1[i - 1];
+        g2[i] = f2[i + 1];
+    }
+    g0[nx - 1] = f0[nx - 1];
+    g1[nx - 1] = f1[nx - 2];
+    g2[nx - 1] = f2[0];
+    return 0;
+}
+"""
+
+_COLLIDE = """
+int f0[1200];
+int f1[1200];
+int f2[1200];
+int g0[1200];
+int g1[1200];
+int g2[1200];
+
+func collide(nx, omega) {
+    var i; var rho; var e0; var e1; var e2;
+    for (i = 0; i < nx; i = i + 1) {
+        rho = g0[i] + g1[i] + g2[i];
+        e0 = (rho * 4) >> 3;
+        e1 = (rho * 2) >> 3;
+        e2 = rho - e0 - e1;
+        f0[i] = (g0[i] * (8 - omega) + e0 * omega) >> 3;
+        f1[i] = (g1[i] * (8 - omega) + e1 * omega) >> 3;
+        f2[i] = (g2[i] * (8 - omega) + e2 * omega) >> 3;
+    }
+    return 0;
+}
+"""
+
+_MAIN = """
+int p_nx;
+int p_steps;
+int p_omega;
+int f0[1200];
+int f1[1200];
+int f2[1200];
+
+func main() {
+    var t; var i; var s;
+    for (t = 0; t < p_steps; t = t + 1) {
+        stream(p_nx);
+        collide(p_nx, p_omega);
+    }
+    s = 0;
+    for (i = 0; i < p_nx; i = i + 1) {
+        s = s + f0[i] + (f1[i] ^ i) + (f2[i] >> 1);
+    }
+    return s & 1073741823;
+}
+"""
+
+
+def make_input(size: str, seed: int) -> Bindings:
+    rng = lcg_stream(seed + 107)
+    nx = scaled(size, 700, 1000, 1200)
+    steps = scaled(size, 7, 16, 36)
+    f0 = [256 + (rng() & 255) for __ in range(nx)]
+    f1 = [256 + (rng() & 255) for __ in range(nx)]
+    f2 = [256 + (rng() & 255) for __ in range(nx)]
+    return {
+        "p_nx": nx,
+        "p_steps": steps,
+        "p_omega": 3,
+        "f0": f0,
+        "f1": f1,
+        "f2": f2,
+    }
+
+
+def reference(bindings: Bindings) -> int:
+    nx = bindings["p_nx"]
+    steps = bindings["p_steps"]
+    omega = bindings["p_omega"]
+    f0: List[int] = list(bindings["f0"])
+    f1: List[int] = list(bindings["f1"])
+    f2: List[int] = list(bindings["f2"])
+    for __ in range(steps):
+        g0 = list(f0)
+        g1 = [f1[nx - 1]] + f1[: nx - 1]
+        g2 = f2[1:nx] + [f2[0]]
+        for i in range(nx):
+            rho = g0[i] + g1[i] + g2[i]
+            e0 = shr(rho * 4, 3)
+            e1 = shr(rho * 2, 3)
+            e2 = rho - e0 - e1
+            f0[i] = shr(g0[i] * (8 - omega) + e0 * omega, 3)
+            f1[i] = shr(g1[i] * (8 - omega) + e1 * omega, 3)
+            f2[i] = shr(g2[i] * (8 - omega) + e2 * omega, 3)
+    s = 0
+    for i in range(nx):
+        s += f0[i] + (f1[i] ^ i) + shr(f2[i], 1)
+    return s & 1073741823
+
+
+WORKLOAD = Workload(
+    name="lbm",
+    description="1-D lattice-Boltzmann stream/collide with double buffering",
+    sources={"stream": _STREAM, "collide": _COLLIDE, "main": _MAIN},
+    make_input=make_input,
+    reference=reference,
+    tags=("memory-bound", "streaming", "unrollable"),
+)

@@ -1,0 +1,154 @@
+"""libquantum-like workload: quantum register gate simulation.
+
+The SPEC original simulates Shor's algorithm by streaming gate
+applications over a quantum-state array; its hot loops are long, regular
+passes flipping/combining amplitudes selected by qubit bit masks —
+prime unrolling material, which is exactly what makes it O3-shape
+sensitive.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.base import Bindings, Workload, lcg_stream, scaled
+from repro.workloads.refops import band, bxor, mul, shr
+
+_GATES = """
+int amp[4096];
+
+func gate_not(n, tmask) {
+    var i; var j; var t;
+    for (i = 0; i < n; i = i + 1) {
+        j = i ^ tmask;
+        if (i < j) {
+            t = amp[i];
+            amp[i] = amp[j];
+            amp[j] = t;
+        }
+    }
+    return 0;
+}
+
+func gate_cnot(n, cmask, tmask) {
+    var i; var j; var t;
+    for (i = 0; i < n; i = i + 1) {
+        if ((i & cmask) != 0) {
+            j = i ^ tmask;
+            if (i < j) {
+                t = amp[i];
+                amp[i] = amp[j];
+                amp[j] = t;
+            }
+        }
+    }
+    return 0;
+}
+
+func gate_phase(n, cmask, k) {
+    var i;
+    for (i = 0; i < n; i = i + 1) {
+        if ((i & cmask) != 0) {
+            amp[i] = (amp[i] * k + (amp[i] >> 3)) & 16777215;
+        }
+    }
+    return 0;
+}
+"""
+
+_MAIN = """
+int p_qubits;
+int p_gates;
+int gate_kind[96];
+int gate_a[96];
+int gate_b[96];
+int amp[4096];
+
+func main() {
+    var n; var g; var kind; var s; var i;
+    n = 1 << p_qubits;
+    for (g = 0; g < p_gates; g = g + 1) {
+        kind = gate_kind[g];
+        if (kind == 0) {
+            gate_not(n, 1 << gate_a[g]);
+        }
+        if (kind == 1) {
+            gate_cnot(n, 1 << gate_a[g], 1 << gate_b[g]);
+        }
+        if (kind == 2) {
+            gate_phase(n, 1 << gate_a[g], 3 + gate_b[g]);
+        }
+    }
+    s = 0;
+    for (i = 0; i < n; i = i + 1) {
+        s = s + (amp[i] ^ i);
+    }
+    return s & 1073741823;
+}
+"""
+
+
+def make_input(size: str, seed: int) -> Bindings:
+    rng = lcg_stream(seed + 101)
+    qubits = scaled(size, 10, 11, 12)
+    gates = scaled(size, 28, 56, 96)
+    gate_kind = [rng() % 3 for __ in range(96)]
+    gate_a = [rng() % qubits for __ in range(96)]
+    gate_b_raw = [rng() % qubits for __ in range(96)]
+    gate_b = [
+        b if b != a else (b + 1) % qubits
+        for a, b in zip(gate_a, gate_b_raw)
+    ]
+    amp = [rng() & 0xFFFFFF for __ in range(1 << qubits)]
+    return {
+        "p_qubits": qubits,
+        "p_gates": gates,
+        "gate_kind": gate_kind,
+        "gate_a": gate_a,
+        "gate_b": gate_b,
+        "amp": amp,
+    }
+
+
+def reference(bindings: Bindings) -> int:
+    qubits = bindings["p_qubits"]
+    gates = bindings["p_gates"]
+    gate_kind = bindings["gate_kind"]
+    gate_a = bindings["gate_a"]
+    gate_b = bindings["gate_b"]
+    amp: List[int] = list(bindings["amp"])
+    n = 1 << qubits
+    for g in range(gates):
+        kind = gate_kind[g]
+        if kind == 0:
+            tmask = 1 << gate_a[g]
+            for i in range(n):
+                j = i ^ tmask
+                if i < j:
+                    amp[i], amp[j] = amp[j], amp[i]
+        elif kind == 1:
+            cmask, tmask = 1 << gate_a[g], 1 << gate_b[g]
+            for i in range(n):
+                if i & cmask:
+                    j = i ^ tmask
+                    if i < j:
+                        amp[i], amp[j] = amp[j], amp[i]
+        else:
+            cmask, k = 1 << gate_a[g], 3 + gate_b[g]
+            for i in range(n):
+                if i & cmask:
+                    amp[i] = band(mul(amp[i], k) + shr(amp[i], 3), 16777215)
+    s = 0
+    for i in range(n):
+        s += bxor(amp[i], i)
+    return s & 1073741823
+
+
+WORKLOAD = Workload(
+    name="libquantum",
+    description="quantum gate streaming over a state-amplitude array",
+    sources={"gates": _GATES, "main": _MAIN},
+    make_input=make_input,
+    reference=reference,
+    tags=("streaming", "regular", "unrollable"),
+)

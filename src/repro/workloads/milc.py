@@ -1,0 +1,137 @@
+"""milc-like workload: lattice QCD SU(3)-style stencil arithmetic.
+
+The SPEC original multiplies 3x3 complex matrices against site vectors
+over a 4-D lattice.  This kernel keeps the arithmetic shape in
+fixed-point integers: per-site 3x3 matrix-vector products (mul/add dense,
+manually unrolled as in the original's generated code) plus a
+nearest-neighbour gather — regular, multiply-heavy, streaming.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.base import Bindings, Workload, lcg_stream, scaled
+from repro.workloads.refops import band, mul, shr
+
+_SU3 = """
+int mats[1152];
+int vecs[384];
+int outv[384];
+
+func matvec_site(site) {
+    var mb; var vb; var r0; var r1; var r2; var v0;
+    mb = site * 9;
+    vb = site * 3;
+    v0 = vecs[vb];
+    r0 = mats[mb] * v0;
+    r1 = mats[mb + 3] * v0;
+    r2 = mats[mb + 6] * v0;
+    v0 = vecs[vb + 1];
+    r0 = r0 + mats[mb + 1] * v0;
+    r1 = r1 + mats[mb + 4] * v0;
+    r2 = r2 + mats[mb + 7] * v0;
+    v0 = vecs[vb + 2];
+    r0 = r0 + mats[mb + 2] * v0;
+    r1 = r1 + mats[mb + 5] * v0;
+    r2 = r2 + mats[mb + 8] * v0;
+    outv[vb] = (r0 >> 8) & 16777215;
+    outv[vb + 1] = (r1 >> 8) & 16777215;
+    outv[vb + 2] = (r2 >> 8) & 16777215;
+    return 0;
+}
+"""
+
+_LATTICE = """
+int outv[384];
+int vecs[384];
+
+func gather_shift(sites) {
+    var i; var n; var b; var nb;
+    for (i = 0; i < sites; i = i + 1) {
+        n = i + 1;
+        if (n >= sites) { n = 0; }
+        b = i * 3;
+        nb = n * 3;
+        vecs[b] = (outv[b] + outv[nb]) & 16777215;
+        vecs[b + 1] = (outv[b + 1] + outv[nb + 1]) & 16777215;
+        vecs[b + 2] = (outv[b + 2] + outv[nb + 2]) & 16777215;
+    }
+    return 0;
+}
+"""
+
+_MAIN = """
+int p_sites;
+int p_sweeps;
+int vecs[384];
+int outv[384];
+
+func main() {
+    var sw; var i; var s;
+    for (sw = 0; sw < p_sweeps; sw = sw + 1) {
+        for (i = 0; i < p_sites; i = i + 1) {
+            matvec_site(i);
+        }
+        gather_shift(p_sites);
+    }
+    s = 0;
+    for (i = 0; i < p_sites * 3; i = i + 1) {
+        s = s + vecs[i] * (i + 1);
+    }
+    return s & 1073741823;
+}
+"""
+
+
+def make_input(size: str, seed: int) -> Bindings:
+    rng = lcg_stream(seed + 67)
+    sites = scaled(size, 96, 112, 128)
+    sweeps = scaled(size, 24, 60, 120)
+    mats = [rng() & 1023 for __ in range(sites * 9)]
+    vecs = [rng() & 4095 for __ in range(sites * 3)]
+    return {
+        "p_sites": sites,
+        "p_sweeps": sweeps,
+        "mats": mats,
+        "vecs": vecs,
+    }
+
+
+def reference(bindings: Bindings) -> int:
+    sites = bindings["p_sites"]
+    sweeps = bindings["p_sweeps"]
+    mats = bindings["mats"]
+    vecs: List[int] = list(bindings["vecs"]) + [0] * (384 - len(bindings["vecs"]))
+    outv = [0] * 384
+    for __ in range(sweeps):
+        for i in range(sites):
+            mb, vb = i * 9, i * 3
+            r0 = r1 = r2 = 0
+            for c in range(3):
+                v = vecs[vb + c]
+                r0 += mul(mats[mb + c], v)
+                r1 += mul(mats[mb + 3 + c], v)
+                r2 += mul(mats[mb + 6 + c], v)
+            outv[vb] = band(shr(r0, 8), 16777215)
+            outv[vb + 1] = band(shr(r1, 8), 16777215)
+            outv[vb + 2] = band(shr(r2, 8), 16777215)
+        for i in range(sites):
+            n = i + 1 if i + 1 < sites else 0
+            b, nb = i * 3, n * 3
+            for c in range(3):
+                vecs[b + c] = band(outv[b + c] + outv[nb + c], 16777215)
+    s = 0
+    for i in range(sites * 3):
+        s += vecs[i] * (i + 1)
+    return s & 1073741823
+
+
+WORKLOAD = Workload(
+    name="milc",
+    description="fixed-point SU(3)-style matrix-vector stencil sweeps",
+    sources={"su3": _SU3, "lattice": _LATTICE, "main": _MAIN},
+    make_input=make_input,
+    reference=reference,
+    tags=("numeric", "mul-heavy", "regular"),
+)

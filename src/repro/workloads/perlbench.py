@@ -1,0 +1,201 @@
+"""perlbench-like workload: bytecode interpreter state machine + hash table.
+
+The SPEC original is the Perl interpreter; its hot code is opcode dispatch
+over interpreter state plus heavy hash-table traffic.  This kernel keeps
+those two phases:
+
+- ``interp``: a tight state-machine loop over a *stack-resident* state
+  buffer — the loop fits Core 2's loop stream detector at O2 but not once
+  O3 unrolls it, and its stack accesses make it environment-size
+  sensitive.  This is the paper's Figure 3 headliner.
+- ``hasht``: open-addressing hash table over an odd-sized global array
+  (odd so relinking shifts its cache-set phase).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.workloads.base import Bindings, Workload, lcg_stream, scaled
+from repro.workloads.refops import band, mul, shr
+
+_INTERP = """
+int p_n = 6000;
+int p_reps = 2;
+int p_seed = 3;
+
+func interp_run(n, seed) {
+    var st[12];
+    var i; var h; var s; var j;
+    h = seed; s = 0; j = 0;
+    for (i = 0; i < 12; i = i + 1) { st[i] = seed + i * 13; }
+    for (i = 0; i < n; i = i + 1) {
+        h = (h * 33 + st[j]) & 262143;
+        s = s + st[(h >> 4) & 7] - h;
+        j = (j + 1) & 7;
+    }
+    return s;
+}
+"""
+
+_HASHT = """
+int htab[541];
+int keys[512];
+
+func ht_hash(k) {
+    var h; var a; var b;
+    a = k * 2654435761;
+    b = (a >> 13) ^ a;
+    h = b + (k << 3);
+    a = h ^ (h >> 7);
+    b = a + (a >> 17);
+    h = b ^ (b << 5);
+    h = h & 4194303;
+    return h;
+}
+
+func ht_insert(k) {
+    var h; var probes;
+    h = ht_hash(k);
+    h = h - (h / 541) * 541;
+    probes = 0;
+    while (htab[h] != 0) {
+        h = h + 1;
+        if (h >= 541) { h = 0; }
+        probes = probes + 1;
+        if (probes > 540) { return 0 - 1; }
+    }
+    htab[h] = k;
+    return probes;
+}
+
+func ht_lookup(k) {
+    var h; var probes;
+    h = ht_hash(k);
+    h = h - (h / 541) * 541;
+    probes = 0;
+    while (htab[h] != 0 && htab[h] != k) {
+        h = h + 1;
+        if (h >= 541) { h = 0; }
+        probes = probes + 1;
+        if (probes > 540) { return 0 - 1; }
+    }
+    if (htab[h] == k) { return probes; }
+    return 0 - probes - 1;
+}
+"""
+
+_MAIN = """
+int p_n;
+int p_reps;
+int p_seed;
+int htab[541];
+int keys[512];
+
+func main() {
+    var r; var s; var i; var k;
+    s = 0;
+    for (r = 0; r < p_reps; r = r + 1) {
+        s = s + interp_run(p_n, p_seed + r);
+        for (i = 0; i < 192; i = i + 1) {
+            k = (keys[i & 511] + r * 7) & 1048575;
+            if (k == 0) { k = 1; }
+            s = s + ht_insert(k);
+        }
+        for (i = 0; i < 192; i = i + 1) {
+            k = (keys[i & 511] + r * 7) & 1048575;
+            if (k == 0) { k = 1; }
+            s = s + ht_lookup(k);
+        }
+        for (i = 0; i < 541; i = i + 1) { htab[i] = 0; }
+    }
+    return s & 1073741823;
+}
+"""
+
+
+def make_input(size: str, seed: int) -> Bindings:
+    rng = lcg_stream(seed + 11)
+    keys = [(rng() & 0xFFFFF) or 1 for __ in range(512)]
+    return {
+        "p_n": scaled(size, 6000, 10000, 16000),
+        "p_reps": scaled(size, 2, 4, 8),
+        "p_seed": 3 + seed,
+        "keys": keys,
+    }
+
+
+def _interp_run(n: int, seed: int) -> int:
+    st = [seed + i * 13 for i in range(12)]
+    h, s, j = seed, 0, 0
+    for __ in range(n):
+        h = band(mul(h, 33) + st[j], 262143)
+        s = s + st[band(shr(h, 4), 7)] - h
+        j = (j + 1) & 7
+    return s
+
+
+def _ht_hash(k: int) -> int:
+    # Mirrors the minic ht_hash; k is a masked non-negative 20-bit value,
+    # so no intermediate leaves the positive 63-bit range.
+    a = mul(k, 2654435761)
+    b = shr(a, 13) ^ a
+    h = b + (k << 3)
+    a = h ^ shr(h, 7)
+    b = a + shr(a, 17)
+    h = b ^ (b << 5)
+    return band(h, 4194303)
+
+
+def reference(bindings: Bindings) -> int:
+    p_n = bindings["p_n"]
+    p_reps = bindings["p_reps"]
+    p_seed = bindings["p_seed"]
+    keys = bindings["keys"]
+    htab: Dict[int, int] = {}
+    s = 0
+    for r in range(p_reps):
+        s += _interp_run(p_n, p_seed + r)
+        for phase in ("insert", "lookup"):
+            for i in range(192):
+                k = band(keys[i & 511] + r * 7, 1048575) or 1
+                h = _ht_hash(k) % 541
+                probes = 0
+                if phase == "insert":
+                    while htab.get(h, 0) != 0:
+                        h = (h + 1) % 541
+                        probes += 1
+                        if probes > 540:
+                            probes = None
+                            break
+                    if probes is None:
+                        s += -1
+                    else:
+                        htab[h] = k
+                        s += probes
+                else:
+                    overflow = False
+                    while htab.get(h, 0) != 0 and htab.get(h, 0) != k:
+                        h = (h + 1) % 541
+                        probes += 1
+                        if probes > 540:
+                            overflow = True
+                            break
+                    if overflow:
+                        s += -1  # matches the minic early return
+                    elif htab.get(h, 0) == k:
+                        s += probes
+                    else:
+                        s += -probes - 1
+        htab.clear()
+    return s & 1073741823
+
+
+WORKLOAD = Workload(
+    name="perlbench",
+    description="bytecode interpreter state machine + open-addressing hash table",
+    sources={"interp": _INTERP, "hasht": _HASHT, "main": _MAIN},
+    make_input=make_input,
+    reference=reference,
+    tags=("branchy", "hash", "stack-hot", "lsd-sensitive"),
+)

@@ -1,0 +1,68 @@
+"""minic arithmetic semantics for Python reference implementations.
+
+The simulated machine computes on signed 64-bit values: ``*`` and ``<<``
+wrap, ``>>`` is a logical shift on the 64-bit pattern, bitwise operators
+act on the 64-bit pattern, division truncates toward zero.  Reference
+implementations must use these helpers wherever a value could leave the
+positive 63-bit range, so that the oracle and the machine agree bit for
+bit.
+"""
+
+from __future__ import annotations
+
+_M64 = (1 << 64) - 1
+_I64_MAX = (1 << 63) - 1
+
+
+def wrap64(value: int) -> int:
+    """Wrap an unbounded int to the machine's signed 64-bit domain."""
+    value &= _M64
+    if value > _I64_MAX:
+        value -= 1 << 64
+    return value
+
+
+def mul(a: int, b: int) -> int:
+    """Wrapping multiply."""
+    return wrap64(a * b)
+
+
+def shl(a: int, b: int) -> int:
+    """Wrapping left shift (count taken mod 64)."""
+    return wrap64((a & _M64) << (b & 63))
+
+
+def shr(a: int, b: int) -> int:
+    """Logical right shift on the 64-bit pattern (count mod 64)."""
+    return (a & _M64) >> (b & 63)
+
+
+def band(a: int, b: int) -> int:
+    """Bitwise AND with minic's 64-bit-pattern semantics."""
+    return wrap64((a & _M64) & (b & _M64))
+
+
+def bor(a: int, b: int) -> int:
+    """Bitwise OR."""
+    return wrap64((a & _M64) | (b & _M64))
+
+
+def bxor(a: int, b: int) -> int:
+    """Bitwise XOR."""
+    return wrap64((a & _M64) ^ (b & _M64))
+
+
+def bnot(a: int) -> int:
+    """Bitwise NOT (minic ``~`` is ``XORI -1``)."""
+    return bxor(a, -1)
+
+
+def sdiv(a: int, b: int) -> int:
+    """Truncating (C-style) division; caller guarantees ``b != 0``."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def smod(a: int, b: int) -> int:
+    """C-style remainder (sign of the dividend)."""
+    return a - sdiv(a, b) * b

@@ -1,0 +1,250 @@
+"""sjeng-like workload: game-tree search with recursive negamax.
+
+The SPEC original is a chess engine; its hot code is recursive
+alpha-beta search with move generation and incremental evaluation.  This
+kernel searches a simplified board game (kings/knights/pawns on an 0x88
+board) with full negamax recursion — every ply allocates a move-list
+frame on the stack, so search depth multiplies the paper's
+stack-placement sensitivity.
+
+Board encoding (0x88): square ``16*rank + file``; pieces: 0 empty,
+1 white pawn, 2 white knight, 3 white king, negatives for black.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.base import Bindings, Workload, lcg_stream, scaled
+
+_MOVEGEN = """
+int board[128];
+
+// Encode a move as from * 256 + to.
+func gen_moves(side, buf_addr) {
+    var sq; var p; var n; var t; var d; var koff[8];
+    koff[0] = 31; koff[1] = 33; koff[2] = 14; koff[3] = 18;
+    koff[4] = 0 - 31; koff[5] = 0 - 33; koff[6] = 0 - 14; koff[7] = 0 - 18;
+    n = 0;
+    for (sq = 0; sq < 128; sq = sq + 1) {
+        if ((sq & 136) != 0) { continue; }
+        p = board[sq] * side;
+        if (p == 1) {
+            t = sq + 16 * side;
+            if ((t & 136) == 0 && board[t] == 0) {
+                poke(buf_addr + n * 8, sq * 256 + t);
+                n = n + 1;
+            }
+            t = sq + 16 * side + 1;
+            if ((t & 136) == 0 && board[t] * side < 0) {
+                poke(buf_addr + n * 8, sq * 256 + t);
+                n = n + 1;
+            }
+            t = sq + 16 * side - 1;
+            if ((t & 136) == 0 && board[t] * side < 0) {
+                poke(buf_addr + n * 8, sq * 256 + t);
+                n = n + 1;
+            }
+        }
+        if (p == 2) {
+            for (d = 0; d < 8; d = d + 1) {
+                t = sq + koff[d];
+                if ((t & 136) == 0 && board[t] * side <= 0) {
+                    poke(buf_addr + n * 8, sq * 256 + t);
+                    n = n + 1;
+                }
+            }
+        }
+        if (n > 48) { return n; }
+    }
+    return n;
+}
+"""
+
+_EVAL = """
+int board[128];
+
+func evaluate(side) {
+    var sq; var p; var s;
+    s = 0;
+    for (sq = 0; sq < 128; sq = sq + 1) {
+        if ((sq & 136) != 0) { continue; }
+        p = board[sq];
+        if (p == 1) { s = s + 100 + (sq >> 4); }
+        if (p == 2) { s = s + 300; }
+        if (p == 3) { s = s + 10000; }
+        if (p == 0 - 1) { s = s - 100 - (7 - (sq >> 4)); }
+        if (p == 0 - 2) { s = s - 300; }
+        if (p == 0 - 3) { s = s - 10000; }
+    }
+    return s * side;
+}
+"""
+
+_SEARCH = """
+int board[128];
+int node_count;
+
+func negamax(side, depth) {
+    var moves[56];
+    var n; var i; var best; var v; var mv; var from; var to; var captured;
+    node_count = node_count + 1;
+    if (depth == 0) {
+        return evaluate(side);
+    }
+    n = gen_moves(side, &moves);
+    if (n == 0) {
+        return evaluate(side);
+    }
+    best = 0 - 100000;
+    for (i = 0; i < n; i = i + 1) {
+        mv = moves[i];
+        from = mv >> 8;
+        to = mv & 255;
+        captured = board[to];
+        board[to] = board[from];
+        board[from] = 0;
+        v = 0 - negamax(0 - side, depth - 1);
+        board[from] = board[to];
+        board[to] = captured;
+        if (v > best) { best = v; }
+    }
+    return best;
+}
+"""
+
+_MAIN = """
+int p_depth;
+int p_positions;
+int setup[64];
+int board[128];
+int node_count;
+
+func main() {
+    var g; var i; var s; var sq;
+    s = 0;
+    node_count = 0;
+    for (g = 0; g < p_positions; g = g + 1) {
+        for (i = 0; i < 128; i = i + 1) { board[i] = 0; }
+        for (i = 0; i < 64; i = i + 1) {
+            sq = ((i >> 3) * 16) + (i & 7);
+            board[sq] = setup[(g * 17 + i) & 63];
+        }
+        board[4] = 3;
+        board[116] = 0 - 3;
+        s = s + negamax(1, p_depth);
+    }
+    return (s + node_count) & 1073741823;
+}
+"""
+
+
+def make_input(size: str, seed: int) -> Bindings:
+    rng = lcg_stream(seed + 97)
+    depth = scaled(size, 2, 2, 3)
+    positions = scaled(size, 1, 3, 4)
+    pieces = (0, 0, 0, 0, 0, 1, -1, 0, 0, 0, 2, -2, 0, 0, 0, 0)
+    setup = [pieces[rng() & 15] for __ in range(64)]
+    return {
+        "p_depth": depth,
+        "p_positions": positions,
+        "setup": setup,
+    }
+
+
+def reference(bindings: Bindings) -> int:
+    depth0 = bindings["p_depth"]
+    positions = bindings["p_positions"]
+    setup = bindings["setup"]
+    board = [0] * 128
+    node_count = 0
+
+    koff = (31, 33, 14, 18, -31, -33, -14, -18)
+
+    def gen_moves(side: int) -> List[int]:
+        out: List[int] = []
+        for sq in range(128):
+            if sq & 136:
+                continue
+            p = board[sq] * side
+            if p == 1:
+                t = sq + 16 * side
+                if (t & 136) == 0 and board[t] == 0:
+                    out.append(sq * 256 + t)
+                t = sq + 16 * side + 1
+                if (t & 136) == 0 and board[t] * side < 0:
+                    out.append(sq * 256 + t)
+                t = sq + 16 * side - 1
+                if (t & 136) == 0 and board[t] * side < 0:
+                    out.append(sq * 256 + t)
+            if p == 2:
+                for d in koff:
+                    t = sq + d
+                    if (t & 136) == 0 and board[t] * side <= 0:
+                        out.append(sq * 256 + t)
+            if len(out) > 48:
+                return out
+        return out
+
+    def evaluate(side: int) -> int:
+        s = 0
+        for sq in range(128):
+            if sq & 136:
+                continue
+            p = board[sq]
+            if p == 1:
+                s += 100 + (sq >> 4)
+            elif p == 2:
+                s += 300
+            elif p == 3:
+                s += 10000
+            elif p == -1:
+                s -= 100 + (7 - (sq >> 4))
+            elif p == -2:
+                s -= 300
+            elif p == -3:
+                s -= 10000
+        return s * side
+
+    def negamax(side: int, depth: int) -> int:
+        nonlocal node_count
+        node_count += 1
+        if depth == 0:
+            return evaluate(side)
+        moves = gen_moves(side)
+        if not moves:
+            return evaluate(side)
+        best = -100000
+        for mv in moves:
+            frm, to = mv >> 8, mv & 255
+            captured = board[to]
+            board[to] = board[frm]
+            board[frm] = 0
+            v = -negamax(-side, depth - 1)
+            board[frm] = board[to]
+            board[to] = captured
+            if v > best:
+                best = v
+        return best
+
+    s = 0
+    for g in range(positions):
+        for i in range(128):
+            board[i] = 0
+        for i in range(64):
+            sq = ((i >> 3) * 16) + (i & 7)
+            board[sq] = setup[(g * 17 + i) & 63]
+        board[4] = 3
+        board[116] = -3
+        s += negamax(1, depth0)
+    return (s + node_count) & 1073741823
+
+
+WORKLOAD = Workload(
+    name="sjeng",
+    description="negamax game-tree search with 0x88 move generation",
+    sources={"movegen": _MOVEGEN, "evalmod": _EVAL, "search": _SEARCH, "main": _MAIN},
+    make_input=make_input,
+    reference=reference,
+    tags=("recursive", "branchy", "stack-hot"),
+)

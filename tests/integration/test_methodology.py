@@ -1,0 +1,123 @@
+"""Integration: the paper's methodology end-to-end.
+
+Link-order bias, setup randomization (the paper's remedy), and the
+causal-intervention workflow on live measurements.
+"""
+
+import pytest
+
+from repro import workloads
+from repro.analysis import confirm_stack_alignment_cause as stack_alignment_cause
+from repro.core import Experiment
+from repro.core.bias import link_order_study
+from repro.core.randomization import (
+    evaluate_with_randomization,
+    interval_vs_setup_count,
+)
+
+
+@pytest.fixture(scope="module")
+def exp():
+    # sphinx3: fastest workload; bias magnitudes are small but nonzero.
+    return Experiment(workloads.get("sphinx3"), size="test", seed=0)
+
+
+class TestLinkOrderStudy:
+    def test_link_order_changes_runtime(self, exp, base_setup):
+        o3 = base_setup.with_changes(opt_level=3)
+        study = link_order_study(exp, base_setup, o3, max_orders=6)
+        assert len(set(study.base_cycles)) > 1, (
+            "relinking must move the measured runtime"
+        )
+
+    def test_all_orders_verified(self, exp, base_setup):
+        o3 = base_setup.with_changes(opt_level=3)
+        study = link_order_study(exp, base_setup, o3, max_orders=4)
+        assert len(study.points) == 4
+        assert {m.exit_value for m in study.base_measurements} == {
+            exp.expected
+        }
+
+
+class TestRandomizationProtocol:
+    def test_protocol_produces_interval(self, exp, base_setup):
+        o3 = base_setup.with_changes(opt_level=3)
+        ev = evaluate_with_randomization(exp, base_setup, o3, n_setups=6, seed=3)
+        assert len(ev.speedups) == 6
+        assert ev.interval.lo < ev.mean < ev.interval.hi
+        assert ev.verdict in ("beneficial", "harmful", "inconclusive")
+
+    def test_deterministic_given_seed(self, exp, base_setup):
+        o3 = base_setup.with_changes(opt_level=3)
+        a = evaluate_with_randomization(exp, base_setup, o3, n_setups=4, seed=9)
+        b = evaluate_with_randomization(exp, base_setup, o3, n_setups=4, seed=9)
+        assert a.speedups == b.speedups
+
+    def test_interval_counts_are_nested_prefixes(self, exp, base_setup):
+        # CI width is not monotone in n for one concrete sample (it also
+        # depends on the sample std), so assert the protocol's contract
+        # instead: estimates for larger counts extend the same sequence.
+        o3 = base_setup.with_changes(opt_level=3)
+        rows = interval_vs_setup_count(
+            exp, base_setup, o3, counts=(3, 6, 12), seed=2
+        )
+        assert [n for n, _ in rows] == [3, 6, 12]
+        s3, s6, s12 = (ev.speedups for _, ev in rows)
+        assert s6[:3] == s3
+        assert s12[:6] == s6
+
+    def test_critical_value_shrinks_with_setups(self):
+        # The statistical reason more setups help: the t multiplier and
+        # the 1/sqrt(n) factor both shrink.
+        import math
+
+        from repro.core.stats import t_ppf
+
+        def half_width_factor(n):
+            return t_ppf(0.975, n - 1) / math.sqrt(n)
+
+        factors = [half_width_factor(n) for n in (3, 6, 12, 24)]
+        assert factors == sorted(factors, reverse=True)
+
+    def test_progress_callback(self, exp, base_setup):
+        o3 = base_setup.with_changes(opt_level=3)
+        seen = []
+        evaluate_with_randomization(
+            exp,
+            base_setup,
+            o3,
+            n_setups=3,
+            seed=1,
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_too_few_setups_rejected(self, exp, base_setup):
+        with pytest.raises(ValueError):
+            evaluate_with_randomization(
+                exp, base_setup, base_setup, n_setups=1
+            )
+
+
+class TestCausalIntervention:
+    def test_stack_alignment_intervention_removes_env_bias(
+        self, exp, base_setup
+    ):
+        """Force-aligning sp is the paper's causal confirmation for the
+        environment-size effect: the bias must (mostly) vanish."""
+        o3 = base_setup.with_changes(opt_level=3)
+        result = stack_alignment_cause(
+            exp,
+            base_setup,
+            o3,
+            env_sizes=range(100, 196, 4),
+            aligned_to=64,
+        )
+        before_span = (
+            result.bias_before.stats.maximum - result.bias_before.stats.minimum
+        )
+        after_span = (
+            result.bias_after.stats.maximum - result.bias_after.stats.minimum
+        )
+        assert after_span < before_span
+        assert result.bias_removed_fraction > 0.3

@@ -1,0 +1,65 @@
+"""Integration: the full compile -> link -> load -> execute pipeline."""
+
+import pytest
+
+from repro.arch import execute, get_machine
+from repro.os import Environment, load_process
+from repro.toolchain import compile_program, link
+
+from tests.conftest import SMALL_EXPECTED, SMALL_SOURCES
+
+
+@pytest.mark.parametrize("opt_level", [0, 1, 2, 3])
+@pytest.mark.parametrize("profile", ["gcc", "icc"])
+def test_all_configs_compute_the_same_answer(opt_level, profile):
+    modules = compile_program(SMALL_SOURCES, opt_level=opt_level, profile=profile)
+    exe = link(modules)
+    img = load_process(exe, Environment.typical())
+    res = execute(img, get_machine("core2").build())
+    assert res.exit_value == SMALL_EXPECTED
+
+
+def test_optimization_reduces_instructions():
+    counts = {}
+    for level in (0, 1, 2, 3):
+        exe = link(compile_program(SMALL_SOURCES, opt_level=level))
+        img = load_process(exe, Environment.typical())
+        counts[level] = execute(
+            img, get_machine("core2").build()
+        ).counters.instructions
+    assert counts[0] > counts[1] >= counts[2]
+
+
+def test_optimization_reduces_cycles_o0_to_o2():
+    cycles = {}
+    for level in (0, 2):
+        exe = link(compile_program(SMALL_SOURCES, opt_level=level))
+        img = load_process(exe, Environment.typical())
+        cycles[level] = execute(img, get_machine("core2").build()).counters.cycles
+    assert cycles[2] < cycles[0]
+
+
+def test_multi_module_cross_calls_resolve():
+    sources = {
+        "a": "func fa(x) { return fb(x) + 1; }",
+        "b": "func fb(x) { return fc(x) + 2; }",
+        "c": "func fc(x) { return x * 10; }",
+        "main": "func main() { return fa(4); }",
+    }
+    exe = link(compile_program(sources))
+    img = load_process(exe, Environment.typical())
+    assert execute(img, get_machine("core2").build()).exit_value == 43
+
+
+def test_icc_emits_padding_but_same_answer():
+    gcc_exe = link(compile_program(SMALL_SOURCES, opt_level=2, profile="gcc"))
+    icc_exe = link(compile_program(SMALL_SOURCES, opt_level=2, profile="icc"))
+    for exe in (gcc_exe, icc_exe):
+        img = load_process(exe, Environment.typical())
+        assert (
+            execute(img, get_machine("core2").build()).exit_value
+            == SMALL_EXPECTED
+        )
+    # icc's aligned loop heads imply NOP padding somewhere in the image.
+    assert any(op == 33 for op in icc_exe.ops)
+    assert not any(op == 33 for op in gcc_exe.ops)

@@ -1,0 +1,42 @@
+"""Integration: larger input classes still verify against the references.
+
+The "test" class is exercised everywhere; these runs catch scaling bugs
+(buffer sizes, wraparound at larger counts) in the "train" class for a
+representative subset.  "ref" classes are exercised by the benchmark
+harness when users opt in.
+"""
+
+import pytest
+
+from repro import workloads
+from repro.arch import execute, get_machine
+from repro.os import Environment, load_process
+from repro.toolchain import compile_program, link
+
+#: A mix of byte-stream, DP, memory-bound and numeric workloads.
+SUBSET = ("bzip2", "hmmer", "mcf", "sphinx3", "libquantum")
+
+
+@pytest.mark.parametrize("name", SUBSET)
+def test_train_input_verifies(name):
+    wl = workloads.get(name)
+    bindings = wl.input_for("train", seed=0)
+    expected = wl.expected(bindings)
+    exe = link(compile_program(dict(wl.sources), opt_level=2))
+    img = load_process(exe, Environment.typical(), inputs=bindings)
+    res = execute(img, get_machine("core2").build())
+    assert res.exit_value == expected
+
+
+def test_train_is_bigger_than_test():
+    wl = workloads.get("bzip2")
+    exe = link(compile_program(dict(wl.sources), opt_level=2))
+
+    def instructions(size):
+        bindings = wl.input_for(size, seed=0)
+        img = load_process(exe, Environment.typical(), inputs=bindings)
+        return execute(
+            img, get_machine("core2").build()
+        ).counters.instructions
+
+    assert instructions("train") > instructions("test")

@@ -1,0 +1,96 @@
+"""Integration: every workload self-checks against its Python reference.
+
+The O0/O3 x gcc differential for every workload; icc spot checks on a
+representative subset (full icc coverage runs in the validation tool and
+the property tests cover profile agreement on random programs).
+"""
+
+import pytest
+
+from repro import workloads
+from repro.arch import execute, get_machine
+from repro.os import Environment, load_process
+from repro.toolchain import compile_program, link
+
+ALL_NAMES = workloads.all_names()
+
+
+def _run(wl, opt_level, profile="gcc", seed=0):
+    bindings = wl.input_for("test", seed)
+    exe = link(
+        compile_program(dict(wl.sources), opt_level=opt_level, profile=profile)
+    )
+    img = load_process(exe, Environment.typical(), inputs=bindings)
+    res = execute(img, get_machine("core2").build())
+    return res, wl.expected(bindings)
+
+
+class TestSuiteDefinitions:
+    def test_twelve_workloads(self):
+        assert len(ALL_NAMES) == 12
+
+    def test_spec_counterpart_names(self):
+        assert set(ALL_NAMES) == {
+            "perlbench",
+            "bzip2",
+            "gcc",
+            "mcf",
+            "milc",
+            "gobmk",
+            "hmmer",
+            "sjeng",
+            "libquantum",
+            "h264ref",
+            "lbm",
+            "sphinx3",
+        }
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_multi_module_sources(self, name):
+        wl = workloads.get(name)
+        assert len(wl.sources) >= 2, "link-order studies need 2+ modules"
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_input_classes_scale(self, name):
+        wl = workloads.get(name)
+        for size in ("test", "train", "ref"):
+            assert wl.input_for(size, 0)  # constructible
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(workloads.WorkloadError):
+            workloads.get("nonexistent")
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(workloads.WorkloadError):
+            workloads.get("lbm").input_for("huge")
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_inputs_deterministic_per_seed(self, name):
+        wl = workloads.get(name)
+        assert wl.input_for("test", 5) == wl.input_for("test", 5)
+
+
+class TestSuiteCorrectness:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_o2_matches_reference(self, name):
+        wl = workloads.get(name)
+        res, expected = _run(wl, 2)
+        assert res.exit_value == expected
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_o3_matches_reference(self, name):
+        wl = workloads.get(name)
+        res, expected = _run(wl, 3)
+        assert res.exit_value == expected
+
+    @pytest.mark.parametrize("name", ["perlbench", "bzip2", "sjeng", "lbm"])
+    def test_icc_matches_reference(self, name):
+        wl = workloads.get(name)
+        res, expected = _run(wl, 3, profile="icc")
+        assert res.exit_value == expected
+
+    @pytest.mark.parametrize("name", ["sphinx3", "mcf", "libquantum"])
+    def test_second_seed_matches_reference(self, name):
+        wl = workloads.get(name)
+        res, expected = _run(wl, 2, seed=1)
+        assert res.exit_value == expected

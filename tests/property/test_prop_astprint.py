@@ -1,0 +1,40 @@
+"""Property tests: the pretty-printer against the parser and the machine.
+
+Reuses the random-program generator from the differential compiler tests:
+for arbitrary minic programs, printing is a fixpoint after one rendering,
+the printed source re-parses, and — the strong form — the printed program
+*computes the same result* as the original.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.toolchain.astprint import format_unit
+from repro.toolchain.parser import parse_source
+
+from tests.property.test_prop_compiler import _run, minic_programs
+
+
+@settings(max_examples=80, deadline=None)
+@given(minic_programs())
+def test_print_parse_fixpoint(source):
+    once = format_unit(parse_source(source))
+    twice = format_unit(parse_source(once))
+    assert once == twice
+
+
+@settings(max_examples=80, deadline=None)
+@given(minic_programs())
+def test_printed_source_reparses_and_reanalyzes(source):
+    from repro.toolchain.sema import analyze_unit
+
+    printed = format_unit(parse_source(source))
+    analyze_unit(parse_source(printed))
+
+
+@settings(max_examples=40, deadline=None)
+@given(minic_programs())
+def test_printing_preserves_semantics(source):
+    printed = format_unit(parse_source(source))
+    assert _run(printed, 2) == _run(source, 2)

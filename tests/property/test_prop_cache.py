@@ -1,0 +1,95 @@
+"""Property tests: cache model invariants against a reference model."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.arch.cache import Cache, CacheConfig
+
+
+def _reference_lru(accesses: List[int], sets: int, ways: int) -> List[bool]:
+    """Oracle: dict-of-OrderedDict LRU."""
+    state = {s: OrderedDict() for s in range(sets)}
+    out = []
+    for line in accesses:
+        s = line % sets
+        ways_map = state[s]
+        if line in ways_map:
+            ways_map.move_to_end(line)
+            out.append(True)
+        else:
+            out.append(False)
+            ways_map[line] = True
+            if len(ways_map) > ways:
+                ways_map.popitem(last=False)
+    return out
+
+
+geometries = st.sampled_from([(2, 1), (2, 2), (4, 2), (8, 4), (16, 8)])
+access_lists = st.lists(
+    st.integers(min_value=0, max_value=255), min_size=1, max_size=300
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(geometries, access_lists)
+def test_matches_reference_lru(geometry, accesses):
+    sets, ways = geometry
+    cache = Cache(CacheConfig("t", sets * ways * 64, 64, ways))
+    got = [cache.access_line(a) for a in accesses]
+    assert got == _reference_lru(accesses, sets, ways)
+
+
+@settings(max_examples=100, deadline=None)
+@given(geometries, access_lists)
+def test_stats_sum_to_accesses(geometry, accesses):
+    sets, ways = geometry
+    cache = Cache(CacheConfig("t", sets * ways * 64, 64, ways))
+    for a in accesses:
+        cache.access_line(a)
+    assert cache.hits + cache.misses == len(accesses)
+
+
+@settings(max_examples=100, deadline=None)
+@given(geometries, access_lists)
+def test_capacity_never_exceeded(geometry, accesses):
+    sets, ways = geometry
+    cache = Cache(CacheConfig("t", sets * ways * 64, 64, ways))
+    for a in accesses:
+        cache.access_line(a)
+        assert len(cache.resident_lines()) <= sets * ways
+
+
+@settings(max_examples=100, deadline=None)
+@given(geometries, access_lists)
+def test_immediate_rehit(geometry, accesses):
+    """Accessing any line twice in a row always hits the second time."""
+    sets, ways = geometry
+    cache = Cache(CacheConfig("t", sets * ways * 64, 64, ways))
+    for a in accesses:
+        cache.access_line(a)
+        assert cache.access_line(a) is True
+
+
+@settings(max_examples=100, deadline=None)
+@given(geometries, access_lists)
+def test_working_set_within_ways_never_misses_twice(geometry, accesses):
+    """A line can only cold-miss once if its set never overflows."""
+    sets, ways = geometry
+    from collections import Counter, defaultdict
+
+    per_set = defaultdict(set)
+    for a in accesses:
+        per_set[a % sets].add(a)
+    if any(len(lines) > ways for lines in per_set.values()):
+        return  # property only holds without conflict pressure
+    cache = Cache(CacheConfig("t", sets * ways * 64, 64, ways))
+    misses = Counter()
+    for a in accesses:
+        if not cache.access_line(a):
+            misses[a] += 1
+    assert all(count == 1 for count in misses.values())

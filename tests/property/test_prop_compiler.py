@@ -1,0 +1,167 @@
+"""Property tests: the toolchain is semantics-preserving.
+
+The crown-jewel property: for *random minic programs*, every optimization
+level, every vendor profile, and every link order produces the same
+result as the unoptimized build.  This differentially tests the parser,
+code generator, all optimizer passes, the linker and the engine against
+each other.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.arch import execute, get_machine
+from repro.os import Environment, load_process
+from repro.toolchain import compile_unit, link
+
+# -- program generator ------------------------------------------------------
+
+_VARS = ("a", "b", "c")
+_COUNTERS = ("i", "j", "k")
+_ARR = "arr"
+_ARR_LEN = 8
+
+
+@st.composite
+def _expr(draw, depth=0):
+    choices = ["num", "var", "arr"]
+    if depth < 3:
+        choices += ["bin", "bin", "unary", "cmp"]
+    kind = draw(st.sampled_from(choices))
+    if kind == "num":
+        return str(draw(st.integers(min_value=-64, max_value=64)))
+    if kind == "var":
+        return draw(st.sampled_from(_VARS))
+    if kind == "arr":
+        inner = draw(_expr(depth=depth + 1))
+        return f"{_ARR}[({inner}) & {_ARR_LEN - 1}]"
+    if kind == "unary":
+        op = draw(st.sampled_from(["-", "~", "!"]))
+        return f"{op}({draw(_expr(depth=depth + 1))})"
+    if kind == "cmp":
+        op = draw(st.sampled_from(["<", "<=", ">", ">=", "==", "!="]))
+        return f"(({draw(_expr(depth=depth + 1))}) {op} ({draw(_expr(depth=depth + 1))}))"
+    op = draw(st.sampled_from(["+", "-", "*", "&", "|", "^", "<<", ">>"]))
+    lhs = draw(_expr(depth=depth + 1))
+    rhs = draw(_expr(depth=depth + 1))
+    if op in ("<<", ">>"):
+        rhs = f"(({rhs}) & 7)"
+    return f"(({lhs}) {op} ({rhs}))"
+
+
+@st.composite
+def _stmt(draw, depth=0):
+    choices = ["assign", "assign", "store", "if"]
+    if depth < 2:
+        choices += ["for", "while"]
+    kind = draw(st.sampled_from(choices))
+    if kind == "assign":
+        var = draw(st.sampled_from(_VARS))
+        return f"{var} = {draw(_expr())};"
+    if kind == "store":
+        return (
+            f"{_ARR}[({draw(_expr())}) & {_ARR_LEN - 1}] = {draw(_expr())};"
+        )
+    if kind == "if":
+        cond = draw(_expr())
+        then = draw(_block(depth=depth + 1))
+        if draw(st.booleans()):
+            els = draw(_block(depth=depth + 1))
+            return f"if ({cond}) {{ {then} }} else {{ {els} }}"
+        return f"if ({cond}) {{ {then} }}"
+    # Each nesting depth owns its loop counter so nested loops can never
+    # clobber an enclosing loop's induction variable.
+    counter = _COUNTERS[depth]
+    if kind == "for":
+        trips = draw(st.integers(min_value=0, max_value=9))
+        step = draw(st.integers(min_value=1, max_value=3))
+        body = draw(_block(depth=depth + 1, no_decls=True))
+        return (
+            f"for ({counter} = 0; {counter} < {trips}; "
+            f"{counter} = {counter} + {step}) {{ {body} }}"
+        )
+    # while with a bounded counter to guarantee termination
+    trips = draw(st.integers(min_value=0, max_value=8))
+    body = draw(_block(depth=depth + 1, no_decls=True))
+    return (
+        f"{counter} = 0; while ({counter} < {trips}) "
+        f"{{ {body} {counter} = {counter} + 1; }}"
+    )
+
+
+@st.composite
+def _block(draw, depth=0, no_decls=False):
+    n = draw(st.integers(min_value=1, max_value=3))
+    return " ".join(draw(_stmt(depth=depth)) for __ in range(n))
+
+
+@st.composite
+def minic_programs(draw):
+    body = draw(_block())
+    inits = " ".join(
+        f"{v} = {draw(st.integers(min_value=-16, max_value=16))};"
+        for v in _VARS
+    )
+    return (
+        f"int {_ARR}[{_ARR_LEN}];\n"
+        "func main() {\n"
+        "    var a; var b; var c; var i; var j; var k;\n"
+        f"    {inits} i = 0; j = 0; k = 0;\n"
+        f"    {body}\n"
+        "    return (a ^ b) + c + arr[0] + arr[7] + i + j * 3 + k;\n"
+        "}\n"
+    )
+
+
+def _run(source: str, opt_level: int, profile: str = "gcc") -> int:
+    exe = link([compile_unit(source, "m", opt_level=opt_level, profile=profile)])
+    img = load_process(exe, Environment.typical())
+    return execute(
+        img, get_machine("core2").build(), max_instructions=2_000_000
+    ).exit_value
+
+
+@settings(max_examples=60, deadline=None)
+@given(minic_programs())
+def test_optimization_levels_agree(source):
+    reference = _run(source, 0)
+    for level in (1, 2, 3):
+        assert _run(source, level) == reference, f"O{level} diverged"
+
+
+@settings(max_examples=30, deadline=None)
+@given(minic_programs())
+def test_vendor_profiles_agree(source):
+    assert _run(source, 3, "gcc") == _run(source, 3, "icc")
+
+
+@settings(max_examples=30, deadline=None)
+@given(minic_programs(), st.integers(min_value=0, max_value=4000))
+def test_environment_never_changes_results(source, extra_bytes):
+    exe = link([compile_unit(source, "m", opt_level=2)])
+    env = Environment.of_size(
+        Environment.typical().total_bytes + 3 + extra_bytes,
+        Environment.typical(),
+    )
+    img = load_process(exe, env)
+    got = execute(
+        img, get_machine("core2").build(), max_instructions=2_000_000
+    ).exit_value
+    assert got == _run(source, 2)
+
+
+@settings(max_examples=20, deadline=None)
+@given(minic_programs())
+def test_machines_agree_on_results(source):
+    exe = link([compile_unit(source, "m", opt_level=2)])
+    values = set()
+    for machine in ("core2", "pentium4", "m5_o3cpu"):
+        img = load_process(exe, Environment.typical())
+        values.add(
+            execute(
+                img, get_machine(machine).build(), max_instructions=2_000_000
+            ).exit_value
+        )
+    assert len(values) == 1

@@ -1,0 +1,80 @@
+"""Property tests: execution-engine invariants on random programs."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.arch import execute, get_machine
+from repro.os import Environment, load_process
+from repro.toolchain import compile_unit, link
+
+from tests.property.test_prop_compiler import minic_programs
+
+
+def _measure(source, machine="core2", env_bytes=None):
+    exe = link([compile_unit(source, "m", opt_level=2)])
+    env = (
+        Environment.typical()
+        if env_bytes is None
+        else Environment.of_size(env_bytes)
+    )
+    img = load_process(exe, env)
+    return execute(
+        img, get_machine(machine).build(), max_instructions=2_000_000
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(minic_programs())
+def test_counter_consistency(source):
+    c = _measure(source).counters
+    # Structural invariants of the counter set.
+    assert c.instructions > 0
+    assert c.cycles >= c.instructions * 0.33  # issue cost floor
+    assert 0 <= c.mispredicts <= c.branches
+    assert 0 <= c.taken_branches <= c.branches
+    assert c.calls == c.returns  # main always returns before HALT
+    assert c.lsd_covered <= c.instructions
+    assert c.l2_misses <= c.l1i_misses + c.l1d_misses
+    # Loads/stores include the call/return stack traffic.
+    assert c.loads >= c.returns
+    assert c.stores >= c.calls
+
+
+@settings(max_examples=30, deadline=None)
+@given(minic_programs())
+def test_determinism(source):
+    a = _measure(source)
+    b = _measure(source)
+    assert a.exit_value == b.exit_value
+    assert a.counters.as_dict() == b.counters.as_dict()
+
+
+@settings(max_examples=25, deadline=None)
+@given(minic_programs())
+def test_env_size_never_changes_architectural_counters(source):
+    """Environment size may move cycles and alignment counters, but the
+    architectural event counts (instructions, branches, memory ops) are
+    properties of the program, not of the stack address."""
+    a = _measure(source, env_bytes=100).counters
+    b = _measure(source, env_bytes=357).counters
+    assert a.instructions == b.instructions
+    assert a.branches == b.branches
+    assert a.taken_branches == b.taken_branches
+    assert a.loads == b.loads
+    assert a.stores == b.stores
+    assert a.calls == b.calls
+
+
+@settings(max_examples=20, deadline=None)
+@given(minic_programs())
+def test_perfect_alignment_on_aligned_stack(source):
+    """With the loader forcing 16-byte stacks, word code can never pay
+    unaligned or split penalties (the intervention behind F5)."""
+    exe = link([compile_unit(source, "m", opt_level=2)])
+    img = load_process(exe, Environment.typical(), stack_align=16)
+    c = execute(
+        img, get_machine("core2").build(), max_instructions=2_000_000
+    ).counters
+    assert c.unaligned_accesses == 0
+    assert c.line_splits == 0

@@ -1,0 +1,64 @@
+"""Property tests: linker layout invariants over random link orders and
+alignments."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.toolchain import LinkLayout, compile_program, link
+
+from tests.conftest import SMALL_SOURCES, SMALL_EXPECTED, run_exe
+
+_MODULES = compile_program(SMALL_SOURCES, opt_level=2)
+
+orders = st.permutations(list(SMALL_SOURCES))
+alignments = st.sampled_from([1, 2, 4, 8, 16, 32, 64])
+
+
+@settings(max_examples=40, deadline=None)
+@given(orders, alignments)
+def test_layout_invariants(order, alignment):
+    exe = link(
+        _MODULES,
+        order=list(order),
+        layout=LinkLayout(function_alignment=alignment),
+    )
+    placed = sorted(exe.placed, key=lambda p: p.base)
+    # 1. no overlap, alignment honoured
+    for pf in placed:
+        assert pf.base % alignment == 0
+    for a, b in zip(placed, placed[1:]):
+        assert a.end <= b.base
+    # 2. addresses contiguous within functions
+    for pf in exe.placed:
+        for i in range(pf.flat_start, pf.flat_end - 1):
+            assert exe.addrs[i] + exe.sizes[i] == exe.addrs[i + 1]
+    # 3. every control-flow target resolved and in range
+    for i, op in enumerate(exe.ops):
+        if op in (28, 29, 30, 31):
+            assert 0 <= exe.targets[i] < len(exe.ops)
+    # 4. data above text, no overlap between data objects
+    assert exe.data_start >= exe.text_end
+    spans = sorted(
+        (
+            addr,
+            addr
+            + exe.data_counts[name]
+            * (8 if exe.data_kinds[name] == "words" else 1),
+        )
+        for name, addr in exe.data_addrs.items()
+    )
+    for (a_lo, a_hi), (b_lo, b_hi) in zip(spans, spans[1:]):
+        assert a_hi <= b_lo
+
+
+@settings(max_examples=30, deadline=None)
+@given(orders, alignments)
+def test_semantics_invariant_under_layout(order, alignment):
+    exe = link(
+        _MODULES,
+        order=list(order),
+        layout=LinkLayout(function_alignment=alignment),
+    )
+    assert run_exe(exe).exit_value == SMALL_EXPECTED

@@ -1,0 +1,54 @@
+"""Property tests: optimizer-pass infrastructure invariants.
+
+On compiled real code (the workload suite's functions), the machine-level
+passes must be idempotent — running any cleanup pass a second time
+changes nothing.  Non-idempotence means a pass leaves work behind that it
+would itself do differently next time, a classic source of
+phase-ordering heisenbugs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import workloads
+from repro.toolchain.compiler import compile_unit
+from repro.toolchain.opt import (
+    eliminate_dead_code,
+    local_value_number,
+    peephole_optimize,
+    schedule_blocks,
+    simplify_cfg,
+)
+
+_CASES = [
+    (wl.name, mod_name, src)
+    for wl in workloads.suite()[:6]
+    for mod_name, src in wl.sources.items()
+]
+
+
+def _snapshot(func):
+    return [
+        (blk.label, blk.align, [repr(i) for i in blk.instrs])
+        for blk in func.blocks
+    ]
+
+
+@pytest.mark.parametrize(
+    "pass_fn",
+    [peephole_optimize, local_value_number, eliminate_dead_code, simplify_cfg,
+     schedule_blocks],
+    ids=["peephole", "lvn", "dce", "cfg", "schedule"],
+)
+@pytest.mark.parametrize(
+    "case", _CASES, ids=[f"{w}:{m}" for w, m, _ in _CASES]
+)
+def test_pass_idempotent_on_optimized_code(pass_fn, case):
+    __, mod_name, src = case
+    module = compile_unit(src, mod_name, opt_level=2)
+    for func in module.functions.values():
+        pass_fn(func)
+        first = _snapshot(func)
+        pass_fn(func)
+        assert _snapshot(func) == first, func.name

@@ -1,0 +1,83 @@
+"""Property tests: refops mirror the engine's ALU semantics exactly.
+
+Each operator is executed on the real machine (a tiny program computing
+``a <op> b``) and compared against the corresponding refops helper — the
+contract that makes workload references trustworthy oracles.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import assume, given, settings
+
+from repro.arch import execute, get_machine
+from repro.os import Environment, load_process
+from repro.toolchain import compile_unit, link
+from repro.workloads import refops
+
+_I63 = 2**62  # keep CONST immediates comfortably in range
+
+operands = st.integers(min_value=-_I63, max_value=_I63)
+small_operands = st.integers(min_value=-(2**31), max_value=2**31)
+
+
+def _machine_eval(op: str, a: int, b: int) -> int:
+    src = f"""
+    int ga = {a};
+    int gb = {b};
+    func main() {{ return ga {op} gb; }}
+    """
+    exe = link([compile_unit(src, "m", opt_level=0)])
+    img = load_process(exe, Environment.typical())
+    return execute(img, get_machine("core2").build()).exit_value
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_operands, small_operands)
+def test_mul_matches(a, b):
+    assert _machine_eval("*", a, b) == refops.mul(a, b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(operands, st.integers(min_value=0, max_value=70))
+def test_shl_matches(a, b):
+    assert _machine_eval("<<", a, b) == refops.shl(a, b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(operands, st.integers(min_value=0, max_value=70))
+def test_shr_matches(a, b):
+    assert _machine_eval(">>", a, b) == refops.shr(a, b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(operands, operands)
+def test_bitwise_match(a, b):
+    assert _machine_eval("&", a, b) == refops.band(a, b)
+    assert _machine_eval("|", a, b) == refops.bor(a, b)
+    assert _machine_eval("^", a, b) == refops.bxor(a, b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(operands, operands)
+def test_division_matches(a, b):
+    assume(b != 0)
+    assert _machine_eval("/", a, b) == refops.sdiv(a, b)
+    assert _machine_eval("%", a, b) == refops.smod(a, b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(operands)
+def test_wrap64_is_idempotent_and_in_range(a):
+    w = refops.wrap64(a)
+    assert refops.wrap64(w) == w
+    assert -(2**63) <= w < 2**63
+
+
+@settings(max_examples=40, deadline=None)
+@given(operands, operands)
+def test_division_identity(a, b):
+    assume(b != 0)
+    q, r = refops.sdiv(a, b), refops.smod(a, b)
+    assert q * b + r == a
+    assert abs(r) < abs(b)

@@ -1,0 +1,132 @@
+"""Unit tests: attribution, layout inspection, and interventions."""
+
+import pytest
+
+from repro import workloads
+from repro.analysis import (
+    attribute_delta,
+    counter_correlations,
+    hot_functions,
+    loop_heads,
+    pearson,
+    set_conflict_score,
+    stack_alignment_profile,
+    stack_start_for_env,
+)
+from repro.analysis.layout import code_set_footprint, data_set_footprint
+from repro.arch.cache import CacheConfig
+from repro.core import Experiment, ExperimentalSetup
+from repro.os import Environment
+from repro.os.loader import load_process
+
+
+@pytest.fixture(scope="module")
+def exp():
+    return Experiment(workloads.get("sphinx3"), size="test", seed=0)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return ExperimentalSetup()
+
+
+class TestAttribution:
+    def test_env_delta_fully_explained(self, exp, setup):
+        """The model is linear in its counters for same-binary runs, so
+        attribution between two env sizes must have zero residual."""
+        a = exp.run(setup.with_changes(env_bytes=100))
+        b = exp.run(setup.with_changes(env_bytes=132))
+        att = attribute_delta(a, b, setup.machine_config())
+        assert att.total_delta == pytest.approx(
+            b.cycles - a.cycles, abs=1e-9
+        )
+        assert abs(att.unexplained) < max(1.0, abs(att.total_delta) * 0.05)
+
+    def test_alignment_dominates_env_bias(self, exp, setup):
+        a = exp.run(setup.with_changes(env_bytes=104))  # aligned sp
+        b = exp.run(setup.with_changes(env_bytes=100))  # misaligned sp
+        att = attribute_delta(a, b, setup.machine_config())
+        assert att.dominant_cause() in ("unaligned_accesses", "line_splits")
+
+    def test_ranked_sorted_by_magnitude(self, exp, setup):
+        a = exp.run(setup.with_changes(env_bytes=100))
+        b = exp.run(setup.with_changes(opt_level=3, env_bytes=100))
+        att = attribute_delta(a, b, setup.machine_config())
+        mags = [abs(v) for _, v in att.ranked()]
+        assert mags == sorted(mags, reverse=True)
+
+
+class TestCorrelations:
+    def test_pearson_basics(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_pearson_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2], [1])
+
+    def test_correlations_over_env_sweep(self, exp, setup):
+        ms = [
+            exp.run(setup.with_changes(env_bytes=e))
+            for e in range(100, 400, 20)
+        ]
+        ranked = counter_correlations(ms)
+        names = [n for n, _ in ranked]
+        # Alignment counters must be among the top suspects.
+        assert set(names[:3]) & {"unaligned_accesses", "line_splits"}
+
+    def test_needs_three_measurements(self, exp, setup):
+        with pytest.raises(ValueError):
+            counter_correlations([exp.run(setup)])
+
+
+class TestHotFunctions:
+    def test_profile_required(self, exp, setup):
+        with pytest.raises(ValueError):
+            hot_functions(exp.run(setup))
+
+    def test_finds_the_kernel(self, exp, setup):
+        m = exp.run(setup, profile_functions=True)
+        top = [name for name, _ in hot_functions(m, top=3)]
+        assert "gmm_score" in top
+
+
+class TestLayout:
+    def test_loop_heads_found(self, exp, setup):
+        heads = loop_heads(exp.build(setup))
+        assert heads
+        for h in heads:
+            assert 0 <= h.window_offset < 16
+            assert 0 <= h.line_offset < 64
+            assert h.body_instructions > 0
+
+    def test_link_order_changes_footprints(self, exp, setup):
+        cache = CacheConfig("L1I", 4096, 64, 2)
+        mods = exp.workload.module_names()
+        a = exp.build(setup.with_changes(link_order=tuple(mods)))
+        b = exp.build(setup.with_changes(link_order=tuple(reversed(mods))))
+        assert code_set_footprint(a, cache) != code_set_footprint(b, cache)
+
+    def test_data_footprint_counts_lines(self, exp, setup):
+        cache = CacheConfig("L1D", 4096, 64, 2)
+        fp = data_set_footprint(exp.build(setup), cache)
+        total_lines = sum(fp.values())
+        assert total_lines > 0
+
+    def test_conflict_score(self):
+        assert set_conflict_score({0: 5, 1: 1}, ways=2) == 3
+
+    def test_stack_start_matches_loader(self, exp, setup):
+        env = Environment.of_size(200)
+        predicted = stack_start_for_env(env)
+        img = load_process(exp.build(setup), env)
+        assert predicted == img.sp_start
+
+    def test_alignment_profile_phases(self):
+        prof = stack_alignment_profile(
+            list(range(100, 132, 4)), Environment.empty()
+        )
+        mods8 = {m8 for _, m8, _ in prof}
+        assert mods8 <= {0, 4}
+        assert len(mods8) == 2  # both phases appear over a 4-byte sweep

@@ -1,0 +1,252 @@
+"""Unit tests: AST-level transforms (inlining, unrolling, call extraction).
+
+Structural checks plus semantics-preservation checks through execution.
+"""
+
+from repro.toolchain import ast
+from repro.toolchain.opt.inline import inline_calls
+from repro.toolchain.opt.unroll import unroll_loops
+from repro.toolchain.parser import parse_source
+
+from tests.conftest import run_main
+
+
+def count_calls(unit, name):
+    total = 0
+    for func in unit.funcs:
+        for stmt in ast.walk_stmts(func.body):
+            for top in ast.stmt_exprs(stmt):
+                for e in ast.walk_exprs(top):
+                    if isinstance(e, ast.Call) and e.name == name:
+                        total += 1
+    return total
+
+
+SMALL_CALLEE = """
+func double(x) { return x + x; }
+func main() {
+    var a;
+    a = double(21);
+    return a;
+}
+"""
+
+
+class TestInlining:
+    def test_statement_call_inlined(self):
+        unit = parse_source(SMALL_CALLEE)
+        assert inline_calls(unit, threshold=8) == 1
+        assert count_calls(unit, "double") == 0
+
+    def test_threshold_zero_disables(self):
+        unit = parse_source(SMALL_CALLEE)
+        assert inline_calls(unit, threshold=0) == 0
+        assert count_calls(unit, "double") == 1
+
+    def test_big_callee_not_inlined(self):
+        body = "\n".join(f"x = x + {i};" for i in range(30))
+        src = f"func f(x) {{ {body} return x; }} func main() {{ return f(1); }}"
+        unit = parse_source(src)
+        assert inline_calls(unit, threshold=8) == 0
+
+    def test_recursive_callee_not_inlined(self):
+        src = """
+        func f(n) { if (n < 1) { return 0; } return f(n - 1); }
+        func main() { return f(3); }
+        """
+        unit = parse_source(src)
+        inline_calls(unit, threshold=50)
+        assert count_calls(unit, "f") >= 1  # at least the recursive site
+
+    def test_early_return_callee_not_inlined(self):
+        src = """
+        func f(x) { if (x) { return 1; } return 2; }
+        func main() { return f(0); }
+        """
+        unit = parse_source(src)
+        assert inline_calls(unit, threshold=50) == 0
+
+    def test_nested_call_extracted_and_inlined(self):
+        src = """
+        func half(x) { return x / 2; }
+        func main() { return 1 + half(84); }
+        """
+        unit = parse_source(src)
+        assert inline_calls(unit, threshold=8) == 1
+        assert count_calls(unit, "half") == 0
+
+    def test_inlining_preserves_semantics(self):
+        src = """
+        func mix(a, b) { return a * 10 + b; }
+        func main() {
+            var s; var i;
+            s = 0;
+            for (i = 0; i < 5; i = i + 1) {
+                s = s + mix(i, i + 1);
+            }
+            return s;
+        }
+        """
+        assert run_main(src, opt_level=0) == run_main(src, opt_level=3)
+
+    def test_short_circuit_rhs_not_extracted(self):
+        # Inlining must not hoist a call out of a short-circuited operand.
+        src = """
+        int hits;
+        func bump() { hits = hits + 1; return 1; }
+        func main() {
+            var r;
+            r = 0 && bump();
+            return hits;
+        }
+        """
+        for level in (0, 2, 3):
+            assert run_main(src, opt_level=level) == 0
+
+    def test_renaming_avoids_capture(self):
+        src = """
+        func f(x) { var t; t = x * 2; return t; }
+        func main() {
+            var t; var r;
+            t = 100;
+            r = f(3);
+            return t + r;
+        }
+        """
+        assert run_main(src, opt_level=3) == 106
+
+
+UNROLLABLE = """
+int a[64];
+func main() {
+    var i; var s;
+    for (i = 0; i < 64; i = i + 1) { a[i] = i; }
+    s = 0;
+    for (i = 0; i < 64; i = i + 1) { s = s + a[i]; }
+    return s;
+}
+"""
+
+
+class TestUnrolling:
+    def test_for_loop_unrolled(self):
+        unit = parse_source(UNROLLABLE)
+        assert unroll_loops(unit, factor=4) == 2
+
+    def test_factor_one_disables(self):
+        unit = parse_source(UNROLLABLE)
+        assert unroll_loops(unit, factor=1) == 0
+
+    def test_semantics_preserved_all_trip_counts(self):
+        # Exercise remainder handling: trip counts around the factor.
+        for n in (0, 1, 3, 4, 5, 7, 8, 9):
+            src = f"""
+            func main() {{
+                var i; var s;
+                s = 0;
+                for (i = 0; i < {n}; i = i + 1) {{ s = s + i * i; }}
+                return s;
+            }}
+            """
+            expected = sum(i * i for i in range(n))
+            assert run_main(src, opt_level=3) == expected, n
+
+    def test_le_bound_supported(self):
+        src = """
+        func main() {
+            var i; var s;
+            s = 0;
+            for (i = 1; i <= 10; i = i + 1) { s = s + i; }
+            return s;
+        }
+        """
+        unit = parse_source(src)
+        assert unroll_loops(unit, factor=4) == 1
+        assert run_main(src, opt_level=3) == 55
+
+    def test_step_two(self):
+        src = """
+        func main() {
+            var i; var s;
+            s = 0;
+            for (i = 0; i < 20; i = i + 2) { s = s + i; }
+            return s;
+        }
+        """
+        assert run_main(src, opt_level=3) == sum(range(0, 20, 2))
+
+    def test_break_blocks_unrolling(self):
+        src = """
+        func main() {
+            var i; var s;
+            s = 0;
+            for (i = 0; i < 10; i = i + 1) {
+                if (i == 3) { break; }
+                s = s + 1;
+            }
+            return s;
+        }
+        """
+        unit = parse_source(src)
+        assert unroll_loops(unit, factor=4) == 0
+        assert run_main(src, opt_level=3) == 3
+
+    def test_induction_var_assignment_blocks_unrolling(self):
+        src = """
+        func main() {
+            var i; var s;
+            s = 0;
+            for (i = 0; i < 10; i = i + 1) {
+                i = i + 1;
+                s = s + 1;
+            }
+            return s;
+        }
+        """
+        unit = parse_source(src)
+        assert unroll_loops(unit, factor=4) == 0
+
+    def test_vardecl_in_body_blocks_unrolling(self):
+        src = """
+        func main() {
+            var i; var s;
+            s = 0;
+            for (i = 0; i < 8; i = i + 1) { var t; t = i; s = s + t; }
+            return s;
+        }
+        """
+        unit = parse_source(src)
+        assert unroll_loops(unit, factor=4) == 0
+
+    def test_only_innermost_unrolled(self):
+        src = """
+        int a[16];
+        func main() {
+            var i; var j; var s;
+            s = 0;
+            for (i = 0; i < 4; i = i + 1) {
+                for (j = 0; j < 4; j = j + 1) {
+                    s = s + a[i * 4 + j] + 1;
+                }
+            }
+            return s;
+        }
+        """
+        unit = parse_source(src)
+        assert unroll_loops(unit, factor=4) == 1  # inner only
+
+    def test_bound_variable_assigned_in_body_blocks_unrolling(self):
+        src = """
+        func main() {
+            var i; var n; var s;
+            n = 10; s = 0;
+            for (i = 0; i < n; i = i + 1) {
+                n = n - 1;
+                s = s + 1;
+            }
+            return s;
+        }
+        """
+        unit = parse_source(src)
+        assert unroll_loops(unit, factor=4) == 0
+        assert run_main(src, opt_level=3) == 5

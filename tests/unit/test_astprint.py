@@ -1,0 +1,108 @@
+"""Unit tests: the minic pretty-printer."""
+
+import pytest
+
+from repro.toolchain.astprint import format_expr, format_unit
+from repro.toolchain.parser import parse_source
+
+from tests.conftest import SMALL_SOURCES, run_main
+
+
+def roundtrip(source: str) -> str:
+    return format_unit(parse_source(source))
+
+
+class TestExpressions:
+    def _fmt(self, text):
+        unit = parse_source(f"int a; int b; int c; func f() {{ return {text}; }}")
+        return format_expr(unit.funcs[0].body.stmts[0].value)
+
+    def test_minimal_parentheses(self):
+        assert self._fmt("a + b * c") == "a + b * c"
+        assert self._fmt("(a + b) * c") == "(a + b) * c"
+
+    def test_left_associativity_preserved(self):
+        assert self._fmt("a - b - c") == "a - b - c"
+        assert self._fmt("a - (b - c)") == "a - (b - c)"
+
+    def test_unary_canonicalized(self):
+        # minic has no negative literals; unary minus round-trips via 0-x
+        # at subtraction's precedence (no redundant parens at top level).
+        assert self._fmt("-a") == "0 - a"
+        assert self._fmt("-a * b") == "(0 - a) * b"
+        assert self._fmt("!a") == "!a"
+        assert self._fmt("~(a + b)") == "~(a + b)"
+
+    def test_calls_and_indexing(self):
+        assert self._fmt("g(a, b + 1)") == "g(a, b + 1)"
+        unit = parse_source("int t[4]; func f() { return t[2 + 1]; }")
+        assert format_expr(unit.funcs[0].body.stmts[0].value) == "t[2 + 1]"
+
+    def test_addrof(self):
+        unit = parse_source("int t[4]; func f() { return peek(&t); }")
+        assert format_expr(unit.funcs[0].body.stmts[0].value) == "peek(&t)"
+
+
+class TestUnits:
+    def test_globals_rendered(self):
+        out = roundtrip("int g = 5; byte b[4]; int a[2] = {1, -2};")
+        assert "int g = 5;" in out
+        assert "byte b[4];" in out
+        assert "int a[2] = {1, -2};" in out
+
+    def test_statements_rendered(self):
+        src = """
+        func f(n) {
+            var i; var s;
+            s = 0;
+            for (i = 0; i < n; i = i + 1) {
+                if (i & 1) { continue; } else { s = s + i; }
+                while (s > 100) { s = s - 100; break; }
+            }
+            return s;
+        }
+        """
+        out = roundtrip(src)
+        for fragment in ("for (i = 0;", "continue;", "break;", "} else {"):
+            assert fragment in out
+
+    def test_fixpoint_after_one_print(self):
+        # print∘parse is idempotent from the first rendering.
+        for src in SMALL_SOURCES.values():
+            once = roundtrip(src)
+            twice = roundtrip(once)
+            assert once == twice
+
+    def test_printed_source_reparses(self):
+        for src in SMALL_SOURCES.values():
+            parse_source(roundtrip(src))  # must not raise
+
+    @pytest.mark.parametrize(
+        "src,expected",
+        [
+            (
+                "func main() { return 2 + 3 * 4; }",
+                14,
+            ),
+            (
+                "int a[4]; func main() { a[1] = 7; return a[1] - -3; }",
+                10,
+            ),
+            (
+                "func main() { var i; var s; s = 0; "
+                "for (i = 0; i < 5; i = i + 1) { s = s + i; } return s; }",
+                10,
+            ),
+        ],
+    )
+    def test_semantics_preserved_through_printing(self, src, expected):
+        assert run_main(src) == expected
+        assert run_main(roundtrip(src)) == expected
+
+    def test_workload_sources_roundtrip(self):
+        from repro import workloads
+
+        for wl in workloads.suite():
+            for name, src in wl.sources.items():
+                printed = roundtrip(src)
+                assert roundtrip(printed) == printed, f"{wl.name}:{name}"

@@ -1,0 +1,131 @@
+"""Unit tests: the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListingCommands:
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "perlbench" in out and "sphinx3" in out
+
+    def test_machines(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "core2" in out and "pentium4" in out and "m5_o3cpu" in out
+
+    def test_survey(self, capsys):
+        assert main(["survey"]) == 0
+        out = capsys.readouterr().out
+        assert "133" in out
+
+
+class TestRunCommand:
+    def test_run_prints_counters_and_verifies(self, capsys):
+        assert main(["run", "sphinx3", "--opt", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out
+        assert "verified against reference" in out
+
+    def test_run_with_env_bytes(self, capsys):
+        assert main(["run", "sphinx3", "--env-bytes", "256"]) == 0
+        assert "env=256B" in capsys.readouterr().out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "doom"])
+
+
+class TestStudyCommand:
+    def test_env_study(self, capsys):
+        assert (
+            main(
+                [
+                    "study",
+                    "sphinx3",
+                    "env",
+                    "--env-start",
+                    "100",
+                    "--env-stop",
+                    "164",
+                    "--env-step",
+                    "16",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "speedup" in out and "env_bytes" in out
+
+    def test_link_study(self, capsys):
+        assert main(["study", "sphinx3", "link", "--orders", "3"]) == 0
+        assert "link_order" in capsys.readouterr().out
+
+
+class TestRandomizedCommand:
+    def test_randomized(self, capsys):
+        assert main(["randomized", "sphinx3", "--setups", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "random setups" in out
+        assert any(
+            verdict in out
+            for verdict in ("beneficial", "harmful", "inconclusive")
+        )
+
+
+class TestCharacterizeCommand:
+    def test_characterize(self, capsys):
+        assert main(["characterize", "sphinx3"]) == 0
+        out = capsys.readouterr().out
+        assert "hottest function" in out and "opcode mix" in out
+
+
+class TestArchiveCommands:
+    def test_archive_roundtrip(self, capsys, tmp_path):
+        path = str(tmp_path / "a.json")
+        assert (
+            main(
+                [
+                    "archive",
+                    "sphinx3",
+                    path,
+                    "--env-start",
+                    "100",
+                    "--env-stop",
+                    "164",
+                    "--env-step",
+                    "32",
+                ]
+            )
+            == 0
+        )
+        assert "archived 2 measurements" in capsys.readouterr().out
+        assert main(["verify-archive", path]) == 0
+        assert "reproduce exactly" in capsys.readouterr().out
+
+    def test_verify_detects_tampering(self, capsys, tmp_path):
+        import json
+
+        path = str(tmp_path / "b.json")
+        assert (
+            main(
+                [
+                    "archive",
+                    "sphinx3",
+                    path,
+                    "--env-stop",
+                    "132",
+                    "--env-step",
+                    "32",
+                ]
+            )
+            == 0
+        )
+        data = json.load(open(path))
+        data["measurements"][0]["counters"]["cycles"] += 5000
+        json.dump(data, open(path, "w"))
+        capsys.readouterr()
+        assert main(["verify-archive", path]) == 1
+        assert "DRIFT" in capsys.readouterr().out

@@ -1,0 +1,275 @@
+"""Unit tests: code generation semantics.
+
+Each test compiles a small program and executes it — the observable
+contract of the code generator is the program's result.  Run at O0 (no
+optimization) so these pin the *generator*, not the pass pipeline; the
+differential property tests cover optimized levels.
+"""
+
+import pytest
+
+from tests.conftest import run_main
+
+
+def run0(source, **kw):
+    return run_main(source, opt_level=0, **kw)
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        src = "func main() { return 7 + 3 * 4 - 10 / 2 - 9 % 4; }"
+        assert run0(src) == 7 + 12 - 5 - 1
+
+    def test_division_truncates_toward_zero(self):
+        assert run0("func main() { return (0 - 7) / 2; }") == -3
+        assert run0("func main() { return 7 / (0 - 2); }") == -3
+
+    def test_modulo_keeps_dividend_sign(self):
+        assert run0("func main() { return (0 - 7) % 3; }") == -1
+        assert run0("func main() { return 7 % (0 - 3); }") == 1
+
+    def test_shifts(self):
+        assert run0("func main() { return 5 << 3; }") == 40
+        assert run0("func main() { return 40 >> 3; }") == 5
+
+    def test_logical_shift_right_of_negative(self):
+        # >> is logical on the 64-bit pattern.
+        assert run0("func main() { return ((0 - 1) >> 60) & 15; }") == 15
+
+    def test_bitwise_ops(self):
+        assert run0("func main() { return (12 & 10) + (12 | 10) + (12 ^ 10); }") == (
+            (12 & 10) + (12 | 10) + (12 ^ 10)
+        )
+
+    def test_mul_wraps_to_64_bits(self):
+        src = "func main() { return ((1 << 62) * 4) & 255; }"
+        assert run0(src) == 0
+
+    def test_unary_ops(self):
+        assert run0("func main() { return -5 + 6; }") == 1
+        assert run0("func main() { return ~0 + 2; }") == 1
+        assert run0("func main() { return !0 + !7; }") == 1
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("3 < 4", 1),
+            ("4 < 3", 0),
+            ("3 <= 3", 1),
+            ("4 <= 3", 0),
+            ("4 > 3", 1),
+            ("3 > 4", 0),
+            ("3 >= 3", 1),
+            ("2 >= 3", 0),
+            ("3 == 3", 1),
+            ("3 == 4", 0),
+            ("3 != 4", 1),
+            ("3 != 3", 0),
+        ],
+    )
+    def test_comparison_values(self, expr, expected):
+        assert run0(f"func main() {{ return {expr}; }}") == expected
+
+    def test_negative_comparisons(self):
+        assert run0("func main() { return (0 - 5) < 3; }") == 1
+
+
+class TestShortCircuit:
+    def test_and_skips_rhs_on_false(self):
+        src = """
+        int hits;
+        func bump() { hits = hits + 1; return 1; }
+        func main() {
+            var r;
+            r = 0 && bump();
+            return hits * 10 + r;
+        }
+        """
+        assert run0(src) == 0
+
+    def test_or_skips_rhs_on_true(self):
+        src = """
+        int hits;
+        func bump() { hits = hits + 1; return 0; }
+        func main() {
+            var r;
+            r = 1 || bump();
+            return hits * 10 + r;
+        }
+        """
+        assert run0(src) == 1
+
+    def test_and_or_values_normalized(self):
+        assert run0("func main() { return (7 && 9) + (0 || 5); }") == 2
+
+    def test_in_conditions(self):
+        src = """
+        func main() {
+            var a;
+            a = 0;
+            if (3 > 2 && 2 > 1) { a = a + 1; }
+            if (0 || 1) { a = a + 2; }
+            if (1 && 0) { a = a + 100; }
+            return a;
+        }
+        """
+        assert run0(src) == 3
+
+
+class TestVariablesAndArrays:
+    def test_global_scalar_roundtrip(self):
+        assert run0("int g; func main() { g = 41; return g + 1; }") == 42
+
+    def test_global_initializer(self):
+        assert run0("int g = 39; func main() { return g + 3; }") == 42
+
+    def test_global_array_initializer(self):
+        src = "int a[4] = {10, 20, 30}; func main() { return a[0]+a[1]+a[2]+a[3]; }"
+        assert run0(src) == 60
+
+    def test_local_array(self):
+        src = """
+        func main() {
+            var a[5]; var i; var s;
+            for (i = 0; i < 5; i = i + 1) { a[i] = i * i; }
+            s = 0;
+            for (i = 0; i < 5; i = i + 1) { s = s + a[i]; }
+            return s;
+        }
+        """
+        assert run0(src) == 30
+
+    def test_byte_array_truncates(self):
+        src = """
+        byte b[4];
+        func main() { b[1] = 300; return b[1]; }
+        """
+        assert run0(src) == 300 & 0xFF
+
+    def test_addrof_and_peek_poke(self):
+        src = """
+        int g[4];
+        func main() {
+            poke(&g + 8, 77);
+            return g[1] + peek(&g + 8);
+        }
+        """
+        assert run0(src) == 154
+
+    def test_addrof_local(self):
+        src = """
+        func main() {
+            var x;
+            x = 5;
+            poke(&x, 9);
+            return x;
+        }
+        """
+        assert run0(src) == 9
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        src = "func main() { if (0) { return 1; } else { return 2; } }"
+        assert run0(src) == 2
+
+    def test_while_loop(self):
+        src = """
+        func main() {
+            var i; var s;
+            i = 0; s = 0;
+            while (i < 10) { s = s + i; i = i + 1; }
+            return s;
+        }
+        """
+        assert run0(src) == 45
+
+    def test_break_exits_innermost(self):
+        src = """
+        func main() {
+            var i; var j; var s;
+            s = 0;
+            for (i = 0; i < 3; i = i + 1) {
+                for (j = 0; j < 10; j = j + 1) {
+                    if (j == 2) { break; }
+                    s = s + 1;
+                }
+            }
+            return s;
+        }
+        """
+        assert run0(src) == 6
+
+    def test_continue_runs_for_update(self):
+        src = """
+        func main() {
+            var i; var s;
+            s = 0;
+            for (i = 0; i < 10; i = i + 1) {
+                if (i & 1) { continue; }
+                s = s + i;
+            }
+            return s;
+        }
+        """
+        assert run0(src) == 20
+
+    def test_fall_off_end_returns_zero(self):
+        assert run0("int g; func main() { g = 3; }") == 0
+
+
+class TestCalls:
+    def test_argument_passing_order(self):
+        src = """
+        func f(a, b, c) { return a * 100 + b * 10 + c; }
+        func main() { return f(1, 2, 3); }
+        """
+        assert run0(src) == 123
+
+    def test_six_arguments(self):
+        src = """
+        func f(a, b, c, d, e, g) { return a+b*2+c*3+d*4+e*5+g*6; }
+        func main() { return f(1, 1, 1, 1, 1, 1); }
+        """
+        assert run0(src) == 21
+
+    def test_nested_calls(self):
+        src = """
+        func inc(x) { return x + 1; }
+        func main() { return inc(inc(inc(0))); }
+        """
+        assert run0(src) == 3
+
+    def test_call_result_in_expression(self):
+        src = """
+        func two() { return 2; }
+        func main() { return 10 + two() * 3; }
+        """
+        assert run0(src) == 16
+
+    def test_recursion(self):
+        src = """
+        func fib(n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        func main() { return fib(10); }
+        """
+        assert run0(src) == 55
+
+    def test_callee_saved_registers_survive_calls(self):
+        # Promoted locals must survive a callee that also promotes.
+        src = """
+        func clobber() { var a; var b; var c; var d;
+            a = 1; b = 2; c = 3; d = 4; return a + b + c + d; }
+        func main() {
+            var x; var y;
+            x = 10; y = 20;
+            clobber();
+            return x + y;
+        }
+        """
+        for level in (0, 1, 2, 3):
+            assert run_main(src, opt_level=level) == 30

@@ -1,0 +1,95 @@
+"""Unit tests: the compiler driver and executable inspection."""
+
+import pytest
+
+from repro.toolchain import CompileError, compile_program, compile_unit, link
+from repro.toolchain.compiler import check_sources_order, compilation_report
+
+from tests.conftest import SMALL_SOURCES
+
+
+class TestCompileUnit:
+    def test_bad_level_rejected(self):
+        with pytest.raises(CompileError, match="O5"):
+            compile_unit("func main() { return 0; }", "m", opt_level=5)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(KeyError):
+            compile_unit("func main() { return 0; }", "m", profile="clang")
+
+    def test_custom_profile_validated(self):
+        from repro.toolchain import CompilerProfile
+
+        bad = CompilerProfile(
+            name="x",
+            inline_threshold=(0, 0, 0, 0),
+            unroll_factor=(0, 1, 1, 1),  # invalid
+            promote_registers=(0,) * 4,
+            cache_global_bases=(0,) * 4,
+            schedule=(False,) * 4,
+            loop_alignment=(1,) * 4,
+        )
+        with pytest.raises(ValueError):
+            compile_unit("func main() { return 0; }", "m", profile=bad)
+
+    def test_module_name_propagates(self):
+        mod = compile_unit("func main() { return 0; }", "mymodule")
+        assert mod.name == "mymodule"
+
+    def test_syntax_errors_carry_filename(self):
+        with pytest.raises(CompileError, match="badfile"):
+            compile_unit("func main( { return 0; }", "badfile")
+
+
+class TestCompileProgram:
+    def test_preserves_module_order(self):
+        mods = compile_program(SMALL_SOURCES)
+        assert [m.name for m in mods] == list(SMALL_SOURCES)
+
+    def test_check_sources_order(self):
+        check_sources_order(SMALL_SOURCES, ["main", "kernel"])
+        with pytest.raises(CompileError):
+            check_sources_order(SMALL_SOURCES, ["kernel"])
+
+
+class TestCompilationReport:
+    def test_report_shape(self):
+        report = compilation_report(SMALL_SOURCES)
+        assert set(report) == set(SMALL_SOURCES)
+        for per_level in report.values():
+            assert set(per_level) == {0, 1, 2, 3}
+
+    def test_o1_shrinks_static_code(self):
+        # Cleanup passes strictly reduce the naive O0 output.
+        report = compilation_report(SMALL_SOURCES)
+        for per_level in report.values():
+            assert per_level[1][0] <= per_level[0][0]
+            assert per_level[1][1] <= per_level[0][1]
+
+    def test_o3_unrolling_grows_loopy_code(self):
+        # Static size is NOT monotone in the level: O3 trades code size
+        # for dynamic work — exactly the tension the paper studies.
+        report = compilation_report(SMALL_SOURCES)
+        kernel = report["kernel"]
+        assert kernel[3][1] > kernel[2][1]
+
+
+class TestExecutableInspection:
+    def test_disassemble(self, small_exe_o2):
+        listing = small_exe_o2.disassemble("fill")
+        assert "fill @" in listing
+        assert "ret" in listing
+
+    def test_disassemble_unknown(self, small_exe_o2):
+        with pytest.raises(KeyError):
+            small_exe_o2.disassemble("ghost")
+
+    def test_function_at(self, small_exe_o2):
+        pf = small_exe_o2.placed_by_name("total")
+        assert small_exe_o2.function_at(pf.flat_start).name == "total"
+        assert small_exe_o2.function_at(pf.flat_end - 1).name == "total"
+        assert small_exe_o2.function_at(10**9) is None
+
+    def test_repr_mentions_shape(self, small_exe_o2):
+        text = repr(small_exe_o2)
+        assert "functions" in text and "instructions" in text

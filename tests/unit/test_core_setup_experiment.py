@@ -1,0 +1,106 @@
+"""Unit tests: ExperimentalSetup and Experiment."""
+
+import pytest
+
+from repro import workloads
+from repro.arch import core2
+from repro.core import Experiment, ExperimentalSetup, VerificationError
+from repro.os import Environment
+
+
+class TestExperimentalSetup:
+    def test_defaults(self):
+        s = ExperimentalSetup()
+        assert s.machine_name == "core2"
+        assert s.opt_level == 2
+        assert s.environment() == Environment.typical()
+
+    def test_with_changes_creates_new(self):
+        base = ExperimentalSetup()
+        treat = base.with_changes(opt_level=3)
+        assert base.opt_level == 2 and treat.opt_level == 3
+
+    def test_env_bytes_resolution(self):
+        s = ExperimentalSetup(env_bytes=512)
+        assert s.environment().total_bytes == 512
+
+    def test_invalid_opt_level_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentalSetup(opt_level=5)
+
+    def test_link_order_normalized_to_tuple(self):
+        s = ExperimentalSetup(link_order=["a", "b"])
+        assert s.link_order == ("a", "b")
+        assert hash(s)  # hashable for memoization
+
+    def test_machine_config_from_name_and_instance(self):
+        by_name = ExperimentalSetup(machine="core2").machine_config()
+        direct = ExperimentalSetup(machine=core2()).machine_config()
+        assert by_name == direct
+
+    def test_build_key_excludes_runtime_fields(self):
+        a = ExperimentalSetup(env_bytes=100)
+        b = ExperimentalSetup(env_bytes=4000)
+        assert a.build_key() == b.build_key()
+        c = ExperimentalSetup(opt_level=3)
+        assert a.build_key() != c.build_key()
+
+    def test_describe_mentions_key_fields(self):
+        s = ExperimentalSetup(opt_level=3, env_bytes=256)
+        d = s.describe()
+        assert "O3" in d and "256" in d and "core2" in d
+
+
+class TestExperiment:
+    @pytest.fixture(scope="class")
+    def exp(self):
+        # sphinx3 is the suite's fastest workload.
+        return Experiment(workloads.get("sphinx3"), size="test", seed=0)
+
+    def test_run_verifies_against_reference(self, exp, base_setup):
+        m = exp.run(base_setup)
+        assert m.exit_value == exp.expected
+
+    def test_measurement_cached(self, exp, base_setup):
+        a = exp.run(base_setup)
+        b = exp.run(base_setup)
+        assert a is b
+
+    def test_build_cached_across_env_sizes(self, exp, base_setup):
+        exe1 = exp.build(base_setup.with_changes(env_bytes=100))
+        exe2 = exp.build(base_setup.with_changes(env_bytes=4000))
+        assert exe1 is exe2
+
+    def test_build_not_shared_across_opt_levels(self, exp, base_setup):
+        exe1 = exp.build(base_setup)
+        exe2 = exp.build(base_setup.with_changes(opt_level=3))
+        assert exe1 is not exe2
+
+    def test_speedup_definition(self, exp, base_setup):
+        treat = base_setup.with_changes(opt_level=3)
+        s = exp.speedup(base_setup, treat)
+        assert s == pytest.approx(
+            exp.run(base_setup).cycles / exp.run(treat).cycles
+        )
+
+    def test_sweep_returns_in_order(self, exp, base_setup):
+        setups = [base_setup.with_changes(env_bytes=e) for e in (100, 132, 164)]
+        ms = exp.sweep(setups)
+        assert [m.setup.env_bytes for m in ms] == [100, 132, 164]
+
+    def test_different_seeds_different_inputs(self):
+        e0 = Experiment(workloads.get("sphinx3"), seed=0)
+        e1 = Experiment(workloads.get("sphinx3"), seed=1)
+        assert e0.expected != e1.expected
+
+    def test_clear_caches(self, exp, base_setup):
+        exp.run(base_setup)
+        exp.clear_caches()
+        assert exp.run(base_setup) is not None
+
+    def test_verification_failure_raises(self, base_setup):
+        wl = workloads.get("sphinx3")
+        exp = Experiment(wl, size="test", seed=0)
+        exp._expected = exp.expected + 1  # sabotage the oracle
+        with pytest.raises(VerificationError):
+            exp.run(base_setup.with_changes(env_bytes=3000))

@@ -1,0 +1,141 @@
+"""Unit tests: library extensions — profile diff, characterization,
+randomization dimensions, machine serialization."""
+
+import pytest
+
+from repro import workloads
+from repro.analysis import profile_diff
+from repro.arch import core2, pentium4
+from repro.arch.machines import MachineConfig
+from repro.core import Experiment, ExperimentalSetup
+from repro.core.randomization import DIMENSIONS, random_setups
+from repro.workloads.characterize import (
+    dynamic_character,
+    footprint_vs_cache,
+    opcode_mix,
+    static_character,
+)
+
+
+@pytest.fixture(scope="module")
+def exp():
+    return Experiment(workloads.get("sphinx3"), size="test", seed=0)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return ExperimentalSetup()
+
+
+class TestProfileDiff:
+    def test_localizes_env_bias(self, exp, setup):
+        diff = profile_diff(
+            exp,
+            setup.with_changes(env_bytes=104),  # aligned
+            setup.with_changes(env_bytes=100),  # misaligned
+        )
+        assert diff.total_delta > 0
+        # The per-function deltas must add up to the total.
+        assert sum(f.delta for f in diff.functions) == pytest.approx(
+            diff.total_delta, rel=1e-9
+        )
+        # The hot kernel should absorb a meaningful share.
+        assert diff.culprit().function in ("gmm_score", "best_of", "main")
+        assert 0 < diff.concentration() <= 1.5
+
+    def test_requires_shared_build(self, exp, setup):
+        with pytest.raises(ValueError, match="sharing a build"):
+            profile_diff(exp, setup, setup.with_changes(opt_level=3))
+
+    def test_ranked_by_magnitude(self, exp, setup):
+        diff = profile_diff(
+            exp,
+            setup.with_changes(env_bytes=104),
+            setup.with_changes(env_bytes=100),
+        )
+        mags = [abs(f.delta) for f in diff.ranked()]
+        assert mags == sorted(mags, reverse=True)
+
+
+class TestCharacterize:
+    def test_static_character(self, exp, setup):
+        exe = exp.build(setup)
+        st = static_character(exe)
+        assert st.modules == len(exp.workload.sources)
+        assert st.functions >= 3
+        assert st.loops > 0
+        assert st.code_bytes > 0 and st.data_bytes > 0
+
+    def test_dynamic_character(self, exp, setup):
+        dyn = dynamic_character(exp, setup)
+        assert dyn.instructions > 0
+        assert 0 < dyn.memory_intensity < 1
+        assert 0 < dyn.branch_intensity < 1
+        assert 0 < dyn.hot_share <= 1
+        assert dyn.hot_function == "gmm_score"
+
+    def test_opcode_mix_covers_everything(self, exp, setup):
+        exe = exp.build(setup)
+        mix = opcode_mix(exe)
+        assert sum(mix.values()) == exe.num_instructions()
+        assert mix["alu"] > 0 and mix["memory"] > 0 and mix["control"] > 0
+
+    def test_footprint_vs_cache(self, exp, setup):
+        exe = exp.build(setup)
+        code_frac, data_frac = footprint_vs_cache(exe, 4096)
+        assert code_frac > 0 and data_frac > 0
+
+
+class TestRandomizationDimensions:
+    def test_default_randomizes_paper_dimensions_only(self):
+        setups = random_setups(
+            ExperimentalSetup(), ["a", "b"], n=8, seed=1
+        )
+        assert all(s.stack_align == 4 for s in setups)
+        assert all(s.function_alignment == 16 for s in setups)
+
+    def test_extended_dimensions(self):
+        setups = random_setups(
+            ExperimentalSetup(),
+            ["a", "b"],
+            n=30,
+            seed=1,
+            dimensions=DIMENSIONS,
+        )
+        assert len({s.stack_align for s in setups}) > 1
+        assert len({s.function_alignment for s in setups}) > 1
+
+    def test_unknown_dimension_rejected(self):
+        with pytest.raises(ValueError, match="unknown randomization"):
+            random_setups(
+                ExperimentalSetup(), ["a"], n=2, dimensions=("phase_of_moon",)
+            )
+
+    def test_subset_dimensions(self):
+        setups = random_setups(
+            ExperimentalSetup(), ["a", "b"], n=6, dimensions=("env_bytes",)
+        )
+        assert all(s.link_order is None for s in setups)
+        assert all(s.env_bytes is not None for s in setups)
+
+
+class TestMachineSerialization:
+    def test_roundtrip(self):
+        for cfg in (core2(), pentium4()):
+            assert MachineConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_dict_is_plain_data(self):
+        import json
+
+        text = json.dumps(core2().to_dict())
+        assert MachineConfig.from_dict(json.loads(text)) == core2()
+
+    def test_roundtrip_preserves_behaviour(self, exp, setup):
+        clone = MachineConfig.from_dict(core2().to_dict())
+        a = exp.run(setup.with_changes(machine=clone, env_bytes=3333))
+        b = exp.run(setup.with_changes(machine=core2(), env_bytes=3333))
+        assert a.cycles == b.cycles
+
+    def test_no_l2_roundtrip(self):
+        cfg = core2().with_overrides(l2=None)
+        assert MachineConfig.from_dict(cfg.to_dict()).l2 is None

@@ -1,0 +1,67 @@
+"""Unit tests: instruction encodings (sizes drive every layout effect)."""
+
+import pytest
+
+from repro.isa import Instr, Op, encoded_size
+from repro.isa.encoding import block_size
+
+
+class TestFixedSizes:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [(Op.NOP, 1), (Op.RET, 1), (Op.HALT, 1), (Op.MOV, 2)],
+    )
+    def test_one_and_two_byte_ops(self, op, expected):
+        assert encoded_size(Instr(op, rd=1, ra=2)) == expected
+
+    def test_reg_reg_alu_is_three_bytes(self):
+        assert encoded_size(Instr(Op.ADD, rd=1, ra=2, rb=3)) == 3
+        assert encoded_size(Instr(Op.MUL, rd=1, ra=2, rb=3)) == 3
+
+    def test_control_transfers_are_five_bytes(self):
+        assert encoded_size(Instr(Op.JMP, target="L")) == 5
+        assert encoded_size(Instr(Op.CALL, target="f")) == 5
+        assert encoded_size(Instr(Op.BEQZ, ra=1, target="L")) == 5
+
+
+class TestImmediateWidths:
+    def test_small_const_is_compact(self):
+        assert encoded_size(Instr(Op.CONST, rd=1, imm=100)) == 3
+        assert encoded_size(Instr(Op.CONST, rd=1, imm=-128)) == 3
+
+    def test_large_const_grows(self):
+        assert encoded_size(Instr(Op.CONST, rd=1, imm=128)) == 6
+        assert encoded_size(Instr(Op.CONST, rd=1, imm=-129)) == 6
+
+    def test_relocated_const_always_full_width(self):
+        # The linker must be able to patch any address without moving code.
+        assert encoded_size(Instr(Op.CONST, rd=1, imm=0, target="sym")) == 6
+
+    def test_alu_imm_widths(self):
+        assert encoded_size(Instr(Op.ADDI, rd=1, ra=1, imm=8)) == 4
+        assert encoded_size(Instr(Op.ADDI, rd=1, ra=1, imm=1000)) == 7
+
+    def test_memory_displacement_widths(self):
+        assert encoded_size(Instr(Op.LOAD, rd=1, ra=14, imm=-8)) == 3
+        assert encoded_size(Instr(Op.LOAD, rd=1, ra=14, imm=-4096)) == 6
+        assert encoded_size(Instr(Op.STORE, ra=14, rb=2, imm=127)) == 3
+        assert encoded_size(Instr(Op.STORE, ra=14, rb=2, imm=128)) == 6
+
+    def test_boundary_values(self):
+        # i8 boundary is [-128, 127].
+        assert encoded_size(Instr(Op.ADDI, rd=1, ra=1, imm=127)) == 4
+        assert encoded_size(Instr(Op.ADDI, rd=1, ra=1, imm=-128)) == 4
+        assert encoded_size(Instr(Op.ADDI, rd=1, ra=1, imm=-129)) == 7
+
+
+class TestBlockSize:
+    def test_block_size_sums(self):
+        instrs = [
+            Instr(Op.CONST, rd=1, imm=5),  # 3
+            Instr(Op.ADD, rd=1, ra=1, rb=2),  # 3
+            Instr(Op.RET),  # 1
+        ]
+        assert block_size(instrs) == 7
+
+    def test_empty_block(self):
+        assert block_size([]) == 0

@@ -1,0 +1,98 @@
+"""Unit tests: instruction model (operands, reads/writes, terminators)."""
+
+import pytest
+
+from repro.isa import Instr, Op
+from repro.isa.instructions import ALU_IMM_OPS, ALU_OPS, IMM_TO_REG, TERMINATORS
+
+
+class TestReadsWrites:
+    def test_alu_reads_both_sources(self):
+        instr = Instr(Op.ADD, rd=1, ra=2, rb=3)
+        assert instr.reads() == (2, 3)
+        assert instr.writes() == (1,)
+
+    def test_alu_imm_reads_one_source(self):
+        instr = Instr(Op.ADDI, rd=4, ra=5, imm=8)
+        assert instr.reads() == (5,)
+        assert instr.writes() == (4,)
+
+    def test_const_reads_nothing(self):
+        instr = Instr(Op.CONST, rd=2, imm=42)
+        assert instr.reads() == ()
+        assert instr.writes() == (2,)
+
+    def test_load_reads_base_writes_dest(self):
+        instr = Instr(Op.LOAD, rd=1, ra=14, imm=-16)
+        assert instr.reads() == (14,)
+        assert instr.writes() == (1,)
+
+    def test_store_reads_base_and_value_writes_nothing(self):
+        instr = Instr(Op.STORE, ra=14, rb=3, imm=-8)
+        assert instr.reads() == (14, 3)
+        assert instr.writes() == ()
+
+    def test_branch_reads_condition(self):
+        instr = Instr(Op.BEQZ, ra=6, target="L1")
+        assert instr.reads() == (6,)
+        assert instr.writes() == ()
+
+    def test_mov_reads_source(self):
+        instr = Instr(Op.MOV, rd=0, ra=7)
+        assert instr.reads() == (7,)
+        assert instr.writes() == (0,)
+
+    @pytest.mark.parametrize("op", sorted(ALU_OPS))
+    def test_every_alu_op_writes_dest(self, op):
+        assert Instr(op, rd=3, ra=1, rb=2).writes() == (3,)
+
+
+class TestTerminators:
+    @pytest.mark.parametrize("op", sorted(TERMINATORS))
+    def test_terminators(self, op):
+        assert Instr(op, target="L" if op in (Op.BEQZ, Op.BNEZ, Op.JMP) else None).is_terminator()
+
+    def test_call_is_not_terminator(self):
+        assert not Instr(Op.CALL, target="f").is_terminator()
+
+    def test_alu_is_not_terminator(self):
+        assert not Instr(Op.ADD, rd=1, ra=2, rb=3).is_terminator()
+
+    def test_is_branch_only_for_conditionals(self):
+        assert Instr(Op.BEQZ, ra=1, target="L").is_branch()
+        assert Instr(Op.BNEZ, ra=1, target="L").is_branch()
+        assert not Instr(Op.JMP, target="L").is_branch()
+
+
+class TestEqualityAndCopy:
+    def test_copy_is_independent(self):
+        a = Instr(Op.ADDI, rd=1, ra=2, imm=3)
+        b = a.copy()
+        b.imm = 99
+        assert a.imm == 3
+        assert a != b
+
+    def test_equality_includes_all_fields(self):
+        a = Instr(Op.ADD, rd=1, ra=2, rb=3)
+        assert a == Instr(Op.ADD, rd=1, ra=2, rb=3)
+        assert a != Instr(Op.ADD, rd=1, ra=2, rb=4)
+        assert a != Instr(Op.SUB, rd=1, ra=2, rb=3)
+
+    def test_hashable(self):
+        s = {Instr(Op.NOP), Instr(Op.NOP), Instr(Op.RET)}
+        assert len(s) == 2
+
+    def test_repr_is_readable(self):
+        assert "add r1, r2, r3" in repr(Instr(Op.ADD, rd=1, ra=2, rb=3))
+        assert "load" in repr(Instr(Op.LOAD, rd=1, ra=14, imm=-8))
+        assert "beqz r4, Lexit" in repr(Instr(Op.BEQZ, ra=4, target="Lexit"))
+
+
+class TestImmRegMapping:
+    def test_every_imm_op_maps_to_reg_op(self):
+        assert set(IMM_TO_REG) == ALU_IMM_OPS
+
+    def test_mapping_is_semantic(self):
+        assert IMM_TO_REG[Op.ADDI] is Op.ADD
+        assert IMM_TO_REG[Op.SHLI] is Op.SHL
+        assert IMM_TO_REG[Op.SLTI] is Op.SLT

@@ -1,0 +1,127 @@
+"""Unit tests: program containers (blocks, functions, modules)."""
+
+import pytest
+
+from repro.isa import BasicBlock, DataObject, Function, Instr, Module, Op
+
+
+def _ret_block(label="entry"):
+    return BasicBlock(label, [Instr(Op.CONST, rd=0, imm=1), Instr(Op.RET)])
+
+
+class TestBasicBlock:
+    def test_terminator_detection(self):
+        blk = _ret_block()
+        assert blk.terminator() is not None
+        assert blk.terminator().op is Op.RET
+
+    def test_open_block_has_no_terminator(self):
+        blk = BasicBlock("b", [Instr(Op.NOP)])
+        assert blk.terminator() is None
+
+    def test_successors_of_jump(self):
+        blk = BasicBlock("b", [Instr(Op.JMP, target="L2")])
+        assert blk.successors() == ("L2",)
+
+    def test_successors_of_branch_include_fallthrough(self):
+        blk = BasicBlock("b", [Instr(Op.BEQZ, ra=1, target="L2")])
+        assert blk.successors() == ("L2", None)
+
+    def test_successors_of_ret_empty(self):
+        assert _ret_block().successors() == ()
+
+    def test_copy_deep_copies_instrs(self):
+        blk = _ret_block()
+        cp = blk.copy()
+        cp.instrs[0].imm = 99
+        assert blk.instrs[0].imm == 1
+
+    def test_copy_preserves_alignment(self):
+        blk = BasicBlock("b", [Instr(Op.NOP)], align=16)
+        assert blk.copy().align == 16
+
+    def test_size_bytes(self):
+        assert _ret_block().size_bytes() == 4  # CONST small (3) + RET (1)
+
+
+class TestFunction:
+    def test_block_lookup(self):
+        f = Function("f", blocks=[_ret_block("a"), _ret_block("b")])
+        assert f.block("b").label == "b"
+        with pytest.raises(KeyError):
+            f.block("missing")
+
+    def test_instruction_iteration_in_layout_order(self):
+        f = Function(
+            "f",
+            blocks=[
+                BasicBlock("a", [Instr(Op.NOP)]),
+                BasicBlock("b", [Instr(Op.RET)]),
+            ],
+        )
+        ops = [i.op for i in f.instructions()]
+        assert ops == [Op.NOP, Op.RET]
+
+    def test_counts(self):
+        f = Function("f", blocks=[_ret_block()])
+        assert f.num_instructions() == 2
+        assert f.size_bytes() == 4
+
+
+class TestDataObject:
+    def test_word_object_size(self):
+        assert DataObject("a", 10).size_bytes == 80
+
+    def test_byte_object_size(self):
+        assert DataObject("a", 10, kind="bytes").size_bytes == 10
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValueError):
+            DataObject("a", 1, kind="floats")
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError):
+            DataObject("a", 0)
+
+    def test_rejects_bad_alignment(self):
+        with pytest.raises(ValueError):
+            DataObject("a", 1, align=3)
+
+    def test_rejects_oversized_initializer(self):
+        with pytest.raises(ValueError):
+            DataObject("a", 2, init=[1, 2, 3])
+
+
+class TestModule:
+    def test_duplicate_function_rejected(self):
+        m = Module("m")
+        m.add_function(Function("f", blocks=[_ret_block()]))
+        with pytest.raises(ValueError):
+            m.add_function(Function("f", blocks=[_ret_block()]))
+
+    def test_duplicate_data_rejected(self):
+        m = Module("m")
+        m.add_data(DataObject("g", 4))
+        with pytest.raises(ValueError):
+            m.add_data(DataObject("g", 4))
+
+    def test_undefined_symbols_finds_extern_calls(self):
+        m = Module("m")
+        blk = BasicBlock(
+            "entry", [Instr(Op.CALL, target="extern_fn"), Instr(Op.RET)]
+        )
+        m.add_function(Function("f", blocks=[blk]))
+        assert list(m.undefined_symbols()) == ["extern_fn"]
+
+    def test_defined_symbols_are_not_undefined(self):
+        m = Module("m")
+        m.add_data(DataObject("g", 4))
+        blk = BasicBlock(
+            "entry",
+            [
+                Instr(Op.CONST, rd=1, imm=0, target="g"),
+                Instr(Op.RET),
+            ],
+        )
+        m.add_function(Function("f", blocks=[blk]))
+        assert list(m.undefined_symbols()) == []

@@ -1,0 +1,110 @@
+"""Unit tests: structural validation."""
+
+import pytest
+
+from repro.isa import (
+    BasicBlock,
+    Function,
+    Instr,
+    Module,
+    Op,
+    ValidationError,
+    validate_function,
+    validate_module,
+)
+
+
+def _func(blocks):
+    return Function("f", blocks=blocks)
+
+
+class TestValidateFunction:
+    def test_valid_function_passes(self):
+        validate_function(
+            _func([BasicBlock("e", [Instr(Op.CONST, rd=0, imm=1), Instr(Op.RET)])])
+        )
+
+    def test_no_blocks_rejected(self):
+        with pytest.raises(ValidationError, match="no blocks"):
+            validate_function(_func([]))
+
+    def test_duplicate_labels_rejected(self):
+        blocks = [
+            BasicBlock("a", [Instr(Op.NOP)]),
+            BasicBlock("a", [Instr(Op.RET)]),
+        ]
+        with pytest.raises(ValidationError, match="duplicate block labels"):
+            validate_function(_func(blocks))
+
+    def test_branch_to_unknown_label_rejected(self):
+        blocks = [
+            BasicBlock("a", [Instr(Op.BEQZ, ra=1, target="nowhere")]),
+            BasicBlock("b", [Instr(Op.RET)]),
+        ]
+        with pytest.raises(ValidationError, match="nowhere"):
+            validate_function(_func(blocks))
+
+    def test_register_out_of_range_rejected(self):
+        blocks = [BasicBlock("a", [Instr(Op.ADD, rd=16, ra=0, rb=0), Instr(Op.RET)])]
+        with pytest.raises(ValidationError, match="register out of range"):
+            validate_function(_func(blocks))
+
+    def test_terminator_mid_block_rejected(self):
+        blocks = [
+            BasicBlock("a", [Instr(Op.RET), Instr(Op.NOP), Instr(Op.RET)]),
+        ]
+        with pytest.raises(ValidationError, match="terminator in middle"):
+            validate_function(_func(blocks))
+
+    def test_missing_final_terminator_rejected(self):
+        blocks = [BasicBlock("a", [Instr(Op.NOP)])]
+        with pytest.raises(ValidationError, match="terminator"):
+            validate_function(_func(blocks))
+
+    def test_empty_middle_block_allowed(self):
+        blocks = [
+            BasicBlock("a", [Instr(Op.NOP)]),
+            BasicBlock("join", []),
+            BasicBlock("b", [Instr(Op.RET)]),
+        ]
+        validate_function(_func(blocks))  # must not raise
+
+    def test_empty_final_block_rejected(self):
+        blocks = [BasicBlock("a", [Instr(Op.NOP)]), BasicBlock("end", [])]
+        with pytest.raises(ValidationError, match="empty final block"):
+            validate_function(_func(blocks))
+
+    def test_call_without_target_rejected(self):
+        blocks = [BasicBlock("a", [Instr(Op.CALL), Instr(Op.RET)])]
+        with pytest.raises(ValidationError, match="CALL without a target"):
+            validate_function(_func(blocks))
+
+    def test_odd_frame_size_rejected(self):
+        f = Function(
+            "f",
+            blocks=[BasicBlock("e", [Instr(Op.RET)])],
+            frame_size=12,
+        )
+        with pytest.raises(ValidationError, match="frame size"):
+            validate_function(f)
+
+    def test_fallthrough_blocks_allowed(self):
+        blocks = [
+            BasicBlock("a", [Instr(Op.CONST, rd=1, imm=0)]),
+            BasicBlock("b", [Instr(Op.RET)]),
+        ]
+        validate_function(_func(blocks))
+
+
+class TestValidateModule:
+    def test_cross_module_call_is_legal(self):
+        m = Module("m")
+        blk = BasicBlock("e", [Instr(Op.CALL, target="elsewhere"), Instr(Op.RET)])
+        m.add_function(Function("f", blocks=[blk]))
+        validate_module(m)  # linker resolves it; compile-time legal
+
+    def test_error_names_module_and_function(self):
+        m = Module("mymod")
+        m.add_function(Function("broken", blocks=[]))
+        with pytest.raises(ValidationError, match="mymod:broken"):
+            validate_module(m)

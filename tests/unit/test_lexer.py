@@ -1,0 +1,81 @@
+"""Unit tests: minic lexer."""
+
+import pytest
+
+from repro.toolchain.errors import CompileError
+from repro.toolchain.lexer import Token, token_value, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)]
+
+
+class TestBasics:
+    def test_keywords_vs_names(self):
+        toks = tokenize("int x func while whileish")
+        assert [t.kind for t in toks] == ["kw", "name", "kw", "kw", "name"]
+
+    def test_numbers_decimal_and_hex(self):
+        toks = tokenize("42 0x2A 0")
+        assert [token_value(t) for t in toks] == [42, 42, 0]
+
+    def test_malformed_hex_rejected(self):
+        with pytest.raises(CompileError, match="hex"):
+            tokenize("0x")
+
+    def test_underscore_names(self):
+        assert texts("_a __b a_b1") == ["_a", "__b", "a_b1"]
+
+    def test_token_value_rejects_non_numbers(self):
+        with pytest.raises(ValueError):
+            token_value(Token("name", "x", 1, 1))
+
+
+class TestOperators:
+    def test_maximal_munch(self):
+        assert texts("a<<b") == ["a", "<<", "b"]
+        assert texts("a< <b") == ["a", "<", "<", "b"]
+        assert texts("a<=b") == ["a", "<=", "b"]
+        assert texts("a&&b") == ["a", "&&", "b"]
+        assert texts("a&b") == ["a", "&", "b"]
+
+    def test_all_multichar_operators(self):
+        for op in ("<<", ">>", "<=", ">=", "==", "!=", "&&", "||"):
+            assert texts(f"x {op} y")[1] == op
+
+    def test_unexpected_character_rejected(self):
+        with pytest.raises(CompileError, match="unexpected character"):
+            tokenize("a $ b")
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment here\nb") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_rejected(self):
+        with pytest.raises(CompileError, match="unterminated"):
+            tokenize("a /* never ends")
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+    def test_positions_after_block_comment(self):
+        toks = tokenize("/* one\ntwo */ x")
+        assert toks[0].line == 2
+
+    def test_error_carries_location(self):
+        with pytest.raises(CompileError) as exc:
+            tokenize("ok\n  $")
+        assert exc.value.line == 2
+        assert exc.value.col == 3

@@ -1,0 +1,168 @@
+"""Unit tests: the linker (placement, relocation, link order, COMMON)."""
+
+import pytest
+
+from repro.isa import Op
+from repro.toolchain import LinkLayout, LinkError, link
+from repro.toolchain.compiler import compile_program, compile_unit
+from repro.toolchain.linker import DATA_BASE, TEXT_BASE, link_orders
+
+from tests.conftest import SMALL_SOURCES, build_small, run_exe
+
+
+class TestPlacement:
+    def test_start_placed_first(self, small_exe_o2):
+        assert small_exe_o2.placed[0].name == "_start"
+        assert small_exe_o2.placed[0].base == TEXT_BASE
+
+    def test_functions_aligned(self, small_exe_o2):
+        for pf in small_exe_o2.placed:
+            assert pf.base % 16 == 0
+
+    def test_custom_alignment_honoured(self):
+        exe = link(
+            compile_program(SMALL_SOURCES),
+            layout=LinkLayout(function_alignment=64),
+        )
+        for pf in exe.placed:
+            assert pf.base % 64 == 0
+
+    def test_functions_do_not_overlap(self, small_exe_o2):
+        placed = sorted(small_exe_o2.placed, key=lambda p: p.base)
+        for a, b in zip(placed, placed[1:]):
+            assert a.end <= b.base
+
+    def test_addresses_monotone_and_contiguous(self, small_exe_o2):
+        exe = small_exe_o2
+        for pf in exe.placed:
+            for i in range(pf.flat_start, pf.flat_end - 1):
+                assert exe.addrs[i] + exe.sizes[i] == exe.addrs[i + 1]
+
+    def test_addr_to_index_roundtrip(self, small_exe_o2):
+        exe = small_exe_o2
+        for i, addr in enumerate(exe.addrs):
+            assert exe.addr_to_index[addr] == i
+
+    def test_data_placed_above_text(self, small_exe_o2):
+        exe = small_exe_o2
+        assert exe.data_start == DATA_BASE
+        assert exe.data_start >= exe.text_end
+        assert exe.data_addrs["table"] >= DATA_BASE
+
+    def test_data_alignment(self, small_exe_o2):
+        for addr in small_exe_o2.data_addrs.values():
+            assert addr % 8 == 0
+
+
+class TestLinkOrder:
+    def test_order_changes_function_addresses(self):
+        a = build_small(order=["kernel", "main"])
+        b = build_small(order=["main", "kernel"])
+        assert (
+            a.placed_by_name("fill").base != b.placed_by_name("fill").base
+        )
+
+    def test_order_preserves_semantics(self):
+        a = run_exe(build_small(order=["kernel", "main"]))
+        b = run_exe(build_small(order=["main", "kernel"]))
+        assert a.exit_value == b.exit_value
+
+    def test_bad_order_rejected(self):
+        modules = compile_program(SMALL_SOURCES)
+        with pytest.raises(LinkError, match="permutation"):
+            link(modules, order=["kernel", "kernel"])
+        with pytest.raises(LinkError, match="permutation"):
+            link(modules, order=["kernel"])
+
+    def test_link_orders_helper(self):
+        orders = link_orders(["a", "b", "c"])
+        assert len(orders) == 6
+        assert ["a", "b", "c"] in orders
+
+
+class TestSymbols:
+    def test_unresolved_call_rejected(self):
+        mod = compile_unit("func main() { return ghost(); }", "m")
+        with pytest.raises(LinkError, match="ghost"):
+            link([mod])
+
+    def test_missing_entry_rejected(self):
+        mod = compile_unit("func notmain() { return 1; }", "m")
+        with pytest.raises(LinkError, match="main"):
+            link([mod])
+
+    def test_duplicate_function_rejected(self):
+        m1 = compile_unit("func f() { return 1; } func main() { return f(); }", "a")
+        m2 = compile_unit("func f() { return 2; }", "b")
+        with pytest.raises(LinkError, match="defined in both"):
+            link([m1, m2])
+
+    def test_duplicate_module_names_rejected(self):
+        m1 = compile_unit("func main() { return 1; }", "same")
+        m2 = compile_unit("func g() { return 2; }", "same")
+        with pytest.raises(LinkError, match="duplicate module names"):
+            link([m1, m2])
+
+    def test_const_relocation_patched(self, small_exe_o2):
+        exe = small_exe_o2
+        table = exe.data_addrs["table"]
+        # Some CONST must carry the table's address.
+        assert table in exe.imms
+
+
+class TestCommonSymbols:
+    def test_shared_globals_merged(self, small_exe_o2):
+        # `table` is declared in both modules but placed once.
+        assert list(small_exe_o2.data_addrs).count("table") == 1
+
+    def test_conflicting_shapes_rejected(self):
+        m1 = compile_unit("int g[4]; func main() { return g[0]; }", "a")
+        m2 = compile_unit("int g[8]; func f() { return g[1]; }", "b")
+        with pytest.raises(LinkError, match="conflicting shapes"):
+            link([m1, m2])
+
+    def test_double_initialization_rejected(self):
+        m1 = compile_unit("int g = 1; func main() { return g; }", "a")
+        m2 = compile_unit("int g = 2; func f() { return g; }", "b")
+        with pytest.raises(LinkError, match="initialized in both"):
+            link([m1, m2])
+
+    def test_single_initializer_wins(self):
+        m1 = compile_unit("int g; func main() { return g; }", "a")
+        m2 = compile_unit("int g = 7; func f() { return g; }", "b")
+        exe = link([m1, m2])
+        assert run_exe(exe).exit_value == 7
+
+
+class TestLayoutValidation:
+    def test_bad_function_alignment_rejected(self):
+        with pytest.raises(LinkError, match="power of two"):
+            LinkLayout(function_alignment=3).validated()
+
+    def test_unaligned_bases_rejected(self):
+        with pytest.raises(LinkError, match="page-aligned"):
+            LinkLayout(text_base=0x400001).validated()
+
+    def test_data_below_text_rejected(self):
+        with pytest.raises(LinkError, match="above"):
+            LinkLayout(text_base=0x600000, data_base=0x400000).validated()
+
+
+class TestBlockAlignmentPadding:
+    def test_icc_loop_heads_padded(self):
+        mods = compile_program(SMALL_SOURCES, opt_level=2, profile="icc")
+        exe = link(mods)
+        # Find loop-head targets and check their addresses are 16-aligned.
+        heads = {
+            exe.targets[i]
+            for i, op in enumerate(exe.ops)
+            if op in (28, 29, 30) and 0 <= exe.targets[i] <= i
+        }
+        aligned = [exe.addrs[h] % 16 == 0 for h in heads]
+        assert aligned and all(aligned)
+
+    def test_gcc_no_padding_nops(self):
+        exe = build_small(2, "gcc")
+        # gcc profile never requests loop alignment; padding NOPs between
+        # blocks should be absent (NOP op never emitted by codegen).
+        assert all(op != int(Op.NOP) for op in exe.ops)

@@ -1,0 +1,97 @@
+"""Unit tests: small paths not covered elsewhere (error formatting,
+counter properties, CLI machine selection, environment iteration)."""
+
+import pytest
+
+from repro.arch.counters import PerfCounters
+from repro.cli import main
+from repro.os import Environment
+from repro.toolchain.errors import CompileError
+
+
+class TestCompileErrorFormatting:
+    def test_full_location(self):
+        err = CompileError("boom", line=3, col=7, filename="unit.mc")
+        assert str(err) == "unit.mc:3:7: boom"
+        assert (err.line, err.col, err.filename) == (3, 7, "unit.mc")
+
+    def test_line_only(self):
+        assert str(CompileError("boom", line=3)) == "3: boom"
+
+    def test_bare_message(self):
+        assert str(CompileError("boom")) == "boom"
+
+
+class TestPerfCounterProperties:
+    def test_zero_division_guards(self):
+        c = PerfCounters()
+        assert c.cpi == 0.0
+        assert c.ipc == 0.0
+        assert c.l1d_miss_rate == 0.0
+        assert c.mispredict_rate == 0.0
+
+    def test_rates(self):
+        c = PerfCounters(
+            cycles=200.0,
+            instructions=100,
+            loads=30,
+            stores=10,
+            l1d_misses=4,
+            branches=20,
+            mispredicts=5,
+        )
+        assert c.cpi == 2.0
+        assert c.ipc == 0.5
+        assert c.l1d_miss_rate == pytest.approx(0.1)
+        assert c.mispredict_rate == pytest.approx(0.25)
+
+    def test_as_dict_round_numbers(self):
+        c = PerfCounters(cycles=12.5, instructions=7)
+        d = c.as_dict()
+        assert d["cycles"] == 12.5
+        assert d["instructions"] == 7
+        assert set(d) >= {"l1i_misses", "window_straddles", "lsd_covered"}
+
+
+class TestEnvironmentIteration:
+    def test_items_order_preserved(self):
+        env = Environment({"B": "2", "A": "1"})
+        assert list(env.items()) == [("B", "2"), ("A", "1")]
+
+    def test_len_counts_vars(self):
+        assert len(Environment.typical()) == 4
+
+    def test_getitem_and_missing(self):
+        env = Environment({"X": "y"})
+        assert env["X"] == "y"
+        with pytest.raises(KeyError):
+            env["Z"]
+
+
+class TestCliMachineSelection:
+    def test_run_on_pentium4(self, capsys):
+        assert (
+            main(["run", "sphinx3", "--machine", "pentium4", "--opt", "2"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "pentium4" in out and "verified" in out
+
+    def test_study_on_m5(self, capsys):
+        assert (
+            main(
+                [
+                    "study",
+                    "sphinx3",
+                    "env",
+                    "--machine",
+                    "m5_o3cpu",
+                    "--env-stop",
+                    "148",
+                    "--env-step",
+                    "16",
+                ]
+            )
+            == 0
+        )
+        assert "m5_o3cpu" in capsys.readouterr().out

@@ -1,0 +1,94 @@
+"""Unit tests: measurement-noise model and the bias-vs-noise contrast."""
+
+import pytest
+
+from repro import workloads
+from repro.core import Experiment, ExperimentalSetup
+from repro.core.noise import (
+    NoiseModel,
+    bias_vs_noise_demo,
+    repeated_measurement,
+)
+
+
+@pytest.fixture(scope="module")
+def exp():
+    return Experiment(workloads.get("sphinx3"), size="test", seed=0)
+
+
+class TestNoiseModel:
+    def test_zero_noise_is_identity(self):
+        nm = NoiseModel(magnitude=0.0)
+        assert nm.jitter(1000.0, 3, 7) == 1000.0
+
+    def test_jitter_bounded(self):
+        nm = NoiseModel(magnitude=0.02, seed=1)
+        for rep in range(50):
+            v = nm.jitter(1000.0, rep, 0)
+            assert 980.0 <= v <= 1020.0
+
+    def test_deterministic(self):
+        a = NoiseModel(magnitude=0.01, seed=5)
+        b = NoiseModel(magnitude=0.01, seed=5)
+        assert a.jitter(100.0, 2, 3) == b.jitter(100.0, 2, 3)
+
+    def test_varies_across_repetitions(self):
+        nm = NoiseModel(magnitude=0.01, seed=5)
+        values = {nm.jitter(1000.0, rep, 0) for rep in range(10)}
+        assert len(values) > 5
+
+    def test_magnitude_validated(self):
+        with pytest.raises(ValueError):
+            NoiseModel(magnitude=1.5)
+
+
+class TestRepeatedMeasurement:
+    def test_interval_brackets_truth(self, exp):
+        setup = ExperimentalSetup(env_bytes=100)
+        true = exp.run(setup).cycles
+        rm = repeated_measurement(exp, setup, repetitions=20)
+        # With symmetric noise the interval should usually contain the
+        # true value; pin the deterministic instance we ship.
+        assert rm.interval.lo < true * 1.01
+        assert rm.interval.hi > true * 0.99
+
+    def test_more_repetitions_tighter_interval(self, exp):
+        setup = ExperimentalSetup(env_bytes=100)
+        narrow = repeated_measurement(exp, setup, repetitions=40)
+        wide = repeated_measurement(exp, setup, repetitions=4)
+        assert narrow.interval.width < wide.interval.width
+
+    def test_requires_two_reps(self, exp):
+        with pytest.raises(ValueError):
+            repeated_measurement(exp, ExperimentalSetup(), repetitions=1)
+
+
+class TestBiasVsNoise:
+    def test_repetition_cannot_fix_bias(self, exp):
+        """The paper's core statistical point: two setups, each measured
+        many times with tight intervals, confidently contradict each
+        other about the same program."""
+        setups = [
+            ExperimentalSetup(env_bytes=100),  # misaligned stack
+            ExperimentalSetup(env_bytes=104),  # aligned stack
+        ]
+        result = bias_vs_noise_demo(
+            exp, setups, repetitions=12, noise=NoiseModel(magnitude=0.005)
+        )
+        assert result.repetition_misleads
+        assert result.disjoint_pairs == 1
+
+    def test_huge_noise_masks_bias(self, exp):
+        setups = [
+            ExperimentalSetup(env_bytes=100),
+            ExperimentalSetup(env_bytes=104),
+        ]
+        result = bias_vs_noise_demo(
+            exp, setups, repetitions=4, noise=NoiseModel(magnitude=0.3)
+        )
+        # With noise far larger than the bias, intervals overlap.
+        assert not result.repetition_misleads
+
+    def test_requires_two_setups(self, exp):
+        with pytest.raises(ValueError):
+            bias_vs_noise_demo(exp, [ExperimentalSetup()])

@@ -1,0 +1,445 @@
+"""Unit tests: machine-level optimizer passes.
+
+Each pass is tested two ways: structurally (the rewrite happened) and
+semantically (programs still compute the same values — covered more
+broadly by the differential property tests).
+"""
+
+from repro.isa import BasicBlock, Function, Instr, Op
+from repro.toolchain.opt.cfgopt import simplify_cfg
+from repro.toolchain.opt.liveness import (
+    eliminate_dead_code,
+    instr_uses_defs,
+    live_in_out,
+    successors,
+)
+from repro.toolchain.opt.lvn import lvn_block
+from repro.toolchain.opt.peephole import fold_binop, peephole_block
+from repro.toolchain.opt.schedule import schedule_block
+
+
+def ops_of(instrs):
+    return [i.op for i in instrs]
+
+
+class TestPeephole:
+    def test_immediate_forming(self):
+        instrs = [
+            Instr(Op.CONST, rd=2, imm=8),
+            Instr(Op.ADD, rd=1, ra=3, rb=2),
+            Instr(Op.CONST, rd=2, imm=0),  # redefines r2 -> old r2 dead
+            Instr(Op.RET),
+        ]
+        out = peephole_block(instrs)
+        assert any(i.op is Op.ADDI and i.imm == 8 for i in out)
+
+    def test_immediate_forming_conservative_when_const_stays_live(self):
+        # r2 may be live out of the block (no redefinition before the
+        # end), so neither ADD may be rewritten.
+        instrs = [
+            Instr(Op.CONST, rd=2, imm=8),
+            Instr(Op.ADD, rd=1, ra=3, rb=2),
+            Instr(Op.ADD, rd=4, ra=5, rb=2),
+        ]
+        out = peephole_block(instrs)
+        assert [i.op for i in out] == [Op.CONST, Op.ADD, Op.ADD]
+
+    def test_mul_pow2_becomes_shift(self):
+        instrs = [
+            Instr(Op.MULI, rd=1, ra=2, imm=8),
+            Instr(Op.RET),
+        ]
+        out = peephole_block(instrs)
+        assert out[0].op is Op.SHLI and out[0].imm == 3
+
+    def test_add_zero_dropped(self):
+        instrs = [Instr(Op.ADDI, rd=1, ra=1, imm=0), Instr(Op.RET)]
+        assert ops_of(peephole_block(instrs)) == [Op.RET]
+
+    def test_add_zero_to_other_reg_becomes_mov(self):
+        instrs = [Instr(Op.ADDI, rd=1, ra=2, imm=0), Instr(Op.RET)]
+        out = peephole_block(instrs)
+        assert out[0].op is Op.MOV and out[0].ra == 2
+
+    def test_mul_zero_becomes_const(self):
+        instrs = [Instr(Op.MULI, rd=1, ra=2, imm=0), Instr(Op.RET)]
+        out = peephole_block(instrs)
+        assert out[0].op is Op.CONST and out[0].imm == 0
+
+    def test_constant_folding_through_imm_op(self):
+        instrs = [
+            Instr(Op.CONST, rd=1, imm=6),
+            Instr(Op.ADDI, rd=2, ra=1, imm=7),
+            Instr(Op.RET),
+        ]
+        out = peephole_block(instrs)
+        folded = [i for i in out if i.op is Op.CONST and i.rd == 2]
+        assert folded and folded[0].imm == 13
+
+    def test_mov_self_dropped(self):
+        instrs = [Instr(Op.MOV, rd=3, ra=3), Instr(Op.RET)]
+        assert ops_of(peephole_block(instrs)) == [Op.RET]
+
+    def test_relocated_const_never_folded(self):
+        instrs = [
+            Instr(Op.CONST, rd=1, imm=0, target="g"),
+            Instr(Op.ADDI, rd=2, ra=1, imm=8),
+            Instr(Op.RET),
+        ]
+        out = peephole_block(instrs)
+        assert any(i.op is Op.CONST and i.target == "g" for i in out)
+
+
+class TestFoldBinop:
+    def test_arithmetic(self):
+        assert fold_binop(Op.ADD, 2, 3) == 5
+        assert fold_binop(Op.SUB, 2, 3) == -1
+        assert fold_binop(Op.MUL, -4, 3) == -12
+
+    def test_division_semantics(self):
+        assert fold_binop(Op.DIV, -7, 2) == -3
+        assert fold_binop(Op.MOD, -7, 3) == -1
+        assert fold_binop(Op.DIV, 7, 0) is None
+
+    def test_comparisons(self):
+        assert fold_binop(Op.SLT, 1, 2) == 1
+        assert fold_binop(Op.SLE, 2, 2) == 1
+        assert fold_binop(Op.SEQ, 1, 2) == 0
+        assert fold_binop(Op.SNE, 1, 2) == 1
+
+    def test_wrap64(self):
+        assert fold_binop(Op.SHL, 1, 63) == -(2**63)
+        assert fold_binop(Op.SHR, -1, 60) == 15
+
+
+class TestLVN:
+    def test_redundant_computation_becomes_mov(self):
+        instrs = [
+            Instr(Op.ADD, rd=1, ra=2, rb=3),
+            Instr(Op.ADD, rd=4, ra=2, rb=3),
+        ]
+        out = lvn_block(instrs)
+        assert out[1].op is Op.MOV and out[1].ra == 1
+
+    def test_commutative_matching(self):
+        instrs = [
+            Instr(Op.ADD, rd=1, ra=2, rb=3),
+            Instr(Op.ADD, rd=4, ra=3, rb=2),
+        ]
+        out = lvn_block(instrs)
+        assert out[1].op is Op.MOV
+
+    def test_noncommutative_not_matched(self):
+        instrs = [
+            Instr(Op.SUB, rd=1, ra=2, rb=3),
+            Instr(Op.SUB, rd=4, ra=3, rb=2),
+        ]
+        out = lvn_block(instrs)
+        assert out[1].op is Op.SUB
+
+    def test_redundant_load_eliminated(self):
+        instrs = [
+            Instr(Op.LOAD, rd=1, ra=14, imm=-8),
+            Instr(Op.LOAD, rd=2, ra=14, imm=-8),
+        ]
+        out = lvn_block(instrs)
+        assert out[1].op is Op.MOV
+
+    def test_store_kills_load_availability(self):
+        instrs = [
+            Instr(Op.LOAD, rd=1, ra=14, imm=-8),
+            Instr(Op.STORE, ra=14, rb=5, imm=-16),
+            Instr(Op.LOAD, rd=2, ra=14, imm=-8),
+        ]
+        out = lvn_block(instrs)
+        assert out[2].op is Op.LOAD
+
+    def test_store_to_load_forwarding(self):
+        instrs = [
+            Instr(Op.STORE, ra=14, rb=5, imm=-8),
+            Instr(Op.LOAD, rd=2, ra=14, imm=-8),
+        ]
+        out = lvn_block(instrs)
+        assert out[1].op is Op.MOV and out[1].ra == 5
+
+    def test_call_clobbers_caller_saved_values(self):
+        instrs = [
+            Instr(Op.CONST, rd=1, imm=7),
+            Instr(Op.CALL, target="f"),
+            Instr(Op.CONST, rd=2, imm=7),
+        ]
+        out = lvn_block(instrs)
+        # r1 was clobbered by the call; the second CONST must remain.
+        assert out[2].op is Op.CONST
+
+    def test_callee_saved_values_survive_call(self):
+        instrs = [
+            Instr(Op.CONST, rd=7, imm=9),
+            Instr(Op.CALL, target="f"),
+            Instr(Op.CONST, rd=8, imm=9),
+        ]
+        out = lvn_block(instrs)
+        assert out[2].op is Op.MOV and out[2].ra == 7
+
+
+class TestLiveness:
+    def _func(self):
+        return Function(
+            "f",
+            blocks=[
+                BasicBlock(
+                    "entry",
+                    [
+                        Instr(Op.CONST, rd=1, imm=1),  # dead
+                        Instr(Op.CONST, rd=0, imm=2),
+                        Instr(Op.RET),
+                    ],
+                )
+            ],
+        )
+
+    def test_dead_write_removed(self):
+        f = self._func()
+        removed = eliminate_dead_code(f)
+        assert removed == 1
+        assert len(f.blocks[0].instrs) == 2
+
+    def test_return_register_kept(self):
+        f = self._func()
+        eliminate_dead_code(f)
+        assert any(
+            i.op is Op.CONST and i.rd == 0 for i in f.blocks[0].instrs
+        )
+
+    def test_store_never_removed(self):
+        f = Function(
+            "f",
+            blocks=[
+                BasicBlock(
+                    "entry",
+                    [
+                        Instr(Op.CONST, rd=1, imm=1),
+                        Instr(Op.STORE, ra=15, rb=1, imm=-8),
+                        Instr(Op.RET),
+                    ],
+                )
+            ],
+        )
+        eliminate_dead_code(f)
+        assert any(i.op is Op.STORE for i in f.blocks[0].instrs)
+
+    def test_dead_chain_fully_removed(self):
+        f = Function(
+            "f",
+            blocks=[
+                BasicBlock(
+                    "entry",
+                    [
+                        Instr(Op.CONST, rd=1, imm=1),
+                        Instr(Op.ADDI, rd=2, ra=1, imm=1),
+                        Instr(Op.ADDI, rd=3, ra=2, imm=1),
+                        Instr(Op.RET),
+                    ],
+                )
+            ],
+        )
+        assert eliminate_dead_code(f) == 3
+
+    def test_trapping_div_kept_even_when_dead(self):
+        f = Function(
+            "f",
+            blocks=[
+                BasicBlock(
+                    "entry",
+                    [
+                        Instr(Op.DIV, rd=1, ra=2, rb=3),
+                        Instr(Op.RET),
+                    ],
+                )
+            ],
+        )
+        eliminate_dead_code(f)
+        assert any(i.op is Op.DIV for i in f.blocks[0].instrs)
+
+    def test_value_live_across_branch_kept(self):
+        f = Function(
+            "f",
+            blocks=[
+                BasicBlock(
+                    "entry",
+                    [
+                        Instr(Op.CONST, rd=1, imm=5),
+                        Instr(Op.BEQZ, ra=2, target="use"),
+                    ],
+                ),
+                BasicBlock("skip", [Instr(Op.RET)]),
+                BasicBlock(
+                    "use",
+                    [Instr(Op.MOV, rd=0, ra=1), Instr(Op.RET)],
+                ),
+            ],
+        )
+        eliminate_dead_code(f)
+        assert any(i.op is Op.CONST for i in f.blocks[0].instrs)
+
+    def test_successors_fallthrough(self):
+        f = Function(
+            "f",
+            blocks=[
+                BasicBlock("a", [Instr(Op.CONST, rd=1, imm=0)]),
+                BasicBlock("b", [Instr(Op.RET)]),
+            ],
+        )
+        assert successors(f) == {"a": ["b"], "b": []}
+
+    def test_live_in_out_propagates(self):
+        f = Function(
+            "f",
+            blocks=[
+                BasicBlock("a", [Instr(Op.CONST, rd=5, imm=0)]),
+                BasicBlock("b", [Instr(Op.MOV, rd=0, ra=5), Instr(Op.RET)]),
+            ],
+        )
+        live_in, live_out = live_in_out(f)
+        assert 5 in live_out["a"]
+        assert 5 in live_in["b"]
+
+    def test_call_contract(self):
+        uses, defs = instr_uses_defs(Instr(Op.CALL, target="f"))
+        assert {1, 2, 3, 4, 5, 6} <= set(uses)
+        assert 0 in defs and 13 in defs
+        assert 7 not in defs  # callee-saved preserved
+
+    def test_ret_contract_reads_callee_saved(self):
+        uses, __ = instr_uses_defs(Instr(Op.RET))
+        assert {0, 7, 8, 9, 10, 11, 12} <= set(uses)
+
+
+class TestCfgOpt:
+    def test_unreachable_block_removed(self):
+        f = Function(
+            "f",
+            blocks=[
+                BasicBlock("a", [Instr(Op.RET)]),
+                BasicBlock("dead", [Instr(Op.NOP), Instr(Op.RET)]),
+            ],
+        )
+        simplify_cfg(f)
+        assert [b.label for b in f.blocks] == ["a"]
+
+    def test_jump_to_next_removed(self):
+        f = Function(
+            "f",
+            blocks=[
+                BasicBlock("a", [Instr(Op.NOP), Instr(Op.JMP, target="b")]),
+                BasicBlock("b", [Instr(Op.RET)]),
+            ],
+        )
+        simplify_cfg(f)
+        assert not any(i.op is Op.JMP for b in f.blocks for i in b.instrs)
+
+    def test_jump_threading(self):
+        f = Function(
+            "f",
+            blocks=[
+                BasicBlock("a", [Instr(Op.BEQZ, ra=1, target="hop")]),
+                BasicBlock("x", [Instr(Op.RET)]),
+                BasicBlock("hop", [Instr(Op.JMP, target="end")]),
+                BasicBlock("end", [Instr(Op.CONST, rd=0, imm=1), Instr(Op.RET)]),
+            ],
+        )
+        simplify_cfg(f)
+        branch = f.blocks[0].instrs[-1]
+        assert branch.target == "end"
+
+    def test_fallthrough_merge(self):
+        f = Function(
+            "f",
+            blocks=[
+                BasicBlock("a", [Instr(Op.CONST, rd=1, imm=1)]),
+                BasicBlock("b", [Instr(Op.RET)]),  # unreferenced
+            ],
+        )
+        simplify_cfg(f)
+        assert len(f.blocks) == 1
+        assert ops_of(f.blocks[0].instrs) == [Op.CONST, Op.RET]
+
+    def test_aligned_block_not_merged(self):
+        f = Function(
+            "f",
+            blocks=[
+                BasicBlock("a", [Instr(Op.CONST, rd=1, imm=1)]),
+                BasicBlock("b", [Instr(Op.RET)], align=16),
+            ],
+        )
+        simplify_cfg(f)
+        assert len(f.blocks) == 2
+
+    def test_never_reorders_blocks(self):
+        f = Function(
+            "f",
+            blocks=[
+                BasicBlock("a", [Instr(Op.BEQZ, ra=1, target="c")]),
+                BasicBlock("b", [Instr(Op.CONST, rd=0, imm=1), Instr(Op.RET)]),
+                BasicBlock("c", [Instr(Op.CONST, rd=0, imm=2), Instr(Op.RET)]),
+            ],
+        )
+        simplify_cfg(f)
+        labels = [b.label for b in f.blocks]
+        assert labels == sorted(labels, key=labels.index)  # original order
+
+
+class TestScheduler:
+    def test_terminator_stays_last(self):
+        instrs = [
+            Instr(Op.CONST, rd=1, imm=1),
+            Instr(Op.CONST, rd=2, imm=2),
+            Instr(Op.JMP, target="L"),
+        ]
+        out = schedule_block(instrs)
+        assert out[-1].op is Op.JMP
+
+    def test_dependences_respected(self):
+        instrs = [
+            Instr(Op.CONST, rd=1, imm=1),
+            Instr(Op.ADDI, rd=2, ra=1, imm=1),
+            Instr(Op.ADDI, rd=3, ra=2, imm=1),
+            Instr(Op.RET),
+        ]
+        out = schedule_block(instrs)
+        pos = {id(i): n for n, i in enumerate(out)}
+        assert pos[id(instrs[0])] < pos[id(instrs[1])] < pos[id(instrs[2])]
+
+    def test_load_hoisted_above_independent_work(self):
+        instrs = [
+            Instr(Op.CONST, rd=1, imm=1),
+            Instr(Op.CONST, rd=2, imm=2),
+            Instr(Op.LOAD, rd=3, ra=14, imm=-8),
+            Instr(Op.ADD, rd=4, ra=3, rb=3),  # consumer of the load
+            Instr(Op.RET),
+        ]
+        out = schedule_block(instrs)
+        load_pos = next(n for n, i in enumerate(out) if i.op is Op.LOAD)
+        use_pos = next(n for n, i in enumerate(out) if i.op is Op.ADD)
+        assert use_pos - load_pos >= 2  # something was placed between
+
+    def test_memory_order_preserved_through_stores(self):
+        instrs = [
+            Instr(Op.STORE, ra=14, rb=1, imm=-8),
+            Instr(Op.LOAD, rd=2, ra=14, imm=-8),
+            Instr(Op.STORE, ra=14, rb=2, imm=-16),
+            Instr(Op.RET),
+        ]
+        out = schedule_block(instrs)
+        mem_ops = [i.op for i in out if i.op in (Op.LOAD, Op.STORE)]
+        assert mem_ops == [Op.STORE, Op.LOAD, Op.STORE]
+
+    def test_same_multiset_of_instructions(self):
+        instrs = [
+            Instr(Op.CONST, rd=1, imm=1),
+            Instr(Op.LOAD, rd=2, ra=14, imm=-8),
+            Instr(Op.ADD, rd=3, ra=1, rb=2),
+            Instr(Op.RET),
+        ]
+        out = schedule_block(instrs)
+        assert sorted(map(repr, out)) == sorted(map(repr, instrs))

@@ -1,0 +1,128 @@
+"""Unit tests: environment model and process loader."""
+
+import pytest
+
+from repro.os import Environment, STACK_TOP, load_process
+from repro.os.loader import LoaderError
+
+from tests.conftest import build_small
+
+
+class TestEnvironment:
+    def test_byte_accounting(self):
+        env = Environment({"A": "b"})  # "A=b\0" -> 4 bytes
+        assert env.total_bytes == 4
+
+    def test_empty(self):
+        assert Environment.empty().total_bytes == 0
+        assert len(Environment.empty()) == 0
+
+    def test_of_size_exact(self):
+        for target in (80, 81, 100, 4096):
+            env = Environment.of_size(target, Environment.typical())
+            assert env.total_bytes == target
+
+    def test_of_size_from_empty(self):
+        assert Environment.of_size(10).total_bytes == 10
+
+    def test_of_size_noop_when_exact(self):
+        base = Environment.typical()
+        env = Environment.of_size(base.total_bytes, base)
+        assert env == base
+
+    def test_of_size_too_small_rejected(self):
+        base = Environment.typical()
+        with pytest.raises(ValueError):
+            Environment.of_size(base.total_bytes + 1, base)  # needs >= 3
+
+    def test_of_size_rejects_existing_padding_var(self):
+        with pytest.raises(ValueError, match="padding var"):
+            Environment.of_size(100, Environment({"Z": "x"}))
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ValueError):
+            Environment({"A=B": "x"})
+        with pytest.raises(ValueError):
+            Environment({"": "x"})
+
+    def test_with_without_var(self):
+        env = Environment.empty().with_var("X", "1")
+        assert "X" in env and env["X"] == "1"
+        assert "X" not in env.without_var("X")
+
+    def test_immutability_via_copies(self):
+        base = Environment.typical()
+        base.with_var("NEW", "v")
+        assert "NEW" not in base
+
+    def test_equality_and_hash(self):
+        a = Environment({"A": "1", "B": "2"})
+        b = Environment({"B": "2", "A": "1"})
+        assert a == b and hash(a) == hash(b)
+
+
+class TestLoader:
+    def test_env_size_moves_stack(self, small_exe_o2):
+        img1 = load_process(small_exe_o2, Environment.of_size(100))
+        img2 = load_process(small_exe_o2, Environment.of_size(200))
+        assert img1.sp_start - img2.sp_start == 100
+
+    def test_single_byte_sensitivity(self, small_exe_o2):
+        # With 4-byte alignment, growing the environment by 4 bytes moves
+        # sp by exactly 4.
+        img1 = load_process(small_exe_o2, Environment.of_size(100))
+        img2 = load_process(small_exe_o2, Environment.of_size(104))
+        assert img1.sp_start - img2.sp_start == 4
+
+    def test_stack_alignment_honoured(self, small_exe_o2):
+        for align in (4, 8, 16):
+            img = load_process(
+                small_exe_o2, Environment.of_size(101), stack_align=align
+            )
+            assert img.sp_start % align == 0
+
+    def test_stack_below_top(self, small_exe_o2):
+        img = load_process(small_exe_o2, Environment.typical())
+        assert img.sp_start < STACK_TOP
+
+    def test_bad_alignment_rejected(self, small_exe_o2):
+        with pytest.raises(LoaderError):
+            load_process(small_exe_o2, stack_align=3)
+
+    def test_data_init_applied(self, small_exe_o2):
+        img = load_process(small_exe_o2)
+        # `table` is zero-initialized: no initializer entries for it, but
+        # the image must carry any data_init the executable declares.
+        assert img.initial_memory == dict(small_exe_o2.data_init)
+
+    def test_input_binding_scalar_and_array(self):
+        exe = build_small()
+        img = load_process(exe, inputs={"table": [5, 6, 7]})
+        base = exe.data_addrs["table"]
+        assert img.initial_memory[base] == 5
+        assert img.initial_memory[base + 16] == 7
+
+    def test_unknown_binding_rejected(self):
+        exe = build_small()
+        with pytest.raises(LoaderError, match="no data symbol"):
+            load_process(exe, inputs={"ghost": 1})
+
+    def test_oversized_binding_rejected(self):
+        exe = build_small()
+        with pytest.raises(LoaderError, match="elements"):
+            load_process(exe, inputs={"table": [0] * 129})
+
+    def test_byte_binding_range_checked(self):
+        from repro.toolchain.compiler import compile_unit
+        from repro.toolchain import link
+
+        exe = link(
+            [compile_unit("byte b[4]; func main() { return b[0]; }", "m")]
+        )
+        with pytest.raises(LoaderError, match="out of range"):
+            load_process(exe, inputs={"b": [300]})
+
+    def test_argv_affects_stack(self, small_exe_o2):
+        a = load_process(small_exe_o2, argv=("prog",))
+        b = load_process(small_exe_o2, argv=("prog", "--flag"))
+        assert a.sp_start != b.sp_start

@@ -1,0 +1,159 @@
+"""Unit tests: minic parser."""
+
+import pytest
+
+from repro.toolchain import ast
+from repro.toolchain.errors import CompileError
+from repro.toolchain.parser import parse_source
+
+
+def parse_expr(text):
+    unit = parse_source(f"func f() {{ return {text}; }}")
+    ret = unit.funcs[0].body.stmts[0]
+    assert isinstance(ret, ast.Return)
+    return ret.value
+
+
+class TestDeclarations:
+    def test_global_scalar(self):
+        unit = parse_source("int g;")
+        decl = unit.globals[0]
+        assert (decl.name, decl.kind, decl.count, decl.is_array) == (
+            "g",
+            "words",
+            1,
+            False,
+        )
+
+    def test_global_array_with_init(self):
+        unit = parse_source("int a[3] = {1, -2, 3};")
+        decl = unit.globals[0]
+        assert decl.count == 3
+        assert decl.init == [1, -2, 3]
+
+    def test_global_scalar_with_init(self):
+        assert parse_source("int g = -7;").globals[0].init == [-7]
+
+    def test_byte_array(self):
+        decl = parse_source("byte b[16];").globals[0]
+        assert decl.kind == "bytes"
+
+    def test_byte_scalar_rejected(self):
+        with pytest.raises(CompileError, match="byte globals must be arrays"):
+            parse_source("byte b;")
+
+    def test_function_params(self):
+        unit = parse_source("func f(a, b, c) { return a; }")
+        assert unit.funcs[0].params == ["a", "b", "c"]
+
+    def test_local_array(self):
+        unit = parse_source("func f() { var buf[8]; return 0; }")
+        decl = unit.funcs[0].body.stmts[0]
+        assert isinstance(decl, ast.VarDecl)
+        assert decl.is_array and decl.count == 8
+
+    def test_zero_size_local_array_rejected(self):
+        with pytest.raises(CompileError, match="positive size"):
+            parse_source("func f() { var b[0]; return 0; }")
+
+
+class TestPrecedence:
+    def test_mul_binds_tighter_than_add(self):
+        e = parse_expr("1 + 2 * 3")
+        assert isinstance(e, ast.BinOp) and e.op == "+"
+        assert isinstance(e.rhs, ast.BinOp) and e.rhs.op == "*"
+
+    def test_shift_binds_looser_than_add(self):
+        e = parse_expr("1 << 2 + 3")
+        assert e.op == "<<"
+        assert isinstance(e.rhs, ast.BinOp) and e.rhs.op == "+"
+
+    def test_comparison_binds_looser_than_shift(self):
+        e = parse_expr("1 < 2 >> 3")
+        assert e.op == "<"
+
+    def test_bitand_looser_than_equality(self):
+        # C-style: == binds tighter than &.
+        e = parse_expr("1 & 2 == 3")
+        assert e.op == "&"
+        assert e.rhs.op == "=="
+
+    def test_logical_or_loosest(self):
+        e = parse_expr("1 && 2 || 3")
+        assert e.op == "||"
+
+    def test_left_associativity(self):
+        e = parse_expr("10 - 4 - 3")
+        assert e.op == "-"
+        assert isinstance(e.lhs, ast.BinOp) and e.lhs.op == "-"
+        assert isinstance(e.rhs, ast.Num) and e.rhs.value == 3
+
+    def test_parentheses_override(self):
+        e = parse_expr("(1 + 2) * 3")
+        assert e.op == "*"
+        assert e.lhs.op == "+"
+
+    def test_unary_binds_tightest(self):
+        e = parse_expr("-a * b")
+        assert e.op == "*"
+        assert isinstance(e.lhs, ast.UnOp)
+
+
+class TestStatements:
+    def test_assign_vs_store(self):
+        unit = parse_source("func f() { var a[2]; a[0] = 1; return a[0]; }")
+        store = unit.funcs[0].body.stmts[1]
+        assert isinstance(store, ast.StoreStmt)
+
+    def test_indexed_read_as_expression_statement(self):
+        unit = parse_source("int a[2]; func f() { a[0]; return 0; }")
+        stmt = unit.funcs[0].body.stmts[0]
+        assert isinstance(stmt, ast.ExprStmt)
+        assert isinstance(stmt.expr, ast.Index)
+
+    def test_if_else_chain(self):
+        unit = parse_source(
+            "func f(x) { if (x) { return 1; } else if (x > 2) { return 2; } "
+            "else { return 3; } }"
+        )
+        top = unit.funcs[0].body.stmts[0]
+        assert isinstance(top, ast.If)
+        nested = top.els.stmts[0]
+        assert isinstance(nested, ast.If)
+        assert nested.els is not None
+
+    def test_for_loop_shape(self):
+        unit = parse_source(
+            "func f() { var i; for (i = 0; i < 10; i = i + 2) { } return i; }"
+        )
+        loop = unit.funcs[0].body.stmts[1]
+        assert isinstance(loop, ast.For)
+        assert loop.var == "i"
+
+    def test_for_loop_update_must_match_variable(self):
+        with pytest.raises(CompileError, match="update must assign"):
+            parse_source(
+                "func f() { var i; var j; for (i = 0; i < 9; j = j + 1) { } "
+                "return 0; }"
+            )
+
+    def test_while_break_continue(self):
+        unit = parse_source(
+            "func f() { while (1) { break; continue; } return 0; }"
+        )
+        body = unit.funcs[0].body.stmts[0].body
+        assert isinstance(body.stmts[0], ast.Break)
+        assert isinstance(body.stmts[1], ast.Continue)
+
+    def test_addrof_and_call(self):
+        e = parse_expr("g(&x, 1)")
+        assert isinstance(e, ast.Call)
+        assert isinstance(e.args[0], ast.AddrOf)
+
+    def test_unterminated_block_rejected(self):
+        with pytest.raises(CompileError):
+            parse_source("func f() { return 0;")
+
+    def test_garbage_at_top_level_rejected(self):
+        with pytest.raises(CompileError, match="top level"):
+            parse_source("return 1;")

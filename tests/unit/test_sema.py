@@ -1,0 +1,134 @@
+"""Unit tests: minic semantic analysis."""
+
+import pytest
+
+from repro.toolchain.errors import CompileError
+from repro.toolchain.parser import parse_source
+from repro.toolchain.sema import analyze_unit
+
+
+def analyze(source):
+    return analyze_unit(parse_source(source))
+
+
+class TestScopeRules:
+    def test_undeclared_use_rejected(self):
+        with pytest.raises(CompileError, match="undeclared"):
+            analyze("func f() { return nothere; }")
+
+    def test_declare_before_use_enforced(self):
+        with pytest.raises(CompileError, match="undeclared"):
+            analyze("func f() { x = 1; var x; return x; }")
+
+    def test_local_shadows_global(self):
+        info = analyze("int x; func f() { var x; x = 2; return x; }")
+        assert info.funcs["f"].vars["x"].kind == "local"
+
+    def test_duplicate_local_rejected(self):
+        with pytest.raises(CompileError, match="duplicate"):
+            analyze("func f() { var x; var x; return 0; }")
+
+    def test_duplicate_param_rejected(self):
+        with pytest.raises(CompileError, match="duplicate parameter"):
+            analyze("func f(a, a) { return 0; }")
+
+    def test_duplicate_global_rejected(self):
+        with pytest.raises(CompileError, match="duplicate global"):
+            analyze("int g; int g;")
+
+    def test_function_global_collision_rejected(self):
+        with pytest.raises(CompileError, match="collides"):
+            analyze("int f; func f() { return 0; }")
+
+    def test_intrinsic_name_collision_rejected(self):
+        with pytest.raises(CompileError, match="intrinsic"):
+            analyze("func peek(x) { return x; }")
+
+
+class TestArrayRules:
+    def test_assign_to_array_rejected(self):
+        with pytest.raises(CompileError, match="cannot assign to array"):
+            analyze("int a[4]; func f() { a = 1; return 0; }")
+
+    def test_indexing_scalar_rejected(self):
+        with pytest.raises(CompileError, match="non-array"):
+            analyze("int g; func f() { return g[0]; }")
+
+    def test_store_to_scalar_rejected(self):
+        with pytest.raises(CompileError, match="non-array"):
+            analyze("int g; func f() { g[0] = 1; return 0; }")
+
+    def test_bare_array_name_rejected(self):
+        with pytest.raises(CompileError, match="not a value"):
+            analyze("int a[4]; func f() { return a; }")
+
+    def test_addrof_array_allowed(self):
+        analyze("int a[4]; func f() { return peek(&a); }")
+
+    def test_for_over_array_variable_rejected(self):
+        with pytest.raises(CompileError, match="is an array"):
+            analyze(
+                "func f() { var a[2]; for (a = 0; a < 2; a = a + 1) { } "
+                "return 0; }"
+            )
+
+
+class TestCallsAndControl:
+    def test_intrinsic_arity_checked(self):
+        with pytest.raises(CompileError, match="argument"):
+            analyze("func f() { return peek(1, 2); }")
+
+    def test_poke_arity_checked(self):
+        with pytest.raises(CompileError, match="argument"):
+            analyze("func f() { poke(1); return 0; }")
+
+    def test_too_many_args_rejected(self):
+        with pytest.raises(CompileError, match="more than 6"):
+            analyze("func f() { return g(1,2,3,4,5,6,7); }")
+
+    def test_too_many_params_rejected(self):
+        with pytest.raises(CompileError, match="more than 6"):
+            analyze("func f(a,b,c,d,e,g,h) { return 0; }")
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(CompileError, match="break outside"):
+            analyze("func f() { break; }")
+
+    def test_continue_outside_loop_rejected(self):
+        with pytest.raises(CompileError, match="continue outside"):
+            analyze("func f() { if (1) { continue; } return 0; }")
+
+    def test_extern_call_is_legal(self):
+        info = analyze("func f() { return elsewhere(1); }")
+        assert "elsewhere" in info.funcs["f"].callees
+
+
+class TestUsageCounting:
+    def test_loop_uses_weighted_higher(self):
+        info = analyze(
+            """
+            func f() {
+                var cold; var hot; var i;
+                cold = 1;
+                for (i = 0; i < 10; i = i + 1) { hot = hot + 1; }
+                return cold + hot;
+            }
+            """
+        )
+        counts = info.funcs["f"].scalar_use_counts
+        assert counts["hot"] > counts["cold"]
+        assert counts["i"] > counts["cold"]
+
+    def test_global_array_bases_counted(self):
+        info = analyze(
+            """
+            int tbl[64];
+            func f() {
+                var i; var s;
+                s = 0;
+                for (i = 0; i < 64; i = i + 1) { s = s + tbl[i]; }
+                return s;
+            }
+            """
+        )
+        assert info.funcs["f"].global_base_counts["tbl"] > 0

@@ -1,0 +1,88 @@
+"""Unit tests: measurement archiving and drift verification."""
+
+import pytest
+
+from repro import workloads
+from repro.arch import core2
+from repro.core import Experiment, ExperimentalSetup
+from repro.core.session import (
+    load_measurements,
+    measurement_from_dict,
+    measurement_to_dict,
+    save_measurements,
+    setup_from_dict,
+    setup_to_dict,
+    verify_against_archive,
+)
+
+
+@pytest.fixture(scope="module")
+def exp():
+    return Experiment(workloads.get("sphinx3"), size="test", seed=0)
+
+
+class TestSetupSerialization:
+    def test_roundtrip_simple(self):
+        s = ExperimentalSetup(
+            opt_level=3, env_bytes=512, link_order=("a", "b")
+        )
+        assert setup_from_dict(setup_to_dict(s)) == s
+
+    def test_roundtrip_custom_machine(self):
+        s = ExperimentalSetup(machine=core2().with_overrides(has_lsd=False))
+        back = setup_from_dict(setup_to_dict(s))
+        assert back.machine_config() == s.machine_config()
+
+    def test_json_safe(self):
+        import json
+
+        s = ExperimentalSetup(machine=core2(), link_order=("x",))
+        json.dumps(setup_to_dict(s))  # must not raise
+
+
+class TestMeasurementSerialization:
+    def test_roundtrip(self, exp, base_setup):
+        m = exp.run(base_setup)
+        back = measurement_from_dict(measurement_to_dict(m))
+        assert back.exit_value == m.exit_value
+        assert back.counters.cycles == m.counters.cycles
+        assert back.setup == m.setup
+
+    def test_save_and_load(self, exp, base_setup, tmp_path):
+        ms = [
+            exp.run(base_setup.with_changes(env_bytes=e))
+            for e in (100, 164)
+        ]
+        path = str(tmp_path / "archive.json")
+        save_measurements(path, ms, note="unit test")
+        loaded = load_measurements(path)
+        assert len(loaded) == 2
+        assert [m.counters.cycles for m in loaded] == [
+            m.counters.cycles for m in ms
+        ]
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError, match="archive"):
+            load_measurements(str(path))
+
+
+class TestDriftVerification:
+    def test_no_drift_on_deterministic_substrate(self, exp, base_setup):
+        archived = [exp.run(base_setup.with_changes(env_bytes=100))]
+        assert verify_against_archive(exp, archived) is None
+
+    def test_drift_detected(self, exp, base_setup):
+        m = exp.run(base_setup.with_changes(env_bytes=100))
+        tampered = measurement_from_dict(measurement_to_dict(m))
+        tampered.counters.cycles += 123.0
+        assert "drift" in verify_against_archive(exp, [tampered])
+
+    def test_tolerance_allows_small_drift(self, exp, base_setup):
+        m = exp.run(base_setup.with_changes(env_bytes=100))
+        tampered = measurement_from_dict(measurement_to_dict(m))
+        tampered.counters.cycles *= 1.0001
+        assert (
+            verify_against_archive(exp, [tampered], tolerance=0.01) is None
+        )

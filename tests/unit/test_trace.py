@@ -1,0 +1,49 @@
+"""Unit tests: bounded execution tracing and its invariants."""
+
+from repro.arch import execute, get_machine
+from repro.os import Environment, load_process
+
+
+def _trace(exe, env_bytes, limit=2000, machine="core2"):
+    img = load_process(exe, Environment.of_size(env_bytes))
+    return execute(
+        img, get_machine(machine).build(), trace_limit=limit
+    ).trace
+
+
+class TestTracing:
+    def test_disabled_by_default(self, small_exe_o2):
+        img = load_process(small_exe_o2, Environment.typical())
+        res = execute(img, get_machine("core2").build())
+        assert res.trace == ()
+
+    def test_limit_honoured(self, small_exe_o2):
+        t = _trace(small_exe_o2, 100, limit=50)
+        assert len(t) == 50
+
+    def test_trace_starts_at_entry(self, small_exe_o2):
+        t = _trace(small_exe_o2, 100, limit=5)
+        assert t[0] == small_exe_o2.entry
+
+    def test_architectural_path_is_environment_invariant(self, small_exe_o2):
+        """The paper's bias is purely micro-architectural: the executed
+        instruction sequence must be identical across environment sizes
+        even though the cycles differ."""
+        a = _trace(small_exe_o2, 100)
+        b = _trace(small_exe_o2, 1357)
+        assert a == b
+
+    def test_path_is_machine_invariant(self, small_exe_o2):
+        a = _trace(small_exe_o2, 100, machine="core2")
+        b = _trace(small_exe_o2, 100, machine="pentium4")
+        assert a == b
+
+    def test_path_differs_across_opt_levels(self, small_exe_o0, small_exe_o2):
+        a = _trace(small_exe_o0, 100)
+        b = _trace(small_exe_o2, 100)
+        assert a != b
+
+    def test_trace_indices_valid(self, small_exe_o2):
+        t = _trace(small_exe_o2, 100, limit=500)
+        n = small_exe_o2.num_instructions()
+        assert all(0 <= pc < n for pc in t)

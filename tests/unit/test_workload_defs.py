@@ -1,0 +1,118 @@
+"""Unit tests: workload framework and per-workload definitions
+(fast checks only — execution-based validation lives in integration)."""
+
+import pytest
+
+from repro import workloads
+from repro.workloads.base import Workload, lcg_stream, scaled
+from repro.workloads.refops import band, bnot, bor, bxor, mul, sdiv, shl, shr, smod, wrap64
+
+
+class TestLcgStream:
+    def test_deterministic(self):
+        a, b = lcg_stream(7), lcg_stream(7)
+        assert [a() for _ in range(10)] == [b() for _ in range(10)]
+
+    def test_seeds_differ(self):
+        a, b = lcg_stream(1), lcg_stream(2)
+        assert [a() for _ in range(5)] != [b() for _ in range(5)]
+
+    def test_values_nonnegative_and_wide(self):
+        rng = lcg_stream(3)
+        vals = [rng() for _ in range(100)]
+        assert all(v >= 0 for v in vals)
+        assert max(vals) > 2**40  # actually using the state width
+
+    def test_low_bits_vary(self):
+        rng = lcg_stream(4)
+        assert len({rng() & 7 for _ in range(50)}) > 4
+
+
+class TestScaled:
+    def test_selects_by_size(self):
+        assert scaled("test", 1, 2, 3) == 1
+        assert scaled("train", 1, 2, 3) == 2
+        assert scaled("ref", 1, 2, 3) == 3
+
+    def test_unknown_size_raises(self):
+        with pytest.raises(KeyError):
+            scaled("huge", 1, 2, 3)
+
+
+class TestRefops:
+    def test_wrap64_boundaries(self):
+        assert wrap64(2**63) == -(2**63)
+        assert wrap64(2**63 - 1) == 2**63 - 1
+        assert wrap64(-(2**63) - 1) == 2**63 - 1
+        assert wrap64(2**64) == 0
+
+    def test_mul_wraps(self):
+        assert mul(2**62, 4) == 0
+        assert mul(3, 5) == 15
+
+    def test_shifts(self):
+        assert shl(1, 63) == -(2**63)
+        assert shr(-1, 60) == 15
+        assert shl(1, 64) == 1  # count mod 64
+        assert shr(16, 68) == 1
+
+    def test_bitwise_on_negatives(self):
+        assert band(-1, 0xFF) == 0xFF
+        assert bor(0, -1) == -1
+        assert bxor(-1, -1) == 0
+        assert bnot(0) == -1
+
+    def test_division(self):
+        assert sdiv(-7, 2) == -3
+        assert smod(-7, 2) == -1
+        assert sdiv(7, -2) == -3
+        assert smod(7, -2) == 1
+
+
+class TestWorkloadDefinitions:
+    @pytest.mark.parametrize("name", workloads.all_names())
+    def test_metadata_complete(self, name):
+        wl = workloads.get(name)
+        assert isinstance(wl, Workload)
+        assert wl.description
+        assert wl.tags
+        assert wl.module_names()
+
+    @pytest.mark.parametrize("name", workloads.all_names())
+    def test_sources_parse_and_analyze(self, name):
+        from repro.toolchain.parser import parse_source
+        from repro.toolchain.sema import analyze_unit
+
+        wl = workloads.get(name)
+        for mod_name, src in wl.sources.items():
+            analyze_unit(parse_source(src, mod_name))
+
+    @pytest.mark.parametrize("name", workloads.all_names())
+    def test_sizes_grow(self, name):
+        """'ref' inputs must describe at least as much work as 'test'."""
+        wl = workloads.get(name)
+        test_b = wl.input_for("test", 0)
+        ref_b = wl.input_for("ref", 0)
+        test_scalars = {
+            k: v for k, v in test_b.items() if isinstance(v, int)
+        }
+        bigger = [
+            ref_b[k] >= v
+            for k, v in test_scalars.items()
+            if isinstance(ref_b.get(k), int) and k.startswith("p_")
+        ]
+        assert bigger and any(
+            ref_b[k] > v
+            for k, v in test_scalars.items()
+            if isinstance(ref_b.get(k), int) and k.startswith("p_")
+        )
+
+    @pytest.mark.parametrize("name", workloads.all_names())
+    def test_reference_is_deterministic(self, name):
+        wl = workloads.get(name)
+        b = wl.input_for("test", 0)
+        assert wl.expected(b) == wl.expected(b)
+
+    def test_suite_order_stable(self):
+        assert workloads.all_names()[0] == "perlbench"
+        assert [w.name for w in workloads.suite()] == workloads.all_names()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Developer tool: validate one workload module end-to-end.
+
+Usage: python tools/validate_workload.py <module_path_or_name> [sizes...]
+
+Compiles at O0..O3 with both vendor profiles, runs the "test" input (and
+any extra sizes given) and compares against the Python reference.  Prints
+per-config instruction/cycle counts so workload authors can judge scale.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import time
+
+from repro.arch import execute, get_machine
+from repro.os import Environment, load_process
+from repro.toolchain import compile_program, link
+
+
+#: Workload names whose module is named differently.
+_ALIASES = {"gcc": "gcc_bench"}
+
+
+def validate(module_name: str, sizes=("test",), seeds=(0, 1)) -> bool:
+    module_name = _ALIASES.get(module_name, module_name)
+    mod = importlib.import_module(f"repro.workloads.{module_name}")
+    wl = mod.WORKLOAD
+    ok = True
+    for size in sizes:
+        for seed in seeds:
+            bindings = wl.input_for(size, seed)
+            expected = wl.expected(bindings)
+            for profile in ("gcc", "icc"):
+                for level in (0, 1, 2, 3):
+                    t0 = time.time()
+                    mods = compile_program(
+                        dict(wl.sources), opt_level=level, profile=profile
+                    )
+                    exe = link(mods)
+                    img = load_process(
+                        exe, Environment.typical(), inputs=bindings
+                    )
+                    res = execute(img, get_machine("core2").build())
+                    dt = time.time() - t0
+                    status = "ok" if res.exit_value == expected else "FAIL"
+                    if status == "FAIL":
+                        ok = False
+                    if level in (0, 2) and profile == "gcc" or status == "FAIL":
+                        print(
+                            f"  {wl.name} {size} seed={seed} {profile} O{level}: "
+                            f"{status} exit={res.exit_value} expected={expected} "
+                            f"instrs={res.counters.instructions} "
+                            f"cycles={res.counters.cycles:.0f} ({dt:.2f}s)"
+                        )
+    return ok
+
+
+if __name__ == "__main__":
+    name = sys.argv[1]
+    sizes = tuple(sys.argv[2:]) or ("test",)
+    sys.exit(0 if validate(name, sizes) else 1)
