@@ -7,10 +7,10 @@ flips.  The paper's shape: most benchmarks move, a few flip.
 """
 
 from repro import workloads
-from repro.core.bias import link_order_study
+from repro.core.bias import link_order_study, sample_link_orders
 from repro.core.report import render_table
 
-from common import BASE, TREATMENT, experiment, publish
+from common import BASE, TREATMENT, experiment, parallel_sweep, publish
 
 #: Orders per workload: enough to expose spread while keeping the
 #: full-suite bench affordable.
@@ -23,9 +23,16 @@ def test_f2_linkorder_suite(benchmark):
     spreads = []
     for wl in workloads.suite():
         exp = experiment(wl.name)
-        study = link_order_study(
-            exp, BASE, TREATMENT, max_orders=N_ORDERS, seed=17
+        orders = sample_link_orders(wl.module_names(), N_ORDERS, seed=17)
+        parallel_sweep(
+            exp,
+            [
+                s.with_changes(link_order=tuple(order))
+                for order in orders
+                for s in (BASE, TREATMENT)
+            ],
         )
+        study = link_order_study(exp, BASE, TREATMENT, orders=orders)
         rep = study.speedup_bias()
         spreads.append(rep.magnitude)
         any_flip |= rep.flips

@@ -10,7 +10,7 @@ from repro import workloads
 from repro.core.bias import env_size_study
 from repro.core.report import render_table
 
-from common import BASE, TREATMENT, experiment, publish
+from common import BASE, TREATMENT, experiment, parallel_sweep, publish
 
 #: Both stack-alignment regimes at several 64-byte phases.
 ENV_SIZES = list(range(100, 356, 16))
@@ -21,6 +21,14 @@ def test_f4_envsize_suite(benchmark):
     magnitudes = {}
     for wl in workloads.suite():
         exp = experiment(wl.name)
+        parallel_sweep(
+            exp,
+            [
+                s.with_changes(env_bytes=env)
+                for env in ENV_SIZES
+                for s in (BASE, TREATMENT)
+            ],
+        )
         study = env_size_study(exp, BASE, TREATMENT, ENV_SIZES)
         rep = study.speedup_bias()
         magnitudes[wl.name] = rep.magnitude

@@ -9,10 +9,13 @@ Two panels:
   conclusion or honestly reports "inconclusive".
 """
 
-from repro.core.randomization import interval_vs_setup_count
+from repro.core.randomization import (
+    interval_vs_setup_count,
+    paired_random_setups,
+)
 from repro.core.report import render_interval_row, render_table
 
-from common import BASE, TREATMENT, experiment, publish
+from common import BASE, TREATMENT, experiment, parallel_sweep, publish
 
 #: Three "innocuous" single setups an experimenter might use.
 SINGLE_SETUPS = (
@@ -41,6 +44,16 @@ def test_f8_setup_randomization(benchmark):
     )
 
     counts = (4, 8, 16)
+    parallel_sweep(
+        exp,
+        [
+            s
+            for pair in paired_random_setups(
+                exp, BASE, TREATMENT, max(counts), seed=5
+            )
+            for s in pair
+        ],
+    )
     series = interval_vs_setup_count(
         exp, BASE, TREATMENT, counts=counts, seed=5
     )

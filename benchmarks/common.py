@@ -15,9 +15,15 @@ from functools import lru_cache
 from typing import Sequence
 
 from repro import workloads
-from repro.core import Experiment, ExperimentalSetup
+from repro.core import Experiment, ExperimentalSetup, RunnerConfig, SweepRunner
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Worker processes for suite-scale sweeps (F2/F4/F8).  Overridable via
+#: REPRO_BENCH_JOBS; set to 1 to force the serial path.
+BENCH_JOBS = int(
+    os.environ.get("REPRO_BENCH_JOBS", str(min(4, os.cpu_count() or 1)))
+)
 
 #: Canonical base/treatment pair: the paper's "is O3 beneficial?" question.
 BASE = ExperimentalSetup(machine="core2", compiler="gcc", opt_level=2)
@@ -33,6 +39,28 @@ ENV_SWEEP_COARSE = list(range(100, 4196, 128))
 def experiment(name: str, size: str = "test", seed: int = 0) -> Experiment:
     """Session-cached experiment handle."""
     return Experiment(workloads.get(name), size=size, seed=seed)
+
+
+def parallel_sweep(
+    exp: Experiment, setups: Sequence[ExperimentalSetup]
+) -> None:
+    """Warm ``exp``'s caches for ``setups`` via the fault-tolerant
+    runner, so the serial study code that follows is all cache hits.
+
+    The substrate is deterministic, so the published tables are
+    byte-identical with and without the parallel warm-up; suite-scale
+    sweeps just finish in a fraction of the wall-clock time.
+    """
+    if BENCH_JOBS <= 1 or len(setups) < 4:
+        for s in setups:
+            exp.run(s)
+        return
+    result = SweepRunner(exp, RunnerConfig(jobs=BENCH_JOBS)).run(setups)
+    if result.report.quarantined:
+        raise RuntimeError(
+            "benchmark sweep quarantined setups:\n"
+            + result.report.summary_line()
+        )
 
 
 def publish(experiment_id: str, text: str) -> None:

@@ -1,0 +1,133 @@
+"""Structured error taxonomy shared by every layer of the stack.
+
+This is a *leaf* module: it imports nothing from :mod:`repro`, so the
+arch/os/toolchain layers can raise taxonomy errors without importing
+``repro.core`` (whose package ``__init__`` pulls in the whole experiment
+stack and would create an import cycle).  The public face of the
+taxonomy is :mod:`repro.core.errors`, which re-exports everything here.
+
+Every failure mode of a measurement carries a **retryable / fatal**
+classification, used by the sweep runner to decide between re-measuring
+(transient infrastructure faults) and quarantining (real toolchain or
+workload bugs).  The class attribute is the default; individual raise
+sites may override it per instance (an injected internal compiler error
+is retryable even though a malformed workload is not).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+
+class ReproError(Exception):
+    """Base class for every structured failure in the lab.
+
+    Attributes:
+        retryable: whether re-attempting the same measurement may
+            succeed (transient fault) or is guaranteed to fail again
+            (deterministic bug).  Class default, overridable per raise.
+        context: free-form diagnostic mapping (workload, setup, path,
+            record index, ...) attached at the raise site.
+    """
+
+    retryable: bool = False
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retryable: Optional[bool] = None,
+        context: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(message)
+        if retryable is not None:
+            self.retryable = retryable
+        self.context: Dict[str, Any] = dict(context) if context else {}
+
+
+class BuildError(ReproError):
+    """The compiler or linker failed to produce an executable.
+
+    Fatal by default (a malformed workload stays malformed); raised with
+    ``retryable=True`` for crash-style failures (an injected internal
+    compiler error) where a rebuild may succeed.
+    """
+
+    retryable = False
+
+
+class SimulationError(ReproError):
+    """The simulated program performed an illegal operation.
+
+    Traps (division by zero, wild return, runaway execution) are
+    deterministic properties of the binary and input — fatal.  Counter
+    corruption detected after a run is raised with ``retryable=True``.
+    """
+
+    retryable = False
+
+
+class VerificationError(ReproError):
+    """A simulated run produced the wrong answer.
+
+    Retryable by default: in a fault-tolerant sweep a mismatch is first
+    treated as possible transient corruption and re-measured; a
+    *persistent* mismatch (a real miscompilation) exhausts its retries
+    and is quarantined, which is exactly the paper-lab posture — never
+    let a wrong answer masquerade as a performance result.
+    """
+
+    retryable = True
+
+
+class RunTimeout(ReproError):
+    """A measurement exceeded its cycle budget or wall-clock deadline."""
+
+    retryable = True
+
+
+class ArchiveCorruption(ReproError, ValueError):
+    """A measurement archive or checkpoint journal failed validation.
+
+    Carries the offending path and (when applicable) record index so a
+    corrupted sweep can be repaired instead of silently dropped.  Also a
+    ``ValueError`` for compatibility with pre-taxonomy callers that
+    caught the load path's old ad-hoc exception.
+    """
+
+    retryable = False
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: Optional[str] = None,
+        record: Optional[int] = None,
+        retryable: Optional[bool] = None,
+        context: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        where = ""
+        if path is not None:
+            where = f"{path}: "
+            if record is not None:
+                where = f"{path}: record {record}: "
+        super().__init__(where + message, retryable=retryable, context=context)
+        self.path = path
+        self.record = record
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """The runner's classification: may re-attempting this succeed?
+
+    Taxonomy errors answer for themselves; anything else (a stray
+    ``KeyError`` deep in the substrate) is conservatively fatal —
+    an unclassified failure should be looked at, not papered over.
+    """
+    if isinstance(exc, ReproError):
+        return exc.retryable
+    return False
+
+
+def classify(exc: BaseException) -> str:
+    """"retryable" or "fatal" — the two fates a failed measurement has."""
+    return "retryable" if is_retryable(exc) else "fatal"

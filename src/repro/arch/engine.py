@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro._errors import RunTimeout, SimulationError
 from repro.arch.counters import PerfCounters, RunResult
 from repro.arch.machines import Machine, MachineConfig
 from repro.isa.program import Executable
@@ -37,10 +38,6 @@ from repro.os.loader import ProcessImage
 _M64 = (1 << 64) - 1
 _I64_MAX = (1 << 63) - 1
 _I64_MIN = -(1 << 63)
-
-
-class SimulationError(Exception):
-    """The simulated program performed an illegal operation."""
 
 
 def _wrap64(value: int) -> int:
@@ -80,6 +77,7 @@ def execute(
     max_instructions: int = 2_000_000_000,
     profile_functions: bool = False,
     trace_limit: int = 0,
+    max_cycles: Optional[float] = None,
 ) -> RunResult:
     """Run ``image`` to completion on ``machine``; returns the result.
 
@@ -89,7 +87,9 @@ def execute(
     recorded on the result (debugging/analysis; the architectural path is
     an environment-independent property worth asserting).  Raises
     :class:`SimulationError` on traps (division by zero, wild return,
-    runaway execution past ``max_instructions``).
+    runaway execution past ``max_instructions``) and :class:`RunTimeout`
+    when the modelled time exceeds ``max_cycles`` — the sweep runner's
+    cycle-budget watchdog against hung or pathological runs.
     """
     exe = image.executable
     cfg: MachineConfig = machine.config
@@ -160,6 +160,8 @@ def execute(
                 func_of[i] = pf.name
         func_cycles = {pf.name: 0.0 for pf in exe.placed}
 
+    cycle_budget = max_cycles if max_cycles is not None else float("inf")
+
     pc = exe.entry
     while True:
         if pc < 0 or pc >= n_instr:
@@ -168,6 +170,11 @@ def execute(
         if executed > max_instructions:
             raise SimulationError(
                 f"exceeded {max_instructions} instructions (runaway loop?)"
+            )
+        if cycles > cycle_budget:
+            raise RunTimeout(
+                f"cycle budget {cycle_budget:.0f} exceeded after "
+                f"{executed} instructions"
             )
         cycles_before = cycles
         if tracing:

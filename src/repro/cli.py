@@ -7,6 +7,16 @@ Commands:
 - ``run`` — measure one workload under one explicit setup,
 - ``study`` — sweep environment size or link order for O-level pairs,
 - ``randomized`` — the paper's randomized-setup evaluation protocol,
+
+``study`` and ``randomized`` execute their sweeps through the
+fault-tolerant :class:`~repro.core.runner.SweepRunner`: ``--jobs N``
+parallelizes across processes, ``--timeout``/``--max-retries`` bound and
+retry faulty measurements, and ``--resume PATH`` checkpoints every
+completed measurement so an interrupted sweep picks up where it left
+off (see docs/robustness.md).
+
+Remaining commands:
+
 - ``characterize`` — static + dynamic shape of one workload,
 - ``archive`` / ``verify-archive`` — persist a sweep as JSON and later
   re-measure it, reporting any drift,
@@ -25,9 +35,14 @@ from typing import List, Optional
 from repro import workloads
 from repro.arch import available_machines, get_machine
 from repro.core import Experiment, ExperimentalSetup
-from repro.core.bias import env_size_study, link_order_study
-from repro.core.randomization import evaluate_with_randomization
+from repro.core.bias import env_size_study, link_order_study, sample_link_orders
+from repro.core.errors import ReproError
+from repro.core.randomization import (
+    evaluate_with_randomization,
+    paired_random_setups,
+)
 from repro.core.report import render_series, render_table
+from repro.core.runner import RunnerConfig, SweepRunner
 from repro.core.survey import generate_corpus, survey_table
 
 
@@ -47,6 +62,68 @@ def _add_setup_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--compiler", default="gcc", choices=["gcc", "icc"])
     parser.add_argument("--size", default="test", choices=["test", "train", "ref"])
     parser.add_argument("--seed", type=int, default=0)
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _add_runner_args(parser: argparse.ArgumentParser) -> None:
+    """Fault-tolerant sweep execution knobs (see docs/robustness.md)."""
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="worker processes for the sweep (1 = serial, in-process)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="wall-clock seconds allowed per measurement attempt",
+    )
+    parser.add_argument(
+        "--max-retries", type=_non_negative_int, default=2,
+        help="retries for retryable faults before quarantining a setup",
+    )
+    parser.add_argument(
+        "--resume", metavar="PATH", default=None,
+        help=(
+            "checkpoint journal path; measurements land here as they "
+            "complete, and an interrupted sweep re-run with the same "
+            "PATH resumes without re-measuring"
+        ),
+    )
+
+
+def _run_sweep(exp: Experiment, setups, args: argparse.Namespace) -> int:
+    """Measure ``setups`` through the fault-tolerant runner, priming
+    ``exp``'s run cache so the serial study code below is all cache
+    hits.  Returns the number of quarantined setups."""
+    runner = SweepRunner(
+        exp,
+        RunnerConfig(
+            jobs=args.jobs,
+            timeout=args.timeout,
+            max_retries=args.max_retries,
+        ),
+        journal_path=args.resume,
+    )
+    result = runner.run(setups)
+    report = result.report
+    interesting = (
+        report.resumed or report.retries or report.quarantined
+        or args.jobs > 1 or args.resume
+    )
+    if interesting:
+        print(report.summary_line())
+    return len(report.quarantined)
 
 
 def cmd_workloads(args: argparse.Namespace) -> int:
@@ -88,9 +165,32 @@ def cmd_study(args: argparse.Namespace) -> int:
     treatment = _setup_from_args(args, args.treatment_opt)
     if args.parameter == "env":
         sweep = list(range(args.env_start, args.env_stop, args.env_step))
+        setups = [
+            s.with_changes(env_bytes=env)
+            for env in sweep
+            for s in (base, treatment)
+        ]
+        orders = None
+    else:
+        orders = sample_link_orders(
+            exp.workload.module_names(), args.orders, seed=0
+        )
+        setups = [
+            s.with_changes(link_order=tuple(order))
+            for order in orders
+            for s in (base, treatment)
+        ]
+    quarantined = _run_sweep(exp, setups, args)
+    if quarantined:
+        print(
+            f"error: {quarantined} setup(s) quarantined — study needs every "
+            "point; see the report above"
+        )
+        return 1
+    if args.parameter == "env":
         study = env_size_study(exp, base, treatment, sweep)
     else:
-        study = link_order_study(exp, base, treatment, max_orders=args.orders)
+        study = link_order_study(exp, base, treatment, orders=orders)
     print(
         render_series(
             study.points,
@@ -110,6 +210,18 @@ def cmd_randomized(args: argparse.Namespace) -> int:
     exp = Experiment(workloads.get(args.workload), size=args.size, seed=args.seed)
     base = _setup_from_args(args, args.base_opt)
     treatment = _setup_from_args(args, args.treatment_opt)
+    pairs = paired_random_setups(
+        exp, base, treatment, args.setups, seed=args.seed
+    )
+    quarantined = _run_sweep(
+        exp, [s for pair in pairs for s in pair], args
+    )
+    if quarantined:
+        print(
+            f"error: {quarantined} setup(s) quarantined — the protocol "
+            "needs every sampled setup; see the report above"
+        )
+        return 1
     ev = evaluate_with_randomization(
         exp, base, treatment, n_setups=args.setups, seed=args.seed
     )
@@ -171,9 +283,14 @@ def cmd_archive(args: argparse.Namespace) -> int:
 
 
 def cmd_verify_archive(args: argparse.Namespace) -> int:
+    from repro.core.errors import ArchiveCorruption
     from repro.core.session import load_measurements, verify_against_archive
 
-    archived = load_measurements(args.path)
+    try:
+        archived = load_measurements(args.path)
+    except ArchiveCorruption as exc:
+        print(f"CORRUPT: {exc}")
+        return 1
     if not archived:
         print("archive is empty")
         return 1
@@ -233,6 +350,7 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--env-step", type=int, default=16)
     study.add_argument("--orders", type=int, default=6)
     _add_setup_args(study)
+    _add_runner_args(study)
     study.set_defaults(func=cmd_study)
 
     rand = sub.add_parser(
@@ -245,6 +363,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rand.add_argument("--setups", type=int, default=12)
     _add_setup_args(rand)
+    _add_runner_args(rand)
     rand.set_defaults(func=cmd_randomized)
 
     char = sub.add_parser("characterize", help="profile one workload's shape")
@@ -280,7 +399,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        # Taxonomy errors are diagnoses, not crashes: one line, exit 1.
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -6,6 +6,10 @@
   study protocols,
 - :mod:`~repro.core.randomization` — the paper's setup-randomization
   evaluation protocol,
+- :mod:`~repro.core.errors` — the structured error taxonomy with its
+  retryable/fatal classification,
+- :mod:`~repro.core.runner` — fault-tolerant parallel sweep execution
+  with retries, quarantine and resumable checkpoints,
 - :mod:`~repro.core.stats` — intervals, summaries, violin densities,
 - :mod:`~repro.core.survey` — the 133-paper literature survey analysis,
 - :mod:`~repro.core.report` — plain-text table/figure rendering.
@@ -20,7 +24,17 @@ from repro.core.bias import (
     sample_link_orders,
     suite_bias_table,
 )
-from repro.core.experiment import Experiment, Measurement, VerificationError
+from repro.core.errors import (
+    ArchiveCorruption,
+    BuildError,
+    ReproError,
+    RunTimeout,
+    SimulationError,
+    VerificationError,
+    classify,
+    is_retryable,
+)
+from repro.core.experiment import Experiment, Measurement
 from repro.core.noise import (
     BiasVsNoiseResult,
     NoiseModel,
@@ -32,7 +46,16 @@ from repro.core.randomization import (
     RandomizedEvaluation,
     evaluate_with_randomization,
     interval_vs_setup_count,
+    paired_random_setups,
     random_setups,
+)
+from repro.core.runner import (
+    Journal,
+    QuarantineEntry,
+    RunnerConfig,
+    SweepReport,
+    SweepResult,
+    SweepRunner,
 )
 from repro.core.setup import ExperimentalSetup
 from repro.core.stats import (
@@ -46,8 +69,22 @@ from repro.core.stats import (
 )
 
 __all__ = [
+    "ArchiveCorruption",
     "BiasReport",
     "BiasVsNoiseResult",
+    "BuildError",
+    "Journal",
+    "QuarantineEntry",
+    "ReproError",
+    "RunTimeout",
+    "RunnerConfig",
+    "SimulationError",
+    "SweepReport",
+    "SweepResult",
+    "SweepRunner",
+    "classify",
+    "is_retryable",
+    "paired_random_setups",
     "NoiseModel",
     "RepeatedMeasurement",
     "bias_vs_noise_demo",

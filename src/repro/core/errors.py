@@ -1,0 +1,48 @@
+"""Public face of the structured error taxonomy.
+
+The classes live in :mod:`repro._errors` (a leaf module, so the arch /
+toolchain layers can raise them without importing ``repro.core``); this
+module re-exports them and is the import site the rest of the library
+and user code should use::
+
+    from repro.core.errors import BuildError, RunTimeout, is_retryable
+
+Taxonomy:
+
+===================  =========  ============================================
+class                default    meaning
+===================  =========  ============================================
+BuildError           fatal      compiler/linker failed (retryable when the
+                                failure is crash-style, e.g. injected ICE)
+SimulationError      fatal      simulated program trapped (retryable when
+                                counter corruption is detected post-run)
+VerificationError    retryable  wrong answer — re-measure, then quarantine
+RunTimeout           retryable  cycle budget or wall-clock deadline blown
+ArchiveCorruption    fatal      archive/journal failed validation
+===================  =========  ============================================
+
+See ``docs/robustness.md`` for how the sweep runner consumes the
+retryable/fatal classification.
+"""
+
+from repro._errors import (
+    ArchiveCorruption,
+    BuildError,
+    ReproError,
+    RunTimeout,
+    SimulationError,
+    VerificationError,
+    classify,
+    is_retryable,
+)
+
+__all__ = [
+    "ArchiveCorruption",
+    "BuildError",
+    "ReproError",
+    "RunTimeout",
+    "SimulationError",
+    "VerificationError",
+    "classify",
+    "is_retryable",
+]

@@ -15,18 +15,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro import faults
+from repro._errors import BuildError, SimulationError, VerificationError
 from repro.arch.counters import PerfCounters, RunResult
 from repro.arch.engine import execute
 from repro.core.setup import ExperimentalSetup
 from repro.isa.program import Executable
 from repro.os.loader import load_process
 from repro.toolchain.compiler import compile_program
+from repro.toolchain.errors import ToolchainError
 from repro.toolchain.linker import LinkLayout, link
 from repro.workloads.base import Workload
-
-
-class VerificationError(Exception):
-    """A simulated run produced the wrong answer — toolchain or input bug."""
 
 
 @dataclass(frozen=True)
@@ -90,35 +89,64 @@ class Experiment:
 
     # -- building ---------------------------------------------------------
 
+    def _fault_key(self, setup: ExperimentalSetup) -> str:
+        return faults.fault_key(self.workload.name, self.size, self.seed, setup)
+
     def build(self, setup: ExperimentalSetup) -> Executable:
-        """Compile and link the workload for ``setup`` (memoized)."""
+        """Compile and link the workload for ``setup`` (memoized).
+
+        Raises :class:`~repro.core.errors.BuildError` when the toolchain
+        fails (retryable when the failure is crash-style, e.g. an
+        injected internal compiler error).
+        """
+        if faults.should_inject("build", self._fault_key(setup)):
+            raise BuildError(
+                f"internal compiler error (injected) building "
+                f"{self.workload.name} at {setup.describe()}",
+                retryable=True,
+            )
         key = setup.build_key()
         exe = self._build_cache.get(key)
         if exe is None:
-            modules = compile_program(
-                dict(self.workload.sources),
-                opt_level=setup.opt_level,
-                profile=setup.compiler,
-            )
-            layout = LinkLayout(function_alignment=setup.function_alignment)
-            exe = link(modules, order=setup.link_order, layout=layout)
+            try:
+                modules = compile_program(
+                    dict(self.workload.sources),
+                    opt_level=setup.opt_level,
+                    profile=setup.compiler,
+                )
+                layout = LinkLayout(
+                    function_alignment=setup.function_alignment
+                )
+                exe = link(modules, order=setup.link_order, layout=layout)
+            except ToolchainError as exc:
+                raise BuildError(
+                    f"{self.workload.name} at {setup.describe()}: {exc}",
+                    context={"workload": self.workload.name},
+                ) from exc
             self._build_cache[key] = exe
         return exe
 
     # -- running ----------------------------------------------------------
 
     def run(
-        self, setup: ExperimentalSetup, profile_functions: bool = False
+        self,
+        setup: ExperimentalSetup,
+        profile_functions: bool = False,
+        max_cycles: Optional[float] = None,
     ) -> Measurement:
         """Measure the workload under ``setup`` (memoized per setup).
 
-        Raises :class:`VerificationError` if the run's exit value differs
-        from the Python reference.
+        ``max_cycles`` arms the engine's cycle-budget watchdog (used by
+        the sweep runner against hung runs); a blown budget raises
+        :class:`~repro.core.errors.RunTimeout`.  Raises
+        :class:`VerificationError` if the run's exit value differs from
+        the Python reference.
         """
         if not profile_functions:
             cached = self._run_cache.get(setup)
             if cached is not None:
                 return cached
+        fkey = self._fault_key(setup)
         exe = self.build(setup)
         image = load_process(
             exe,
@@ -126,15 +154,35 @@ class Experiment:
             inputs=self._bindings,
             stack_align=setup.stack_align,
         )
+        budget = max_cycles
+        if faults.should_inject("hang", fkey):
+            budget = faults.HANG_CYCLE_BUDGET
         result: RunResult = execute(
             image,
             setup.machine_config().build(),
             profile_functions=profile_functions,
+            max_cycles=budget,
         )
-        if self.verify and result.exit_value != self.expected:
+        if faults.should_inject("counters", fkey):
+            result.counters.cycles = -result.counters.cycles
+        if not (
+            result.counters.cycles > 0
+            and result.counters.instructions > 0
+            and result.counters.cycles != float("inf")
+        ):
+            raise SimulationError(
+                f"{self.workload.name}/{self.size} under {setup.describe()}: "
+                f"implausible counters (cycles={result.counters.cycles}) — "
+                "corrupted measurement",
+                retryable=True,
+            )
+        exit_value = result.exit_value
+        if faults.should_inject("verify", fkey):
+            exit_value = exit_value + 1
+        if self.verify and exit_value != self.expected:
             raise VerificationError(
                 f"{self.workload.name}/{self.size} under {setup.describe()}: "
-                f"exit {result.exit_value} != expected {self.expected}"
+                f"exit {exit_value} != expected {self.expected}"
             )
         measurement = Measurement(
             workload=self.workload.name,
@@ -142,12 +190,25 @@ class Experiment:
             seed=self.seed,
             setup=setup,
             counters=result.counters,
-            exit_value=result.exit_value,
+            exit_value=exit_value,
             function_cycles=result.function_cycles,
         )
         if not profile_functions:
             self._run_cache[setup] = measurement
         return measurement
+
+    def prime(self, measurements: Iterable[Measurement]) -> None:
+        """Seed the run cache with externally produced measurements.
+
+        Used by the sweep runner: measurements made in worker processes
+        (or reloaded from a checkpoint journal) are primed here so that
+        subsequent :meth:`run` calls for the same setups are cache hits
+        — the serial analysis code never re-measures what a parallel
+        sweep already measured.
+        """
+        for m in measurements:
+            if m is not None:
+                self._run_cache.setdefault(m.setup, m)
 
     def sweep(self, setups: Iterable[ExperimentalSetup]) -> List[Measurement]:
         """Measure under every setup, in order."""

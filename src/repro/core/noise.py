@@ -18,6 +18,7 @@ argument that per-setup intervals measure precision, not accuracy.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
@@ -52,6 +53,19 @@ class NoiseModel:
         return true_value * (1.0 + self.magnitude * unit)
 
 
+def _setup_tag(setup: ExperimentalSetup) -> int:
+    """Stable per-setup jitter-stream tag.
+
+    Must not use ``hash()``: string hashing is randomized per process,
+    which would make the "deterministic" noise differ between runs.
+    """
+    text = (
+        f"{setup.describe()}|sa{setup.stack_align}"
+        f"|fa{setup.function_alignment}"
+    )
+    return zlib.crc32(text.encode("utf-8")) & 0xFFFF
+
+
 @dataclass(frozen=True)
 class RepeatedMeasurement:
     """n noisy repetitions of one setup, summarized the usual way."""
@@ -81,7 +95,7 @@ def repeated_measurement(
     if repetitions < 2:
         raise ValueError("need at least 2 repetitions")
     true_cycles = experiment.run(setup).cycles
-    setup_tag = hash(setup) & 0xFFFF
+    setup_tag = _setup_tag(setup)
     observations = tuple(
         noise.jitter(true_cycles, rep, setup_tag)
         for rep in range(repetitions)

@@ -123,6 +123,27 @@ def _mirror_randomized_fields(
     )
 
 
+def paired_random_setups(
+    experiment: Experiment,
+    base: ExperimentalSetup,
+    treatment: ExperimentalSetup,
+    n_setups: int,
+    seed: int = 0,
+    env_range: Tuple[int, int] = (100, 4096),
+    dimensions: Sequence[str] = ("link_order", "env_bytes"),
+) -> List[Tuple[ExperimentalSetup, ExperimentalSetup]]:
+    """The (base, treatment) setup pairs the randomized protocol will
+    measure — exposed so callers (the CLI, the parallel sweep runner,
+    the benchmark harness) can pre-measure them out of order and let
+    :func:`evaluate_with_randomization` consume cache hits."""
+    modules = experiment.workload.module_names()
+    sampled = random_setups(
+        base, modules, n_setups, seed=seed, env_range=env_range,
+        dimensions=dimensions,
+    )
+    return [(s, _mirror_randomized_fields(treatment, s)) for s in sampled]
+
+
 def evaluate_with_randomization(
     experiment: Experiment,
     base: ExperimentalSetup,
@@ -146,14 +167,12 @@ def evaluate_with_randomization(
     """
     if n_setups < 2:
         raise ValueError("randomization needs at least 2 setups")
-    modules = experiment.workload.module_names()
-    setups = random_setups(
-        base, modules, n_setups, seed=seed, env_range=env_range,
-        dimensions=dimensions,
+    pairs = paired_random_setups(
+        experiment, base, treatment, n_setups, seed=seed,
+        env_range=env_range, dimensions=dimensions,
     )
     speedups: List[float] = []
-    for i, setup in enumerate(setups):
-        treat = _mirror_randomized_fields(treatment, setup)
+    for i, (setup, treat) in enumerate(pairs):
         speedups.append(
             experiment.run(setup).cycles / experiment.run(treat).cycles
         )
@@ -163,7 +182,7 @@ def evaluate_with_randomization(
     return RandomizedEvaluation(
         speedups=tuple(speedups),
         interval=interval,
-        setups=tuple(setups),
+        setups=tuple(s for s, _ in pairs),
     )
 
 
@@ -181,11 +200,10 @@ def interval_vs_setup_count(
     (as they would be for an experimenter adding runs).
     """
     max_n = max(counts)
-    modules = experiment.workload.module_names()
-    setups = random_setups(base, modules, max_n, seed=seed)
+    pairs = paired_random_setups(experiment, base, treatment, max_n, seed=seed)
+    setups = [s for s, _ in pairs]
     speedups: List[float] = []
-    for setup in setups:
-        treat = _mirror_randomized_fields(treatment, setup)
+    for setup, treat in pairs:
         speedups.append(
             experiment.run(setup).cycles / experiment.run(treat).cycles
         )

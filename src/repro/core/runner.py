@@ -1,0 +1,636 @@
+"""Fault-tolerant sweep execution: parallel, retried, checkpointed.
+
+The paper's remedy for measurement bias is *setup randomization* —
+sample many experimental setups and report distributions — which makes
+long many-setup sweeps the lab's hot path.  :class:`SweepRunner` turns
+the serial, in-process :meth:`Experiment.sweep` into a production run:
+
+- **parallel** — setups are measured across a ``ProcessPoolExecutor``
+  (``jobs=N``); result order is the *request* order, independent of
+  completion order, so parallel and serial sweeps are byte-identical;
+- **bounded** — every run is armed with the engine's cycle-budget
+  watchdog (``max_cycles``) and a per-measurement wall-clock deadline
+  (``timeout``), so a hung run becomes a :class:`RunTimeout`, not a
+  hung sweep;
+- **retried** — retryable faults (timeouts, transient corruption,
+  verification flakes, injected compiler crashes) are re-attempted with
+  seeded exponential backoff; setups that exhaust their retries are
+  **quarantined** with their final error;
+- **checkpointed** — every completed measurement is appended to an
+  on-disk journal (format v2 records with per-record SHA-256 checksums)
+  the moment it lands, so an interrupted sweep re-run with the same
+  journal resumes with **zero re-measurement**;
+- **accounted** — the :class:`SweepReport` enumerates every requested
+  setup as measured, resumed-from-journal, or quarantined; partial
+  coverage is never silent (van der Kouwe et al.'s "benchmarking
+  crimes" include silently dropped results).
+
+Fault injection (:mod:`repro.faults`) rides behind the substrate, so
+every recovery path here is itself testable and deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro import faults, workloads
+from repro._errors import (
+    ArchiveCorruption,
+    ReproError,
+    RunTimeout,
+    classify,
+    is_retryable,
+)
+from repro.core.experiment import Experiment, Measurement
+from repro.core.session import (
+    FORMAT_V2,
+    canonical_json,
+    load_measurement_record,
+    measurement_to_dict,
+    record_checksum,
+    setup_to_dict,
+)
+from repro.core.setup import ExperimentalSetup
+
+#: Journal header marker: a v2 archive streamed as JSON Lines.
+JOURNAL_FORMAT = FORMAT_V2 + "-journal"
+
+
+# -- configuration ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """Execution policy for one sweep.
+
+    Attributes:
+        jobs: worker processes; 1 runs serially in-process (reusing the
+            experiment's memoized builds directly).
+        timeout: wall-clock seconds allowed per measurement attempt
+            (None: unlimited).
+        max_cycles: simulated-cycle budget per run (None: unlimited);
+            the engine's own watchdog enforces it.
+        max_retries: re-attempts allowed *after* the first try of a
+            retryable fault before the setup is quarantined.
+        backoff_base: first retry delay in seconds; attempt *k* waits
+            ``backoff_base * 2**(k-1)``, jittered.
+        backoff_seed: seed for the deterministic backoff jitter.
+    """
+
+    jobs: int = 1
+    timeout: Optional[float] = None
+    max_cycles: Optional[float] = None
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+    def backoff_delay(self, key: str, attempt: int) -> float:
+        """Seeded exponential backoff before (1-based) ``attempt``.
+
+        Deterministic in (seed, key, attempt) so two runs of the same
+        faulted sweep retry on the same schedule.
+        """
+        if attempt <= 1 or self.backoff_base <= 0:
+            return 0.0
+        jitter = 0.5 + faults._uniform(
+            self.backoff_seed, f"backoff:{attempt}", key
+        )
+        return self.backoff_base * (2 ** (attempt - 2)) * jitter
+
+
+# -- accounting -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QuarantineEntry:
+    """One setup that exhausted its retries (or failed fatally)."""
+
+    index: int
+    setup: str  # describe() string — human-facing, stable
+    error_type: str
+    message: str
+    fate: str  # "retryable" (exhausted) | "fatal"
+    attempts: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "setup": self.setup,
+            "error_type": self.error_type,
+            "message": self.message,
+            "fate": self.fate,
+            "attempts": self.attempts,
+        }
+
+
+@dataclass
+class SweepReport:
+    """Full accounting of one sweep: every requested setup has a fate.
+
+    ``measured + resumed + quarantined == requested`` always holds
+    (asserted by :meth:`accounted`); ``statuses[i]`` names setup *i*'s
+    fate so partial coverage is attributable, not just countable.
+    """
+
+    requested: int = 0
+    measured: int = 0
+    resumed: int = 0
+    retries: int = 0
+    quarantined: List[QuarantineEntry] = field(default_factory=list)
+    statuses: List[str] = field(default_factory=list)
+
+    def accounted(self) -> bool:
+        return (
+            self.measured + self.resumed + len(self.quarantined)
+            == self.requested
+            == len(self.statuses)
+        )
+
+    @property
+    def complete(self) -> bool:
+        """Every requested setup has a measurement."""
+        return self.measured + self.resumed == self.requested
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "requested": self.requested,
+            "measured": self.measured,
+            "resumed": self.resumed,
+            "retries": self.retries,
+            "quarantined": [q.to_dict() for q in self.quarantined],
+            "statuses": list(self.statuses),
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialization — byte-identical across runs of the
+        same (setups, fault plan, config), whatever the completion
+        order, which is what the determinism tests assert."""
+        return canonical_json(self.to_dict())
+
+    def summary_line(self) -> str:
+        line = (
+            f"sweep: {self.requested} requested = {self.measured} measured "
+            f"+ {self.resumed} resumed + {len(self.quarantined)} quarantined "
+            f"({self.retries} retries)"
+        )
+        for q in self.quarantined:
+            line += (
+                f"\n  QUARANTINED [{q.index}] {q.setup}: {q.error_type} "
+                f"({q.fate}, {q.attempts} attempts): {q.message}"
+            )
+        return line
+
+
+@dataclass
+class SweepResult:
+    """Measurements in request order (None where quarantined) + report."""
+
+    measurements: List[Optional[Measurement]]
+    report: SweepReport
+
+    @property
+    def ok(self) -> List[Measurement]:
+        return [m for m in self.measurements if m is not None]
+
+
+# -- checkpoint journal -----------------------------------------------------
+
+
+def sweep_id(
+    workload: str, size: str, seed: int, setups: Sequence[ExperimentalSetup]
+) -> str:
+    """Identity of a sweep: workload, input, and the full setup list.
+
+    A journal records measurements *for one sweep*; resuming with a
+    different setup list must be rejected, not silently misapplied.
+    """
+    payload = {
+        "workload": workload,
+        "size": size,
+        "seed": seed,
+        "setups": [setup_to_dict(s) for s in setups],
+    }
+    return record_checksum(payload)
+
+
+class Journal:
+    """Append-only JSONL checkpoint for one sweep.
+
+    Line 1 is a header (format marker + sweep id); each further line is
+    one measurement record — the v2 archive record schema (payload +
+    per-record SHA-256) plus the setup's index in the sweep.  Records
+    are flushed and fsynced as they land, so a killed sweep loses at
+    most the record being written; a truncated trailing line is detected
+    by its checksum, dropped, and the journal compacted on resume.
+    """
+
+    def __init__(self, path: str, sweep: str) -> None:
+        self.path = path
+        self.sweep = sweep
+        self._fh = None  # type: Optional[Any]
+
+    # -- reading ----------------------------------------------------------
+
+    def load(self) -> Dict[int, Dict]:
+        """Measurement dicts by sweep index from an existing journal.
+
+        Returns {} when the journal does not exist yet.  Raises
+        :class:`ArchiveCorruption` when the journal belongs to a
+        different sweep or its header is damaged; a corrupt *record*
+        (torn final write) is dropped and the file compacted.
+        """
+        if not os.path.exists(self.path):
+            return {}
+        with open(self.path) as fh:
+            lines = fh.read().splitlines()
+        if not lines:
+            return {}
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise ArchiveCorruption(
+                f"journal header is not valid JSON: {exc}", path=self.path
+            ) from exc
+        if not isinstance(header, dict) or header.get("format") != JOURNAL_FORMAT:
+            raise ArchiveCorruption(
+                f"not a {JOURNAL_FORMAT} journal "
+                f"(got {header.get('format') if isinstance(header, dict) else header!r})",
+                path=self.path,
+            )
+        if header.get("sweep") != self.sweep:
+            raise ArchiveCorruption(
+                "journal belongs to a different sweep (workload/input/"
+                "setup list changed); refusing to resume from it",
+                path=self.path,
+            )
+        done: Dict[int, Dict] = {}
+        valid_lines = [lines[0]]
+        dropped = 0
+        for lineno, line in enumerate(lines[1:], start=1):
+            rec = self._parse_record(line)
+            if rec is None:
+                dropped += 1
+                continue
+            index, data = rec
+            done[index] = data
+            valid_lines.append(line)
+        if dropped:
+            # Compact: rewrite without torn records so later appends
+            # don't land after a corrupt line (atomic replace).
+            tmp = self.path + ".tmp"
+            with open(tmp, "w") as fh:
+                fh.write("\n".join(valid_lines) + "\n")
+            os.replace(tmp, self.path)
+        return done
+
+    @staticmethod
+    def _parse_record(line: str) -> Optional[Tuple[int, Dict]]:
+        """(index, measurement dict) — or None for a torn/corrupt line."""
+        line = line.strip()
+        if not line:
+            return None
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(rec, dict):
+            return None
+        data = rec.get("measurement")
+        index = rec.get("index")
+        if not isinstance(data, dict) or not isinstance(index, int):
+            return None
+        if rec.get("sha256") != record_checksum(data):
+            return None
+        return index, data
+
+    # -- writing ----------------------------------------------------------
+
+    def open_for_append(self, note: str = "") -> None:
+        fresh = not os.path.exists(self.path) or os.path.getsize(self.path) == 0
+        self._fh = open(self.path, "a")
+        if fresh:
+            header = {
+                "format": JOURNAL_FORMAT,
+                "sweep": self.sweep,
+                "note": note,
+            }
+            self._write_line(json.dumps(header, sort_keys=True))
+
+    def append(self, index: int, data: Dict) -> None:
+        """Journal one completed measurement (durable before returning)."""
+        assert self._fh is not None, "journal not opened for append"
+        rec = {
+            "index": index,
+            "measurement": data,
+            "sha256": record_checksum(data),
+        }
+        self._write_line(canonical_json(rec))
+
+    def _write_line(self, line: str) -> None:
+        assert self._fh is not None
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+# -- worker side ------------------------------------------------------------
+
+_WORKER_EXPERIMENTS: Dict[Tuple[str, str, int, bool], Experiment] = {}
+
+
+def _pool_initializer(plan: Optional[faults.FaultPlan]) -> None:
+    faults.install(plan)
+
+
+def _worker_experiment(
+    workload: str, size: str, seed: int, verify: bool
+) -> Experiment:
+    key = (workload, size, seed, verify)
+    exp = _WORKER_EXPERIMENTS.get(key)
+    if exp is None:
+        exp = Experiment(workloads.get(workload), size=size, seed=seed, verify=verify)
+        _WORKER_EXPERIMENTS[key] = exp
+    return exp
+
+
+@contextmanager
+def _wall_clock_deadline(seconds: Optional[float]) -> Iterator[None]:
+    """Arm a SIGALRM-based deadline raising :class:`RunTimeout`.
+
+    Only effective on the main thread of a process with SIGALRM (i.e.
+    POSIX) — exactly where sweep measurement runs; elsewhere it is a
+    no-op and the cycle-budget watchdog remains the backstop.
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise RunTimeout(f"wall-clock timeout after {seconds:g}s")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _error_info(exc: BaseException) -> Dict[str, Any]:
+    return {
+        "error_type": type(exc).__name__,
+        "message": str(exc),
+        "fate": classify(exc),
+        "retryable": is_retryable(exc),
+    }
+
+
+def _measure_task(payload: Tuple) -> Tuple:
+    """One measurement attempt in a worker process.
+
+    Returns ``("ok", index, attempt, measurement_dict)`` or
+    ``("err", index, attempt, error_info)`` — exceptions never cross the
+    process boundary raw, so the parent's accounting is uniform.
+    """
+    (index, workload, size, seed, setup, verify, attempt, timeout,
+     max_cycles, delay) = payload
+    if delay > 0:
+        time.sleep(delay)
+    exp = _worker_experiment(workload, size, seed, verify)
+    key = faults.fault_key(workload, size, seed, setup)
+    faults.begin_attempt(key, attempt)
+    try:
+        with _wall_clock_deadline(timeout):
+            m = exp.run(setup, max_cycles=max_cycles)
+        return ("ok", index, attempt, measurement_to_dict(m))
+    except Exception as exc:  # noqa: BLE001 — classified, not swallowed
+        return ("err", index, attempt, _error_info(exc))
+
+
+# -- the runner -------------------------------------------------------------
+
+
+class SweepRunner:
+    """Fault-tolerant executor for one experiment's setup sweep.
+
+    Args:
+        experiment: the measurement harness (workload/input identity is
+            taken from it; with ``jobs=1`` its memoized caches are used
+            directly, and in every mode its run cache is primed with the
+            sweep's results, so downstream serial analysis re-measures
+            nothing).
+        config: execution policy (parallelism, deadlines, retry budget).
+        journal_path: append-only checkpoint; pass the same path again
+            to resume an interrupted sweep with zero re-measurement.
+        fault_plan: optional deterministic fault injection, installed in
+            workers (and scoped around serial sweeps).
+        sleep: serial-mode backoff sleeper (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        experiment: Experiment,
+        config: Optional[RunnerConfig] = None,
+        journal_path: Optional[str] = None,
+        fault_plan: Optional[faults.FaultPlan] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.experiment = experiment
+        self.config = config or RunnerConfig()
+        self.journal_path = journal_path
+        self.fault_plan = fault_plan
+        self._sleep = sleep
+
+    # -- public API -------------------------------------------------------
+
+    def run(self, setups: Sequence[ExperimentalSetup]) -> SweepResult:
+        """Measure every setup; never raises for per-setup faults.
+
+        Fatal faults and exhausted retries quarantine the setup; the
+        report accounts for 100% of requests.  Raises only for harness
+        misuse (e.g. a journal from a different sweep).
+        """
+        setups = list(setups)
+        exp = self.experiment
+        report = SweepReport(requested=len(setups))
+        results: List[Optional[Measurement]] = [None] * len(setups)
+
+        journal: Optional[Journal] = None
+        resumed_indices: set = set()
+        if self.journal_path is not None:
+            journal = Journal(
+                self.journal_path,
+                sweep_id(exp.workload.name, exp.size, exp.seed, setups),
+            )
+            for index, data in journal.load().items():
+                if 0 <= index < len(setups) and results[index] is None:
+                    m = load_measurement_record(
+                        data, path=journal.path, record=index
+                    )
+                    # Re-anchor on the caller's setup object: identical
+                    # by construction (the sweep id pins the setup list)
+                    # and equality-compatible with the run cache.
+                    results[index] = replace(m, setup=setups[index])
+                    resumed_indices.add(index)
+                    report.resumed += 1
+            journal.open_for_append(note=f"sweep of {len(setups)} setups")
+
+        pending = [i for i in range(len(setups)) if results[i] is None]
+        try:
+            if self.config.jobs == 1:
+                self._run_serial(setups, pending, results, report, journal)
+            else:
+                self._run_parallel(setups, pending, results, report, journal)
+        finally:
+            if journal is not None:
+                journal.close()
+
+        report.statuses = [
+            "resumed"
+            if i in resumed_indices
+            else ("quarantined" if m is None else "measured")
+            for i, m in enumerate(results)
+        ]
+        exp.prime(results)
+        assert report.accounted(), "sweep accounting is incomplete"
+        return SweepResult(measurements=results, report=report)
+
+    # -- serial path ------------------------------------------------------
+
+    def _run_serial(
+        self,
+        setups: Sequence[ExperimentalSetup],
+        pending: List[int],
+        results: List[Optional[Measurement]],
+        report: SweepReport,
+        journal: Optional[Journal],
+    ) -> None:
+        cfg = self.config
+        exp = self.experiment
+        with faults.injected_faults(
+            self.fault_plan if self.fault_plan is not None else faults.active()
+        ):
+            for index in pending:
+                setup = setups[index]
+                key = faults.fault_key(
+                    exp.workload.name, exp.size, exp.seed, setup
+                )
+                attempt = 1
+                while True:
+                    faults.begin_attempt(key, attempt)
+                    delay = cfg.backoff_delay(key, attempt)
+                    if delay > 0:
+                        self._sleep(delay)
+                    try:
+                        with _wall_clock_deadline(cfg.timeout):
+                            m = exp.run(setup, max_cycles=cfg.max_cycles)
+                    except Exception as exc:  # noqa: BLE001
+                        if is_retryable(exc) and attempt <= cfg.max_retries:
+                            report.retries += 1
+                            attempt += 1
+                            continue
+                        report.quarantined.append(
+                            QuarantineEntry(
+                                index=index,
+                                setup=setup.describe(),
+                                error_type=type(exc).__name__,
+                                message=str(exc),
+                                fate=classify(exc),
+                                attempts=attempt,
+                            )
+                        )
+                        break
+                    results[index] = m
+                    report.measured += 1
+                    if journal is not None:
+                        journal.append(index, measurement_to_dict(m))
+                    break
+
+    # -- parallel path ----------------------------------------------------
+
+    def _run_parallel(
+        self,
+        setups: Sequence[ExperimentalSetup],
+        pending: List[int],
+        results: List[Optional[Measurement]],
+        report: SweepReport,
+        journal: Optional[Journal],
+    ) -> None:
+        cfg = self.config
+        exp = self.experiment
+        wl, size, seed, verify = (
+            exp.workload.name,
+            exp.size,
+            exp.seed,
+            exp.verify,
+        )
+
+        def submit(pool, index: int, attempt: int):
+            setup = setups[index]
+            key = faults.fault_key(wl, size, seed, setup)
+            payload = (
+                index, wl, size, seed, setup, verify, attempt,
+                cfg.timeout, cfg.max_cycles,
+                cfg.backoff_delay(key, attempt),
+            )
+            return pool.submit(_measure_task, payload)
+
+        with ProcessPoolExecutor(
+            max_workers=min(cfg.jobs, max(1, len(pending))),
+            initializer=_pool_initializer,
+            initargs=(self.fault_plan,),
+        ) as pool:
+            futures = {submit(pool, i, 1) for i in pending}
+            while futures:
+                finished, futures = wait(futures, return_when=FIRST_COMPLETED)
+                for fut in finished:
+                    kind, index, attempt, data = fut.result()
+                    if kind == "ok":
+                        m = load_measurement_record(data, record=index)
+                        m = replace(m, setup=setups[index])
+                        results[index] = m
+                        report.measured += 1
+                        if journal is not None:
+                            journal.append(index, data)
+                        continue
+                    if data["retryable"] and attempt <= cfg.max_retries:
+                        report.retries += 1
+                        futures.add(submit(pool, index, attempt + 1))
+                        continue
+                    report.quarantined.append(
+                        QuarantineEntry(
+                            index=index,
+                            setup=setups[index].describe(),
+                            error_type=data["error_type"],
+                            message=data["message"],
+                            fate=data["fate"],
+                            attempts=attempt,
+                        )
+                    )
+        report.quarantined.sort(key=lambda q: q.index)

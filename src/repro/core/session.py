@@ -4,21 +4,47 @@ Reproducibility bookkeeping: a study's measurements can be archived with
 their *complete* setups (the paper's complaint is precisely that setups
 go unreported), reloaded, and re-analyzed — or re-measured and compared
 against the archive to confirm the substrate hasn't drifted.
+
+Format v2 adds a per-record SHA-256 checksum so a truncated, bit-rotted
+or hand-edited archive is *detected* (raising
+:class:`~repro.core.errors.ArchiveCorruption` with file and record
+context) instead of silently yielding wrong data — van der Kouwe et
+al.'s "benchmarking crimes" include exactly this failure mode.  v1
+archives (no checksums) are still readable.  The sweep runner's
+append-only checkpoint journal (:mod:`repro.core.runner`) reuses the
+same record schema and checksum.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import asdict
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro._errors import ArchiveCorruption
 from repro.arch.counters import PerfCounters
 from repro.arch.machines import MachineConfig
 from repro.core.experiment import Measurement
 from repro.core.setup import ExperimentalSetup
 
-#: Format marker written into every archive.
-FORMAT = "repro-measurements-v1"
+#: Legacy format marker (no per-record checksums).
+FORMAT_V1 = "repro-measurements-v1"
+#: Current format marker: every measurement record carries a checksum.
+FORMAT_V2 = "repro-measurements-v2"
+#: Format written by :func:`save_measurements`.
+FORMAT = FORMAT_V2
+
+_SETUP_KEYS = (
+    "machine",
+    "compiler",
+    "opt_level",
+    "link_order",
+    "env_bytes",
+    "stack_align",
+    "function_alignment",
+)
+_MEASUREMENT_KEYS = ("workload", "size", "seed", "setup", "counters", "exit_value")
 
 
 def setup_to_dict(setup: ExperimentalSetup) -> Dict:
@@ -79,28 +105,130 @@ def measurement_from_dict(data: Dict) -> Measurement:
     )
 
 
+def canonical_json(data: Dict) -> str:
+    """Canonical serialization used for checksums: sorted keys, no
+    whitespace — byte-identical for equal payloads in any process."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def record_checksum(data: Dict) -> str:
+    """SHA-256 over the canonical serialization of one record payload."""
+    return hashlib.sha256(canonical_json(data).encode()).hexdigest()
+
+
+def _validate_measurement_dict(data: Dict, *, path: str, record: int) -> None:
+    if not isinstance(data, dict):
+        raise ArchiveCorruption(
+            f"measurement record is {type(data).__name__}, not an object",
+            path=path,
+            record=record,
+        )
+    missing = [k for k in _MEASUREMENT_KEYS if k not in data]
+    if missing:
+        raise ArchiveCorruption(
+            f"measurement record missing keys {missing}",
+            path=path,
+            record=record,
+        )
+    setup = data["setup"]
+    if not isinstance(setup, dict):
+        raise ArchiveCorruption(
+            "setup field is not an object", path=path, record=record
+        )
+    missing = [k for k in _SETUP_KEYS if k not in setup]
+    if missing:
+        raise ArchiveCorruption(
+            f"setup record missing keys {missing}", path=path, record=record
+        )
+
+
+def load_measurement_record(
+    data: Dict, *, path: str = "<archive>", record: int = 0
+) -> Measurement:
+    """Validate and deserialize one measurement dict, raising
+    :class:`ArchiveCorruption` (never a raw ``KeyError``) on bad input."""
+    _validate_measurement_dict(data, path=path, record=record)
+    try:
+        return measurement_from_dict(data)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArchiveCorruption(
+            f"measurement record does not deserialize: {exc!r}",
+            path=path,
+            record=record,
+        ) from exc
+
+
 def save_measurements(
     path: str, measurements: Sequence[Measurement], note: str = ""
 ) -> None:
-    """Write measurements (with full setups) to a JSON archive."""
+    """Write measurements (with full setups) to a v2 JSON archive.
+
+    Each record carries a SHA-256 checksum over its canonical form so
+    :func:`load_measurements` can detect corruption per record.
+    """
+    records = []
+    for m in measurements:
+        data = measurement_to_dict(m)
+        records.append({"measurement": data, "sha256": record_checksum(data)})
     payload = {
-        "format": FORMAT,
+        "format": FORMAT_V2,
         "note": note,
-        "measurements": [measurement_to_dict(m) for m in measurements],
+        "measurements": records,
     }
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=1)
 
 
 def load_measurements(path: str) -> List[Measurement]:
-    """Read a JSON archive written by :func:`save_measurements`."""
-    with open(path) as fh:
-        payload = json.load(fh)
-    if payload.get("format") != FORMAT:
-        raise ValueError(
-            f"{path}: not a {FORMAT} archive (got {payload.get('format')!r})"
+    """Read a JSON archive written by :func:`save_measurements`.
+
+    Accepts both v1 (legacy, no checksums) and v2 archives.  Raises
+    :class:`~repro.core.errors.ArchiveCorruption` — with file and record
+    context — on truncated files, invalid JSON, missing keys or checksum
+    mismatches, never a raw ``KeyError``/``JSONDecodeError``.
+    """
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except json.JSONDecodeError as exc:
+        raise ArchiveCorruption(
+            f"invalid JSON (truncated or hand-edited archive?): {exc}",
+            path=path,
+        ) from exc
+    if not isinstance(payload, dict):
+        raise ArchiveCorruption("archive root is not an object", path=path)
+    fmt = payload.get("format")
+    if fmt not in (FORMAT_V1, FORMAT_V2):
+        raise ArchiveCorruption(
+            f"not a {FORMAT_V1}/{FORMAT_V2} archive (got {fmt!r})", path=path
         )
-    return [measurement_from_dict(d) for d in payload["measurements"]]
+    records = payload.get("measurements")
+    if not isinstance(records, list):
+        raise ArchiveCorruption(
+            "archive has no 'measurements' list", path=path
+        )
+    out: List[Measurement] = []
+    for i, rec in enumerate(records):
+        if fmt == FORMAT_V1:
+            out.append(load_measurement_record(rec, path=path, record=i))
+            continue
+        if not isinstance(rec, dict) or "measurement" not in rec:
+            raise ArchiveCorruption(
+                "v2 record lacks a 'measurement' payload", path=path, record=i
+            )
+        data = rec["measurement"]
+        _validate_measurement_dict(data, path=path, record=i)
+        expected = rec.get("sha256")
+        actual = record_checksum(data)
+        if expected != actual:
+            raise ArchiveCorruption(
+                f"checksum mismatch (stored {str(expected)[:12]}…, "
+                f"computed {actual[:12]}…) — record was altered or damaged",
+                path=path,
+                record=i,
+            )
+        out.append(load_measurement_record(data, path=path, record=i))
+    return out
 
 
 def verify_against_archive(

@@ -1,0 +1,182 @@
+"""Deterministic, seed-driven fault injection for the measurement substrate.
+
+The lab that studies wrong data must not *produce* wrong data when a
+worker dies: the sweep runner's recovery paths (retry, backoff,
+quarantine, resume) have to be testable, which means faults have to be
+reproducible.  A :class:`FaultPlan` is a pure function of its seed and
+the measurement's identity — the same plan injects the same faults at
+the same setups on every run, in every process, in any execution order.
+
+Fault kinds (each mapped to a real failure path in the substrate, not a
+synthetic exception thrown from the outside):
+
+- ``"build"`` — the compiler crashes (an injected internal compiler
+  error raised from :meth:`Experiment.build`),
+- ``"hang"`` — the engine hangs: the run's cycle budget is forced to a
+  tiny value so the engine's own watchdog trips with
+  :class:`~repro._errors.RunTimeout`,
+- ``"counters"`` — the run's performance counters come back corrupted
+  (negated cycles), which the harness's post-run sanity check detects,
+- ``"verify"`` — the run's exit value is flipped, tripping the
+  self-checking verification against the Python reference.
+
+Faults are *transient* or *permanent*: a transient fault clears after a
+plan-chosen number of attempts (exercising the retry path), a permanent
+one fires on every attempt (exercising quarantine).
+
+Usage::
+
+    plan = FaultPlan(seed=7, hang_rate=0.2, verify_rate=0.1)
+    with injected_faults(plan):
+        runner.run(setups)          # recovery paths now under test
+
+The module keeps the active plan and the current (key, attempt) context
+in module globals; worker processes install the plan via the pool
+initializer so injection is identical in serial and parallel sweeps.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+#: Every fault kind a plan can inject.
+KINDS = ("build", "hang", "counters", "verify")
+
+#: Cycle budget forced onto a run when a "hang" fault fires — far below
+#: any real workload, so the engine's watchdog is guaranteed to trip.
+HANG_CYCLE_BUDGET = 512.0
+
+
+def _uniform(seed: int, tag: str, key: str) -> float:
+    """Deterministic uniform draw in [0, 1) from (seed, tag, key).
+
+    Uses SHA-256 rather than ``hash()`` so the draw is stable across
+    processes and interpreter runs (``PYTHONHASHSEED`` does not matter).
+    """
+    digest = hashlib.sha256(f"{seed}|{tag}|{key}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+def fault_key(workload: str, size: str, seed: int, setup) -> str:
+    """Stable identity of one measurement for fault draws.
+
+    Includes the loader/linker alignment fields that
+    ``setup.describe()`` omits, so setups differing only in those draw
+    independently.
+    """
+    return (
+        f"{workload}/{size}/{seed}@{setup.describe()}"
+        f"|sa{setup.stack_align}|fa{setup.function_alignment}"
+    )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible schedule of injected faults.
+
+    Attributes:
+        seed: the plan's identity; two plans with equal fields inject
+            identically.
+        build_rate / hang_rate / counter_rate / verify_rate: per-kind
+            probability that a given measurement is faulted.
+        transient_fraction: of injected faults, the fraction that clear
+            after a bounded number of attempts (the rest are permanent
+            and can only be quarantined).
+        max_transient_attempts: a transient fault clears after between 1
+            and this many failed attempts.
+    """
+
+    seed: int = 0
+    build_rate: float = 0.0
+    hang_rate: float = 0.0
+    counter_rate: float = 0.0
+    verify_rate: float = 0.0
+    transient_fraction: float = 1.0
+    max_transient_attempts: int = 2
+
+    def _rate(self, kind: str) -> float:
+        return {
+            "build": self.build_rate,
+            "hang": self.hang_rate,
+            "counters": self.counter_rate,
+            "verify": self.verify_rate,
+        }[kind]
+
+    def fires(self, kind: str, key: str, attempt: int) -> bool:
+        """Does fault ``kind`` fire for measurement ``key`` on this
+        (1-based) attempt?  Pure function — safe across processes."""
+        if kind not in KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        rate = self._rate(kind)
+        if rate <= 0.0 or _uniform(self.seed, f"fire:{kind}", key) >= rate:
+            return False
+        if _uniform(self.seed, f"perm:{kind}", key) >= self.transient_fraction:
+            return True  # permanent: fires on every attempt
+        clears_after = 1 + int(
+            _uniform(self.seed, f"clears:{kind}", key)
+            * self.max_transient_attempts
+        )
+        return attempt <= clears_after
+
+    def describe(self) -> str:
+        rates = ", ".join(
+            f"{k}={self._rate(k):g}" for k in KINDS if self._rate(k) > 0
+        )
+        return f"FaultPlan(seed={self.seed}, {rates or 'no faults'})"
+
+
+# -- active-plan plumbing ---------------------------------------------------
+
+_ACTIVE: Optional[FaultPlan] = None
+_ATTEMPTS: Dict[str, int] = {}
+
+
+def install(plan: Optional[FaultPlan]) -> None:
+    """Make ``plan`` the process's active fault plan (None clears)."""
+    global _ACTIVE
+    _ACTIVE = plan
+    _ATTEMPTS.clear()
+
+
+def clear() -> None:
+    install(None)
+
+
+def active() -> Optional[FaultPlan]:
+    return _ACTIVE
+
+
+def begin_attempt(key: str, attempt: int) -> None:
+    """Record that measurement ``key`` is on its ``attempt``-th try.
+
+    Called by the sweep runner (or its workers) before measuring; the
+    substrate hooks read it back via :func:`should_inject` so transient
+    faults can clear on retry.
+    """
+    _ATTEMPTS[key] = attempt
+
+
+def current_attempt(key: str) -> int:
+    return _ATTEMPTS.get(key, 1)
+
+
+def should_inject(kind: str, key: str) -> bool:
+    """The substrate-side hook: does the active plan fault this run?"""
+    plan = _ACTIVE
+    if plan is None:
+        return False
+    return plan.fires(kind, key, _ATTEMPTS.get(key, 1))
+
+
+@contextmanager
+def injected_faults(plan: Optional[FaultPlan]) -> Iterator[None]:
+    """Scoped :func:`install` — restores the previous plan on exit."""
+    previous = _ACTIVE
+    install(plan)
+    try:
+        yield
+    finally:
+        install(previous)

@@ -79,10 +79,40 @@ def small_exe_o0():
     return build_small(0)
 
 
+#: Session-wide compiled-workload cache: one Experiment (and therefore
+#: one set of memoized builds/runs) per (workload, size, seed), shared
+#: across every test module that asks for it.
+_EXPERIMENT_CACHE = {}
+
+
+def shared_experiment(name: str, size: str = "test", seed: int = 0):
+    """Session-cached experiment handle for ``name``.
+
+    Compilation dominates test wall-clock; sharing one Experiment per
+    (workload, size, seed) means each binary is built once per pytest
+    session, not once per test module.  Only use it for tests that do
+    not mutate the experiment's caches.
+    """
+    key = (name, size, seed)
+    exp = _EXPERIMENT_CACHE.get(key)
+    if exp is None:
+        exp = Experiment(workloads.get(name), size=size, seed=seed)
+        _EXPERIMENT_CACHE[key] = exp
+    return exp
+
+
+@pytest.fixture(scope="session")
+def workload_experiments():
+    """Fixture face of :func:`shared_experiment` — a callable
+    ``(name, size="test", seed=0) -> Experiment`` backed by the
+    session-wide compiled-workload cache."""
+    return shared_experiment
+
+
 @pytest.fixture(scope="session")
 def perlbench_experiment():
     """Session-shared perlbench experiment (builds are memoized on it)."""
-    return Experiment(workloads.get("perlbench"), size="test", seed=0)
+    return shared_experiment("perlbench")
 
 
 @pytest.fixture(scope="session")

@@ -10,6 +10,11 @@ import pytest
 
 from repro.core.bias import env_size_study
 
+#: Heavyweight end-to-end sweeps: run with the full suite, skipped
+#: by the fast inner loop (-m 'not slow').
+pytestmark = pytest.mark.slow
+
+
 #: One full stack-alignment period (64 bytes) sampled at 4-byte steps,
 #: at two distant base offsets — enough to see both alignment regimes.
 ENV_SIZES = list(range(100, 164, 4)) + list(range(1000, 1064, 4))

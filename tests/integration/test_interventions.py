@@ -8,6 +8,11 @@ from repro.analysis import (
 )
 from repro.core.bias import sample_link_orders
 
+#: Heavyweight end-to-end sweeps: run with the full suite, skipped
+#: by the fast inner loop (-m 'not slow').
+pytestmark = pytest.mark.slow
+
+
 
 @pytest.fixture(scope="module")
 def o3(base_setup):

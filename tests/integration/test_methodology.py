@@ -15,6 +15,11 @@ from repro.core.randomization import (
     interval_vs_setup_count,
 )
 
+#: Heavyweight end-to-end sweeps: run with the full suite, skipped
+#: by the fast inner loop (-m 'not slow').
+pytestmark = pytest.mark.slow
+
+
 
 @pytest.fixture(scope="module")
 def exp():

@@ -12,6 +12,11 @@ from repro.arch import execute, get_machine
 from repro.os import Environment, load_process
 from repro.toolchain import compile_program, link
 
+#: Heavyweight end-to-end sweeps: run with the full suite, skipped
+#: by the fast inner loop (-m 'not slow').
+pytestmark = pytest.mark.slow
+
+
 ALL_NAMES = workloads.all_names()
 
 

@@ -8,7 +8,12 @@ the printed source re-parses, and — the strong form — the printed program
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings
+
+#: Hypothesis sweeps over whole random programs — heavyweight; the
+#: fast inner loop (-m 'not slow') skips them.
+pytestmark = pytest.mark.slow
 
 from repro.toolchain.astprint import format_unit
 from repro.toolchain.parser import parse_source

@@ -10,6 +10,7 @@ each other.
 from __future__ import annotations
 
 import hypothesis.strategies as st
+import pytest
 from hypothesis import given, settings
 
 from repro.arch import execute, get_machine
@@ -123,6 +124,7 @@ def _run(source: str, opt_level: int, profile: str = "gcc") -> int:
     ).exit_value
 
 
+@pytest.mark.slow
 @settings(max_examples=60, deadline=None)
 @given(minic_programs())
 def test_optimization_levels_agree(source):
@@ -131,12 +133,14 @@ def test_optimization_levels_agree(source):
         assert _run(source, level) == reference, f"O{level} diverged"
 
 
+@pytest.mark.slow
 @settings(max_examples=30, deadline=None)
 @given(minic_programs())
 def test_vendor_profiles_agree(source):
     assert _run(source, 3, "gcc") == _run(source, 3, "icc")
 
 
+@pytest.mark.slow
 @settings(max_examples=30, deadline=None)
 @given(minic_programs(), st.integers(min_value=0, max_value=4000))
 def test_environment_never_changes_results(source, extra_bytes):
@@ -152,6 +156,7 @@ def test_environment_never_changes_results(source, extra_bytes):
     assert got == _run(source, 2)
 
 
+@pytest.mark.slow
 @settings(max_examples=20, deadline=None)
 @given(minic_programs())
 def test_machines_agree_on_results(source):

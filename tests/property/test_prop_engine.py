@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings
 
 from repro.arch import execute, get_machine
@@ -24,6 +25,7 @@ def _measure(source, machine="core2", env_bytes=None):
     )
 
 
+@pytest.mark.slow
 @settings(max_examples=40, deadline=None)
 @given(minic_programs())
 def test_counter_consistency(source):
@@ -41,6 +43,7 @@ def test_counter_consistency(source):
     assert c.stores >= c.calls
 
 
+@pytest.mark.slow
 @settings(max_examples=30, deadline=None)
 @given(minic_programs())
 def test_determinism(source):
@@ -50,6 +53,7 @@ def test_determinism(source):
     assert a.counters.as_dict() == b.counters.as_dict()
 
 
+@pytest.mark.slow
 @settings(max_examples=25, deadline=None)
 @given(minic_programs())
 def test_env_size_never_changes_architectural_counters(source):

@@ -66,6 +66,7 @@ class TestCorrelations:
         with pytest.raises(ValueError):
             pearson([1, 2], [1])
 
+    @pytest.mark.slow
     def test_correlations_over_env_sweep(self, exp, setup):
         ms = [
             exp.run(setup.with_changes(env_bytes=e))

@@ -1,0 +1,91 @@
+"""Unit tests: the structured error taxonomy and its classification."""
+
+import pytest
+
+from repro import workloads
+from repro.core import Experiment, ExperimentalSetup
+from repro.core.errors import (
+    ArchiveCorruption,
+    BuildError,
+    ReproError,
+    RunTimeout,
+    SimulationError,
+    VerificationError,
+    classify,
+    is_retryable,
+)
+
+
+class TestTaxonomy:
+    def test_default_classification(self):
+        assert not is_retryable(BuildError("bad source"))
+        assert not is_retryable(SimulationError("trap"))
+        assert not is_retryable(ArchiveCorruption("bad file"))
+        assert is_retryable(VerificationError("wrong answer"))
+        assert is_retryable(RunTimeout("deadline"))
+
+    def test_instance_override(self):
+        ice = BuildError("injected ICE", retryable=True)
+        assert is_retryable(ice)
+        corrupt = SimulationError("corrupted counters", retryable=True)
+        assert is_retryable(corrupt)
+
+    def test_classify_strings(self):
+        assert classify(RunTimeout("x")) == "retryable"
+        assert classify(BuildError("x")) == "fatal"
+
+    def test_unclassified_exceptions_are_fatal(self):
+        assert not is_retryable(KeyError("stray"))
+        assert classify(RuntimeError("boom")) == "fatal"
+
+    def test_all_are_repro_errors(self):
+        for cls in (
+            BuildError,
+            SimulationError,
+            VerificationError,
+            RunTimeout,
+            ArchiveCorruption,
+        ):
+            assert issubclass(cls, ReproError)
+
+    def test_context_mapping(self):
+        err = BuildError("x", context={"workload": "mcf"})
+        assert err.context["workload"] == "mcf"
+
+    def test_archive_corruption_carries_location(self):
+        err = ArchiveCorruption("checksum mismatch", path="a.json", record=3)
+        assert err.path == "a.json"
+        assert err.record == 3
+        assert "a.json" in str(err) and "record 3" in str(err)
+
+    def test_archive_corruption_is_a_value_error(self):
+        # Pre-taxonomy load_measurements raised ValueError; old callers
+        # that catch it must keep working.
+        assert issubclass(ArchiveCorruption, ValueError)
+
+
+class TestSubstrateIntegration:
+    def test_engine_cycle_budget_raises_run_timeout(self):
+        exp = Experiment(workloads.get("sphinx3"))
+        with pytest.raises(RunTimeout, match="cycle budget"):
+            exp.run(ExperimentalSetup(), max_cycles=100.0)
+
+    def test_generous_cycle_budget_is_harmless(self):
+        exp = Experiment(workloads.get("sphinx3"))
+        m = exp.run(ExperimentalSetup(), max_cycles=1e12)
+        assert m.cycles > 0
+
+    def test_bad_source_becomes_build_error(self):
+        from repro.workloads.base import Workload
+
+        wl = Workload(
+            name="broken",
+            description="intentionally malformed",
+            sources={"main": "func main( { return 0; }"},
+            make_input=lambda size, seed: {},
+            reference=lambda bindings: 0,
+        )
+        exp = Experiment(wl)
+        with pytest.raises(BuildError) as info:
+            exp.build(ExperimentalSetup())
+        assert not is_retryable(info.value)

@@ -1,0 +1,124 @@
+"""Unit tests: the deterministic fault-injection layer."""
+
+import pytest
+
+from repro import faults, workloads
+from repro.core import Experiment, ExperimentalSetup
+from repro.core.errors import (
+    BuildError,
+    RunTimeout,
+    SimulationError,
+    VerificationError,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_plan():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+class TestFaultPlan:
+    def test_draws_are_deterministic(self):
+        plan = faults.FaultPlan(seed=11, hang_rate=0.5)
+        fires = [plan.fires("hang", f"key-{i}", 1) for i in range(50)]
+        again = [plan.fires("hang", f"key-{i}", 1) for i in range(50)]
+        assert fires == again
+        assert any(fires) and not all(fires)  # a rate, not a constant
+
+    def test_seed_changes_the_schedule(self):
+        a = faults.FaultPlan(seed=1, verify_rate=0.5)
+        b = faults.FaultPlan(seed=2, verify_rate=0.5)
+        keys = [f"key-{i}" for i in range(64)]
+        assert [a.fires("verify", k, 1) for k in keys] != [
+            b.fires("verify", k, 1) for k in keys
+        ]
+
+    def test_zero_rate_never_fires(self):
+        plan = faults.FaultPlan(seed=0)
+        assert not any(
+            plan.fires(kind, f"k{i}", 1)
+            for kind in faults.KINDS
+            for i in range(20)
+        )
+
+    def test_transient_faults_clear(self):
+        plan = faults.FaultPlan(
+            seed=3,
+            hang_rate=1.0,
+            transient_fraction=1.0,
+            max_transient_attempts=2,
+        )
+        key = "some-measurement"
+        assert plan.fires("hang", key, 1)
+        # clears after at most max_transient_attempts failed attempts
+        assert not plan.fires("hang", key, plan.max_transient_attempts + 1)
+
+    def test_permanent_faults_never_clear(self):
+        plan = faults.FaultPlan(seed=4, verify_rate=1.0, transient_fraction=0.0)
+        key = "any"
+        assert all(plan.fires("verify", key, a) for a in (1, 2, 10, 100))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            faults.FaultPlan().fires("meteor", "k", 1)
+
+
+class TestInstallation:
+    def test_injected_faults_scopes_the_plan(self):
+        plan = faults.FaultPlan(seed=1, build_rate=1.0)
+        assert faults.active() is None
+        with faults.injected_faults(plan):
+            assert faults.active() is plan
+        assert faults.active() is None
+
+    def test_begin_attempt_feeds_should_inject(self):
+        plan = faults.FaultPlan(
+            seed=5, hang_rate=1.0, transient_fraction=1.0,
+            max_transient_attempts=1,
+        )
+        with faults.injected_faults(plan):
+            faults.begin_attempt("k", 1)
+            assert faults.should_inject("hang", "k")
+            faults.begin_attempt("k", 5)
+            assert not faults.should_inject("hang", "k")
+
+
+class TestSubstrateHooks:
+    """Each fault kind maps to a real failure path in the harness."""
+
+    @pytest.fixture()
+    def exp(self):
+        return Experiment(workloads.get("sphinx3"))
+
+    def _plan_for(self, kind):
+        rates = {f"{k}_rate": 0.0 for k in ("build", "hang", "verify")}
+        rates["counter_rate"] = 0.0
+        key = {"counters": "counter_rate"}.get(kind, f"{kind}_rate")
+        rates[key] = 1.0
+        return faults.FaultPlan(seed=9, transient_fraction=0.0, **rates)
+
+    def test_build_fault_is_injected_ice(self, exp):
+        with faults.injected_faults(self._plan_for("build")):
+            with pytest.raises(BuildError, match="injected"):
+                exp.build(ExperimentalSetup())
+
+    def test_hang_fault_trips_the_cycle_watchdog(self, exp):
+        with faults.injected_faults(self._plan_for("hang")):
+            with pytest.raises(RunTimeout, match="cycle budget"):
+                exp.run(ExperimentalSetup())
+
+    def test_counter_fault_is_detected_by_sanity_check(self, exp):
+        with faults.injected_faults(self._plan_for("counters")):
+            with pytest.raises(SimulationError, match="corrupted"):
+                exp.run(ExperimentalSetup())
+
+    def test_verify_fault_trips_self_checking(self, exp):
+        with faults.injected_faults(self._plan_for("verify")):
+            with pytest.raises(VerificationError):
+                exp.run(ExperimentalSetup())
+
+    def test_no_plan_measures_normally(self, exp):
+        m = exp.run(ExperimentalSetup())
+        assert m.cycles > 0

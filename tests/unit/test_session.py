@@ -1,14 +1,19 @@
 """Unit tests: measurement archiving and drift verification."""
 
+import json
+
 import pytest
 
 from repro import workloads
 from repro.arch import core2
 from repro.core import Experiment, ExperimentalSetup
+from repro.core.errors import ArchiveCorruption
 from repro.core.session import (
+    FORMAT_V1,
     load_measurements,
     measurement_from_dict,
     measurement_to_dict,
+    record_checksum,
     save_measurements,
     setup_from_dict,
     setup_to_dict,
@@ -66,6 +71,71 @@ class TestMeasurementSerialization:
         path.write_text('{"format": "something-else"}')
         with pytest.raises(ValueError, match="archive"):
             load_measurements(str(path))
+
+
+class TestArchiveCorruptionDiagnostics:
+    """Every load failure must be an ArchiveCorruption naming the file
+    and, where applicable, the record — never a raw KeyError or
+    JSONDecodeError."""
+
+    def _saved(self, exp, base_setup, tmp_path):
+        path = str(tmp_path / "archive.json")
+        save_measurements(path, [exp.run(base_setup)], note="corruption test")
+        return path
+
+    def test_truncated_file(self, exp, base_setup, tmp_path):
+        path = self._saved(exp, base_setup, tmp_path)
+        raw = open(path).read()
+        open(path, "w").write(raw[: len(raw) // 2])
+        with pytest.raises(ArchiveCorruption, match="invalid JSON") as info:
+            load_measurements(path)
+        assert info.value.path == path
+
+    def test_missing_measurement_keys(self, exp, base_setup, tmp_path):
+        path = self._saved(exp, base_setup, tmp_path)
+        data = json.load(open(path))
+        record = data["measurements"][0]
+        del record["measurement"]["counters"]
+        record["sha256"] = record_checksum(record["measurement"])
+        json.dump(data, open(path, "w"))
+        with pytest.raises(ArchiveCorruption, match="counters") as info:
+            load_measurements(path)
+        assert info.value.record == 0
+
+    def test_checksum_mismatch_names_the_record(
+        self, exp, base_setup, tmp_path
+    ):
+        path = self._saved(exp, base_setup, tmp_path)
+        data = json.load(open(path))
+        data["measurements"][0]["measurement"]["counters"]["cycles"] += 1.0
+        json.dump(data, open(path, "w"))
+        with pytest.raises(ArchiveCorruption, match="checksum") as info:
+            load_measurements(path)
+        assert info.value.path == path
+        assert info.value.record == 0
+        assert "record 0" in str(info.value)
+
+    def test_measurements_not_a_list(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": FORMAT_V1, "measurements": 7}))
+        with pytest.raises(ArchiveCorruption, match="list"):
+            load_measurements(str(path))
+
+    def test_v1_archive_still_loads(self, exp, base_setup, tmp_path):
+        # Pre-checksum archives (bare measurement dicts) must stay
+        # readable for old published artifacts.
+        m = exp.run(base_setup)
+        path = tmp_path / "v1.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": FORMAT_V1,
+                    "measurements": [measurement_to_dict(m)],
+                }
+            )
+        )
+        loaded = load_measurements(str(path))
+        assert loaded[0].counters.cycles == m.counters.cycles
 
 
 class TestDriftVerification:
