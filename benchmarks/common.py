@@ -6,16 +6,29 @@ DESIGN.md's experiment index), prints it, and archives it under
 
 Experiments are cached per (workload, size, seed) for the whole pytest
 session, so benches that share sweeps don't recompute them.
+
+Every published result gets a provenance sidecar
+(``results/<id>.meta.json``): the artifact's checksum, the package and
+host identity, and a metrics snapshot — so a committed table can answer
+"how exactly was this produced?" without re-running the bench (see
+docs/observability.md).
 """
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from functools import lru_cache
-from typing import Sequence
+from typing import Any, Dict, Optional, Sequence
 
-from repro import workloads
+from repro import __version__, workloads
 from repro.core import Experiment, ExperimentalSetup, RunnerConfig, SweepRunner
+from repro.obs import metrics as obs_metrics
+from repro.obs.manifest import environment_fingerprint, text_checksum
+
+#: Format marker for the per-result provenance sidecars.
+BENCH_META_FORMAT = "repro-bench-meta-v1"
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -63,15 +76,41 @@ def parallel_sweep(
         )
 
 
-def publish(experiment_id: str, text: str) -> None:
-    """Print a rendered table/figure and archive it."""
+def publish(
+    experiment_id: str, text: str, meta: Optional[Dict[str, Any]] = None
+) -> None:
+    """Print a rendered table/figure, archive it, and write its
+    provenance sidecar (``<id>.meta.json``).
+
+    ``meta`` lets a bench attach experiment-specific provenance (e.g.
+    the sweep ranges it used) on top of the standard fields.
+    """
     banner = f"===== {experiment_id} ====="
     print()
     print(banner)
     print(text)
     os.makedirs(RESULTS_DIR, exist_ok=True)
+    artifact = text + "\n"
     with open(os.path.join(RESULTS_DIR, f"{experiment_id}.txt"), "w") as fh:
-        fh.write(text + "\n")
+        fh.write(artifact)
+    sidecar = {
+        "format": BENCH_META_FORMAT,
+        "created_unix": time.time(),
+        "experiment_id": experiment_id,
+        "artifact": {
+            "file": f"{experiment_id}.txt",
+            "sha256": text_checksum(artifact),
+        },
+        "package": {"name": "repro", "version": __version__},
+        "environment": environment_fingerprint(),
+        "bench_jobs": BENCH_JOBS,
+        "metrics": obs_metrics.registry().snapshot(),
+        "meta": dict(meta) if meta else {},
+    }
+    with open(
+        os.path.join(RESULTS_DIR, f"{experiment_id}.meta.json"), "w"
+    ) as fh:
+        json.dump(sidecar, fh, indent=1, sort_keys=True)
 
 
 def fmt_speedups(values: Sequence[float]) -> str:

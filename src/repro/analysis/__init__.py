@@ -24,7 +24,14 @@ from repro.analysis.causal import (
     confirm_lsd_cause,
     confirm_stack_alignment_cause,
 )
-from repro.analysis.profilediff import FunctionDelta, ProfileDiff, profile_diff
+from repro.analysis.profilediff import (
+    FunctionDelta,
+    PCDelta,
+    PCProfileDiff,
+    ProfileDiff,
+    pc_profile_diff,
+    profile_diff,
+)
 from repro.workloads.characterize import (
     DynamicCharacter,
     StaticCharacter,
@@ -64,7 +71,10 @@ __all__ = [
     "confirm_lsd_cause",
     "confirm_stack_alignment_cause",
     "FunctionDelta",
+    "PCDelta",
+    "PCProfileDiff",
     "ProfileDiff",
+    "pc_profile_diff",
     "profile_diff",
     "DynamicCharacter",
     "StaticCharacter",

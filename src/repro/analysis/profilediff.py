@@ -1,15 +1,18 @@
-"""Function-level bias localization.
+"""Function- and instruction-level bias localization.
 
 The paper's section-4 workflow narrows a whole-program bias down to the
 function (then the loop, then the access) that absorbs it.  This module
-does the function step: profile the same binary under two setups and
-rank functions by how much their attributed cycles moved.
+does the function step — profile the same binary under two setups and
+rank functions by how much their attributed cycles moved — and, via the
+engine's per-PC cycle-attribution hook (``profile_pcs``), the
+instruction step: :func:`pc_profile_diff` pinpoints the exact static
+instructions (with their byte addresses) where the cycles went.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.experiment import Experiment, Measurement
 from repro.core.setup import ExperimentalSetup
@@ -91,4 +94,84 @@ def profile_diff(
         setup_b=setup_b,
         total_delta=b.cycles - a.cycles,
         functions=functions,
+    )
+
+
+@dataclass(frozen=True)
+class PCDelta:
+    """One static instruction's share of a cycle difference."""
+
+    index: int  # flat instruction index
+    addr: int  # byte address (setup-independent for a shared build)
+    function: str
+    cycles_a: float
+    cycles_b: float
+
+    @property
+    def delta(self) -> float:
+        return self.cycles_b - self.cycles_a
+
+
+@dataclass(frozen=True)
+class PCProfileDiff:
+    """Per-instruction decomposition of a setup-induced cycle delta."""
+
+    setup_a: ExperimentalSetup
+    setup_b: ExperimentalSetup
+    total_delta: float
+    pcs: Tuple[PCDelta, ...]
+
+    def ranked(self, top: Optional[int] = None) -> List[PCDelta]:
+        """Instructions by |delta|, largest first."""
+        ordered = sorted(self.pcs, key=lambda p: -abs(p.delta))
+        return ordered[:top] if top is not None else ordered
+
+    def by_function(self) -> dict:
+        """Aggregate the per-PC deltas back to function granularity
+        (cross-check against :func:`profile_diff`)."""
+        out: dict = {}
+        for p in self.pcs:
+            out[p.function] = out.get(p.function, 0.0) + p.delta
+        return out
+
+
+def pc_profile_diff(
+    experiment: Experiment,
+    setup_a: ExperimentalSetup,
+    setup_b: ExperimentalSetup,
+) -> PCProfileDiff:
+    """Profile under both setups with the engine's per-PC attribution
+    hook and diff cycles instruction by instruction.
+
+    Like :func:`profile_diff`, the setups must share a build so static
+    instructions correspond one-to-one.
+    """
+    if setup_a.build_key() != setup_b.build_key():
+        raise ValueError(
+            "pc_profile_diff requires setups sharing a build; got "
+            f"{setup_a.describe()} vs {setup_b.describe()}"
+        )
+    a = experiment.profile(setup_a, functions=False, pcs=True)
+    b = experiment.profile(setup_b, functions=False, pcs=True)
+    exe = experiment.build(setup_a)
+    func_of = [""] * len(exe.ops)
+    for pf in exe.placed:
+        for i in range(pf.flat_start, pf.flat_end):
+            func_of[i] = pf.name
+    pcs = tuple(
+        PCDelta(
+            index=i,
+            addr=exe.addrs[i],
+            function=func_of[i],
+            cycles_a=ca,
+            cycles_b=cb,
+        )
+        for i, (ca, cb) in enumerate(zip(a.pc_cycles, b.pc_cycles))
+        if ca != 0.0 or cb != 0.0
+    )
+    return PCProfileDiff(
+        setup_a=setup_a,
+        setup_b=setup_b,
+        total_delta=b.counters.cycles - a.counters.cycles,
+        pcs=pcs,
     )

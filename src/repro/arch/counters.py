@@ -86,12 +86,19 @@ class PerfCounters:
 @dataclass
 class RunResult:
     """Engine output: exit value plus counters (per-function cycles when
-    profiling was requested; a bounded instruction trace when asked)."""
+    profiling was requested; a bounded instruction trace when asked).
+
+    ``pc_cycles`` is the per-PC cycle-attribution profile: one float per
+    static instruction (flat index), populated only when the engine ran
+    with ``profile_pcs=True`` — it feeds
+    :func:`repro.analysis.profilediff.pc_profile_diff`.
+    """
 
     exit_value: int
     counters: PerfCounters
     function_cycles: Dict[str, float] = field(default_factory=dict)
     trace: tuple = ()
+    pc_cycles: tuple = ()
 
     def __repr__(self) -> str:
         return (

@@ -76,6 +76,7 @@ def execute(
     machine: Machine,
     max_instructions: int = 2_000_000_000,
     profile_functions: bool = False,
+    profile_pcs: bool = False,
     trace_limit: int = 0,
     max_cycles: Optional[float] = None,
 ) -> RunResult:
@@ -85,11 +86,17 @@ def execute(
     use :meth:`MachineConfig.build` per run.  With ``trace_limit > 0``,
     the first ``trace_limit`` executed flat-instruction indices are
     recorded on the result (debugging/analysis; the architectural path is
-    an environment-independent property worth asserting).  Raises
-    :class:`SimulationError` on traps (division by zero, wild return,
-    runaway execution past ``max_instructions``) and :class:`RunTimeout`
-    when the modelled time exceeds ``max_cycles`` — the sweep runner's
-    cycle-budget watchdog against hung or pathological runs.
+    an environment-independent property worth asserting).
+    ``profile_functions`` attributes cycles per placed function;
+    ``profile_pcs`` attributes cycles per static instruction (the
+    profile hook behind :func:`repro.analysis.profilediff.pc_profile_diff`
+    — both share one predicate in the dispatch loop, so the disabled
+    path pays the same single branch the function profiler always cost).
+    Raises :class:`SimulationError` on traps (division by zero, wild
+    return, runaway execution past ``max_instructions``) and
+    :class:`RunTimeout` when the modelled time exceeds ``max_cycles`` —
+    the sweep runner's cycle-budget watchdog against hung or
+    pathological runs.
     """
     exe = image.executable
     cfg: MachineConfig = machine.config
@@ -159,6 +166,10 @@ def execute(
             for i in range(pf.flat_start, pf.flat_end):
                 func_of[i] = pf.name
         func_cycles = {pf.name: 0.0 for pf in exe.placed}
+    pc_cycles: Optional[List[float]] = (
+        [0.0] * n_instr if profile_pcs else None
+    )
+    profiling = profile_functions or profile_pcs
 
     cycle_budget = max_cycles if max_cycles is not None else float("inf")
 
@@ -446,12 +457,20 @@ def execute(
             nops += 1
             last_load_reg = -1
         else:  # HALT
-            if profile_functions and func_of is not None:
-                func_cycles[func_of[pc]] += cycles - cycles_before
+            if profiling:
+                delta = cycles - cycles_before
+                if func_of is not None:
+                    func_cycles[func_of[pc]] += delta
+                if pc_cycles is not None:
+                    pc_cycles[pc] += delta
             break
 
-        if profile_functions and func_of is not None:
-            func_cycles[func_of[pc]] += cycles - cycles_before
+        if profiling:
+            delta = cycles - cycles_before
+            if func_of is not None:
+                func_cycles[func_of[pc]] += delta
+            if pc_cycles is not None:
+                pc_cycles[pc] += delta
         pc = next_pc
 
     c.cycles = cycles
@@ -477,4 +496,5 @@ def execute(
         counters=c,
         function_cycles=func_cycles,
         trace=tuple(trace),
+        pc_cycles=tuple(pc_cycles) if pc_cycles is not None else (),
     )

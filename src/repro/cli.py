@@ -13,13 +13,19 @@ fault-tolerant :class:`~repro.core.runner.SweepRunner`: ``--jobs N``
 parallelizes across processes, ``--timeout``/``--max-retries`` bound and
 retry faulty measurements, and ``--resume PATH`` checkpoints every
 completed measurement so an interrupted sweep picks up where it left
-off (see docs/robustness.md).
+off (see docs/robustness.md).  They also carry the observability
+surface (see docs/observability.md): live per-setup progress on stderr
+(``--quiet`` silences it), ``--trace-out FILE`` records a Chrome-trace
+span timeline of the whole sweep, and ``--manifest-out FILE`` writes the
+run's provenance manifest (written next to the trace by default).
 
 Remaining commands:
 
 - ``characterize`` — static + dynamic shape of one workload,
-- ``archive`` / ``verify-archive`` — persist a sweep as JSON and later
-  re-measure it, reporting any drift,
+- ``archive`` / ``verify-archive`` — persist a sweep as JSON (with an
+  embedded provenance manifest) and later re-measure it, reporting any
+  drift,
+- ``obs`` — summarize / validate / merge / diff traces and manifests,
 - ``survey`` — print the literature-survey table.
 
 Every command prints plain text (the same renderers the benchmark
@@ -100,23 +106,91 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
             "PATH resumes without re-measuring"
         ),
     )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the live per-setup progress on stderr",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help=(
+            "record the sweep as a Chrome-trace JSON file (open in "
+            "chrome://tracing or https://ui.perfetto.dev)"
+        ),
+    )
+    parser.add_argument(
+        "--manifest-out", metavar="FILE", default=None,
+        help=(
+            "write the run's provenance manifest here (defaults to "
+            "FILE.manifest.json next to --trace-out)"
+        ),
+    )
+
+
+def _manifest_path(args: argparse.Namespace) -> Optional[str]:
+    if args.manifest_out is not None:
+        return args.manifest_out
+    if args.trace_out is None:
+        return None
+    stem = args.trace_out
+    if stem.endswith(".json"):
+        stem = stem[: -len(".json")]
+    return stem + ".manifest.json"
 
 
 def _run_sweep(exp: Experiment, setups, args: argparse.Namespace) -> int:
     """Measure ``setups`` through the fault-tolerant runner, priming
     ``exp``'s run cache so the serial study code below is all cache
-    hits.  Returns the number of quarantined setups."""
+    hits.  Returns the number of quarantined setups.
+
+    Observability: progress goes to stderr (stdout stays exactly the
+    published tables), ``--trace-out`` scopes a real tracer around the
+    sweep, and a provenance manifest is written when asked for.
+    """
+    from repro.obs import manifest as obs_manifest
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import progress as obs_progress
+    from repro.obs import trace as obs_trace
+
+    config = RunnerConfig(
+        jobs=args.jobs,
+        timeout=args.timeout,
+        max_retries=args.max_retries,
+    )
     runner = SweepRunner(
         exp,
-        RunnerConfig(
-            jobs=args.jobs,
-            timeout=args.timeout,
-            max_retries=args.max_retries,
-        ),
+        config,
         journal_path=args.resume,
+        progress=obs_progress.for_stream(sys.stderr, quiet=args.quiet),
     )
-    result = runner.run(setups)
+    tracer = (
+        obs_trace.Tracer(label=f"repro {args.command}")
+        if args.trace_out
+        else None
+    )
+    with obs_trace.tracing(tracer):
+        result = runner.run(setups)
     report = result.report
+    if tracer is not None:
+        tracer.write(args.trace_out)
+        print(f"trace written to {args.trace_out}", file=sys.stderr)
+    manifest_path = _manifest_path(args)
+    if manifest_path is not None:
+        artifacts = {}
+        if args.trace_out:
+            artifacts[args.trace_out] = obs_manifest.file_checksum(
+                args.trace_out
+            )
+        manifest = obs_manifest.build_manifest(
+            experiment=exp,
+            setups=setups,
+            runner_config=config,
+            report=report,
+            metrics=obs_metrics.registry().snapshot(),
+            artifacts=artifacts,
+            note=f"repro {args.command} {args.workload}",
+        )
+        obs_manifest.save_manifest(manifest_path, manifest)
+        print(f"manifest written to {manifest_path}", file=sys.stderr)
     interesting = (
         report.resumed or report.retries or report.quarantined
         or args.jobs > 1 or args.resume
@@ -270,6 +344,8 @@ def cmd_characterize(args: argparse.Namespace) -> int:
 
 def cmd_archive(args: argparse.Namespace) -> int:
     from repro.core.session import save_measurements
+    from repro.obs import metrics as obs_metrics
+    from repro.obs.manifest import build_manifest
 
     exp = Experiment(workloads.get(args.workload), size=args.size, seed=args.seed)
     setups = [
@@ -277,7 +353,18 @@ def cmd_archive(args: argparse.Namespace) -> int:
         for env in range(args.env_start, args.env_stop, args.env_step)
     ]
     measurements = [exp.run(s) for s in setups]
-    save_measurements(args.path, measurements, note=f"{args.workload} sweep")
+    manifest = build_manifest(
+        experiment=exp,
+        setups=setups,
+        metrics=obs_metrics.registry().snapshot(),
+        note=f"{args.workload} sweep",
+    )
+    save_measurements(
+        args.path,
+        measurements,
+        note=f"{args.workload} sweep",
+        manifest=manifest,
+    )
     print(f"archived {len(measurements)} measurements to {args.path}")
     return 0
 
@@ -303,6 +390,74 @@ def cmd_verify_archive(args: argparse.Namespace) -> int:
         print(f"OK: {len(archived)} measurements reproduce exactly")
         return 0
     print(f"DRIFT: {drift}")
+    return 1
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import inspect as obs_inspect
+
+    if args.obs_command == "summary":
+        for path in args.paths:
+            data = obs_inspect.load_json_artifact(path)
+            if obs_inspect.is_trace(data):
+                print(obs_inspect.summarize_trace(data))
+            elif obs_inspect.is_manifest(data):
+                print(obs_inspect.summarize_manifest(data))
+            else:
+                print(
+                    f"error: {path} is neither a trace nor a manifest",
+                    file=sys.stderr,
+                )
+                return 1
+        return 0
+
+    if args.obs_command == "validate":
+        failures = 0
+        for path in args.paths:
+            data = obs_inspect.load_json_artifact(path)
+            if obs_inspect.is_trace(data):
+                kind, errors = "trace", obs_inspect.validate_trace(data)
+            elif obs_inspect.is_manifest(data):
+                kind, errors = "manifest", obs_inspect.validate_manifest(data)
+            else:
+                kind, errors = "artifact", ["neither a trace nor a manifest"]
+            if errors:
+                failures += 1
+                print(f"INVALID {kind} {path}:")
+                for problem in errors:
+                    print(f"  - {problem}")
+            else:
+                print(f"OK: valid {kind}: {path}")
+        return 1 if failures else 0
+
+    if args.obs_command == "merge":
+        traces = [obs_inspect.load_json_artifact(p) for p in args.paths]
+        bad = [
+            p for p, t in zip(args.paths, traces) if not obs_inspect.is_trace(t)
+        ]
+        if bad:
+            print(f"error: not traces: {', '.join(bad)}", file=sys.stderr)
+            return 1
+        merged = obs_inspect.merge_traces(traces, labels=list(args.paths))
+        with open(args.out, "w") as fh:
+            json.dump(merged, fh, indent=1)
+        print(f"merged {len(traces)} traces into {args.out}")
+        return 0
+
+    # diff
+    a = obs_inspect.load_json_artifact(args.a)
+    b = obs_inspect.load_json_artifact(args.b)
+    if obs_inspect.is_trace(a) and obs_inspect.is_trace(b):
+        print(obs_inspect.diff_traces(a, b))
+        return 0
+    if obs_inspect.is_manifest(a) and obs_inspect.is_manifest(b):
+        print(obs_inspect.diff_manifests(a, b))
+        return 0
+    print(
+        "error: diff needs two traces or two manifests", file=sys.stderr
+    )
     return 1
 
 
@@ -389,6 +544,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument("path")
     verify.set_defaults(func=cmd_verify_archive)
+
+    obs = sub.add_parser(
+        "obs", help="inspect traces and provenance manifests"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_summary = obs_sub.add_parser(
+        "summary", help="summarize traces/manifests as tables"
+    )
+    obs_summary.add_argument("paths", nargs="+")
+    obs_validate = obs_sub.add_parser(
+        "validate", help="schema-check traces/manifests (exit 1 on problems)"
+    )
+    obs_validate.add_argument("paths", nargs="+")
+    obs_merge = obs_sub.add_parser(
+        "merge", help="merge traces into one Perfetto-loadable file"
+    )
+    obs_merge.add_argument("out")
+    obs_merge.add_argument("paths", nargs="+")
+    obs_diff = obs_sub.add_parser(
+        "diff", help="compare two traces (or two manifests)"
+    )
+    obs_diff.add_argument("a")
+    obs_diff.add_argument("b")
+    obs.set_defaults(func=cmd_obs)
 
     survey = sub.add_parser("survey", help="print the literature survey")
     survey.add_argument("--seed", type=int, default=0)

@@ -12,6 +12,7 @@ compiles twice (O2 and O3), not 200 times.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -21,6 +22,8 @@ from repro.arch.counters import PerfCounters, RunResult
 from repro.arch.engine import execute
 from repro.core.setup import ExperimentalSetup
 from repro.isa.program import Executable
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.os.loader import load_process
 from repro.toolchain.compiler import compile_program
 from repro.toolchain.errors import ToolchainError
@@ -108,22 +111,34 @@ class Experiment:
         key = setup.build_key()
         exe = self._build_cache.get(key)
         if exe is None:
-            try:
-                modules = compile_program(
-                    dict(self.workload.sources),
-                    opt_level=setup.opt_level,
-                    profile=setup.compiler,
-                )
-                layout = LinkLayout(
-                    function_alignment=setup.function_alignment
-                )
-                exe = link(modules, order=setup.link_order, layout=layout)
-            except ToolchainError as exc:
-                raise BuildError(
-                    f"{self.workload.name} at {setup.describe()}: {exc}",
-                    context={"workload": self.workload.name},
-                ) from exc
+            with obs_trace.span(
+                "compile",
+                category="toolchain",
+                workload=self.workload.name,
+                setup=setup.describe(),
+            ):
+                try:
+                    modules = compile_program(
+                        dict(self.workload.sources),
+                        opt_level=setup.opt_level,
+                        profile=setup.compiler,
+                    )
+                    layout = LinkLayout(
+                        function_alignment=setup.function_alignment
+                    )
+                    with obs_trace.span(
+                        "link", category="toolchain", modules=len(modules)
+                    ):
+                        exe = link(modules, order=setup.link_order, layout=layout)
+                except ToolchainError as exc:
+                    raise BuildError(
+                        f"{self.workload.name} at {setup.describe()}: {exc}",
+                        context={"workload": self.workload.name},
+                    ) from exc
             self._build_cache[key] = exe
+            obs_metrics.counter("experiment.builds").inc()
+        else:
+            obs_metrics.counter("experiment.build_cache_hits").inc()
         return exe
 
     # -- running ----------------------------------------------------------
@@ -145,6 +160,7 @@ class Experiment:
         if not profile_functions:
             cached = self._run_cache.get(setup)
             if cached is not None:
+                obs_metrics.counter("experiment.run_cache_hits").inc()
                 return cached
         fkey = self._fault_key(setup)
         exe = self.build(setup)
@@ -157,12 +173,36 @@ class Experiment:
         budget = max_cycles
         if faults.should_inject("hang", fkey):
             budget = faults.HANG_CYCLE_BUDGET
-        result: RunResult = execute(
-            image,
-            setup.machine_config().build(),
-            profile_functions=profile_functions,
-            max_cycles=budget,
-        )
+        with obs_trace.span(
+            "run",
+            category="engine",
+            workload=self.workload.name,
+            size=self.size,
+            setup=setup.describe(),
+        ) as run_span:
+            wall_start = time.perf_counter()
+            result: RunResult = execute(
+                image,
+                setup.machine_config().build(),
+                profile_functions=profile_functions,
+                max_cycles=budget,
+            )
+            wall = time.perf_counter() - wall_start
+            run_span.set(
+                cycles=result.counters.cycles,
+                instructions=result.counters.instructions,
+            )
+        reg = obs_metrics.registry()
+        reg.counter("engine.runs").inc()
+        reg.counter("engine.instructions").inc(result.counters.instructions)
+        reg.counter("engine.simulated_cycles").inc(result.counters.cycles)
+        reg.histogram("engine.run_seconds").observe(wall)
+        if wall > 0:
+            # Retirement rate of the most recent run: the headline
+            # throughput figure for "how fast is the lab itself?".
+            reg.gauge("engine.ips").set(
+                round(result.counters.instructions / wall)
+            )
         if faults.should_inject("counters", fkey):
             result.counters.cycles = -result.counters.cycles
         if not (
@@ -179,11 +219,13 @@ class Experiment:
         exit_value = result.exit_value
         if faults.should_inject("verify", fkey):
             exit_value = exit_value + 1
-        if self.verify and exit_value != self.expected:
-            raise VerificationError(
-                f"{self.workload.name}/{self.size} under {setup.describe()}: "
-                f"exit {exit_value} != expected {self.expected}"
-            )
+        if self.verify:
+            obs_metrics.counter("experiment.verifications").inc()
+            if exit_value != self.expected:
+                raise VerificationError(
+                    f"{self.workload.name}/{self.size} under {setup.describe()}: "
+                    f"exit {exit_value} != expected {self.expected}"
+                )
         measurement = Measurement(
             workload=self.workload.name,
             size=self.size,
@@ -196,6 +238,43 @@ class Experiment:
         if not profile_functions:
             self._run_cache[setup] = measurement
         return measurement
+
+    def profile(
+        self,
+        setup: ExperimentalSetup,
+        functions: bool = True,
+        pcs: bool = False,
+        max_cycles: Optional[float] = None,
+    ) -> RunResult:
+        """Instrumented, *uncached* run returning the raw engine result.
+
+        Enables per-function cycle attribution (``functions``) and the
+        per-PC profile hook (``pcs``) — the inputs to
+        :mod:`repro.analysis.profilediff`.  Profiling runs skip the
+        measurement cache and the verification/fault machinery: they
+        explain a measurement, they are not one.
+        """
+        exe = self.build(setup)
+        image = load_process(
+            exe,
+            environment=setup.environment(),
+            inputs=self._bindings,
+            stack_align=setup.stack_align,
+        )
+        with obs_trace.span(
+            "profile",
+            category="engine",
+            workload=self.workload.name,
+            setup=setup.describe(),
+            pcs=pcs,
+        ):
+            return execute(
+                image,
+                setup.machine_config().build(),
+                profile_functions=functions,
+                profile_pcs=pcs,
+                max_cycles=max_cycles,
+            )
 
     def prime(self, measurements: Iterable[Measurement]) -> None:
         """Seed the run cache with externally produced measurements.

@@ -59,6 +59,9 @@ from repro.core.session import (
     setup_to_dict,
 )
 from repro.core.setup import ExperimentalSetup
+from repro.obs import metrics as obs_metrics
+from repro.obs import progress as obs_progress
+from repro.obs import trace as obs_trace
 
 #: Journal header marker: a v2 archive streamed as JSON Lines.
 JOURNAL_FORMAT = FORMAT_V2 + "-journal"
@@ -152,6 +155,11 @@ class SweepReport:
     retries: int = 0
     quarantined: List[QuarantineEntry] = field(default_factory=list)
     statuses: List[str] = field(default_factory=list)
+    #: Sweep-scoped metrics snapshot (deterministic event counters only —
+    #: accounted in the parent process, so serial and parallel sweeps of
+    #: the same plan snapshot identically; wall-clock metrics live in the
+    #: provenance manifest instead).
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     def accounted(self) -> bool:
         return (
@@ -173,6 +181,7 @@ class SweepReport:
             "retries": self.retries,
             "quarantined": [q.to_dict() for q in self.quarantined],
             "statuses": list(self.statuses),
+            "metrics": dict(self.metrics),
         }
 
     def to_json(self) -> str:
@@ -242,6 +251,9 @@ class Journal:
         self.path = path
         self.sweep = sweep
         self._fh = None  # type: Optional[Any]
+        #: Auxiliary (non-measurement) records found by :meth:`load`,
+        #: e.g. metrics snapshots appended at the end of each run.
+        self.aux: List[Dict] = []
 
     # -- reading ----------------------------------------------------------
 
@@ -278,16 +290,22 @@ class Journal:
                 path=self.path,
             )
         done: Dict[int, Dict] = {}
+        self.aux = []
         valid_lines = [lines[0]]
         dropped = 0
         for lineno, line in enumerate(lines[1:], start=1):
             rec = self._parse_record(line)
-            if rec is None:
-                dropped += 1
+            if rec is not None:
+                index, data = rec
+                done[index] = data
+                valid_lines.append(line)
                 continue
-            index, data = rec
-            done[index] = data
-            valid_lines.append(line)
+            aux = self._parse_aux(line)
+            if aux is not None:
+                self.aux.append(aux)
+                valid_lines.append(line)
+                continue
+            dropped += 1
         if dropped:
             # Compact: rewrite without torn records so later appends
             # don't land after a corrupt line (atomic replace).
@@ -317,6 +335,26 @@ class Journal:
             return None
         return index, data
 
+    @staticmethod
+    def _parse_aux(line: str) -> Optional[Dict]:
+        """A checksummed auxiliary record — or None for anything else."""
+        line = line.strip()
+        if not line:
+            return None
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(rec, dict):
+            return None
+        kind = rec.get("kind")
+        data = rec.get("data")
+        if not isinstance(kind, str) or not isinstance(data, dict):
+            return None
+        if rec.get("sha256") != record_checksum(data):
+            return None
+        return {"kind": kind, "data": data}
+
     # -- writing ----------------------------------------------------------
 
     def open_for_append(self, note: str = "") -> None:
@@ -336,6 +374,18 @@ class Journal:
         rec = {
             "index": index,
             "measurement": data,
+            "sha256": record_checksum(data),
+        }
+        self._write_line(canonical_json(rec))
+
+    def append_aux(self, kind: str, data: Dict) -> None:
+        """Journal a checksummed non-measurement record (e.g. the
+        sweep's closing metrics snapshot).  Aux records are preserved
+        across resumes and ignored by measurement loading."""
+        assert self._fh is not None, "journal not opened for append"
+        rec = {
+            "kind": kind,
+            "data": data,
             "sha256": record_checksum(data),
         }
         self._write_line(canonical_json(rec))
@@ -450,6 +500,11 @@ class SweepRunner:
             to resume an interrupted sweep with zero re-measurement.
         fault_plan: optional deterministic fault injection, installed in
             workers (and scoped around serial sweeps).
+        progress: per-setup event sink
+            (:class:`~repro.obs.progress.ProgressReporter`); default is
+            the no-op reporter, so long sweeps are only as chatty as the
+            caller asks for.  Measured/retried/quarantined events are
+            emitted the moment they happen, in the parent process.
         sleep: serial-mode backoff sleeper (injectable for tests).
     """
 
@@ -459,12 +514,14 @@ class SweepRunner:
         config: Optional[RunnerConfig] = None,
         journal_path: Optional[str] = None,
         fault_plan: Optional[faults.FaultPlan] = None,
+        progress: Optional[obs_progress.ProgressReporter] = None,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self.experiment = experiment
         self.config = config or RunnerConfig()
         self.journal_path = journal_path
         self.fault_plan = fault_plan
+        self.progress = progress or obs_progress.NULL_PROGRESS
         self._sleep = sleep
 
     # -- public API -------------------------------------------------------
@@ -480,45 +537,77 @@ class SweepRunner:
         exp = self.experiment
         report = SweepReport(requested=len(setups))
         results: List[Optional[Measurement]] = [None] * len(setups)
+        sid = sweep_id(exp.workload.name, exp.size, exp.seed, setups)
+        # Sweep-scoped metrics, accounted in the *parent* process at the
+        # same event points in both execution modes — so a serial and a
+        # parallel sweep of the same plan snapshot identically (the
+        # report-determinism tests compare to_json() bytes).
+        mreg = obs_metrics.MetricsRegistry()
 
-        journal: Optional[Journal] = None
-        resumed_indices: set = set()
-        if self.journal_path is not None:
-            journal = Journal(
-                self.journal_path,
-                sweep_id(exp.workload.name, exp.size, exp.seed, setups),
+        with obs_trace.span(
+            "sweep",
+            category="runner",
+            workload=exp.workload.name,
+            size=exp.size,
+            setups=len(setups),
+            jobs=self.config.jobs,
+        ) as sweep_span:
+            journal: Optional[Journal] = None
+            resumed_indices: set = set()
+            if self.journal_path is not None:
+                journal = Journal(self.journal_path, sid)
+                for index, data in journal.load().items():
+                    if 0 <= index < len(setups) and results[index] is None:
+                        m = load_measurement_record(
+                            data, path=journal.path, record=index
+                        )
+                        # Re-anchor on the caller's setup object: identical
+                        # by construction (the sweep id pins the setup list)
+                        # and equality-compatible with the run cache.
+                        results[index] = replace(m, setup=setups[index])
+                        resumed_indices.add(index)
+                        report.resumed += 1
+                        mreg.counter("sweep.setups_resumed").inc()
+                journal.open_for_append(note=f"sweep of {len(setups)} setups")
+
+            self.progress.sweep_started(
+                len(setups), report.resumed, sweep=sid[:12]
             )
-            for index, data in journal.load().items():
-                if 0 <= index < len(setups) and results[index] is None:
-                    m = load_measurement_record(
-                        data, path=journal.path, record=index
+            pending = [i for i in range(len(setups)) if results[i] is None]
+            try:
+                if self.config.jobs == 1:
+                    self._run_serial(
+                        setups, pending, results, report, journal, mreg
                     )
-                    # Re-anchor on the caller's setup object: identical
-                    # by construction (the sweep id pins the setup list)
-                    # and equality-compatible with the run cache.
-                    results[index] = replace(m, setup=setups[index])
-                    resumed_indices.add(index)
-                    report.resumed += 1
-            journal.open_for_append(note=f"sweep of {len(setups)} setups")
+                else:
+                    self._run_parallel(
+                        setups, pending, results, report, journal, mreg
+                    )
+                report.metrics = mreg.counters()
+                if journal is not None:
+                    journal.append_aux(
+                        "metrics",
+                        {"sweep": sid, "snapshot": mreg.snapshot()},
+                    )
+            finally:
+                if journal is not None:
+                    journal.close()
 
-        pending = [i for i in range(len(setups)) if results[i] is None]
-        try:
-            if self.config.jobs == 1:
-                self._run_serial(setups, pending, results, report, journal)
-            else:
-                self._run_parallel(setups, pending, results, report, journal)
-        finally:
-            if journal is not None:
-                journal.close()
-
-        report.statuses = [
-            "resumed"
-            if i in resumed_indices
-            else ("quarantined" if m is None else "measured")
-            for i, m in enumerate(results)
-        ]
+            report.statuses = [
+                "resumed"
+                if i in resumed_indices
+                else ("quarantined" if m is None else "measured")
+                for i, m in enumerate(results)
+            ]
+            sweep_span.set(
+                measured=report.measured,
+                resumed=report.resumed,
+                quarantined=len(report.quarantined),
+                retries=report.retries,
+            )
         exp.prime(results)
         assert report.accounted(), "sweep accounting is incomplete"
+        self.progress.sweep_finished(report)
         return SweepResult(measurements=results, report=report)
 
     # -- serial path ------------------------------------------------------
@@ -530,6 +619,7 @@ class SweepRunner:
         results: List[Optional[Measurement]],
         report: SweepReport,
         journal: Optional[Journal],
+        mreg: obs_metrics.MetricsRegistry,
     ) -> None:
         cfg = self.config
         exp = self.experiment
@@ -542,21 +632,35 @@ class SweepRunner:
                     exp.workload.name, exp.size, exp.seed, setup
                 )
                 attempt = 1
-                while True:
-                    faults.begin_attempt(key, attempt)
-                    delay = cfg.backoff_delay(key, attempt)
-                    if delay > 0:
-                        self._sleep(delay)
-                    try:
-                        with _wall_clock_deadline(cfg.timeout):
-                            m = exp.run(setup, max_cycles=cfg.max_cycles)
-                    except Exception as exc:  # noqa: BLE001
-                        if is_retryable(exc) and attempt <= cfg.max_retries:
-                            report.retries += 1
-                            attempt += 1
-                            continue
-                        report.quarantined.append(
-                            QuarantineEntry(
+                with obs_trace.span(
+                    "setup",
+                    category="runner",
+                    index=index,
+                    setup=setup.describe(),
+                ) as setup_span:
+                    while True:
+                        faults.begin_attempt(key, attempt)
+                        mreg.counter("sweep.attempts").inc()
+                        delay = cfg.backoff_delay(key, attempt)
+                        if delay > 0:
+                            self._sleep(delay)
+                        try:
+                            with _wall_clock_deadline(cfg.timeout):
+                                m = exp.run(setup, max_cycles=cfg.max_cycles)
+                        except Exception as exc:  # noqa: BLE001
+                            if is_retryable(exc) and attempt <= cfg.max_retries:
+                                report.retries += 1
+                                mreg.counter("sweep.retries").inc()
+                                self.progress.retry(
+                                    index,
+                                    setup.describe(),
+                                    attempt,
+                                    type(exc).__name__,
+                                    str(exc),
+                                )
+                                attempt += 1
+                                continue
+                            entry = QuarantineEntry(
                                 index=index,
                                 setup=setup.describe(),
                                 error_type=type(exc).__name__,
@@ -564,13 +668,30 @@ class SweepRunner:
                                 fate=classify(exc),
                                 attempts=attempt,
                             )
+                            report.quarantined.append(entry)
+                            mreg.counter("sweep.setups_quarantined").inc()
+                            setup_span.set(
+                                status="quarantined", attempts=attempt
+                            )
+                            self.progress.quarantined(
+                                index,
+                                entry.setup,
+                                entry.error_type,
+                                entry.fate,
+                                entry.attempts,
+                                entry.message,
+                            )
+                            break
+                        results[index] = m
+                        report.measured += 1
+                        mreg.counter("sweep.setups_measured").inc()
+                        if journal is not None:
+                            journal.append(index, measurement_to_dict(m))
+                        setup_span.set(status="measured", attempts=attempt)
+                        self.progress.setup_finished(
+                            index, setup.describe(), "measured", attempts=attempt
                         )
                         break
-                    results[index] = m
-                    report.measured += 1
-                    if journal is not None:
-                        journal.append(index, measurement_to_dict(m))
-                    break
 
     # -- parallel path ----------------------------------------------------
 
@@ -581,6 +702,7 @@ class SweepRunner:
         results: List[Optional[Measurement]],
         report: SweepReport,
         journal: Optional[Journal],
+        mreg: obs_metrics.MetricsRegistry,
     ) -> None:
         cfg = self.config
         exp = self.experiment
@@ -599,6 +721,7 @@ class SweepRunner:
                 cfg.timeout, cfg.max_cycles,
                 cfg.backoff_delay(key, attempt),
             )
+            mreg.counter("sweep.attempts").inc()
             return pool.submit(_measure_task, payload)
 
         with ProcessPoolExecutor(
@@ -616,21 +739,53 @@ class SweepRunner:
                         m = replace(m, setup=setups[index])
                         results[index] = m
                         report.measured += 1
+                        mreg.counter("sweep.setups_measured").inc()
                         if journal is not None:
                             journal.append(index, data)
+                        # Workers trace into their own (discarded)
+                        # tracers; mark the completion in the parent's
+                        # timeline instead.
+                        obs_trace.instant(
+                            "measured", category="runner", index=index
+                        )
+                        self.progress.setup_finished(
+                            index,
+                            setups[index].describe(),
+                            "measured",
+                            attempts=attempt,
+                        )
                         continue
                     if data["retryable"] and attempt <= cfg.max_retries:
                         report.retries += 1
+                        mreg.counter("sweep.retries").inc()
+                        self.progress.retry(
+                            index,
+                            setups[index].describe(),
+                            attempt,
+                            data["error_type"],
+                            data["message"],
+                        )
                         futures.add(submit(pool, index, attempt + 1))
                         continue
-                    report.quarantined.append(
-                        QuarantineEntry(
-                            index=index,
-                            setup=setups[index].describe(),
-                            error_type=data["error_type"],
-                            message=data["message"],
-                            fate=data["fate"],
-                            attempts=attempt,
-                        )
+                    entry = QuarantineEntry(
+                        index=index,
+                        setup=setups[index].describe(),
+                        error_type=data["error_type"],
+                        message=data["message"],
+                        fate=data["fate"],
+                        attempts=attempt,
+                    )
+                    report.quarantined.append(entry)
+                    mreg.counter("sweep.setups_quarantined").inc()
+                    obs_trace.instant(
+                        "quarantined", category="runner", index=index
+                    )
+                    self.progress.quarantined(
+                        index,
+                        entry.setup,
+                        entry.error_type,
+                        entry.fate,
+                        entry.attempts,
+                        entry.message,
                     )
         report.quarantined.sort(key=lambda q: q.index)

@@ -159,12 +159,19 @@ def load_measurement_record(
 
 
 def save_measurements(
-    path: str, measurements: Sequence[Measurement], note: str = ""
+    path: str,
+    measurements: Sequence[Measurement],
+    note: str = "",
+    manifest: Optional[Dict] = None,
 ) -> None:
     """Write measurements (with full setups) to a v2 JSON archive.
 
     Each record carries a SHA-256 checksum over its canonical form so
     :func:`load_measurements` can detect corruption per record.
+    ``manifest`` optionally embeds a provenance manifest
+    (:func:`repro.obs.manifest.build_manifest`) so the archive records
+    *how* its measurements were produced, not just their values; v1/v2
+    readers that predate the field ignore it.
     """
     records = []
     for m in measurements:
@@ -175,6 +182,8 @@ def save_measurements(
         "note": note,
         "measurements": records,
     }
+    if manifest is not None:
+        payload["manifest"] = manifest
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=1)
 
@@ -229,6 +238,26 @@ def load_measurements(path: str) -> List[Measurement]:
             )
         out.append(load_measurement_record(data, path=path, record=i))
     return out
+
+
+def load_archive(path: str):
+    """Read an archive and its embedded provenance manifest (or None).
+
+    Returns ``(measurements, manifest)``.  The measurement side is
+    exactly :func:`load_measurements` (same validation and corruption
+    errors); the manifest side returns the embedded dict untouched —
+    validate it with :func:`repro.obs.manifest.validate_manifest` if the
+    archive crossed a trust boundary.
+    """
+    measurements = load_measurements(path)
+    with open(path) as fh:
+        payload = json.load(fh)
+    manifest = payload.get("manifest")
+    if manifest is not None and not isinstance(manifest, dict):
+        raise ArchiveCorruption(
+            "embedded manifest is not an object", path=path
+        )
+    return measurements, manifest
 
 
 def verify_against_archive(

@@ -1,0 +1,81 @@
+"""repro.obs — the observability layer.
+
+Makes every run self-describing, in four pieces:
+
+- :mod:`~repro.obs.trace` — hierarchical tracing spans with
+  deterministic ids, exported as Chrome ``trace_event`` JSON
+  (``chrome://tracing`` / Perfetto);
+- :mod:`~repro.obs.metrics` — a process-wide registry of counters,
+  gauges and histograms, snapshotted into sweep reports, journals and
+  manifests;
+- :mod:`~repro.obs.manifest` — run provenance manifests: toolchain
+  profile, machine config, setup parameters, seeds, fault plan, package
+  version, artifact checksums;
+- :mod:`~repro.obs.progress` — pluggable live sweep progress reporters
+  (live TTY line, structured lines, or silence).
+
+:mod:`~repro.obs.inspect` (imported on demand) summarizes, merges,
+diffs and validates the trace and manifest artifacts; see
+docs/observability.md for formats and workflows.
+
+Everything defaults to *off*: the active tracer is a no-op recorder and
+the sweep runner's default reporter ignores every event, so the
+measurement substrate is unchanged until a caller opts in.
+"""
+
+from repro.obs import metrics, progress, trace
+from repro.obs.manifest import (
+    MANIFEST_FORMAT,
+    build_manifest,
+    environment_fingerprint,
+    file_checksum,
+    load_manifest,
+    save_manifest,
+    text_checksum,
+    validate_manifest,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.progress import (
+    NULL_PROGRESS,
+    LineProgress,
+    LiveProgress,
+    ProgressReporter,
+    for_stream,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    TRACE_FORMAT,
+    NullTracer,
+    Span,
+    Tracer,
+    tracing,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LineProgress",
+    "LiveProgress",
+    "MANIFEST_FORMAT",
+    "MetricsRegistry",
+    "NULL_PROGRESS",
+    "NULL_TRACER",
+    "NullTracer",
+    "ProgressReporter",
+    "Span",
+    "TRACE_FORMAT",
+    "Tracer",
+    "build_manifest",
+    "environment_fingerprint",
+    "file_checksum",
+    "for_stream",
+    "load_manifest",
+    "metrics",
+    "progress",
+    "save_manifest",
+    "text_checksum",
+    "trace",
+    "tracing",
+    "validate_manifest",
+]

@@ -1,0 +1,244 @@
+"""Run provenance manifests: "exactly how was this measured?".
+
+The paper's survey found that of 133 papers, none reported enough of
+their experimental setup to reproduce it; van der Kouwe et al. (2018)
+list missing setup description among the most common benchmarking
+crimes.  A manifest is the antidote: every sweep (and every archived
+benchmark result) emits a JSON document naming the package version, the
+host, the toolchain profiles, the machine models, every setup parameter
+(env size, link order, alignments), every seed (input, backoff, fault),
+the fault plan, the runner policy, a metrics snapshot, and SHA-256
+checksums of the artifacts it produced.  Any archived result can then
+answer the reproduction question without the original author.
+
+Manifests are *descriptive*, not canonical: they carry wall-clock
+timestamps and host fingerprints by design, so they are never compared
+byte-for-byte (that is what archive record checksums are for).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+#: Format marker for manifest files.
+MANIFEST_FORMAT = "repro-manifest-v1"
+
+#: Keys every valid manifest must carry.
+REQUIRED_KEYS = (
+    "format",
+    "created_unix",
+    "package",
+    "environment",
+    "experiment",
+    "setups",
+    "seeds",
+    "fault_plan",
+    "artifacts",
+)
+
+
+def environment_fingerprint() -> Dict[str, str]:
+    """The host half of provenance: interpreter and platform identity."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "byteorder": sys.byteorder,
+    }
+
+
+def file_checksum(path: str) -> str:
+    """SHA-256 of a file's bytes (streamed)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 16), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def text_checksum(text: str) -> str:
+    """SHA-256 of a text artifact (UTF-8)."""
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _setup_entry(setup) -> Dict[str, Any]:
+    from repro.core.session import setup_to_dict
+
+    entry = setup_to_dict(setup)
+    entry["describe"] = setup.describe()
+    return entry
+
+
+def build_manifest(
+    experiment=None,
+    setups: Sequence = (),
+    runner_config=None,
+    fault_plan=None,
+    report=None,
+    metrics: Optional[Dict[str, Any]] = None,
+    artifacts: Optional[Dict[str, str]] = None,
+    note: str = "",
+) -> Dict[str, Any]:
+    """Assemble a provenance manifest for one run or sweep.
+
+    Args:
+        experiment: the :class:`~repro.core.experiment.Experiment`
+            measured (workload/input/seed identity), or None for
+            experiment-free artifacts.
+        setups: every :class:`~repro.core.setup.ExperimentalSetup`
+            measured, in request order.
+        runner_config: the :class:`~repro.core.runner.RunnerConfig`
+            executed under, if any.
+        fault_plan: the :class:`~repro.faults.FaultPlan` injected, if any.
+        report: the :class:`~repro.core.runner.SweepReport`, if any.
+        metrics: a metrics registry snapshot
+            (:meth:`~repro.obs.metrics.MetricsRegistry.snapshot`).
+        artifacts: artifact path -> SHA-256 checksum.
+        note: free-form description.
+    """
+    from dataclasses import asdict
+
+    from repro import __version__
+
+    setups = list(setups)
+    manifest: Dict[str, Any] = {
+        "format": MANIFEST_FORMAT,
+        "created_unix": time.time(),
+        "note": note,
+        "package": {"name": "repro", "version": __version__},
+        "environment": environment_fingerprint(),
+    }
+
+    if experiment is not None:
+        manifest["experiment"] = {
+            "workload": experiment.workload.name,
+            "size": experiment.size,
+            "seed": experiment.seed,
+            "verify": experiment.verify,
+        }
+    else:
+        manifest["experiment"] = None
+
+    manifest["setups"] = [_setup_entry(s) for s in setups]
+    manifest["toolchain"] = {
+        "profiles": sorted({s.compiler for s in setups}),
+        "opt_levels": sorted({s.opt_level for s in setups}),
+        "function_alignments": sorted({s.function_alignment for s in setups}),
+    }
+    manifest["machines"] = sorted({s.machine_name for s in setups})
+
+    seeds: Dict[str, Any] = {}
+    if experiment is not None:
+        seeds["input"] = experiment.seed
+    if runner_config is not None:
+        seeds["backoff"] = runner_config.backoff_seed
+    if fault_plan is not None:
+        seeds["faults"] = fault_plan.seed
+    manifest["seeds"] = seeds
+
+    if runner_config is not None:
+        manifest["runner"] = {
+            "jobs": runner_config.jobs,
+            "timeout": runner_config.timeout,
+            "max_cycles": runner_config.max_cycles,
+            "max_retries": runner_config.max_retries,
+            "backoff_base": runner_config.backoff_base,
+            "backoff_seed": runner_config.backoff_seed,
+        }
+    else:
+        manifest["runner"] = None
+
+    manifest["fault_plan"] = asdict(fault_plan) if fault_plan is not None else None
+
+    if experiment is not None and setups and runner_config is not None:
+        from repro.core.runner import sweep_id
+
+        manifest["sweep_id"] = sweep_id(
+            experiment.workload.name, experiment.size, experiment.seed, setups
+        )
+
+    manifest["report"] = report.to_dict() if report is not None else None
+    manifest["metrics"] = metrics if metrics is not None else {}
+    manifest["artifacts"] = dict(artifacts) if artifacts else {}
+    return manifest
+
+
+def save_manifest(path: str, manifest: Dict[str, Any]) -> None:
+    with open(path, "w") as fh:
+        json.dump(manifest, fh, indent=1, sort_keys=True)
+
+
+def load_manifest(path: str) -> Dict[str, Any]:
+    """Read and validate a manifest file.
+
+    Raises :class:`~repro.core.errors.ArchiveCorruption` on invalid JSON
+    or a document that fails :func:`validate_manifest`.
+    """
+    from repro._errors import ArchiveCorruption
+
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except json.JSONDecodeError as exc:
+        raise ArchiveCorruption(
+            f"manifest is not valid JSON: {exc}", path=path
+        ) from exc
+    errors = validate_manifest(data)
+    if errors:
+        raise ArchiveCorruption(
+            "invalid manifest: " + "; ".join(errors), path=path
+        )
+    return data
+
+
+def validate_manifest(data: Any) -> List[str]:
+    """Schema check; returns a list of problems (empty == valid)."""
+    errors: List[str] = []
+    if not isinstance(data, dict):
+        return ["manifest root is not an object"]
+    if data.get("format") != MANIFEST_FORMAT:
+        errors.append(
+            f"format is {data.get('format')!r}, expected {MANIFEST_FORMAT!r}"
+        )
+    for key in REQUIRED_KEYS:
+        if key not in data:
+            errors.append(f"missing required key {key!r}")
+    if errors:
+        return errors
+    if not isinstance(data["created_unix"], (int, float)):
+        errors.append("created_unix is not a number")
+    pkg = data["package"]
+    if not (isinstance(pkg, dict) and "name" in pkg and "version" in pkg):
+        errors.append("package must name the package and its version")
+    env = data["environment"]
+    if not (isinstance(env, dict) and "python" in env and "platform" in env):
+        errors.append("environment must carry python and platform")
+    if not isinstance(data["setups"], list):
+        errors.append("setups is not a list")
+    else:
+        for i, entry in enumerate(data["setups"]):
+            if not isinstance(entry, dict):
+                errors.append(f"setup {i} is not an object")
+                continue
+            for key in ("machine", "compiler", "opt_level", "env_bytes"):
+                if key not in entry:
+                    errors.append(f"setup {i} missing {key!r}")
+    if not isinstance(data["seeds"], dict):
+        errors.append("seeds is not an object")
+    if data["fault_plan"] is not None and not isinstance(
+        data["fault_plan"], dict
+    ):
+        errors.append("fault_plan must be null or an object")
+    if not isinstance(data["artifacts"], dict):
+        errors.append("artifacts is not an object")
+    else:
+        for path, checksum in data["artifacts"].items():
+            if not (isinstance(checksum, str) and len(checksum) == 64):
+                errors.append(f"artifact {path!r} checksum is not SHA-256 hex")
+    return errors

@@ -1,0 +1,205 @@
+"""A process-wide registry of counters, gauges and histograms.
+
+Where spans (:mod:`repro.obs.trace`) answer "what happened, in what
+order, and how long did it take?", metrics answer "how much, in total?":
+compiles performed vs served from cache, engine instructions retired and
+retirement rate, sweep retries and quarantines.  Snapshots land in
+:class:`~repro.core.runner.SweepReport`, checkpoint journals, provenance
+manifests and benchmark sidecars, so every published artifact carries
+the counters that produced it.
+
+Metrics come in two determinism classes, and consumers must keep them
+apart:
+
+- **counters of events** (builds, cache hits, retries) are deterministic
+  for a deterministic pipeline — safe to include in byte-identical
+  reports;
+- **timings** (``engine.run_seconds``, ``engine.ips``) are wall-clock
+  facts about one host — they belong in manifests and sidecars, never in
+  canonical report JSON.
+
+The module keeps one default registry; sweep-scoped accounting uses a
+private :class:`MetricsRegistry` instance instead of resetting the
+global one.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease by {amount}")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """Last-write-wins value (e.g. current retirement rate)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Streaming summary of observed values (count/total/min/max)."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: Number) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}: n={self.count}, mean={self.mean:g})"
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use.
+
+    A name is owned by the first kind that claims it; asking for the same
+    name as a different kind is a programming error and raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+
+    def _get(self, name: str, kind) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind(name)
+            self._metrics[name] = metric
+        elif type(metric) is not kind:
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """All metric values, grouped by kind, names sorted."""
+        out: Dict[str, Dict[str, Any]] = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                out["counters"][name] = metric.value
+            elif isinstance(metric, Gauge):
+                out["gauges"][name] = metric.value
+            else:
+                out["histograms"][name] = metric.summary()
+        return out
+
+    def counters(self) -> Dict[str, Number]:
+        """Just the counter values (the deterministic class)."""
+        return {
+            name: m.value
+            for name, m in sorted(self._metrics.items())
+            if isinstance(m, Counter)
+        }
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self._metrics)} metrics)"
+
+
+_default = MetricsRegistry()
+_active = _default
+
+
+def registry() -> MetricsRegistry:
+    """The registry pipeline instrumentation currently reports to."""
+    return _active
+
+
+def set_registry(reg: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Swap the active registry (None restores the process default);
+    returns the previously active registry."""
+    global _active
+    previous = _active
+    _active = reg if reg is not None else _default
+    return previous
+
+
+@contextmanager
+def scoped(reg: Optional[MetricsRegistry] = None) -> Iterator[MetricsRegistry]:
+    """Scope a (fresh by default) registry as the active one."""
+    reg = reg if reg is not None else MetricsRegistry()
+    previous = set_registry(reg)
+    try:
+        yield reg
+    finally:
+        set_registry(previous)
+
+
+def counter(name: str) -> Counter:
+    return _active.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _active.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    return _active.histogram(name)

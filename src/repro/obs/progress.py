@@ -1,0 +1,213 @@
+"""Pluggable live progress reporting for long sweeps.
+
+Before this module a 5,000-setup sweep was silent for minutes and then
+printed one summary line; a retry storm or a quarantined setup was
+invisible until the end.  :class:`~repro.core.runner.SweepRunner` now
+pushes every per-setup event through a reporter:
+
+- :class:`ProgressReporter` — the interface (and the no-op default, so
+  library callers see zero behaviour change);
+- :class:`LineProgress` — one structured line per event, for logs and
+  non-TTY pipelines;
+- :class:`LiveProgress` — a single live status line on a TTY, rewritten
+  in place, with retry/quarantine events surfaced as full lines the
+  moment they happen.
+
+:func:`for_stream` picks the right reporter for a stream; the CLI wires
+it to stderr (``--quiet`` silences it) so stdout stays exactly the
+published tables.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, TextIO
+
+
+class ProgressReporter:
+    """Sweep progress interface; the base class ignores every event."""
+
+    def sweep_started(self, total: int, resumed: int, sweep: str = "") -> None:
+        """A sweep of ``total`` setups begins; ``resumed`` of them came
+        from a checkpoint journal."""
+
+    def setup_finished(
+        self, index: int, setup: str, status: str, attempts: int = 1
+    ) -> None:
+        """Setup ``index`` reached a final fate ("measured" here;
+        quarantines arrive via :meth:`quarantined`)."""
+
+    def retry(
+        self, index: int, setup: str, attempt: int, error_type: str, message: str
+    ) -> None:
+        """Setup ``index``'s attempt ``attempt`` failed retryably and
+        will be re-attempted."""
+
+    def quarantined(
+        self,
+        index: int,
+        setup: str,
+        error_type: str,
+        fate: str,
+        attempts: int,
+        message: str,
+    ) -> None:
+        """Setup ``index`` exhausted its retries (or failed fatally)."""
+
+    def sweep_finished(self, report: Any) -> None:
+        """The sweep is over; ``report`` is the full SweepReport."""
+
+
+#: Shared no-op reporter (the runner's default).
+NULL_PROGRESS = ProgressReporter()
+
+
+class _StreamReporter(ProgressReporter):
+    def __init__(self, stream: TextIO) -> None:
+        self.stream = stream
+        self.total = 0
+        self.done = 0
+        self.measured = 0
+        self.resumed = 0
+        self.retries = 0
+        self.quarantines = 0
+
+    def _start(self, total: int, resumed: int) -> None:
+        self.total = total
+        self.done = resumed
+        self.measured = 0
+        self.resumed = resumed
+        self.retries = 0
+        self.quarantines = 0
+
+
+class LineProgress(_StreamReporter):
+    """One structured, grep-able line per sweep event."""
+
+    def sweep_started(self, total: int, resumed: int, sweep: str = "") -> None:
+        self._start(total, resumed)
+        suffix = f" ({resumed} resumed from journal)" if resumed else ""
+        name = f" {sweep}" if sweep else ""
+        self.stream.write(f"sweep{name}: {total} setups{suffix}\n")
+        self.stream.flush()
+
+    def setup_finished(
+        self, index: int, setup: str, status: str, attempts: int = 1
+    ) -> None:
+        self.done += 1
+        self.measured += status == "measured"
+        note = f" ({attempts} attempts)" if attempts > 1 else ""
+        self.stream.write(
+            f"sweep [{self.done}/{self.total}] {status} #{index} {setup}{note}\n"
+        )
+        self.stream.flush()
+
+    def retry(
+        self, index: int, setup: str, attempt: int, error_type: str, message: str
+    ) -> None:
+        self.retries += 1
+        self.stream.write(
+            f"sweep RETRY #{index} {setup}: attempt {attempt} failed with "
+            f"{error_type}: {message}\n"
+        )
+        self.stream.flush()
+
+    def quarantined(
+        self,
+        index: int,
+        setup: str,
+        error_type: str,
+        fate: str,
+        attempts: int,
+        message: str,
+    ) -> None:
+        self.done += 1
+        self.quarantines += 1
+        self.stream.write(
+            f"sweep QUARANTINED #{index} {setup}: {error_type} "
+            f"({fate}, {attempts} attempts): {message}\n"
+        )
+        self.stream.flush()
+
+    def sweep_finished(self, report: Any) -> None:
+        self.stream.write(
+            f"sweep done: {report.measured} measured + {report.resumed} "
+            f"resumed + {len(report.quarantined)} quarantined "
+            f"({report.retries} retries)\n"
+        )
+        self.stream.flush()
+
+
+class LiveProgress(_StreamReporter):
+    """A single live status line, rewritten in place on a TTY.
+
+    Retry and quarantine events break out of the live line as full
+    lines, so the terminal scrollback keeps a record of every anomaly.
+    """
+
+    def _render(self) -> None:
+        line = (
+            f"sweep {self.done}/{self.total} | {self.measured} measured"
+            f" | {self.resumed} resumed | {self.retries} retries"
+            f" | {self.quarantines} quarantined"
+        )
+        self.stream.write("\r\x1b[2K" + line)
+        self.stream.flush()
+
+    def _event_line(self, text: str) -> None:
+        self.stream.write("\r\x1b[2K" + text + "\n")
+        self._render()
+
+    def sweep_started(self, total: int, resumed: int, sweep: str = "") -> None:
+        self._start(total, resumed)
+        self._render()
+
+    def setup_finished(
+        self, index: int, setup: str, status: str, attempts: int = 1
+    ) -> None:
+        self.done += 1
+        self.measured += status == "measured"
+        self._render()
+
+    def retry(
+        self, index: int, setup: str, attempt: int, error_type: str, message: str
+    ) -> None:
+        self.retries += 1
+        self._event_line(
+            f"RETRY #{index} {setup}: attempt {attempt} failed with "
+            f"{error_type}: {message}"
+        )
+
+    def quarantined(
+        self,
+        index: int,
+        setup: str,
+        error_type: str,
+        fate: str,
+        attempts: int,
+        message: str,
+    ) -> None:
+        self.done += 1
+        self.quarantines += 1
+        self._event_line(
+            f"QUARANTINED #{index} {setup}: {error_type} "
+            f"({fate}, {attempts} attempts): {message}"
+        )
+
+    def sweep_finished(self, report: Any) -> None:
+        # Clear the live line; the caller prints the durable summary.
+        self.stream.write("\r\x1b[2K")
+        self.stream.flush()
+
+
+def for_stream(
+    stream: Optional[TextIO], quiet: bool = False
+) -> ProgressReporter:
+    """The right reporter for ``stream``: no-op when quiet or streamless,
+    live line on a TTY, structured lines otherwise."""
+    if quiet or stream is None:
+        return NULL_PROGRESS
+    try:
+        is_tty = stream.isatty()
+    except (AttributeError, ValueError):
+        is_tty = False
+    return LiveProgress(stream) if is_tty else LineProgress(stream)

@@ -1,0 +1,337 @@
+"""Hierarchical tracing spans with deterministic identities.
+
+The paper's lesson is that conclusions die when the measurement setup is
+invisible; the same is true of the measurement *process*.  A
+:class:`Tracer` records a tree of timed spans — ``compile`` with nested
+``parse``/``opt``/``codegen``/``link``, ``load``, ``run``, per-setup
+sweep spans — so a surprising sweep can be opened up and inspected
+instead of re-run under a debugger.
+
+Design constraints:
+
+- **deterministic identities** — a span's id is a hash of its *path*
+  (``sweep#0/setup#3/run#0``), which depends only on the nesting
+  structure, never on wall-clock time or process ids.  Two runs of the
+  same pipeline produce the same span tree with the same ids, which is
+  what the determinism tests assert.
+- **near-zero overhead when disabled** — the module-level
+  :func:`span`/:func:`instant` helpers dispatch through the *active*
+  tracer, which defaults to a :class:`NullTracer` whose ``span()``
+  returns one shared no-op context manager.  No allocation, no clock
+  read, no branches in the engine's hot loop (the engine is never traced
+  per-instruction; spans wrap whole pipeline stages).
+- **standard output formats** — :meth:`Tracer.to_chrome_trace` emits the
+  Chrome ``trace_event`` JSON object format, loadable directly in
+  ``chrome://tracing`` or https://ui.perfetto.dev; :meth:`Tracer.to_json`
+  is the same payload (the object format tolerates extra keys, so one
+  file serves both the browser and ``repro obs``).
+
+Usage::
+
+    from repro.obs import trace
+
+    tracer = trace.Tracer()
+    with trace.tracing(tracer):
+        with trace.span("compile", unit="main") as sp:
+            ...
+            sp.set(instructions=123)
+    tracer.write("trace.json")          # open in Perfetto
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+#: Format marker carried in the trace file's ``otherData``.
+TRACE_FORMAT = "repro-trace-v1"
+
+
+def span_id_for_path(path: str) -> str:
+    """Deterministic 12-hex-digit id for a span path."""
+    return hashlib.sha256(path.encode()).hexdigest()[:12]
+
+
+class Span:
+    """One timed, attributed node of the span tree.
+
+    Spans are created by :meth:`Tracer.span` and used as context
+    managers; :meth:`set` attaches attributes (e.g. the simulated-cycle
+    attribution of a ``run`` span) at any point before exit.
+    """
+
+    __slots__ = (
+        "name",
+        "category",
+        "path",
+        "span_id",
+        "parent_id",
+        "depth",
+        "start",
+        "duration",
+        "attrs",
+        "_tracer",
+        "_child_counts",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        category: str,
+        path: str,
+        parent_id: Optional[str],
+        depth: int,
+        attrs: Dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.path = path
+        self.span_id = span_id_for_path(path)
+        self.parent_id = parent_id
+        self.depth = depth
+        self.start = 0.0
+        self.duration: Optional[float] = None
+        self.attrs = attrs
+        self._child_counts: Dict[str, int] = {}
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes to the span (chainable)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self)
+        return False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "cat": self.category,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "path": self.path,
+            "depth": self.depth,
+            "start": self.start,
+            "dur": self.duration,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:
+        dur = f"{self.duration:.6f}s" if self.duration is not None else "open"
+        return f"Span({self.path}, {dur})"
+
+
+class Tracer:
+    """Collects a tree of spans plus instant events.
+
+    Args:
+        clock: monotonic time source (injectable so tests can assert
+            byte-identical traces).
+        label: human-facing name for the traced process (shown as the
+            process name in Chrome/Perfetto).
+    """
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter, label: str = "repro") -> None:
+        self._clock = clock
+        self.label = label
+        self._epoch = clock()
+        self._stack: List[Span] = []
+        self._root_counts: Dict[str, int] = {}
+        self.spans: List[Span] = []
+        self.instants: List[Dict[str, Any]] = []
+
+    # -- recording --------------------------------------------------------
+
+    def span(self, name: str, category: str = "repro", **attrs: Any) -> Span:
+        """Create (but do not start) a span; use as a context manager."""
+        parent = self._stack[-1] if self._stack else None
+        if parent is None:
+            counts = self._root_counts
+            parent_path = ""
+            parent_id = None
+            depth = 0
+        else:
+            counts = parent._child_counts
+            parent_path = parent.path + "/"
+            parent_id = parent.span_id
+            depth = parent.depth + 1
+        k = counts.get(name, 0)
+        counts[name] = k + 1
+        path = f"{parent_path}{name}#{k}"
+        return Span(self, name, category, path, parent_id, depth, dict(attrs))
+
+    def instant(self, name: str, category: str = "repro", **attrs: Any) -> None:
+        """Record a zero-duration event at the current nesting point."""
+        parent = self._stack[-1] if self._stack else None
+        self.instants.append(
+            {
+                "name": name,
+                "cat": category,
+                "parent": parent.span_id if parent is not None else None,
+                "ts": self._clock() - self._epoch,
+                "attrs": dict(attrs),
+            }
+        )
+
+    def _push(self, span: Span) -> None:
+        span.start = self._clock() - self._epoch
+        self._stack.append(span)
+        self.spans.append(span)  # start order == deterministic record order
+
+    def _pop(self, span: Span) -> None:
+        span.duration = (self._clock() - self._epoch) - span.start
+        # Tolerate mismatched exits instead of corrupting the stack.
+        while self._stack and self._stack[-1] is not span:
+            dangling = self._stack.pop()
+            if dangling.duration is None:
+                dangling.duration = span.duration
+        if self._stack:
+            self._stack.pop()
+
+    # -- export -----------------------------------------------------------
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Span records in start order (open spans have ``dur: None``)."""
+        return [s.to_dict() for s in self.spans]
+
+    def to_chrome_trace(self, pid: int = 1) -> Dict[str, Any]:
+        """The Chrome ``trace_event`` object format (Perfetto-loadable)."""
+        events: List[Dict[str, Any]] = [
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 1,
+                "args": {"name": self.label},
+            }
+        ]
+        for s in self.spans:
+            dur = s.duration if s.duration is not None else 0.0
+            events.append(
+                {
+                    "ph": "X",
+                    "name": s.name,
+                    "cat": s.category,
+                    "ts": s.start * 1e6,
+                    "dur": dur * 1e6,
+                    "pid": pid,
+                    "tid": 1,
+                    "args": {**s.attrs, "id": s.span_id, "path": s.path},
+                }
+            )
+        for ev in self.instants:
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "name": ev["name"],
+                    "cat": ev["cat"],
+                    "ts": ev["ts"] * 1e6,
+                    "pid": pid,
+                    "tid": 1,
+                    "args": dict(ev["attrs"]),
+                }
+            )
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"format": TRACE_FORMAT, "label": self.label},
+        }
+
+    def to_json(self, indent: int = 1) -> str:
+        return json.dumps(self.to_chrome_trace(), indent=indent)
+
+    def write(self, path: str) -> None:
+        """Write the Chrome-trace JSON file."""
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+
+    def __repr__(self) -> str:
+        return f"Tracer({self.label!r}, {len(self.spans)} spans)"
+
+
+# -- the disabled path -------------------------------------------------------
+
+
+class _NullSpan:
+    """Shared no-op span: the entire cost of disabled tracing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Recorder that records nothing (the default)."""
+
+    enabled = False
+    spans: tuple = ()
+    instants: tuple = ()
+
+    def span(self, name: str, category: str = "repro", **attrs: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def instant(self, name: str, category: str = "repro", **attrs: Any) -> None:
+        return None
+
+
+NULL_TRACER = NullTracer()
+
+_active = NULL_TRACER
+
+
+def active():
+    """The tracer pipeline instrumentation currently reports to."""
+    return _active
+
+
+def install(tracer) -> Any:
+    """Install ``tracer`` (None restores the no-op recorder); returns the
+    previously active tracer."""
+    global _active
+    previous = _active
+    _active = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def tracing(tracer) -> Iterator[Any]:
+    """Scope ``tracer`` as the active recorder (None is a no-op scope)."""
+    previous = install(tracer)
+    try:
+        yield _active
+    finally:
+        install(previous)
+
+
+def span(name: str, category: str = "repro", **attrs: Any):
+    """Open a span on the active tracer (no-op when tracing is off)."""
+    return _active.span(name, category, **attrs)
+
+
+def instant(name: str, category: str = "repro", **attrs: Any) -> None:
+    """Record an instant event on the active tracer."""
+    _active.instant(name, category, **attrs)

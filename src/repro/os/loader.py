@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.isa.program import Executable
+from repro.obs import trace as obs_trace
 from repro.os.environment import Environment
 
 #: Top of the user stack (grows down), page-aligned.
@@ -90,6 +91,25 @@ def load_process(
     if stack_align < 1 or (stack_align & (stack_align - 1)) != 0:
         raise LoaderError(f"stack alignment must be a power of two: {stack_align}")
 
+    with obs_trace.span(
+        "load",
+        category="os",
+        env_bytes=environment.total_bytes,
+        stack_align=stack_align,
+    ) as load_span:
+        return _build_image(
+            executable, environment, argv, inputs, stack_align, load_span
+        )
+
+
+def _build_image(
+    executable: Executable,
+    environment: Environment,
+    argv: Sequence[str],
+    inputs: Optional[InputBindings],
+    stack_align: int,
+    load_span,
+) -> ProcessImage:
     memory: Dict[int, int] = dict(executable.data_init)
     if inputs:
         for name, value in inputs.items():
@@ -124,6 +144,7 @@ def load_process(
     if sp <= executable.data_end:
         raise LoaderError("stack would collide with the data segment")
 
+    load_span.set(sp_start=sp, initialized_cells=len(memory))
     return ProcessImage(
         executable=executable,
         environment=environment,

@@ -20,6 +20,8 @@ from typing import Dict, List, Mapping, Sequence, Tuple, Union
 
 from repro.isa.program import Module
 from repro.isa.validate import validate_module
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.toolchain.codegen import generate_module
 from repro.toolchain.errors import CompileError
 from repro.toolchain.opt import (
@@ -61,29 +63,41 @@ def compile_unit(
     if opt_level not in (0, 1, 2, 3):
         raise CompileError(f"unsupported optimization level O{opt_level}")
     prof = _resolve_profile(profile)
+    obs_metrics.counter("toolchain.units_compiled").inc()
 
-    unit = parse_source(source, name, filename=name)
-    inline_calls(unit, prof.inline_threshold[opt_level])
-    unroll_loops(unit, prof.unroll_factor[opt_level])
-    info = analyze_unit(unit)
-    module = generate_module(info, opt_level, prof)
+    with obs_trace.span(
+        "unit", category="toolchain", unit=name, opt=opt_level,
+        profile=prof.name,
+    ) as unit_span:
+        with obs_trace.span("parse", category="toolchain"):
+            unit = parse_source(source, name, filename=name)
+        with obs_trace.span("opt", category="toolchain"):
+            inline_calls(unit, prof.inline_threshold[opt_level])
+            unroll_loops(unit, prof.unroll_factor[opt_level])
+        with obs_trace.span("sema", category="toolchain"):
+            info = analyze_unit(unit)
+        with obs_trace.span("codegen", category="toolchain"):
+            module = generate_module(info, opt_level, prof)
 
-    if opt_level >= 1:
-        for func in module.functions.values():
-            simplify_cfg(func)
-            peephole_optimize(func)
-            local_value_number(func)
-            eliminate_dead_code(func)
-            peephole_optimize(func)
-            eliminate_dead_code(func)
-            simplify_cfg(func)
-    if prof.schedule[opt_level]:
-        for func in module.functions.values():
-            schedule_blocks(func)
-    if prof.loop_alignment[opt_level] > 1:
-        for func in module.functions.values():
-            align_hot_loops(func, prof.loop_alignment[opt_level])
-    validate_module(module)
+            if opt_level >= 1:
+                for func in module.functions.values():
+                    simplify_cfg(func)
+                    peephole_optimize(func)
+                    local_value_number(func)
+                    eliminate_dead_code(func)
+                    peephole_optimize(func)
+                    eliminate_dead_code(func)
+                    simplify_cfg(func)
+            if prof.schedule[opt_level]:
+                for func in module.functions.values():
+                    schedule_blocks(func)
+            if prof.loop_alignment[opt_level] > 1:
+                for func in module.functions.values():
+                    align_hot_loops(func, prof.loop_alignment[opt_level])
+        validate_module(module)
+        unit_span.set(
+            instructions=module.num_instructions(), bytes=module.size_bytes()
+        )
     return module
 
 

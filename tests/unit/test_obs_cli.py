@@ -1,0 +1,133 @@
+"""Unit tests: the observability CLI surface.
+
+``study --trace-out/--manifest-out/--quiet`` artifact emission, progress
+on stderr (stdout stays the published tables), and the ``repro obs``
+inspector subcommands.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.inspect import validate_manifest, validate_trace
+
+
+def tiny_study(extra):
+    return [
+        "study", "sphinx3", "env",
+        "--env-start", "100", "--env-stop", "164", "--env-step", "32",
+    ] + extra
+
+
+@pytest.fixture()
+def traced_artifacts(tmp_path, capsys):
+    """Run one traced study; returns (trace_path, manifest_path)."""
+    trace = str(tmp_path / "sweep.json")
+    assert main(tiny_study(["--trace-out", trace])) == 0
+    capsys.readouterr()
+    return trace, str(tmp_path / "sweep.manifest.json")
+
+
+class TestStudyFlags:
+    def test_trace_out_writes_a_valid_chrome_trace(self, traced_artifacts):
+        trace, _ = traced_artifacts
+        with open(trace) as fh:
+            data = json.load(fh)
+        assert validate_trace(data) == []
+        names = {
+            ev["name"] for ev in data["traceEvents"] if ev["ph"] == "X"
+        }
+        assert {"sweep", "setup", "run", "compile", "load"} <= names
+
+    def test_manifest_lands_next_to_the_trace(self, traced_artifacts):
+        trace, manifest_path = traced_artifacts
+        with open(manifest_path) as fh:
+            manifest = json.load(fh)
+        assert validate_manifest(manifest) == []
+        assert manifest["experiment"]["workload"] == "sphinx3"
+        assert [s["env_bytes"] for s in manifest["setups"]] == [
+            100, 100, 132, 132,
+        ]
+        assert manifest["artifacts"]
+        assert trace in manifest["artifacts"]
+        assert manifest["report"]["measured"] == 4
+
+    def test_manifest_out_overrides_the_default_path(self, tmp_path, capsys):
+        manifest_path = str(tmp_path / "custom.json")
+        assert main(tiny_study(["--manifest-out", manifest_path])) == 0
+        capsys.readouterr()
+        with open(manifest_path) as fh:
+            assert validate_manifest(json.load(fh)) == []
+
+    def test_progress_goes_to_stderr_not_stdout(self, capsys):
+        assert main(tiny_study([])) == 0
+        captured = capsys.readouterr()
+        assert "sweep [" in captured.err or "sweep " in captured.err
+        assert "sweep [" not in captured.out
+
+    def test_quiet_silences_progress(self, capsys):
+        assert main(tiny_study(["--quiet"])) == 0
+        captured = capsys.readouterr()
+        assert "sweep" not in captured.err
+        assert "speedup" in captured.out
+
+
+class TestObsCommand:
+    def test_summary_renders_trace_and_manifest(
+        self, traced_artifacts, capsys
+    ):
+        trace, manifest = traced_artifacts
+        assert main(["obs", "summary", trace, manifest]) == 0
+        out = capsys.readouterr().out
+        assert "spans" in out and "sweep" in out
+        assert "sphinx3" in out
+
+    def test_validate_accepts_good_artifacts(self, traced_artifacts, capsys):
+        trace, manifest = traced_artifacts
+        assert main(["obs", "validate", trace, manifest]) == 0
+        out = capsys.readouterr().out
+        assert out.count("OK:") == 2
+
+    def test_validate_rejects_bad_artifacts(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"traceEvents": [{"ph": "Z"}]}))
+        assert main(["obs", "validate", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_merge_produces_one_multi_process_trace(
+        self, traced_artifacts, tmp_path, capsys
+    ):
+        trace, _ = traced_artifacts
+        merged_path = str(tmp_path / "merged.json")
+        assert main(["obs", "merge", merged_path, trace, trace]) == 0
+        capsys.readouterr()
+        with open(merged_path) as fh:
+            merged = json.load(fh)
+        pids = {
+            ev["pid"] for ev in merged["traceEvents"] if ev["ph"] == "X"
+        }
+        assert pids == {1, 2}
+        assert main(["obs", "summary", merged_path]) == 0
+
+    def test_diff_compares_two_traces(self, traced_artifacts, capsys):
+        trace, _ = traced_artifacts
+        assert main(["obs", "diff", trace, trace]) == 0
+        out = capsys.readouterr().out
+        assert "trace diff" in out and "+0.000" in out
+
+    def test_diff_compares_two_manifests(self, traced_artifacts, capsys):
+        _, manifest = traced_artifacts
+        assert main(["obs", "diff", manifest, manifest]) == 0
+        out = capsys.readouterr().out
+        assert "manifest diff" in out
+
+    def test_diff_refuses_mixed_kinds(self, traced_artifacts, capsys):
+        trace, manifest = traced_artifacts
+        assert main(["obs", "diff", trace, manifest]) == 1
+
+    def test_junk_input_is_a_diagnosis_not_a_crash(self, tmp_path, capsys):
+        junk = tmp_path / "junk.json"
+        junk.write_text("not json")
+        assert main(["obs", "summary", str(junk)]) == 1
+        assert "error" in capsys.readouterr().err

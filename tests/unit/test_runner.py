@@ -224,10 +224,14 @@ class TestCheckpointResume:
         run_sweep(jobs=1, journal=path)
         with open(path) as fh:
             lines = fh.read().splitlines()
-        # Tear the last record in half, as a crash mid-write would.
+        # Tear the last measurement record in half, as a crash mid-write
+        # would.  (The journal's final line is the sweep's closing
+        # metrics snapshot — a mid-sweep crash dies before writing it,
+        # so everything after the torn measurement goes too.)
+        last = max(i for i, l in enumerate(lines) if '"measurement"' in l)
         with open(path, "w") as fh:
-            fh.write("\n".join(lines[:-1]) + "\n")
-            fh.write(lines[-1][: len(lines[-1]) // 2])
+            fh.write("\n".join(lines[:last]) + "\n")
+            fh.write(lines[last][: len(lines[last]) // 2])
         result = run_sweep(jobs=1, journal=path)
         assert result.report.resumed == len(SETUPS) - 1
         assert result.report.measured == 1

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""CI tool: schema-check observability artifacts (traces, manifests,
+bench sidecars).
+
+Usage: python tools/validate_trace.py <artifact.json> [more.json ...]
+
+Each file is classified by its format marker and checked against the
+matching schema (:mod:`repro.obs.inspect` for Chrome traces,
+:mod:`repro.obs.manifest` for provenance manifests, a local check for
+``benchmarks/results/*.meta.json`` sidecars).  Exits non-zero — listing
+every problem — if any artifact is invalid, so the CI job that uploads
+a sweep trace also proves it is loadable.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict, List
+
+from repro._errors import ArchiveCorruption
+from repro.obs.inspect import (
+    is_manifest,
+    is_trace,
+    load_json_artifact,
+    validate_manifest,
+    validate_trace,
+)
+
+
+def validate_bench_meta(data: Dict[str, Any]) -> List[str]:
+    """Schema check for a ``BENCH_*.meta.json`` provenance sidecar."""
+    errors: List[str] = []
+    for key in ("experiment_id", "artifact", "package", "environment"):
+        if key not in data:
+            errors.append(f"missing required key {key!r}")
+    artifact = data.get("artifact")
+    if isinstance(artifact, dict):
+        checksum = artifact.get("sha256")
+        if not (isinstance(checksum, str) and len(checksum) == 64):
+            errors.append("artifact.sha256 is not SHA-256 hex")
+        if "file" not in artifact:
+            errors.append("artifact names no file")
+    elif "artifact" in data:
+        errors.append("artifact is not an object")
+    return errors
+
+
+def classify_and_validate(data: Dict[str, Any]) -> tuple:
+    if is_trace(data):
+        return "trace", validate_trace(data)
+    if is_manifest(data):
+        return "manifest", validate_manifest(data)
+    if data.get("format") == "repro-bench-meta-v1":
+        return "bench-meta", validate_bench_meta(data)
+    return "artifact", ["unrecognized artifact (no known format marker)"]
+
+
+def main(paths: List[str]) -> int:
+    if not paths:
+        print(__doc__.strip().splitlines()[3])
+        return 2
+    failures = 0
+    for path in paths:
+        try:
+            data = load_json_artifact(path)
+        except (ArchiveCorruption, OSError) as exc:
+            print(f"INVALID {path}: {exc}")
+            failures += 1
+            continue
+        kind, errors = classify_and_validate(data)
+        if errors:
+            failures += 1
+            print(f"INVALID {kind} {path}:")
+            for problem in errors:
+                print(f"  - {problem}")
+        else:
+            print(f"OK: valid {kind}: {path}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
