@@ -19,10 +19,11 @@ from __future__ import annotations
 import json
 import os
 import time
+from dataclasses import asdict
 from functools import lru_cache
 from typing import Any, Dict, Optional, Sequence
 
-from repro import __version__, workloads
+from repro import __version__, faults, workloads
 from repro.core import Experiment, ExperimentalSetup, RunnerConfig, SweepRunner
 from repro.obs import metrics as obs_metrics
 from repro.obs.manifest import environment_fingerprint, text_checksum
@@ -37,6 +38,19 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 BENCH_JOBS = int(
     os.environ.get("REPRO_BENCH_JOBS", str(min(4, os.cpu_count() or 1)))
 )
+
+
+def _bench_fault_plan() -> Optional[faults.FaultPlan]:
+    spec = os.environ.get("REPRO_BENCH_FAULT_PLAN", "").strip()
+    return faults.parse_plan(spec) if spec else None
+
+
+#: Deterministic chaos for the benchmark harness, from
+#: REPRO_BENCH_FAULT_PLAN (same spec syntax as the CLI's --fault-plan).
+#: The substrate's determinism means published tables are byte-identical
+#: with or without an injected-and-recovered fault plan; the plan is
+#: recorded in every result's provenance sidecar either way.
+BENCH_FAULT_PLAN = _bench_fault_plan()
 
 #: Canonical base/treatment pair: the paper's "is O3 beneficial?" question.
 BASE = ExperimentalSetup(machine="core2", compiler="gcc", opt_level=2)
@@ -55,7 +69,9 @@ def experiment(name: str, size: str = "test", seed: int = 0) -> Experiment:
 
 
 def parallel_sweep(
-    exp: Experiment, setups: Sequence[ExperimentalSetup]
+    exp: Experiment,
+    setups: Sequence[ExperimentalSetup],
+    fault_plan: Optional[faults.FaultPlan] = None,
 ) -> None:
     """Warm ``exp``'s caches for ``setups`` via the fault-tolerant
     runner, so the serial study code that follows is all cache hits.
@@ -63,12 +79,21 @@ def parallel_sweep(
     The substrate is deterministic, so the published tables are
     byte-identical with and without the parallel warm-up; suite-scale
     sweeps just finish in a fraction of the wall-clock time.
+
+    ``fault_plan`` (default: :data:`BENCH_FAULT_PLAN` from the
+    environment) injects deterministic chaos into the warm-up sweep;
+    when a plan is set the sweep always routes through the supervised
+    runner, even at ``BENCH_JOBS=1``, so recovery is exercised — and a
+    sweep the runner could not fully measure fails the bench loudly.
     """
-    if BENCH_JOBS <= 1 or len(setups) < 4:
+    plan = fault_plan if fault_plan is not None else BENCH_FAULT_PLAN
+    if plan is None and (BENCH_JOBS <= 1 or len(setups) < 4):
         for s in setups:
             exp.run(s)
         return
-    result = SweepRunner(exp, RunnerConfig(jobs=BENCH_JOBS)).run(setups)
+    result = SweepRunner(
+        exp, RunnerConfig(jobs=BENCH_JOBS), fault_plan=plan
+    ).run(setups)
     if result.report.quarantined:
         raise RuntimeError(
             "benchmark sweep quarantined setups:\n"
@@ -104,6 +129,9 @@ def publish(
         "package": {"name": "repro", "version": __version__},
         "environment": environment_fingerprint(),
         "bench_jobs": BENCH_JOBS,
+        "fault_plan": (
+            asdict(BENCH_FAULT_PLAN) if BENCH_FAULT_PLAN is not None else None
+        ),
         "metrics": obs_metrics.registry().snapshot(),
         "meta": dict(meta) if meta else {},
     }

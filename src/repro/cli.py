@@ -25,8 +25,16 @@ Remaining commands:
 - ``archive`` / ``verify-archive`` — persist a sweep as JSON (with an
   embedded provenance manifest) and later re-measure it, reporting any
   drift,
-- ``obs`` — summarize / validate / merge / diff traces and manifests,
+- ``obs`` — summarize / validate / merge / diff traces, manifests, and
+  checkpoint journals,
+- ``journal`` — compact or summarize a sweep's checkpoint journal,
 - ``survey`` — print the literature-survey table.
+
+Chaos engineering: ``--fault-plan SPEC`` installs a deterministic
+:class:`~repro.faults.FaultPlan` (``seed=3,worker_crash=0.4,...`` or a
+JSON object) for the sweep, so the runner's supervision and recovery
+paths can be exercised from the command line; ``--report-out FILE``
+writes the canonical SweepReport JSON for byte-identity comparisons.
 
 Every command prints plain text (the same renderers the benchmark
 harness uses) and exits non-zero on verification failures.
@@ -38,7 +46,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro import workloads
+from repro import faults, workloads
 from repro.arch import available_machines, get_machine
 from repro.core import Experiment, ExperimentalSetup
 from repro.core.bias import env_size_study, link_order_study, sample_link_orders
@@ -84,6 +92,13 @@ def _non_negative_int(text: str) -> int:
     return value
 
 
+def _fault_plan_arg(text: str) -> faults.FaultPlan:
+    try:
+        return faults.parse_plan(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
 def _add_runner_args(parser: argparse.ArgumentParser) -> None:
     """Fault-tolerant sweep execution knobs (see docs/robustness.md)."""
     parser.add_argument(
@@ -124,6 +139,26 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
             "FILE.manifest.json next to --trace-out)"
         ),
     )
+    parser.add_argument(
+        "--fault-plan", metavar="SPEC", type=_fault_plan_arg, default=None,
+        help=(
+            "deterministic chaos: inject faults per SPEC "
+            "('seed=3,worker_crash=0.4,...' or a JSON object); kinds: "
+            + ", ".join(faults.KINDS)
+        ),
+    )
+    parser.add_argument(
+        "--report-out", metavar="FILE", default=None,
+        help="write the canonical SweepReport JSON here",
+    )
+    parser.add_argument(
+        "--journal-max-records", metavar="N", type=_positive_int,
+        default=None,
+        help=(
+            "auto-compact the --resume journal after the sweep once it "
+            "exceeds N records"
+        ),
+    )
 
 
 def _manifest_path(args: argparse.Namespace) -> Optional[str]:
@@ -155,11 +190,13 @@ def _run_sweep(exp: Experiment, setups, args: argparse.Namespace) -> int:
         jobs=args.jobs,
         timeout=args.timeout,
         max_retries=args.max_retries,
+        journal_max_records=args.journal_max_records,
     )
     runner = SweepRunner(
         exp,
         config,
         journal_path=args.resume,
+        fault_plan=args.fault_plan,
         progress=obs_progress.for_stream(sys.stderr, quiet=args.quiet),
     )
     tracer = (
@@ -184,6 +221,7 @@ def _run_sweep(exp: Experiment, setups, args: argparse.Namespace) -> int:
             experiment=exp,
             setups=setups,
             runner_config=config,
+            fault_plan=args.fault_plan,
             report=report,
             metrics=obs_metrics.registry().snapshot(),
             artifacts=artifacts,
@@ -191,9 +229,14 @@ def _run_sweep(exp: Experiment, setups, args: argparse.Namespace) -> int:
         )
         obs_manifest.save_manifest(manifest_path, manifest)
         print(f"manifest written to {manifest_path}", file=sys.stderr)
+    if args.report_out is not None:
+        with open(args.report_out, "w") as fh:
+            fh.write(report.to_json() + "\n")
+        print(f"report written to {args.report_out}", file=sys.stderr)
     interesting = (
         report.resumed or report.retries or report.quarantined
-        or args.jobs > 1 or args.resume
+        or report.degraded or args.jobs > 1 or args.resume
+        or args.fault_plan is not None
     )
     if interesting:
         print(report.summary_line())
@@ -405,9 +448,11 @@ def cmd_obs(args: argparse.Namespace) -> int:
                 print(obs_inspect.summarize_trace(data))
             elif obs_inspect.is_manifest(data):
                 print(obs_inspect.summarize_manifest(data))
+            elif obs_inspect.is_journal(data):
+                print(obs_inspect.summarize_journal(data))
             else:
                 print(
-                    f"error: {path} is neither a trace nor a manifest",
+                    f"error: {path} is not a trace, manifest, or journal",
                     file=sys.stderr,
                 )
                 return 1
@@ -421,8 +466,12 @@ def cmd_obs(args: argparse.Namespace) -> int:
                 kind, errors = "trace", obs_inspect.validate_trace(data)
             elif obs_inspect.is_manifest(data):
                 kind, errors = "manifest", obs_inspect.validate_manifest(data)
+            elif obs_inspect.is_journal(data):
+                kind, errors = "journal", obs_inspect.validate_journal(data)
             else:
-                kind, errors = "artifact", ["neither a trace nor a manifest"]
+                kind, errors = "artifact", [
+                    "not a trace, manifest, or journal"
+                ]
             if errors:
                 failures += 1
                 print(f"INVALID {kind} {path}:")
@@ -459,6 +508,28 @@ def cmd_obs(args: argparse.Namespace) -> int:
         "error: diff needs two traces or two manifests", file=sys.stderr
     )
     return 1
+
+
+def cmd_journal(args: argparse.Namespace) -> int:
+    from repro.obs import inspect as obs_inspect
+
+    if args.journal_command == "compact":
+        from repro.core.runner import compact_journal
+
+        for path in args.paths:
+            print(compact_journal(path).summary_line())
+        return 0
+
+    # summary
+    failures = 0
+    for path in args.paths:
+        data = obs_inspect.load_json_artifact(path)
+        if not obs_inspect.is_journal(data):
+            print(f"error: {path} is not a checkpoint journal", file=sys.stderr)
+            failures += 1
+            continue
+        print(obs_inspect.summarize_journal(data))
+    return 1 if failures else 0
 
 
 def cmd_survey(args: argparse.Namespace) -> int:
@@ -568,6 +639,24 @@ def build_parser() -> argparse.ArgumentParser:
     obs_diff.add_argument("a")
     obs_diff.add_argument("b")
     obs.set_defaults(func=cmd_obs)
+
+    journal = sub.add_parser(
+        "journal", help="manage sweep checkpoint journals"
+    )
+    journal_sub = journal.add_subparsers(dest="journal_command", required=True)
+    journal_compact = journal_sub.add_parser(
+        "compact",
+        help=(
+            "atomically rewrite a journal down to one record per setup "
+            "(+ latest aux records), with integrity verification"
+        ),
+    )
+    journal_compact.add_argument("paths", nargs="+")
+    journal_summary = journal_sub.add_parser(
+        "summary", help="summarize a journal's contents"
+    )
+    journal_summary.add_argument("paths", nargs="+")
+    journal.set_defaults(func=cmd_journal)
 
     survey = sub.add_parser("survey", help="print the literature survey")
     survey.add_argument("--seed", type=int, default=0)

@@ -9,7 +9,9 @@
 - :mod:`~repro.core.errors` — the structured error taxonomy with its
   retryable/fatal classification,
 - :mod:`~repro.core.runner` — fault-tolerant parallel sweep execution
-  with retries, quarantine and resumable checkpoints,
+  with retries, quarantine and resumable, compactable checkpoints,
+- :mod:`~repro.core.supervisor` — the supervised worker pool behind
+  parallel sweeps (heartbeats, crash/hang failover, respawn budget),
 - :mod:`~repro.core.stats` — intervals, summaries, violin densities,
 - :mod:`~repro.core.survey` — the 133-paper literature survey analysis,
 - :mod:`~repro.core.report` — plain-text table/figure rendering.
@@ -50,12 +52,15 @@ from repro.core.randomization import (
     random_setups,
 )
 from repro.core.runner import (
+    CompactionStats,
     Journal,
     QuarantineEntry,
     RunnerConfig,
     SweepReport,
     SweepResult,
     SweepRunner,
+    compact_journal,
+    journal_needs_compaction,
 )
 from repro.core.setup import ExperimentalSetup
 from repro.core.stats import (
@@ -73,6 +78,7 @@ __all__ = [
     "BiasReport",
     "BiasVsNoiseResult",
     "BuildError",
+    "CompactionStats",
     "Journal",
     "QuarantineEntry",
     "ReproError",
@@ -83,7 +89,9 @@ __all__ = [
     "SweepResult",
     "SweepRunner",
     "classify",
+    "compact_journal",
     "is_retryable",
+    "journal_needs_compaction",
     "paired_random_setups",
     "NoiseModel",
     "RepeatedMeasurement",

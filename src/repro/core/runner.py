@@ -5,9 +5,16 @@ sample many experimental setups and report distributions — which makes
 long many-setup sweeps the lab's hot path.  :class:`SweepRunner` turns
 the serial, in-process :meth:`Experiment.sweep` into a production run:
 
-- **parallel** — setups are measured across a ``ProcessPoolExecutor``
-  (``jobs=N``); result order is the *request* order, independent of
-  completion order, so parallel and serial sweeps are byte-identical;
+- **parallel & supervised** — setups are measured across a
+  :class:`~repro.core.supervisor.SupervisedPool` of long-lived worker
+  processes (``jobs=N``) with heartbeat liveness tracking: a crashed
+  worker (dead PID, broken pipe) or a hung one (missed-heartbeat past
+  ``hang_timeout``) is detected, killed, and replaced within a bounded
+  respawn budget, and its in-flight setup fails over to another worker
+  *at the same attempt* — infrastructure failure never consumes a
+  measurement's retry budget.  Result order is the *request* order,
+  independent of completion order, so parallel and serial sweeps are
+  byte-identical — even under injected worker crashes and hangs;
 - **bounded** — every run is armed with the engine's cycle-budget
   watchdog (``max_cycles``) and a per-measurement wall-clock deadline
   (``timeout``), so a hung run becomes a :class:`RunTimeout`, not a
@@ -19,14 +26,20 @@ the serial, in-process :meth:`Experiment.sweep` into a production run:
 - **checkpointed** — every completed measurement is appended to an
   on-disk journal (format v2 records with per-record SHA-256 checksums)
   the moment it lands, so an interrupted sweep re-run with the same
-  journal resumes with **zero re-measurement**;
+  journal resumes with **zero re-measurement**; very large or
+  much-resumed journals are compacted (:func:`compact_journal`) to one
+  record per setup via an atomic, integrity-verified rewrite;
 - **accounted** — the :class:`SweepReport` enumerates every requested
   setup as measured, resumed-from-journal, or quarantined; partial
   coverage is never silent (van der Kouwe et al.'s "benchmarking
-  crimes" include silently dropped results).
+  crimes" include silently dropped results).  If the pool exhausts its
+  respawn budget, the remaining setups are finished serially in-process
+  and the report is marked **degraded**, naming each of them.
 
 Fault injection (:mod:`repro.faults`) rides behind the substrate, so
-every recovery path here is itself testable and deterministic.
+every recovery path here is itself testable and deterministic —
+including the supervision paths, via the process-level chaos kinds
+(``worker_crash``, ``worker_hang``, ``journal_torn_write``).
 """
 
 from __future__ import annotations
@@ -36,7 +49,6 @@ import os
 import signal
 import threading
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
@@ -59,6 +71,7 @@ from repro.core.session import (
     setup_to_dict,
 )
 from repro.core.setup import ExperimentalSetup
+from repro.core import supervisor
 from repro.obs import metrics as obs_metrics
 from repro.obs import progress as obs_progress
 from repro.obs import trace as obs_trace
@@ -86,6 +99,16 @@ class RunnerConfig:
         backoff_base: first retry delay in seconds; attempt *k* waits
             ``backoff_base * 2**(k-1)``, jittered.
         backoff_seed: seed for the deterministic backoff jitter.
+        heartbeat_interval: seconds between worker heartbeat stamps
+            (parallel mode only).
+        hang_timeout: a busy worker whose heartbeat is staler than this
+            is declared hung, killed, and its setup failed over.
+        max_respawns: replacement workers the supervised pool may start
+            before the sweep degrades to in-process execution.
+        journal_max_records: auto-compact the checkpoint journal after a
+            completed sweep when it holds more than this many
+            (measurement + aux) records; None disables.
+        journal_max_bytes: likewise, by file size; None disables.
     """
 
     jobs: int = 1
@@ -94,12 +117,30 @@ class RunnerConfig:
     max_retries: int = 2
     backoff_base: float = 0.05
     backoff_seed: int = 0
+    heartbeat_interval: float = 0.2
+    hang_timeout: float = 5.0
+    max_respawns: int = 8
+    journal_max_records: Optional[int] = None
+    journal_max_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be > 0")
+        if self.hang_timeout <= self.heartbeat_interval:
+            raise ValueError(
+                "hang_timeout must exceed heartbeat_interval "
+                f"({self.hang_timeout} <= {self.heartbeat_interval})"
+            )
+        if self.max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0")
+        for name in ("journal_max_records", "journal_max_bytes"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1 or None")
 
     def backoff_delay(self, key: str, attempt: int) -> float:
         """Seeded exponential backoff before (1-based) ``attempt``.
@@ -160,6 +201,11 @@ class SweepReport:
     #: the same plan snapshot identically; wall-clock metrics live in the
     #: provenance manifest instead).
     metrics: Dict[str, Any] = field(default_factory=dict)
+    #: True when the supervised pool exhausted its respawn budget and
+    #: the sweep fell back to in-process execution.  Never a silent
+    #: partial table: every setup the pool failed to measure is named.
+    degraded: bool = False
+    degraded_setups: List[str] = field(default_factory=list)
 
     def accounted(self) -> bool:
         return (
@@ -182,6 +228,8 @@ class SweepReport:
             "quarantined": [q.to_dict() for q in self.quarantined],
             "statuses": list(self.statuses),
             "metrics": dict(self.metrics),
+            "degraded": self.degraded,
+            "degraded_setups": list(self.degraded_setups),
         }
 
     def to_json(self) -> str:
@@ -201,6 +249,14 @@ class SweepReport:
                 f"\n  QUARANTINED [{q.index}] {q.setup}: {q.error_type} "
                 f"({q.fate}, {q.attempts} attempts): {q.message}"
             )
+        if self.degraded:
+            line += (
+                f"\n  DEGRADED: worker respawn budget exhausted; "
+                f"{len(self.degraded_setups)} setup(s) finished serially "
+                "in-process:"
+            )
+            for setup in self.degraded_setups:
+                line += f"\n    {setup}"
         return line
 
 
@@ -254,6 +310,11 @@ class Journal:
         #: Auxiliary (non-measurement) records found by :meth:`load`,
         #: e.g. metrics snapshots appended at the end of each run.
         self.aux: List[Dict] = []
+        #: Cumulative count of torn/corrupt lines this journal has ever
+        #: dropped, persisted in the header across rewrites.  Also the
+        #: attempt dimension for ``journal_torn_write`` fault draws, so
+        #: a *transient* injected tear stops re-firing once recovered.
+        self.recovered_torn = 0
 
     # -- reading ----------------------------------------------------------
 
@@ -289,6 +350,7 @@ class Journal:
                 "setup list changed); refusing to resume from it",
                 path=self.path,
             )
+        self.recovered_torn = _header_torn_count(header)
         done: Dict[int, Dict] = {}
         self.aux = []
         valid_lines = [lines[0]]
@@ -308,10 +370,16 @@ class Journal:
             dropped += 1
         if dropped:
             # Compact: rewrite without torn records so later appends
-            # don't land after a corrupt line (atomic replace).
+            # don't land after a corrupt line (atomic replace).  The
+            # header keeps the running recovery count.
+            self.recovered_torn += dropped
+            header["torn_recovered"] = self.recovered_torn
+            valid_lines[0] = json.dumps(header, sort_keys=True)
             tmp = self.path + ".tmp"
             with open(tmp, "w") as fh:
                 fh.write("\n".join(valid_lines) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, self.path)
         return done
 
@@ -365,18 +433,39 @@ class Journal:
                 "format": JOURNAL_FORMAT,
                 "sweep": self.sweep,
                 "note": note,
+                "torn_recovered": self.recovered_torn,
             }
             self._write_line(json.dumps(header, sort_keys=True))
 
-    def append(self, index: int, data: Dict) -> None:
-        """Journal one completed measurement (durable before returning)."""
+    def append(
+        self, index: int, data: Dict, fault_key: Optional[str] = None
+    ) -> None:
+        """Journal one completed measurement (durable before returning).
+
+        ``fault_key`` opts the append into ``journal_torn_write``
+        injection: when the active plan fires, half the record reaches
+        disk and :class:`~repro.faults.TornWrite` unwinds the sweep —
+        exactly what a crash mid-append does.  The draw's attempt
+        dimension is the journal's cumulative recovery count, so a
+        transient tear fires once and clears on the resumed run.
+        """
         assert self._fh is not None, "journal not opened for append"
         rec = {
             "index": index,
             "measurement": data,
             "sha256": record_checksum(data),
         }
-        self._write_line(canonical_json(rec))
+        line = canonical_json(rec)
+        if fault_key is not None and faults.should_inject_at(
+            "journal_torn_write", fault_key, self.recovered_torn + 1
+        ):
+            self._fh.write(line[: len(line) // 2])
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            raise faults.TornWrite(
+                f"injected torn journal write at setup {index}"
+            )
+        self._write_line(line)
 
     def append_aux(self, kind: str, data: Dict) -> None:
         """Journal a checksummed non-measurement record (e.g. the
@@ -400,6 +489,168 @@ class Journal:
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+
+
+def _header_torn_count(header: Dict) -> int:
+    try:
+        return max(0, int(header.get("torn_recovered", 0) or 0))
+    except (TypeError, ValueError):
+        return 0
+
+
+# -- journal compaction -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompactionStats:
+    """What one :func:`compact_journal` pass did."""
+
+    path: str
+    bytes_before: int
+    bytes_after: int
+    records_before: int
+    records_after: int
+    aux_before: int
+    aux_after: int
+    dropped_corrupt: int
+
+    def summary_line(self) -> str:
+        line = (
+            f"compacted {self.path}: "
+            f"{self.records_before} -> {self.records_after} records, "
+            f"{self.aux_before} -> {self.aux_after} aux, "
+            f"{self.bytes_before} -> {self.bytes_after} bytes"
+        )
+        if self.dropped_corrupt:
+            line += f", dropped {self.dropped_corrupt} corrupt line(s)"
+        return line
+
+
+def journal_needs_compaction(
+    path: str,
+    max_records: Optional[int] = None,
+    max_bytes: Optional[int] = None,
+) -> bool:
+    """Does the journal at ``path`` exceed either growth threshold?"""
+    if not os.path.exists(path):
+        return False
+    if max_bytes is not None and os.path.getsize(path) > max_bytes:
+        return True
+    if max_records is not None:
+        with open(path) as fh:
+            lines = sum(1 for line in fh if line.strip())
+        return lines - 1 > max_records  # header excluded
+    return False
+
+
+def compact_journal(path: str) -> CompactionStats:
+    """Atomically rewrite a journal down to its resume-relevant content.
+
+    A much-resumed (or fault-ridden) journal accumulates stale lines:
+    one metrics aux record per completed run, superseded duplicates,
+    torn fragments.  Compaction keeps the **latest** valid measurement
+    record per setup index (sorted by index) and the latest aux record
+    per kind, drops everything corrupt, and bumps the header's
+    ``torn_recovered`` count by the lines dropped.
+
+    The rewrite is crash-safe and verified: the compacted journal is
+    written to a temp file, fsynced, re-read with every checksum
+    re-verified, and only then moved over the original with
+    ``os.replace``.  On any verification failure the original journal is
+    left untouched.
+    """
+    if not os.path.exists(path):
+        raise ArchiveCorruption("journal does not exist", path=path)
+    bytes_before = os.path.getsize(path)
+    with open(path) as fh:
+        lines = fh.read().splitlines()
+    if not lines:
+        raise ArchiveCorruption("journal is empty", path=path)
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise ArchiveCorruption(
+            f"journal header is not valid JSON: {exc}", path=path
+        ) from exc
+    if not isinstance(header, dict) or header.get("format") != JOURNAL_FORMAT:
+        raise ArchiveCorruption(
+            f"not a {JOURNAL_FORMAT} journal; refusing to compact",
+            path=path,
+        )
+    latest: Dict[int, str] = {}
+    latest_aux: Dict[str, str] = {}
+    records_before = aux_before = dropped = 0
+    for line in lines[1:]:
+        rec = Journal._parse_record(line)
+        if rec is not None:
+            records_before += 1
+            latest[rec[0]] = line
+            continue
+        aux = Journal._parse_aux(line)
+        if aux is not None:
+            aux_before += 1
+            latest_aux[aux["kind"]] = line
+            continue
+        if line.strip():
+            dropped += 1
+    header["torn_recovered"] = _header_torn_count(header) + dropped
+    out = [json.dumps(header, sort_keys=True)]
+    out += [latest[index] for index in sorted(latest)]
+    out += [latest_aux[kind] for kind in sorted(latest_aux)]
+    tmp = path + ".compact"
+    with open(tmp, "w") as fh:
+        fh.write("\n".join(out) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    _verify_compacted_journal(tmp, len(latest), len(latest_aux))
+    os.replace(tmp, path)
+    return CompactionStats(
+        path=path,
+        bytes_before=bytes_before,
+        bytes_after=os.path.getsize(path),
+        records_before=records_before,
+        records_after=len(latest),
+        aux_before=aux_before,
+        aux_after=len(latest_aux),
+        dropped_corrupt=dropped,
+    )
+
+
+def _verify_compacted_journal(
+    tmp: str, expect_records: int, expect_aux: int
+) -> None:
+    """Integrity re-read before the atomic swap: every line must parse
+    and every checksum must hold, or the original stays untouched."""
+    with open(tmp) as fh:
+        lines = fh.read().splitlines()
+    problems: List[str] = []
+    try:
+        header = json.loads(lines[0]) if lines else None
+    except json.JSONDecodeError:
+        header = None
+    if not isinstance(header, dict) or header.get("format") != JOURNAL_FORMAT:
+        problems.append("header failed to re-parse")
+    ok_records = ok_aux = 0
+    for line in lines[1:]:
+        if Journal._parse_record(line) is not None:
+            ok_records += 1
+        elif Journal._parse_aux(line) is not None:
+            ok_aux += 1
+        else:
+            problems.append("a rewritten line failed its checksum")
+    if ok_records != expect_records or ok_aux != expect_aux:
+        problems.append(
+            f"expected {expect_records} records + {expect_aux} aux, "
+            f"re-read {ok_records} + {ok_aux}"
+        )
+    if problems:
+        os.remove(tmp)
+        raise ArchiveCorruption(
+            "journal compaction failed verification ("
+            + "; ".join(sorted(set(problems)))
+            + "); original left untouched",
+            path=tmp,
+        )
 
 
 # -- worker side ------------------------------------------------------------
@@ -551,7 +802,12 @@ class SweepRunner:
             size=exp.size,
             setups=len(setups),
             jobs=self.config.jobs,
-        ) as sweep_span:
+        ) as sweep_span, faults.injected_faults(
+            # Scoped here (not per-path) so parent-side journal appends
+            # see the plan too — journal_torn_write fires identically in
+            # serial and parallel sweeps.
+            self.fault_plan if self.fault_plan is not None else faults.active()
+        ):
             journal: Optional[Journal] = None
             resumed_indices: set = set()
             if self.journal_path is not None:
@@ -575,13 +831,16 @@ class SweepRunner:
             )
             pending = [i for i in range(len(setups)) if results[i] is None]
             try:
-                if self.config.jobs == 1:
+                if not pending:
+                    pass  # everything resumed; nothing to dispatch
+                elif self.config.jobs == 1:
                     self._run_serial(
                         setups, pending, results, report, journal, mreg
                     )
                 else:
                     self._run_parallel(
-                        setups, pending, results, report, journal, mreg
+                        setups, pending, results, report, journal, mreg,
+                        sweep_span,
                     )
                 report.metrics = mreg.counters()
                 if journal is not None:
@@ -592,6 +851,19 @@ class SweepRunner:
             finally:
                 if journal is not None:
                     journal.close()
+
+            if journal is not None and journal_needs_compaction(
+                journal.path,
+                self.config.journal_max_records,
+                self.config.journal_max_bytes,
+            ):
+                stats = compact_journal(journal.path)
+                obs_trace.instant(
+                    "journal_compacted",
+                    category="runner",
+                    records=stats.records_after,
+                    bytes=stats.bytes_after,
+                )
 
             report.statuses = [
                 "resumed"
@@ -620,78 +892,81 @@ class SweepRunner:
         report: SweepReport,
         journal: Optional[Journal],
         mreg: obs_metrics.MetricsRegistry,
+        start_attempts: Optional[Dict[int, int]] = None,
     ) -> None:
         cfg = self.config
         exp = self.experiment
-        with faults.injected_faults(
-            self.fault_plan if self.fault_plan is not None else faults.active()
-        ):
-            for index in pending:
-                setup = setups[index]
-                key = faults.fault_key(
-                    exp.workload.name, exp.size, exp.seed, setup
-                )
-                attempt = 1
-                with obs_trace.span(
-                    "setup",
-                    category="runner",
-                    index=index,
-                    setup=setup.describe(),
-                ) as setup_span:
-                    while True:
-                        faults.begin_attempt(key, attempt)
-                        mreg.counter("sweep.attempts").inc()
-                        delay = cfg.backoff_delay(key, attempt)
-                        if delay > 0:
-                            self._sleep(delay)
-                        try:
-                            with _wall_clock_deadline(cfg.timeout):
-                                m = exp.run(setup, max_cycles=cfg.max_cycles)
-                        except Exception as exc:  # noqa: BLE001
-                            if is_retryable(exc) and attempt <= cfg.max_retries:
-                                report.retries += 1
-                                mreg.counter("sweep.retries").inc()
-                                self.progress.retry(
-                                    index,
-                                    setup.describe(),
-                                    attempt,
-                                    type(exc).__name__,
-                                    str(exc),
-                                )
-                                attempt += 1
-                                continue
-                            entry = QuarantineEntry(
-                                index=index,
-                                setup=setup.describe(),
-                                error_type=type(exc).__name__,
-                                message=str(exc),
-                                fate=classify(exc),
-                                attempts=attempt,
-                            )
-                            report.quarantined.append(entry)
-                            mreg.counter("sweep.setups_quarantined").inc()
-                            setup_span.set(
-                                status="quarantined", attempts=attempt
-                            )
-                            self.progress.quarantined(
+        for index in pending:
+            setup = setups[index]
+            key = faults.fault_key(
+                exp.workload.name, exp.size, exp.seed, setup
+            )
+            # A degraded sweep hands over each setup's in-flight attempt
+            # number, so its remaining retry budget carries across the
+            # failover instead of resetting (the double-count fix).
+            attempt = (start_attempts or {}).get(index, 1)
+            with obs_trace.span(
+                "setup",
+                category="runner",
+                index=index,
+                setup=setup.describe(),
+            ) as setup_span:
+                while True:
+                    faults.begin_attempt(key, attempt)
+                    mreg.counter("sweep.attempts").inc()
+                    delay = cfg.backoff_delay(key, attempt)
+                    if delay > 0:
+                        self._sleep(delay)
+                    try:
+                        with _wall_clock_deadline(cfg.timeout):
+                            m = exp.run(setup, max_cycles=cfg.max_cycles)
+                    except Exception as exc:  # noqa: BLE001
+                        if is_retryable(exc) and attempt <= cfg.max_retries:
+                            report.retries += 1
+                            mreg.counter("sweep.retries").inc()
+                            self.progress.retry(
                                 index,
-                                entry.setup,
-                                entry.error_type,
-                                entry.fate,
-                                entry.attempts,
-                                entry.message,
+                                setup.describe(),
+                                attempt,
+                                type(exc).__name__,
+                                str(exc),
                             )
-                            break
-                        results[index] = m
-                        report.measured += 1
-                        mreg.counter("sweep.setups_measured").inc()
-                        if journal is not None:
-                            journal.append(index, measurement_to_dict(m))
-                        setup_span.set(status="measured", attempts=attempt)
-                        self.progress.setup_finished(
-                            index, setup.describe(), "measured", attempts=attempt
+                            attempt += 1
+                            continue
+                        entry = QuarantineEntry(
+                            index=index,
+                            setup=setup.describe(),
+                            error_type=type(exc).__name__,
+                            message=str(exc),
+                            fate=classify(exc),
+                            attempts=attempt,
+                        )
+                        report.quarantined.append(entry)
+                        mreg.counter("sweep.setups_quarantined").inc()
+                        setup_span.set(
+                            status="quarantined", attempts=attempt
+                        )
+                        self.progress.quarantined(
+                            index,
+                            entry.setup,
+                            entry.error_type,
+                            entry.fate,
+                            entry.attempts,
+                            entry.message,
                         )
                         break
+                    results[index] = m
+                    report.measured += 1
+                    mreg.counter("sweep.setups_measured").inc()
+                    if journal is not None:
+                        journal.append(
+                            index, measurement_to_dict(m), fault_key=key
+                        )
+                    setup_span.set(status="measured", attempts=attempt)
+                    self.progress.setup_finished(
+                        index, setup.describe(), "measured", attempts=attempt
+                    )
+                    break
 
     # -- parallel path ----------------------------------------------------
 
@@ -703,6 +978,7 @@ class SweepRunner:
         report: SweepReport,
         journal: Optional[Journal],
         mreg: obs_metrics.MetricsRegistry,
+        sweep_span: Optional[obs_trace.Span] = None,
     ) -> None:
         cfg = self.config
         exp = self.experiment
@@ -712,80 +988,170 @@ class SweepRunner:
             exp.seed,
             exp.verify,
         )
+        tracer = obs_trace.active()
 
-        def submit(pool, index: int, attempt: int):
-            setup = setups[index]
-            key = faults.fault_key(wl, size, seed, setup)
+        def key_of(index: int) -> str:
+            return faults.fault_key(wl, size, seed, setups[index])
+
+        def make_task(index: int, attempt: int) -> supervisor.Task:
+            key = key_of(index)
             payload = (
-                index, wl, size, seed, setup, verify, attempt,
+                index, wl, size, seed, setups[index], verify, attempt,
                 cfg.timeout, cfg.max_cycles,
                 cfg.backoff_delay(key, attempt),
             )
-            mreg.counter("sweep.attempts").inc()
-            return pool.submit(_measure_task, payload)
+            return supervisor.Task(
+                index=index, key=key, attempt=attempt, payload=payload
+            )
 
-        with ProcessPoolExecutor(
-            max_workers=min(cfg.jobs, max(1, len(pending))),
-            initializer=_pool_initializer,
-            initargs=(self.fault_plan,),
-        ) as pool:
-            futures = {submit(pool, i, 1) for i in pending}
-            while futures:
-                finished, futures = wait(futures, return_when=FIRST_COMPLETED)
-                for fut in finished:
-                    kind, index, attempt, data = fut.result()
-                    if kind == "ok":
-                        m = load_measurement_record(data, record=index)
-                        m = replace(m, setup=setups[index])
-                        results[index] = m
-                        report.measured += 1
-                        mreg.counter("sweep.setups_measured").inc()
-                        if journal is not None:
-                            journal.append(index, data)
-                        # Workers trace into their own (discarded)
-                        # tracers; mark the completion in the parent's
-                        # timeline instead.
-                        obs_trace.instant(
-                            "measured", category="runner", index=index
-                        )
-                        self.progress.setup_finished(
-                            index,
-                            setups[index].describe(),
-                            "measured",
-                            attempts=attempt,
-                        )
-                        continue
-                    if data["retryable"] and attempt <= cfg.max_retries:
-                        report.retries += 1
-                        mreg.counter("sweep.retries").inc()
-                        self.progress.retry(
-                            index,
-                            setups[index].describe(),
-                            attempt,
-                            data["error_type"],
-                            data["message"],
-                        )
-                        futures.add(submit(pool, index, attempt + 1))
-                        continue
-                    entry = QuarantineEntry(
-                        index=index,
-                        setup=setups[index].describe(),
-                        error_type=data["error_type"],
-                        message=data["message"],
-                        fate=data["fate"],
+        pool = supervisor.SupervisedPool(
+            workers=min(cfg.jobs, max(1, len(pending))),
+            task_fn=_measure_task,
+            fault_plan=faults.active(),
+            heartbeat_interval=cfg.heartbeat_interval,
+            hang_timeout=cfg.hang_timeout,
+            max_respawns=cfg.max_respawns,
+            tracing=tracer.enabled,
+        )
+        outstanding = set(pending)
+        # In-flight attempt per still-outstanding setup; feeds the
+        # degraded serial fallback so failover never re-runs or
+        # double-counts a retry.
+        attempts_now: Dict[int, int] = {i: 1 for i in pending}
+        seen: set = set()  # (index, attempt) outcomes already handled
+        try:
+            for index in pending:
+                pool.submit(make_task(index, 1))
+            while outstanding:
+                event = pool.poll()
+                if event is None or event.kind == "degraded":
+                    break
+                if event.kind in ("crash", "hang"):
+                    self._worker_failed(event)
+                    continue
+                if event.kind == "respawn":
+                    obs_metrics.counter("supervisor.respawns").inc()
+                    obs_trace.instant(
+                        "worker_respawn",
+                        category="supervisor",
+                        worker=event.worker,
+                    )
+                    self.progress.worker_event("respawn", event.worker)
+                    continue
+                kind, index, attempt, data = event.result
+                if index not in outstanding or (index, attempt) in seen:
+                    continue  # salvaged duplicate after failover
+                seen.add((index, attempt))
+                # Attempts are counted as outcomes arrive: a crashed
+                # dispatch yields no outcome and is re-dispatched at the
+                # same attempt, so the counter matches the serial sweep
+                # (where every try produces exactly one outcome).
+                mreg.counter("sweep.attempts").inc()
+                if event.records:
+                    tracer.graft(
+                        event.records,
+                        parent=sweep_span,
+                        alias=f"setup@{index}.{attempt}",
+                    )
+                if kind == "ok":
+                    m = load_measurement_record(data, record=index)
+                    m = replace(m, setup=setups[index])
+                    results[index] = m
+                    report.measured += 1
+                    mreg.counter("sweep.setups_measured").inc()
+                    if journal is not None:
+                        journal.append(index, data, fault_key=key_of(index))
+                    obs_trace.instant(
+                        "measured", category="runner", index=index
+                    )
+                    self.progress.setup_finished(
+                        index,
+                        setups[index].describe(),
+                        "measured",
                         attempts=attempt,
                     )
-                    report.quarantined.append(entry)
-                    mreg.counter("sweep.setups_quarantined").inc()
-                    obs_trace.instant(
-                        "quarantined", category="runner", index=index
-                    )
-                    self.progress.quarantined(
+                    outstanding.discard(index)
+                    attempts_now.pop(index, None)
+                    continue
+                if data["retryable"] and attempt <= cfg.max_retries:
+                    report.retries += 1
+                    mreg.counter("sweep.retries").inc()
+                    self.progress.retry(
                         index,
-                        entry.setup,
-                        entry.error_type,
-                        entry.fate,
-                        entry.attempts,
-                        entry.message,
+                        setups[index].describe(),
+                        attempt,
+                        data["error_type"],
+                        data["message"],
                     )
+                    attempts_now[index] = attempt + 1
+                    pool.submit(make_task(index, attempt + 1))
+                    continue
+                entry = QuarantineEntry(
+                    index=index,
+                    setup=setups[index].describe(),
+                    error_type=data["error_type"],
+                    message=data["message"],
+                    fate=data["fate"],
+                    attempts=attempt,
+                )
+                report.quarantined.append(entry)
+                mreg.counter("sweep.setups_quarantined").inc()
+                obs_trace.instant(
+                    "quarantined", category="runner", index=index
+                )
+                self.progress.quarantined(
+                    index,
+                    entry.setup,
+                    entry.error_type,
+                    entry.fate,
+                    entry.attempts,
+                    entry.message,
+                )
+                outstanding.discard(index)
+                attempts_now.pop(index, None)
+        finally:
+            pool.close()
+        if outstanding:
+            # Respawn budget exhausted: degrade honestly — name every
+            # setup the pool failed to measure and finish them serially
+            # in-process, never publish a silent partial table.
+            remaining = sorted(outstanding)
+            report.degraded = True
+            report.degraded_setups = [setups[i].describe() for i in remaining]
+            obs_metrics.counter("supervisor.degraded_sweeps").inc()
+            obs_trace.instant(
+                "degraded", category="supervisor", remaining=len(remaining)
+            )
+            self.progress.worker_event(
+                "degraded",
+                -1,
+                detail=(
+                    f"finishing {len(remaining)} setup(s) serially "
+                    "in-process"
+                ),
+            )
+            self._run_serial(
+                setups,
+                remaining,
+                results,
+                report,
+                journal,
+                mreg,
+                start_attempts={i: attempts_now.get(i, 1) for i in remaining},
+            )
         report.quarantined.sort(key=lambda q: q.index)
+
+    def _worker_failed(self, event: supervisor.PoolEvent) -> None:
+        name = {
+            "crash": "supervisor.worker_crashes",
+            "hang": "supervisor.worker_hangs",
+        }[event.kind]
+        obs_metrics.counter(name).inc()
+        index = event.task.index if event.task is not None else None
+        obs_trace.instant(
+            "worker_" + event.kind,
+            category="supervisor",
+            worker=event.worker,
+            index=index,
+        )
+        self.progress.worker_event(event.kind, event.worker, index=index)

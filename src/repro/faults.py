@@ -20,9 +20,29 @@ synthetic exception thrown from the outside):
 - ``"verify"`` — the run's exit value is flipped, tripping the
   self-checking verification against the Python reference.
 
+Process-level chaos kinds (:data:`PROCESS_KINDS`) target the sweep
+*infrastructure* instead of a measurement, so the supervised worker
+pool's failure paths (:mod:`repro.core.supervisor`) are just as
+testable:
+
+- ``"worker_crash"`` — the worker process dies without warning
+  (``os._exit``, as a segfault or OOM kill would),
+- ``"worker_hang"`` — the worker process wedges: its heartbeat stops
+  and it never returns a result, so only the supervisor's
+  missed-heartbeat deadline can recover the sweep,
+- ``"journal_torn_write"`` — the process dies mid-journal-append,
+  leaving a truncated record for resume-time recovery to drop
+  (:exc:`TornWrite` simulates the death).
+
+For process kinds the "attempt" dimension of a draw is the *dispatch*
+(or recovery) count, not the measurement's retry attempt — a worker
+crash is an infrastructure fault and must not consume the
+measurement's retry budget.
+
 Faults are *transient* or *permanent*: a transient fault clears after a
 plan-chosen number of attempts (exercising the retry path), a permanent
-one fires on every attempt (exercising quarantine).
+one fires on every attempt (exercising quarantine — or, for process
+kinds, the respawn budget and degraded mode).
 
 Usage::
 
@@ -38,16 +58,34 @@ initializer so injection is identical in serial and parallel sweeps.
 from __future__ import annotations
 
 import hashlib
+import json
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Dict, Iterator, Optional
 
+#: Fault kinds injected into one measurement's substrate path.
+MEASUREMENT_KINDS = ("build", "hang", "counters", "verify")
+
+#: Process-level chaos kinds targeting the sweep infrastructure.
+PROCESS_KINDS = ("worker_crash", "worker_hang", "journal_torn_write")
+
 #: Every fault kind a plan can inject.
-KINDS = ("build", "hang", "counters", "verify")
+KINDS = MEASUREMENT_KINDS + PROCESS_KINDS
 
 #: Cycle budget forced onto a run when a "hang" fault fires — far below
 #: any real workload, so the engine's watchdog is guaranteed to trip.
 HANG_CYCLE_BUDGET = 512.0
+
+
+class TornWrite(BaseException):
+    """An injected ``journal_torn_write`` fault: the process "died"
+    mid-append, leaving a truncated record on disk.
+
+    Derives from :class:`BaseException` on purpose — a real crash is not
+    catchable by the runner's per-measurement ``except Exception``
+    recovery, and neither is this; it unwinds the whole sweep exactly
+    like a kill would, and resume-time recovery does the rest.
+    """
 
 
 def _uniform(seed: int, tag: str, key: str) -> float:
@@ -82,6 +120,10 @@ class FaultPlan:
             identically.
         build_rate / hang_rate / counter_rate / verify_rate: per-kind
             probability that a given measurement is faulted.
+        worker_crash_rate / worker_hang_rate / torn_write_rate: per-kind
+            probability that a given measurement's *infrastructure* is
+            faulted (the worker process dies, wedges, or tears a journal
+            write).
         transient_fraction: of injected faults, the fraction that clear
             after a bounded number of attempts (the rest are permanent
             and can only be quarantined).
@@ -94,6 +136,9 @@ class FaultPlan:
     hang_rate: float = 0.0
     counter_rate: float = 0.0
     verify_rate: float = 0.0
+    worker_crash_rate: float = 0.0
+    worker_hang_rate: float = 0.0
+    torn_write_rate: float = 0.0
     transient_fraction: float = 1.0
     max_transient_attempts: int = 2
 
@@ -103,6 +148,9 @@ class FaultPlan:
             "hang": self.hang_rate,
             "counters": self.counter_rate,
             "verify": self.verify_rate,
+            "worker_crash": self.worker_crash_rate,
+            "worker_hang": self.worker_hang_rate,
+            "journal_torn_write": self.torn_write_rate,
         }[kind]
 
     def fires(self, kind: str, key: str, attempt: int) -> bool:
@@ -126,6 +174,84 @@ class FaultPlan:
             f"{k}={self._rate(k):g}" for k in KINDS if self._rate(k) > 0
         )
         return f"FaultPlan(seed={self.seed}, {rates or 'no faults'})"
+
+
+#: Spec-key aliases accepted by :func:`parse_plan`, mapping the fault
+#: kind names users think in onto the plan's field names.
+_PLAN_ALIASES = {
+    "build": "build_rate",
+    "hang": "hang_rate",
+    "counters": "counter_rate",
+    "verify": "verify_rate",
+    "worker_crash": "worker_crash_rate",
+    "worker_hang": "worker_hang_rate",
+    "journal_torn_write": "torn_write_rate",
+    "torn": "torn_write_rate",
+    "transient": "transient_fraction",
+}
+
+_INT_FIELDS = ("seed", "max_transient_attempts")
+
+
+def parse_plan(spec: str) -> FaultPlan:
+    """Parse a fault-plan spec from the CLI or an environment variable.
+
+    Two forms are accepted:
+
+    - a JSON object: ``'{"seed": 3, "worker_crash_rate": 0.4}'``
+    - a ``k=v`` shorthand: ``'seed=3,worker_crash=0.4,transient=1.0'``
+
+    Keys are :class:`FaultPlan` field names or the fault-kind aliases in
+    :data:`_PLAN_ALIASES`.  Unknown keys raise :class:`ValueError` — a
+    typo'd chaos spec silently injecting nothing would defeat the point.
+    """
+    field_names = {f.name for f in fields(FaultPlan)}
+
+    def resolve(key: str) -> str:
+        name = _PLAN_ALIASES.get(key, key)
+        if name not in field_names:
+            raise ValueError(
+                f"unknown fault-plan key {key!r}; expected one of "
+                f"{sorted(field_names | set(_PLAN_ALIASES))}"
+            )
+        return name
+
+    spec = spec.strip()
+    if not spec:
+        raise ValueError("empty fault-plan spec")
+    if spec.startswith("{"):
+        try:
+            raw = json.loads(spec)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"bad fault-plan JSON: {exc}") from exc
+        if not isinstance(raw, dict):
+            raise ValueError("fault-plan JSON must be an object")
+        items = raw.items()
+    else:
+        items = []
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(
+                    f"bad fault-plan entry {part!r}: expected key=value"
+                )
+            key, _, value = part.partition("=")
+            items.append((key.strip(), value.strip()))
+
+    kwargs = {}
+    for key, value in items:
+        name = resolve(key)
+        try:
+            kwargs[name] = (
+                int(value) if name in _INT_FIELDS else float(value)
+            )
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"bad fault-plan value for {key!r}: {value!r}"
+            ) from exc
+    return FaultPlan(**kwargs)
 
 
 # -- active-plan plumbing ---------------------------------------------------
@@ -169,6 +295,19 @@ def should_inject(kind: str, key: str) -> bool:
     if plan is None:
         return False
     return plan.fires(kind, key, _ATTEMPTS.get(key, 1))
+
+
+def should_inject_at(kind: str, key: str, attempt: int) -> bool:
+    """Like :func:`should_inject`, at an explicit attempt.
+
+    Used for :data:`PROCESS_KINDS`, whose attempt dimension (the
+    parent's dispatch or recovery count) is not the measurement attempt
+    tracked by :func:`begin_attempt`.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return False
+    return plan.fires(kind, key, attempt)
 
 
 @contextmanager

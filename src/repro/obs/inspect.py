@@ -23,24 +23,55 @@ from repro.obs.trace import TRACE_FORMAT
 __all__ = [
     "diff_manifests",
     "diff_traces",
+    "is_journal",
     "is_manifest",
     "is_trace",
     "load_json_artifact",
     "merge_traces",
+    "summarize_journal",
     "summarize_manifest",
     "summarize_trace",
+    "validate_journal",
     "validate_manifest",
     "validate_trace",
 ]
 
 
 def load_json_artifact(path: str) -> Dict[str, Any]:
-    """Load a trace or manifest file, raising ArchiveCorruption on junk."""
+    """Load a trace, manifest, or checkpoint-journal file, raising
+    ArchiveCorruption on junk.
+
+    Journals are JSON *Lines*, not one JSON document; they are detected
+    by their header line and wrapped as ``{"journal": {...}}`` so the
+    same dispatch (``is_trace``/``is_manifest``/``is_journal``) covers
+    all three artifact families.
+    """
     from repro._errors import ArchiveCorruption
 
     try:
         with open(path) as fh:
-            data = json.load(fh)
+            text = fh.read()
+    except OSError as exc:
+        raise ArchiveCorruption(f"unreadable artifact: {exc}", path=path) from exc
+    first, _, _ = text.partition("\n")
+    try:
+        head = json.loads(first) if first.strip() else None
+    except json.JSONDecodeError:
+        head = None
+    if (
+        isinstance(head, dict)
+        and isinstance(head.get("format"), str)
+        and head["format"].endswith("-journal")
+    ):
+        return {
+            "journal": {
+                "path": path,
+                "header": head,
+                "lines": text.splitlines()[1:],
+            }
+        }
+    try:
+        data = json.loads(text)
     except json.JSONDecodeError as exc:
         raise ArchiveCorruption(
             f"not valid JSON: {exc}", path=path
@@ -56,6 +87,10 @@ def is_trace(data: Dict[str, Any]) -> bool:
 
 def is_manifest(data: Dict[str, Any]) -> bool:
     return data.get("format") == MANIFEST_FORMAT
+
+
+def is_journal(data: Dict[str, Any]) -> bool:
+    return "journal" in data
 
 
 # -- traces ------------------------------------------------------------------
@@ -299,3 +334,98 @@ def diff_manifests(a: Dict[str, Any], b: Dict[str, Any]) -> str:
 def _short(value: Any, limit: int = 48) -> str:
     text = str(value)
     return text if len(text) <= limit else text[: limit - 1] + "…"
+
+
+# -- checkpoint journals -----------------------------------------------------
+
+
+def validate_journal(data: Dict[str, Any]) -> List[str]:
+    """Integrity check of a sweep checkpoint journal (empty == valid).
+
+    Flags torn/corrupt lines and *stale* duplicates (superseded records
+    that ``repro journal compact`` would fold away); both are recoverable
+    — resume drops them — but a clean journal has neither.
+    """
+    from repro.core.runner import JOURNAL_FORMAT, Journal
+
+    j = data.get("journal") or {}
+    header = j.get("header") or {}
+    errors: List[str] = []
+    if header.get("format") != JOURNAL_FORMAT:
+        errors.append(
+            f"journal header format is {header.get('format')!r}, "
+            f"expected {JOURNAL_FORMAT!r}"
+        )
+    if not isinstance(header.get("sweep"), str) or not header.get("sweep"):
+        errors.append("journal header lacks a sweep id")
+    seen_records: set = set()
+    seen_aux: set = set()
+    for lineno, line in enumerate(j.get("lines") or [], start=2):
+        if not line.strip():
+            continue
+        rec = Journal._parse_record(line)
+        if rec is not None:
+            if rec[0] in seen_records:
+                errors.append(
+                    f"line {lineno}: stale duplicate record for setup "
+                    f"{rec[0]} (run `repro journal compact`)"
+                )
+            seen_records.add(rec[0])
+            continue
+        aux = Journal._parse_aux(line)
+        if aux is not None:
+            if aux["kind"] in seen_aux:
+                errors.append(
+                    f"line {lineno}: stale duplicate {aux['kind']!r} aux "
+                    "record (run `repro journal compact`)"
+                )
+            seen_aux.add(aux["kind"])
+            continue
+        errors.append(
+            f"line {lineno}: torn or corrupt record (dropped on resume)"
+        )
+    return errors
+
+
+def summarize_journal(data: Dict[str, Any]) -> str:
+    """One checkpoint journal's contents as a property table."""
+    from repro.core.report import render_table
+    from repro.core.runner import Journal
+
+    j = data.get("journal") or {}
+    header = j.get("header") or {}
+    indices: List[int] = []
+    aux_kinds: Dict[str, int] = {}
+    corrupt = 0
+    for line in j.get("lines") or []:
+        if not line.strip():
+            continue
+        rec = Journal._parse_record(line)
+        if rec is not None:
+            indices.append(rec[0])
+            continue
+        aux = Journal._parse_aux(line)
+        if aux is not None:
+            aux_kinds[aux["kind"]] = aux_kinds.get(aux["kind"], 0) + 1
+            continue
+        corrupt += 1
+    stale = len(indices) - len(set(indices)) + sum(
+        n - 1 for n in aux_kinds.values()
+    )
+    rows = [
+        ["sweep", str(header.get("sweep", "?"))[:12]],
+        ["note", header.get("note") or "(none)"],
+        ["measurement records", len(indices)],
+        ["distinct setups", len(set(indices))],
+        [
+            "aux records",
+            ", ".join(f"{k}×{n}" for k, n in sorted(aux_kinds.items()))
+            or "none",
+        ],
+        ["torn/corrupt lines", corrupt],
+        ["torn writes recovered", header.get("torn_recovered", 0)],
+        ["stale lines (compactable)", stale],
+    ]
+    return render_table(
+        ["property", "value"], rows, title=f"journal ({j.get('path', '?')})"
+    )

@@ -150,6 +150,9 @@ def build_manifest(
             "max_retries": runner_config.max_retries,
             "backoff_base": runner_config.backoff_base,
             "backoff_seed": runner_config.backoff_seed,
+            "heartbeat_interval": runner_config.heartbeat_interval,
+            "hang_timeout": runner_config.hang_timeout,
+            "max_respawns": runner_config.max_respawns,
         }
     else:
         manifest["runner"] = None

@@ -53,12 +53,33 @@ class ProgressReporter:
     ) -> None:
         """Setup ``index`` exhausted its retries (or failed fatally)."""
 
+    def worker_event(
+        self,
+        event: str,
+        worker: int,
+        index: Optional[int] = None,
+        detail: str = "",
+    ) -> None:
+        """A worker-lifecycle event from the supervised pool: "crash",
+        "hang", "respawn", or "degraded".  ``worker`` is the pool slot
+        (-1 for pool-wide events); ``index`` names the in-flight setup,
+        when there was one."""
+
     def sweep_finished(self, report: Any) -> None:
         """The sweep is over; ``report`` is the full SweepReport."""
 
 
 #: Shared no-op reporter (the runner's default).
 NULL_PROGRESS = ProgressReporter()
+
+
+def _worker_event_text(
+    event: str, worker: int, index: Optional[int], detail: str
+) -> str:
+    where = f" w{worker}" if worker >= 0 else ""
+    at = f" during #{index}" if index is not None else ""
+    note = f": {detail}" if detail else ""
+    return f"sweep WORKER {event.upper()}{where}{at}{note}"
 
 
 class _StreamReporter(ProgressReporter):
@@ -128,6 +149,18 @@ class LineProgress(_StreamReporter):
         )
         self.stream.flush()
 
+    def worker_event(
+        self,
+        event: str,
+        worker: int,
+        index: Optional[int] = None,
+        detail: str = "",
+    ) -> None:
+        self.stream.write(
+            _worker_event_text(event, worker, index, detail) + "\n"
+        )
+        self.stream.flush()
+
     def sweep_finished(self, report: Any) -> None:
         self.stream.write(
             f"sweep done: {report.measured} measured + {report.resumed} "
@@ -192,6 +225,15 @@ class LiveProgress(_StreamReporter):
             f"QUARANTINED #{index} {setup}: {error_type} "
             f"({fate}, {attempts} attempts): {message}"
         )
+
+    def worker_event(
+        self,
+        event: str,
+        worker: int,
+        index: Optional[int] = None,
+        detail: str = "",
+    ) -> None:
+        self._event_line(_worker_event_text(event, worker, index, detail))
 
     def sweep_finished(self, report: Any) -> None:
         # Clear the live line; the caller prints the durable summary.

@@ -201,6 +201,59 @@ class Tracer:
         if self._stack:
             self._stack.pop()
 
+    # -- merging ----------------------------------------------------------
+
+    def graft(
+        self,
+        records: List[Dict[str, Any]],
+        parent: Optional[Span] = None,
+        alias: Optional[str] = None,
+        offset: Optional[float] = None,
+    ) -> List[Span]:
+        """Re-root span records from another tracer under this one.
+
+        Worker processes trace each task into their own tracer and ship
+        ``to_dicts()`` records back with the result; the parent grafts
+        them under its sweep span so one trace file shows the whole
+        sweep.  Paths are rewritten (``parent.path`` + ``alias`` prefix)
+        and span ids re-derived from the new paths, so grafted ids stay
+        deterministic and collision-free across workers; ``alias`` is a
+        pure path segment (it gets no span of its own).  Worker clocks
+        are not comparable to ours, so ``offset`` defaults to placing
+        the *end* of the grafted batch at this tracer's current time.
+        """
+        if not records:
+            return []
+        if offset is None:
+            latest = max(
+                r["start"] + (r["dur"] or 0.0) for r in records
+            )
+            offset = (self._clock() - self._epoch) - latest
+        base_path = parent.path + "/" if parent is not None else ""
+        prefix = alias + "/" if alias else ""
+        base_depth = parent.depth + 1 if parent is not None else 0
+        grafted: List[Span] = []
+        for rec in records:
+            path = f"{base_path}{prefix}{rec['path']}"
+            if rec["depth"] == 0:
+                parent_id = parent.span_id if parent is not None else None
+            else:
+                parent_id = span_id_for_path(path.rsplit("/", 1)[0])
+            sp = Span(
+                self,
+                rec["name"],
+                rec["cat"],
+                path,
+                parent_id,
+                base_depth + rec["depth"],
+                dict(rec["attrs"]),
+            )
+            sp.start = offset + rec["start"]
+            sp.duration = rec["dur"]
+            self.spans.append(sp)
+            grafted.append(sp)
+        return grafted
+
     # -- export -----------------------------------------------------------
 
     def to_dicts(self) -> List[Dict[str, Any]]:
@@ -296,6 +349,9 @@ class NullTracer:
 
     def instant(self, name: str, category: str = "repro", **attrs: Any) -> None:
         return None
+
+    def graft(self, records, parent=None, alias=None, offset=None) -> list:
+        return []
 
 
 NULL_TRACER = NullTracer()

@@ -65,6 +65,86 @@ class TestFaultPlan:
             faults.FaultPlan().fires("meteor", "k", 1)
 
 
+class TestProcessKinds:
+    def test_kinds_cover_measurement_and_process_families(self):
+        assert set(faults.KINDS) == set(faults.MEASUREMENT_KINDS) | set(
+            faults.PROCESS_KINDS
+        )
+        assert set(faults.PROCESS_KINDS) == {
+            "worker_crash", "worker_hang", "journal_torn_write",
+        }
+
+    def test_process_kind_rates_drive_draws(self):
+        plan = faults.FaultPlan(seed=6, worker_crash_rate=0.5)
+        fires = [plan.fires("worker_crash", f"k{i}", 1) for i in range(50)]
+        assert any(fires) and not all(fires)
+        # Other process kinds stay silent at rate 0.
+        assert not any(
+            plan.fires(k, f"k{i}", 1)
+            for k in ("worker_hang", "journal_torn_write")
+            for i in range(50)
+        )
+
+    def test_transient_process_fault_clears_on_redispatch(self):
+        plan = faults.FaultPlan(
+            seed=6, worker_hang_rate=1.0, transient_fraction=1.0,
+            max_transient_attempts=1,
+        )
+        assert plan.fires("worker_hang", "k", 1)
+        assert not plan.fires("worker_hang", "k", 2)
+
+    def test_should_inject_at_uses_explicit_attempt(self):
+        plan = faults.FaultPlan(
+            seed=6, torn_write_rate=1.0, transient_fraction=1.0,
+            max_transient_attempts=1,
+        )
+        assert not faults.should_inject_at("journal_torn_write", "k", 1)
+        with faults.injected_faults(plan):
+            # Independent of begin_attempt bookkeeping.
+            faults.begin_attempt("k", 7)
+            assert faults.should_inject_at("journal_torn_write", "k", 1)
+            assert not faults.should_inject_at("journal_torn_write", "k", 2)
+
+    def test_torn_write_is_not_a_catchable_measurement_fault(self):
+        assert issubclass(faults.TornWrite, BaseException)
+        assert not issubclass(faults.TornWrite, Exception)
+
+
+class TestParsePlan:
+    def test_shorthand_with_kind_aliases(self):
+        plan = faults.parse_plan(
+            "seed=3,worker_crash=0.4,worker_hang=0.25,"
+            "transient=1.0,max_transient_attempts=1"
+        )
+        assert plan == faults.FaultPlan(
+            seed=3, worker_crash_rate=0.4, worker_hang_rate=0.25,
+            transient_fraction=1.0, max_transient_attempts=1,
+        )
+
+    def test_json_object_with_field_names(self):
+        plan = faults.parse_plan('{"seed": 7, "torn_write_rate": 0.2}')
+        assert plan == faults.FaultPlan(seed=7, torn_write_rate=0.2)
+
+    def test_torn_alias_and_int_coercion(self):
+        plan = faults.parse_plan("torn=0.5,seed=9")
+        assert plan.torn_write_rate == 0.5
+        assert plan.seed == 9 and isinstance(plan.seed, int)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault-plan key"):
+            faults.parse_plan("meteor=1.0")
+
+    def test_empty_and_malformed_specs_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            faults.parse_plan("   ")
+        with pytest.raises(ValueError, match="key=value"):
+            faults.parse_plan("seed")
+        with pytest.raises(ValueError, match="bad fault-plan JSON"):
+            faults.parse_plan("{not json")
+        with pytest.raises(ValueError, match="bad fault-plan value"):
+            faults.parse_plan("seed=soon")
+
+
 class TestInstallation:
     def test_injected_faults_scopes_the_plan(self):
         plan = faults.FaultPlan(seed=1, build_rate=1.0)

@@ -131,3 +131,92 @@ class TestObsCommand:
         junk.write_text("not json")
         assert main(["obs", "summary", str(junk)]) == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestChaosAndJournalCommands:
+    def _chaos_args(self, journal, report):
+        return tiny_study([
+            "--quiet", "--jobs", "2", "--resume", journal,
+            "--fault-plan",
+            "seed=3,worker_crash=0.4,worker_hang=0.25,"
+            "transient=1.0,max_transient_attempts=1",
+            "--report-out", report,
+        ])
+
+    @pytest.mark.slow
+    def test_chaos_sweep_report_equals_fault_free_serial(
+        self, tmp_path, capsys
+    ):
+        serial = str(tmp_path / "serial.json")
+        chaos = str(tmp_path / "chaos.json")
+        journal = str(tmp_path / "chaos.jsonl")
+        assert main(tiny_study(["--quiet", "--report-out", serial])) == 0
+        assert main(self._chaos_args(journal, chaos)) == 0
+        capsys.readouterr()
+        with open(serial, "rb") as a, open(chaos, "rb") as b:
+            assert a.read() == b.read()
+
+    @pytest.mark.slow
+    def test_journal_compact_summary_and_validate(self, tmp_path, capsys):
+        journal = str(tmp_path / "chaos.jsonl")
+        report = str(tmp_path / "report.json")
+        assert main(self._chaos_args(journal, report)) == 0
+        capsys.readouterr()
+        assert main(["journal", "compact", journal]) == 0
+        out = capsys.readouterr().out
+        assert "compacted" in out and "4 -> 4 records" in out
+        assert main(["obs", "validate", journal]) == 0
+        assert "OK: valid journal" in capsys.readouterr().out
+        assert main(["journal", "summary", journal]) == 0
+        out = capsys.readouterr().out
+        assert "distinct setups" in out and "metrics" in out
+        assert main(["obs", "summary", journal]) == 0
+
+    def test_validate_flags_stale_duplicates_until_compacted(
+        self, tmp_path, capsys
+    ):
+        journal = str(tmp_path / "sweep.jsonl")
+        args = tiny_study(["--quiet", "--jobs", "1", "--resume", journal])
+        assert main(args) == 0
+        assert main(args) == 0  # resumed run appends a second metrics aux
+        capsys.readouterr()
+        assert main(["obs", "validate", journal]) == 1
+        assert "stale duplicate" in capsys.readouterr().out
+        assert main(["journal", "compact", journal]) == 0
+        capsys.readouterr()
+        assert main(["obs", "validate", journal]) == 0
+        assert "OK: valid journal" in capsys.readouterr().out
+
+    def test_journal_summary_refuses_non_journals(self, tmp_path, capsys):
+        junk = tmp_path / "junk.json"
+        junk.write_text(json.dumps({"traceEvents": []}))
+        assert main(["journal", "summary", str(junk)]) == 1
+        assert "not a checkpoint journal" in capsys.readouterr().err
+
+    def test_bad_fault_plan_spec_is_an_argparse_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(tiny_study(["--fault-plan", "meteor=1.0"]))
+        assert "unknown fault-plan key" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_degraded_sweep_is_reported_in_summary_and_manifest(
+        self, tmp_path, capsys
+    ):
+        manifest_path = str(tmp_path / "m.json")
+        report_path = str(tmp_path / "r.json")
+        args = tiny_study([
+            "--quiet", "--jobs", "2",
+            "--fault-plan",
+            "seed=1,worker_crash=1.0,transient=0.0",
+            "--manifest-out", manifest_path,
+            "--report-out", report_path,
+        ])
+        assert main(args) == 0  # degraded, not failed: fallback measured all
+        out = capsys.readouterr().out
+        assert "DEGRADED" in out
+        with open(manifest_path) as fh:
+            manifest = json.load(fh)
+        assert manifest["report"]["degraded"] is True
+        assert len(manifest["report"]["degraded_setups"]) == 4
+        assert manifest["fault_plan"]["worker_crash_rate"] == 1.0
+        assert manifest["runner"]["max_respawns"] == 8

@@ -18,6 +18,8 @@ from repro.core.runner import (
     Journal,
     RunnerConfig,
     SweepRunner,
+    compact_journal,
+    journal_needs_compaction,
     sweep_id,
 )
 
@@ -187,8 +189,8 @@ class TestCheckpointResume:
         real_append = Journal.append
         appended = {"n": 0}
 
-        def killing_append(self, index, data):
-            real_append(self, index, data)
+        def killing_append(self, index, data, fault_key=None):
+            real_append(self, index, data, fault_key=fault_key)
             appended["n"] += 1
             if appended["n"] >= kill_after:
                 raise KeyboardInterrupt("simulated ctrl-C mid-sweep")
@@ -274,6 +276,101 @@ class TestCheckpointResume:
         assert a != sweep_id("mcf", "test", 0, SETUPS)
 
 
+class TestJournalCompaction:
+    def _journal(self, tmp_path):
+        return str(tmp_path / "sweep.jsonl")
+
+    def test_multi_resume_journal_compacts_to_one_record_per_setup(
+        self, tmp_path
+    ):
+        path = self._journal(tmp_path)
+        baseline = run_sweep(jobs=1, journal=path)
+        run_sweep(jobs=1, journal=path)
+        run_sweep(jobs=1, journal=path)
+        # Three completed runs = one metrics aux record each.
+        stats = compact_journal(path)
+        assert stats.records_before == len(SETUPS)
+        assert stats.records_after == len(SETUPS)
+        assert stats.aux_before == 3
+        assert stats.aux_after == 1
+        assert stats.dropped_corrupt == 0
+        with open(path) as fh:
+            lines = [l for l in fh.read().splitlines() if l.strip()]
+        assert len(lines) == 1 + len(SETUPS) + 1  # header + records + aux
+        # Lossless: resume from the compacted journal re-measures nothing.
+        resumed = run_sweep(jobs=1, journal=path)
+        assert resumed.report.resumed == len(SETUPS)
+        assert resumed.report.measured == 0
+        assert [m.cycles for m in resumed.ok] == [
+            m.cycles for m in baseline.ok
+        ]
+
+    def test_compaction_preserves_checksummed_records_verbatim(
+        self, tmp_path
+    ):
+        path = self._journal(tmp_path)
+        run_sweep(jobs=1, journal=path)
+        with open(path) as fh:
+            before = {
+                l for l in fh.read().splitlines() if '"measurement"' in l
+            }
+        compact_journal(path)
+        with open(path) as fh:
+            after = {
+                l for l in fh.read().splitlines() if '"measurement"' in l
+            }
+        assert after == before  # byte-for-byte, checksums untouched
+
+    def test_needs_compaction_thresholds(self, tmp_path):
+        path = self._journal(tmp_path)
+        assert not journal_needs_compaction(path, max_records=1)  # no file
+        run_sweep(jobs=1, journal=path)
+        n_lines = len(SETUPS) + 1  # records + metrics aux
+        assert journal_needs_compaction(path, max_records=n_lines - 1)
+        assert not journal_needs_compaction(path, max_records=n_lines)
+        assert journal_needs_compaction(path, max_bytes=10)
+        assert not journal_needs_compaction(
+            path, max_bytes=os.path.getsize(path)
+        )
+        assert not journal_needs_compaction(path)  # no thresholds
+
+    def test_runner_auto_compacts_past_record_threshold(self, tmp_path):
+        path = self._journal(tmp_path)
+        threshold = len(SETUPS) + 1
+        cfg = RunnerConfig(jobs=1, journal_max_records=threshold)
+        exp = shared_exp()
+        SweepRunner(exp, cfg, journal_path=path).run(SETUPS)
+        with open(path) as fh:
+            first = len(fh.read().splitlines())
+        assert first == 1 + len(SETUPS) + 1  # at threshold: untouched
+        SweepRunner(exp, cfg, journal_path=path).run(SETUPS)
+        with open(path) as fh:
+            second = len(fh.read().splitlines())
+        # Second run added an aux record, tripping the threshold; the
+        # auto-compaction folded it back to one line per setup + aux.
+        assert second == 1 + len(SETUPS) + 1
+
+    def test_compacting_a_non_journal_is_refused(self, tmp_path):
+        path = str(tmp_path / "junk.jsonl")
+        with open(path, "w") as fh:
+            fh.write('{"format": "something-else"}\n')
+        with pytest.raises(ArchiveCorruption, match="refusing to compact"):
+            compact_journal(path)
+        with pytest.raises(ArchiveCorruption, match="does not exist"):
+            compact_journal(str(tmp_path / "missing.jsonl"))
+
+    def test_compaction_drops_corrupt_lines_and_counts_them(self, tmp_path):
+        path = self._journal(tmp_path)
+        run_sweep(jobs=1, journal=path)
+        with open(path, "a") as fh:
+            fh.write('{"index": 0, "measurement"\n')  # torn fragment
+        stats = compact_journal(path)
+        assert stats.dropped_corrupt == 1
+        with open(path) as fh:
+            header = json.loads(fh.readline())
+        assert header["torn_recovered"] == 1
+
+
 class TestConfigValidation:
     def test_bad_jobs_rejected(self):
         with pytest.raises(ValueError, match="jobs"):
@@ -282,6 +379,20 @@ class TestConfigValidation:
     def test_bad_retries_rejected(self):
         with pytest.raises(ValueError, match="max_retries"):
             RunnerConfig(max_retries=-1)
+
+    def test_hang_timeout_must_exceed_heartbeat_interval(self):
+        with pytest.raises(ValueError, match="hang_timeout"):
+            RunnerConfig(heartbeat_interval=1.0, hang_timeout=0.5)
+        with pytest.raises(ValueError, match="heartbeat_interval"):
+            RunnerConfig(heartbeat_interval=0.0)
+
+    def test_bad_respawn_and_compaction_thresholds_rejected(self):
+        with pytest.raises(ValueError, match="max_respawns"):
+            RunnerConfig(max_respawns=-1)
+        with pytest.raises(ValueError, match="journal_max_records"):
+            RunnerConfig(journal_max_records=0)
+        with pytest.raises(ValueError, match="journal_max_bytes"):
+            RunnerConfig(journal_max_bytes=0)
 
     def test_wall_clock_deadline_raises_run_timeout(self):
         import time

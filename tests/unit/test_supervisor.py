@@ -1,0 +1,311 @@
+"""Unit tests: the supervised worker pool and its chaos harness.
+
+Covers the supervision acceptance criteria: a sweep under injected
+worker crashes/hangs produces a report byte-identical to the fault-free
+serial run (failover never consumes retry budget), an exhausted respawn
+budget degrades honestly to in-process execution naming every setup,
+torn journal writes are recovered losslessly on resume, and worker trace
+spans are grafted into the parent trace.
+"""
+
+import io
+
+import pytest
+
+from repro import faults, workloads
+from repro.core import Experiment, ExperimentalSetup
+from repro.core.runner import RunnerConfig, SweepRunner, compact_journal
+from repro.core.supervisor import SupervisedPool, Task
+from repro.obs import progress as obs_progress
+from repro.obs import trace as obs_trace
+
+WORKLOAD = "sphinx3"
+
+SETUPS = [
+    ExperimentalSetup(env_bytes=e) for e in (100, 116, 132, 148, 164, 180)
+]
+
+#: Chaos + measurement faults, all transient so every sweep completes.
+CHAOS_PLAN = faults.FaultPlan(
+    seed=3,
+    hang_rate=0.4,
+    verify_rate=0.3,
+    worker_crash_rate=0.4,
+    worker_hang_rate=0.25,
+    transient_fraction=1.0,
+    max_transient_attempts=2,
+)
+
+#: Supervision tuned for test wall-clock: fast heartbeats, short leash.
+FAST_SUPERVISION = dict(
+    heartbeat_interval=0.05, hang_timeout=1.0, backoff_base=0.001
+)
+
+
+def fresh_experiment():
+    return Experiment(workloads.get(WORKLOAD))
+
+
+def keys():
+    exp = fresh_experiment()
+    return [
+        faults.fault_key(exp.workload.name, exp.size, exp.seed, s)
+        for s in SETUPS
+    ]
+
+
+def run_sweep(jobs, plan=None, journal=None, max_retries=3, **cfg):
+    runner = SweepRunner(
+        fresh_experiment(),
+        RunnerConfig(
+            jobs=jobs, max_retries=max_retries, **{**FAST_SUPERVISION, **cfg}
+        ),
+        journal_path=journal,
+        fault_plan=plan,
+        sleep=lambda s: None,
+    )
+    return runner.run(SETUPS)
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_plan():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def _echo(payload):
+    return payload * 2
+
+
+class TestSupervisedPool:
+    @pytest.mark.slow
+    def test_pool_runs_tasks_and_drains(self):
+        with SupervisedPool(workers=2, task_fn=_echo) as pool:
+            for i in range(5):
+                pool.submit(Task(index=i, key=f"k{i}", attempt=1, payload=i))
+            results = {}
+            while True:
+                event = pool.poll(timeout=30.0)
+                if event is None:
+                    break
+                assert event.kind == "result"
+                results[event.task.index] = event.result
+        assert results == {i: i * 2 for i in range(5)}
+        assert pool.respawns == 0
+
+    def test_worker_count_validated(self):
+        with pytest.raises(ValueError, match="workers"):
+            SupervisedPool(workers=0, task_fn=_echo)
+
+
+class TestChaosFailover:
+    @pytest.mark.slow
+    def test_chaos_parallel_report_is_byte_identical_to_serial(self):
+        """The tentpole criterion: worker crashes and hangs are
+        infrastructure faults — invisible in the report."""
+        # The plan must actually exercise the supervision paths.
+        assert any(
+            CHAOS_PLAN.fires("worker_crash", k, 1) for k in keys()
+        ), "chaos plan fires no crashes; pick a different seed"
+        assert any(
+            CHAOS_PLAN.fires("worker_hang", k, 1) for k in keys()
+        ), "chaos plan fires no hangs; pick a different seed"
+        serial = run_sweep(jobs=1, plan=CHAOS_PLAN)
+        chaos = run_sweep(jobs=3, plan=CHAOS_PLAN)
+        assert chaos.report.to_json() == serial.report.to_json()
+        assert chaos.report.complete and not chaos.report.degraded
+        assert [m.cycles for m in chaos.ok] == [m.cycles for m in serial.ok]
+
+    @pytest.mark.slow
+    def test_every_worker_hang_is_recovered_without_retries(self):
+        """Failover must not consume the measurement retry budget: a hang
+        on every first dispatch still yields a zero-retry report (the
+        is_retryable double-count regression)."""
+        plan = faults.FaultPlan(
+            seed=5,
+            worker_hang_rate=1.0,
+            transient_fraction=1.0,
+            max_transient_attempts=1,
+        )
+        baseline = run_sweep(jobs=1)
+        result = run_sweep(jobs=2, plan=plan, max_respawns=12)
+        rep = result.report
+        assert rep.complete and not rep.degraded
+        assert rep.retries == 0, "worker failover was charged as a retry"
+        assert [m.cycles for m in result.ok] == [
+            m.cycles for m in baseline.ok
+        ]
+
+    @pytest.mark.slow
+    def test_exhausted_respawn_budget_degrades_honestly(self):
+        """Permanent crashes burn the budget; the sweep must finish
+        serially in-process and name every setup the pool dropped."""
+        plan = faults.FaultPlan(
+            seed=1, worker_crash_rate=1.0, transient_fraction=0.0
+        )
+        baseline = run_sweep(jobs=1)
+        result = run_sweep(jobs=2, plan=plan, max_respawns=2)
+        rep = result.report
+        assert rep.degraded
+        assert rep.degraded_setups == [s.describe() for s in SETUPS]
+        assert "DEGRADED" in rep.summary_line()
+        # Degraded, not silent-partial: the in-process fallback measured
+        # everything (process chaos never fires in-process).
+        assert rep.complete
+        assert [m.cycles for m in result.ok] == [
+            m.cycles for m in baseline.ok
+        ]
+        assert rep.to_dict()["degraded"] is True
+
+
+class TestTornWriteRecovery:
+    def test_torn_append_is_dropped_on_resume_and_compaction_is_lossless(
+        self, tmp_path
+    ):
+        path = str(tmp_path / "sweep.jsonl")
+        plan = faults.FaultPlan(
+            seed=1,
+            torn_write_rate=0.25,
+            transient_fraction=1.0,
+            max_transient_attempts=1,
+        )
+        exp = fresh_experiment()
+        torn_at = [
+            i
+            for i, s in enumerate(SETUPS)
+            if plan.fires(
+                "journal_torn_write",
+                faults.fault_key(exp.workload.name, exp.size, exp.seed, s),
+                1,
+            )
+        ]
+        assert torn_at and torn_at[0] > 0, "plan must tear mid-sweep"
+        baseline = run_sweep(jobs=1)
+
+        # The injected tear unwinds the sweep like a crash would —
+        # uncatchable by per-measurement recovery.
+        with pytest.raises(faults.TornWrite):
+            run_sweep(jobs=1, plan=plan, journal=path)
+
+        resumed = run_sweep(jobs=1, plan=plan, journal=path)
+        rep = resumed.report
+        # Exactly the torn record was dropped: everything journaled
+        # before it resumes, it and everything after re-measures.
+        assert rep.resumed == torn_at[0]
+        assert rep.measured == len(SETUPS) - torn_at[0]
+        assert rep.complete
+        assert [m.cycles for m in resumed.ok] == [
+            m.cycles for m in baseline.ok
+        ]
+
+        # Compaction preserves the checksummed records byte-for-byte...
+        with open(path) as fh:
+            before = {
+                l for l in fh.read().splitlines() if '"measurement"' in l
+            }
+        stats = compact_journal(path)
+        assert stats.records_after == len(SETUPS)
+        with open(path) as fh:
+            after = {
+                l for l in fh.read().splitlines() if '"measurement"' in l
+            }
+        assert after == before
+        # ...and resume from the compacted journal is lossless even with
+        # the plan still active (the recovered tear does not re-fire).
+        final = run_sweep(jobs=1, plan=plan, journal=path)
+        assert final.report.resumed == len(SETUPS)
+        assert final.report.measured == 0
+
+    @pytest.mark.slow
+    def test_torn_write_fires_in_parallel_mode_too(self, tmp_path):
+        """Journal appends happen in the parent; the plan must scope
+        around the parallel path as well."""
+        path = str(tmp_path / "sweep.jsonl")
+        plan = faults.FaultPlan(
+            seed=1,
+            torn_write_rate=0.25,
+            transient_fraction=1.0,
+            max_transient_attempts=1,
+        )
+        import json
+
+        with pytest.raises(faults.TornWrite):
+            run_sweep(jobs=2, plan=plan, journal=path)
+        resumed = run_sweep(jobs=2, plan=plan, journal=path)
+        assert resumed.report.complete
+        # The tear was recovered and recorded durably (completion order
+        # decides how many records preceded it, so `resumed` can be 0).
+        with open(path) as fh:
+            header = json.loads(fh.readline())
+        assert header["torn_recovered"] == 1
+        assert resumed.report.resumed + resumed.report.measured == len(SETUPS)
+
+
+class TestWorkerTraceGrafting:
+    def _child_records(self):
+        clock = iter(float(t) for t in range(100)).__next__
+        child = obs_trace.Tracer(clock=clock, label="worker-0")
+        with child.span("run", category="engine", index=3) as run:
+            with child.span("profile", category="engine"):
+                pass
+            run.set(cycles=123.0)
+        return child.to_dicts()
+
+    def test_graft_rewrites_paths_ids_and_parents(self):
+        clock = iter(float(t) for t in range(100)).__next__
+        parent = obs_trace.Tracer(clock=clock)
+        with parent.span("sweep", category="runner") as sweep_span:
+            grafted = parent.graft(
+                self._child_records(), parent=sweep_span, alias="setup@3.1"
+            )
+        run, profile = grafted
+        assert run.path == "sweep#0/setup@3.1/run#0"
+        assert profile.path == "sweep#0/setup@3.1/run#0/profile#0"
+        # Deterministic ids re-derived from the rewritten paths.
+        assert run.span_id == obs_trace.span_id_for_path(run.path)
+        assert run.parent_id == sweep_span.span_id
+        assert profile.parent_id == run.span_id
+        assert run.depth == sweep_span.depth + 1
+        assert profile.depth == run.depth + 1
+        assert run.attrs["cycles"] == 123.0
+        # Grafted spans are part of this tracer's record stream.
+        assert set(grafted) <= set(parent.spans)
+
+    def test_graft_is_rootable_and_empty_safe(self):
+        parent = obs_trace.Tracer()
+        assert parent.graft([]) == []
+        grafted = parent.graft(self._child_records())
+        assert grafted[0].path == "run#0"
+        assert grafted[0].parent_id is None
+        assert obs_trace.NULL_TRACER.graft(self._child_records()) == []
+
+    @pytest.mark.slow
+    def test_parallel_sweep_collects_worker_spans(self):
+        tracer = obs_trace.Tracer()
+        with obs_trace.tracing(tracer):
+            result = run_sweep(jobs=2)
+        assert result.report.complete
+        worker_spans = [s for s in tracer.spans if "/setup@" in s.path]
+        assert worker_spans, "no worker spans were grafted"
+        names = {s.name for s in worker_spans}
+        assert "run" in names  # the engine span, traced in the worker
+        # Every setup's task shows up under the sweep span.
+        aliases = {s.path.split("/")[1] for s in worker_spans}
+        assert aliases == {f"setup@{i}.1" for i in range(len(SETUPS))}
+
+
+class TestWorkerProgressEvents:
+    def test_line_progress_reports_worker_lifecycle(self):
+        buf = io.StringIO()
+        reporter = obs_progress.LineProgress(buf)
+        reporter.worker_event("crash", 1, index=4)
+        reporter.worker_event("respawn", 1)
+        reporter.worker_event("degraded", -1, detail="2 setups left")
+        out = buf.getvalue()
+        assert "WORKER CRASH w1 during #4" in out
+        assert "WORKER RESPAWN w1" in out
+        assert "WORKER DEGRADED: 2 setups left" in out
+
+    def test_null_reporter_ignores_worker_events(self):
+        obs_progress.NULL_PROGRESS.worker_event("hang", 0)
