@@ -39,6 +39,14 @@ BENCH_JOBS = int(
     os.environ.get("REPRO_BENCH_JOBS", str(min(4, os.cpu_count() or 1)))
 )
 
+#: Remote sweep agents ("host1:port,host2:port") for the benchmark
+#: harness, from REPRO_BENCH_HOSTS (same syntax as the CLI's --hosts).
+#: When set, suite-scale sweeps dispatch to those agents over TCP
+#: instead of local worker processes (see docs/distributed.md); the
+#: substrate's determinism keeps the published tables byte-identical
+#: either way, and the roster is recorded in every result's sidecar.
+BENCH_HOSTS = os.environ.get("REPRO_BENCH_HOSTS", "").strip() or None
+
 
 def _bench_fault_plan() -> Optional[faults.FaultPlan]:
     spec = os.environ.get("REPRO_BENCH_FAULT_PLAN", "").strip()
@@ -87,12 +95,14 @@ def parallel_sweep(
     sweep the runner could not fully measure fails the bench loudly.
     """
     plan = fault_plan if fault_plan is not None else BENCH_FAULT_PLAN
-    if plan is None and (BENCH_JOBS <= 1 or len(setups) < 4):
+    if plan is None and BENCH_HOSTS is None and (
+        BENCH_JOBS <= 1 or len(setups) < 4
+    ):
         for s in setups:
             exp.run(s)
         return
     result = SweepRunner(
-        exp, RunnerConfig(jobs=BENCH_JOBS), fault_plan=plan
+        exp, RunnerConfig(jobs=BENCH_JOBS, hosts=BENCH_HOSTS), fault_plan=plan
     ).run(setups)
     if result.report.quarantined:
         raise RuntimeError(
@@ -129,6 +139,7 @@ def publish(
         "package": {"name": "repro", "version": __version__},
         "environment": environment_fingerprint(),
         "bench_jobs": BENCH_JOBS,
+        "bench_hosts": BENCH_HOSTS,
         "fault_plan": (
             asdict(BENCH_FAULT_PLAN) if BENCH_FAULT_PLAN is not None else None
         ),

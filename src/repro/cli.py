@@ -36,6 +36,13 @@ JSON object) for the sweep, so the runner's supervision and recovery
 paths can be exercised from the command line; ``--report-out FILE``
 writes the canonical SweepReport JSON for byte-identity comparisons.
 
+Distributed sweeps (see docs/distributed.md): ``agent`` starts a sweep
+agent (``repro agent --listen HOST:PORT --jobs N``) and
+``--hosts host1:port,host2:port`` on ``study``/``randomized`` dispatches
+the sweep to those agents over TCP instead of local worker processes —
+same report bytes, same journal, same trace (with host-qualified span
+aliases), and the manifest names every agent that served results.
+
 Every command prints plain text (the same renderers the benchmark
 harness uses) and exits non-zero on verification failures.
 """
@@ -95,6 +102,25 @@ def _non_negative_int(text: str) -> int:
 def _fault_plan_arg(text: str) -> faults.FaultPlan:
     try:
         return faults.parse_plan(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def _hosts_arg(text: str) -> str:
+    from repro.core.distributed import parse_hosts
+
+    try:
+        parse_hosts(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+    return text
+
+
+def _listen_arg(text: str):
+    from repro.core.distributed import parse_host
+
+    try:
+        return parse_host(text)
     except ValueError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from exc
 
@@ -159,6 +185,14 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
             "exceeds N records"
         ),
     )
+    parser.add_argument(
+        "--hosts", metavar="H1:P1,H2:P2", type=_hosts_arg, default=None,
+        help=(
+            "dispatch the sweep to these remote agents (repro agent) "
+            "over TCP instead of local worker processes; --jobs is "
+            "ignored (each agent brings its own)"
+        ),
+    )
 
 
 def _manifest_path(args: argparse.Namespace) -> Optional[str]:
@@ -191,6 +225,7 @@ def _run_sweep(exp: Experiment, setups, args: argparse.Namespace) -> int:
         timeout=args.timeout,
         max_retries=args.max_retries,
         journal_max_records=args.journal_max_records,
+        hosts=args.hosts,
     )
     runner = SweepRunner(
         exp,
@@ -225,6 +260,7 @@ def _run_sweep(exp: Experiment, setups, args: argparse.Namespace) -> int:
             report=report,
             metrics=obs_metrics.registry().snapshot(),
             artifacts=artifacts,
+            hosts=runner.hosts_served,
             note=f"repro {args.command} {args.workload}",
         )
         obs_manifest.save_manifest(manifest_path, manifest)
@@ -532,6 +568,33 @@ def cmd_journal(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_agent(args: argparse.Namespace) -> int:
+    from repro.core.distributed import AgentServer
+
+    host, port = args.listen
+    server = AgentServer(
+        host=host,
+        port=port,
+        jobs=args.jobs,
+        port_file=args.port_file,
+        quiet=args.quiet,
+    )
+    bound = server.bind()
+    print(
+        f"agent listening on {bound[0]}:{bound[1]} "
+        f"({args.jobs} worker job(s)); Ctrl-C to stop",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("agent stopped", file=sys.stderr)
+        return 0
+    # A non-zero exit on an injected crash lets a process supervisor
+    # (and the chaos harness) tell a killed agent from a retired one.
+    return 1 if server.crashed else 0
+
+
 def cmd_survey(args: argparse.Namespace) -> int:
     print(
         render_table(
@@ -657,6 +720,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     journal_summary.add_argument("paths", nargs="+")
     journal.set_defaults(func=cmd_journal)
+
+    agent = sub.add_parser(
+        "agent", help="serve sweep setups to remote coordinators over TCP"
+    )
+    agent.add_argument(
+        "--listen", metavar="HOST:PORT", type=_listen_arg,
+        default=("127.0.0.1", 0),
+        help=(
+            "interface and port to listen on (port 0 picks a free one; "
+            "default 127.0.0.1:0)"
+        ),
+    )
+    agent.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="local worker processes this agent runs per session",
+    )
+    agent.add_argument(
+        "--port-file", metavar="FILE", default=None,
+        help=(
+            "write the bound port here after binding (the race-free way "
+            "for scripts to use --listen HOST:0)"
+        ),
+    )
+    agent.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-session log lines on stderr",
+    )
+    agent.set_defaults(func=cmd_agent)
 
     survey = sub.add_parser("survey", help="print the literature survey")
     survey.add_argument("--seed", type=int, default=0)

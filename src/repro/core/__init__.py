@@ -12,6 +12,9 @@
   with retries, quarantine and resumable, compactable checkpoints,
 - :mod:`~repro.core.supervisor` — the supervised worker pool behind
   parallel sweeps (heartbeats, crash/hang failover, respawn budget),
+- :mod:`~repro.core.distributed` — multi-host sweeps: TCP sweep agents
+  and the coordinator pool that dispatches to them (same supervision
+  guarantees, same report bytes; see docs/distributed.md),
 - :mod:`~repro.core.stats` — intervals, summaries, violin densities,
 - :mod:`~repro.core.survey` — the 133-paper literature survey analysis,
 - :mod:`~repro.core.report` — plain-text table/figure rendering.

@@ -15,6 +15,13 @@ the serial, in-process :meth:`Experiment.sweep` into a production run:
   measurement's retry budget.  Result order is the *request* order,
   independent of completion order, so parallel and serial sweeps are
   byte-identical — even under injected worker crashes and hangs;
+- **distributed** — with ``hosts`` set, the same event loop drives a
+  :class:`~repro.core.distributed.AgentPool` of remote agents over TCP
+  instead of local processes; both pools implement
+  :class:`~repro.core.supervisor.DispatchPool`, so every supervision
+  guarantee above (failover at the same attempt, bounded recovery,
+  honest degradation, byte-identical reports) holds across machines
+  exactly as it does across processes;
 - **bounded** — every run is armed with the engine's cycle-budget
   watchdog (``max_cycles``) and a per-measurement wall-clock deadline
   (``timeout``), so a hung run becomes a :class:`RunTimeout`, not a
@@ -104,11 +111,19 @@ class RunnerConfig:
         hang_timeout: a busy worker whose heartbeat is staler than this
             is declared hung, killed, and its setup failed over.
         max_respawns: replacement workers the supervised pool may start
-            before the sweep degrades to in-process execution.
+            before the sweep degrades to in-process execution; with
+            ``hosts`` set it is the coordinator's *reconnection* budget
+            across lost agents instead.
         journal_max_records: auto-compact the checkpoint journal after a
             completed sweep when it holds more than this many
             (measurement + aux) records; None disables.
         journal_max_bytes: likewise, by file size; None disables.
+        hosts: ``"host1:port1,host2:port2"`` roster of remote sweep
+            agents (``repro agent``); when set the sweep is dispatched
+            over TCP and ``jobs`` is ignored (each agent's capacity is
+            its own ``--jobs``).  None (the default) runs locally.
+        connect_timeout: TCP connect + handshake deadline per agent
+            connection attempt (distributed mode only).
     """
 
     jobs: int = 1
@@ -122,10 +137,18 @@ class RunnerConfig:
     max_respawns: int = 8
     journal_max_records: Optional[int] = None
     journal_max_bytes: Optional[int] = None
+    hosts: Optional[str] = None
+    connect_timeout: float = 10.0
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.hosts is not None:
+            from repro.core import distributed
+
+            distributed.parse_hosts(self.hosts)  # fail loudly, early
+        if self.connect_timeout <= 0:
+            raise ValueError("connect_timeout must be > 0")
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         if self.heartbeat_interval <= 0:
@@ -774,6 +797,10 @@ class SweepRunner:
         self.fault_plan = fault_plan
         self.progress = progress or obs_progress.NULL_PROGRESS
         self._sleep = sleep
+        #: Per-host provenance from the last distributed run (one dict
+        #: per agent address: hostname, pid, agent version, jobs,
+        #: results served); empty for local runs.  Feeds the manifest.
+        self.hosts_served: List[Dict[str, Any]] = []
 
     # -- public API -------------------------------------------------------
 
@@ -833,7 +860,7 @@ class SweepRunner:
             try:
                 if not pending:
                     pass  # everything resumed; nothing to dispatch
-                elif self.config.jobs == 1:
+                elif self.config.jobs == 1 and not self.config.hosts:
                     self._run_serial(
                         setups, pending, results, report, journal, mreg
                     )
@@ -1004,15 +1031,7 @@ class SweepRunner:
                 index=index, key=key, attempt=attempt, payload=payload
             )
 
-        pool = supervisor.SupervisedPool(
-            workers=min(cfg.jobs, max(1, len(pending))),
-            task_fn=_measure_task,
-            fault_plan=faults.active(),
-            heartbeat_interval=cfg.heartbeat_interval,
-            hang_timeout=cfg.hang_timeout,
-            max_respawns=cfg.max_respawns,
-            tracing=tracer.enabled,
-        )
+        pool = self._make_pool(len(pending), tracer.enabled)
         outstanding = set(pending)
         # In-flight attempt per still-outstanding setup; feeds the
         # degraded serial fallback so failover never re-runs or
@@ -1030,13 +1049,25 @@ class SweepRunner:
                     self._worker_failed(event)
                     continue
                 if event.kind == "respawn":
-                    obs_metrics.counter("supervisor.respawns").inc()
-                    obs_trace.instant(
-                        "worker_respawn",
-                        category="supervisor",
-                        worker=event.worker,
-                    )
-                    self.progress.worker_event("respawn", event.worker)
+                    if event.label:
+                        obs_metrics.counter("distributed.reconnects").inc()
+                        obs_trace.instant(
+                            "agent_reconnect",
+                            category="distributed",
+                            worker=event.worker,
+                            label=event.label,
+                        )
+                        self.progress.worker_event(
+                            "respawn", event.worker, detail=event.label
+                        )
+                    else:
+                        obs_metrics.counter("supervisor.respawns").inc()
+                        obs_trace.instant(
+                            "worker_respawn",
+                            category="supervisor",
+                            worker=event.worker,
+                        )
+                        self.progress.worker_event("respawn", event.worker)
                     continue
                 kind, index, attempt, data = event.result
                 if index not in outstanding or (index, attempt) in seen:
@@ -1048,10 +1079,14 @@ class SweepRunner:
                 # (where every try produces exactly one outcome).
                 mreg.counter("sweep.attempts").inc()
                 if event.records:
+                    # Remote spans are re-rooted under a host-qualified
+                    # alias so one trace tells which machine measured
+                    # which setup attempt.
+                    alias = f"setup@{index}.{attempt}"
+                    if event.label:
+                        alias = f"{event.label}/{alias}"
                     tracer.graft(
-                        event.records,
-                        parent=sweep_span,
-                        alias=f"setup@{index}.{attempt}",
+                        event.records, parent=sweep_span, alias=alias
                     )
                 if kind == "ok":
                     m = load_measurement_record(data, record=index)
@@ -1110,11 +1145,15 @@ class SweepRunner:
                 outstanding.discard(index)
                 attempts_now.pop(index, None)
         finally:
+            hosts_info = getattr(pool, "hosts_info", None)
+            if hosts_info is not None:
+                self.hosts_served = hosts_info()
             pool.close()
         if outstanding:
-            # Respawn budget exhausted: degrade honestly — name every
-            # setup the pool failed to measure and finish them serially
-            # in-process, never publish a silent partial table.
+            # Respawn (or reconnection) budget exhausted: degrade
+            # honestly — name every setup the pool failed to measure and
+            # finish them serially in-process, never publish a silent
+            # partial table.
             remaining = sorted(outstanding)
             report.degraded = True
             report.degraded_setups = [setups[i].describe() for i in remaining]
@@ -1141,17 +1180,75 @@ class SweepRunner:
             )
         report.quarantined.sort(key=lambda q: q.index)
 
+    def _make_pool(
+        self, pending_count: int, tracing: bool
+    ) -> supervisor.DispatchPool:
+        """Local worker pool, or a remote agent pool when ``hosts`` is
+        set — the event loop above drives either through the shared
+        :class:`~repro.core.supervisor.DispatchPool` interface."""
+        cfg = self.config
+        if cfg.hosts:
+            from repro.core import distributed
+
+            plan = faults.active()
+            return distributed.AgentPool(
+                hosts=distributed.parse_hosts(cfg.hosts),
+                hello=distributed.build_hello(
+                    plan,
+                    heartbeat_interval=cfg.heartbeat_interval,
+                    hang_timeout=cfg.hang_timeout,
+                    max_respawns=cfg.max_respawns,
+                    tracing=tracing,
+                ),
+                fault_plan=plan,
+                heartbeat_interval=cfg.heartbeat_interval,
+                hang_timeout=cfg.hang_timeout,
+                max_reconnects=cfg.max_respawns,
+                connect_timeout=cfg.connect_timeout,
+            )
+        return supervisor.SupervisedPool(
+            workers=min(cfg.jobs, max(1, pending_count)),
+            task_fn=_measure_task,
+            fault_plan=faults.active(),
+            heartbeat_interval=cfg.heartbeat_interval,
+            hang_timeout=cfg.hang_timeout,
+            max_respawns=cfg.max_respawns,
+            tracing=tracing,
+        )
+
     def _worker_failed(self, event: supervisor.PoolEvent) -> None:
+        remote = bool(event.label)
         name = {
-            "crash": "supervisor.worker_crashes",
-            "hang": "supervisor.worker_hangs",
+            "crash": "distributed.agent_losses"
+            if remote
+            else "supervisor.worker_crashes",
+            "hang": "distributed.agent_partitions"
+            if remote
+            else "supervisor.worker_hangs",
         }[event.kind]
         obs_metrics.counter(name).inc()
-        index = event.task.index if event.task is not None else None
+        # Local workers run one task; a lost agent hands back every
+        # in-flight task it was serving.
+        if event.tasks:
+            indices: List[int] = sorted(t.index for t in event.tasks)
+        elif event.task is not None:
+            indices = [event.task.index]
+        else:
+            indices = []
+        index = indices[0] if indices else None
+        extra: Dict[str, Any] = (
+            {"label": event.label, "indices": indices} if remote else {}
+        )
         obs_trace.instant(
-            "worker_" + event.kind,
-            category="supervisor",
+            ("agent_" if remote else "worker_") + event.kind,
+            category="distributed" if remote else "supervisor",
             worker=event.worker,
             index=index,
+            **extra,
         )
-        self.progress.worker_event(event.kind, event.worker, index=index)
+        self.progress.worker_event(
+            event.kind,
+            event.worker,
+            index=index,
+            detail=event.label if remote else "",
+        )

@@ -82,21 +82,30 @@ class Task:
 
 @dataclass
 class PoolEvent:
-    """One supervision event from :meth:`SupervisedPool.poll`.
+    """One supervision event from :meth:`DispatchPool.poll`.
 
     ``kind`` is one of:
 
     - ``"result"`` — ``task`` finished; ``result`` is ``task_fn``'s
       return value and ``records`` the worker's trace-span dicts (None
       when tracing is off);
-    - ``"crash"`` — a worker died (dead PID / broken pipe); ``task`` is
-      the in-flight task that was requeued, or None if it was idle;
+    - ``"crash"`` — a worker died (dead PID / broken pipe; for remote
+      pools: the connection was lost); ``task`` is the in-flight task
+      that was requeued, or None if it was idle — remote pools, whose
+      workers run several tasks at once, list every requeued task in
+      ``tasks`` instead;
     - ``"hang"`` — a worker missed its heartbeat deadline and was
-      killed; ``task`` as for ``"crash"``;
+      killed (for remote pools: declared partitioned); ``task`` /
+      ``tasks`` as for ``"crash"``;
     - ``"respawn"`` — a replacement worker was started in the failed
-      worker's slot;
-    - ``"degraded"`` — the respawn budget is spent and no workers
-      remain; ``tasks`` holds every task the pool could not finish.
+      worker's slot (for remote pools: the agent was reconnected);
+    - ``"degraded"`` — the respawn (or reconnect) budget is spent and
+      no workers remain; ``tasks`` holds every task the pool could not
+      finish.
+
+    ``label`` names the executor for human-facing output and trace-span
+    aliases: empty for local worker pools, ``"host:port"`` for remote
+    agents.
     """
 
     kind: str
@@ -105,6 +114,49 @@ class PoolEvent:
     result: Any = None
     records: Optional[List[Dict[str, Any]]] = None
     tasks: List[Task] = field(default_factory=list)
+    label: str = ""
+
+
+class DispatchPool:
+    """Transport-agnostic dispatch interface the sweep runner drives.
+
+    A dispatch pool moves opaque :class:`Task` payloads to executors
+    (local worker processes, remote agents over TCP, ...) and reports
+    everything that happens as a stream of :class:`PoolEvent` values.
+    The contract the runner relies on:
+
+    - :meth:`submit` queues a task; dispatch happens inside
+      :meth:`poll`, so a caller that stops polling stops supervision;
+    - :meth:`poll` returns the next event, or None when the pool is
+      drained (nothing queued, nothing in flight) or ``timeout``
+      elapses;
+    - a failed executor's in-flight tasks are requeued **at the same
+      attempt number** — infrastructure failure never consumes a
+      measurement's retry budget;
+    - after a ``"degraded"`` event the pool is spent: the caller owns
+      every task the event carries (plus any it still tracks as
+      outstanding) and must finish them itself;
+    - :meth:`close` releases every executor and is idempotent.
+    """
+
+    def submit(self, task: Task) -> None:
+        """Queue ``task`` for dispatch on the next :meth:`poll`."""
+        raise NotImplementedError
+
+    def poll(self, timeout: Optional[float] = None) -> Optional[PoolEvent]:
+        """The next supervision event (None: drained or timed out)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release every executor (idempotent)."""
+        raise NotImplementedError
+
+    def __enter__(self) -> "DispatchPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
 
 def _worker_main(
@@ -115,8 +167,11 @@ def _worker_main(
     plan: Optional[faults.FaultPlan],
     task_fn: Callable[[Any], Any],
     tracing: bool,
+    child_setup: Optional[Callable[[], None]] = None,
 ) -> None:
     """Worker process loop: beat, receive, (maybe) chaos, work, send."""
+    if child_setup is not None:
+        child_setup()
     # With a fork start method the child inherits the parent's active
     # tracer and fault plan; make both explicit.
     obs_trace.install(None)
@@ -178,7 +233,7 @@ class _Worker:
         self.dispatched_at = 0.0
 
 
-class SupervisedPool:
+class SupervisedPool(DispatchPool):
     """A pool of supervised worker processes.
 
     Args:
@@ -197,6 +252,13 @@ class SupervisedPool:
             and ship the span records back with the result.
         poll_interval: parent-side supervision granularity (seconds).
         context: multiprocessing context (default: the platform's).
+        child_setup: module-level callable run first thing in every
+            worker child.  Fork-started children inherit every open file
+            descriptor; a parent embedding the pool in a network server
+            uses this to drop the child's copies of its sockets (see
+            :func:`repro.core.distributed.close_inherited_sockets`) —
+            otherwise a socket the parent closes never reaches EOF at
+            the peer while any worker still holds the inherited fd.
     """
 
     def __init__(
@@ -210,6 +272,7 @@ class SupervisedPool:
         tracing: bool = False,
         poll_interval: float = 0.05,
         context=None,
+        child_setup: Optional[Callable[[], None]] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -220,6 +283,7 @@ class SupervisedPool:
         self.max_respawns = max_respawns
         self.tracing = tracing
         self.poll_interval = poll_interval
+        self.child_setup = child_setup
         self._ctx = context if context is not None else mp.get_context()
         self._heartbeats = self._ctx.Array("d", workers, lock=False)
         self._queue: Deque[Task] = collections.deque()
@@ -260,6 +324,7 @@ class SupervisedPool:
                 self.fault_plan,
                 self.task_fn,
                 self.tracing,
+                self.child_setup,
             ),
             daemon=True,
             name=f"repro-worker-{slot}",

@@ -34,10 +34,22 @@ testable:
   leaving a truncated record for resume-time recovery to drop
   (:exc:`TornWrite` simulates the death).
 
-For process kinds the "attempt" dimension of a draw is the *dispatch*
-(or recovery) count, not the measurement's retry attempt — a worker
-crash is an infrastructure fault and must not consume the
-measurement's retry budget.
+Network chaos kinds (:data:`NETWORK_KINDS`) target the distributed
+sweep layer (:mod:`repro.core.distributed`), so the coordinator's
+failover and reconnect paths are testable on a loopback socket:
+
+- ``"agent_crash"`` — a remote agent process dies on task receipt
+  (listener and all: the coordinator's reconnects are refused),
+- ``"net_partition"`` — the coordinator's connection to an agent drops
+  at dispatch time; the agent itself stays up, so a reconnect heals it,
+- ``"message_corrupt"`` — a task frame is corrupted in flight; the
+  agent's checksum validation rejects it and drops the connection,
+  which the coordinator recovers from exactly like a partition.
+
+For process and network kinds the "attempt" dimension of a draw is the
+*dispatch* (or recovery) count, not the measurement's retry attempt — a
+worker crash, agent loss, or partition is an infrastructure fault and
+must not consume the measurement's retry budget.
 
 Faults are *transient* or *permanent*: a transient fault clears after a
 plan-chosen number of attempts (exercising the retry path), a permanent
@@ -69,8 +81,11 @@ MEASUREMENT_KINDS = ("build", "hang", "counters", "verify")
 #: Process-level chaos kinds targeting the sweep infrastructure.
 PROCESS_KINDS = ("worker_crash", "worker_hang", "journal_torn_write")
 
+#: Network-level chaos kinds targeting the distributed sweep layer.
+NETWORK_KINDS = ("agent_crash", "net_partition", "message_corrupt")
+
 #: Every fault kind a plan can inject.
-KINDS = MEASUREMENT_KINDS + PROCESS_KINDS
+KINDS = MEASUREMENT_KINDS + PROCESS_KINDS + NETWORK_KINDS
 
 #: Cycle budget forced onto a run when a "hang" fault fires — far below
 #: any real workload, so the engine's watchdog is guaranteed to trip.
@@ -124,6 +139,11 @@ class FaultPlan:
             probability that a given measurement's *infrastructure* is
             faulted (the worker process dies, wedges, or tears a journal
             write).
+        agent_crash_rate / net_partition_rate / message_corrupt_rate:
+            per-kind probability that a given measurement's *network
+            path* is faulted (the remote agent dies on receipt, the
+            connection partitions at dispatch, or the task frame is
+            corrupted in flight).
         transient_fraction: of injected faults, the fraction that clear
             after a bounded number of attempts (the rest are permanent
             and can only be quarantined).
@@ -139,6 +159,9 @@ class FaultPlan:
     worker_crash_rate: float = 0.0
     worker_hang_rate: float = 0.0
     torn_write_rate: float = 0.0
+    agent_crash_rate: float = 0.0
+    net_partition_rate: float = 0.0
+    message_corrupt_rate: float = 0.0
     transient_fraction: float = 1.0
     max_transient_attempts: int = 2
 
@@ -151,6 +174,9 @@ class FaultPlan:
             "worker_crash": self.worker_crash_rate,
             "worker_hang": self.worker_hang_rate,
             "journal_torn_write": self.torn_write_rate,
+            "agent_crash": self.agent_crash_rate,
+            "net_partition": self.net_partition_rate,
+            "message_corrupt": self.message_corrupt_rate,
         }[kind]
 
     def fires(self, kind: str, key: str, attempt: int) -> bool:
@@ -187,6 +213,11 @@ _PLAN_ALIASES = {
     "worker_hang": "worker_hang_rate",
     "journal_torn_write": "torn_write_rate",
     "torn": "torn_write_rate",
+    "agent_crash": "agent_crash_rate",
+    "net_partition": "net_partition_rate",
+    "partition": "net_partition_rate",
+    "message_corrupt": "message_corrupt_rate",
+    "corrupt": "message_corrupt_rate",
     "transient": "transient_fraction",
 }
 
@@ -219,7 +250,7 @@ def parse_plan(spec: str) -> FaultPlan:
     spec = spec.strip()
     if not spec:
         raise ValueError("empty fault-plan spec")
-    if spec.startswith("{"):
+    if spec.startswith(("{", "[")):
         try:
             raw = json.loads(spec)
         except json.JSONDecodeError as exc:

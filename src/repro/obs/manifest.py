@@ -83,6 +83,7 @@ def build_manifest(
     report=None,
     metrics: Optional[Dict[str, Any]] = None,
     artifacts: Optional[Dict[str, str]] = None,
+    hosts: Optional[Sequence[Dict[str, Any]]] = None,
     note: str = "",
 ) -> Dict[str, Any]:
     """Assemble a provenance manifest for one run or sweep.
@@ -100,6 +101,12 @@ def build_manifest(
         metrics: a metrics registry snapshot
             (:meth:`~repro.obs.metrics.MetricsRegistry.snapshot`).
         artifacts: artifact path -> SHA-256 checksum.
+        hosts: for distributed sweeps, the per-agent provenance from
+            :attr:`~repro.core.runner.SweepRunner.hosts_served` — one
+            entry per agent address (hostname, pid, agent version, jobs,
+            results served, sessions).  The ``environment`` fingerprint
+            describes only the coordinator; this names every machine
+            that actually produced a number.
         note: free-form description.
     """
     from dataclasses import asdict
@@ -169,6 +176,7 @@ def build_manifest(
     manifest["report"] = report.to_dict() if report is not None else None
     manifest["metrics"] = metrics if metrics is not None else {}
     manifest["artifacts"] = dict(artifacts) if artifacts else {}
+    manifest["hosts"] = [dict(h) for h in hosts] if hosts else []
     return manifest
 
 
@@ -244,4 +252,11 @@ def validate_manifest(data: Any) -> List[str]:
         for path, checksum in data["artifacts"].items():
             if not (isinstance(checksum, str) and len(checksum) == 64):
                 errors.append(f"artifact {path!r} checksum is not SHA-256 hex")
+    hosts = data.get("hosts", [])
+    if not isinstance(hosts, list):
+        errors.append("hosts is not a list")
+    else:
+        for i, entry in enumerate(hosts):
+            if not isinstance(entry, dict) or "host" not in entry:
+                errors.append(f"hosts[{i}] must be an object naming its host")
     return errors

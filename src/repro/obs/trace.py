@@ -218,9 +218,13 @@ class Tracer:
         sweep.  Paths are rewritten (``parent.path`` + ``alias`` prefix)
         and span ids re-derived from the new paths, so grafted ids stay
         deterministic and collision-free across workers; ``alias`` is a
-        pure path segment (it gets no span of its own).  Worker clocks
-        are not comparable to ours, so ``offset`` defaults to placing
-        the *end* of the grafted batch at this tracer's current time.
+        pure path segment (it gets no span of its own).  Distributed
+        sweeps pass host-qualified aliases (``host:port/setup@i.a``),
+        which work the same way: every "/" adds a path level, so one
+        trace file attributes each attempt to the machine that ran it.
+        Worker clocks are not comparable to ours, so ``offset`` defaults
+        to placing the *end* of the grafted batch at this tracer's
+        current time.
         """
         if not records:
             return []

@@ -1,0 +1,316 @@
+"""Unit tests: the distributed coordinator/agent layer.
+
+Covers the distributed acceptance criteria: a loopback sweep across two
+TCP agents — with and without injected network chaos (agent crashes,
+partitions, corrupted frames) — produces a report byte-identical to the
+fault-free serial run; a roster with no live agent left degrades
+honestly to local execution; a bad roster fails loudly before any
+measurement; remote spans are grafted under host-qualified aliases; and
+the manifest names every host that served results.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro import faults, workloads
+from repro.core import Experiment, ExperimentalSetup
+from repro.core import distributed as dist
+from repro.core.runner import RunnerConfig, SweepRunner
+from repro.obs import manifest as obs_manifest
+from repro.obs import trace as obs_trace
+
+WORKLOAD = "sphinx3"
+
+SETUPS = [
+    ExperimentalSetup(env_bytes=e) for e in (100, 116, 132, 148, 164, 180)
+]
+
+#: Network chaos validated to fire every kind at least once against
+#: SETUPS (asserted in the chaos test, not assumed).
+CHAOS_PLAN = faults.FaultPlan(
+    seed=10,
+    agent_crash_rate=0.12,
+    net_partition_rate=0.3,
+    message_corrupt_rate=0.3,
+    transient_fraction=1.0,
+    max_transient_attempts=1,
+)
+
+#: Coordinator knobs tuned for test wall-clock.
+FAST_DIST = dict(
+    heartbeat_interval=0.05,
+    hang_timeout=2.0,
+    max_respawns=2,
+    connect_timeout=3.0,
+)
+
+
+def fresh_experiment():
+    return Experiment(workloads.get(WORKLOAD))
+
+
+def keys():
+    exp = fresh_experiment()
+    return [
+        faults.fault_key(exp.workload.name, exp.size, exp.seed, s)
+        for s in SETUPS
+    ]
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_plan():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+@pytest.fixture
+def agents():
+    """Two loopback agents on ephemeral ports, stopped at teardown."""
+    servers = []
+    threads = []
+    for _ in range(2):
+        server = dist.AgentServer(jobs=2, quiet=True)
+        server.bind()
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        servers.append(server)
+        threads.append(thread)
+    yield servers
+    for server in servers:
+        server.stop()
+    for thread in threads:
+        thread.join(timeout=5.0)
+
+
+def hosts_arg(servers):
+    return ",".join(f"127.0.0.1:{s.address[1]}" for s in servers)
+
+
+def run_sweep(plan=None, hosts=None, **cfg):
+    runner = SweepRunner(
+        fresh_experiment(),
+        RunnerConfig(jobs=1, max_retries=2, hosts=hosts, **cfg),
+        fault_plan=plan,
+        sleep=lambda s: None,
+    )
+    return runner.run(SETUPS), runner
+
+
+class TestFraming:
+    def roundtrip(self, kind, data, corrupt=False):
+        a, b = socket.socketpair()
+        try:
+            dist.send_message(a, kind, data, corrupt=corrupt)
+            return dist.recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_message_roundtrip(self):
+        kind, data = self.roundtrip("task", {"key": "k", "n": [1, 2, 3]})
+        assert kind == "task"
+        assert data == {"key": "k", "n": [1, 2, 3]}
+
+    def test_corrupted_frame_is_rejected(self):
+        with pytest.raises(
+            dist.ProtocolError, match="JSON|checksum|frame"
+        ):
+            self.roundtrip("task", {"key": "k"}, corrupt=True)
+
+    def test_bad_magic_is_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(b"NOPE" + b"\x00" * 8)
+            with pytest.raises(dist.ProtocolError, match="magic"):
+                dist.recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_frame_is_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(
+                dist._HEADER.pack(dist.MAGIC, dist.MAX_FRAME_BYTES + 1)
+            )
+            with pytest.raises(dist.ProtocolError, match="length"):
+                dist.recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_close_is_eof(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            with pytest.raises(EOFError):
+                dist.recv_message(b)
+        finally:
+            b.close()
+
+    def test_task_payload_roundtrip(self):
+        exp = fresh_experiment()
+        payload = (
+            3, WORKLOAD, exp.size, exp.seed, SETUPS[3], True, 2, None,
+            None, 0.0,
+        )
+        assert dist.wire_to_payload(dist.payload_to_wire(payload)) == payload
+
+
+class TestAddressParsing:
+    def test_parse_host(self):
+        assert dist.parse_host(" node1:9000 ") == ("node1", 9000)
+
+    @pytest.mark.parametrize(
+        "spec", ["node1", ":9000", "node1:", "node1:port", "node1:70000"]
+    )
+    def test_parse_host_rejects(self, spec):
+        with pytest.raises(ValueError):
+            dist.parse_host(spec)
+
+    def test_parse_hosts(self):
+        assert dist.parse_hosts("a:1, b:2,") == [("a", 1), ("b", 2)]
+
+    def test_parse_hosts_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            dist.parse_hosts(" , ")
+
+    def test_runner_config_validates_hosts_eagerly(self):
+        with pytest.raises(ValueError):
+            RunnerConfig(hosts="node1")
+        with pytest.raises(ValueError):
+            RunnerConfig(connect_timeout=0.0)
+
+
+class TestAgentServer:
+    def test_jobs_validated(self):
+        with pytest.raises(ValueError, match="jobs"):
+            dist.AgentServer(jobs=0)
+
+    def test_port_file_written(self, tmp_path):
+        port_file = tmp_path / "agent.port"
+        server = dist.AgentServer(port_file=str(port_file), quiet=True)
+        try:
+            host, port = server.bind()
+            assert int(port_file.read_text()) == port
+        finally:
+            server.stop()
+            server._close_listener()
+
+
+class TestDistributedSweep:
+    @pytest.mark.slow
+    def test_fault_free_report_is_byte_identical_to_serial(self, agents):
+        serial, _ = run_sweep()
+        result, runner = run_sweep(hosts=hosts_arg(agents), **FAST_DIST)
+        assert result.report.to_json() == serial.report.to_json()
+        assert result.report.complete and not result.report.degraded
+        served = {h["port"]: h for h in runner.hosts_served}
+        assert set(served) == {s.address[1] for s in agents}
+        assert sum(h["results"] for h in served.values()) == len(SETUPS)
+        for info in served.values():
+            assert info["hostname"] == socket.gethostname()
+            assert info["jobs"] == 2
+
+    @pytest.mark.slow
+    def test_chaos_report_is_byte_identical_to_serial(self, agents):
+        """The tentpole criterion: agent crashes, partitions and
+        corrupted frames are infrastructure faults — invisible in the
+        report."""
+        # The plan must exercise every network failure path.  A
+        # partition at first dispatch suppresses corruption (nothing is
+        # sent) and both suppress the agent-side crash draw (the task
+        # never arrives), so assert on *effective* outcomes.
+        fired = {"agent_crash": 0, "net_partition": 0, "message_corrupt": 0}
+        for key in keys():
+            part = CHAOS_PLAN.fires("net_partition", key, 1)
+            corrupt = CHAOS_PLAN.fires("message_corrupt", key, 1) and not part
+            crash = (
+                CHAOS_PLAN.fires("agent_crash", key, 1)
+                and not part
+                and not corrupt
+            )
+            fired["net_partition"] += part
+            fired["message_corrupt"] += corrupt
+            fired["agent_crash"] += crash
+        assert all(fired.values()), f"inert chaos plan: {fired}"
+
+        serial, _ = run_sweep()
+        result, runner = run_sweep(
+            plan=CHAOS_PLAN, hosts=hosts_arg(agents), **FAST_DIST
+        )
+        assert result.report.to_json() == serial.report.to_json()
+        assert result.report.complete and not result.report.degraded
+        assert result.report.retries == 0, (
+            "network failover was charged as a measurement retry"
+        )
+        assert sum(s.crashed for s in agents) == 1
+        assert sum(h["results"] for h in runner.hosts_served) == len(SETUPS)
+
+    @pytest.mark.slow
+    def test_all_agents_lost_degrades_honestly(self, agents):
+        """Every agent crashing must finish the sweep locally and name
+        every unfinished setup — never a silent partial table."""
+        plan = faults.FaultPlan(
+            seed=1, agent_crash_rate=1.0, transient_fraction=0.0
+        )
+        baseline, _ = run_sweep()
+        result, _ = run_sweep(
+            plan=plan, hosts=hosts_arg(agents), **FAST_DIST
+        )
+        rep = result.report
+        assert rep.degraded
+        assert rep.degraded_setups == [s.describe() for s in SETUPS]
+        assert rep.complete  # the local fallback measured everything
+        assert all(s.crashed for s in agents)
+        assert [m.cycles for m in result.ok] == [
+            m.cycles for m in baseline.ok
+        ]
+
+    def test_bad_roster_fails_loudly(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(dist.AgentUnavailable, match="unreachable"):
+            run_sweep(
+                hosts=f"127.0.0.1:{dead_port}", connect_timeout=3.0
+            )
+
+    @pytest.mark.slow
+    def test_remote_spans_graft_under_host_aliases(self, agents):
+        tracer = obs_trace.Tracer()
+        with obs_trace.tracing(tracer):
+            result, _ = run_sweep(hosts=hosts_arg(agents), **FAST_DIST)
+        assert result.report.complete
+        remote = [s for s in tracer.spans if "/setup@" in s.path]
+        assert remote, "no remote spans were grafted"
+        labels = {f"127.0.0.1:{s.address[1]}" for s in agents}
+        aliases = set()
+        for span in remote:
+            host_part, alias = span.path.split("/")[1:3]
+            assert host_part in labels
+            aliases.add(alias)
+        assert aliases == {f"setup@{i}.1" for i in range(len(SETUPS))}
+
+    @pytest.mark.slow
+    def test_manifest_names_every_host(self, agents, tmp_path):
+        result, runner = run_sweep(hosts=hosts_arg(agents), **FAST_DIST)
+        manifest = obs_manifest.build_manifest(
+            experiment=fresh_experiment(),
+            setups=SETUPS,
+            report=result.report,
+            hosts=runner.hosts_served,
+        )
+        assert obs_manifest.validate_manifest(manifest) == []
+        assert {h["port"] for h in manifest["hosts"]} == {
+            s.address[1] for s in agents
+        }
+        path = tmp_path / "manifest.json"
+        obs_manifest.save_manifest(str(path), manifest)
+        reloaded = obs_manifest.load_manifest(str(path))
+        assert obs_manifest.validate_manifest(reloaded) == []
+        assert reloaded["hosts"] == manifest["hosts"]

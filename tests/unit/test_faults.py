@@ -67,11 +67,16 @@ class TestFaultPlan:
 
 class TestProcessKinds:
     def test_kinds_cover_measurement_and_process_families(self):
-        assert set(faults.KINDS) == set(faults.MEASUREMENT_KINDS) | set(
-            faults.PROCESS_KINDS
+        assert set(faults.KINDS) == (
+            set(faults.MEASUREMENT_KINDS)
+            | set(faults.PROCESS_KINDS)
+            | set(faults.NETWORK_KINDS)
         )
         assert set(faults.PROCESS_KINDS) == {
             "worker_crash", "worker_hang", "journal_torn_write",
+        }
+        assert set(faults.NETWORK_KINDS) == {
+            "agent_crash", "net_partition", "message_corrupt",
         }
 
     def test_process_kind_rates_drive_draws(self):
@@ -143,6 +148,37 @@ class TestParsePlan:
             faults.parse_plan("{not json")
         with pytest.raises(ValueError, match="bad fault-plan value"):
             faults.parse_plan("seed=soon")
+
+    def test_json_must_be_an_object(self):
+        with pytest.raises(ValueError, match="must be an object"):
+            faults.parse_plan("[1, 2]")
+
+    def test_json_values_are_validated_too(self):
+        with pytest.raises(ValueError, match="bad fault-plan value"):
+            faults.parse_plan('{"seed": "soon"}')
+        with pytest.raises(ValueError, match="unknown fault-plan key"):
+            faults.parse_plan('{"meteor_rate": 1.0}')
+
+    def test_json_accepts_kind_aliases(self):
+        plan = faults.parse_plan('{"torn": 0.2, "seed": 4}')
+        assert plan == faults.FaultPlan(seed=4, torn_write_rate=0.2)
+
+    def test_network_kind_aliases(self):
+        plan = faults.parse_plan(
+            "seed=2,agent_crash=0.1,net_partition=0.2,message_corrupt=0.3"
+        )
+        assert plan == faults.FaultPlan(
+            seed=2,
+            agent_crash_rate=0.1,
+            net_partition_rate=0.2,
+            message_corrupt_rate=0.3,
+        )
+
+    def test_unknown_key_error_names_the_choices(self):
+        with pytest.raises(ValueError) as excinfo:
+            faults.parse_plan("meteor=1.0")
+        for alias in ("agent_crash", "net_partition", "message_corrupt"):
+            assert alias in str(excinfo.value)
 
 
 class TestInstallation:

@@ -359,6 +359,32 @@ class TestJournalCompaction:
         with pytest.raises(ArchiveCorruption, match="does not exist"):
             compact_journal(str(tmp_path / "missing.jsonl"))
 
+    def test_compacting_an_empty_file_is_refused(self, tmp_path):
+        path = str(tmp_path / "empty.jsonl")
+        open(path, "w").close()
+        with pytest.raises(ArchiveCorruption, match="empty"):
+            compact_journal(path)
+        with open(path) as fh:  # refused means untouched
+            assert fh.read() == ""
+
+    def test_compacting_a_header_only_journal_is_a_noop(self, tmp_path):
+        """A journal from a sweep killed before its first record has a
+        header and nothing else; compaction must keep it resumable."""
+        from repro.core.runner import JOURNAL_FORMAT
+
+        path = str(tmp_path / "header-only.jsonl")
+        header = {"format": JOURNAL_FORMAT, "sweep": "abc", "torn_recovered": 0}
+        with open(path, "w") as fh:
+            fh.write(json.dumps(header, sort_keys=True) + "\n")
+        stats = compact_journal(path)
+        assert stats.records_before == 0
+        assert stats.records_after == 0
+        assert stats.dropped_corrupt == 0
+        with open(path) as fh:
+            lines = fh.read().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["sweep"] == "abc"
+
     def test_compaction_drops_corrupt_lines_and_counts_them(self, tmp_path):
         path = self._journal(tmp_path)
         run_sweep(jobs=1, journal=path)

@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""CI tool: docstring-coverage ratchet for the ``repro`` package.
+
+Usage: python tools/check_docstrings.py [--update] [--verbose]
+
+Walks every module under ``src/repro``, counts public definitions
+(modules, classes, functions, and methods whose names don't start with
+``_``) and how many of them carry a docstring, and compares the overall
+ratio against the floor pinned in this file.  The gate fails when
+coverage drops below the floor — new code has to be documented at least
+as well as the code it joins — and asks for a ratchet bump when coverage
+rises well above it, so the floor follows the documentation level up but
+never back down.
+
+``--update`` prints the exact floor line to paste when ratcheting;
+``--verbose`` lists every undocumented public definition, which is also
+printed on failure so the fix is one ``--verbose``-guided edit away.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+from typing import Iterator, List, Tuple
+
+#: The ratchet: the measured coverage must never drop below this.  Raise
+#: it (see --update) whenever real coverage climbs more than a point
+#: above; never lower it.
+FLOOR = 0.75
+
+#: Hysteresis before the gate asks for a ratchet bump, so routine
+#: commits don't churn the floor.
+SLACK = 0.02
+
+SRC_ROOT = os.path.join(os.path.dirname(__file__), os.pardir, "src", "repro")
+
+
+def iter_modules(root: str) -> Iterator[str]:
+    for dirpath, _dirnames, filenames in sorted(os.walk(root)):
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                yield os.path.join(dirpath, name)
+
+
+def public_definitions(path: str) -> Iterator[Tuple[str, bool]]:
+    """Yield ``(qualified_name, has_docstring)`` for the module and each
+    public class/function/method defined in it."""
+    with open(path) as fh:
+        tree = ast.parse(fh.read(), filename=path)
+    rel = os.path.relpath(path, os.path.dirname(SRC_ROOT))
+    modname = rel[:-3].replace(os.sep, ".")
+    yield modname, ast.get_docstring(tree) is not None
+
+    def walk(node: ast.AST, prefix: str) -> Iterator[Tuple[str, bool]]:
+        for child in ast.iter_child_nodes(node):
+            if not isinstance(
+                child,
+                (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef),
+            ):
+                continue
+            if child.name.startswith("_"):
+                continue
+            name = f"{prefix}.{child.name}"
+            yield name, ast.get_docstring(child) is not None
+            if isinstance(child, ast.ClassDef):
+                yield from walk(child, name)
+
+    yield from walk(tree, modname)
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update", action="store_true",
+        help="print the floor line for a ratchet bump",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="list every undocumented public definition",
+    )
+    args = parser.parse_args(argv)
+
+    total = documented = 0
+    missing: List[str] = []
+    for path in iter_modules(os.path.normpath(SRC_ROOT)):
+        for name, has_doc in public_definitions(path):
+            total += 1
+            documented += has_doc
+            if not has_doc:
+                missing.append(name)
+
+    ratio = documented / total if total else 1.0
+    print(
+        f"docstring coverage: {documented}/{total} public definitions "
+        f"({ratio:.1%}); floor {FLOOR:.1%}"
+    )
+    if args.verbose or ratio < FLOOR:
+        for name in missing:
+            print(f"  undocumented: {name}")
+    if args.update:
+        suggested = int(ratio * 100) / 100
+        print(f"ratchet line: FLOOR = {suggested:.2f}")
+        return 0
+    if ratio < FLOOR:
+        print(
+            f"FAIL: coverage fell below the ratchet floor "
+            f"({ratio:.1%} < {FLOOR:.1%}); document the additions "
+            f"(or justify lowering the floor in review)."
+        )
+        return 1
+    if ratio > FLOOR + SLACK:
+        print(
+            f"FAIL: coverage ({ratio:.1%}) has outgrown the floor; "
+            f"ratchet it up (run with --update for the exact line)."
+        )
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
