@@ -60,6 +60,28 @@ def _bench_fault_plan() -> Optional[faults.FaultPlan]:
 #: recorded in every result's provenance sidecar either way.
 BENCH_FAULT_PLAN = _bench_fault_plan()
 
+
+def _bench_store():
+    """The shared measurement store, from REPRO_BENCH_STORE.
+
+    When the variable names a directory, every suite-scale sweep routes
+    through one on-disk :class:`repro.store.MeasurementStore`: a cold
+    run fills it, and a warm re-run of the same bench skips the
+    simulator entirely while publishing byte-identical tables (the
+    store's contract; see docs/store.md).  Unset = no store, as before.
+    """
+    path = os.environ.get("REPRO_BENCH_STORE", "").strip()
+    if not path:
+        return None
+    from repro.store import open_store
+
+    return open_store(path)
+
+
+#: Shared content-addressed measurement store for the benchmark harness
+#: (None unless REPRO_BENCH_STORE names a directory).
+BENCH_STORE = _bench_store()
+
 #: Canonical base/treatment pair: the paper's "is O3 beneficial?" question.
 BASE = ExperimentalSetup(machine="core2", compiler="gcc", opt_level=2)
 TREATMENT = BASE.with_changes(opt_level=3)
@@ -95,14 +117,17 @@ def parallel_sweep(
     sweep the runner could not fully measure fails the bench loudly.
     """
     plan = fault_plan if fault_plan is not None else BENCH_FAULT_PLAN
-    if plan is None and BENCH_HOSTS is None and (
+    if plan is None and BENCH_HOSTS is None and BENCH_STORE is None and (
         BENCH_JOBS <= 1 or len(setups) < 4
     ):
         for s in setups:
             exp.run(s)
         return
     result = SweepRunner(
-        exp, RunnerConfig(jobs=BENCH_JOBS, hosts=BENCH_HOSTS), fault_plan=plan
+        exp,
+        RunnerConfig(jobs=BENCH_JOBS, hosts=BENCH_HOSTS),
+        fault_plan=plan,
+        store=BENCH_STORE,
     ).run(setups)
     if result.report.quarantined:
         raise RuntimeError(
@@ -142,6 +167,9 @@ def publish(
         "bench_hosts": BENCH_HOSTS,
         "fault_plan": (
             asdict(BENCH_FAULT_PLAN) if BENCH_FAULT_PLAN is not None else None
+        ),
+        "store": (
+            BENCH_STORE.provenance() if BENCH_STORE is not None else None
         ),
         "metrics": obs_metrics.registry().snapshot(),
         "meta": dict(meta) if meta else {},

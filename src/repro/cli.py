@@ -28,7 +28,16 @@ Remaining commands:
 - ``obs`` — summarize / validate / merge / diff traces, manifests, and
   checkpoint journals,
 - ``journal`` — compact or summarize a sweep's checkpoint journal,
+- ``store`` — stats / gc / verify / export for a content-addressed
+  measurement store (see docs/store.md),
 - ``survey`` — print the literature-survey table.
+
+Incremental sweeps: ``--store DIR`` (or ``$REPRO_STORE``) backs
+``run``/``study``/``randomized`` with a content-addressed store —
+setups measured by any earlier run are served from the store instead of
+executed, with the report, journal, and published tables byte-identical
+to a cold run; ``--no-store`` opts out.  A ``store: hits=…`` summary
+goes to stderr and the provenance manifest records the hit counts.
 
 Chaos engineering: ``--fault-plan SPEC`` installs a deterministic
 :class:`~repro.faults.FaultPlan` (``seed=3,worker_crash=0.4,...`` or a
@@ -50,6 +59,7 @@ harness uses) and exits non-zero on verification failures.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -193,6 +203,41 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
             "ignored (each agent brings its own)"
         ),
     )
+    parser.add_argument(
+        "--secret", metavar="SECRET",
+        default=os.environ.get("REPRO_AGENT_SECRET"),
+        help=(
+            "shared secret for the --hosts agent handshake (default: "
+            "$REPRO_AGENT_SECRET); must match each agent's --secret"
+        ),
+    )
+    _add_store_args(parser)
+
+
+def _add_store_args(parser: argparse.ArgumentParser) -> None:
+    """Content-addressed store flags (see docs/store.md)."""
+    parser.add_argument(
+        "--store", metavar="DIR", default=os.environ.get("REPRO_STORE"),
+        help=(
+            "content-addressed measurement store directory (default: "
+            "$REPRO_STORE); setups already held there skip execution "
+            "with byte-identical reports"
+        ),
+    )
+    parser.add_argument(
+        "--no-store", action="store_true",
+        help="ignore $REPRO_STORE / --store and measure everything",
+    )
+
+
+def _store_from_args(args: argparse.Namespace):
+    """The :class:`~repro.store.MeasurementStore` the flags ask for, or
+    None (no --store/$REPRO_STORE, or --no-store)."""
+    if getattr(args, "no_store", False) or not getattr(args, "store", None):
+        return None
+    from repro.store import open_store
+
+    return open_store(args.store)
 
 
 def _manifest_path(args: argparse.Namespace) -> Optional[str]:
@@ -226,13 +271,16 @@ def _run_sweep(exp: Experiment, setups, args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         journal_max_records=args.journal_max_records,
         hosts=args.hosts,
+        secret=args.secret,
     )
+    store = _store_from_args(args)
     runner = SweepRunner(
         exp,
         config,
         journal_path=args.resume,
         fault_plan=args.fault_plan,
         progress=obs_progress.for_stream(sys.stderr, quiet=args.quiet),
+        store=store,
     )
     tracer = (
         obs_trace.Tracer(label=f"repro {args.command}")
@@ -261,6 +309,7 @@ def _run_sweep(exp: Experiment, setups, args: argparse.Namespace) -> int:
             metrics=obs_metrics.registry().snapshot(),
             artifacts=artifacts,
             hosts=runner.hosts_served,
+            store=store,
             note=f"repro {args.command} {args.workload}",
         )
         obs_manifest.save_manifest(manifest_path, manifest)
@@ -269,6 +318,10 @@ def _run_sweep(exp: Experiment, setups, args: argparse.Namespace) -> int:
         with open(args.report_out, "w") as fh:
             fh.write(report.to_json() + "\n")
         print(f"report written to {args.report_out}", file=sys.stderr)
+    if store is not None:
+        # stderr, like progress: stdout stays exactly the published
+        # tables (CI compares it byte-for-byte across runs).
+        print(store.summary(), file=sys.stderr)
     interesting = (
         report.resumed or report.retries or report.quarantined
         or report.degraded or args.jobs > 1 or args.resume
@@ -280,6 +333,7 @@ def _run_sweep(exp: Experiment, setups, args: argparse.Namespace) -> int:
 
 
 def cmd_workloads(args: argparse.Namespace) -> int:
+    """`repro workloads`: list the workload suite."""
     rows = [
         [wl.name, len(wl.sources), wl.description]
         for wl in workloads.suite()
@@ -289,6 +343,7 @@ def cmd_workloads(args: argparse.Namespace) -> int:
 
 
 def cmd_machines(args: argparse.Namespace) -> int:
+    """`repro machines`: list the modeled platforms."""
     rows = []
     headers: Optional[List[str]] = None
     for name in available_machines():
@@ -302,9 +357,19 @@ def cmd_machines(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    """`repro run`: one measurement, with counters and verification."""
     exp = Experiment(workloads.get(args.workload), size=args.size, seed=args.seed)
     setup = _setup_from_args(args, args.opt)
-    m = exp.run(setup)
+    store = _store_from_args(args)
+    if store is not None:
+        exp.attach_store(store)
+        m = store.get_measurement(exp, setup)
+        if m is None:
+            m = exp.run(setup)
+            store.put_measurement(exp, m)
+        print(store.summary(), file=sys.stderr)
+    else:
+        m = exp.run(setup)
     c = m.counters
     rows = [[k, f"{v:,.0f}" if v >= 100 else f"{v:g}"] for k, v in c.as_dict().items()]
     print(render_table(["counter", "value"], rows, title=m.setup.describe()))
@@ -313,6 +378,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_study(args: argparse.Namespace) -> int:
+    """`repro study`: an env-size or link-order bias study."""
     exp = Experiment(workloads.get(args.workload), size=args.size, seed=args.seed)
     base = _setup_from_args(args, args.base_opt)
     treatment = _setup_from_args(args, args.treatment_opt)
@@ -360,6 +426,7 @@ def cmd_study(args: argparse.Namespace) -> int:
 
 
 def cmd_randomized(args: argparse.Namespace) -> int:
+    """`repro randomized`: the paper's setup-randomization protocol."""
     exp = Experiment(workloads.get(args.workload), size=args.size, seed=args.seed)
     base = _setup_from_args(args, args.base_opt)
     treatment = _setup_from_args(args, args.treatment_opt)
@@ -383,6 +450,7 @@ def cmd_randomized(args: argparse.Namespace) -> int:
 
 
 def cmd_characterize(args: argparse.Namespace) -> int:
+    """`repro characterize`: a workload's static + dynamic shape."""
     from repro.workloads.characterize import (
         dynamic_character,
         opcode_mix,
@@ -422,6 +490,7 @@ def cmd_characterize(args: argparse.Namespace) -> int:
 
 
 def cmd_archive(args: argparse.Namespace) -> int:
+    """`repro archive`: measure a sweep and save it as an archive."""
     from repro.core.session import save_measurements
     from repro.obs import metrics as obs_metrics
     from repro.obs.manifest import build_manifest
@@ -449,6 +518,7 @@ def cmd_archive(args: argparse.Namespace) -> int:
 
 
 def cmd_verify_archive(args: argparse.Namespace) -> int:
+    """`repro verify-archive`: re-measure an archive and compare."""
     from repro.core.errors import ArchiveCorruption
     from repro.core.session import load_measurements, verify_against_archive
 
@@ -473,6 +543,7 @@ def cmd_verify_archive(args: argparse.Namespace) -> int:
 
 
 def cmd_obs(args: argparse.Namespace) -> int:
+    """`repro obs`: summarize/validate/merge/diff observability artifacts."""
     import json
 
     from repro.obs import inspect as obs_inspect
@@ -547,6 +618,7 @@ def cmd_obs(args: argparse.Namespace) -> int:
 
 
 def cmd_journal(args: argparse.Namespace) -> int:
+    """`repro journal`: compact or summarize checkpoint journals."""
     from repro.obs import inspect as obs_inspect
 
     if args.journal_command == "compact":
@@ -568,7 +640,47 @@ def cmd_journal(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_store(args: argparse.Namespace) -> int:
+    """`repro store`: stats/gc/verify/export on a measurement store."""
+    from repro.store import open_store
+
+    if not args.dir:
+        print(
+            "error: no store directory (pass one or set $REPRO_STORE)",
+            file=sys.stderr,
+        )
+        return 2
+    store = open_store(args.dir)
+    if args.store_command == "stats":
+        stats = store.stats()
+        rows = [[k, str(stats[k])] for k in sorted(stats)]
+        print(render_table(["property", "value"], rows, title=args.dir))
+        return 0
+
+    if args.store_command == "gc":
+        evicted, freed = store.gc(args.max_bytes)
+        stats = store.stats()
+        print(
+            f"gc: evicted {evicted} entries ({freed} bytes); "
+            f"{stats['entries']} entries ({stats['bytes']} bytes) remain"
+        )
+        return 0
+
+    if args.store_command == "verify":
+        ok, corrupt = store.verify()
+        for key in corrupt:
+            print(f"CORRUPT: {key}")
+        print(f"{ok} entries verified, {len(corrupt)} corrupt")
+        return 1 if corrupt else 0
+
+    # export
+    count = store.export(args.out, note=args.note)
+    print(f"exported {count} measurements to {args.out}")
+    return 0
+
+
 def cmd_agent(args: argparse.Namespace) -> int:
+    """`repro agent`: serve sweeps to remote coordinators over TCP."""
     from repro.core.distributed import AgentServer
 
     host, port = args.listen
@@ -578,6 +690,7 @@ def cmd_agent(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         port_file=args.port_file,
         quiet=args.quiet,
+        secret=args.secret,
     )
     bound = server.bind()
     print(
@@ -596,6 +709,7 @@ def cmd_agent(args: argparse.Namespace) -> int:
 
 
 def cmd_survey(args: argparse.Namespace) -> int:
+    """`repro survey`: the paper's 133-paper literature survey."""
     print(
         render_table(
             ["metric", "value"],
@@ -607,6 +721,7 @@ def cmd_survey(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The full argparse tree (one subcommand per cmd_* handler)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Measurement-bias laboratory (ASPLOS 2009 reproduction)",
@@ -625,6 +740,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--opt", type=int, default=2, choices=[0, 1, 2, 3])
     run.add_argument("--env-bytes", type=int, default=None)
     _add_setup_args(run)
+    _add_store_args(run)
     run.set_defaults(func=cmd_run)
 
     study = sub.add_parser("study", help="sweep an 'innocuous' parameter")
@@ -721,6 +837,45 @@ def build_parser() -> argparse.ArgumentParser:
     journal_summary.add_argument("paths", nargs="+")
     journal.set_defaults(func=cmd_journal)
 
+    store = sub.add_parser(
+        "store", help="manage a content-addressed measurement store"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_dir_help = "store directory (default: $REPRO_STORE)"
+
+    def _store_dir(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "dir", nargs="?", default=os.environ.get("REPRO_STORE"),
+            help=store_dir_help,
+        )
+
+    store_stats = store_sub.add_parser(
+        "stats", help="entry counts, footprint, and key scheme"
+    )
+    _store_dir(store_stats)
+    store_gc = store_sub.add_parser(
+        "gc", help="evict least-recently-used entries down to a size cap"
+    )
+    _store_dir(store_gc)
+    store_gc.add_argument(
+        "--max-bytes", type=_non_negative_int, required=True,
+        help="target payload footprint in bytes",
+    )
+    store_verify = store_sub.add_parser(
+        "verify",
+        help="audit every entry's checksum (exit 1 if any are corrupt)",
+    )
+    _store_dir(store_verify)
+    store_export = store_sub.add_parser(
+        "export", help="write every stored measurement to a v2 archive"
+    )
+    _store_dir(store_export)
+    store_export.add_argument("out", help="archive path to write")
+    store_export.add_argument(
+        "--note", default="", help="note recorded in the archive"
+    )
+    store.set_defaults(func=cmd_store)
+
     agent = sub.add_parser(
         "agent", help="serve sweep setups to remote coordinators over TCP"
     )
@@ -747,6 +902,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress per-session log lines on stderr",
     )
+    agent.add_argument(
+        "--secret", metavar="SECRET",
+        default=os.environ.get("REPRO_AGENT_SECRET"),
+        help=(
+            "require coordinators to present this shared secret in the "
+            "hello handshake (default: $REPRO_AGENT_SECRET; unset = "
+            "no authentication)"
+        ),
+    )
     agent.set_defaults(func=cmd_agent)
 
     survey = sub.add_parser("survey", help="print the literature survey")
@@ -756,6 +920,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

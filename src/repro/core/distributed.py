@@ -50,6 +50,8 @@ operator's runbook.
 from __future__ import annotations
 
 import collections
+import hashlib
+import hmac
 import json
 import os
 import queue
@@ -71,6 +73,7 @@ from repro.core.session import (
     setup_to_dict,
 )
 from repro.core.supervisor import (
+    DEFAULT_HANG_TIMEOUT,
     DispatchPool,
     PoolEvent,
     SupervisedPool,
@@ -112,6 +115,24 @@ class AgentUnavailable(ReproError):
     """
 
     retryable = False
+
+
+# -- authentication ----------------------------------------------------------
+
+
+def auth_digest(secret: str) -> str:
+    """The hello's ``auth`` proof for a shared agent secret.
+
+    The secret itself never crosses the wire: both sides derive the
+    same SHA-256 digest (domain-separated so a leaked digest is useless
+    as anything but an agent hello) and the agent compares with
+    :func:`hmac.compare_digest`, so a byte-by-byte timing probe learns
+    nothing.  This authenticates *sessions*, not bytes — operators who
+    need transport integrity against an active network attacker should
+    tunnel agent traffic (ssh -L, WireGuard) as docs/distributed.md
+    describes.
+    """
+    return hashlib.sha256(b"repro-agent-auth:" + secret.encode()).hexdigest()
 
 
 # -- fork hygiene ------------------------------------------------------------
@@ -299,6 +320,11 @@ class AgentServer:
         port_file: when set, the bound port is written here after
             :meth:`bind` — the race-free way for scripts to use port 0.
         quiet: suppress the per-event log lines on stderr.
+        secret: optional shared secret; when set, every hello must carry
+            the matching :func:`auth_digest` proof or the session is
+            refused before any task is accepted (``--secret`` /
+            ``REPRO_AGENT_SECRET`` on both ends).  Unset = open agent,
+            as before.
     """
 
     def __init__(
@@ -309,6 +335,7 @@ class AgentServer:
         port_file: Optional[str] = None,
         quiet: bool = False,
         poll_interval: float = 0.05,
+        secret: Optional[str] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -318,6 +345,7 @@ class AgentServer:
         self.port_file = port_file
         self.quiet = quiet
         self.poll_interval = poll_interval
+        self.secret = secret
         self._listener: Optional[socket.socket] = None
         self._stop = threading.Event()
         #: Set when an injected ``agent_crash`` killed the agent; the
@@ -426,10 +454,31 @@ class AgentServer:
                            f"{hello.get('protocol')!r}",
             })
             raise ProtocolError("protocol version mismatch")
+        if self.secret is not None:
+            proof = hello.get("auth")
+            expected = auth_digest(self.secret)
+            if not (
+                isinstance(proof, str)
+                and hmac.compare_digest(proof, expected)
+            ):
+                # Refuse before reading policy knobs: an unauthenticated
+                # coordinator configures nothing.  The error names its
+                # code so the coordinator can count auth failures apart
+                # from transport losses, but never echoes the digest.
+                send_message(conn, "error", {
+                    "code": "auth",
+                    "message": "authentication failed: agent requires a "
+                               "shared secret (--secret)",
+                })
+                raise ProtocolError("coordinator failed authentication")
         plan_dict = hello.get("fault_plan")
         plan = faults.FaultPlan(**plan_dict) if plan_dict else None
         knobs = hello.get("runner") or {}
         heartbeat_interval = float(knobs.get("heartbeat_interval", 0.2))
+        # None means "adapt": the agent's own pool derives its hang
+        # threshold from observed task durations (see SupervisedPool).
+        raw_hang = knobs.get("hang_timeout", DEFAULT_HANG_TIMEOUT)
+        hang_timeout = None if raw_hang is None else float(raw_hang)
         tracing = bool(hello.get("tracing", False))
         send_message(conn, "hello_ack", {
             "protocol": PROTOCOL_VERSION,
@@ -460,7 +509,7 @@ class AgentServer:
             task_fn=_runner._measure_task,
             fault_plan=plan,
             heartbeat_interval=heartbeat_interval,
-            hang_timeout=float(knobs.get("hang_timeout", 5.0)),
+            hang_timeout=hang_timeout,
             max_respawns=int(knobs.get("max_respawns", 8)),
             tracing=tracing,
             child_setup=close_inherited_sockets,
@@ -611,6 +660,11 @@ class AgentPool(DispatchPool):
             agent-side, where the dying happens).
         heartbeat_interval: how often agents beat (sent in the hello).
         hang_timeout: an agent silent past this is declared partitioned.
+            None falls back to
+            :data:`~repro.core.supervisor.DEFAULT_HANG_TIMEOUT` — link
+            liveness is paced by heartbeats, not task durations, so the
+            coordinator has nothing to adapt to (each agent's *local*
+            pool still adapts; the hello forwards None).
         max_reconnects: reconnection attempts **per lost agent** before
             that agent is dropped for good.  Per-link (unlike the local
             pool's global respawn budget) because agent failures are
@@ -625,7 +679,7 @@ class AgentPool(DispatchPool):
         hello: Dict[str, Any],
         fault_plan: Optional[faults.FaultPlan] = None,
         heartbeat_interval: float = 0.2,
-        hang_timeout: float = 5.0,
+        hang_timeout: Optional[float] = None,
         max_reconnects: int = 8,
         connect_timeout: float = 10.0,
         poll_interval: float = 0.05,
@@ -635,7 +689,9 @@ class AgentPool(DispatchPool):
         self.hello = dict(hello)
         self.fault_plan = fault_plan
         self.heartbeat_interval = heartbeat_interval
-        self.hang_timeout = hang_timeout
+        self.hang_timeout = (
+            DEFAULT_HANG_TIMEOUT if hang_timeout is None else hang_timeout
+        )
         self.max_reconnects = max_reconnects
         self.connect_timeout = connect_timeout
         self.poll_interval = poll_interval
@@ -690,6 +746,12 @@ class AgentPool(DispatchPool):
             raise
         if kind == "error":
             sock.close()
+            if info.get("code") == "auth":
+                # Counted apart from transport losses: a wrong secret is
+                # an operator/configuration problem, and it spends the
+                # same per-link budget a dead host would (initial
+                # connects still fail fast as AgentUnavailable).
+                obs_metrics.counter("distributed.auth_failures").inc()
             raise ProtocolError(
                 f"agent {host}:{port} rejected the session: "
                 f"{info.get('message')}"
@@ -938,22 +1000,27 @@ def _readable(sock: socket.socket) -> bool:
 def build_hello(
     fault_plan: Optional[faults.FaultPlan],
     heartbeat_interval: float,
-    hang_timeout: float,
+    hang_timeout: Optional[float],
     max_respawns: int,
     tracing: bool,
     note: str = "",
+    secret: Optional[str] = None,
 ) -> Dict[str, Any]:
     """The coordinator's session-opening message.
 
     Carries every policy knob an agent needs, so the whole fleet is
     configured from one command line: the fault plan (as a plain dict —
     agents re-hydrate it), the supervision cadence for the agent's own
-    worker pool, and whether workers should trace their tasks.
+    worker pool (``hang_timeout=None`` asks each agent's pool to adapt
+    its own threshold), whether workers should trace their tasks, and —
+    when a shared ``secret`` is set — the :func:`auth_digest` proof that
+    secured agents require.
     """
     from dataclasses import asdict
 
     return {
         "protocol": PROTOCOL_VERSION,
+        "auth": auth_digest(secret) if secret else None,
         "fault_plan": asdict(fault_plan) if fault_plan is not None else None,
         "runner": {
             "heartbeat_interval": heartbeat_interval,

@@ -82,6 +82,22 @@ class Experiment:
         self._expected: Optional[int] = None
         self._build_cache: Dict[tuple, Executable] = {}
         self._run_cache: Dict[ExperimentalSetup, Measurement] = {}
+        #: Optional content-addressed store (see :meth:`attach_store`).
+        self._store = None
+
+    def attach_store(self, store) -> None:
+        """Back the build cache with a content-addressed store.
+
+        ``store`` is a :class:`repro.store.MeasurementStore` (typed
+        loosely to keep this module store-agnostic).  Once attached,
+        :meth:`build` probes the store before compiling and publishes
+        fresh executables to it, so a new process — or a new machine
+        sharing the store directory — skips compilation for any build
+        key some earlier run already paid for.  Measurement-level
+        probing stays in the sweep runner; the experiment only ever
+        sees the artifact side.
+        """
+        self._store = store
 
     @property
     def expected(self) -> int:
@@ -110,6 +126,10 @@ class Experiment:
             )
         key = setup.build_key()
         exe = self._build_cache.get(key)
+        if exe is None and self._store is not None:
+            exe = self._store.get_artifact(self, setup)
+            if exe is not None:
+                self._build_cache[key] = exe
         if exe is None:
             with obs_trace.span(
                 "compile",
@@ -137,6 +157,8 @@ class Experiment:
                     ) from exc
             self._build_cache[key] = exe
             obs_metrics.counter("experiment.builds").inc()
+            if self._store is not None:
+                self._store.put_artifact(self, setup, exe)
         else:
             obs_metrics.counter("experiment.build_cache_hits").inc()
         return exe

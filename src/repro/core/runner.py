@@ -109,7 +109,15 @@ class RunnerConfig:
         heartbeat_interval: seconds between worker heartbeat stamps
             (parallel mode only).
         hang_timeout: a busy worker whose heartbeat is staler than this
-            is declared hung, killed, and its setup failed over.
+            is declared hung, killed, and its setup failed over.  None
+            (the default) lets the supervised pool *adapt* the threshold
+            to observed task durations — a clamped multiple of the
+            rolling p95 (see
+            :meth:`~repro.core.supervisor.SupervisedPool.effective_hang_timeout`);
+            the distributed coordinator, which cannot observe remote
+            task durations directly, falls back to
+            :data:`~repro.core.supervisor.DEFAULT_HANG_TIMEOUT` for its
+            own link liveness while each agent's local pool adapts.
         max_respawns: replacement workers the supervised pool may start
             before the sweep degrades to in-process execution; with
             ``hosts`` set it is the coordinator's *reconnection* budget
@@ -124,6 +132,10 @@ class RunnerConfig:
             its own ``--jobs``).  None (the default) runs locally.
         connect_timeout: TCP connect + handshake deadline per agent
             connection attempt (distributed mode only).
+        secret: shared secret for the agent hello handshake (distributed
+            mode only); must match each agent's ``--secret`` /
+            ``REPRO_AGENT_SECRET``.  None connects unauthenticated,
+            which secret-requiring agents reject.
     """
 
     jobs: int = 1
@@ -133,12 +145,13 @@ class RunnerConfig:
     backoff_base: float = 0.05
     backoff_seed: int = 0
     heartbeat_interval: float = 0.2
-    hang_timeout: float = 5.0
+    hang_timeout: Optional[float] = None
     max_respawns: int = 8
     journal_max_records: Optional[int] = None
     journal_max_bytes: Optional[int] = None
     hosts: Optional[str] = None
     connect_timeout: float = 10.0
+    secret: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -153,7 +166,10 @@ class RunnerConfig:
             raise ValueError("max_retries must be >= 0")
         if self.heartbeat_interval <= 0:
             raise ValueError("heartbeat_interval must be > 0")
-        if self.hang_timeout <= self.heartbeat_interval:
+        if (
+            self.hang_timeout is not None
+            and self.hang_timeout <= self.heartbeat_interval
+        ):
             raise ValueError(
                 "hang_timeout must exceed heartbeat_interval "
                 f"({self.hang_timeout} <= {self.heartbeat_interval})"
@@ -779,6 +795,16 @@ class SweepRunner:
             the no-op reporter, so long sweeps are only as chatty as the
             caller asks for.  Measured/retried/quarantined events are
             emitted the moment they happen, in the parent process.
+        store: optional content-addressed measurement store
+            (:class:`repro.store.MeasurementStore`).  Before dispatching,
+            every setup is probed against the store; hits skip execution
+            entirely — locally *and* remotely: probing happens before the
+            worker/agent pool is even created, so agents are never asked
+            for work the store already holds — while the report, journal
+            records, and statuses stay byte-identical to a cold run.
+            Fresh measurements (and journal-resumed ones) are published
+            back, and the experiment's build cache is backed by the
+            store's artifact side.
         sleep: serial-mode backoff sleeper (injectable for tests).
     """
 
@@ -789,6 +815,7 @@ class SweepRunner:
         journal_path: Optional[str] = None,
         fault_plan: Optional[faults.FaultPlan] = None,
         progress: Optional[obs_progress.ProgressReporter] = None,
+        store=None,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self.experiment = experiment
@@ -796,6 +823,9 @@ class SweepRunner:
         self.journal_path = journal_path
         self.fault_plan = fault_plan
         self.progress = progress or obs_progress.NULL_PROGRESS
+        self.store = store
+        if store is not None:
+            experiment.attach_store(store)
         self._sleep = sleep
         #: Per-host provenance from the last distributed run (one dict
         #: per agent address: hostname, pid, agent version, jobs,
@@ -856,6 +886,8 @@ class SweepRunner:
             self.progress.sweep_started(
                 len(setups), report.resumed, sweep=sid[:12]
             )
+            if self.store is not None:
+                self._probe_store(setups, results, report, journal, mreg)
             pending = [i for i in range(len(setups)) if results[i] is None]
             try:
                 if not pending:
@@ -908,6 +940,61 @@ class SweepRunner:
         assert report.accounted(), "sweep accounting is incomplete"
         self.progress.sweep_finished(report)
         return SweepResult(measurements=results, report=report)
+
+    # -- store probing ----------------------------------------------------
+
+    def _probe_store(
+        self,
+        setups: Sequence[ExperimentalSetup],
+        results: List[Optional[Measurement]],
+        report: SweepReport,
+        journal: Optional[Journal],
+        mreg: obs_metrics.MetricsRegistry,
+    ) -> None:
+        """Incremental scheduling: resolve every setup the store already
+        holds before anything is dispatched.
+
+        A hit is accounted *exactly* like a fresh measurement — statuses
+        say ``measured``, the sweep-scoped counters advance by one
+        attempt and one measured setup, and the journal receives the
+        same canonical record a cold run would append — so a warm
+        report is byte-identical to the cold one that seeded the store.
+        ``store.*`` tallies go only to the global obs registry (manifest
+        territory), never into the sweep-scoped registry snapshotted
+        into the report.  Because probing precedes pool construction,
+        a fully-warm sweep never spawns a worker or dials an agent.
+        """
+        exp = self.experiment
+        store = self.store
+        hits = 0
+        for index, setup in enumerate(setups):
+            if results[index] is not None:
+                # Resumed from the journal: publish to the store so the
+                # next run no longer needs this journal to go warm.
+                store.put_measurement(exp, results[index])
+                continue
+            m = store.get_measurement(exp, setup)
+            if m is None:
+                continue
+            # Re-anchor on the caller's setup object (equality-compatible
+            # with the run cache), exactly as journal resume does.
+            m = replace(m, setup=setup)
+            results[index] = m
+            hits += 1
+            report.measured += 1
+            mreg.counter("sweep.attempts").inc()
+            mreg.counter("sweep.setups_measured").inc()
+            if journal is not None:
+                key = faults.fault_key(
+                    exp.workload.name, exp.size, exp.seed, setup
+                )
+                journal.append(index, measurement_to_dict(m), fault_key=key)
+            obs_trace.instant("store_hit", category="store", index=index)
+            self.progress.setup_finished(
+                index, setup.describe(), "measured", attempts=1
+            )
+        if hits:
+            self.progress.store_hits(hits, len(setups))
 
     # -- serial path ------------------------------------------------------
 
@@ -989,6 +1076,8 @@ class SweepRunner:
                         journal.append(
                             index, measurement_to_dict(m), fault_key=key
                         )
+                    if self.store is not None:
+                        self.store.put_measurement(exp, m)
                     setup_span.set(status="measured", attempts=attempt)
                     self.progress.setup_finished(
                         index, setup.describe(), "measured", attempts=attempt
@@ -1096,6 +1185,8 @@ class SweepRunner:
                     mreg.counter("sweep.setups_measured").inc()
                     if journal is not None:
                         journal.append(index, data, fault_key=key_of(index))
+                    if self.store is not None:
+                        self.store.put_measurement(exp, m)
                     obs_trace.instant(
                         "measured", category="runner", index=index
                     )
@@ -1199,6 +1290,7 @@ class SweepRunner:
                     hang_timeout=cfg.hang_timeout,
                     max_respawns=cfg.max_respawns,
                     tracing=tracing,
+                    secret=cfg.secret,
                 ),
                 fault_plan=plan,
                 heartbeat_interval=cfg.heartbeat_interval,

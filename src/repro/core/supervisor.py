@@ -58,6 +58,20 @@ from repro.obs import trace as obs_trace
 #: ``hang_timeout``, so only the supervisor's deadline can end it.
 _HANG_SLEEP = 3600.0
 
+#: Hang threshold used while ``hang_timeout=None`` pools are still
+#: collecting duration samples (and by pools that cannot adapt).
+DEFAULT_HANG_TIMEOUT = 5.0
+
+#: Adaptive mode: completed-task durations kept in the rolling window.
+_ADAPTIVE_WINDOW = 64
+#: Samples required before the adaptive threshold replaces the default.
+_ADAPTIVE_MIN_SAMPLES = 5
+#: The adaptive threshold is this multiple of the rolling p95 duration —
+#: generous enough that a merely slow task is never declared hung.
+_ADAPTIVE_MULTIPLIER = 10.0
+#: Adaptive clamp: never below a few heartbeats, never above this.
+_ADAPTIVE_CEILING = 120.0
+
 
 @dataclass
 class Task:
@@ -245,7 +259,12 @@ class SupervisedPool(DispatchPool):
             for ``worker_crash`` / ``worker_hang`` chaos draws.
         heartbeat_interval: seconds between worker heartbeat stamps.
         hang_timeout: a busy worker whose heartbeat is staler than this
-            is declared hung and killed.
+            is declared hung and killed.  None (the default) adapts the
+            threshold to the observed workload: a clamped multiple of
+            the rolling p95 task duration (see
+            :meth:`effective_hang_timeout`), so short-task sweeps detect
+            a wedged worker in seconds while long-running measurements
+            aren't falsely declared hung.
         max_respawns: total replacement workers the pool may start over
             its lifetime before degrading.
         tracing: when True, workers trace each task into a fresh tracer
@@ -267,7 +286,7 @@ class SupervisedPool(DispatchPool):
         task_fn: Callable[[Any], Any],
         fault_plan: Optional[faults.FaultPlan] = None,
         heartbeat_interval: float = 0.2,
-        hang_timeout: float = 5.0,
+        hang_timeout: Optional[float] = None,
         max_respawns: int = 8,
         tracing: bool = False,
         poll_interval: float = 0.05,
@@ -286,6 +305,10 @@ class SupervisedPool(DispatchPool):
         self.child_setup = child_setup
         self._ctx = context if context is not None else mp.get_context()
         self._heartbeats = self._ctx.Array("d", workers, lock=False)
+        #: Rolling window of completed-task wall times (adaptive mode).
+        self._durations: Deque[float] = collections.deque(
+            maxlen=_ADAPTIVE_WINDOW
+        )
         self._queue: Deque[Task] = collections.deque()
         self._events: Deque[PoolEvent] = collections.deque()
         self._dispatched: Dict[int, int] = {}
@@ -308,6 +331,27 @@ class SupervisedPool(DispatchPool):
 
     def alive_workers(self) -> int:
         return sum(1 for w in self._workers if w.proc.is_alive())
+
+    def effective_hang_timeout(self) -> float:
+        """The hang threshold in force for the next liveness scan.
+
+        A configured ``hang_timeout`` is used verbatim.  In adaptive
+        mode (``hang_timeout=None``) the threshold is
+        :data:`_ADAPTIVE_MULTIPLIER` × the rolling p95 of completed-task
+        durations, clamped below by a few heartbeat intervals (a stale
+        heartbeat needs several missed beats to mean anything) and above
+        by :data:`_ADAPTIVE_CEILING`; until
+        :data:`_ADAPTIVE_MIN_SAMPLES` tasks have completed it falls back
+        to :data:`DEFAULT_HANG_TIMEOUT`.
+        """
+        if self.hang_timeout is not None:
+            return self.hang_timeout
+        if len(self._durations) < _ADAPTIVE_MIN_SAMPLES:
+            return DEFAULT_HANG_TIMEOUT
+        ordered = sorted(self._durations)
+        p95 = ordered[int(0.95 * (len(ordered) - 1))]
+        floor = max(4 * self.heartbeat_interval, 1.0)
+        return min(_ADAPTIVE_CEILING, max(floor, _ADAPTIVE_MULTIPLIER * p95))
 
     # -- lifecycle --------------------------------------------------------
 
@@ -454,6 +498,7 @@ class SupervisedPool(DispatchPool):
                 self._fail(w, "crash")
                 continue
             task, w.task = w.task, None
+            self._durations.append(time.monotonic() - w.dispatched_at)
             self._events.append(
                 PoolEvent(
                     "result",
@@ -466,12 +511,13 @@ class SupervisedPool(DispatchPool):
 
     def _scan_liveness(self) -> None:
         now = time.monotonic()
+        deadline = self.effective_hang_timeout()
         for w in list(self._workers):
             if not w.proc.is_alive():
                 self._fail(w, "crash")
             elif (
                 w.task is not None
-                and now - self._heartbeats[w.slot] > self.hang_timeout
+                and now - self._heartbeats[w.slot] > deadline
             ):
                 self._fail(w, "hang")
 

@@ -196,6 +196,7 @@ class FaultPlan:
         return attempt <= clears_after
 
     def describe(self) -> str:
+        """One human-readable line naming the plan's seed and live rates."""
         rates = ", ".join(
             f"{k}={self._rate(k):g}" for k in KINDS if self._rate(k) > 0
         )
@@ -299,10 +300,12 @@ def install(plan: Optional[FaultPlan]) -> None:
 
 
 def clear() -> None:
+    """Uninstall any active fault plan."""
     install(None)
 
 
 def active() -> Optional[FaultPlan]:
+    """The currently installed plan, or None."""
     return _ACTIVE
 
 
@@ -317,6 +320,7 @@ def begin_attempt(key: str, attempt: int) -> None:
 
 
 def current_attempt(key: str) -> int:
+    """The attempt number last recorded for ``key`` (1 by default)."""
     return _ATTEMPTS.get(key, 1)
 
 

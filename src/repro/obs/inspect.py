@@ -286,6 +286,15 @@ def summarize_manifest(data: Dict[str, Any]) -> str:
             else "(none)",
         ],
         ["artifacts", len(data.get("artifacts") or {})],
+        [
+            "store",
+            (
+                f"{store.get('hits')} hits / {store.get('misses')} misses "
+                f"({store.get('scheme')})"
+            )
+            if (store := data.get("store"))
+            else "none",
+        ],
     ]
     return render_table(
         ["property", "value"], rows, title=f"manifest ({data.get('note') or 'no note'})"
@@ -310,6 +319,7 @@ def _manifest_facets(data: Dict[str, Any]) -> Dict[str, Any]:
         ),
         "seeds": json.dumps(data.get("seeds") or {}, sort_keys=True),
         "fault plan": json.dumps(data.get("fault_plan"), sort_keys=True),
+        "store scheme": (data.get("store") or {}).get("scheme"),
         "sweep id": data.get("sweep_id"),
     }
 

@@ -84,6 +84,7 @@ def build_manifest(
     metrics: Optional[Dict[str, Any]] = None,
     artifacts: Optional[Dict[str, str]] = None,
     hosts: Optional[Sequence[Dict[str, Any]]] = None,
+    store=None,
     note: str = "",
 ) -> Dict[str, Any]:
     """Assemble a provenance manifest for one run or sweep.
@@ -107,6 +108,11 @@ def build_manifest(
             results served, sessions).  The ``environment`` fingerprint
             describes only the coordinator; this names every machine
             that actually produced a number.
+        store: the :class:`repro.store.MeasurementStore` the sweep ran
+            through, if any; its key-scheme version, engine fingerprint,
+            and hit/miss tallies land in a ``store`` section, so an
+            archived result records which numbers were re-computed and
+            which were served from the store.
         note: free-form description.
     """
     from dataclasses import asdict
@@ -177,6 +183,7 @@ def build_manifest(
     manifest["metrics"] = metrics if metrics is not None else {}
     manifest["artifacts"] = dict(artifacts) if artifacts else {}
     manifest["hosts"] = [dict(h) for h in hosts] if hosts else []
+    manifest["store"] = store.provenance() if store is not None else None
     return manifest
 
 
@@ -259,4 +266,10 @@ def validate_manifest(data: Any) -> List[str]:
         for i, entry in enumerate(hosts):
             if not isinstance(entry, dict) or "host" not in entry:
                 errors.append(f"hosts[{i}] must be an object naming its host")
+    # Optional (added after v1 manifests shipped): absent and null both
+    # mean "no store"; when present it must name its key scheme.
+    store = data.get("store")
+    if store is not None:
+        if not isinstance(store, dict) or "scheme" not in store:
+            errors.append("store must be null or an object naming its scheme")
     return errors

@@ -65,6 +65,11 @@ class ProgressReporter:
         (-1 for pool-wide events); ``index`` names the in-flight setup,
         when there was one."""
 
+    def store_hits(self, hits: int, total: int) -> None:
+        """``hits`` of ``total`` setups were resolved from the
+        content-addressed measurement store before dispatch (each one
+        also arrived via :meth:`setup_finished`, status "measured")."""
+
     def sweep_finished(self, report: Any) -> None:
         """The sweep is over; ``report`` is the full SweepReport."""
 
@@ -161,6 +166,10 @@ class LineProgress(_StreamReporter):
         )
         self.stream.flush()
 
+    def store_hits(self, hits: int, total: int) -> None:
+        self.stream.write(f"sweep STORE {hits}/{total} setups already held\n")
+        self.stream.flush()
+
     def sweep_finished(self, report: Any) -> None:
         self.stream.write(
             f"sweep done: {report.measured} measured + {report.resumed} "
@@ -234,6 +243,9 @@ class LiveProgress(_StreamReporter):
         detail: str = "",
     ) -> None:
         self._event_line(_worker_event_text(event, worker, index, detail))
+
+    def store_hits(self, hits: int, total: int) -> None:
+        self._event_line(f"STORE {hits}/{total} setups already held")
 
     def sweep_finished(self, report: Any) -> None:
         # Clear the live line; the caller prints the durable summary.

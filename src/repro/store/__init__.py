@@ -1,0 +1,52 @@
+"""``repro.store`` — the content-addressed measurement store.
+
+The pipeline is deterministic end to end, which makes memoization the
+cheapest scaling lever in the repo: a measurement computed once under a
+given (sources, toolchain profile, setup, machine, seed, engine) never
+needs computing again.  This package is that memo, made durable and
+verifiable:
+
+- :mod:`repro.store.keys` — the canonical key scheme, including the
+  engine fingerprint that invalidates everything when the simulator
+  itself changes;
+- :mod:`repro.store.backend` — in-memory and on-disk byte stores with
+  atomic checksummed writes, SHA-256-verified reads, and size-capped
+  LRU garbage collection;
+- :mod:`repro.store.store` — the typed facade the runner, experiment,
+  and CLI use (:class:`MeasurementStore`, :func:`open_store`).
+
+(Named ``store``, not ``cache``: ``repro.arch.cache`` is the *simulated*
+CPU cache, one of the paper's bias mechanisms — very different animal.)
+
+The load-bearing invariant, pinned by tests and the store-smoke CI job:
+a warm sweep through the store produces a ``SweepReport``, checkpoint
+journal, and trace byte-identical to the cold sweep that populated it —
+hits change *when* numbers arrive, never what they are.
+"""
+
+from repro.store.backend import (
+    DiskBackend,
+    MemoryBackend,
+    StoreBackend,
+    StoreEntryCorrupt,
+)
+from repro.store.keys import (
+    KEY_SCHEME,
+    artifact_key,
+    engine_fingerprint,
+    measurement_key,
+)
+from repro.store.store import MeasurementStore, open_store
+
+__all__ = [
+    "KEY_SCHEME",
+    "DiskBackend",
+    "MemoryBackend",
+    "MeasurementStore",
+    "StoreBackend",
+    "StoreEntryCorrupt",
+    "artifact_key",
+    "engine_fingerprint",
+    "measurement_key",
+    "open_store",
+]

@@ -1,0 +1,294 @@
+"""Store backends: where content-addressed entries physically live.
+
+Two implementations of one small contract (:class:`StoreBackend`):
+
+- :class:`MemoryBackend` — an ordered dict with LRU eviction; the
+  default when no ``--store`` directory is given, and the workhorse of
+  the test suite;
+- :class:`DiskBackend` — one JSON file per entry under a two-level
+  sharded tree, written atomically (temp file + fsync + ``os.replace``)
+  and verified on every read against an embedded SHA-256, so a torn
+  write, truncation, or bit flip is *detected* and surfaced as
+  :class:`StoreEntryCorrupt` — which the facade above turns into a
+  cache miss, never a crashed sweep.
+
+Payloads are opaque bytes at this layer; what they mean (a measurement
+record, a pickled executable) is the facade's business
+(:mod:`repro.store.store`).  Both backends support size-capped LRU
+garbage collection via :meth:`StoreBackend.gc`.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro._errors import ReproError
+
+#: On-disk entry wrapper format.  Bump if the wrapper shape changes;
+#: unknown formats read as corrupt (and therefore as misses).
+ENTRY_FORMAT = "repro-store-entry-v1"
+
+
+class StoreEntryCorrupt(ReproError):
+    """A store entry failed integrity verification.
+
+    Retryable by design: a corrupt cache entry is never fatal — the
+    facade deletes it and the pipeline re-measures, exactly as if the
+    entry had never existed.  Carries the offending path for operators
+    chasing a flaky disk.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, *, path: Optional[str] = None) -> None:
+        where = f"{path}: " if path else ""
+        super().__init__(where + message, context={"path": path})
+        self.path = path
+
+
+def payload_sha256(payload: bytes) -> str:
+    """The integrity checksum stored beside (and verified against) every
+    entry's payload bytes."""
+    return hashlib.sha256(payload).hexdigest()
+
+
+class StoreBackend:
+    """Interface every backend implements: a byte-addressed KV store
+    with integrity-verified reads and LRU-ordered eviction."""
+
+    def get(self, key: str) -> Optional[bytes]:
+        """Return the payload for ``key`` (refreshing its LRU position),
+        ``None`` on a miss, or raise :class:`StoreEntryCorrupt` when the
+        entry exists but fails verification."""
+        raise NotImplementedError
+
+    def put(self, key: str, payload: bytes) -> bool:
+        """Store ``payload`` under ``key``; return True when a new entry
+        was written, False when the key already existed (idempotent —
+        content-addressed entries never change under the same key)."""
+        raise NotImplementedError
+
+    def delete(self, key: str) -> bool:
+        """Remove ``key``'s entry; True if one existed."""
+        raise NotImplementedError
+
+    def keys(self) -> List[str]:
+        """Every stored key, oldest (least recently used) first."""
+        raise NotImplementedError
+
+    def size_bytes(self) -> int:
+        """Total payload footprint in bytes."""
+        raise NotImplementedError
+
+    def gc(self, max_bytes: int) -> Tuple[int, int]:
+        """Evict least-recently-used entries until the footprint is at
+        most ``max_bytes``; return ``(entries_evicted, bytes_freed)``."""
+        evicted = freed = 0
+        for key in self.keys():
+            if self.size_bytes() <= max_bytes:
+                break
+            size = self.entry_size(key)
+            if self.delete(key):
+                evicted += 1
+                freed += size
+        return evicted, freed
+
+    def entry_size(self, key: str) -> int:
+        """Payload size of one entry (0 when absent)."""
+        raise NotImplementedError
+
+    def verify(self) -> Tuple[int, List[str]]:
+        """Check every entry's integrity; return ``(entries_ok, corrupt
+        keys)`` without deleting anything — auditing is the operator's
+        read-only view, :meth:`get`'s callers decide about repair."""
+        ok = 0
+        corrupt: List[str] = []
+        for key in self.keys():
+            try:
+                if self.get(key) is None:
+                    corrupt.append(key)
+                else:
+                    ok += 1
+            except StoreEntryCorrupt:
+                corrupt.append(key)
+        return ok, corrupt
+
+
+class MemoryBackend(StoreBackend):
+    """Process-local backend: an :class:`~collections.OrderedDict` in
+    LRU order.  No serialization, no integrity risk — `verify` is
+    trivially clean — but nothing survives the process either."""
+
+    def __init__(self) -> None:
+        self._entries: "OrderedDict[str, bytes]" = OrderedDict()
+
+    def get(self, key: str) -> Optional[bytes]:
+        payload = self._entries.get(key)
+        if payload is None:
+            return None
+        self._entries.move_to_end(key)
+        return payload
+
+    def put(self, key: str, payload: bytes) -> bool:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return False
+        self._entries[key] = bytes(payload)
+        return True
+
+    def delete(self, key: str) -> bool:
+        return self._entries.pop(key, None) is not None
+
+    def keys(self) -> List[str]:
+        return list(self._entries)
+
+    def size_bytes(self) -> int:
+        return sum(len(p) for p in self._entries.values())
+
+    def entry_size(self, key: str) -> int:
+        return len(self._entries.get(key, b""))
+
+
+class DiskBackend(StoreBackend):
+    """Durable backend: one checksummed JSON file per entry.
+
+    Layout: ``root/<first two hex chars of sha256(key)>/<key>.json`` —
+    two-level sharding keeps directories small at hundreds of thousands
+    of entries.  Writes go through a temp file in the same directory,
+    are fsynced, then published with ``os.replace``, so a crash leaves
+    either the old entry or the new one, never a torn file.  LRU order
+    is mtime: reads ``os.utime`` the entry, GC evicts oldest-mtime
+    first.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        shard = hashlib.sha256(key.encode()).hexdigest()[:2]
+        return os.path.join(self.root, shard, key + ".json")
+
+    def _iter_paths(self) -> Iterator[str]:
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for name in sorted(filenames):
+                if name.endswith(".json"):
+                    yield os.path.join(dirpath, name)
+
+    def _read_entry(self, path: str) -> Dict:
+        try:
+            with open(path) as fh:
+                entry = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StoreEntryCorrupt(
+                f"unreadable entry (truncated or torn write?): {exc}",
+                path=path,
+            ) from exc
+        if not isinstance(entry, dict) or entry.get("format") != ENTRY_FORMAT:
+            raise StoreEntryCorrupt(
+                f"not a {ENTRY_FORMAT} entry", path=path
+            )
+        return entry
+
+    def get(self, key: str) -> Optional[bytes]:
+        path = self._path(key)
+        if not os.path.exists(path):
+            return None
+        entry = self._read_entry(path)
+        if entry.get("key") != key:
+            raise StoreEntryCorrupt(
+                f"entry names key {entry.get('key')!r}, expected {key!r}",
+                path=path,
+            )
+        try:
+            payload = base64.b64decode(entry.get("payload", ""), validate=True)
+        except (binascii.Error, TypeError) as exc:
+            raise StoreEntryCorrupt(
+                f"payload is not valid base64: {exc}", path=path
+            ) from exc
+        if payload_sha256(payload) != entry.get("sha256"):
+            raise StoreEntryCorrupt(
+                "payload checksum mismatch — entry was altered or damaged",
+                path=path,
+            )
+        os.utime(path)
+        return payload
+
+    def put(self, key: str, payload: bytes) -> bool:
+        path = self._path(key)
+        if os.path.exists(path):
+            os.utime(path)
+            return False
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        entry = {
+            "format": ENTRY_FORMAT,
+            "key": key,
+            "sha256": payload_sha256(payload),
+            "payload": base64.b64encode(payload).decode("ascii"),
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(entry, fh)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return True
+
+    def delete(self, key: str) -> bool:
+        path = self._path(key)
+        try:
+            os.unlink(path)
+            return True
+        except FileNotFoundError:
+            return False
+
+    def keys(self) -> List[str]:
+        paths = sorted(
+            self._iter_paths(),
+            key=lambda p: (os.path.getmtime(p), p),
+        )
+        return [os.path.basename(p)[: -len(".json")] for p in paths]
+
+    def size_bytes(self) -> int:
+        # The payload footprint, not the file footprint: consistent with
+        # MemoryBackend, and what a --max-bytes cap naturally means.
+        total = 0
+        for path in self._iter_paths():
+            total += self._payload_size(path)
+        return total
+
+    def entry_size(self, key: str) -> int:
+        path = self._path(key)
+        if not os.path.exists(path):
+            return 0
+        return self._payload_size(path)
+
+    @staticmethod
+    def _payload_size(path: str) -> int:
+        try:
+            with open(path) as fh:
+                entry = json.load(fh)
+            return len(base64.b64decode(entry.get("payload", "")))
+        except (OSError, json.JSONDecodeError, binascii.Error, TypeError):
+            # A corrupt entry still occupies roughly its file size; use
+            # that so GC can reclaim damaged files too.
+            try:
+                return os.path.getsize(path)
+            except OSError:
+                return 0

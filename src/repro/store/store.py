@@ -1,0 +1,294 @@
+"""The measurement store facade: typed entries over a byte backend.
+
+:class:`MeasurementStore` is what the rest of the stack talks to.  It
+owns the mapping from domain objects to store entries:
+
+- a **measurement** entry is the canonical JSON of
+  :func:`~repro.core.session.measurement_to_dict` — the same record
+  schema archives and checkpoint journals use, so a store can be
+  exported straight into a v2 archive;
+- an **artifact** entry is a pickled
+  :class:`~repro.isa.program.Executable`, letting a fresh process skip
+  compilation entirely for build keys another run already paid for.
+
+Misses are always safe: a corrupt entry (torn write, bit flip,
+truncation — surfaced by the backend as
+:class:`~repro.store.backend.StoreEntryCorrupt`, or by record
+validation as :class:`~repro.core.errors.ArchiveCorruption`) is
+counted, deleted, and reported as a miss, so the worst a damaged store
+can do is cost one re-measurement.  Hit/miss/byte tallies go to the
+**global** obs metrics registry only — never the sweep-scoped registry
+that lands in ``SweepReport.metrics`` — which is what keeps warm-run
+reports byte-identical to cold ones.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pickle
+from typing import Dict, List, Optional, Tuple
+
+from repro._errors import ArchiveCorruption
+from repro.core.experiment import Measurement
+from repro.core.session import (
+    canonical_json,
+    load_measurement_record,
+    measurement_to_dict,
+    save_measurements,
+)
+from repro.core.setup import ExperimentalSetup
+from repro.isa.program import Executable
+from repro.obs import metrics as obs_metrics
+from repro.store.backend import (
+    DiskBackend,
+    MemoryBackend,
+    StoreBackend,
+    StoreEntryCorrupt,
+)
+from repro.store.keys import (
+    ARTIFACT_PREFIX,
+    KEY_SCHEME,
+    MEASUREMENT_PREFIX,
+    artifact_key,
+    engine_fingerprint,
+    measurement_key,
+)
+
+
+class MeasurementStore:
+    """Content-addressed store for measurements and compiled artifacts.
+
+    Thin, typed, and strictly optional: every ``get_*`` returns ``None``
+    on any problem (absent, corrupt, undecodable) and every ``put_*`` is
+    idempotent, so callers can treat the store as a pure accelerator —
+    correctness never depends on it.
+    """
+
+    def __init__(self, backend: StoreBackend) -> None:
+        self.backend = backend
+        self.engine = engine_fingerprint()
+        # Per-instance tallies feed manifest provenance; the global obs
+        # counters mirror them for `repro obs` and bench sidecars.
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.corrupt = 0
+        self.artifact_hits = 0
+        self.artifact_misses = 0
+
+    # -- keys --------------------------------------------------------------
+
+    def key_for(self, experiment, setup: ExperimentalSetup) -> str:
+        """The measurement key of ``setup`` under ``experiment``."""
+        return measurement_key(
+            experiment.workload.name,
+            dict(experiment.workload.sources),
+            experiment.size,
+            experiment.seed,
+            experiment.verify,
+            setup,
+            self.engine,
+        )
+
+    def artifact_key_for(self, experiment, setup: ExperimentalSetup) -> str:
+        """The artifact key of ``setup``'s build under ``experiment``."""
+        return artifact_key(
+            experiment.workload.name,
+            dict(experiment.workload.sources),
+            setup,
+            self.engine,
+        )
+
+    # -- measurements ------------------------------------------------------
+
+    def _get(self, key: str) -> Optional[bytes]:
+        """Backend read with the corrupt-entry policy applied: count it,
+        delete it, miss."""
+        try:
+            return self.backend.get(key)
+        except StoreEntryCorrupt:
+            self.corrupt += 1
+            obs_metrics.counter("store.corrupt").inc()
+            self.backend.delete(key)
+            return None
+
+    def get_measurement(
+        self, experiment, setup: ExperimentalSetup
+    ) -> Optional[Measurement]:
+        """Return the stored measurement for ``setup``, or None (miss)."""
+        key = self.key_for(experiment, setup)
+        payload = self._get(key)
+        if payload is not None:
+            try:
+                data = json.loads(payload.decode())
+                m = load_measurement_record(data, path=key)
+            except (ArchiveCorruption, UnicodeDecodeError, ValueError):
+                self.corrupt += 1
+                obs_metrics.counter("store.corrupt").inc()
+                self.backend.delete(key)
+            else:
+                self.hits += 1
+                obs_metrics.counter("store.hits").inc()
+                obs_metrics.counter("store.bytes_read").inc(len(payload))
+                return m
+        self.misses += 1
+        obs_metrics.counter("store.misses").inc()
+        return None
+
+    def put_measurement(self, experiment, m: Measurement) -> bool:
+        """Store a measurement; True when a new entry was written."""
+        key = self.key_for(experiment, m.setup)
+        payload = canonical_json(measurement_to_dict(m)).encode()
+        written = self.backend.put(key, payload)
+        if written:
+            self.puts += 1
+            obs_metrics.counter("store.puts").inc()
+            obs_metrics.counter("store.bytes_written").inc(len(payload))
+        return written
+
+    # -- artifacts ---------------------------------------------------------
+
+    def get_artifact(
+        self, experiment, setup: ExperimentalSetup
+    ) -> Optional[Executable]:
+        """Return the stored executable for ``setup``'s build key, or
+        None — unpickling failures count as corruption, not errors."""
+        key = self.artifact_key_for(experiment, setup)
+        payload = self._get(key)
+        if payload is not None:
+            try:
+                exe = _restricted_loads(payload)
+            except Exception:
+                self.corrupt += 1
+                obs_metrics.counter("store.corrupt").inc()
+                self.backend.delete(key)
+            else:
+                if isinstance(exe, Executable):
+                    self.artifact_hits += 1
+                    obs_metrics.counter("store.artifact_hits").inc()
+                    obs_metrics.counter("store.bytes_read").inc(len(payload))
+                    return exe
+                self.corrupt += 1
+                obs_metrics.counter("store.corrupt").inc()
+                self.backend.delete(key)
+        self.artifact_misses += 1
+        obs_metrics.counter("store.artifact_misses").inc()
+        return None
+
+    def put_artifact(
+        self, experiment, setup: ExperimentalSetup, exe: Executable
+    ) -> bool:
+        """Store a compiled executable; True when newly written."""
+        key = self.artifact_key_for(experiment, setup)
+        payload = pickle.dumps(exe, protocol=4)
+        written = self.backend.put(key, payload)
+        if written:
+            self.puts += 1
+            obs_metrics.counter("store.puts").inc()
+            obs_metrics.counter("store.bytes_written").inc(len(payload))
+        return written
+
+    # -- operations --------------------------------------------------------
+
+    def stats(self) -> Dict:
+        """Entry counts, footprint, and scheme — `repro store stats`."""
+        keys = self.backend.keys()
+        return {
+            "scheme": KEY_SCHEME,
+            "engine": self.engine,
+            "entries": len(keys),
+            "measurements": sum(
+                1 for k in keys if k.startswith(MEASUREMENT_PREFIX)
+            ),
+            "artifacts": sum(1 for k in keys if k.startswith(ARTIFACT_PREFIX)),
+            "bytes": self.backend.size_bytes(),
+        }
+
+    def verify(self) -> Tuple[int, List[str]]:
+        """Audit every entry; ``(ok_count, corrupt_keys)``, no repair."""
+        return self.backend.verify()
+
+    def gc(self, max_bytes: int) -> Tuple[int, int]:
+        """LRU-evict down to ``max_bytes``; ``(evicted, bytes_freed)``."""
+        return self.backend.gc(max_bytes)
+
+    def export(self, path: str, note: str = "") -> int:
+        """Write every stored measurement to a v2 archive at ``path``.
+
+        Returns the number of measurements exported.  Entries are sorted
+        by their record's canonical JSON so the archive is deterministic
+        regardless of insertion or LRU order; corrupt entries are
+        skipped (and counted) rather than poisoning the export.
+        """
+        records: List[Tuple[str, Measurement]] = []
+        for key in self.backend.keys():
+            if not key.startswith(MEASUREMENT_PREFIX):
+                continue
+            payload = self._get(key)
+            if payload is None:
+                continue
+            try:
+                data = json.loads(payload.decode())
+                m = load_measurement_record(data, path=key)
+            except (ArchiveCorruption, UnicodeDecodeError, ValueError):
+                self.corrupt += 1
+                obs_metrics.counter("store.corrupt").inc()
+                continue
+            records.append((canonical_json(measurement_to_dict(m)), m))
+        records.sort(key=lambda pair: pair[0])
+        save_measurements(
+            path,
+            [m for _canon, m in records],
+            note=note or f"exported from store ({KEY_SCHEME})",
+        )
+        return len(records)
+
+    def provenance(self) -> Dict:
+        """The manifest's ``store`` section: scheme + this run's tallies."""
+        return {
+            "scheme": KEY_SCHEME,
+            "engine": self.engine,
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "corrupt": self.corrupt,
+            "artifact_hits": self.artifact_hits,
+            "artifact_misses": self.artifact_misses,
+        }
+
+    def summary(self) -> str:
+        """One greppable line for stderr: ``store: hits=… misses=…``."""
+        return (
+            f"store: hits={self.hits} misses={self.misses} "
+            f"puts={self.puts} corrupt={self.corrupt} "
+            f"artifact_hits={self.artifact_hits}"
+        )
+
+    def __repr__(self) -> str:
+        backend = type(self.backend).__name__
+        return f"MeasurementStore({backend}, {self.hits} hits, {self.misses} misses)"
+
+
+class _RestrictedUnpickler(pickle.Unpickler):
+    """Unpickler limited to the ISA-layer classes an Executable is made
+    of — a hand-crafted artifact entry cannot smuggle in arbitrary
+    callables the way a bare ``pickle.loads`` would allow."""
+
+    def find_class(self, module: str, name: str):  # noqa: D102
+        if module.split(".")[0] == "repro" or module == "builtins":
+            return super().find_class(module, name)
+        raise pickle.UnpicklingError(
+            f"artifact entry references forbidden global {module}.{name}"
+        )
+
+
+def _restricted_loads(payload: bytes):
+    return _RestrictedUnpickler(io.BytesIO(payload)).load()
+
+
+def open_store(path: Optional[str]) -> MeasurementStore:
+    """Build a store: disk-backed at ``path``, in-memory when None."""
+    if path:
+        return MeasurementStore(DiskBackend(path))
+    return MeasurementStore(MemoryBackend())

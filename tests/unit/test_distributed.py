@@ -314,3 +314,62 @@ class TestDistributedSweep:
         reloaded = obs_manifest.load_manifest(str(path))
         assert obs_manifest.validate_manifest(reloaded) == []
         assert reloaded["hosts"] == manifest["hosts"]
+
+
+class TestAuthentication:
+    @pytest.fixture
+    def secured_agent(self):
+        server = dist.AgentServer(jobs=2, quiet=True, secret="s3cret")
+        server.bind()
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server
+        server.stop()
+        thread.join(timeout=5.0)
+
+    def test_digest_is_not_the_secret(self):
+        digest = dist.auth_digest("s3cret")
+        assert digest == dist.auth_digest("s3cret")
+        assert "s3cret" not in digest
+        assert digest != dist.auth_digest("other")
+        int(digest, 16)
+
+    def test_hello_omits_auth_without_secret(self):
+        assert dist.build_hello(None, 0.2, None, 8, False)["auth"] is None
+        hello = dist.build_hello(None, 0.2, None, 8, False, secret="s3cret")
+        assert hello["auth"] == dist.auth_digest("s3cret")
+
+    def test_missing_secret_is_refused_and_counted(self, secured_agent):
+        from repro.obs import metrics as obs_metrics
+
+        before = obs_metrics.counter("distributed.auth_failures").value
+        host, port = secured_agent.address
+        with pytest.raises(dist.AgentUnavailable, match="rejected"):
+            run_sweep(hosts=f"{host}:{port}", **FAST_DIST)
+        assert (
+            obs_metrics.counter("distributed.auth_failures").value
+            == before + 1
+        )
+
+    def test_wrong_secret_is_refused(self, secured_agent):
+        host, port = secured_agent.address
+        with pytest.raises(dist.AgentUnavailable, match="rejected"):
+            run_sweep(hosts=f"{host}:{port}", secret="wrong", **FAST_DIST)
+
+    @pytest.mark.slow
+    def test_matching_secret_sweeps_byte_identically(self, secured_agent):
+        serial, _ = run_sweep()
+        host, port = secured_agent.address
+        result, _ = run_sweep(
+            hosts=f"{host}:{port}", secret="s3cret", **FAST_DIST
+        )
+        assert result.report.to_json() == serial.report.to_json()
+        assert result.report.complete and not result.report.degraded
+
+    def test_open_agent_ignores_coordinator_secret(self, agents):
+        """A secret on the coordinator side only must not break an
+        unsecured fleet (rolling deployment order is free)."""
+        result, _ = run_sweep(
+            hosts=hosts_arg(agents), secret="s3cret", **FAST_DIST
+        )
+        assert result.report.complete

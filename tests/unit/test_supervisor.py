@@ -309,3 +309,61 @@ class TestWorkerProgressEvents:
 
     def test_null_reporter_ignores_worker_events(self):
         obs_progress.NULL_PROGRESS.worker_event("hang", 0)
+
+
+class TestAdaptiveHangTimeout:
+    """hang_timeout=None derives the hang threshold from observed task
+    durations instead of a fixed guess (ROADMAP follow-up)."""
+
+    @pytest.fixture
+    def pool(self):
+        with SupervisedPool(workers=1, task_fn=_echo) as pool:
+            yield pool
+
+    def test_fixed_timeout_wins_when_set(self):
+        with SupervisedPool(
+            workers=1, task_fn=_echo, hang_timeout=7.5
+        ) as pool:
+            pool._durations.extend([0.01] * 50)
+            assert pool.effective_hang_timeout() == 7.5
+
+    def test_default_until_enough_samples(self, pool):
+        from repro.core import supervisor
+
+        assert pool.hang_timeout is None
+        pool._durations.extend([0.01] * (supervisor._ADAPTIVE_MIN_SAMPLES - 1))
+        assert (
+            pool.effective_hang_timeout() == supervisor.DEFAULT_HANG_TIMEOUT
+        )
+
+    def test_adapts_to_p95_with_floor_and_ceiling(self, pool):
+        from repro.core import supervisor
+
+        # Fast tasks: the heartbeat floor wins over 10 * p95.
+        pool._durations.extend([0.001] * 20)
+        floor = max(4 * pool.heartbeat_interval, 1.0)
+        assert pool.effective_hang_timeout() == floor
+        # Slow tasks: a clamped multiple of the rolling p95.
+        pool._durations.clear()
+        pool._durations.extend([0.5] * 20)
+        assert pool.effective_hang_timeout() == pytest.approx(5.0)
+        # Glacial tasks: the ceiling caps the leash.
+        pool._durations.clear()
+        pool._durations.extend([60.0] * 20)
+        assert (
+            pool.effective_hang_timeout() == supervisor._ADAPTIVE_CEILING
+        )
+
+    def test_completed_tasks_feed_the_window(self, pool):
+        pool.submit(Task(index=0, key="k0", attempt=1, payload=3))
+        event = pool.poll(timeout=5.0)
+        assert event is not None and event.kind == "result"
+        assert len(pool._durations) == 1
+        assert pool._durations[0] >= 0.0
+
+    def test_adaptive_sweep_completes(self):
+        """End to end: a parallel sweep with no explicit hang_timeout
+        (the new default) still measures everything."""
+        result = run_sweep(2, hang_timeout=None)
+        assert result.report.complete
+        assert result.report.measured == len(SETUPS)
