@@ -55,6 +55,7 @@ import hmac
 import json
 import os
 import queue
+import secrets
 import select
 import socket
 import struct
@@ -83,8 +84,10 @@ from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 
 #: Wire protocol version; the handshake rejects a mismatch loudly
-#: rather than let two releases talk past each other.
-PROTOCOL_VERSION = 1
+#: rather than let two releases talk past each other.  v2 added the
+#: agent's ``challenge`` message ahead of the coordinator's ``hello``
+#: (replay-proof challenge-response authentication).
+PROTOCOL_VERSION = 2
 
 #: Frame magic: 4 bytes ahead of every length prefix, so a socket that
 #: drifted out of sync fails fast instead of mis-framing forever.
@@ -120,19 +123,26 @@ class AgentUnavailable(ReproError):
 # -- authentication ----------------------------------------------------------
 
 
-def auth_digest(secret: str) -> str:
-    """The hello's ``auth`` proof for a shared agent secret.
+def auth_proof(secret: str, nonce: str) -> str:
+    """The hello's ``auth`` proof: HMAC-SHA256 of the agent's challenge
+    nonce under the shared secret.
 
-    The secret itself never crosses the wire: both sides derive the
-    same SHA-256 digest (domain-separated so a leaked digest is useless
-    as anything but an agent hello) and the agent compares with
-    :func:`hmac.compare_digest`, so a byte-by-byte timing probe learns
-    nothing.  This authenticates *sessions*, not bytes — operators who
-    need transport integrity against an active network attacker should
-    tunnel agent traffic (ssh -L, WireGuard) as docs/distributed.md
-    describes.
+    The secret itself never crosses the wire, and neither does any
+    replayable stand-in for it: the agent opens every session with a
+    fresh random ``challenge`` nonce, the coordinator answers with this
+    keyed digest over *that* nonce, and the agent compares with
+    :func:`hmac.compare_digest` (so a byte-by-byte timing probe learns
+    nothing).  A passive observer who captures a whole handshake holds
+    a proof for a nonce that will never be issued again — unlike a
+    static digest, it is not a password equivalent.  This authenticates
+    *sessions*, not bytes — operators who need transport integrity
+    against an active network attacker (who could hijack the TCP stream
+    after the handshake) should tunnel agent traffic (ssh -L,
+    WireGuard) as docs/distributed.md describes.
     """
-    return hashlib.sha256(b"repro-agent-auth:" + secret.encode()).hexdigest()
+    return hmac.new(
+        secret.encode(), b"repro-agent-hello:" + nonce.encode(), hashlib.sha256
+    ).hexdigest()
 
 
 # -- fork hygiene ------------------------------------------------------------
@@ -320,11 +330,11 @@ class AgentServer:
         port_file: when set, the bound port is written here after
             :meth:`bind` — the race-free way for scripts to use port 0.
         quiet: suppress the per-event log lines on stderr.
-        secret: optional shared secret; when set, every hello must carry
-            the matching :func:`auth_digest` proof or the session is
-            refused before any task is accepted (``--secret`` /
-            ``REPRO_AGENT_SECRET`` on both ends).  Unset = open agent,
-            as before.
+        secret: optional shared secret; when set, every hello must
+            answer the session's ``challenge`` nonce with the matching
+            :func:`auth_proof` or the session is refused before any
+            task is accepted (``--secret`` / ``REPRO_AGENT_SECRET`` on
+            both ends).  Unset = open agent, as before.
     """
 
     def __init__(
@@ -444,6 +454,14 @@ class AgentServer:
 
     def _serve_session(self, conn: socket.socket) -> None:
         conn.settimeout(30.0)
+        # Challenge first: a fresh random nonce per session, so an auth
+        # proof is only ever valid for the handshake it was minted for
+        # (a captured hello replays as garbage against the next nonce).
+        nonce = secrets.token_hex(16)
+        send_message(conn, "challenge", {
+            "protocol": PROTOCOL_VERSION,
+            "nonce": nonce,
+        })
         kind, hello = recv_message(conn)
         if kind != "hello":
             raise ProtocolError(f"expected hello, got {kind!r}")
@@ -456,7 +474,7 @@ class AgentServer:
             raise ProtocolError("protocol version mismatch")
         if self.secret is not None:
             proof = hello.get("auth")
-            expected = auth_digest(self.secret)
+            expected = auth_proof(self.secret, nonce)
             if not (
                 isinstance(proof, str)
                 and hmac.compare_digest(proof, expected)
@@ -671,6 +689,11 @@ class AgentPool(DispatchPool):
             independent: one dead host refusing connections must not
             spend the budget a merely-partitioned host needs to heal.
         connect_timeout: TCP connect + handshake deadline per attempt.
+        secret: optional shared secret used to answer each agent's
+            per-session ``challenge`` nonce (see :func:`auth_proof`).
+            Held here rather than baked into the hello because the
+            proof depends on the nonce — every connect (and reconnect)
+            computes a fresh one.
     """
 
     def __init__(
@@ -683,10 +706,12 @@ class AgentPool(DispatchPool):
         max_reconnects: int = 8,
         connect_timeout: float = 10.0,
         poll_interval: float = 0.05,
+        secret: Optional[str] = None,
     ) -> None:
         if not hosts:
             raise ValueError("AgentPool needs at least one host")
         self.hello = dict(hello)
+        self.secret = secret
         self.fault_plan = fault_plan
         self.heartbeat_interval = heartbeat_interval
         self.hang_timeout = (
@@ -739,7 +764,22 @@ class AgentPool(DispatchPool):
         ))
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         try:
-            send_message(sock, "hello", self.hello)
+            kind, challenge = recv_message(sock)
+            if kind != "challenge":
+                raise ProtocolError(
+                    f"agent {host}:{port} opened with {kind!r}, expected "
+                    f"a challenge (protocol < {PROTOCOL_VERSION}?)"
+                )
+            nonce = challenge.get("nonce")
+            if not isinstance(nonce, str) or not nonce:
+                raise ProtocolError(
+                    f"agent {host}:{port} sent a malformed challenge"
+                )
+            hello = dict(self.hello)
+            hello["auth"] = (
+                auth_proof(self.secret, nonce) if self.secret else None
+            )
+            send_message(sock, "hello", hello)
             kind, info = recv_message(sock)
         except Exception:
             sock.close()
@@ -1004,7 +1044,6 @@ def build_hello(
     max_respawns: int,
     tracing: bool,
     note: str = "",
-    secret: Optional[str] = None,
 ) -> Dict[str, Any]:
     """The coordinator's session-opening message.
 
@@ -1012,15 +1051,15 @@ def build_hello(
     configured from one command line: the fault plan (as a plain dict —
     agents re-hydrate it), the supervision cadence for the agent's own
     worker pool (``hang_timeout=None`` asks each agent's pool to adapt
-    its own threshold), whether workers should trace their tasks, and —
-    when a shared ``secret`` is set — the :func:`auth_digest` proof that
-    secured agents require.
+    its own threshold), and whether workers should trace their tasks.
+    The ``auth`` field is deliberately absent here:
+    :class:`AgentPool` fills it per connection, because the
+    :func:`auth_proof` depends on the session's challenge nonce.
     """
     from dataclasses import asdict
 
     return {
         "protocol": PROTOCOL_VERSION,
-        "auth": auth_digest(secret) if secret else None,
         "fault_plan": asdict(fault_plan) if fault_plan is not None else None,
         "runner": {
             "heartbeat_interval": heartbeat_interval,

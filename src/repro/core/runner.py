@@ -1290,13 +1290,13 @@ class SweepRunner:
                     hang_timeout=cfg.hang_timeout,
                     max_respawns=cfg.max_respawns,
                     tracing=tracing,
-                    secret=cfg.secret,
                 ),
                 fault_plan=plan,
                 heartbeat_interval=cfg.heartbeat_interval,
                 hang_timeout=cfg.hang_timeout,
                 max_reconnects=cfg.max_respawns,
                 connect_timeout=cfg.connect_timeout,
+                secret=cfg.secret,
             )
         return supervisor.SupervisedPool(
             workers=min(cfg.jobs, max(1, pending_count)),

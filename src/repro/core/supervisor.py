@@ -342,15 +342,17 @@ class SupervisedPool(DispatchPool):
         heartbeat needs several missed beats to mean anything) and above
         by :data:`_ADAPTIVE_CEILING`; until
         :data:`_ADAPTIVE_MIN_SAMPLES` tasks have completed it falls back
-        to :data:`DEFAULT_HANG_TIMEOUT`.
+        to :data:`DEFAULT_HANG_TIMEOUT` — also floored by the heartbeat
+        interval, so a slow-beating config cannot have healthy busy
+        workers declared hung during warm-up.
         """
         if self.hang_timeout is not None:
             return self.hang_timeout
+        floor = max(4 * self.heartbeat_interval, 1.0)
         if len(self._durations) < _ADAPTIVE_MIN_SAMPLES:
-            return DEFAULT_HANG_TIMEOUT
+            return max(DEFAULT_HANG_TIMEOUT, floor)
         ordered = sorted(self._durations)
         p95 = ordered[int(0.95 * (len(ordered) - 1))]
-        floor = max(4 * self.heartbeat_interval, 1.0)
         return min(_ADAPTIVE_CEILING, max(floor, _ADAPTIVE_MULTIPLIER * p95))
 
     # -- lifecycle --------------------------------------------------------

@@ -171,6 +171,19 @@ class DiskBackend(StoreBackend):
     def __init__(self, root: str) -> None:
         self.root = os.path.abspath(root)
         os.makedirs(self.root, exist_ok=True)
+        self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self) -> None:
+        """Unlink temp files leaked by a crash (SIGKILL, power loss)
+        between ``mkstemp`` and ``os.replace`` — they are unpublished
+        writes, never entries, so deleting them is always safe."""
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for name in filenames:
+                if name.startswith(".tmp-"):
+                    try:
+                        os.unlink(os.path.join(dirpath, name))
+                    except OSError:
+                        pass
 
     def _path(self, key: str) -> str:
         shard = hashlib.sha256(key.encode()).hexdigest()[:2]
@@ -179,7 +192,11 @@ class DiskBackend(StoreBackend):
     def _iter_paths(self) -> Iterator[str]:
         for dirpath, _dirnames, filenames in os.walk(self.root):
             for name in sorted(filenames):
-                if name.endswith(".json"):
+                # Skip in-flight temp files: they are not entries, and
+                # treating one as a key would give keys()/size_bytes() a
+                # phantom that delete() (which re-shards by key) could
+                # never reclaim.
+                if name.endswith(".json") and not name.startswith(".tmp-"):
                     yield os.path.join(dirpath, name)
 
     def _read_entry(self, path: str) -> Dict:
@@ -233,9 +250,9 @@ class DiskBackend(StoreBackend):
             "sha256": payload_sha256(payload),
             "payload": base64.b64encode(payload).decode("ascii"),
         }
-        fd, tmp = tempfile.mkstemp(
-            dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
-        )
+        # No .json suffix: a tmp file leaked by SIGKILL/power loss must
+        # never be mistaken for an entry by _iter_paths.
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), prefix=".tmp-")
         try:
             with os.fdopen(fd, "w") as fh:
                 json.dump(entry, fh)
@@ -278,6 +295,35 @@ class DiskBackend(StoreBackend):
         if not os.path.exists(path):
             return 0
         return self._payload_size(path)
+
+    def gc(self, max_bytes: int) -> Tuple[int, int]:
+        # The base implementation recomputes size_bytes() after every
+        # eviction — each a full-store read — making GC O(n^2) entry
+        # decodes.  One sizing pass and a running total give the same
+        # oldest-mtime-first eviction order in O(n).
+        entries: List[Tuple[float, str, int]] = []
+        total = 0
+        for path in self._iter_paths():
+            try:
+                mtime = os.path.getmtime(path)
+            except OSError:
+                continue  # deleted underneath us
+            size = self._payload_size(path)
+            entries.append((mtime, path, size))
+            total += size
+        entries.sort()
+        evicted = freed = 0
+        for _mtime, path, size in entries:
+            if total <= max_bytes:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            evicted += 1
+            freed += size
+            total -= size
+        return evicted, freed
 
     @staticmethod
     def _payload_size(path: str) -> int:

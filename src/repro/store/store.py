@@ -270,13 +270,28 @@ class MeasurementStore:
         return f"MeasurementStore({backend}, {self.hits} hits, {self.misses} misses)"
 
 
+#: The only globals an artifact pickle may reference: the two classes a
+#: pickled Executable is actually composed of (its operand arrays and
+#: maps are plain ints/strs/lists/dicts, which pickle encodes as
+#: opcodes, not globals).  An *allowlist of concrete classes* — not a
+#: module-prefix check — because any loadable callable (``builtins.eval``,
+#: ``os.system`` reachable through a permissive prefix) would hand a
+#: hand-crafted entry in a shared store directory arbitrary code
+#: execution via pickle's REDUCE opcode.
+_ALLOWED_GLOBALS = {
+    ("repro.isa.program", "Executable"),
+    ("repro.isa.program", "PlacedFunction"),
+}
+
+
 class _RestrictedUnpickler(pickle.Unpickler):
-    """Unpickler limited to the ISA-layer classes an Executable is made
-    of — a hand-crafted artifact entry cannot smuggle in arbitrary
-    callables the way a bare ``pickle.loads`` would allow."""
+    """Unpickler limited to :data:`_ALLOWED_GLOBALS` — a hand-crafted
+    artifact entry cannot smuggle in arbitrary callables (no builtins,
+    no ``repro.*`` outside the Executable's own classes) the way a bare
+    ``pickle.loads`` would allow."""
 
     def find_class(self, module: str, name: str):  # noqa: D102
-        if module.split(".")[0] == "repro" or module == "builtins":
+        if (module, name) in _ALLOWED_GLOBALS:
             return super().find_class(module, name)
         raise pickle.UnpicklingError(
             f"artifact entry references forbidden global {module}.{name}"

@@ -327,17 +327,51 @@ class TestAuthentication:
         server.stop()
         thread.join(timeout=5.0)
 
-    def test_digest_is_not_the_secret(self):
-        digest = dist.auth_digest("s3cret")
-        assert digest == dist.auth_digest("s3cret")
-        assert "s3cret" not in digest
-        assert digest != dist.auth_digest("other")
-        int(digest, 16)
+    def test_proof_is_not_the_secret_and_is_nonce_bound(self):
+        proof = dist.auth_proof("s3cret", "aa" * 16)
+        assert proof == dist.auth_proof("s3cret", "aa" * 16)
+        assert "s3cret" not in proof
+        assert proof != dist.auth_proof("other", "aa" * 16)
+        assert proof != dist.auth_proof("s3cret", "bb" * 16)
+        int(proof, 16)
 
-    def test_hello_omits_auth_without_secret(self):
-        assert dist.build_hello(None, 0.2, None, 8, False)["auth"] is None
-        hello = dist.build_hello(None, 0.2, None, 8, False, secret="s3cret")
-        assert hello["auth"] == dist.auth_digest("s3cret")
+    def test_hello_carries_no_static_auth(self):
+        # The proof depends on the per-session challenge nonce, so the
+        # reusable hello must not embed any secret-derived material.
+        hello = dist.build_hello(None, 0.2, None, 8, False)
+        assert "auth" not in hello
+
+    def test_captured_proof_does_not_replay(self, secured_agent):
+        """A passive observer of one handshake cannot authenticate with
+        the captured proof: the next session challenges with a fresh
+        nonce."""
+        host, port = secured_agent.address
+
+        def handshake(proof):
+            sock = socket.create_connection((host, port), timeout=3.0)
+            try:
+                sock.settimeout(3.0)
+                kind, challenge = dist.recv_message(sock)
+                assert kind == "challenge"
+                nonce = challenge["nonce"]
+                hello = dist.build_hello(None, 0.2, None, 8, False)
+                hello["auth"] = (
+                    proof if proof is not None
+                    else dist.auth_proof("s3cret", nonce)
+                )
+                dist.send_message(sock, "hello", hello)
+                reply, data = dist.recv_message(sock)
+                if reply == "hello_ack":
+                    dist.send_message(sock, "shutdown", {})
+                return reply, data, nonce, hello["auth"]
+            finally:
+                sock.close()
+
+        reply, _data, first_nonce, captured = handshake(None)
+        assert reply == "hello_ack"
+        replayed, data, second_nonce, _ = handshake(captured)
+        assert second_nonce != first_nonce
+        assert replayed == "error" and data.get("code") == "auth"
 
     def test_missing_secret_is_refused_and_counted(self, secured_agent):
         from repro.obs import metrics as obs_metrics

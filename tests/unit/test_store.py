@@ -139,6 +139,28 @@ class TestBackends:
         assert backend.get("meas-01") is None
         assert backend.get("meas-02") is None
 
+    def test_leaked_tmp_file_is_invisible_and_swept(self, tmp_path):
+        """A temp file orphaned by SIGKILL mid-put must not surface as a
+        phantom key (which delete/gc could never reclaim — they re-shard
+        by key), and a fresh open reclaims it."""
+        root = str(tmp_path / "store")
+        backend = DiskBackend(root)
+        backend.put("meas-aa", b"payload")
+        shard = os.path.dirname(backend._path("meas-aa"))
+        leaked = [
+            os.path.join(shard, ".tmp-deadbeef"),
+            os.path.join(shard, ".tmp-cafe.json"),  # pre-fix tmp naming
+        ]
+        for path in leaked:
+            with open(path, "w") as fh:
+                fh.write("{ half a write")
+        assert backend.keys() == ["meas-aa"]
+        assert backend.size_bytes() == len(b"payload")
+        assert backend.verify() == (1, [])
+        DiskBackend(root)  # re-open sweeps the leftovers
+        assert [p for p in leaked if os.path.exists(p)] == []
+        assert backend.get("meas-aa") == b"payload"
+
     def test_disk_verify_flags_damage(self, tmp_path):
         backend = DiskBackend(str(tmp_path / "store"))
         backend.put("meas-ok", b"good")
@@ -293,6 +315,25 @@ class TestArtifacts:
         store.backend.put(key, pickle.dumps(os.system))
         assert store.get_artifact(exp, SETUPS[0]) is None
         assert store.corrupt == 1
+
+    def test_artifact_entry_refuses_builtins_and_repro_callables(
+        self, tmp_path
+    ):
+        """The unpickler is a concrete-class allowlist: builtins
+        (eval/getattr) and repro-module callables alike are refused —
+        anything loadable and callable would hand a crafted entry in a
+        shared store directory arbitrary code execution."""
+        import pickle
+
+        store = open_store(str(tmp_path / "store"))
+        exp = fresh_experiment()
+        key = store.artifact_key_for(exp, SETUPS[0])
+        for smuggled in (eval, getattr, __import__, open_store):
+            store.backend.delete(key)
+            store.backend.put(key, pickle.dumps(smuggled))
+            before = store.corrupt
+            assert store.get_artifact(exp, SETUPS[0]) is None
+            assert store.corrupt == before + 1
 
 
 # -- provenance, export, CLI ------------------------------------------------

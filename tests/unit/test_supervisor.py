@@ -336,6 +336,17 @@ class TestAdaptiveHangTimeout:
             pool.effective_hang_timeout() == supervisor.DEFAULT_HANG_TIMEOUT
         )
 
+    def test_warmup_floor_scales_with_heartbeat(self):
+        """A slow-beating config must not have warm-up declare healthy
+        busy workers hung: the heartbeat floor applies before enough
+        samples exist, not just after."""
+        with SupervisedPool(
+            workers=1, task_fn=_echo, heartbeat_interval=2.0
+        ) as pool:
+            assert pool.hang_timeout is None
+            assert len(pool._durations) == 0
+            assert pool.effective_hang_timeout() == 8.0
+
     def test_adapts_to_p95_with_floor_and_ceiling(self, pool):
         from repro.core import supervisor
 
