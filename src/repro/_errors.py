@@ -116,6 +116,56 @@ class ArchiveCorruption(ReproError, ValueError):
         self.record = record
 
 
+class StorageWriteError(ReproError):
+    """A durable artifact (journal, archive, store entry) could not be
+    written — ENOSPC, permission loss, a dying disk.
+
+    Fatal by default: re-running the measurement does not make the disk
+    bigger.  The sweep layers *degrade* around it instead of retrying —
+    the store disables further writes, the journal falls back to memory
+    — so one sick disk never costs a sweep its measurements.
+    """
+
+    retryable = False
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: Optional[str] = None,
+        retryable: Optional[bool] = None,
+        context: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        where = f"{path}: " if path is not None else ""
+        super().__init__(where + message, retryable=retryable, context=context)
+        self.path = path
+
+
+class JournalWriteError(StorageWriteError):
+    """The checkpoint journal could not be written.
+
+    Carries the journal path and the index of the record that failed to
+    land, so a degraded sweep can report exactly where durability ended
+    rather than surfacing a raw ``OSError`` traceback mid-sweep.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: Optional[str] = None,
+        record: Optional[int] = None,
+        retryable: Optional[bool] = None,
+        context: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if record is not None:
+            message = f"record {record}: {message}"
+        super().__init__(
+            message, path=path, retryable=retryable, context=context
+        )
+        self.record = record
+
+
 def is_retryable(exc: BaseException) -> bool:
     """The runner's classification: may re-attempting this succeed?
 

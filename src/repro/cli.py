@@ -150,6 +150,22 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
         help="retries for retryable faults before quarantining a setup",
     )
     parser.add_argument(
+        "--hang-timeout", type=float, default=None,
+        help=(
+            "seconds of heartbeat silence before a busy worker is "
+            "declared hung and failed over (default: adapt to observed "
+            "task durations; parallel mode only)"
+        ),
+    )
+    parser.add_argument(
+        "--max-respawns", type=_non_negative_int, default=8,
+        help=(
+            "replacement workers the pool may start before the sweep "
+            "degrades to in-process execution (with --hosts: the "
+            "coordinator's reconnection budget)"
+        ),
+    )
+    parser.add_argument(
         "--resume", metavar="PATH", default=None,
         help=(
             "checkpoint journal path; measurements land here as they "
@@ -269,6 +285,8 @@ def _run_sweep(exp: Experiment, setups, args: argparse.Namespace) -> int:
         jobs=args.jobs,
         timeout=args.timeout,
         max_retries=args.max_retries,
+        hang_timeout=args.hang_timeout,
+        max_respawns=args.max_respawns,
         journal_max_records=args.journal_max_records,
         hosts=args.hosts,
         secret=args.secret,
@@ -640,6 +658,29 @@ def cmd_journal(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_fsck(args: argparse.Namespace) -> int:
+    """`repro fsck`: audit (and with --repair, heal) on-disk artifacts.
+
+    Walks journals, archives, store directories and manifests; exits
+    nonzero when damage is found that this run did not (or could not)
+    repair, so recovery scripts and CI can gate on it directly.
+    """
+    from repro.fsck import fsck_paths
+
+    report = fsck_paths(args.paths, repair=args.repair)
+    for line in report.summary_lines():
+        print(line)
+    if args.json is not None:
+        text = report.to_json() + "\n"
+        if args.json == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(text)
+            print(f"report written to {args.json}", file=sys.stderr)
+    return report.exit_code
+
+
 def cmd_store(args: argparse.Namespace) -> int:
     """`repro store`: stats/gc/verify/export on a measurement store."""
     from repro.store import open_store
@@ -836,6 +877,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     journal_summary.add_argument("paths", nargs="+")
     journal.set_defaults(func=cmd_journal)
+
+    fsck = sub.add_parser(
+        "fsck",
+        help="audit (and repair) journals, archives, stores, manifests",
+    )
+    fsck.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help=(
+            "artifacts to audit: journal/archive/manifest files or "
+            "store directories (classified by content)"
+        ),
+    )
+    fsck.add_argument(
+        "--repair", action="store_true",
+        help=(
+            "apply each artifact's safe recovery action (compact "
+            "journals, drop damaged archive records, purge corrupt "
+            "store entries); manifests are never rewritten"
+        ),
+    )
+    fsck.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the machine-readable fsck report to FILE ('-': stdout)",
+    )
+    fsck.set_defaults(func=cmd_fsck)
 
     store = sub.add_parser(
         "store", help="manage a content-addressed measurement store"

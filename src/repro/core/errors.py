@@ -19,6 +19,8 @@ SimulationError      fatal      simulated program trapped (retryable when
 VerificationError    retryable  wrong answer — re-measure, then quarantine
 RunTimeout           retryable  cycle budget or wall-clock deadline blown
 ArchiveCorruption    fatal      archive/journal failed validation
+StorageWriteError    fatal      durable artifact could not be written
+JournalWriteError    fatal      journal append failed (path + record index)
 ===================  =========  ============================================
 
 See ``docs/robustness.md`` for how the sweep runner consumes the
@@ -28,9 +30,11 @@ retryable/fatal classification.
 from repro._errors import (
     ArchiveCorruption,
     BuildError,
+    JournalWriteError,
     ReproError,
     RunTimeout,
     SimulationError,
+    StorageWriteError,
     VerificationError,
     classify,
     is_retryable,
@@ -39,9 +43,11 @@ from repro._errors import (
 __all__ = [
     "ArchiveCorruption",
     "BuildError",
+    "JournalWriteError",
     "ReproError",
     "RunTimeout",
     "SimulationError",
+    "StorageWriteError",
     "VerificationError",
     "classify",
     "is_retryable",

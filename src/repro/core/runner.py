@@ -60,9 +60,10 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro import faults, workloads
+from repro import faults, storageio, workloads
 from repro._errors import (
     ArchiveCorruption,
+    JournalWriteError,
     ReproError,
     RunTimeout,
     classify,
@@ -240,11 +241,16 @@ class SweepReport:
     #: the same plan snapshot identically; wall-clock metrics live in the
     #: provenance manifest instead).
     metrics: Dict[str, Any] = field(default_factory=dict)
-    #: True when the supervised pool exhausted its respawn budget and
-    #: the sweep fell back to in-process execution.  Never a silent
-    #: partial table: every setup the pool failed to measure is named.
+    #: True when the sweep finished in a degraded mode — the supervised
+    #: pool exhausted its respawn budget (``degraded_setups`` names each
+    #: setup finished serially in-process) and/or the storage layer
+    #: failed underneath the sweep (``degraded_storage`` names each
+    #: durability loss: journal fallen back to memory, store writes
+    #: disabled).  Never silent: the measurements are still complete and
+    #: correct, but their persistence guarantees are not.
     degraded: bool = False
     degraded_setups: List[str] = field(default_factory=list)
+    degraded_storage: List[str] = field(default_factory=list)
 
     def accounted(self) -> bool:
         return (
@@ -269,6 +275,7 @@ class SweepReport:
             "metrics": dict(self.metrics),
             "degraded": self.degraded,
             "degraded_setups": list(self.degraded_setups),
+            "degraded_storage": list(self.degraded_storage),
         }
 
     def to_json(self) -> str:
@@ -288,7 +295,7 @@ class SweepReport:
                 f"\n  QUARANTINED [{q.index}] {q.setup}: {q.error_type} "
                 f"({q.fate}, {q.attempts} attempts): {q.message}"
             )
-        if self.degraded:
+        if self.degraded_setups:
             line += (
                 f"\n  DEGRADED: worker respawn budget exhausted; "
                 f"{len(self.degraded_setups)} setup(s) finished serially "
@@ -296,6 +303,10 @@ class SweepReport:
             )
             for setup in self.degraded_setups:
                 line += f"\n    {setup}"
+        if self.degraded_storage:
+            line += "\n  STORAGE DEGRADED:"
+            for loss in self.degraded_storage:
+                line += f"\n    {loss}"
         return line
 
 
@@ -481,12 +492,20 @@ class Journal:
     ) -> None:
         """Journal one completed measurement (durable before returning).
 
-        ``fault_key`` opts the append into ``journal_torn_write``
-        injection: when the active plan fires, half the record reaches
-        disk and :class:`~repro.faults.TornWrite` unwinds the sweep —
-        exactly what a crash mid-append does.  The draw's attempt
-        dimension is the journal's cumulative recovery count, so a
-        transient tear fires once and clears on the resumed run.
+        ``fault_key`` opts the append into storage fault injection:
+
+        - ``journal_torn_write`` — half the record reaches disk and
+          :class:`~repro.faults.TornWrite` unwinds the sweep, exactly
+          what a crash mid-append does;
+        - ``journal_torn_tail`` — a truncated line lands *silently*
+          (flushed, never fsynced — a power cut after the page-cache
+          write) and the sweep continues believing the record durable;
+        - ``disk_full`` — the write fails with a deterministic ENOSPC
+          before any bytes land, surfaced as
+          :class:`~repro._errors.JournalWriteError`.
+
+        Both tear kinds draw on the journal's cumulative recovery count,
+        so a transient tear fires once and clears on the resumed run.
         """
         assert self._fh is not None, "journal not opened for append"
         rec = {
@@ -504,7 +523,15 @@ class Journal:
             raise faults.TornWrite(
                 f"injected torn journal write at setup {index}"
             )
-        self._write_line(line)
+        if fault_key is not None and storageio.torn_tail_fires(
+            fault_key, self.recovered_torn + 1
+        ):
+            # Truncated line, flushed but never synced: the record is
+            # lost to a later crash, and nothing tells the sweep so.
+            self._fh.write(line[: len(line) // 2] + "\n")
+            self._fh.flush()
+            return
+        self._write_line(line, key=fault_key, record=index)
 
     def append_aux(self, kind: str, data: Dict) -> None:
         """Journal a checksummed non-measurement record (e.g. the
@@ -518,11 +545,28 @@ class Journal:
         }
         self._write_line(canonical_json(rec))
 
-    def _write_line(self, line: str) -> None:
+    def _write_line(
+        self, line: str, key: Optional[str] = None, record: Optional[int] = None
+    ) -> None:
+        """One durable journal line through the fault-aware I/O shim.
+
+        Real *and* injected write failures surface as
+        :class:`~repro._errors.JournalWriteError` carrying the journal
+        path and record index — never a raw ``OSError`` traceback.
+        ``key`` (the record's fault key) opts the write into ``disk_full``
+        injection and names the ``journal_fsync_stall`` draw.
+        """
         assert self._fh is not None
-        self._fh.write(line + "\n")
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        try:
+            if key is not None:
+                storageio.check_disk_full(key, path=self.path)
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            storageio.fsync(self._fh, key or self.path)
+        except OSError as exc:
+            raise JournalWriteError(
+                str(exc), path=self.path, record=record
+            ) from exc
 
     def close(self) -> None:
         if self._fh is not None:
@@ -535,6 +579,148 @@ def _header_torn_count(header: Dict) -> int:
         return max(0, int(header.get("torn_recovered", 0) or 0))
     except (TypeError, ValueError):
         return 0
+
+
+class MemoryJournal:
+    """Typed in-memory stand-in after the on-disk journal failed.
+
+    Same append surface as :class:`Journal`, zero durability: records
+    accumulate in memory so in-process consumers (metrics aux, tests)
+    still see them, but a crash loses everything — which is why the
+    fallback is always accompanied by a loud degraded event and a
+    ``degraded_storage`` entry in the report.
+    """
+
+    def __init__(self, path: str, sweep: str) -> None:
+        self.path = path
+        self.sweep = sweep
+        self.records: Dict[int, Dict] = {}
+        self.aux: List[Dict] = []
+
+    def append(
+        self, index: int, data: Dict, fault_key: Optional[str] = None
+    ) -> None:
+        """Record a measurement in memory (latest write per index wins)."""
+        self.records[index] = data
+
+    def append_aux(self, kind: str, data: Dict) -> None:
+        """Record an auxiliary event in memory."""
+        self.aux.append({"kind": kind, "data": data})
+
+    def close(self) -> None:
+        """No-op: there is nothing durable to flush."""
+        pass
+
+
+class ResilientJournal:
+    """Journal facade that degrades instead of crashing the sweep.
+
+    Wraps a :class:`Journal`; the first
+    :class:`~repro._errors.JournalWriteError` (ENOSPC, I/O error —
+    injected or real) swaps in a :class:`MemoryJournal` for the rest of
+    the sweep and reports the loss once via ``on_degrade``.  Measurements
+    keep landing; only their durability is gone.  :class:`TornWrite`
+    is *not* caught — an injected crash must unwind the sweep exactly
+    like a real one.
+    """
+
+    def __init__(
+        self,
+        journal: Journal,
+        on_degrade: Optional[Callable[[JournalWriteError], None]] = None,
+    ) -> None:
+        self._disk = journal
+        self._memory: Optional[MemoryJournal] = None
+        self._on_degrade = on_degrade
+        #: The write error that forced the fallback, or None.
+        self.failure: Optional[JournalWriteError] = None
+
+    # Delegated identity: callers treat this exactly like a Journal.
+    @property
+    def path(self) -> str:
+        """The on-disk journal path (even after a memory fallback)."""
+        return self._disk.path
+
+    @property
+    def sweep(self) -> str:
+        """The sweep id the journal belongs to."""
+        return self._disk.sweep
+
+    @property
+    def recovered_torn(self) -> int:
+        """Torn lines dropped when the journal was last loaded."""
+        return self._disk.recovered_torn
+
+    @property
+    def aux(self) -> List[Dict]:
+        """Auxiliary records parsed from the on-disk journal."""
+        return self._disk.aux
+
+    @property
+    def degraded(self) -> bool:
+        """Has the journal fallen back to memory?"""
+        return self._memory is not None
+
+    def load(self) -> Dict[int, Dict]:
+        """Load prior records from disk (resume path; never degraded)."""
+        return self._disk.load()
+
+    def open_for_append(self, note: str = "") -> None:
+        """Open the disk journal; a write failure degrades to memory."""
+        try:
+            self._disk.open_for_append(note=note)
+        except JournalWriteError as exc:
+            self._degrade(exc)
+
+    def append(
+        self, index: int, data: Dict, fault_key: Optional[str] = None
+    ) -> None:
+        """Append a record, falling back to memory on the first failure."""
+        if self._memory is not None:
+            self._memory.append(index, data, fault_key=fault_key)
+            return
+        try:
+            self._disk.append(index, data, fault_key=fault_key)
+        except JournalWriteError as exc:
+            self._degrade(exc)
+            assert self._memory is not None
+            self._memory.append(index, data, fault_key=fault_key)
+
+    def append_aux(self, kind: str, data: Dict) -> None:
+        """Append an aux record, falling back to memory on failure."""
+        if self._memory is not None:
+            self._memory.append_aux(kind, data)
+            return
+        try:
+            self._disk.append_aux(kind, data)
+        except JournalWriteError as exc:
+            self._degrade(exc)
+            assert self._memory is not None
+            self._memory.append_aux(kind, data)
+
+    def close(self) -> None:
+        """Close the disk journal, swallowing late I/O errors."""
+        try:
+            self._disk.close()
+        except OSError:
+            pass
+
+    def _degrade(self, exc: JournalWriteError) -> None:
+        self.failure = exc
+        try:
+            self._disk.close()
+        except OSError:
+            pass
+        self._memory = MemoryJournal(self._disk.path, self._disk.sweep)
+        obs_metrics.counter("storage.journal_fallbacks").inc()
+        obs_trace.instant(
+            "journal_degraded",
+            category="runner",
+            path=self._disk.path,
+            record=exc.record,
+        )
+        if self._on_degrade is not None:
+            self._on_degrade(exc)
 
 
 # -- journal compaction -----------------------------------------------------
@@ -640,7 +826,11 @@ def compact_journal(path: str) -> CompactionStats:
     with open(tmp, "w") as fh:
         fh.write("\n".join(out) + "\n")
         fh.flush()
-        os.fsync(fh.fileno())
+        # Through the shim: an injected journal_fsync_stall delays the
+        # sync, and the verification re-read below guarantees a rewrite
+        # whose sync never completed can't be published over the
+        # original.
+        storageio.fsync(fh, f"compact:{os.path.basename(path)}")
     _verify_compacted_journal(tmp, len(latest), len(latest_aux))
     os.replace(tmp, path)
     return CompactionStats(
@@ -865,10 +1055,29 @@ class SweepRunner:
             # serial and parallel sweeps.
             self.fault_plan if self.fault_plan is not None else faults.active()
         ):
-            journal: Optional[Journal] = None
+            def _journal_degraded(exc: JournalWriteError) -> None:
+                # Loud, attributed, and in the report: the sweep keeps
+                # measuring, but resume durability is gone from here on.
+                report.degraded = True
+                report.degraded_storage.append(
+                    f"journal fell back to memory: {exc}"
+                )
+                self.progress.worker_event(
+                    "degraded",
+                    -1,
+                    detail=(
+                        "journal write failed; continuing with an "
+                        f"in-memory journal: {exc}"
+                    ),
+                )
+
+            journal: Optional[ResilientJournal] = None
             resumed_indices: set = set()
             if self.journal_path is not None:
-                journal = Journal(self.journal_path, sid)
+                journal = ResilientJournal(
+                    Journal(self.journal_path, sid),
+                    on_degrade=_journal_degraded,
+                )
                 for index, data in journal.load().items():
                     if 0 <= index < len(setups) and results[index] is None:
                         m = load_measurement_record(
@@ -911,10 +1120,21 @@ class SweepRunner:
                 if journal is not None:
                     journal.close()
 
-            if journal is not None and journal_needs_compaction(
-                journal.path,
-                self.config.journal_max_records,
-                self.config.journal_max_bytes,
+            if self.store is not None and getattr(
+                self.store, "write_disabled", False
+            ):
+                report.degraded = True
+                report.degraded_storage.append(
+                    "store writes disabled for this sweep: "
+                    + self.store.disabled_reason
+                )
+
+            if journal is not None and not journal.degraded and (
+                journal_needs_compaction(
+                    journal.path,
+                    self.config.journal_max_records,
+                    self.config.journal_max_bytes,
+                )
             ):
                 stats = compact_journal(journal.path)
                 obs_trace.instant(
@@ -948,7 +1168,7 @@ class SweepRunner:
         setups: Sequence[ExperimentalSetup],
         results: List[Optional[Measurement]],
         report: SweepReport,
-        journal: Optional[Journal],
+        journal: Optional[ResilientJournal],
         mreg: obs_metrics.MetricsRegistry,
     ) -> None:
         """Incremental scheduling: resolve every setup the store already
@@ -1004,7 +1224,7 @@ class SweepRunner:
         pending: List[int],
         results: List[Optional[Measurement]],
         report: SweepReport,
-        journal: Optional[Journal],
+        journal: Optional[ResilientJournal],
         mreg: obs_metrics.MetricsRegistry,
         start_attempts: Optional[Dict[int, int]] = None,
     ) -> None:
@@ -1092,7 +1312,7 @@ class SweepRunner:
         pending: List[int],
         results: List[Optional[Measurement]],
         report: SweepReport,
-        journal: Optional[Journal],
+        journal: Optional[ResilientJournal],
         mreg: obs_metrics.MetricsRegistry,
         sweep_span: Optional[obs_trace.Span] = None,
     ) -> None:

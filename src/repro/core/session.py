@@ -19,9 +19,11 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import asdict
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro import storageio
 from repro._errors import ArchiveCorruption
 from repro.arch.counters import PerfCounters
 from repro.arch.machines import MachineConfig
@@ -172,6 +174,11 @@ def save_measurements(
     (:func:`repro.obs.manifest.build_manifest`) so the archive records
     *how* its measurements were produced, not just their values; v1/v2
     readers that predate the field ignore it.
+
+    The write is atomic and durable (tmp + fsync + rename through the
+    fault-aware I/O shim, :func:`repro.storageio.atomic_write_text`): a
+    crash at any point — and any reader at any time — sees either the
+    previous archive or the complete new one, never a truncated hybrid.
     """
     records = []
     for m in measurements:
@@ -184,8 +191,11 @@ def save_measurements(
     }
     if manifest is not None:
         payload["manifest"] = manifest
-    with open(path, "w") as fh:
-        json.dump(payload, fh, indent=1)
+    storageio.atomic_write_text(
+        path,
+        json.dumps(payload, indent=1),
+        key=f"archive:{os.path.basename(path)}",
+    )
 
 
 def load_measurements(path: str) -> List[Measurement]:

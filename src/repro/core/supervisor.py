@@ -72,6 +72,11 @@ _ADAPTIVE_MULTIPLIER = 10.0
 #: Adaptive clamp: never below a few heartbeats, never above this.
 _ADAPTIVE_CEILING = 120.0
 
+#: A gap between liveness scans longer than this (and longer than a few
+#: heartbeats) means the *parent* stalled — SIGSTOP, suspend/resume, a
+#: debugger — and every heartbeat is stale by the same amount.
+_PARENT_STALL_FLOOR = 1.0
+
 
 @dataclass
 class Task:
@@ -315,6 +320,9 @@ class SupervisedPool(DispatchPool):
         self._workers: List[_Worker] = []
         self._respawns = 0
         self._closed = False
+        #: Parent-side stalls detected (and credited back to workers).
+        self.parent_stalls = 0
+        self._last_scan = time.monotonic()
         for slot in range(workers):
             self._workers.append(self._spawn(slot))
 
@@ -514,6 +522,29 @@ class SupervisedPool(DispatchPool):
     def _scan_liveness(self) -> None:
         now = time.monotonic()
         deadline = self.effective_hang_timeout()
+        gap = now - self._last_scan
+        self._last_scan = now
+        if gap > max(2 * self.heartbeat_interval, _PARENT_STALL_FLOOR):
+            # The parent itself went dark between scans (SIGSTOP storm,
+            # laptop suspend, a tracing debugger): a SIGSTOP of the whole
+            # process group froze the workers' beat threads too, so on
+            # resume every heartbeat looks ``gap`` seconds staler than
+            # the worker deserves.  Credit the unobserved interval back
+            # instead of declaring every busy worker hung — time the
+            # supervisor wasn't watching must not count against the
+            # watched.  Crash detection below is unaffected (a dead PID
+            # is dead regardless of clocks); a genuinely hung worker is
+            # still caught, at most one deadline later.
+            self.parent_stalls += 1
+            for w in self._workers:
+                self._heartbeats[w.slot] = min(
+                    now, self._heartbeats[w.slot] + gap
+                )
+            obs_trace.instant(
+                "parent_stall_rebaseline",
+                category="supervisor",
+                gap=round(gap, 3),
+            )
         for w in list(self._workers):
             if not w.proc.is_alive():
                 self._fail(w, "crash")

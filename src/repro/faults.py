@@ -46,10 +46,32 @@ failover and reconnect paths are testable on a loopback socket:
   agent's checksum validation rejects it and drops the connection,
   which the coordinator recovers from exactly like a partition.
 
+Storage chaos kinds (:data:`STORAGE_KINDS`) target the third failure
+domain — the coordinator's own durable artifacts — via the fault-aware
+I/O shim (:mod:`repro.storageio`) threaded through the journal writer,
+the archive writer, and the disk store backend:
+
+- ``"journal_fsync_stall"`` — an fsync takes
+  :attr:`FaultPlan.fsync_stall_seconds` instead of returning promptly
+  (slow disk, contended NFS); pure latency, never data loss,
+- ``"disk_full"`` — a durable write fails with a deterministic
+  ``ENOSPC`` before any bytes land; the journal degrades to a typed
+  in-memory fallback and the store disables further writes for the
+  sweep instead of failing the measurement,
+- ``"store_bitflip"`` — a store entry is corrupted *after* a
+  successful put (media rot); the entry's checksum catches it on the
+  next read and the store serves a miss,
+- ``"journal_torn_tail"`` — a journal append writes a truncated line
+  and skips its fsync (power cut after the page-cache write); the
+  record is silently lost until resume-time recovery drops the torn
+  tail.
+
 For process and network kinds the "attempt" dimension of a draw is the
 *dispatch* (or recovery) count, not the measurement's retry attempt — a
 worker crash, agent loss, or partition is an infrastructure fault and
-must not consume the measurement's retry budget.
+must not consume the measurement's retry budget.  Storage kinds draw on
+the artifact's own identity (the record's fault key, the store key, the
+archive path) so the schedule is independent of completion order.
 
 Faults are *transient* or *permanent*: a transient fault clears after a
 plan-chosen number of attempts (exercising the retry path), a permanent
@@ -84,8 +106,16 @@ PROCESS_KINDS = ("worker_crash", "worker_hang", "journal_torn_write")
 #: Network-level chaos kinds targeting the distributed sweep layer.
 NETWORK_KINDS = ("agent_crash", "net_partition", "message_corrupt")
 
+#: Storage chaos kinds targeting the coordinator's durable artifacts.
+STORAGE_KINDS = (
+    "journal_fsync_stall",
+    "disk_full",
+    "store_bitflip",
+    "journal_torn_tail",
+)
+
 #: Every fault kind a plan can inject.
-KINDS = MEASUREMENT_KINDS + PROCESS_KINDS + NETWORK_KINDS
+KINDS = MEASUREMENT_KINDS + PROCESS_KINDS + NETWORK_KINDS + STORAGE_KINDS
 
 #: Cycle budget forced onto a run when a "hang" fault fires — far below
 #: any real workload, so the engine's watchdog is guaranteed to trip.
@@ -144,6 +174,12 @@ class FaultPlan:
             path* is faulted (the remote agent dies on receipt, the
             connection partitions at dispatch, or the task frame is
             corrupted in flight).
+        fsync_stall_rate / disk_full_rate / store_bitflip_rate /
+            torn_tail_rate: per-kind probability that a durable write
+            (journal record, archive, store entry) is faulted — the
+            fsync stalls, the write fails with ENOSPC, the entry rots
+            after the put, or the journal tail tears unsynced.
+        fsync_stall_seconds: injected latency of one stalled fsync.
         transient_fraction: of injected faults, the fraction that clear
             after a bounded number of attempts (the rest are permanent
             and can only be quarantined).
@@ -162,6 +198,11 @@ class FaultPlan:
     agent_crash_rate: float = 0.0
     net_partition_rate: float = 0.0
     message_corrupt_rate: float = 0.0
+    fsync_stall_rate: float = 0.0
+    disk_full_rate: float = 0.0
+    store_bitflip_rate: float = 0.0
+    torn_tail_rate: float = 0.0
+    fsync_stall_seconds: float = 0.05
     transient_fraction: float = 1.0
     max_transient_attempts: int = 2
 
@@ -177,6 +218,10 @@ class FaultPlan:
             "agent_crash": self.agent_crash_rate,
             "net_partition": self.net_partition_rate,
             "message_corrupt": self.message_corrupt_rate,
+            "journal_fsync_stall": self.fsync_stall_rate,
+            "disk_full": self.disk_full_rate,
+            "store_bitflip": self.store_bitflip_rate,
+            "journal_torn_tail": self.torn_tail_rate,
         }[kind]
 
     def fires(self, kind: str, key: str, attempt: int) -> bool:
@@ -219,6 +264,14 @@ _PLAN_ALIASES = {
     "partition": "net_partition_rate",
     "message_corrupt": "message_corrupt_rate",
     "corrupt": "message_corrupt_rate",
+    "journal_fsync_stall": "fsync_stall_rate",
+    "fsync_stall": "fsync_stall_rate",
+    "disk_full": "disk_full_rate",
+    "store_bitflip": "store_bitflip_rate",
+    "bitflip": "store_bitflip_rate",
+    "journal_torn_tail": "torn_tail_rate",
+    "torn_tail": "torn_tail_rate",
+    "stall_seconds": "fsync_stall_seconds",
     "transient": "transient_fraction",
 }
 

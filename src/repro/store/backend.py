@@ -29,6 +29,7 @@ import tempfile
 from collections import OrderedDict
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro import storageio
 from repro._errors import ReproError
 
 #: On-disk entry wrapper format.  Bump if the wrapper shape changes;
@@ -170,6 +171,9 @@ class DiskBackend(StoreBackend):
 
     def __init__(self, root: str) -> None:
         self.root = os.path.abspath(root)
+        #: Stale temp files reclaimed on open — ``repro fsck`` reports
+        #: the count as evidence of an earlier crash mid-put.
+        self.swept_tmp = 0
         os.makedirs(self.root, exist_ok=True)
         self._sweep_stale_tmp()
 
@@ -182,6 +186,7 @@ class DiskBackend(StoreBackend):
                 if name.startswith(".tmp-"):
                     try:
                         os.unlink(os.path.join(dirpath, name))
+                        self.swept_tmp += 1
                     except OSError:
                         pass
 
@@ -243,6 +248,11 @@ class DiskBackend(StoreBackend):
         if os.path.exists(path):
             os.utime(path)
             return False
+        # Fault-aware I/O shim: a drawn disk_full fails here with ENOSPC
+        # before any bytes land; a drawn store_bitflip rots the entry
+        # *after* a successful publish (the next read's checksum catches
+        # it); fsync latency rides through storageio.fsync.
+        storageio.check_disk_full(key, path=path)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         entry = {
             "format": ENTRY_FORMAT,
@@ -257,7 +267,7 @@ class DiskBackend(StoreBackend):
             with os.fdopen(fd, "w") as fh:
                 json.dump(entry, fh)
                 fh.flush()
-                os.fsync(fh.fileno())
+                storageio.fsync(fh, key)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -265,6 +275,7 @@ class DiskBackend(StoreBackend):
             except OSError:
                 pass
             raise
+        storageio.maybe_bitflip(path, key)
         return True
 
     def delete(self, key: str) -> bool:

@@ -24,6 +24,7 @@ reports byte-identical to cold ones.
 
 from __future__ import annotations
 
+import errno
 import io
 import json
 import pickle
@@ -76,6 +77,12 @@ class MeasurementStore:
         self.corrupt = 0
         self.artifact_hits = 0
         self.artifact_misses = 0
+        #: Sick-disk degradation: the first failed write (ENOSPC, I/O
+        #: error) disables every further put for this store instance —
+        #: reads keep serving hits, measurements keep landing, and the
+        #: sweep report records the loss instead of the sweep dying.
+        self.write_disabled = False
+        self.disabled_reason = ""
 
     # -- keys --------------------------------------------------------------
 
@@ -136,11 +143,33 @@ class MeasurementStore:
         obs_metrics.counter("store.misses").inc()
         return None
 
+    def _put(self, key: str, payload: bytes) -> bool:
+        """Backend write with the sick-disk policy applied: the first
+        ``OSError`` (ENOSPC above all) disables writes for this store
+        instance and reads as "not written", never as a failed
+        measurement — the store is an accelerator, not a dependency."""
+        if self.write_disabled:
+            obs_metrics.counter("store.puts_skipped").inc()
+            return False
+        try:
+            return self.backend.put(key, payload)
+        except OSError as exc:
+            name = (
+                errno.errorcode.get(exc.errno, "OSError")
+                if exc.errno
+                else type(exc).__name__
+            )
+            self.write_disabled = True
+            self.disabled_reason = f"{name}: {exc}"
+            obs_metrics.counter("store.write_errors").inc()
+            obs_metrics.counter("store.write_disabled").inc()
+            return False
+
     def put_measurement(self, experiment, m: Measurement) -> bool:
         """Store a measurement; True when a new entry was written."""
         key = self.key_for(experiment, m.setup)
         payload = canonical_json(measurement_to_dict(m)).encode()
-        written = self.backend.put(key, payload)
+        written = self._put(key, payload)
         if written:
             self.puts += 1
             obs_metrics.counter("store.puts").inc()
@@ -182,7 +211,7 @@ class MeasurementStore:
         """Store a compiled executable; True when newly written."""
         key = self.artifact_key_for(experiment, setup)
         payload = pickle.dumps(exe, protocol=4)
-        written = self.backend.put(key, payload)
+        written = self._put(key, payload)
         if written:
             self.puts += 1
             obs_metrics.counter("store.puts").inc()
@@ -206,8 +235,48 @@ class MeasurementStore:
         }
 
     def verify(self) -> Tuple[int, List[str]]:
-        """Audit every entry; ``(ok_count, corrupt_keys)``, no repair."""
-        return self.backend.verify()
+        """Deep audit of every entry; ``(ok_count, corrupt_keys)``.
+
+        Goes beyond the backend's payload-checksum pass: a measurement
+        entry must decode into a valid v2 record and an artifact entry
+        must unpickle (under the restricted loader) into an
+        :class:`Executable` — so a checksum-intact entry holding garbage
+        content, or a key outside the store's scheme, is flagged too.
+        Read-only: nothing is deleted (``repro fsck --repair`` purges).
+        """
+        ok = 0
+        corrupt: List[str] = []
+        for key in self.backend.keys():
+            try:
+                payload = self.backend.get(key)
+            except StoreEntryCorrupt:
+                corrupt.append(key)
+                continue
+            if payload is None:
+                continue  # deleted underneath the audit
+            if key.startswith(MEASUREMENT_PREFIX):
+                try:
+                    data = json.loads(payload.decode())
+                    load_measurement_record(data, path=key)
+                except (ArchiveCorruption, UnicodeDecodeError, ValueError):
+                    corrupt.append(key)
+                    continue
+            elif key.startswith(ARTIFACT_PREFIX):
+                try:
+                    valid = isinstance(_restricted_loads(payload), Executable)
+                except Exception:  # noqa: BLE001 — any unpickle failure
+                    valid = False
+                if not valid:
+                    corrupt.append(key)
+                    continue
+            else:
+                # Not part of the store's key scheme at all: flag it —
+                # an unaudited blob in a shared store dir is exactly the
+                # kind of quiet rot fsck exists to surface.
+                corrupt.append(key)
+                continue
+            ok += 1
+        return ok, sorted(corrupt)
 
     def gc(self, max_bytes: int) -> Tuple[int, int]:
         """LRU-evict down to ``max_bytes``; ``(evicted, bytes_freed)``."""
@@ -255,15 +324,19 @@ class MeasurementStore:
             "corrupt": self.corrupt,
             "artifact_hits": self.artifact_hits,
             "artifact_misses": self.artifact_misses,
+            "write_disabled": self.write_disabled,
         }
 
     def summary(self) -> str:
         """One greppable line for stderr: ``store: hits=… misses=…``."""
-        return (
+        line = (
             f"store: hits={self.hits} misses={self.misses} "
             f"puts={self.puts} corrupt={self.corrupt} "
             f"artifact_hits={self.artifact_hits}"
         )
+        if self.write_disabled:
+            line += f" (writes disabled: {self.disabled_reason})"
+        return line
 
     def __repr__(self) -> str:
         backend = type(self.backend).__name__

@@ -66,17 +66,22 @@ class TestFaultPlan:
 
 
 class TestProcessKinds:
-    def test_kinds_cover_measurement_and_process_families(self):
+    def test_kinds_cover_every_failure_domain(self):
         assert set(faults.KINDS) == (
             set(faults.MEASUREMENT_KINDS)
             | set(faults.PROCESS_KINDS)
             | set(faults.NETWORK_KINDS)
+            | set(faults.STORAGE_KINDS)
         )
         assert set(faults.PROCESS_KINDS) == {
             "worker_crash", "worker_hang", "journal_torn_write",
         }
         assert set(faults.NETWORK_KINDS) == {
             "agent_crash", "net_partition", "message_corrupt",
+        }
+        assert set(faults.STORAGE_KINDS) == {
+            "journal_fsync_stall", "disk_full", "store_bitflip",
+            "journal_torn_tail",
         }
 
     def test_process_kind_rates_drive_draws(self):
@@ -113,6 +118,52 @@ class TestProcessKinds:
     def test_torn_write_is_not_a_catchable_measurement_fault(self):
         assert issubclass(faults.TornWrite, BaseException)
         assert not issubclass(faults.TornWrite, Exception)
+
+
+class TestStorageKinds:
+    """Storage chaos draws behave exactly like every other family:
+    deterministic, seed-sensitive, transient-capable."""
+
+    def test_storage_draws_are_deterministic(self):
+        plan = faults.FaultPlan(seed=12, disk_full_rate=0.5)
+        fires = [plan.fires("disk_full", f"key-{i}", 1) for i in range(50)]
+        again = [plan.fires("disk_full", f"key-{i}", 1) for i in range(50)]
+        assert fires == again
+        assert any(fires) and not all(fires)
+
+    def test_storage_seed_changes_the_schedule(self):
+        keys = [f"entry-{i}" for i in range(64)]
+        a = faults.FaultPlan(seed=1, store_bitflip_rate=0.5)
+        b = faults.FaultPlan(seed=2, store_bitflip_rate=0.5)
+        assert [a.fires("store_bitflip", k, 1) for k in keys] != [
+            b.fires("store_bitflip", k, 1) for k in keys
+        ]
+
+    def test_storage_kinds_draw_independently(self):
+        plan = faults.FaultPlan(seed=8, torn_tail_rate=0.5)
+        fires = [
+            plan.fires("journal_torn_tail", f"k{i}", 1) for i in range(50)
+        ]
+        assert any(fires) and not all(fires)
+        # Sibling storage kinds stay silent at rate 0.
+        assert not any(
+            plan.fires(k, f"k{i}", 1)
+            for k in ("journal_fsync_stall", "disk_full", "store_bitflip")
+            for i in range(50)
+        )
+
+    def test_transient_storage_fault_clears(self):
+        plan = faults.FaultPlan(
+            seed=5, torn_tail_rate=1.0, transient_fraction=1.0,
+            max_transient_attempts=1,
+        )
+        assert plan.fires("journal_torn_tail", "k", 1)
+        assert not plan.fires("journal_torn_tail", "k", 2)
+
+    def test_stall_seconds_is_a_plan_field(self):
+        plan = faults.parse_plan("fsync_stall=1.0,stall_seconds=0.25")
+        assert plan.fsync_stall_rate == 1.0
+        assert plan.fsync_stall_seconds == 0.25
 
 
 class TestParsePlan:

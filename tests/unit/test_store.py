@@ -402,6 +402,23 @@ class TestOperations:
         line = next(l for l in out.splitlines() if l.startswith("entries"))
         assert line.split()[-1] == "0"
 
+    def test_cli_store_verify_exits_nonzero_on_deep_corruption(
+        self, tmp_path, capsys
+    ):
+        """An entry whose *payload* is junk passes the backend checksum
+        but must still fail verification (and the exit code must say
+        so): deep verify deserializes every record, not just its bytes."""
+        from repro.cli import main
+        from repro.store.backend import DiskBackend
+        from repro.store.keys import MEASUREMENT_PREFIX
+
+        root = str(tmp_path / "store")
+        backend = DiskBackend(root)
+        assert backend.put(MEASUREMENT_PREFIX + "0" * 64, b'{"not": "a record"}')
+        assert main(["store", "verify", root]) == 1
+        out = capsys.readouterr().out
+        assert "CORRUPT" in out and "1 corrupt" in out
+
     def test_cli_store_requires_a_directory(self, capsys):
         from repro.cli import main
 

@@ -311,6 +311,46 @@ class TestWorkerProgressEvents:
         obs_progress.NULL_PROGRESS.worker_event("hang", 0)
 
 
+class TestParentStallRebaseline:
+    """A SIGSTOP'd (or suspended) *parent* must not declare every busy
+    worker hung on resume: the scan gap is credited back to the
+    heartbeats (proven end-to-end by crashsim's parent_sigstop mode)."""
+
+    def _pool(self):
+        return SupervisedPool(
+            workers=1, task_fn=_echo, hang_timeout=1.0,
+            heartbeat_interval=0.05,
+        )
+
+    def test_scan_gap_credits_worker_heartbeats(self):
+        with self._pool() as pool:
+            pool._scan_liveness()  # settle the scan clock
+            stalls_before = pool.parent_stalls
+            w = pool._workers[0]
+            w.task = Task(index=0, key="k", attempt=1, payload=0)
+            # The whole process group was stopped for 5s: the parent's
+            # scan clock and the worker's heartbeat are equally stale.
+            pool._heartbeats[w.slot] -= 5.0
+            pool._last_scan -= 5.0
+            pool._scan_liveness()
+            assert pool.parent_stalls == stalls_before + 1
+            assert not [e for e in pool._events if e.kind == "hang"]
+            w.task = None  # no phantom in-flight task at close
+
+    def test_stale_heartbeat_without_scan_gap_is_still_a_hang(self):
+        with self._pool() as pool:
+            pool._scan_liveness()  # settle the scan clock
+            stalls_before = pool.parent_stalls
+            w = pool._workers[0]
+            w.task = Task(index=0, key="k", attempt=1, payload=0)
+            # Only the worker is stale: the parent kept scanning, so
+            # this is a real hang, not a parent stall.
+            pool._heartbeats[w.slot] -= 5.0
+            pool._scan_liveness()
+            assert pool.parent_stalls == stalls_before
+            assert [e for e in pool._events if e.kind == "hang"]
+
+
 class TestAdaptiveHangTimeout:
     """hang_timeout=None derives the hang threshold from observed task
     durations instead of a fixed guess (ROADMAP follow-up)."""
