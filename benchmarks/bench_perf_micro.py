@@ -1,0 +1,63 @@
+"""PERF — pinned micro-bench behind the perf regression gate.
+
+Deliberately tiny and fully pinned (one workload, four environment
+sizes, both O-levels): the point is not the table it prints but that two
+runs of it — on any host, any day — publish byte-identical artifacts
+and identical deterministic counters.  The perf-smoke CI job runs this
+bench twice into two ``REPRO_BENCH_RESULTS`` directories and diffs the
+sidecars with ``tools/bench_compare.py``; any deterministic-field drift
+fails the build, while wall-clock fields (``engine.ips``,
+``engine.run_seconds``) only get a coarse threshold.
+
+Run with ``REPRO_ENGINE_PROFILE=1`` (and ``REPRO_BENCH_JOBS=1`` so the
+engine runs in-process) to also record the engine's opcode-class
+dispatch mix in the sidecar's ``perf`` section.
+"""
+
+from repro.core.report import render_table
+from repro.obs import metrics as obs_metrics
+
+from common import BASE, TREATMENT, experiment, parallel_sweep, publish
+
+#: Pinned environment sizes (bytes) — four points spanning one stack
+#: alignment period, chosen once and never changed: the gate compares
+#: runs of the *same* bench, so the exact values only need to be stable.
+ENV_POINTS = (100, 116, 132, 148)
+
+
+def test_perf_micro():
+    exp = experiment("libquantum")
+    setups = [
+        base.with_changes(env_bytes=n)
+        for n in ENV_POINTS
+        for base in (BASE, TREATMENT)
+    ]
+    parallel_sweep(exp, setups)
+    rows = []
+    for n in ENV_POINTS:
+        m2 = exp.run(BASE.with_changes(env_bytes=n))
+        m3 = exp.run(TREATMENT.with_changes(env_bytes=n))
+        assert m2.cycles > 0 and m3.cycles > 0
+        rows.append(
+            [
+                str(n),
+                f"{m2.cycles:.2f}",
+                f"{m3.cycles:.2f}",
+                f"{m2.cycles / m3.cycles:.4f}",
+            ]
+        )
+    counters = obs_metrics.registry().counters()
+    publish(
+        "PERF_micro",
+        render_table(
+            ["env bytes", "O2 cycles", "O3 cycles", "O2/O3 speedup"],
+            rows,
+            title="PERF: pinned libquantum micro-bench (regression gate)",
+        ),
+        meta={
+            "workload": "libquantum",
+            "env_points": list(ENV_POINTS),
+            "engine_runs": counters.get("engine.runs", 0),
+            "engine_instructions": counters.get("engine.instructions", 0),
+        },
+    )

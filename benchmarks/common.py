@@ -26,12 +26,19 @@ from typing import Any, Dict, Optional, Sequence
 from repro import __version__, faults, workloads
 from repro.core import Experiment, ExperimentalSetup, RunnerConfig, SweepRunner
 from repro.obs import metrics as obs_metrics
+from repro.obs import perf as obs_perf
 from repro.obs.manifest import environment_fingerprint, text_checksum
 
 #: Format marker for the per-result provenance sidecars.
 BENCH_META_FORMAT = "repro-bench-meta-v1"
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+#: Where artifacts + sidecars land.  REPRO_BENCH_RESULTS redirects the
+#: whole results tree — the perf-smoke CI job runs the same bench twice
+#: into two directories and diffs the sidecars (tools/bench_compare.py).
+RESULTS_DIR = (
+    os.environ.get("REPRO_BENCH_RESULTS", "").strip()
+    or os.path.join(os.path.dirname(__file__), "results")
+)
 
 #: Worker processes for suite-scale sweeps (F2/F4/F8).  Overridable via
 #: REPRO_BENCH_JOBS; set to 1 to force the serial path.
@@ -82,6 +89,17 @@ def _bench_store():
 #: (None unless REPRO_BENCH_STORE names a directory).
 BENCH_STORE = _bench_store()
 
+#: Deterministic 1-in-N trace sampling for suite-scale sweeps, from
+#: REPRO_BENCH_TRACE_SAMPLE (default 1 = keep every span).  Recorded in
+#: every sidecar; never affects published tables.
+BENCH_TRACE_SAMPLE = int(os.environ.get("REPRO_BENCH_TRACE_SAMPLE", "1"))
+
+#: Worker heartbeat interval for supervised bench sweeps (also recorded
+#: in sidecars so a regression in sweep wall time can be attributed).
+BENCH_HEARTBEAT_INTERVAL = float(
+    os.environ.get("REPRO_BENCH_HEARTBEAT_INTERVAL", "0.2")
+)
+
 #: Canonical base/treatment pair: the paper's "is O3 beneficial?" question.
 BASE = ExperimentalSetup(machine="core2", compiler="gcc", opt_level=2)
 TREATMENT = BASE.with_changes(opt_level=3)
@@ -125,7 +143,12 @@ def parallel_sweep(
         return
     result = SweepRunner(
         exp,
-        RunnerConfig(jobs=BENCH_JOBS, hosts=BENCH_HOSTS),
+        RunnerConfig(
+            jobs=BENCH_JOBS,
+            hosts=BENCH_HOSTS,
+            trace_sample=BENCH_TRACE_SAMPLE,
+            heartbeat_interval=BENCH_HEARTBEAT_INTERVAL,
+        ),
         fault_plan=plan,
         store=BENCH_STORE,
     ).run(setups)
@@ -171,7 +194,10 @@ def publish(
         "store": (
             BENCH_STORE.provenance() if BENCH_STORE is not None else None
         ),
+        "trace_sample": BENCH_TRACE_SAMPLE,
+        "heartbeat_interval": BENCH_HEARTBEAT_INTERVAL,
         "metrics": obs_metrics.registry().snapshot(),
+        "perf": obs_perf.snapshot(),
         "meta": dict(meta) if meta else {},
     }
     with open(

@@ -153,6 +153,15 @@ def pc_profile_diff(
         )
     a = experiment.profile(setup_a, functions=False, pcs=True)
     b = experiment.profile(setup_b, functions=False, pcs=True)
+    if len(a.pc_cycles) != len(b.pc_cycles):
+        # A shared build_key should make this impossible; if it ever
+        # happens (e.g. a corrupted build cache), zip() would silently
+        # truncate the diff to the shorter profile — fail loudly instead.
+        raise ValueError(
+            f"per-PC profiles differ in length ({len(a.pc_cycles)} vs "
+            f"{len(b.pc_cycles)}); the setups did not produce the same "
+            "program"
+        )
     exe = experiment.build(setup_a)
     func_of = [""] * len(exe.ops)
     for pf in exe.placed:

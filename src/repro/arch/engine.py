@@ -27,7 +27,8 @@ Cost model summary (all per-machine constants from
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import time
+from typing import Any, Dict, List, Optional
 
 from repro._errors import RunTimeout, SimulationError
 from repro.arch.counters import PerfCounters, RunResult
@@ -38,6 +39,146 @@ from repro.os.loader import ProcessImage
 _M64 = (1 << 64) - 1
 _I64_MAX = (1 << 63) - 1
 _I64_MIN = -(1 << 63)
+
+#: Opcode dispatch classes for engine self-profiling, ordered by class id.
+OPCODE_CLASSES = (
+    "const",   # 0
+    "mov",     # 1
+    "alu",     # 2..23 except mul/div
+    "muldiv",  # 4, 5, 6, 17 (the multi-cycle ALU ops)
+    "load",    # 24, 26
+    "store",   # 25, 27
+    "branch",  # 28, 29
+    "jump",    # 30
+    "call",    # 31
+    "ret",     # 32
+    "nop",     # 33
+    "halt",    # 34
+)
+
+
+def _build_class_of() -> tuple:
+    class_id = {name: i for i, name in enumerate(OPCODE_CLASSES)}
+    table = [class_id["alu"]] * 35
+    table[0] = class_id["const"]
+    table[1] = class_id["mov"]
+    for op in (4, 5, 6, 17):
+        table[op] = class_id["muldiv"]
+    for op in (24, 26):
+        table[op] = class_id["load"]
+    for op in (25, 27):
+        table[op] = class_id["store"]
+    for op in (28, 29):
+        table[op] = class_id["branch"]
+    table[30] = class_id["jump"]
+    table[31] = class_id["call"]
+    table[32] = class_id["ret"]
+    table[33] = class_id["nop"]
+    table[34] = class_id["halt"]
+    return tuple(table)
+
+
+#: op -> class id, precomputed for the dispatch loop.
+_CLASS_OF = _build_class_of()
+
+
+class EngineProfile:
+    """Opt-in engine *self*-profiling: where does the simulator spend
+    its own time, and how repetitive is the instruction stream?
+
+    Passed to :func:`execute` (``engine_profile=``), it tallies
+
+    - dynamic dispatch counts per opcode class (:data:`OPCODE_CLASSES`),
+    - host wall-nanoseconds per opcode class (one ``perf_counter_ns``
+      call per simulated instruction — roughly doubles simulation time,
+      which is why the hook is opt-in),
+    - per-PC execution counts, from which :meth:`finish` derives
+      unique-vs-dynamic basic-block statistics (block leaders = entry
+      point, control-transfer targets, and fall-throughs after a
+      transfer) — the replay ratio a block decode cache would exploit.
+
+    Wall-clock tallies are host facts: they belong in provenance
+    manifests and bench sidecars (the ``perf`` section), never in
+    canonical report JSON — same contract as timing metrics
+    (:mod:`repro.obs.metrics`).
+    """
+
+    __slots__ = (
+        "pc_counts", "class_counts", "class_ns", "runs",
+        "blocks_static", "blocks_unique", "blocks_dynamic",
+    )
+
+    def __init__(self) -> None:
+        self.pc_counts: List[int] = []
+        self.class_counts = [0] * len(OPCODE_CLASSES)
+        self.class_ns = [0] * len(OPCODE_CLASSES)
+        self.runs = 0
+        self.blocks_static = 0
+        self.blocks_unique = 0
+        self.blocks_dynamic = 0
+
+    def begin(self, exe: Executable) -> None:
+        """Arm the profile for one :func:`execute` call."""
+        self.pc_counts = [0] * len(exe.ops)
+        self.runs += 1
+
+    def finish(self, exe: Executable) -> "EngineProfile":
+        """Derive basic-block statistics from the run's PC counts.
+
+        A *leader* starts a basic block: the entry point, every resolved
+        control-transfer target, and every instruction following a
+        control transfer.  ``pc_counts[leader]`` is then exactly the
+        number of times execution entered that block, so the
+        dynamic-to-unique ratio is the replay factor a block-level
+        decode cache would see.
+        """
+        counts = self.pc_counts
+        if not counts:
+            return self
+        n = len(exe.ops)
+        leaders = {exe.entry}
+        for i in range(n):
+            tgt = exe.targets[i]
+            if tgt >= 0:
+                leaders.add(tgt)
+            if 28 <= exe.ops[i] <= 32 and i + 1 < n:
+                leaders.add(i + 1)
+        executed = [lead for lead in leaders if counts[lead] > 0]
+        self.blocks_static += len(leaders)
+        self.blocks_unique += len(executed)
+        self.blocks_dynamic += sum(counts[lead] for lead in executed)
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The profile as a ``perf``-section payload.
+
+        ``opcode_classes`` and ``blocks`` are deterministic;
+        ``opcode_wall_ns`` is a wall-clock host fact.
+        """
+        replay = (
+            self.blocks_dynamic / self.blocks_unique
+            if self.blocks_unique
+            else 0.0
+        )
+        return {
+            "runs": self.runs,
+            "opcode_classes": {
+                name: self.class_counts[i]
+                for i, name in enumerate(OPCODE_CLASSES)
+                if self.class_counts[i]
+            },
+            "opcode_wall_ns": {
+                name: self.class_ns[i]
+                for i, name in enumerate(OPCODE_CLASSES)
+                if self.class_counts[i]
+            },
+            "blocks": {
+                "static": self.blocks_static,
+                "unique_executed": self.blocks_unique,
+                "dynamic_entries": self.blocks_dynamic,
+                "replay_ratio": round(replay, 3),
+            },
+        }
 
 
 def _wrap64(value: int) -> int:
@@ -79,6 +220,7 @@ def execute(
     profile_pcs: bool = False,
     trace_limit: int = 0,
     max_cycles: Optional[float] = None,
+    engine_profile: Optional[EngineProfile] = None,
 ) -> RunResult:
     """Run ``image`` to completion on ``machine``; returns the result.
 
@@ -92,7 +234,10 @@ def execute(
     profile hook behind :func:`repro.analysis.profilediff.pc_profile_diff`
     — both share one predicate in the dispatch loop, so the disabled
     path pays the same single branch the function profiler always cost).
-    Raises :class:`SimulationError` on traps (division by zero, wild
+    ``engine_profile`` (an :class:`EngineProfile`) turns on engine
+    *self*-profiling — opcode-class dispatch counts, per-class host wall
+    time, per-PC execution counts — behind its own single disabled-path
+    branch.  Raises :class:`SimulationError` on traps (division by zero, wild
     return, runaway execution past ``max_instructions``) and
     :class:`RunTimeout` when the modelled time exceeds ``max_cycles`` —
     the sweep runner's cycle-budget watchdog against hung or
@@ -170,6 +315,16 @@ def execute(
         [0.0] * n_instr if profile_pcs else None
     )
     profiling = profile_functions or profile_pcs
+
+    eprof_on = engine_profile is not None
+    if eprof_on:
+        engine_profile.begin(exe)
+        ep_counts = engine_profile.pc_counts
+        ep_class_counts = engine_profile.class_counts
+        ep_class_ns = engine_profile.class_ns
+        ep_class_of = _CLASS_OF
+        ep_clock = time.perf_counter_ns
+        ep_t = ep_clock()
 
     cycle_budget = max_cycles if max_cycles is not None else float("inf")
 
@@ -463,6 +618,13 @@ def execute(
                     func_cycles[func_of[pc]] += delta
                 if pc_cycles is not None:
                     pc_cycles[pc] += delta
+            if eprof_on:
+                ep_counts[pc] += 1
+                ci = ep_class_of[op]
+                ep_class_counts[ci] += 1
+                ep_now = ep_clock()
+                ep_class_ns[ci] += ep_now - ep_t
+                ep_t = ep_now
             break
 
         if profiling:
@@ -471,8 +633,17 @@ def execute(
                 func_cycles[func_of[pc]] += delta
             if pc_cycles is not None:
                 pc_cycles[pc] += delta
+        if eprof_on:
+            ep_counts[pc] += 1
+            ci = ep_class_of[op]
+            ep_class_counts[ci] += 1
+            ep_now = ep_clock()
+            ep_class_ns[ci] += ep_now - ep_t
+            ep_t = ep_now
         pc = next_pc
 
+    if eprof_on:
+        engine_profile.finish(exe)
     c.cycles = cycles
     c.instructions = executed
     c.loads = loads

@@ -192,6 +192,36 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--trace-sample", metavar="N", type=_positive_int, default=1,
+        help=(
+            "keep per-setup trace spans for 1 in N setups (deterministic "
+            "by setup identity; default 1 = every setup).  Measurements "
+            "and reports are unaffected; the rate lands in the manifest"
+        ),
+    )
+    parser.add_argument(
+        "--timeline-out", metavar="FILE", default=None,
+        help=(
+            "stream a metrics timeline (throughput, worker utilisation, "
+            "store hits) to this JSONL file; render with "
+            "'repro obs timeline FILE'"
+        ),
+    )
+    parser.add_argument(
+        "--timeline-interval", metavar="SECONDS", type=float, default=1.0,
+        help="seconds between timeline samples (default: 1.0)",
+    )
+    parser.add_argument(
+        "--engine-profile", action="store_true",
+        default=bool(os.environ.get("REPRO_ENGINE_PROFILE", "").strip()),
+        help=(
+            "collect engine self-profiling (opcode-class dispatch "
+            "counts, block replay stats, per-class wall time) into the "
+            "manifest's perf section (default: $REPRO_ENGINE_PROFILE); "
+            "in-process runs only — use --jobs 1"
+        ),
+    )
+    parser.add_argument(
         "--fault-plan", metavar="SPEC", type=_fault_plan_arg, default=None,
         help=(
             "deterministic chaos: inject faults per SPEC "
@@ -278,6 +308,7 @@ def _run_sweep(exp: Experiment, setups, args: argparse.Namespace) -> int:
     """
     from repro.obs import manifest as obs_manifest
     from repro.obs import metrics as obs_metrics
+    from repro.obs import perf as obs_perf
     from repro.obs import progress as obs_progress
     from repro.obs import trace as obs_trace
 
@@ -290,7 +321,11 @@ def _run_sweep(exp: Experiment, setups, args: argparse.Namespace) -> int:
         journal_max_records=args.journal_max_records,
         hosts=args.hosts,
         secret=args.secret,
+        trace_sample=args.trace_sample,
+        timeline_interval=args.timeline_interval,
     )
+    if args.engine_profile:
+        obs_perf.enable_engine_profiling()
     store = _store_from_args(args)
     runner = SweepRunner(
         exp,
@@ -298,6 +333,7 @@ def _run_sweep(exp: Experiment, setups, args: argparse.Namespace) -> int:
         journal_path=args.resume,
         fault_plan=args.fault_plan,
         progress=obs_progress.for_stream(sys.stderr, quiet=args.quiet),
+        timeline_path=args.timeline_out,
         store=store,
     )
     tracer = (
@@ -311,12 +347,18 @@ def _run_sweep(exp: Experiment, setups, args: argparse.Namespace) -> int:
     if tracer is not None:
         tracer.write(args.trace_out)
         print(f"trace written to {args.trace_out}", file=sys.stderr)
+    if args.timeline_out:
+        print(f"timeline written to {args.timeline_out}", file=sys.stderr)
     manifest_path = _manifest_path(args)
     if manifest_path is not None:
         artifacts = {}
         if args.trace_out:
             artifacts[args.trace_out] = obs_manifest.file_checksum(
                 args.trace_out
+            )
+        if args.timeline_out:
+            artifacts[args.timeline_out] = obs_manifest.file_checksum(
+                args.timeline_out
             )
         manifest = obs_manifest.build_manifest(
             experiment=exp,
@@ -328,6 +370,7 @@ def _run_sweep(exp: Experiment, setups, args: argparse.Namespace) -> int:
             artifacts=artifacts,
             hosts=runner.hosts_served,
             store=store,
+            perf=obs_perf.snapshot(),
             note=f"repro {args.command} {args.workload}",
         )
         obs_manifest.save_manifest(manifest_path, manifest)
@@ -560,6 +603,103 @@ def cmd_verify_archive(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_obs_flame(args: argparse.Namespace) -> int:
+    """`repro obs flame`: simulated-cycle flamegraph of one measurement.
+
+    ``PATH`` is a measurement archive (the per-PC profile is re-derived
+    by deterministic re-execution, like ``verify-archive``) or a
+    Chrome-trace file (folded wall-clock span self-times).  The folded
+    output is checked against the engine's cycle counter before anything
+    is printed — a flamegraph that does not account for every simulated
+    cycle is an error, not a rendering.
+    """
+    import json
+
+    from repro.obs import flame as obs_flame
+    from repro.obs import inspect as obs_inspect
+
+    data = obs_inspect.load_json_artifact(args.path)
+    if obs_inspect.is_trace(data):
+        lines = obs_flame.fold_trace(data)
+        if args.folded:
+            with open(args.folded, "w") as fh:
+                fh.write("\n".join(lines) + "\n")
+            print(f"folded stacks written to {args.folded}", file=sys.stderr)
+        else:
+            for line in lines:
+                print(line)
+        return 0
+
+    exp, setup, frames, result = obs_flame.frames_for_archive(
+        args.path, index=args.index
+    )
+    errors = obs_flame.validate_fold(frames, result.counters.cycles)
+    if errors:
+        print(f"INVALID flamegraph for {args.path}:")
+        for problem in errors:
+            print(f"  - {problem}")
+        return 1
+    if args.against is not None:
+        frames_b, result_b = obs_flame.profile_flame(
+            exp, load_archived_setup(args.path, args.against)
+        )
+        deltas = obs_flame.diff(frames, frames_b)
+        rows = [
+            [
+                d.function,
+                d.module,
+                f"{d.centi_a / 100.0:.2f}",
+                f"{d.centi_b / 100.0:.2f}",
+                f"{d.delta_cycles:+.2f}",
+            ]
+            for d in deltas[: args.top]
+        ]
+        print(
+            render_table(
+                ["function", "module", "cycles A", "cycles B", "delta"],
+                rows,
+                title=(
+                    f"flame diff [{args.index}] vs [{args.against}]: "
+                    f"culprit {deltas[0].function} "
+                    f"({deltas[0].delta_cycles:+.2f} cycles)"
+                ),
+            )
+        )
+    else:
+        print(
+            obs_flame.render_flame(
+                frames,
+                top=args.top,
+                title=(
+                    f"flame [{args.index}] {setup.describe()}: "
+                    f"{result.counters.cycles:.2f} cycles"
+                ),
+            )
+        )
+    if args.folded:
+        with open(args.folded, "w") as fh:
+            fh.write("\n".join(obs_flame.folded_lines(frames)) + "\n")
+        print(f"folded stacks written to {args.folded}", file=sys.stderr)
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(obs_flame.flame_tree(frames), fh, indent=1)
+        print(f"flame tree written to {args.json_out}", file=sys.stderr)
+    return 0
+
+
+def load_archived_setup(path: str, index: int) -> ExperimentalSetup:
+    """The setup of measurement ``index`` in the archive at ``path``."""
+    from repro.core.session import load_measurements
+
+    archived = load_measurements(path)
+    if not (0 <= index < len(archived)):
+        raise ReproError(
+            f"archive {path} holds measurements 0..{len(archived) - 1}, "
+            f"asked for {index}"
+        )
+    return archived[index].setup
+
+
 def cmd_obs(args: argparse.Namespace) -> int:
     """`repro obs`: summarize/validate/merge/diff observability artifacts."""
     import json
@@ -569,21 +709,34 @@ def cmd_obs(args: argparse.Namespace) -> int:
     if args.obs_command == "summary":
         for path in args.paths:
             data = obs_inspect.load_json_artifact(path)
+            if getattr(args, "json", False):
+                # Machine-readable: the loaded artifact verbatim (JSONL
+                # artifacts appear under their wrapper key), so scripts
+                # can pick out e.g. manifest perf/store sections.
+                print(json.dumps(data, indent=1, sort_keys=True))
+                continue
             if obs_inspect.is_trace(data):
                 print(obs_inspect.summarize_trace(data))
             elif obs_inspect.is_manifest(data):
                 print(obs_inspect.summarize_manifest(data))
             elif obs_inspect.is_journal(data):
                 print(obs_inspect.summarize_journal(data))
+            elif obs_inspect.is_timeline(data):
+                from repro.obs import perf as obs_perf
+
+                print(obs_perf.summarize_timeline(data))
             else:
                 print(
-                    f"error: {path} is not a trace, manifest, or journal",
+                    f"error: {path} is not a trace, manifest, journal, "
+                    "or timeline",
                     file=sys.stderr,
                 )
                 return 1
         return 0
 
     if args.obs_command == "validate":
+        from repro.obs import perf as obs_perf
+
         failures = 0
         for path in args.paths:
             data = obs_inspect.load_json_artifact(path)
@@ -593,9 +746,11 @@ def cmd_obs(args: argparse.Namespace) -> int:
                 kind, errors = "manifest", obs_inspect.validate_manifest(data)
             elif obs_inspect.is_journal(data):
                 kind, errors = "journal", obs_inspect.validate_journal(data)
+            elif obs_inspect.is_timeline(data):
+                kind, errors = "timeline", obs_perf.validate_timeline(data)
             else:
                 kind, errors = "artifact", [
-                    "not a trace, manifest, or journal"
+                    "not a trace, manifest, journal, or timeline"
                 ]
             if errors:
                 failures += 1
@@ -605,6 +760,28 @@ def cmd_obs(args: argparse.Namespace) -> int:
             else:
                 print(f"OK: valid {kind}: {path}")
         return 1 if failures else 0
+
+    if args.obs_command == "flame":
+        return _cmd_obs_flame(args)
+
+    if args.obs_command == "timeline":
+        from repro.obs import perf as obs_perf
+
+        data = obs_inspect.load_json_artifact(args.path)
+        if not obs_inspect.is_timeline(data):
+            print(
+                f"error: {args.path} is not a metrics timeline",
+                file=sys.stderr,
+            )
+            return 1
+        errors = obs_perf.validate_timeline(data)
+        if errors:
+            print(f"INVALID timeline {args.path}:")
+            for problem in errors:
+                print(f"  - {problem}")
+            return 1
+        print(obs_perf.summarize_timeline(data, rows=args.rows))
+        return 0
 
     if args.obs_command == "merge":
         traces = [obs_inspect.load_json_artifact(p) for p in args.paths]
@@ -844,10 +1021,53 @@ def build_parser() -> argparse.ArgumentParser:
         "summary", help="summarize traces/manifests as tables"
     )
     obs_summary.add_argument("paths", nargs="+")
+    obs_summary.add_argument(
+        "--json", action="store_true",
+        help="print the loaded artifact as JSON instead of tables",
+    )
     obs_validate = obs_sub.add_parser(
         "validate", help="schema-check traces/manifests (exit 1 on problems)"
     )
     obs_validate.add_argument("paths", nargs="+")
+    obs_flame = obs_sub.add_parser(
+        "flame",
+        help=(
+            "simulated-cycle flamegraph of an archived measurement "
+            "(or wall-clock span folding of a trace)"
+        ),
+    )
+    obs_flame.add_argument("path", help="measurement archive or trace file")
+    obs_flame.add_argument(
+        "--index", type=_non_negative_int, default=0,
+        help="which archived measurement to profile (default: 0)",
+    )
+    obs_flame.add_argument(
+        "--against", type=_non_negative_int, default=None, metavar="M",
+        help=(
+            "diff against archived measurement M (same build): prints "
+            "per-function cycle deltas, culprit first"
+        ),
+    )
+    obs_flame.add_argument(
+        "--folded", metavar="FILE", default=None,
+        help="write collapsed stacks (module;function centicycles) here",
+    )
+    obs_flame.add_argument(
+        "--json", dest="json_out", metavar="FILE", default=None,
+        help="write a d3-flame-graph JSON tree here",
+    )
+    obs_flame.add_argument(
+        "--top", type=_positive_int, default=20,
+        help="rows to print (default: 20)",
+    )
+    obs_timeline = obs_sub.add_parser(
+        "timeline", help="render a sweep's metrics-timeline JSONL"
+    )
+    obs_timeline.add_argument("path")
+    obs_timeline.add_argument(
+        "--rows", type=_positive_int, default=20,
+        help="samples to show (long timelines are downsampled)",
+    )
     obs_merge = obs_sub.add_parser(
         "merge", help="merge traces into one Perfetto-loadable file"
     )

@@ -23,6 +23,7 @@ from repro.arch.engine import execute
 from repro.core.setup import ExperimentalSetup
 from repro.isa.program import Executable
 from repro.obs import metrics as obs_metrics
+from repro.obs import perf as obs_perf
 from repro.obs import trace as obs_trace
 from repro.os.loader import load_process
 from repro.toolchain.compiler import compile_program
@@ -208,6 +209,7 @@ class Experiment:
                 setup.machine_config().build(),
                 profile_functions=profile_functions,
                 max_cycles=budget,
+                engine_profile=obs_perf.engine_profile(),
             )
             wall = time.perf_counter() - wall_start
             run_span.set(
@@ -296,6 +298,7 @@ class Experiment:
                 profile_functions=functions,
                 profile_pcs=pcs,
                 max_cycles=max_cycles,
+                engine_profile=obs_perf.engine_profile(),
             )
 
     def prime(self, measurements: Iterable[Measurement]) -> None:

@@ -81,6 +81,7 @@ from repro.core.session import (
 from repro.core.setup import ExperimentalSetup
 from repro.core import supervisor
 from repro.obs import metrics as obs_metrics
+from repro.obs import perf as obs_perf
 from repro.obs import progress as obs_progress
 from repro.obs import trace as obs_trace
 
@@ -137,6 +138,16 @@ class RunnerConfig:
             mode only); must match each agent's ``--secret`` /
             ``REPRO_AGENT_SECRET``.  None connects unauthenticated,
             which secret-requiring agents reject.
+        trace_sample: keep per-setup trace spans for 1 in N setups
+            (deterministic by setup fault key —
+            :func:`repro.obs.perf.trace_sampled`); 1 (the default) keeps
+            every span.  Sampling bounds trace volume on very large
+            sweeps without touching measurements: canonical report JSON
+            is byte-identical at any rate, and the rate is recorded in
+            the manifest's runner section.
+        timeline_interval: seconds between metrics-timeline samples when
+            the sweep is given a timeline path (see
+            :class:`~repro.obs.perf.TimelineRecorder`).
     """
 
     jobs: int = 1
@@ -153,6 +164,8 @@ class RunnerConfig:
     hosts: Optional[str] = None
     connect_timeout: float = 10.0
     secret: Optional[str] = None
+    trace_sample: int = 1
+    timeline_interval: float = 1.0
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -181,6 +194,14 @@ class RunnerConfig:
             value = getattr(self, name)
             if value is not None and value < 1:
                 raise ValueError(f"{name} must be >= 1 or None")
+        if self.trace_sample < 1:
+            raise ValueError(
+                f"trace_sample must be >= 1, got {self.trace_sample}"
+            )
+        if self.timeline_interval <= 0:
+            raise ValueError(
+                f"timeline_interval must be > 0, got {self.timeline_interval}"
+            )
 
     def backoff_delay(self, key: str, attempt: int) -> float:
         """Seeded exponential backoff before (1-based) ``attempt``.
@@ -985,6 +1006,12 @@ class SweepRunner:
             the no-op reporter, so long sweeps are only as chatty as the
             caller asks for.  Measured/retried/quarantined events are
             emitted the moment they happen, in the parent process.
+        timeline_path: when set, a :class:`~repro.obs.perf.TimelineRecorder`
+            streams periodic sweep-health samples (progress, throughput,
+            worker utilisation, store hits) to this JSONL file for the
+            sweep's duration, at ``config.timeline_interval`` seconds per
+            sample — wall-clock telemetry beside the journal, rendered by
+            ``repro obs timeline``, never part of the report.
         store: optional content-addressed measurement store
             (:class:`repro.store.MeasurementStore`).  Before dispatching,
             every setup is probed against the store; hits skip execution
@@ -1005,6 +1032,7 @@ class SweepRunner:
         journal_path: Optional[str] = None,
         fault_plan: Optional[faults.FaultPlan] = None,
         progress: Optional[obs_progress.ProgressReporter] = None,
+        timeline_path: Optional[str] = None,
         store=None,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
@@ -1013,10 +1041,14 @@ class SweepRunner:
         self.journal_path = journal_path
         self.fault_plan = fault_plan
         self.progress = progress or obs_progress.NULL_PROGRESS
+        self.timeline_path = timeline_path
         self.store = store
         if store is not None:
             experiment.attach_store(store)
         self._sleep = sleep
+        #: The pool currently dispatching (parallel mode); read by the
+        #: timeline sampler for utilisation, never mutated through here.
+        self._active_pool: Optional[supervisor.DispatchPool] = None
         #: Per-host provenance from the last distributed run (one dict
         #: per agent address: hostname, pid, agent version, jobs,
         #: results served); empty for local runs.  Feeds the manifest.
@@ -1095,6 +1127,13 @@ class SweepRunner:
             self.progress.sweep_started(
                 len(setups), report.resumed, sweep=sid[:12]
             )
+            timeline: Optional[obs_perf.TimelineRecorder] = None
+            if self.timeline_path is not None:
+                timeline = obs_perf.TimelineRecorder(
+                    self.timeline_path,
+                    interval=self.config.timeline_interval,
+                )
+                timeline.start(self._timeline_sampler(report, mreg))
             if self.store is not None:
                 self._probe_store(setups, results, report, journal, mreg)
             pending = [i for i in range(len(setups)) if results[i] is None]
@@ -1117,6 +1156,8 @@ class SweepRunner:
                         {"sweep": sid, "snapshot": mreg.snapshot()},
                     )
             finally:
+                if timeline is not None:
+                    timeline.stop()
                 if journal is not None:
                     journal.close()
 
@@ -1160,6 +1201,56 @@ class SweepRunner:
         assert report.accounted(), "sweep accounting is incomplete"
         self.progress.sweep_finished(report)
         return SweepResult(measurements=results, report=report)
+
+    # -- metrics timeline -------------------------------------------------
+
+    def _timeline_sampler(
+        self, report: SweepReport, mreg: obs_metrics.MetricsRegistry
+    ) -> Callable[[], Dict[str, Any]]:
+        """Build the periodic health sample the timeline thread takes.
+
+        Reads shared state (sweep-scoped counters, the live pool, store
+        tallies) without locks: every field is a monotonic int updated
+        under the GIL, and a sample that is one event stale is still a
+        correct point on the timeline.
+        """
+        store = self.store
+
+        def sample() -> Dict[str, Any]:
+            counters = mreg.counters()
+            measured = counters.get("sweep.setups_measured", 0)
+            quarantined = counters.get("sweep.setups_quarantined", 0)
+            record: Dict[str, Any] = {
+                "requested": report.requested,
+                "measured": measured,
+                "resumed": report.resumed,
+                "quarantined": quarantined,
+                "retries": counters.get("sweep.retries", 0),
+                "attempts": counters.get("sweep.attempts", 0),
+                "pending": max(
+                    0,
+                    report.requested
+                    - report.resumed
+                    - measured
+                    - quarantined,
+                ),
+            }
+            pool = self._active_pool
+            stats = getattr(pool, "stats", None)
+            if callable(stats):
+                record.update(stats())
+            else:
+                # Serial mode (or between pools): the coordinator is the
+                # only worker, busy exactly while setups remain.
+                record["workers_alive"] = 1
+                record["workers_busy"] = 1 if record["pending"] else 0
+                record["queue_depth"] = 0
+            if store is not None:
+                record["store_hits"] = int(getattr(store, "hits", 0))
+                record["store_misses"] = int(getattr(store, "misses", 0))
+            return record
+
+        return sample
 
     # -- store probing ----------------------------------------------------
 
@@ -1239,12 +1330,20 @@ class SweepRunner:
             # number, so its remaining retry budget carries across the
             # failover instead of resetting (the double-count fix).
             attempt = (start_attempts or {}).get(index, 1)
-            with obs_trace.span(
-                "setup",
-                category="runner",
-                index=index,
-                setup=setup.describe(),
-            ) as setup_span:
+            # Trace sampling: unsampled setups still measure and journal
+            # identically — they just open no span (deterministic by
+            # fault key, so serial and parallel keep the same span set).
+            span_cm = (
+                obs_trace.span(
+                    "setup",
+                    category="runner",
+                    index=index,
+                    setup=setup.describe(),
+                )
+                if obs_perf.trace_sampled(key, cfg.trace_sample)
+                else obs_trace.NULL_SPAN
+            )
+            with span_cm as setup_span:
                 while True:
                     faults.begin_attempt(key, attempt)
                     mreg.counter("sweep.attempts").inc()
@@ -1341,6 +1440,7 @@ class SweepRunner:
             )
 
         pool = self._make_pool(len(pending), tracer.enabled)
+        self._active_pool = pool
         outstanding = set(pending)
         # In-flight attempt per still-outstanding setup; feeds the
         # degraded serial fallback so failover never re-runs or
@@ -1387,10 +1487,14 @@ class SweepRunner:
                 # same attempt, so the counter matches the serial sweep
                 # (where every try produces exactly one outcome).
                 mreg.counter("sweep.attempts").inc()
-                if event.records:
+                if event.records and obs_perf.trace_sampled(
+                    key_of(index), cfg.trace_sample
+                ):
                     # Remote spans are re-rooted under a host-qualified
                     # alias so one trace tells which machine measured
-                    # which setup attempt.
+                    # which setup attempt.  An unsampled setup's records
+                    # are dropped here — same deterministic draw as the
+                    # serial path, so both modes keep identical span sets.
                     alias = f"setup@{index}.{attempt}"
                     if event.label:
                         alias = f"{event.label}/{alias}"
@@ -1456,6 +1560,7 @@ class SweepRunner:
                 outstanding.discard(index)
                 attempts_now.pop(index, None)
         finally:
+            self._active_pool = None
             hosts_info = getattr(pool, "hosts_info", None)
             if hosts_info is not None:
                 self.hosts_served = hosts_info()

@@ -52,6 +52,7 @@ from multiprocessing import connection as mp_connection
 from typing import Any, Callable, Deque, Dict, List, Optional
 
 from repro import faults
+from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 
 #: How long an injected ``worker_hang`` sleeps; far beyond any sane
@@ -310,9 +311,12 @@ class SupervisedPool(DispatchPool):
         self.child_setup = child_setup
         self._ctx = context if context is not None else mp.get_context()
         self._heartbeats = self._ctx.Array("d", workers, lock=False)
-        #: Rolling window of completed-task wall times (adaptive mode).
-        self._durations: Deque[float] = collections.deque(
-            maxlen=_ADAPTIVE_WINDOW
+        #: Rolling window of completed-task wall times (adaptive mode):
+        #: a windowed obs histogram, so the p95 the liveness scan uses is
+        #: the same deterministic fixed-bin quantile the metrics layer
+        #: reports everywhere else.
+        self._durations = obs_metrics.Histogram(
+            "supervisor.task_seconds", window=_ADAPTIVE_WINDOW
         )
         self._queue: Deque[Task] = collections.deque()
         self._events: Deque[PoolEvent] = collections.deque()
@@ -340,6 +344,17 @@ class SupervisedPool(DispatchPool):
     def alive_workers(self) -> int:
         return sum(1 for w in self._workers if w.proc.is_alive())
 
+    def stats(self) -> Dict[str, int]:
+        """Instantaneous utilisation for the metrics timeline: worker
+        liveness/busyness and queued (undispatched) task depth."""
+        return {
+            "workers_alive": self.alive_workers(),
+            "workers_busy": sum(
+                1 for w in self._workers if w.task is not None
+            ),
+            "queue_depth": len(self._queue),
+        }
+
     def effective_hang_timeout(self) -> float:
         """The hang threshold in force for the next liveness scan.
 
@@ -359,8 +374,7 @@ class SupervisedPool(DispatchPool):
         floor = max(4 * self.heartbeat_interval, 1.0)
         if len(self._durations) < _ADAPTIVE_MIN_SAMPLES:
             return max(DEFAULT_HANG_TIMEOUT, floor)
-        ordered = sorted(self._durations)
-        p95 = ordered[int(0.95 * (len(ordered) - 1))]
+        p95 = self._durations.quantile(0.95)
         return min(_ADAPTIVE_CEILING, max(floor, _ADAPTIVE_MULTIPLIER * p95))
 
     # -- lifecycle --------------------------------------------------------
@@ -508,7 +522,7 @@ class SupervisedPool(DispatchPool):
                 self._fail(w, "crash")
                 continue
             task, w.task = w.task, None
-            self._durations.append(time.monotonic() - w.dispatched_at)
+            self._durations.observe(time.monotonic() - w.dispatched_at)
             self._events.append(
                 PoolEvent(
                     "result",

@@ -1,0 +1,327 @@
+"""Simulated-cycle flamegraphs from per-PC cycle attribution.
+
+The engine's ``profile_pcs`` hook attributes every simulated cycle to a
+static instruction; the linker's placement records say which function
+(and module) owns each instruction.  Folding the two together yields a
+collapsed-stack profile — Brendan Gregg's ``folded`` format, one
+``module;function <weight>`` line per function — plus a d3-flame-graph
+JSON tree, both exported by ``repro obs flame``.
+
+Weights are **integer centicycles** (``round(cycles * 100)``): every
+machine cost constant is a multiple of 0.01 cycles and a flat
+``math.fsum`` over the per-PC profile reproduces the engine's cycle
+counter exactly, so the folded lines sum *exactly* to
+``100 * engine.cycles``.  That makes "the flamegraph accounts for every
+simulated cycle" an integer equality CI can assert, not a tolerance.
+
+:func:`diff` is the visual companion of
+:mod:`repro.analysis.profilediff`: the same per-function deltas, named
+identically, so the widest bar here is the ``culprit()`` there.
+
+:func:`fold_trace` applies the same collapsed-stack idea to wall-clock
+span traces (self-time per span path, integer microseconds) — host
+telemetry, never measurement data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "FlameDelta",
+    "FlameFrame",
+    "diff",
+    "flame_tree",
+    "fold_pc_cycles",
+    "fold_trace",
+    "folded_lines",
+    "frames_for_archive",
+    "profile_flame",
+    "total_centicycles",
+    "validate_fold",
+]
+
+
+@dataclass(frozen=True)
+class FlameFrame:
+    """One function's folded weight: where its cycles came to rest."""
+
+    module: str
+    function: str
+    centicycles: int
+
+    @property
+    def cycles(self) -> float:
+        return self.centicycles / 100.0
+
+    @property
+    def stack(self) -> str:
+        """The collapsed-stack label, ``module;function``."""
+        return f"{self.module};{self.function}"
+
+
+@dataclass(frozen=True)
+class FlameDelta:
+    """One function's weight change between two folded profiles."""
+
+    module: str
+    function: str
+    centi_a: int
+    centi_b: int
+
+    @property
+    def delta_centicycles(self) -> int:
+        return self.centi_b - self.centi_a
+
+    @property
+    def delta_cycles(self) -> float:
+        return self.delta_centicycles / 100.0
+
+
+def fold_pc_cycles(exe: Any, pc_cycles: Sequence[float]) -> List[FlameFrame]:
+    """Fold a per-PC cycle profile into per-function flame frames.
+
+    ``exe`` is the :class:`~repro.isa.program.Executable` the profile
+    was taken on; its placement records must cover every instruction
+    (validated via :func:`repro.toolchain.linker.function_ranges`).
+    Raises ``ValueError`` when the profile's length does not match the
+    executable — a mismatched pair silently misattributes cycles, so it
+    must be loud.
+    """
+    from repro.toolchain.linker import function_ranges
+
+    n = exe.num_instructions()
+    if len(pc_cycles) != n:
+        raise ValueError(
+            f"pc profile has {len(pc_cycles)} entries but the executable "
+            f"has {n} instructions; profile and build do not match"
+        )
+    frames: List[FlameFrame] = []
+    for start, end, pf in function_ranges(exe):
+        centi = int(round(math.fsum(pc_cycles[start:end]) * 100))
+        frames.append(FlameFrame(pf.module, pf.name, centi))
+    return frames
+
+
+def total_centicycles(frames: Sequence[FlameFrame]) -> int:
+    return sum(f.centicycles for f in frames)
+
+
+def validate_fold(
+    frames: Sequence[FlameFrame], engine_cycles: float
+) -> List[str]:
+    """Check the fold is a partition of the run's cycles (empty == ok).
+
+    Exact integer comparison: see the module docstring for why no
+    tolerance is needed.
+    """
+    errors: List[str] = []
+    expected = int(round(engine_cycles * 100))
+    got = total_centicycles(frames)
+    if got != expected:
+        errors.append(
+            f"folded weights sum to {got} centicycles but the engine "
+            f"reported {expected}; the flamegraph is not a partition of "
+            f"the run's cycles"
+        )
+    seen: Dict[str, str] = {}
+    for f in frames:
+        if f.function in seen:
+            errors.append(
+                f"function {f.function!r} appears in both "
+                f"{seen[f.function]!r} and {f.module!r}"
+            )
+        seen[f.function] = f.module
+        if f.centicycles < 0:
+            errors.append(f"function {f.function!r} has negative weight")
+    return errors
+
+
+def folded_lines(
+    frames: Sequence[FlameFrame], keep_zero: bool = False
+) -> List[str]:
+    """Collapsed-stack lines (``module;function <centicycles>``).
+
+    Sorted by stack label — deterministic output so two identical runs
+    produce byte-identical folded files.  Zero-weight functions are
+    dropped by default (flamegraph convention; they cannot change the
+    cycle-accounting sum).
+    """
+    kept = [f for f in frames if keep_zero or f.centicycles != 0]
+    return [
+        f"{f.stack} {f.centicycles}"
+        for f in sorted(kept, key=lambda f: (f.module, f.function))
+    ]
+
+
+def flame_tree(
+    frames: Sequence[FlameFrame], name: str = "all"
+) -> Dict[str, Any]:
+    """A d3-flame-graph JSON tree: root -> module -> function.
+
+    Children are sorted by name; values are integer centicycles, and
+    every interior node's value equals the sum of its children — the
+    same partition property :func:`validate_fold` checks.
+    """
+    modules: Dict[str, List[FlameFrame]] = {}
+    for f in frames:
+        modules.setdefault(f.module, []).append(f)
+    children = []
+    for module in sorted(modules):
+        funcs = sorted(modules[module], key=lambda f: f.function)
+        children.append(
+            {
+                "name": module,
+                "value": sum(f.centicycles for f in funcs),
+                "children": [
+                    {"name": f.function, "value": f.centicycles}
+                    for f in funcs
+                ],
+            }
+        )
+    return {
+        "name": name,
+        "value": total_centicycles(frames),
+        "unit": "centicycles",
+        "children": children,
+    }
+
+
+def diff(
+    frames_a: Sequence[FlameFrame], frames_b: Sequence[FlameFrame]
+) -> List[FlameDelta]:
+    """Per-function weight deltas, largest |delta| first.
+
+    Functions are matched by name (the profiles must come from setups
+    sharing a build, exactly like
+    :func:`repro.analysis.profilediff.profile_diff`); the first entry is
+    the culprit and names the same function ``ProfileDiff.culprit()``
+    does, since both rank the identical per-function cycle deltas.
+    """
+    a = {f.function: f for f in frames_a}
+    b = {f.function: f for f in frames_b}
+    deltas = [
+        FlameDelta(
+            module=(a.get(name) or b[name]).module,
+            function=name,
+            centi_a=a[name].centicycles if name in a else 0,
+            centi_b=b[name].centicycles if name in b else 0,
+        )
+        for name in set(a) | set(b)
+    ]
+    return sorted(
+        deltas, key=lambda d: (-abs(d.delta_centicycles), d.function)
+    )
+
+
+# -- producing profiles ------------------------------------------------------
+
+
+def profile_flame(
+    experiment: Any, setup: Any
+) -> Tuple[List[FlameFrame], Any]:
+    """Profile ``experiment`` under ``setup`` and fold the result.
+
+    Returns ``(frames, run_result)`` — the result carries the engine's
+    counters so callers can :func:`validate_fold` against
+    ``result.counters.cycles``.
+    """
+    result = experiment.profile(setup, functions=False, pcs=True)
+    exe = experiment.build(setup)
+    return fold_pc_cycles(exe, result.pc_cycles), result
+
+
+def frames_for_archive(
+    path: str, index: int = 0
+) -> Tuple[Any, Any, List[FlameFrame], Any]:
+    """Re-derive a flamegraph from an archived measurement.
+
+    Archives store per-function cycles but not the per-PC profile, so
+    — exactly like ``repro verify-archive`` — the measurement identity
+    (workload, size, seed, setup) is re-instantiated and re-profiled;
+    determinism makes the re-derived profile the archived run's profile.
+    Returns ``(experiment, setup, frames, run_result)``.
+    """
+    from repro import workloads
+    from repro.core.errors import ArchiveCorruption
+    from repro.core.experiment import Experiment
+    from repro.core.session import load_measurements
+
+    archived = load_measurements(path)
+    if not archived:
+        raise ArchiveCorruption(f"{path}: archive is empty")
+    if not (0 <= index < len(archived)):
+        raise IndexError(
+            f"archive {path} holds measurements 0..{len(archived) - 1}, "
+            f"asked for {index}"
+        )
+    m = archived[index]
+    exp = Experiment(workloads.get(m.workload), size=m.size, seed=m.seed)
+    frames, result = profile_flame(exp, m.setup)
+    return exp, m.setup, frames, result
+
+
+# -- wall-clock span folding -------------------------------------------------
+
+
+def fold_trace(data: Dict[str, Any]) -> List[str]:
+    """Collapsed stacks from a Chrome-trace artifact (span *self* time).
+
+    Each span path becomes a stack (``/`` -> ``;``); its weight is the
+    span's duration minus its children's, in integer microseconds, so
+    the folded total equals the trace's root wall time.  Same-path spans
+    aggregate, which is what collapsed-stack tooling expects.
+    """
+    total: Dict[str, float] = {}
+    child_total: Dict[str, float] = {}
+    for ev in data.get("traceEvents", ()):
+        if not isinstance(ev, dict) or ev.get("ph") != "X":
+            continue
+        path = (ev.get("args") or {}).get("path")
+        if not isinstance(path, str) or not path:
+            continue
+        dur = float(ev.get("dur", 0.0))
+        total[path] = total.get(path, 0.0) + dur
+        if "/" in path:
+            parent = path.rsplit("/", 1)[0]
+            child_total[parent] = child_total.get(parent, 0.0) + dur
+    lines = []
+    for path in sorted(total):
+        self_us = int(round(max(0.0, total[path] - child_total.get(path, 0.0))))
+        if self_us:
+            lines.append(f"{path.replace('/', ';')} {self_us}")
+    return lines
+
+
+def render_flame(
+    frames: Sequence[FlameFrame],
+    top: Optional[int] = None,
+    title: str = "",
+) -> str:
+    """A terminal flamegraph: per-function bars scaled to total cycles."""
+    from repro.core.report import render_table
+
+    totals = total_centicycles(frames)
+    ranked = sorted(frames, key=lambda f: (-f.centicycles, f.function))
+    if top is not None:
+        ranked = ranked[:top]
+    width = 30
+    rows = []
+    for f in ranked:
+        share = f.centicycles / totals if totals else 0.0
+        rows.append(
+            [
+                f.function,
+                f.module,
+                f"{f.cycles:.2f}",
+                f"{share * 100:.2f}%",
+                "#" * max(1 if f.centicycles else 0, int(share * width)),
+            ]
+        )
+    return render_table(
+        ["function", "module", "cycles", "share", "flame"],
+        rows,
+        title=title or f"flame: {totals / 100.0:.2f} cycles",
+    )

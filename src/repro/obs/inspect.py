@@ -25,6 +25,7 @@ __all__ = [
     "diff_traces",
     "is_journal",
     "is_manifest",
+    "is_timeline",
     "is_trace",
     "load_json_artifact",
     "merge_traces",
@@ -41,12 +42,14 @@ def load_json_artifact(path: str) -> Dict[str, Any]:
     """Load a trace, manifest, or checkpoint-journal file, raising
     ArchiveCorruption on junk.
 
-    Journals are JSON *Lines*, not one JSON document; they are detected
-    by their header line and wrapped as ``{"journal": {...}}`` so the
-    same dispatch (``is_trace``/``is_manifest``/``is_journal``) covers
-    all three artifact families.
+    Journals and metrics timelines are JSON *Lines*, not one JSON
+    document; they are detected by their header line and wrapped as
+    ``{"journal": {...}}`` / ``{"timeline": {...}}`` so the same
+    dispatch (``is_trace``/``is_manifest``/``is_journal``/
+    ``is_timeline``) covers every artifact family.
     """
     from repro._errors import ArchiveCorruption
+    from repro.obs.perf import TIMELINE_FORMAT
 
     try:
         with open(path) as fh:
@@ -58,18 +61,23 @@ def load_json_artifact(path: str) -> Dict[str, Any]:
         head = json.loads(first) if first.strip() else None
     except json.JSONDecodeError:
         head = None
-    if (
-        isinstance(head, dict)
-        and isinstance(head.get("format"), str)
-        and head["format"].endswith("-journal")
-    ):
-        return {
-            "journal": {
-                "path": path,
-                "header": head,
-                "lines": text.splitlines()[1:],
+    if isinstance(head, dict) and isinstance(head.get("format"), str):
+        if head["format"].endswith("-journal"):
+            return {
+                "journal": {
+                    "path": path,
+                    "header": head,
+                    "lines": text.splitlines()[1:],
+                }
             }
-        }
+        if head["format"] == TIMELINE_FORMAT:
+            return {
+                "timeline": {
+                    "path": path,
+                    "header": head,
+                    "lines": text.splitlines()[1:],
+                }
+            }
     try:
         data = json.loads(text)
     except json.JSONDecodeError as exc:
@@ -91,6 +99,10 @@ def is_manifest(data: Dict[str, Any]) -> bool:
 
 def is_journal(data: Dict[str, Any]) -> bool:
     return "journal" in data
+
+
+def is_timeline(data: Dict[str, Any]) -> bool:
+    return "timeline" in data
 
 
 # -- traces ------------------------------------------------------------------
@@ -296,6 +308,21 @@ def summarize_manifest(data: Dict[str, Any]) -> str:
             else "none",
         ],
     ]
+    runner = data.get("runner") or {}
+    if runner.get("trace_sample", 1) > 1:
+        rows.append(["trace sampling", f"1 in {runner['trace_sample']}"])
+    if (perf := data.get("perf")) and isinstance(perf.get("engine"), dict):
+        eng = perf["engine"]
+        classes = eng.get("opcode_classes") or {}
+        dispatched = sum(classes.values())
+        blocks = eng.get("blocks") or {}
+        rows.append(
+            [
+                "engine profile",
+                f"{eng.get('runs')} runs, {dispatched} dispatches, "
+                f"block replay ×{blocks.get('replay_ratio', 0):.1f}",
+            ]
+        )
     return render_table(
         ["property", "value"], rows, title=f"manifest ({data.get('note') or 'no note'})"
     )

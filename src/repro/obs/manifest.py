@@ -85,6 +85,7 @@ def build_manifest(
     artifacts: Optional[Dict[str, str]] = None,
     hosts: Optional[Sequence[Dict[str, Any]]] = None,
     store=None,
+    perf: Optional[Dict[str, Any]] = None,
     note: str = "",
 ) -> Dict[str, Any]:
     """Assemble a provenance manifest for one run or sweep.
@@ -113,6 +114,10 @@ def build_manifest(
             and hit/miss tallies land in a ``store`` section, so an
             archived result records which numbers were re-computed and
             which were served from the store.
+        perf: a performance-telemetry snapshot
+            (:func:`repro.obs.perf.snapshot` — engine self-profiling
+            counters and wall timings).  Wall-clock facts belong here,
+            in the manifest, never in canonical report JSON.
         note: free-form description.
     """
     from dataclasses import asdict
@@ -166,6 +171,10 @@ def build_manifest(
             "heartbeat_interval": runner_config.heartbeat_interval,
             "hang_timeout": runner_config.hang_timeout,
             "max_respawns": runner_config.max_respawns,
+            "trace_sample": getattr(runner_config, "trace_sample", 1),
+            "timeline_interval": getattr(
+                runner_config, "timeline_interval", 0.0
+            ),
         }
     else:
         manifest["runner"] = None
@@ -184,6 +193,7 @@ def build_manifest(
     manifest["artifacts"] = dict(artifacts) if artifacts else {}
     manifest["hosts"] = [dict(h) for h in hosts] if hosts else []
     manifest["store"] = store.provenance() if store is not None else None
+    manifest["perf"] = perf
     return manifest
 
 
@@ -272,4 +282,16 @@ def validate_manifest(data: Any) -> List[str]:
     if store is not None:
         if not isinstance(store, dict) or "scheme" not in store:
             errors.append("store must be null or an object naming its scheme")
+    # Optional perf telemetry: absent and null both mean "not collected";
+    # when present it must carry the engine self-profile.
+    perf = data.get("perf")
+    if perf is not None:
+        if not isinstance(perf, dict) or not isinstance(
+            perf.get("engine"), dict
+        ):
+            errors.append(
+                "perf must be null or an object carrying an engine profile"
+            )
+        elif "opcode_classes" not in perf["engine"]:
+            errors.append("perf.engine lacks opcode_classes")
     return errors

@@ -25,10 +25,32 @@ global one.
 
 from __future__ import annotations
 
+import collections
+import math
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, Optional, Union
+from typing import Any, Deque, Dict, Iterator, Optional, Union
 
 Number = Union[int, float]
+
+#: Geometric bin resolution for histogram quantiles: 8 bins per octave
+#: (~9% relative width), so a quantile estimate is at most one bin edge
+#: away from the true sample value.
+_BINS_PER_OCTAVE = 8
+
+
+def _bin_index(value: float) -> int:
+    """Deterministic geometric bin for ``value > 0``.
+
+    Bin ``k`` covers ``[2**(k/8), 2**((k+1)/8))``; the float-log guess is
+    corrected against the exact edge so boundary values land consistently
+    on every platform.
+    """
+    k = int(math.floor(math.log2(value) * _BINS_PER_OCTAVE))
+    while 2.0 ** ((k + 1) / _BINS_PER_OCTAVE) <= value:
+        k += 1
+    while 2.0 ** (k / _BINS_PER_OCTAVE) > value:
+        k -= 1
+    return k
 
 
 class Counter:
@@ -66,27 +88,138 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary of observed values (count/total/min/max)."""
+    """Streaming summary of observed values with fixed-bin quantiles.
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    Values are tallied into deterministic geometric bins (8 per octave;
+    non-positive values get a dedicated bucket), so :meth:`quantile` is a
+    pure function of the observed multiset — no sample list is retained
+    and two runs observing the same values report identical summaries.
+    The estimate returned is the upper edge of the bin holding the rank,
+    clamped to the observed ``[min, max]``; for a window of identical
+    values it is therefore exact.
 
-    def __init__(self, name: str) -> None:
+    With ``window=N`` the histogram is *rolling*: only the most recent
+    ``N`` observations count (the supervisor's adaptive hang-timeout
+    uses this for its rolling p95; see
+    :meth:`~repro.core.supervisor.SupervisedPool.effective_hang_timeout`).
+    """
+
+    __slots__ = (
+        "name", "count", "total", "min", "max", "_bins", "_low",
+        "_window", "_samples",
+    )
+
+    def __init__(self, name: str, window: Optional[int] = None) -> None:
+        if window is not None and window < 1:
+            raise ValueError(f"histogram window must be >= 1, got {window}")
         self.name = name
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._bins: Dict[int, int] = {}
+        self._low = 0  # observations <= 0 (no geometric bin)
+        self._window = window
+        self._samples: Optional[Deque[float]] = (
+            collections.deque() if window is not None else None
+        )
 
     def observe(self, value: Number) -> None:
         value = float(value)
+        if self._samples is not None:
+            assert self._window is not None
+            if len(self._samples) >= self._window:
+                self._evict(self._samples.popleft())
+            self._samples.append(value)
         self.count += 1
         self.total += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+        if value > 0.0:
+            k = _bin_index(value)
+            self._bins[k] = self._bins.get(k, 0) + 1
+        else:
+            self._low += 1
+
+    def extend(self, values) -> None:
+        """Observe every value in ``values``."""
+        for value in values:
+            self.observe(value)
+
+    def clear(self) -> None:
+        """Forget everything observed so far."""
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+        self._bins.clear()
+        self._low = 0
+        if self._samples is not None:
+            self._samples.clear()
+
+    def _evict(self, value: float) -> None:
+        """Roll one observation out of a windowed histogram."""
+        self.count -= 1
+        self.total -= value
+        if value > 0.0:
+            k = _bin_index(value)
+            remaining = self._bins.get(k, 0) - 1
+            if remaining > 0:
+                self._bins[k] = remaining
+            else:
+                self._bins.pop(k, None)
+        else:
+            self._low -= 1
+        if self._samples:
+            if value == self.min:
+                self.min = min(self._samples)
+            if value == self.max:
+                self.max = max(self._samples)
+        else:
+            self.min = self.max = None
+            self.total = 0.0
+            self.count = 0
+
+    @property
+    def samples(self) -> tuple:
+        """The current window's raw observations (windowed mode only)."""
+        if self._samples is None:
+            raise TypeError(
+                f"histogram {self.name!r} has no window; raw samples are "
+                "not retained"
+            )
+        return tuple(self._samples)
+
+    def __len__(self) -> int:
+        return self.count
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Deterministic fixed-bin quantile estimate (0 <= q <= 1).
+
+        Rank semantics match the nearest-rank convention the supervisor's
+        rolling p95 used before histogram binning: rank
+        ``int(q * (count - 1))`` of the ascending multiset.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile fraction must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        assert self.min is not None and self.max is not None
+        rank = int(q * (self.count - 1))
+        cumulative = self._low
+        if rank < cumulative:
+            # Ranks inside the <=0 bucket: 0 clamped to the observed range.
+            return max(self.min, min(self.max, 0.0))
+        for k in sorted(self._bins):
+            cumulative += self._bins[k]
+            if rank < cumulative:
+                upper = 2.0 ** ((k + 1) / _BINS_PER_OCTAVE)
+                return max(self.min, min(self.max, upper))
+        return self.max
 
     def summary(self) -> Dict[str, float]:
         return {
@@ -95,7 +228,12 @@ class Histogram:
             "min": self.min if self.min is not None else 0.0,
             "max": self.max if self.max is not None else 0.0,
             "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
         }
+
+    #: Dict form of the summary (alias; the snapshot/export surface).
+    to_dict = summary
 
     def __repr__(self) -> str:
         return f"Histogram({self.name}: n={self.count}, mean={self.mean:g})"

@@ -1,0 +1,359 @@
+"""Performance telemetry: engine self-profiling, metrics timeseries,
+and deterministic trace sampling.
+
+Three pillars of the perf subsystem live here (the fourth — the bench
+regression gate — is ``tools/bench_compare.py``):
+
+- **engine self-profiling**: a process-wide, opt-in
+  :class:`~repro.arch.engine.EngineProfile` that every
+  :meth:`~repro.core.experiment.Experiment.run` feeds when enabled
+  (``REPRO_ENGINE_PROFILE=1`` or :func:`enable_engine_profiling`).
+  :func:`snapshot` packages it as the ``perf`` section of provenance
+  manifests and bench sidecars — wall-clock facts stay out of canonical
+  report JSON, per the metrics determinism contract
+  (:mod:`repro.obs.metrics`);
+- **metrics timeseries**: :class:`TimelineRecorder`, a ring-buffered
+  periodic snapshotter that streams sweep throughput, worker
+  utilisation, queue depth and store hit tallies as JSONL next to the
+  checkpoint journal, rendered by ``repro obs timeline``;
+- **trace sampling**: :func:`trace_sampled`, a deterministic 1-in-N
+  draw by hash of the setup's fault key, so very large sweeps can keep
+  span volume bounded while byte-identity tests still know exactly
+  which setups carry spans (the rate is recorded in the manifest).
+
+Telemetry here describes *hosts and runs*, never measurements: nothing
+in this module may influence (or appear in) canonical report JSON.
+"""
+
+from __future__ import annotations
+
+import collections
+import hashlib
+import json
+import os
+import threading
+import time
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from repro.arch.engine import EngineProfile
+
+__all__ = [
+    "TIMELINE_FORMAT",
+    "TimelineRecorder",
+    "disable_engine_profiling",
+    "enable_engine_profiling",
+    "engine_profile",
+    "engine_profiling_enabled",
+    "snapshot",
+    "trace_sampled",
+]
+
+#: Format marker for timeline JSONL files (header line).
+TIMELINE_FORMAT = "repro-timeline-v1"
+
+#: Environment flag that turns engine self-profiling on process-wide.
+ENGINE_PROFILE_ENV = "REPRO_ENGINE_PROFILE"
+
+_profile: Optional[EngineProfile] = None
+_profile_lock = threading.Lock()
+
+
+def enable_engine_profiling() -> EngineProfile:
+    """Turn on process-wide engine self-profiling; returns the profile.
+
+    Idempotent: repeated calls keep accumulating into the same
+    :class:`~repro.arch.engine.EngineProfile`.
+    """
+    global _profile
+    with _profile_lock:
+        if _profile is None:
+            _profile = EngineProfile()
+        return _profile
+
+
+def disable_engine_profiling() -> None:
+    """Turn engine self-profiling off and drop the accumulated profile."""
+    global _profile
+    with _profile_lock:
+        _profile = None
+
+
+def engine_profiling_enabled() -> bool:
+    """Is the process currently collecting an engine profile?"""
+    return engine_profile() is not None
+
+
+def engine_profile() -> Optional[EngineProfile]:
+    """The active process-wide engine profile, or None when disabled.
+
+    The ``REPRO_ENGINE_PROFILE`` environment variable (any non-empty
+    value except ``0``) arms profiling lazily on first use, so bench
+    runs and CI can opt in without code changes.
+    """
+    if _profile is None:
+        flag = os.environ.get(ENGINE_PROFILE_ENV, "").strip()
+        if flag and flag != "0":
+            return enable_engine_profiling()
+    return _profile
+
+
+def snapshot() -> Optional[Dict[str, Any]]:
+    """The ``perf`` manifest/sidecar section, or None when there is
+    nothing to report (profiling disabled or no profiled runs yet)."""
+    prof = engine_profile()
+    if prof is None or prof.runs == 0:
+        return None
+    return {"engine": prof.to_dict()}
+
+
+# -- deterministic trace sampling -------------------------------------------
+
+
+def trace_sampled(key: str, rate: int) -> bool:
+    """Deterministic 1-in-``rate`` trace-sampling draw for one setup.
+
+    ``key`` is the setup's fault key (stable across processes, runs and
+    hosts); the draw hashes it, so which setups carry per-setup spans is
+    a pure function of (setup identity, rate) — serial, parallel and
+    resumed sweeps sample identically, and a recorded ``trace_sample``
+    rate in the manifest fully determines the expected span set.
+    ``rate <= 1`` samples everything.
+    """
+    if rate <= 1:
+        return True
+    digest = hashlib.sha256(f"trace-sample:{key}".encode()).hexdigest()
+    return int(digest[:8], 16) % rate == 0
+
+
+# -- metrics timeseries ------------------------------------------------------
+
+
+class TimelineRecorder:
+    """Ring-buffered periodic metrics snapshotter streaming JSONL.
+
+    A daemon thread samples ``sampler()`` every ``interval`` seconds
+    (the runner wires the interval to a multiple of its worker-heartbeat
+    interval by default) and appends one JSON object per sample to
+    ``path`` — line 1 is a header carrying :data:`TIMELINE_FORMAT`.
+    The most recent ``capacity`` samples are also kept in memory
+    (:attr:`samples`) for in-process consumers.
+
+    Samples are wall-clock facts about one host; the file lives next to
+    the journal/trace, never inside canonical report JSON.  Sampling
+    failures are swallowed after the first: telemetry must never take
+    down the sweep it observes.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        interval: float = 1.0,
+        capacity: int = 512,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"timeline interval must be > 0, got {interval}")
+        if capacity < 1:
+            raise ValueError(f"timeline capacity must be >= 1, got {capacity}")
+        self.path = path
+        self.interval = interval
+        self.capacity = capacity
+        self.samples: Deque[Dict[str, Any]] = collections.deque(
+            maxlen=capacity
+        )
+        self._fh: Optional[Any] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._sampler: Optional[Callable[[], Dict[str, Any]]] = None
+        self._t0 = 0.0
+        #: Samples dropped because the sampler raised (reported once).
+        self.sample_errors = 0
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self, sampler: Callable[[], Dict[str, Any]]) -> None:
+        """Open the JSONL stream and start the sampling thread."""
+        assert self._thread is None, "timeline already started"
+        self._sampler = sampler
+        self._fh = open(self.path, "w")
+        header = {
+            "format": TIMELINE_FORMAT,
+            "interval": self.interval,
+            "created_unix": time.time(),
+        }
+        self._fh.write(json.dumps(header, sort_keys=True) + "\n")
+        self._fh.flush()
+        self._t0 = time.monotonic()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-timeline", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Take one final sample, stop the thread, close the stream."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=max(5.0, 4 * self.interval))
+        self._thread = None
+        self._take_sample()  # closing sample: the sweep's final shape
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "TimelineRecorder":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- sampling ---------------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self._take_sample()
+
+    def _take_sample(self) -> None:
+        if self._sampler is None or self._fh is None:
+            return
+        try:
+            sample = dict(self._sampler())
+        except Exception:  # noqa: BLE001 — telemetry must not kill sweeps
+            self.sample_errors += 1
+            return
+        record: Dict[str, Any] = {
+            "t": round(time.monotonic() - self._t0, 6)
+        }
+        record.update(sample)
+        self.samples.append(record)
+        try:
+            self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+            self._fh.flush()
+        except (OSError, ValueError):
+            self.sample_errors += 1
+
+
+# -- timeline validation/rendering helpers (backs `repro obs timeline`) -----
+
+
+def validate_timeline(data: Dict[str, Any]) -> List[str]:
+    """Schema check of a loaded timeline artifact (empty == valid).
+
+    ``data`` is the ``{"timeline": {header, lines, path}}`` wrapper from
+    :func:`repro.obs.inspect.load_json_artifact`.
+    """
+    tl = data.get("timeline") or {}
+    header = tl.get("header") or {}
+    errors: List[str] = []
+    if header.get("format") != TIMELINE_FORMAT:
+        errors.append(
+            f"timeline header format is {header.get('format')!r}, "
+            f"expected {TIMELINE_FORMAT!r}"
+        )
+    interval = header.get("interval")
+    if not (isinstance(interval, (int, float)) and interval > 0):
+        errors.append("timeline header lacks a positive sampling interval")
+    last_t = -1.0
+    for lineno, line in enumerate(tl.get("lines") or [], start=2):
+        if not line.strip():
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError:
+            errors.append(f"line {lineno}: not valid JSON")
+            continue
+        if not isinstance(rec, dict):
+            errors.append(f"line {lineno}: sample is not an object")
+            continue
+        t = rec.get("t")
+        if not isinstance(t, (int, float)):
+            errors.append(f"line {lineno}: sample lacks a numeric 't'")
+            continue
+        if t < last_t:
+            errors.append(
+                f"line {lineno}: sample time {t} goes backwards "
+                f"(previous {last_t})"
+            )
+        last_t = float(t)
+        for key, value in rec.items():
+            if key == "t":
+                continue
+            if not isinstance(value, (int, float)):
+                errors.append(
+                    f"line {lineno}: field {key!r} is not a number"
+                )
+    return errors
+
+
+def timeline_samples(data: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """The parsed samples of a loaded timeline artifact, in order."""
+    tl = data.get("timeline") or {}
+    samples: List[Dict[str, Any]] = []
+    for line in tl.get("lines") or []:
+        if not line.strip():
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(rec, dict) and isinstance(rec.get("t"), (int, float)):
+            samples.append(rec)
+    return samples
+
+
+def summarize_timeline(data: Dict[str, Any], rows: int = 20) -> str:
+    """A metrics timeline as a table: progress, throughput, utilisation.
+
+    Long timelines are downsampled to ~``rows`` evenly spaced samples;
+    the last sample is always shown (it is the sweep's final shape).
+    """
+    from repro.core.report import render_table
+
+    tl = data.get("timeline") or {}
+    header = tl.get("header") or {}
+    samples = timeline_samples(data)
+    title = (
+        f"timeline ({tl.get('path', '?')}): {len(samples)} samples @ "
+        f"{header.get('interval', '?')}s"
+    )
+    if not samples:
+        return render_table(["property", "value"], [["samples", 0]], title=title)
+    keep = samples
+    if len(samples) > rows:
+        step = len(samples) / rows
+        keep = [samples[int(i * step)] for i in range(rows)]
+        if keep[-1] is not samples[-1]:
+            keep.append(samples[-1])
+    prev_t = 0.0
+    prev_measured = 0
+    table = []
+    for s in keep:
+        t = float(s.get("t", 0.0))
+        measured = int(s.get("measured", 0) + s.get("resumed", 0))
+        dt = t - prev_t
+        rate = (measured - prev_measured) / dt if dt > 0 else 0.0
+        table.append(
+            [
+                f"{t:.2f}",
+                f"{measured}/{int(s.get('requested', 0))}",
+                f"{rate:.2f}",
+                int(s.get("pending", 0)),
+                f"{int(s.get('workers_busy', 0))}/{int(s.get('workers_alive', 0))}",
+                int(s.get("retries", 0)),
+                int(s.get("store_hits", 0)),
+            ]
+        )
+        prev_t, prev_measured = t, measured
+    return render_table(
+        [
+            "t (s)",
+            "done",
+            "rate/s",
+            "pending",
+            "busy/alive",
+            "retries",
+            "store hits",
+        ],
+        table,
+        title=title,
+    )

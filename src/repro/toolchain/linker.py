@@ -256,3 +256,37 @@ def link_orders(module_names: Iterable[str]) -> List[List[str]]:
     import itertools
 
     return [list(p) for p in itertools.permutations(module_names)]
+
+
+def function_ranges(
+    exe: Executable,
+) -> List[Tuple[int, int, PlacedFunction]]:
+    """The executable's placed-function layout as validated, sorted
+    ``(flat_start, flat_end, placed)`` ranges.
+
+    This is the folding table for per-PC attribution (simulated-cycle
+    flamegraphs, :func:`repro.analysis.profilediff.pc_profile_diff`'s
+    function grouping): every flat instruction index must belong to
+    exactly one placed function, so cycle totals folded through it are
+    a *partition* of the run's cycles.  Raises :class:`LinkError` when
+    placement records overlap or leave instructions uncovered —
+    malformed layout must fail the fold, not silently misattribute.
+    """
+    ranges = sorted(
+        ((pf.flat_start, pf.flat_end, pf) for pf in exe.placed),
+        key=lambda r: r[0],
+    )
+    expected = 0
+    for start, end, pf in ranges:
+        if start != expected or end < start:
+            raise LinkError(
+                f"placed function {pf.name!r} covers [{start}, {end}); "
+                f"expected coverage to resume at {expected}"
+            )
+        expected = end
+    if expected != exe.num_instructions():
+        raise LinkError(
+            f"placed functions cover {expected} of "
+            f"{exe.num_instructions()} instructions"
+        )
+    return ranges

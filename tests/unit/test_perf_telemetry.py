@@ -1,0 +1,428 @@
+"""Unit tests: the performance-telemetry subsystem.
+
+Covers the perf PR's acceptance criteria: folded flamegraph weights sum
+*exactly* to the engine's cycle counter (integer centicycles, no
+tolerance), the flame-diff culprit names the same function as
+``analysis.profilediff``, deterministic 1-in-N trace sampling leaves
+canonical reports byte-identical (serial == parallel == sampled),
+timeline JSONL round-trips through the inspector and validator, engine
+self-profiling snapshots into the ``perf`` manifest section, histogram
+fixed-bin quantiles, and ``pc_profile_diff`` edge cases (empty,
+mismatched-length, all-zero profiles).
+"""
+
+import json
+
+import pytest
+
+from repro import workloads
+from repro.analysis import pc_profile_diff, profile_diff
+from repro.arch.counters import PerfCounters, RunResult
+from repro.core import Experiment, ExperimentalSetup
+from repro.core.runner import RunnerConfig, SweepRunner
+from repro.obs import flame as obs_flame
+from repro.obs import manifest as obs_manifest
+from repro.obs import metrics as obs_metrics
+from repro.obs import perf as obs_perf
+from repro.obs import trace as obs_trace
+from repro.obs.inspect import is_timeline, load_json_artifact
+
+WORKLOAD = "sphinx3"
+
+BASE = ExperimentalSetup(env_bytes=100)
+SHIFTED = ExperimentalSetup(env_bytes=1040)
+
+SETUPS = [ExperimentalSetup(env_bytes=e) for e in (100, 116, 132, 148)]
+
+
+@pytest.fixture(autouse=True)
+def _clean_perf_state():
+    obs_perf.disable_engine_profiling()
+    obs_trace.install(None)
+    yield
+    obs_perf.disable_engine_profiling()
+    obs_trace.install(None)
+
+
+_SHARED = {}
+
+
+def shared_exp() -> Experiment:
+    if "exp" not in _SHARED:
+        _SHARED["exp"] = Experiment(workloads.get(WORKLOAD))
+    return _SHARED["exp"]
+
+
+def shared_flame(setup):
+    """Per-PC profiles are uncached by design; share them across tests."""
+    if setup not in _SHARED.setdefault("flame", {}):
+        _SHARED["flame"][setup] = obs_flame.profile_flame(shared_exp(), setup)
+    return _SHARED["flame"][setup]
+
+
+# -- flamegraph folding -----------------------------------------------------
+
+
+class TestFlameFold:
+    def test_folded_weights_sum_exactly_to_engine_cycles(self):
+        frames, result = shared_flame(BASE)
+        assert obs_flame.validate_fold(frames, result.counters.cycles) == []
+        assert obs_flame.total_centicycles(frames) == int(
+            round(result.counters.cycles * 100)
+        )
+
+    def test_folded_lines_parse_and_preserve_the_sum(self):
+        frames, result = shared_flame(BASE)
+        lines = obs_flame.folded_lines(frames)
+        assert lines == sorted(lines)
+        total = 0
+        for line in lines:
+            stack, weight = line.rsplit(" ", 1)
+            assert ";" in stack
+            total += int(weight)
+        assert total == int(round(result.counters.cycles * 100))
+
+    def test_flame_tree_is_a_partition_at_every_level(self):
+        frames, result = shared_flame(BASE)
+        tree = obs_flame.flame_tree(frames)
+        assert tree["unit"] == "centicycles"
+        assert tree["value"] == int(round(result.counters.cycles * 100))
+        assert tree["value"] == sum(c["value"] for c in tree["children"])
+        for module in tree["children"]:
+            assert module["value"] == sum(
+                f["value"] for f in module["children"]
+            )
+
+    def test_mismatched_profile_length_is_loud(self):
+        exe = shared_exp().build(BASE)
+        with pytest.raises(ValueError, match="do not match"):
+            obs_flame.fold_pc_cycles(exe, [0.0] * (exe.num_instructions() + 1))
+
+    def test_validate_fold_flags_bad_partitions(self):
+        frames = [
+            obs_flame.FlameFrame("m1", "f", 50),
+            obs_flame.FlameFrame("m2", "f", -10),
+        ]
+        problems = " ".join(obs_flame.validate_fold(frames, 1.0))
+        assert "not a partition" in problems
+        assert "appears in both" in problems
+        assert "negative weight" in problems
+
+    def test_flame_diff_culprit_matches_profilediff(self):
+        exp = shared_exp()
+        frames_a, _ = shared_flame(BASE)
+        frames_b, _ = shared_flame(SHIFTED)
+        deltas = obs_flame.diff(frames_a, frames_b)
+        expected = profile_diff(exp, BASE, SHIFTED).culprit()
+        assert deltas[0].function == expected.function
+        assert deltas[0].delta_cycles == pytest.approx(
+            expected.delta, abs=0.005
+        )
+
+    def test_diff_covers_functions_missing_on_either_side(self):
+        a = [obs_flame.FlameFrame("m", "only_a", 100)]
+        b = [obs_flame.FlameFrame("m", "only_b", 40)]
+        deltas = obs_flame.diff(a, b)
+        assert [(d.function, d.delta_centicycles) for d in deltas] == [
+            ("only_a", -100),
+            ("only_b", 40),
+        ]
+
+    def test_fold_trace_attributes_self_time(self):
+        data = {
+            "traceEvents": [
+                {"ph": "X", "dur": 100.0, "args": {"path": "sweep#0"}},
+                {"ph": "X", "dur": 60.0, "args": {"path": "sweep#0/run#0"}},
+                {"ph": "X", "dur": 30.0, "args": {"path": "sweep#0/run#1"}},
+                {"ph": "M", "name": "ignored"},
+            ]
+        }
+        assert obs_flame.fold_trace(data) == [
+            "sweep#0 10",
+            "sweep#0;run#0 60",
+            "sweep#0;run#1 30",
+        ]
+
+
+# -- engine self-profiling --------------------------------------------------
+
+
+class TestEngineProfiling:
+    def test_disabled_by_default_and_snapshot_is_none(self):
+        assert not obs_perf.engine_profiling_enabled()
+        assert obs_perf.snapshot() is None
+
+    def test_profile_accumulates_across_runs_and_snapshots(self):
+        prof = obs_perf.enable_engine_profiling()
+        assert obs_perf.enable_engine_profiling() is prof  # idempotent
+        exp = Experiment(workloads.get(WORKLOAD))
+        exp.run(BASE)
+        snap = obs_perf.snapshot()
+        assert snap is not None
+        eng = snap["engine"]
+        assert eng["runs"] == 1
+        assert sum(eng["opcode_classes"].values()) > 0
+        assert eng["blocks"]["dynamic_entries"] > 0
+        assert eng["blocks"]["replay_ratio"] > 1.0
+        obs_perf.disable_engine_profiling()
+        assert obs_perf.snapshot() is None
+
+    def test_env_flag_arms_profiling_lazily(self, monkeypatch):
+        monkeypatch.setenv(obs_perf.ENGINE_PROFILE_ENV, "1")
+        assert obs_perf.engine_profiling_enabled()
+        monkeypatch.setenv(obs_perf.ENGINE_PROFILE_ENV, "0")
+        obs_perf.disable_engine_profiling()
+        assert not obs_perf.engine_profiling_enabled()
+
+    def test_manifest_carries_the_perf_section(self):
+        obs_perf.enable_engine_profiling()
+        Experiment(workloads.get(WORKLOAD)).run(BASE)
+        m = obs_manifest.build_manifest(
+            experiment=shared_exp(),
+            setups=SETUPS,
+            runner_config=RunnerConfig(trace_sample=3),
+            perf=obs_perf.snapshot(),
+        )
+        assert obs_manifest.validate_manifest(m) == []
+        assert m["perf"]["engine"]["runs"] >= 1
+        assert m["runner"]["trace_sample"] == 3
+        bad = dict(m, perf={"engine": "nope"})
+        assert obs_manifest.validate_manifest(bad) != []
+
+
+# -- deterministic trace sampling -------------------------------------------
+
+
+class TestTraceSampling:
+    def test_rate_one_keeps_everything(self):
+        assert all(obs_perf.trace_sampled(f"k{i}", 1) for i in range(50))
+
+    def test_draw_is_deterministic_and_roughly_one_in_n(self):
+        keys = [f"setup-{i}" for i in range(400)]
+        first = [obs_perf.trace_sampled(k, 4) for k in keys]
+        second = [obs_perf.trace_sampled(k, 4) for k in keys]
+        assert first == second
+        kept = sum(first)
+        assert 50 <= kept <= 150  # ~100 expected; loose deterministic bound
+
+    def test_sampled_sweep_keeps_fewer_setup_spans(self):
+        def setup_spans(rate):
+            tracer = obs_trace.Tracer(label="t")
+            with obs_trace.tracing(tracer):
+                SweepRunner(
+                    shared_exp(), RunnerConfig(trace_sample=rate)
+                ).run(SETUPS)
+            return [
+                s.attrs.get("index")
+                for s in tracer.spans
+                if s.name == "setup"
+            ]
+
+        full = setup_spans(1)
+        sampled = setup_spans(3)
+        assert full == list(range(len(SETUPS)))
+        assert set(sampled) < set(full)
+
+    def test_reports_are_byte_identical_serial_parallel_sampled(self):
+        def report_json(jobs, rate):
+            return (
+                SweepRunner(
+                    shared_exp(),
+                    RunnerConfig(jobs=jobs, trace_sample=rate),
+                )
+                .run(SETUPS)
+                .report.to_json()
+            )
+
+        serial = report_json(1, 1)
+        assert report_json(1, 5) == serial
+        assert report_json(2, 5) == serial
+
+
+# -- metrics timeseries -----------------------------------------------------
+
+
+class TestTimeline:
+    def record(self, tmp_path, samples):
+        path = str(tmp_path / "timeline.jsonl")
+        feed = iter(samples)
+        recorder = obs_perf.TimelineRecorder(path, interval=0.01)
+        recorder.start(lambda: next(feed))
+        import time as _time
+
+        _time.sleep(0.05)
+        recorder.stop()
+        return path, recorder
+
+    def test_recorder_streams_valid_jsonl(self, tmp_path):
+        path, recorder = self.record(
+            tmp_path, [{"measured": i, "requested": 9} for i in range(100)]
+        )
+        data = load_json_artifact(path)
+        assert is_timeline(data)
+        assert obs_perf.validate_timeline(data) == []
+        samples = obs_perf.timeline_samples(data)
+        assert samples, "expected at least the closing sample"
+        assert samples == list(recorder.samples)[-len(samples):]
+        ts = [s["t"] for s in samples]
+        assert ts == sorted(ts)
+        assert "timeline" in obs_perf.summarize_timeline(data)
+
+    def test_sampler_errors_are_counted_not_raised(self, tmp_path):
+        path = str(tmp_path / "tl.jsonl")
+        recorder = obs_perf.TimelineRecorder(path, interval=0.01)
+
+        def boom():
+            raise RuntimeError("sampler exploded")
+
+        recorder.start(boom)
+        import time as _time
+
+        _time.sleep(0.03)
+        recorder.stop()
+        assert recorder.sample_errors > 0
+        assert obs_perf.validate_timeline(load_json_artifact(path)) == []
+
+    def test_validator_rejects_malformed_timelines(self):
+        bad = {
+            "timeline": {
+                "path": "x",
+                "header": {"format": "nope", "interval": 0},
+                "lines": [
+                    "not json",
+                    '{"t": 2.0, "measured": 1}',
+                    '{"t": 1.0, "measured": "much"}',
+                    '{"measured": 3}',
+                ],
+            }
+        }
+        problems = " ".join(obs_perf.validate_timeline(bad))
+        assert "expected" in problems
+        assert "interval" in problems
+        assert "not valid JSON" in problems
+        assert "goes backwards" in problems
+        assert "not a number" in problems
+        assert "lacks a numeric 't'" in problems
+
+    def test_sweep_writes_a_timeline_next_to_the_journal(self, tmp_path):
+        path = str(tmp_path / "sweep-timeline.jsonl")
+        SweepRunner(
+            shared_exp(),
+            RunnerConfig(timeline_interval=0.01),
+            timeline_path=path,
+        ).run(SETUPS)
+        data = load_json_artifact(path)
+        assert obs_perf.validate_timeline(data) == []
+        final = obs_perf.timeline_samples(data)[-1]
+        assert final["measured"] + final["resumed"] == len(SETUPS)
+        assert final["requested"] == len(SETUPS)
+        assert final["pending"] == 0
+
+
+# -- histogram quantiles ----------------------------------------------------
+
+
+class TestHistogramQuantiles:
+    def test_quantiles_are_deterministic_and_bin_accurate(self):
+        h = obs_metrics.Histogram("h")
+        values = [0.1 * i for i in range(1, 101)]
+        h.extend(values)
+        # Bin width is ~9%, clamped to the observed range.
+        assert h.quantile(0.0) == pytest.approx(0.1, rel=0.1)
+        assert h.quantile(0.5) == pytest.approx(5.0, rel=0.1)
+        assert h.quantile(0.95) == pytest.approx(9.5, rel=0.1)
+        assert h.quantile(1.0) == 10.0
+        h2 = obs_metrics.Histogram("h2")
+        h2.extend(values)
+        assert h2.summary() == h.summary()
+
+    def test_identical_window_is_exact_and_rolls(self):
+        h = obs_metrics.Histogram("w", window=4)
+        h.extend([100.0] * 8)
+        assert len(h) == 4
+        assert h.quantile(0.95) == 100.0
+        h.extend([1.0] * 4)  # evict every 100
+        assert h.samples == (1.0, 1.0, 1.0, 1.0)
+        assert h.quantile(0.95) == 1.0
+
+    def test_quantile_rejects_bad_fractions_and_handles_empty(self):
+        h = obs_metrics.Histogram("e")
+        assert h.quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+
+# -- pc_profile_diff edge cases ---------------------------------------------
+
+
+def _fake_result(pc_cycles, cycles=None):
+    total = sum(pc_cycles) if cycles is None else cycles
+    return RunResult(
+        exit_value=0,
+        counters=PerfCounters(cycles=total, instructions=max(1, len(pc_cycles))),
+        pc_cycles=tuple(pc_cycles),
+    )
+
+
+class TestPCProfileDiffEdges:
+    def test_mismatched_profile_lengths_raise(self, monkeypatch):
+        exp = shared_exp()
+        results = iter(
+            [_fake_result([1.0, 2.0]), _fake_result([1.0, 2.0, 3.0])]
+        )
+        monkeypatch.setattr(
+            Experiment, "profile", lambda self, *a, **kw: next(results)
+        )
+        with pytest.raises(ValueError, match="differ in length"):
+            pc_profile_diff(exp, BASE, ExperimentalSetup(env_bytes=116))
+
+    def test_empty_profiles_diff_to_nothing(self, monkeypatch):
+        exp = shared_exp()
+        monkeypatch.setattr(
+            Experiment,
+            "profile",
+            lambda self, *a, **kw: _fake_result([], cycles=5.0),
+        )
+        monkeypatch.setattr(Experiment, "build", lambda self, setup: _FAKE_EXE)
+        d = pc_profile_diff(exp, BASE, ExperimentalSetup(env_bytes=116))
+        assert d.pcs == ()
+        assert d.total_delta == 0.0
+        assert d.by_function() == {}
+
+    def test_all_zero_profiles_are_filtered_out(self, monkeypatch):
+        exp = shared_exp()
+        monkeypatch.setattr(
+            Experiment,
+            "profile",
+            lambda self, *a, **kw: _fake_result([0.0, 0.0], cycles=1.0),
+        )
+        monkeypatch.setattr(Experiment, "build", lambda self, setup: _FAKE_EXE)
+        d = pc_profile_diff(exp, BASE, ExperimentalSetup(env_bytes=116))
+        assert d.pcs == ()
+        assert d.ranked() == []
+
+    def test_real_diff_still_localizes_the_env_bias(self):
+        exp = shared_exp()
+        d = pc_profile_diff(exp, BASE, SHIFTED)
+        assert d.pcs, "expected nonzero per-PC deltas"
+        agg = d.by_function()
+        expected = profile_diff(exp, BASE, SHIFTED).culprit()
+        top = max(agg, key=lambda fn: abs(agg[fn]))
+        assert top == expected.function
+
+
+class _FakePlaced:
+    def __init__(self, name, start, end):
+        self.name = name
+        self.module = "m"
+        self.flat_start = start
+        self.flat_end = end
+
+
+class _FakeExe:
+    ops = [None, None]
+    addrs = [0, 4]
+    placed = [_FakePlaced("f", 0, 2)]
+
+
+_FAKE_EXE = _FakeExe()

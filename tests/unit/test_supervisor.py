@@ -410,7 +410,7 @@ class TestAdaptiveHangTimeout:
         event = pool.poll(timeout=5.0)
         assert event is not None and event.kind == "result"
         assert len(pool._durations) == 1
-        assert pool._durations[0] >= 0.0
+        assert pool._durations.samples[0] >= 0.0
 
     def test_adaptive_sweep_completes(self):
         """End to end: a parallel sweep with no explicit hang_timeout
