@@ -52,6 +52,14 @@ the sweep to those agents over TCP instead of local worker processes —
 same report bytes, same journal, same trace (with host-qualified span
 aliases), and the manifest names every agent that served results.
 
+The sweep service (see docs/service.md): ``serve`` runs a long-lived
+coordinator with a durable study queue — agents dial *in* with
+``repro agent --connect HOST:PORT`` (reconnecting across coordinator
+restarts on seeded backoff), clients submit studies with ``submit`` and
+inspect them with ``status`` over a local HTTP/JSON API, and a
+coordinator killed mid-study restarts from its write-ahead log and
+finishes with byte-identical reports (``repro fsck`` audits the WAL).
+
 Every command prints plain text (the same renderers the benchmark
 harness uses) and exits non-zero on verification failures.
 """
@@ -898,32 +906,176 @@ def cmd_store(args: argparse.Namespace) -> int:
 
 
 def cmd_agent(args: argparse.Namespace) -> int:
-    """`repro agent`: serve sweeps to remote coordinators over TCP."""
+    """`repro agent`: serve sweeps to remote coordinators over TCP.
+
+    Two rendezvous directions share one agent: ``--listen`` waits for a
+    coordinator to dial it (static ``--hosts`` rosters), ``--connect``
+    dials a ``repro serve`` coordinator and re-dials it across restarts
+    on seeded exponential backoff.
+    """
     from repro.core.distributed import AgentServer
 
-    host, port = args.listen
     server = AgentServer(
-        host=host,
-        port=port,
+        host=args.listen[0],
+        port=args.listen[1],
         jobs=args.jobs,
         port_file=args.port_file,
         quiet=args.quiet,
         secret=args.secret,
     )
-    bound = server.bind()
-    print(
-        f"agent listening on {bound[0]}:{bound[1]} "
-        f"({args.jobs} worker job(s)); Ctrl-C to stop",
-        file=sys.stderr,
-    )
     try:
-        server.serve_forever()
+        if args.connect is not None:
+            host, port = args.connect
+            if port == 0:
+                print("error: --connect needs an explicit port", file=sys.stderr)
+                return 2
+            print(
+                f"agent dialing coordinator {host}:{port} "
+                f"({args.jobs} worker job(s)); Ctrl-C to stop",
+                file=sys.stderr,
+            )
+            server.serve_connect(
+                host,
+                port,
+                backoff_seed=args.backoff_seed,
+                max_retries=args.reconnect_retries,
+            )
+        else:
+            bound = server.bind()
+            print(
+                f"agent listening on {bound[0]}:{bound[1]} "
+                f"({args.jobs} worker job(s)); Ctrl-C to stop",
+                file=sys.stderr,
+            )
+            server.serve_forever()
     except KeyboardInterrupt:
         print("agent stopped", file=sys.stderr)
         return 0
     # A non-zero exit on an injected crash lets a process supervisor
     # (and the chaos harness) tell a killed agent from a retired one.
     return 1 if server.crashed else 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """`repro serve`: the resilient sweep service coordinator."""
+    from repro.core.service import ServiceCoordinator
+
+    coordinator = ServiceCoordinator(
+        workdir=args.workdir,
+        http_addr=args.http,
+        agent_addr=args.listen,
+        secret=args.secret,
+        fault_plan=args.fault_plan,
+        max_queue=args.max_queue,
+        max_retries=args.max_retries,
+        timeout=args.timeout,
+        heartbeat_interval=args.heartbeat_interval,
+        lease_timeout=args.lease_timeout,
+        agentless_grace=args.agentless_grace,
+        port_file=args.port_file,
+        quiet=args.quiet,
+        note=args.note,
+    )
+    return coordinator.run()
+
+
+def _spec_from_args(args: argparse.Namespace):
+    from repro.core.service import StudySpec
+
+    return StudySpec(
+        workload=args.workload,
+        parameter=args.parameter,
+        base_opt=args.base_opt,
+        treatment_opt=args.treatment_opt,
+        env_start=args.env_start,
+        env_stop=args.env_stop,
+        env_step=args.env_step,
+        orders=args.orders,
+        machine=args.machine,
+        compiler=args.compiler,
+        size=args.size,
+        seed=args.seed,
+        tag=args.tag,
+    )
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """`repro submit`: send a study to a running `repro serve`."""
+    from repro.core import service
+
+    host, port = args.http
+    spec = _spec_from_args(args)
+    doc = service.submit_study(host, port, spec)
+    sid = doc["study"]
+    print(f"study {sid} {doc['state']}", file=sys.stderr)
+    if args.no_wait:
+        return 0
+    doc = service.wait_for_study(
+        host, port, sid, poll_interval=args.poll_interval,
+        timeout=args.wait_timeout,
+    )
+    if doc["state"] != "done":
+        print(f"error: study failed: {doc.get('error', '?')}", file=sys.stderr)
+        return 1
+    # Same bytes a local `repro study` would print / --report-out.
+    sys.stdout.write(doc["tables"])
+    if args.report_out:
+        with open(args.report_out, "w") as fh:
+            fh.write(doc["report"] + "\n")
+        print(f"report: wrote {args.report_out}", file=sys.stderr)
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """`repro status`: inspect a running `repro serve`."""
+    import json as _json
+
+    from repro.core import service
+
+    import http.client as _http_client
+
+    host, port = args.http
+
+    def _fetch(call):
+        # Unlike submit (idempotent, so it retries) a status probe of an
+        # unreachable service is a plain diagnosis: one line, exit 1.
+        try:
+            return call()
+        except (ConnectionError, _http_client.HTTPException, OSError) as exc:
+            raise ReproError(
+                f"could not reach service at {host}:{port}: {exc}"
+            ) from exc
+
+    if args.study:
+        doc = _fetch(lambda: service.get_study(host, port, args.study))
+        if args.json:
+            print(_json.dumps(doc, indent=2, sort_keys=True))
+            return 0
+        print(f"study {doc['study']}")
+        print(f"  state: {doc['state']}")
+        print(f"  completed: {doc['completed']}/{doc['requested'] or '?'}")
+        if doc.get("error"):
+            print(f"  error: {doc['error']}")
+        return 0
+    doc = _fetch(lambda: service.get_status(host, port))
+    if args.json:
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    states = ", ".join(
+        f"{count} {state}" for state, count in sorted(doc["studies"].items())
+    ) or "none"
+    print(f"studies: {states} (queue limit {doc['queue_limit']})")
+    print(f"agents: {len(doc['agents'])} registered")
+    for agent in doc["agents"]:
+        print(
+            f"  {agent['label']}: {agent['jobs']} job(s), "
+            f"{agent['in_flight']} in flight, {agent['results']} result(s)"
+        )
+    if doc["draining"]:
+        print("draining: yes")
+    for line in doc["degraded"]:
+        print(f"degraded: {line}")
+    return 0
 
 
 def cmd_survey(args: argparse.Namespace) -> int:
@@ -1197,7 +1349,169 @@ def build_parser() -> argparse.ArgumentParser:
             "no authentication)"
         ),
     )
+    agent.add_argument(
+        "--connect", metavar="HOST:PORT", type=_listen_arg, default=None,
+        help=(
+            "dial in to a `repro serve` coordinator instead of listening; "
+            "the agent re-dials across coordinator restarts"
+        ),
+    )
+    agent.add_argument(
+        "--backoff-seed", type=int, default=0,
+        help=(
+            "seed for the --connect reconnect backoff (give each agent in "
+            "a fleet its own seed to de-synchronize re-registration)"
+        ),
+    )
+    agent.add_argument(
+        "--reconnect-retries", type=_non_negative_int, default=None,
+        help=(
+            "give up after this many failed --connect redials per outage "
+            "(default: keep trying forever)"
+        ),
+    )
     agent.set_defaults(func=cmd_agent)
+
+    serve = sub.add_parser(
+        "serve", help="run the resilient sweep service coordinator"
+    )
+    serve.add_argument(
+        "--workdir", metavar="DIR", required=True,
+        help=(
+            "durable state directory: study-queue WAL, content-addressed "
+            "store, and result documents all live here"
+        ),
+    )
+    serve.add_argument(
+        "--http", metavar="HOST:PORT", type=_listen_arg,
+        default=("127.0.0.1", 0),
+        help="client API address (port 0 picks a free one; see --port-file)",
+    )
+    serve.add_argument(
+        "--listen", metavar="HOST:PORT", type=_listen_arg,
+        default=("127.0.0.1", 0),
+        help="agent rendezvous address (agents dial it with --connect)",
+    )
+    serve.add_argument(
+        "--port-file", metavar="FILE", default=None,
+        help='write {"http": P, "agents": P} here once both ports are bound',
+    )
+    serve.add_argument(
+        "--secret", metavar="SECRET",
+        default=os.environ.get("REPRO_AGENT_SECRET"),
+        help=(
+            "require registering agents to prove this shared secret "
+            "(default: $REPRO_AGENT_SECRET; unset = open rendezvous)"
+        ),
+    )
+    serve.add_argument(
+        "--fault-plan", metavar="SPEC", type=_fault_plan_arg, default=None,
+        help="install a deterministic chaos plan for every study served",
+    )
+    serve.add_argument(
+        "--max-queue", type=_positive_int, default=16,
+        help="admission control: reject submissions past this many queued "
+             "studies with a typed queue_full error (default 16)",
+    )
+    serve.add_argument(
+        "--max-retries", type=_non_negative_int, default=2,
+        help="per-setup measurement retry budget (default 2)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-measurement timeout in seconds",
+    )
+    serve.add_argument(
+        "--heartbeat-interval", type=float, default=0.2,
+        help="agent liveness cadence in seconds (default 0.2)",
+    )
+    serve.add_argument(
+        "--lease-timeout", type=float, default=None,
+        help=(
+            "fixed lease expiry in seconds (default: adapt to observed "
+            "lease durations, like the worker hang deadline)"
+        ),
+    )
+    serve.add_argument(
+        "--agentless-grace", type=float, default=30.0,
+        help=(
+            "seconds to wait for an agent rendezvous before a study "
+            "degrades to in-process execution (default 30)"
+        ),
+    )
+    serve.add_argument(
+        "--note", default="",
+        help="free-form text echoed to registering agents and the WAL header",
+    )
+    serve.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-event log lines on stderr",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a study to a running `repro serve`"
+    )
+    submit.add_argument("workload", choices=workloads.all_names())
+    submit.add_argument("parameter", choices=["env", "link"])
+    submit.add_argument(
+        "--base-opt", type=int, default=2, choices=[0, 1, 2, 3]
+    )
+    submit.add_argument(
+        "--treatment-opt", type=int, default=3, choices=[0, 1, 2, 3]
+    )
+    submit.add_argument("--env-start", type=int, default=100)
+    submit.add_argument("--env-stop", type=int, default=356)
+    submit.add_argument("--env-step", type=int, default=16)
+    submit.add_argument("--orders", type=int, default=6)
+    _add_setup_args(submit)
+    submit.add_argument(
+        "--tag", default="",
+        help=(
+            "client label folded into the study's identity (distinct tags "
+            "make distinct studies whose measurements still dedup through "
+            "the service's store)"
+        ),
+    )
+    submit.add_argument(
+        "--http", metavar="HOST:PORT", type=_listen_arg, required=True,
+        help="the service's client API address",
+    )
+    submit.add_argument(
+        "--no-wait", action="store_true",
+        help="enqueue and exit instead of waiting for the result",
+    )
+    submit.add_argument(
+        "--poll-interval", type=float, default=0.5,
+        help="seconds between result polls while waiting (default 0.5)",
+    )
+    submit.add_argument(
+        "--wait-timeout", type=float, default=None,
+        help="give up waiting after this many seconds (default: never)",
+    )
+    submit.add_argument(
+        "--report-out", metavar="FILE", default=None,
+        help="also write the canonical SweepReport JSON here (byte-"
+             "identical to a local `repro study --report-out`)",
+    )
+    submit.set_defaults(func=cmd_submit)
+
+    status = sub.add_parser(
+        "status", help="inspect a running `repro serve`"
+    )
+    status.add_argument(
+        "study", nargs="?", default=None,
+        help="a study id to show in detail (default: service overview)",
+    )
+    status.add_argument(
+        "--http", metavar="HOST:PORT", type=_listen_arg, required=True,
+        help="the service's client API address",
+    )
+    status.add_argument(
+        "--json", action="store_true",
+        help="print the raw API document instead of the summary",
+    )
+    status.set_defaults(func=cmd_status)
 
     survey = sub.add_parser("survey", help="print the literature survey")
     survey.add_argument("--seed", type=int, default=0)

@@ -207,16 +207,18 @@ def parse_hosts(spec: str) -> List[Tuple[str, int]]:
 # -- framing ----------------------------------------------------------------
 
 
-def send_message(
-    sock: socket.socket, kind: str, data: Dict[str, Any], corrupt: bool = False
-) -> None:
-    """Send one checksummed, length-prefixed message.
+def encode_message(
+    kind: str, data: Dict[str, Any], corrupt: bool = False
+) -> bytes:
+    """One checksummed, length-prefixed frame, ready to write.
 
     The payload is the canonical JSON of ``{"kind", "data", "sha256"}``
     where the checksum covers ``data`` — the same record discipline as
     the checkpoint journal, applied to the wire.  ``corrupt=True`` flips
-    the payload's final byte before sending (the ``message_corrupt``
-    chaos kind); the receiver's checksum validation must reject it.
+    the payload's final byte (the ``message_corrupt`` chaos kind); the
+    receiver's checksum validation must reject it.  Shared by the
+    blocking socket path below and the service coordinator's asyncio
+    transports, so every transport speaks byte-identical frames.
     """
     payload = canonical_json(
         {"kind": kind, "data": data, "sha256": record_checksum(data)}
@@ -224,7 +226,41 @@ def send_message(
     frame = _HEADER.pack(MAGIC, len(payload)) + payload
     if corrupt:
         frame = frame[:-1] + bytes([frame[-1] ^ 0xFF])
-    sock.sendall(frame)
+    return frame
+
+
+def decode_payload(payload: bytes) -> Tuple[str, Dict[str, Any]]:
+    """Validate one frame payload; raises :class:`ProtocolError` on any
+    corruption (JSON, shape, or checksum)."""
+    try:
+        message = json.loads(payload)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"frame payload is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("frame payload is not an object")
+    kind = message.get("kind")
+    data = message.get("data")
+    if not isinstance(kind, str) or not isinstance(data, dict):
+        raise ProtocolError("frame payload missing kind/data")
+    if message.get("sha256") != record_checksum(data):
+        raise ProtocolError(f"frame checksum mismatch on {kind!r} message")
+    return kind, data
+
+
+def check_frame_header(magic: bytes, length: int) -> None:
+    """Validate a frame's magic + declared length before reading it."""
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+
+
+def send_message(
+    sock: socket.socket, kind: str, data: Dict[str, Any], corrupt: bool = False
+) -> None:
+    """Send one checksummed, length-prefixed message (see
+    :func:`encode_message`)."""
+    sock.sendall(encode_message(kind, data, corrupt=corrupt))
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes:
@@ -244,24 +280,8 @@ def recv_message(sock: socket.socket) -> Tuple[str, Dict[str, Any]]:
     """Receive one message; raises :class:`ProtocolError` on corruption,
     EOFError on a clean close, OSError/socket.timeout on transport loss."""
     magic, length = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
-    if magic != MAGIC:
-        raise ProtocolError(f"bad frame magic {magic!r}")
-    if length > MAX_FRAME_BYTES:
-        raise ProtocolError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
-    payload = _recv_exact(sock, length)
-    try:
-        message = json.loads(payload)
-    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-        raise ProtocolError(f"frame payload is not valid JSON: {exc}") from exc
-    if not isinstance(message, dict):
-        raise ProtocolError("frame payload is not an object")
-    kind = message.get("kind")
-    data = message.get("data")
-    if not isinstance(kind, str) or not isinstance(data, dict):
-        raise ProtocolError("frame payload missing kind/data")
-    if message.get("sha256") != record_checksum(data):
-        raise ProtocolError(f"frame checksum mismatch on {kind!r} message")
-    return kind, data
+    check_frame_header(magic, length)
+    return decode_payload(_recv_exact(sock, length))
 
 
 # -- task payload <-> wire --------------------------------------------------
@@ -310,6 +330,41 @@ def wire_to_payload(data: Dict[str, Any]) -> Tuple:
 
 class _AgentCrash(Exception):
     """Internal: an injected ``agent_crash`` fired; die like a process."""
+
+
+class _SessionConfig:
+    """Policy knobs for one agent session, parsed from the
+    coordinator's ``hello`` (listen mode) or ``registered`` (dial-in
+    mode) message — the two carry the same fields."""
+
+    __slots__ = (
+        "plan", "heartbeat_interval", "hang_timeout", "max_respawns",
+        "tracing",
+    )
+
+    def __init__(self, plan, heartbeat_interval, hang_timeout,
+                 max_respawns, tracing) -> None:
+        self.plan = plan
+        self.heartbeat_interval = heartbeat_interval
+        self.hang_timeout = hang_timeout
+        self.max_respawns = max_respawns
+        self.tracing = tracing
+
+
+def _parse_session_config(data: Dict[str, Any]) -> _SessionConfig:
+    plan_dict = data.get("fault_plan")
+    plan = faults.FaultPlan(**plan_dict) if plan_dict else None
+    knobs = data.get("runner") or {}
+    # None means "adapt": the agent's own pool derives its hang
+    # threshold from observed task durations (see SupervisedPool).
+    raw_hang = knobs.get("hang_timeout", DEFAULT_HANG_TIMEOUT)
+    return _SessionConfig(
+        plan=plan,
+        heartbeat_interval=float(knobs.get("heartbeat_interval", 0.2)),
+        hang_timeout=None if raw_hang is None else float(raw_hang),
+        max_respawns=int(knobs.get("max_respawns", 8)),
+        tracing=bool(data.get("tracing", False)),
+    )
 
 
 class AgentServer:
@@ -428,6 +483,125 @@ class AgentServer:
         finally:
             self._close_listener()
 
+    def serve_connect(
+        self,
+        host: str,
+        port: int,
+        backoff_base: float = 0.5,
+        backoff_seed: int = 0,
+        max_retries: Optional[int] = None,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        """Dial-in rendezvous: register with a service coordinator and
+        serve its sessions, reconnecting across coordinator restarts.
+
+        This inverts :meth:`serve_forever`'s direction — the agent
+        connects *out* to ``repro serve``'s rendezvous port, proves
+        itself against the coordinator's ``challenge`` with
+        :func:`auth_proof` (when a secret is configured), and then runs
+        the exact same session body the listening mode does.  A
+        coordinator that vanishes mid-session (SIGKILL, restart, net
+        partition) is redialed on the shared seeded exponential backoff
+        (:func:`repro.core.runner.seeded_backoff`), so a whole fleet of
+        agents re-registers on a deterministic, de-synchronized
+        schedule instead of stampeding the reborn service.
+
+        Ends on: an orderly ``shutdown`` from the coordinator, an
+        injected ``agent_crash`` (``self.crashed`` set, like listen
+        mode), an authentication refusal (fatal — a wrong secret never
+        heals), or a spent ``max_retries`` budget (None = unbounded).
+        The per-outage budget resets whenever a session is established.
+        """
+        attempt = 0
+        while not self._stop.is_set():
+            attempt += 1
+            if max_retries is not None and attempt > max_retries + 1:
+                self._log(
+                    f"coordinator {host}:{port}: reconnect budget spent "
+                    f"({max_retries} retries)"
+                )
+                return
+            delay = _runner.seeded_backoff(
+                backoff_base,
+                backoff_seed,
+                f"rendezvous:{host}:{port}",
+                attempt,
+                cap=10.0,
+            )
+            if delay:
+                time.sleep(delay)
+            try:
+                reason = self._dial_session(host, port, connect_timeout)
+            except _AgentCrash:
+                self.crashed = True
+                self._log("injected agent_crash: dying")
+                return
+            except (ProtocolError, EOFError, OSError) as exc:
+                self._log(f"coordinator {host}:{port}: {exc}")
+                continue
+            if reason == "shutdown":
+                self._log("orderly shutdown")
+                return
+            # "closed": the coordinator went away mid-session.  Reset
+            # the backoff so a healthy restart is re-joined promptly;
+            # repeated failures then back off again from the start.
+            attempt = 0
+
+    def _dial_session(
+        self, host: str, port: int, connect_timeout: float
+    ) -> str:
+        """One dial-in connection: handshake, then the session body."""
+        sock = _track(socket.create_connection(
+            (host, port), timeout=connect_timeout
+        ))
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.settimeout(30.0)
+            kind, challenge = recv_message(sock)
+            if kind != "challenge":
+                raise ProtocolError(
+                    f"coordinator {host}:{port} opened with {kind!r}, "
+                    "expected a challenge"
+                )
+            nonce = challenge.get("nonce")
+            if not isinstance(nonce, str) or not nonce:
+                raise ProtocolError(
+                    f"coordinator {host}:{port} sent a malformed challenge"
+                )
+            register = self._identity()
+            register["auth"] = (
+                auth_proof(self.secret, nonce) if self.secret else None
+            )
+            send_message(sock, "register", register)
+            kind, data = recv_message(sock)
+            if kind == "error":
+                if data.get("code") == "auth":
+                    # Fatal, not retried: a wrong secret is operator
+                    # error, and redialing would never heal it.
+                    raise AgentUnavailable(
+                        f"coordinator {host}:{port} refused registration: "
+                        f"{data.get('message')}"
+                    )
+                raise ProtocolError(
+                    f"coordinator {host}:{port} refused registration: "
+                    f"{data.get('message')}"
+                )
+            if kind != "registered" or data.get("protocol") != PROTOCOL_VERSION:
+                raise ProtocolError(
+                    f"coordinator {host}:{port} sent an unexpected "
+                    f"handshake ({kind!r}, protocol "
+                    f"{data.get('protocol')!r})"
+                )
+            self._log(f"registered with coordinator {host}:{port}")
+            session = _parse_session_config(data)
+            sock.settimeout(None)
+            return self._session_body(sock, session)
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
     def _close_listener(self) -> None:
         if self._listener is not None:
             try:
@@ -489,27 +663,36 @@ class AgentServer:
                                "shared secret (--secret)",
                 })
                 raise ProtocolError("coordinator failed authentication")
-        plan_dict = hello.get("fault_plan")
-        plan = faults.FaultPlan(**plan_dict) if plan_dict else None
-        knobs = hello.get("runner") or {}
-        heartbeat_interval = float(knobs.get("heartbeat_interval", 0.2))
-        # None means "adapt": the agent's own pool derives its hang
-        # threshold from observed task durations (see SupervisedPool).
-        raw_hang = knobs.get("hang_timeout", DEFAULT_HANG_TIMEOUT)
-        hang_timeout = None if raw_hang is None else float(raw_hang)
-        tracing = bool(hello.get("tracing", False))
-        send_message(conn, "hello_ack", {
+        session = _parse_session_config(hello)
+        send_message(conn, "hello_ack", self._identity())
+        # The handshake had a deadline; the session does not — a
+        # coordinator with nothing to say is idle, not dead (liveness
+        # flows the other way, via our heartbeats).
+        conn.settimeout(None)
+        self._session_body(conn, session)
+
+    def _identity(self) -> Dict[str, Any]:
+        """The agent's self-description, sent in ``hello_ack`` (listen
+        mode) and ``register`` (dial-in mode)."""
+        return {
             "protocol": PROTOCOL_VERSION,
             "hostname": socket.gethostname(),
             "pid": os.getpid(),
             "agent_version": __version__,
             "jobs": self.jobs,
-        })
-        # The handshake had a deadline; the session does not — a
-        # coordinator with nothing to say is idle, not dead (liveness
-        # flows the other way, via our heartbeats).
-        conn.settimeout(None)
+        }
 
+    def _session_body(
+        self, conn: socket.socket, session: "_SessionConfig"
+    ) -> str:
+        """Run one configured session until it ends; both the listening
+        accept loop and the dial-in rendezvous loop land here after
+        their handshakes, so the task/result/heartbeat protocol is one
+        code path however the connection was established.  Returns the
+        end reason: ``"shutdown"`` (orderly) or ``"closed"`` (the
+        coordinator went away)."""
+        plan = session.plan
+        heartbeat_interval = session.heartbeat_interval
         inbox: "queue.Queue[Tuple[str, Any]]" = queue.Queue()
 
         def read_loop() -> None:
@@ -527,9 +710,9 @@ class AgentServer:
             task_fn=_runner._measure_task,
             fault_plan=plan,
             heartbeat_interval=heartbeat_interval,
-            hang_timeout=hang_timeout,
-            max_respawns=int(knobs.get("max_respawns", 8)),
-            tracing=tracing,
+            hang_timeout=session.hang_timeout,
+            max_respawns=session.max_respawns,
+            tracing=session.tracing,
             child_setup=close_inherited_sockets,
         )
         degraded = False
@@ -537,11 +720,11 @@ class AgentServer:
         try:
             with faults.injected_faults(plan):
                 while True:
-                    closed = self._drain_inbox(
+                    reason = self._drain_inbox(
                         conn, inbox, pool, plan, degraded
                     )
-                    if closed:
-                        return
+                    if reason:
+                        return reason
                     event = pool.poll(timeout=self.poll_interval)
                     if event is None:
                         time.sleep(self.poll_interval / 4)
@@ -574,13 +757,14 @@ class AgentServer:
         finally:
             pool.close()
 
-    def _drain_inbox(self, conn, inbox, pool, plan, degraded) -> bool:
-        """Apply queued coordinator messages; True when session is over."""
+    def _drain_inbox(self, conn, inbox, pool, plan, degraded) -> str:
+        """Apply queued coordinator messages; returns the session's end
+        reason (``"shutdown"``/``"closed"``) or ``""`` while it lives."""
         while True:
             try:
                 kind, data = inbox.get_nowait()
             except queue.Empty:
-                return False
+                return ""
             if kind == "task":
                 key = data.get("key", "")
                 dispatch = int(data.get("dispatch", 1))
@@ -602,10 +786,10 @@ class AgentServer:
                     pool.submit(task)
             elif kind == "shutdown":
                 self._log("orderly shutdown")
-                return True
+                return "shutdown"
             elif kind == "closed":
                 self._log(f"coordinator gone: {data.get('reason')}")
-                return True
+                return "closed"
             # Unknown kinds are ignored: forward-compatible by default.
 
     def _run_inline(self, conn: socket.socket, task: Task) -> None:
@@ -694,6 +878,10 @@ class AgentPool(DispatchPool):
             Held here rather than baked into the hello because the
             proof depends on the nonce — every connect (and reconnect)
             computes a fresh one.
+        backoff_seed: seed for the deterministic reconnect jitter
+            (:func:`repro.core.runner.seeded_backoff`); the runner
+            forwards its ``backoff_seed`` so retries and reconnects
+            share one reproducible schedule.
     """
 
     def __init__(
@@ -707,6 +895,7 @@ class AgentPool(DispatchPool):
         connect_timeout: float = 10.0,
         poll_interval: float = 0.05,
         secret: Optional[str] = None,
+        backoff_seed: int = 0,
     ) -> None:
         if not hosts:
             raise ValueError("AgentPool needs at least one host")
@@ -720,6 +909,7 @@ class AgentPool(DispatchPool):
         self.max_reconnects = max_reconnects
         self.connect_timeout = connect_timeout
         self.poll_interval = poll_interval
+        self.backoff_seed = backoff_seed
         self._queue: Deque[Task] = collections.deque()
         self._events: Deque[PoolEvent] = collections.deque()
         self._dispatched: Dict[int, int] = {}
@@ -873,8 +1063,17 @@ class AgentPool(DispatchPool):
                 )
             except (OSError, ProtocolError, EOFError):
                 item["failures"] += 1
-                item["next_try"] = now + min(
-                    2.0, self.poll_interval * (2 ** item["failures"])
+                # Seeded exponential backoff with deterministic jitter
+                # (the runner's retry policy, reused): repeated failures
+                # against one address space out geometrically, capped at
+                # 2s, and the per-address jitter keeps a pool that lost
+                # several agents at once from redialing them in lockstep.
+                item["next_try"] = now + _runner.seeded_backoff(
+                    self.poll_interval,
+                    self.backoff_seed,
+                    f"reconnect:{item['host']}:{item['port']}",
+                    item["failures"] + 1,
+                    cap=2.0,
                 )
                 still_down.append(item)
                 continue

@@ -92,6 +92,40 @@ JOURNAL_FORMAT = FORMAT_V2 + "-journal"
 # -- configuration ----------------------------------------------------------
 
 
+def seeded_backoff(
+    base: float,
+    seed: int,
+    key: str,
+    attempt: int,
+    cap: Optional[float] = None,
+) -> float:
+    """Seeded exponential backoff with deterministic jitter.
+
+    The delay before (1-based) ``attempt`` is
+    ``base * 2**(attempt-2) * (0.5 + U)`` where ``U`` is the
+    deterministic :func:`repro.faults._uniform` draw on
+    ``(seed, "backoff:attempt", key)`` — so two runs of the same faulted
+    sweep (or two restarts of the same reconnecting agent) back off on
+    exactly the same schedule, and the jitter still de-synchronizes
+    *different* keys so a fleet never stampedes in lockstep.  The first
+    attempt (and a non-positive ``base``) waits nothing; ``cap`` bounds
+    the delay so an exponent never waits unboundedly long.
+
+    This is the one backoff policy shared by measurement retries
+    (:meth:`RunnerConfig.backoff_delay`), coordinator reconnects to
+    lost agents (:class:`~repro.core.distributed.AgentPool`), and
+    dial-in agents re-registering with a restarted service coordinator
+    (:meth:`~repro.core.distributed.AgentServer.serve_connect`).
+    """
+    if attempt <= 1 or base <= 0:
+        return 0.0
+    jitter = 0.5 + faults._uniform(seed, f"backoff:{attempt}", key)
+    delay = base * (2 ** (attempt - 2)) * jitter
+    if cap is not None:
+        delay = min(cap, delay)
+    return delay
+
+
 @dataclass(frozen=True)
 class RunnerConfig:
     """Execution policy for one sweep.
@@ -209,12 +243,7 @@ class RunnerConfig:
         Deterministic in (seed, key, attempt) so two runs of the same
         faulted sweep retry on the same schedule.
         """
-        if attempt <= 1 or self.backoff_base <= 0:
-            return 0.0
-        jitter = 0.5 + faults._uniform(
-            self.backoff_seed, f"backoff:{attempt}", key
-        )
-        return self.backoff_base * (2 ** (attempt - 2)) * jitter
+        return seeded_backoff(self.backoff_base, self.backoff_seed, key, attempt)
 
 
 # -- accounting -------------------------------------------------------------
@@ -1622,6 +1651,7 @@ class SweepRunner:
                 max_reconnects=cfg.max_respawns,
                 connect_timeout=cfg.connect_timeout,
                 secret=cfg.secret,
+                backoff_seed=cfg.backoff_seed,
             )
         return supervisor.SupervisedPool(
             workers=min(cfg.jobs, max(1, pending_count)),

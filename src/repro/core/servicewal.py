@@ -1,0 +1,423 @@
+"""Durable study queue: the sweep service's write-ahead log.
+
+The service coordinator (:mod:`repro.core.service`) promises that a
+SIGKILL at *any* instant loses no submitted study and double-counts no
+setup.  That promise is only as good as its persistence layer, so every
+queue state transition is appended here **before** it is acted on:
+
+``submit``
+    a client's study entered the queue (``{"study", "spec"}``);
+``lease``
+    one setup was leased to an agent
+    (``{"study", "index", "attempt", "agent"}``);
+``requeue``
+    a lease was released without a result — expiry, agent loss, or an
+    injected fault — and the setup went back to the queue **at the same
+    attempt** (``{"study", "index", "attempt", "reason"}``);
+``complete``
+    a setup reached a final measurement
+    (``{"study", "index"}``);
+``done``
+    the study finished and its result document was published
+    (``{"study", "report_sha256"}``).
+
+On restart, :meth:`ServiceWAL.load` replays the log: studies with a
+``done`` record are served from their result documents, everything else
+re-enters the queue.  Outstanding leases are *not* resurrected — a
+lease is a promise by the dead coordinator, and the new one simply
+re-dispatches (the content-addressed store makes the re-run free for
+every setup that already completed, which is what keeps the recovered
+report byte-identical to an uninterrupted run).
+
+File format: line 1 is a plain-JSON header carrying
+:data:`WAL_FORMAT`; every following line is the checkpoint journal's
+checksummed *aux* record shape — ``{"kind", "data", "sha256"}`` in
+canonical JSON — so the journal's parser, compaction discipline, and
+fsck tooling all apply unchanged.  Appends are durable (fsync through
+the :mod:`repro.storageio` shim) before :meth:`ServiceWAL.append`
+returns; a torn tail from a crash mid-append is detected by its
+checksum, dropped, counted in the header, and compacted away exactly
+like a torn journal record.
+
+Chaos: the ``coordinator_crash`` fault kind fires *after* a record's
+durable append and SIGKILLs the process — the WAL's whole recovery
+story, exercised deterministically.  The per-record attempt for the
+draw counts how many times that exact record content has ever been
+appended (replayed from the log itself), so a transient crash clears
+when the restarted coordinator re-appends the same transition.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import os
+import signal
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro import faults, storageio
+from repro._errors import ArchiveCorruption, JournalWriteError
+from repro.core.runner import Journal, _header_torn_count
+from repro.core.session import canonical_json, record_checksum
+
+#: WAL header marker (first line of the file); the fsck classifier and
+#: :func:`compact_wal` both key on it.
+WAL_FORMAT = "repro-service-wal-v1"
+
+#: Every record kind a service WAL may carry, in lifecycle order.
+WAL_KINDS = ("submit", "lease", "requeue", "complete", "done")
+
+
+@dataclass
+class StudyRecord:
+    """Replayed queue state for one submitted study."""
+
+    study: str
+    spec: Dict
+    done: bool = False
+    report_sha256: str = ""
+    #: Setup indices with a ``complete`` record (informational — the
+    #: store, not this set, is what makes re-runs free).
+    completed: Set[int] = field(default_factory=set)
+    leases: int = 0
+    requeues: int = 0
+
+
+@dataclass
+class WalState:
+    """Everything :meth:`ServiceWAL.load` recovered from disk."""
+
+    #: Studies in first-submission order (the restart re-enqueue order).
+    studies: "collections.OrderedDict[str, StudyRecord]"
+    #: Record counts by kind — the chaos-soak tests assert on these
+    #: (every requested setup completes exactly once, ever).
+    counts: Dict[str, int]
+    #: Torn/corrupt lines dropped during this load.
+    torn_dropped: int
+
+    def pending(self) -> List[StudyRecord]:
+        """Studies that still need to run, in submission order."""
+        return [rec for rec in self.studies.values() if not rec.done]
+
+
+class ServiceWAL:
+    """Append-only, checksummed, crash-recoverable study queue log.
+
+    Thread-safe: the coordinator appends from both its HTTP thread
+    (submissions) and its study-executor thread (leases, completions),
+    serialized by one lock.  Every append is durable before it returns,
+    and every append is a *prefix* property — replay never needs the
+    tail to make sense of the head, so a torn final line costs exactly
+    one transition, which the at-least-once dispatch re-derives.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh = None
+        self._lock = threading.Lock()
+        #: Torn lines dropped across the file's lifetime (header field).
+        self.recovered_torn = 0
+        #: How many times each exact record content has been appended —
+        #: the durable attempt dimension for ``coordinator_crash`` draws.
+        self._appends: "collections.Counter[str]" = collections.Counter()
+
+    # -- reading ----------------------------------------------------------
+
+    def load(self) -> WalState:
+        """Replay the log into queue state, dropping torn lines.
+
+        Missing file = empty state (a fresh service).  A present file
+        with a foreign or damaged header is refused loudly — silently
+        treating someone else's file as an empty queue would *drop*
+        studies, the exact failure this log exists to prevent.
+        """
+        state = WalState(
+            studies=collections.OrderedDict(),
+            counts={kind: 0 for kind in WAL_KINDS},
+            torn_dropped=0,
+        )
+        if not os.path.exists(self.path):
+            return state
+        with open(self.path) as fh:
+            lines = fh.read().splitlines()
+        if not lines:
+            return state
+        header = _parse_header(lines[0], self.path)
+        self.recovered_torn = _header_torn_count(header)
+        valid_lines = [lines[0]]
+        dropped = 0
+        for line in lines[1:]:
+            rec = Journal._parse_aux(line)
+            if rec is None:
+                if line.strip():
+                    dropped += 1
+                continue
+            valid_lines.append(line)
+            self._appends[record_checksum(rec["data"])] += 1
+            _apply(state, rec["kind"], rec["data"])
+        if dropped:
+            # Compact in place (atomic replace) so later appends never
+            # land after a corrupt line; the header keeps the running
+            # recovery count, mirroring the journal's torn-tail story.
+            self.recovered_torn += dropped
+            state.torn_dropped = dropped
+            header["torn_recovered"] = self.recovered_torn
+            valid_lines[0] = json.dumps(header, sort_keys=True)
+            tmp = self.path + ".tmp"
+            with open(tmp, "w") as fh:
+                fh.write("\n".join(valid_lines) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        return state
+
+    # -- writing ----------------------------------------------------------
+
+    def open_for_append(self, note: str = "") -> None:
+        """Open (creating the header if the file is fresh)."""
+        fresh = (
+            not os.path.exists(self.path)
+            or os.path.getsize(self.path) == 0
+        )
+        self._fh = open(self.path, "a")
+        if fresh:
+            header = {
+                "format": WAL_FORMAT,
+                "note": note,
+                "torn_recovered": self.recovered_torn,
+            }
+            self._write_line(json.dumps(header, sort_keys=True))
+
+    def append(self, kind: str, data: Dict) -> None:
+        """Durably log one queue transition (fsynced before returning).
+
+        After the record is durable, the ``coordinator_crash`` chaos
+        kind draws on ``(kind, checksum(data))`` at the record's
+        cumulative append count and — when it fires — SIGKILLs the
+        process, exactly the power cut the recovery path must survive.
+        """
+        if kind not in WAL_KINDS:
+            raise ValueError(f"unknown WAL record kind {kind!r}")
+        checksum = record_checksum(data)
+        line = canonical_json(
+            {"kind": kind, "data": data, "sha256": checksum}
+        )
+        with self._lock:
+            assert self._fh is not None, "WAL not opened for append"
+            self._write_line(line, key=f"wal:{kind}")
+            self._appends[checksum] += 1
+            attempt = self._appends[checksum]
+        if faults.should_inject_at(
+            "coordinator_crash", f"{kind}:{checksum}", attempt
+        ):
+            # Die the way a power cut would: no atexit, no flushing.
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def _write_line(self, line: str, key: Optional[str] = None) -> None:
+        """One durable line through the fault-aware I/O shim; failures
+        surface as :class:`~repro._errors.JournalWriteError`."""
+        assert self._fh is not None
+        try:
+            storageio.durable_append_line(
+                self._fh, line, key or self.path, path=self.path
+            )
+        except OSError as exc:
+            raise JournalWriteError(str(exc), path=self.path) from exc
+
+    def close(self) -> None:
+        """Close the append handle (the file stays valid at any point)."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+
+# -- replay internals --------------------------------------------------------
+
+
+def _parse_header(line: str, path: str) -> Dict:
+    try:
+        header = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ArchiveCorruption(
+            f"service WAL header is not valid JSON: {exc}", path=path
+        ) from exc
+    if not isinstance(header, dict) or header.get("format") != WAL_FORMAT:
+        raise ArchiveCorruption(
+            f"not a {WAL_FORMAT} write-ahead log; refusing to load",
+            path=path,
+        )
+    return header
+
+
+def _apply(state: WalState, kind: str, data: Dict) -> None:
+    """Fold one record into the replayed state (unknown kinds and
+    records for unknown studies are skipped, forward-compatibly)."""
+    if kind not in state.counts:
+        return
+    study = data.get("study")
+    if not isinstance(study, str):
+        return
+    if kind == "submit":
+        state.counts[kind] += 1
+        spec = data.get("spec")
+        if study not in state.studies and isinstance(spec, dict):
+            state.studies[study] = StudyRecord(study=study, spec=spec)
+        return
+    rec = state.studies.get(study)
+    if rec is None:
+        return  # orphaned record (submit line lost to a tear): skip
+    state.counts[kind] += 1
+    if kind == "lease":
+        rec.leases += 1
+    elif kind == "requeue":
+        rec.requeues += 1
+    elif kind == "complete":
+        index = data.get("index")
+        if isinstance(index, int):
+            rec.completed.add(index)
+    elif kind == "done":
+        rec.done = True
+        rec.report_sha256 = str(data.get("report_sha256", ""))
+
+
+# -- compaction --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WalCompactionStats:
+    """What one :func:`compact_wal` pass did."""
+
+    path: str
+    bytes_before: int
+    bytes_after: int
+    records_before: int
+    records_after: int
+    stale_leases_dropped: int
+    dropped_corrupt: int
+
+    def summary_line(self) -> str:
+        line = (
+            f"compacted {self.path}: "
+            f"{self.records_before} -> {self.records_after} records, "
+            f"dropped {self.stale_leases_dropped} stale lease record(s), "
+            f"{self.bytes_before} -> {self.bytes_after} bytes"
+        )
+        if self.dropped_corrupt:
+            line += f", dropped {self.dropped_corrupt} corrupt line(s)"
+        return line
+
+
+def compact_wal(path: str) -> WalCompactionStats:
+    """Atomically rewrite a service WAL down to its replay-relevant
+    content (the journal's verified-compaction discipline, reused).
+
+    A long-lived queue log accumulates stale state: lease and requeue
+    records are promises of a coordinator that has since resolved them,
+    and a finished study's per-setup ``complete`` records are subsumed
+    by its ``done`` record.  Compaction keeps, per study in submission
+    order, the ``submit`` record, then either the ``done`` record or
+    (for unfinished studies) the latest ``complete`` record per index —
+    and drops every lease/requeue line and everything corrupt, bumping
+    the header's ``torn_recovered`` by the corrupt lines dropped.
+
+    Crash-safe and verified exactly like
+    :func:`repro.core.runner.compact_journal`: temp file, shim fsync,
+    full re-read with every checksum re-verified, then ``os.replace``;
+    on any verification failure the original is left untouched.
+    """
+    if not os.path.exists(path):
+        raise ArchiveCorruption("service WAL does not exist", path=path)
+    bytes_before = os.path.getsize(path)
+    with open(path) as fh:
+        lines = fh.read().splitlines()
+    if not lines:
+        raise ArchiveCorruption("service WAL is empty", path=path)
+    header = _parse_header(lines[0], path)
+
+    submits: "collections.OrderedDict[str, str]" = collections.OrderedDict()
+    dones: Dict[str, str] = {}
+    completes: Dict[str, Dict[int, str]] = {}
+    records_before = stale = dropped = 0
+    for line in lines[1:]:
+        rec = Journal._parse_aux(line)
+        if rec is None:
+            if line.strip():
+                dropped += 1
+            continue
+        records_before += 1
+        kind, data = rec["kind"], rec["data"]
+        study = data.get("study")
+        if not isinstance(study, str):
+            stale += 1
+            continue
+        if kind == "submit":
+            submits.setdefault(study, line)
+        elif kind == "done":
+            dones[study] = line
+        elif kind == "complete":
+            index = data.get("index")
+            if isinstance(index, int):
+                completes.setdefault(study, {})[index] = line
+            else:
+                stale += 1
+        else:  # lease / requeue / unknown: resolved promises, drop
+            stale += 1
+
+    header["torn_recovered"] = _header_torn_count(header) + dropped
+    out = [json.dumps(header, sort_keys=True)]
+    for study, submit_line in submits.items():
+        out.append(submit_line)
+        if study in dones:
+            out.append(dones[study])
+        else:
+            by_index = completes.get(study, {})
+            out.extend(by_index[i] for i in sorted(by_index))
+    expected = len(out) - 1
+
+    tmp = path + ".compact"
+    with open(tmp, "w") as fh:
+        fh.write("\n".join(out) + "\n")
+        fh.flush()
+        storageio.fsync(fh, f"compact:{os.path.basename(path)}")
+    _verify_compacted_wal(tmp, expected)
+    os.replace(tmp, path)
+    return WalCompactionStats(
+        path=path,
+        bytes_before=bytes_before,
+        bytes_after=os.path.getsize(path),
+        records_before=records_before,
+        records_after=expected,
+        stale_leases_dropped=stale,
+        dropped_corrupt=dropped,
+    )
+
+
+def _verify_compacted_wal(tmp: str, expect_records: int) -> None:
+    """Integrity re-read before the atomic swap: every line must parse
+    and every checksum must hold, or the original stays untouched."""
+    with open(tmp) as fh:
+        lines = fh.read().splitlines()
+    problems: List[str] = []
+    try:
+        header = json.loads(lines[0]) if lines else None
+    except json.JSONDecodeError:
+        header = None
+    if not isinstance(header, dict) or header.get("format") != WAL_FORMAT:
+        problems.append("header failed to re-parse")
+    ok = sum(1 for line in lines[1:] if Journal._parse_aux(line) is not None)
+    if ok != expect_records or ok != len(lines) - 1:
+        problems.append(
+            f"expected {expect_records} records, re-read {ok} "
+            f"of {len(lines) - 1} lines"
+        )
+    if problems:
+        os.remove(tmp)
+        raise ArchiveCorruption(
+            "WAL compaction failed verification ("
+            + "; ".join(sorted(set(problems)))
+            + "); original left untouched",
+            path=tmp,
+        )

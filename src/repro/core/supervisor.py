@@ -79,6 +79,37 @@ _ADAPTIVE_CEILING = 120.0
 _PARENT_STALL_FLOOR = 1.0
 
 
+def adaptive_deadline(
+    configured: Optional[float],
+    heartbeat_interval: float,
+    durations: "obs_metrics.Histogram",
+) -> float:
+    """The liveness deadline in force given observed task durations.
+
+    One policy, two consumers: :class:`SupervisedPool` uses it as the
+    hang threshold for busy workers, and the sweep service's lease
+    pool uses it as the lease expiry for dispatched setups — both are
+    answers to "how long may this unit of work stay silent before we
+    declare its executor gone?", so they must not drift apart.
+
+    A ``configured`` value is used verbatim.  Otherwise the deadline
+    adapts: :data:`_ADAPTIVE_MULTIPLIER` × the rolling p95 of completed
+    durations in ``durations``, clamped below by a few heartbeat
+    intervals (a stale heartbeat needs several missed beats to mean
+    anything) and above by :data:`_ADAPTIVE_CEILING`; until
+    :data:`_ADAPTIVE_MIN_SAMPLES` completions have been observed it
+    falls back to :data:`DEFAULT_HANG_TIMEOUT`, also floored by the
+    heartbeat interval.
+    """
+    if configured is not None:
+        return configured
+    floor = max(4 * heartbeat_interval, 1.0)
+    if durations.count < _ADAPTIVE_MIN_SAMPLES:
+        return max(DEFAULT_HANG_TIMEOUT, floor)
+    p95 = durations.quantile(0.95)
+    return min(_ADAPTIVE_CEILING, max(floor, _ADAPTIVE_MULTIPLIER * p95))
+
+
 @dataclass
 class Task:
     """One unit of work, with the identity failover accounting needs.
@@ -367,15 +398,12 @@ class SupervisedPool(DispatchPool):
         :data:`_ADAPTIVE_MIN_SAMPLES` tasks have completed it falls back
         to :data:`DEFAULT_HANG_TIMEOUT` — also floored by the heartbeat
         interval, so a slow-beating config cannot have healthy busy
-        workers declared hung during warm-up.
+        workers declared hung during warm-up.  (Policy shared with the
+        sweep service's lease expiry; see :func:`adaptive_deadline`.)
         """
-        if self.hang_timeout is not None:
-            return self.hang_timeout
-        floor = max(4 * self.heartbeat_interval, 1.0)
-        if len(self._durations) < _ADAPTIVE_MIN_SAMPLES:
-            return max(DEFAULT_HANG_TIMEOUT, floor)
-        p95 = self._durations.quantile(0.95)
-        return min(_ADAPTIVE_CEILING, max(floor, _ADAPTIVE_MULTIPLIER * p95))
+        return adaptive_deadline(
+            self.hang_timeout, self.heartbeat_interval, self._durations
+        )
 
     # -- lifecycle --------------------------------------------------------
 

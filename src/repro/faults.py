@@ -66,6 +66,20 @@ the archive writer, and the disk store backend:
   record is silently lost until resume-time recovery drops the torn
   tail.
 
+Service chaos kinds (:data:`SERVICE_KINDS`) target the long-lived sweep
+service (:mod:`repro.core.service`), so the coordinator's lease and
+recovery machinery is testable on loopback:
+
+- ``"lease_expire"`` — a granted lease is forced to expire immediately
+  even though the agent is healthy; the setup requeues at the same
+  attempt and any late duplicate result is deduplicated,
+- ``"client_disconnect"`` — an HTTP client's connection drops after the
+  service accepts a submission but before the response is written; the
+  client retries and the durable queue dedups by study identity,
+- ``"coordinator_crash"`` — the coordinator process SIGKILLs itself
+  right after a WAL append lands; restart-time replay must resume the
+  study with byte-identical results.
+
 For process and network kinds the "attempt" dimension of a draw is the
 *dispatch* (or recovery) count, not the measurement's retry attempt — a
 worker crash, agent loss, or partition is an infrastructure fault and
@@ -114,8 +128,17 @@ STORAGE_KINDS = (
     "journal_torn_tail",
 )
 
+#: Service chaos kinds targeting the long-lived sweep service.
+SERVICE_KINDS = ("lease_expire", "client_disconnect", "coordinator_crash")
+
 #: Every fault kind a plan can inject.
-KINDS = MEASUREMENT_KINDS + PROCESS_KINDS + NETWORK_KINDS + STORAGE_KINDS
+KINDS = (
+    MEASUREMENT_KINDS
+    + PROCESS_KINDS
+    + NETWORK_KINDS
+    + STORAGE_KINDS
+    + SERVICE_KINDS
+)
 
 #: Cycle budget forced onto a run when a "hang" fault fires — far below
 #: any real workload, so the engine's watchdog is guaranteed to trip.
@@ -179,6 +202,11 @@ class FaultPlan:
             (journal record, archive, store entry) is faulted — the
             fsync stalls, the write fails with ENOSPC, the entry rots
             after the put, or the journal tail tears unsynced.
+        lease_expire_rate / client_disconnect_rate /
+            coordinator_crash_rate: per-kind probability that the sweep
+            *service* is faulted (a healthy lease is forced to expire, a
+            client connection drops mid-submit, or the coordinator
+            SIGKILLs itself after a WAL append).
         fsync_stall_seconds: injected latency of one stalled fsync.
         transient_fraction: of injected faults, the fraction that clear
             after a bounded number of attempts (the rest are permanent
@@ -202,6 +230,9 @@ class FaultPlan:
     disk_full_rate: float = 0.0
     store_bitflip_rate: float = 0.0
     torn_tail_rate: float = 0.0
+    lease_expire_rate: float = 0.0
+    client_disconnect_rate: float = 0.0
+    coordinator_crash_rate: float = 0.0
     fsync_stall_seconds: float = 0.05
     transient_fraction: float = 1.0
     max_transient_attempts: int = 2
@@ -222,6 +253,9 @@ class FaultPlan:
             "disk_full": self.disk_full_rate,
             "store_bitflip": self.store_bitflip_rate,
             "journal_torn_tail": self.torn_tail_rate,
+            "lease_expire": self.lease_expire_rate,
+            "client_disconnect": self.client_disconnect_rate,
+            "coordinator_crash": self.coordinator_crash_rate,
         }[kind]
 
     def fires(self, kind: str, key: str, attempt: int) -> bool:
@@ -271,6 +305,9 @@ _PLAN_ALIASES = {
     "bitflip": "store_bitflip_rate",
     "journal_torn_tail": "torn_tail_rate",
     "torn_tail": "torn_tail_rate",
+    "lease_expire": "lease_expire_rate",
+    "client_disconnect": "client_disconnect_rate",
+    "coordinator_crash": "coordinator_crash_rate",
     "stall_seconds": "fsync_stall_seconds",
     "transient": "transient_fraction",
 }

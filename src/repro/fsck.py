@@ -1,27 +1,36 @@
 """``repro fsck``: audit — and optionally heal — every on-disk artifact.
 
-The robustness layer leaves four artifact classes on disk: checkpoint
+The robustness layer leaves five artifact classes on disk: checkpoint
 journals (:class:`repro.core.runner.Journal`), measurement archives
 (:mod:`repro.core.session`), content-addressed store entries
-(:mod:`repro.store`) and provenance manifests
-(:mod:`repro.obs.manifest`).  Each already *detects* its own damage at
-read time; what an operator recovering from a crash (or a chaos run)
+(:mod:`repro.store`), provenance manifests
+(:mod:`repro.obs.manifest`) and the sweep service's study-queue WAL
+(:mod:`repro.core.servicewal`).  Each already *detects* its own damage
+at read time; what an operator recovering from a crash (or a chaos run)
 needs is one doctor that walks all of them, says exactly what is wrong,
 and — with ``--repair`` — applies each class's safe recovery action:
 
-========  =====================================  ========================
-artifact  damage detected                        repair action
-========  =====================================  ========================
-journal   torn/corrupt lines, stale duplicates   verified atomic
-                                                 compaction
-archive   per-record checksum failures           atomic rewrite dropping
-                                                 the damaged records
-store     entries that fail deep verification,   purge the corrupt keys
-          stale ``.tmp-`` debris                 (the store is a cache;
-                                                 deletion is full repair)
-manifest  schema violations, artifact checksum   none — provenance is
-          mismatches                             evidence, never forged
-========  =====================================  ========================
+===========  =====================================  ====================
+artifact     damage detected                        repair action
+===========  =====================================  ====================
+journal      torn/corrupt lines, stale duplicates   verified atomic
+                                                    compaction
+archive      per-record checksum failures           atomic rewrite
+                                                    dropping the damaged
+                                                    records
+store        entries that fail deep verification,   purge the corrupt
+             stale ``.tmp-`` debris                 keys (the store is a
+                                                    cache; deletion is
+                                                    full repair)
+manifest     schema violations, artifact checksum   none — provenance is
+             mismatches                             evidence, never
+                                                    forged
+service-wal  torn/corrupt lines, stale lease and    verified atomic
+             requeue records from dead              compaction
+             coordinator incarnations               (:func:`repro.core.
+                                                    servicewal.
+                                                    compact_wal`)
+===========  =====================================  ====================
 
 Anything fsck cannot repair (a journal with a destroyed header, a
 truncated archive that no longer parses, any manifest damage) is
@@ -46,6 +55,7 @@ __all__ = [
     "fsck_archive",
     "fsck_store",
     "fsck_manifest",
+    "fsck_wal",
     "classify",
 ]
 
@@ -167,6 +177,7 @@ def classify(path: str) -> Optional[str]:
     if os.path.isdir(path):
         return "store"
     from repro.core.runner import JOURNAL_FORMAT
+    from repro.core.servicewal import WAL_FORMAT
     from repro.core.session import FORMAT_V1, FORMAT_V2
     from repro.obs.manifest import MANIFEST_FORMAT
 
@@ -176,6 +187,8 @@ def classify(path: str) -> Optional[str]:
     except OSError:
         return None
     first_line = head.splitlines()[0] if head.splitlines() else ""
+    if WAL_FORMAT in first_line:
+        return "service-wal"
     if JOURNAL_FORMAT in first_line:
         return "journal"
     # An archive can *embed* a manifest (and vice versa never), so the
@@ -487,6 +500,95 @@ def fsck_manifest(path: str, repair: bool) -> List[FsckFinding]:
     return findings
 
 
+def fsck_wal(path: str, repair: bool) -> List[FsckFinding]:
+    """Audit one sweep-service study-queue WAL.
+
+    Torn or corrupt lines (a coordinator SIGKILLed mid-append) are
+    damage — each one is a single lost queue transition the service's
+    at-least-once dispatch re-derives, but an operator should still see
+    it.  Lease and requeue records in a WAL *at rest* are hygiene: they
+    are dispatch state of coordinator incarnations that no longer exist
+    (a restart re-derives every lease), and a long-lived queue log
+    accumulates them without bound.  Repair for both is the service's
+    own verified atomic compaction
+    (:func:`repro.core.servicewal.compact_wal`), which keeps exactly
+    the replay-relevant records: each study's submission, then its
+    ``done`` record or latest per-setup completions.
+    """
+    from repro.core.runner import Journal
+    from repro.core.servicewal import WAL_FORMAT, WAL_KINDS, compact_wal
+
+    findings: List[FsckFinding] = []
+    with open(path, errors="replace") as fh:
+        lines = fh.read().splitlines()
+    header: Optional[Dict[str, Any]] = None
+    if lines:
+        try:
+            parsed = json.loads(lines[0])
+            if isinstance(parsed, dict) and parsed.get("format") == WAL_FORMAT:
+                header = parsed
+        except json.JSONDecodeError:
+            header = None
+    if header is None:
+        findings.append(
+            FsckFinding(
+                path,
+                "service-wal",
+                "header is damaged; the study queue cannot be replayed "
+                "or compacted",
+                repairable=False,
+            )
+        )
+        return findings
+    torn = 0
+    counts = {kind: 0 for kind in WAL_KINDS}
+    for line in lines[1:]:
+        rec = Journal._parse_aux(line)
+        if rec is None:
+            if line.strip():
+                torn += 1
+            continue
+        kind = rec.get("kind")
+        if kind in counts:
+            counts[kind] += 1
+    stale = counts["lease"] + counts["requeue"]
+    if torn:
+        findings.append(
+            FsckFinding(
+                path,
+                "service-wal",
+                f"{torn} torn/corrupt line(s) (coordinator killed "
+                "mid-append); each is one lost queue transition that "
+                "dispatch re-derives on restart",
+            )
+        )
+    if stale:
+        findings.append(
+            FsckFinding(
+                path,
+                "service-wal",
+                f"{stale} stale lease/requeue record(s) from past "
+                "coordinator incarnations (dispatch state is re-derived "
+                "on restart)",
+                severity=HYGIENE,
+            )
+        )
+    if repair and (torn or stale):
+        stats = compact_wal(path)
+        for f in findings:
+            f.repaired = True
+        findings.append(
+            FsckFinding(
+                path,
+                "service-wal",
+                stats.summary_line(),
+                severity=HYGIENE,
+                repaired=True,
+            )
+        )
+    return findings
+
+
 # -- driver -----------------------------------------------------------------
 
 _AUDITS = {
@@ -494,6 +596,7 @@ _AUDITS = {
     "archive": fsck_archive,
     "store": fsck_store,
     "manifest": fsck_manifest,
+    "service-wal": fsck_wal,
 }
 
 

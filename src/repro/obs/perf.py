@@ -324,6 +324,10 @@ def summarize_timeline(data: Dict[str, Any], rows: int = 20) -> str:
         keep = [samples[int(i * step)] for i in range(rows)]
         if keep[-1] is not samples[-1]:
             keep.append(samples[-1])
+    # Service timelines carry a "leases" gauge (outstanding lease count
+    # from the sweep service's dispatch pool); show the column only when
+    # at least one sample has it, so local-sweep output is unchanged.
+    with_leases = any("leases" in s for s in keep)
     prev_t = 0.0
     prev_measured = 0
     table = []
@@ -332,28 +336,28 @@ def summarize_timeline(data: Dict[str, Any], rows: int = 20) -> str:
         measured = int(s.get("measured", 0) + s.get("resumed", 0))
         dt = t - prev_t
         rate = (measured - prev_measured) / dt if dt > 0 else 0.0
-        table.append(
-            [
-                f"{t:.2f}",
-                f"{measured}/{int(s.get('requested', 0))}",
-                f"{rate:.2f}",
-                int(s.get("pending", 0)),
-                f"{int(s.get('workers_busy', 0))}/{int(s.get('workers_alive', 0))}",
-                int(s.get("retries", 0)),
-                int(s.get("store_hits", 0)),
-            ]
-        )
+        row = [
+            f"{t:.2f}",
+            f"{measured}/{int(s.get('requested', 0))}",
+            f"{rate:.2f}",
+            int(s.get("pending", 0)),
+            f"{int(s.get('workers_busy', 0))}/{int(s.get('workers_alive', 0))}",
+            int(s.get("retries", 0)),
+            int(s.get("store_hits", 0)),
+        ]
+        if with_leases:
+            row.append(int(s.get("leases", 0)))
+        table.append(row)
         prev_t, prev_measured = t, measured
-    return render_table(
-        [
-            "t (s)",
-            "done",
-            "rate/s",
-            "pending",
-            "busy/alive",
-            "retries",
-            "store hits",
-        ],
-        table,
-        title=title,
-    )
+    columns = [
+        "t (s)",
+        "done",
+        "rate/s",
+        "pending",
+        "busy/alive",
+        "retries",
+        "store hits",
+    ]
+    if with_leases:
+        columns.append("leases")
+    return render_table(columns, table, title=title)

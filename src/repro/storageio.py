@@ -103,6 +103,22 @@ def maybe_bitflip(path: str, key: str, attempt: int = 1) -> bool:
     return True
 
 
+def durable_append_line(fh: IO, line: str, key: str, *, path: str = "") -> None:
+    """Durably append one line to an open log: ``disk_full`` gate,
+    write, flush, shim :func:`fsync` — the append-only counterpart of
+    :func:`atomic_write_text`.
+
+    This is the primitive behind the service's study-queue WAL (and any
+    future append-only artifact that wants the same fault surface): the
+    injected failure modes land at exactly the points a real disk would
+    fail, and the line is on stable storage before the call returns.
+    """
+    check_disk_full(key, path=path)
+    fh.write(line + "\n")
+    fh.flush()
+    fsync(fh, key)
+
+
 def atomic_write_text(path: str, text: str, key: str = "") -> None:
     """Durably publish ``text`` at ``path``: tmp + fsync + rename.
 

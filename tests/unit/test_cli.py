@@ -1,8 +1,70 @@
 """Unit tests: the command-line interface."""
 
+import os
+import re
+import shlex
+
 import pytest
 
-from repro.cli import main
+from repro.cli import build_parser, main
+
+README = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "README.md"
+)
+
+
+def readme_commands():
+    """Every ``python -m repro ...`` invocation in the README, as argv
+    lists (backslash continuations joined, ``&&`` chains split,
+    trailing ``# comments`` stripped)."""
+    with open(README) as fh:
+        text = fh.read()
+    text = re.sub(r"\\\n\s*", " ", text)
+    commands = []
+    for line in text.splitlines():
+        for part in line.split("&&"):
+            part = part.strip()
+            if part.startswith("python -m repro"):
+                argv = shlex.split(part, comments=True)[3:]
+                commands.append(argv)
+    return commands
+
+
+class TestReadmeExamples:
+    """The README's CLI examples must stay in sync with the parser —
+    a renamed or removed flag has to fail here, not on a reader."""
+
+    def test_readme_examples_exist(self):
+        assert len(readme_commands()) >= 20
+
+    def test_readme_covers_the_service_cli(self):
+        heads = {argv[0] for argv in readme_commands() if argv}
+        assert {"serve", "submit", "status", "agent", "fsck"} <= heads
+
+    @pytest.mark.parametrize(
+        "argv", readme_commands(), ids=lambda a: " ".join(a)[:60]
+    )
+    def test_readme_example_parses(self, argv, capsys):
+        try:
+            build_parser().parse_args(argv)
+        except SystemExit:
+            err = capsys.readouterr().err
+            pytest.fail(
+                f"README example no longer parses: "
+                f"`python -m repro {' '.join(argv)}`\n{err}"
+            )
+
+
+class TestServiceClientErrors:
+    def test_status_against_dead_service_is_one_line(self, capsys):
+        # A typed diagnosis, not a ConnectionRefusedError traceback.
+        assert main(["status", "--http", "127.0.0.1:1"]) == 1
+        err = capsys.readouterr().err
+        assert "error: ReproError: could not reach service" in err
+
+    def test_study_status_against_dead_service_is_one_line(self, capsys):
+        assert main(["status", "deadbeef", "--http", "127.0.0.1:1"]) == 1
+        assert "could not reach service" in capsys.readouterr().err
 
 
 class TestListingCommands:

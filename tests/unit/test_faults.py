@@ -72,6 +72,7 @@ class TestProcessKinds:
             | set(faults.PROCESS_KINDS)
             | set(faults.NETWORK_KINDS)
             | set(faults.STORAGE_KINDS)
+            | set(faults.SERVICE_KINDS)
         )
         assert set(faults.PROCESS_KINDS) == {
             "worker_crash", "worker_hang", "journal_torn_write",
@@ -82,6 +83,9 @@ class TestProcessKinds:
         assert set(faults.STORAGE_KINDS) == {
             "journal_fsync_stall", "disk_full", "store_bitflip",
             "journal_torn_tail",
+        }
+        assert set(faults.SERVICE_KINDS) == {
+            "lease_expire", "client_disconnect", "coordinator_crash",
         }
 
     def test_process_kind_rates_drive_draws(self):

@@ -1,0 +1,864 @@
+"""Unit tests: the resilient sweep service.
+
+Covers the service acceptance criteria end to end: study specs are
+content-addressed values whose construction matches ``repro study``
+exactly; the study-queue WAL replays, survives torn tails, and compacts
+verifiably; ``repro fsck`` audits and repairs it; the lease pool grants,
+expires, steals, and dedups at-least-once dispatch into exactly-once
+accounting; the HTTP admission path rejects with typed errors and
+survives injected client disconnects; dial-in agent reconnects follow
+the pinned seeded-backoff schedule; and a full in-process service run
+under chaos (one agent crash, injected lease expiries) publishes a
+report byte-identical to the fault-free serial sweep — twice, the
+second client's study fully store-served.
+"""
+
+import dataclasses
+import json
+import os
+import queue
+import threading
+import time
+
+import pytest
+
+from repro import faults, workloads
+from repro._errors import ArchiveCorruption
+from repro.core import Experiment, ExperimentalSetup
+from repro.core import distributed as dist
+from repro.core import service as svc
+from repro.core import servicewal
+from repro.core import supervisor
+from repro.core.bias import sample_link_orders
+from repro.core.runner import RunnerConfig, SweepRunner, seeded_backoff
+from repro.core.servicewal import ServiceWAL, compact_wal
+from repro.core.supervisor import Task
+from repro.fsck import DAMAGE, HYGIENE, classify, fsck_paths, fsck_wal
+from repro.obs import metrics as obs_metrics
+
+WORKLOAD = "sphinx3"
+
+#: The end-to-end study: 4 env points x 2 opt levels = 8 setups.
+SPEC = svc.StudySpec(
+    workload=WORKLOAD, env_start=100, env_stop=228, env_step=32
+)
+
+#: Service chaos validated (in the e2e test) to fire exactly one
+#: agent-side crash and at least one forced lease expiry against SPEC.
+SERVICE_PLAN = faults.FaultPlan(
+    seed=3,
+    agent_crash_rate=0.12,
+    lease_expire_rate=0.4,
+    transient_fraction=1.0,
+    max_transient_attempts=1,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_plan():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def make_task(index, attempt=1):
+    """A real runner-shaped task (the pool serializes payloads)."""
+    payload = (
+        index, WORKLOAD, "test", 0,
+        ExperimentalSetup(env_bytes=100 + index), True, attempt,
+        None, None, 0.0,
+    )
+    return Task(index=index, key=f"key-{index}", attempt=attempt,
+                payload=payload)
+
+
+def result_message(task, attempt=None):
+    return {
+        "outcome": ["measured", task.index,
+                    task.attempt if attempt is None else attempt,
+                    {"cycles": 1}],
+        "records": None,
+    }
+
+
+class TestSeededBackoffSchedule:
+    """Satellite: dial-in reconnects follow a pinned, seeded schedule."""
+
+    def test_first_attempt_and_zero_base_wait_nothing(self):
+        assert seeded_backoff(0.05, 7, "reconnect:h:1", 1) == 0.0
+        assert seeded_backoff(0.0, 7, "reconnect:h:1", 5) == 0.0
+        assert seeded_backoff(-1.0, 7, "reconnect:h:1", 5) == 0.0
+
+    def test_pinned_draw_sequence(self):
+        """The exact delays an agent with this seed/key sleeps, forever:
+        the schedule is a pure function of (base, seed, key, attempt)."""
+        delays = [
+            seeded_backoff(0.05, 7, "reconnect:h:1", a, cap=2.0)
+            for a in range(2, 6)
+        ]
+        assert delays == pytest.approx(
+            [0.0415209057, 0.1236097503, 0.1049147079, 0.4903888928],
+            abs=1e-9,
+        )
+
+    def test_schedule_is_deterministic(self):
+        for attempt in range(1, 8):
+            assert seeded_backoff(0.5, 1, "rendezvous:host:9000", attempt) \
+                == seeded_backoff(0.5, 1, "rendezvous:host:9000", attempt)
+
+    def test_cap_bounds_the_delay(self):
+        assert seeded_backoff(1.0, 7, "k", 20, cap=2.0) == 2.0
+
+    def test_seed_and_key_desynchronize_a_fleet(self):
+        """Different agents (seeds) and different coordinators (keys)
+        must not stampede on the same schedule."""
+        base = [seeded_backoff(0.5, 1, "rendezvous:a:1", a)
+                for a in range(2, 6)]
+        other_seed = [seeded_backoff(0.5, 2, "rendezvous:a:1", a)
+                      for a in range(2, 6)]
+        other_key = [seeded_backoff(0.5, 1, "rendezvous:b:1", a)
+                     for a in range(2, 6)]
+        assert base != other_seed
+        assert base != other_key
+
+
+class TestStudySpec:
+    def test_study_id_is_content_addressed(self):
+        assert SPEC.study_id() == svc.StudySpec(
+            workload=WORKLOAD, env_start=100, env_stop=228, env_step=32
+        ).study_id()
+        assert SPEC.study_id() != dataclasses.replace(
+            SPEC, tag="two").study_id()
+        assert SPEC.study_id() != dataclasses.replace(
+            SPEC, env_stop=260).study_id()
+
+    def test_from_dict_roundtrip(self):
+        assert svc.StudySpec.from_dict(SPEC.to_dict()) == SPEC
+
+    def test_from_dict_applies_defaults(self):
+        spec = svc.StudySpec.from_dict({"workload": WORKLOAD})
+        assert spec == svc.StudySpec(workload=WORKLOAD)
+
+    @pytest.mark.parametrize("bad", [
+        "not a dict",
+        {},
+        {"workload": "doom"},
+        {"workload": WORKLOAD, "frobnicate": 1},
+        {"workload": WORKLOAD, "parameter": "phase"},
+        {"workload": WORKLOAD, "base_opt": 9},
+        {"workload": WORKLOAD, "machine": "cray1"},
+        {"workload": WORKLOAD, "compiler": "tcc"},
+        {"workload": WORKLOAD, "size": "huge"},
+        {"workload": WORKLOAD, "env_start": "a"},
+        {"workload": WORKLOAD, "env_step": 0},
+        {"workload": WORKLOAD, "env_start": 200, "env_stop": 100},
+        {"workload": WORKLOAD, "parameter": "link", "orders": 0},
+        {"workload": WORKLOAD, "tag": 3},
+    ])
+    def test_from_dict_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            svc.StudySpec.from_dict(bad)
+
+    def test_build_matches_the_cli_construction(self):
+        """Byte identity starts here: the spec must materialise the
+        exact setup list ``repro study`` builds."""
+        exp, setups, base, treatment, points = SPEC.build()
+        assert exp.size == "test" and exp.seed == 0
+        assert points == [100, 132, 164, 196]
+        expected_base = ExperimentalSetup(
+            machine="core2", compiler="gcc", opt_level=2)
+        expected_treatment = ExperimentalSetup(
+            machine="core2", compiler="gcc", opt_level=3)
+        assert (base, treatment) == (expected_base, expected_treatment)
+        assert setups == [
+            s.with_changes(env_bytes=env)
+            for env in points
+            for s in (expected_base, expected_treatment)
+        ]
+
+    def test_build_link_parameter(self):
+        spec = dataclasses.replace(SPEC, parameter="link", orders=3)
+        exp, setups, _base, _treatment, points = spec.build()
+        assert points == sample_link_orders(
+            exp.workload.module_names(), 3, seed=0
+        )
+        assert len(setups) == 2 * len(points)
+        assert all(s.link_order == tuple(points[i // 2])
+                   for i, s in enumerate(setups))
+
+
+class TestServiceWAL:
+    def wal_path(self, tmp_path):
+        return str(tmp_path / "queue.wal")
+
+    def write_lifecycle(self, path):
+        wal = ServiceWAL(path)
+        wal.load()
+        wal.open_for_append(note="test")
+        wal.append("submit", {"study": "s1", "spec": SPEC.to_dict()})
+        wal.append("lease", {"study": "s1", "index": 0, "attempt": 1,
+                             "agent": "a:1"})
+        wal.append("requeue", {"study": "s1", "index": 0, "attempt": 1,
+                               "reason": "agent_lost"})
+        wal.append("lease", {"study": "s1", "index": 0, "attempt": 1,
+                             "agent": "a:2"})
+        wal.append("complete", {"study": "s1", "index": 0})
+        wal.append("complete", {"study": "s1", "index": 1})
+        wal.append("done", {"study": "s1", "report_sha256": "beef"})
+        wal.close()
+
+    def test_missing_file_is_an_empty_queue(self, tmp_path):
+        state = ServiceWAL(self.wal_path(tmp_path)).load()
+        assert state.studies == {} and state.torn_dropped == 0
+
+    def test_roundtrip_replay(self, tmp_path):
+        path = self.wal_path(tmp_path)
+        self.write_lifecycle(path)
+        state = ServiceWAL(path).load()
+        assert state.counts == {"submit": 1, "lease": 2, "requeue": 1,
+                                "complete": 2, "done": 1}
+        rec = state.studies["s1"]
+        assert rec.done and rec.report_sha256 == "beef"
+        assert rec.completed == {0, 1}
+        assert rec.leases == 2 and rec.requeues == 1
+        assert state.pending() == []
+
+    def test_pending_preserves_submission_order(self, tmp_path):
+        path = self.wal_path(tmp_path)
+        wal = ServiceWAL(path)
+        wal.load()
+        wal.open_for_append()
+        for sid in ("a", "b", "c"):
+            wal.append("submit", {"study": sid, "spec": SPEC.to_dict()})
+        wal.append("done", {"study": "b", "report_sha256": ""})
+        wal.close()
+        state = ServiceWAL(path).load()
+        assert [r.study for r in state.pending()] == ["a", "c"]
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        wal = ServiceWAL(self.wal_path(tmp_path))
+        wal.load()
+        wal.open_for_append()
+        with pytest.raises(ValueError, match="kind"):
+            wal.append("frobnicate", {"study": "s"})
+        wal.close()
+
+    def test_torn_tail_dropped_and_compacted_in_place(self, tmp_path):
+        path = self.wal_path(tmp_path)
+        self.write_lifecycle(path)
+        with open(path, "a") as fh:
+            fh.write('{"kind": "lease", "data": {"study national')
+        state = ServiceWAL(path).load()
+        assert state.torn_dropped == 1
+        assert state.counts["done"] == 1  # the prefix survived intact
+        # The load rewrote the file: the tear is gone, the header
+        # remembers it, and a second load sees a clean log.
+        again = ServiceWAL(path)
+        state2 = again.load()
+        assert state2.torn_dropped == 0
+        assert again.recovered_torn == 1
+
+    def test_foreign_header_refused(self, tmp_path):
+        path = self.wal_path(tmp_path)
+        with open(path, "w") as fh:
+            fh.write(json.dumps({"format": "somebody-elses-log"}) + "\n")
+        with pytest.raises(ArchiveCorruption, match="refusing"):
+            ServiceWAL(path).load()
+
+    def test_compaction_drops_stale_and_preserves_replay(self, tmp_path):
+        path = self.wal_path(tmp_path)
+        wal = ServiceWAL(path)
+        wal.load()
+        wal.open_for_append()
+        wal.append("submit", {"study": "s1", "spec": SPEC.to_dict()})
+        for i in range(3):
+            wal.append("lease", {"study": "s1", "index": i, "attempt": 1,
+                                 "agent": "a:1"})
+        wal.append("requeue", {"study": "s1", "index": 2, "attempt": 1,
+                               "reason": "lease_expire"})
+        for i in range(3):
+            wal.append("complete", {"study": "s1", "index": i})
+        wal.append("done", {"study": "s1", "report_sha256": "d1"})
+        wal.append("submit", {"study": "s2", "spec": SPEC.to_dict()})
+        wal.append("lease", {"study": "s2", "index": 0, "attempt": 1,
+                             "agent": "a:1"})
+        wal.append("complete", {"study": "s2", "index": 0})
+        wal.close()
+
+        stats = compact_wal(path)
+        assert stats.stale_leases_dropped == 5  # 4 leases + 1 requeue
+        # s1: submit + done; s2: submit + its one completion.
+        assert stats.records_after == 4
+        assert stats.bytes_after < stats.bytes_before
+        assert "compacted" in stats.summary_line()
+
+        state = ServiceWAL(path).load()
+        assert state.studies["s1"].done
+        assert not state.studies["s2"].done
+        assert state.studies["s2"].completed == {0}
+        assert state.counts["lease"] == 0 and state.counts["requeue"] == 0
+
+
+class TestWalFsck:
+    """Satellite: ``repro fsck`` audits and repairs the queue WAL."""
+
+    def make_wal(self, tmp_path, torn=False):
+        path = str(tmp_path / "queue.wal")
+        wal = ServiceWAL(path)
+        wal.load()
+        wal.open_for_append()
+        wal.append("submit", {"study": "s1", "spec": SPEC.to_dict()})
+        wal.append("lease", {"study": "s1", "index": 0, "attempt": 1,
+                             "agent": "a:1"})
+        wal.append("complete", {"study": "s1", "index": 0})
+        wal.close()
+        if torn:
+            with open(path, "a") as fh:
+                fh.write('{"kind": "complete", "data": {"study"')
+        return path
+
+    def test_classifier_recognizes_service_wals(self, tmp_path):
+        path = self.make_wal(tmp_path)
+        assert classify(path) == "service-wal"
+
+    def test_stale_leases_are_hygiene(self, tmp_path):
+        findings = fsck_wal(self.make_wal(tmp_path), repair=False)
+        assert [f.severity for f in findings] == [HYGIENE]
+        assert "lease" in findings[0].problem
+
+    def test_torn_lines_are_damage(self, tmp_path):
+        findings = fsck_wal(self.make_wal(tmp_path, torn=True),
+                            repair=False)
+        severities = {f.severity for f in findings}
+        assert DAMAGE in severities
+        assert any("torn" in f.problem for f in findings
+                   if f.severity == DAMAGE)
+
+    def test_repair_compacts_and_leaves_a_clean_log(self, tmp_path):
+        path = self.make_wal(tmp_path, torn=True)
+        report = fsck_paths([path], repair=True)
+        assert all(f.repaired for f in report.findings
+                   if f.severity == DAMAGE)
+        # The repaired WAL replays and audits clean.
+        state = ServiceWAL(path).load()
+        assert state.torn_dropped == 0
+        assert state.studies["s1"].completed == {0}
+        assert fsck_wal(path, repair=False) == [] or all(
+            f.severity == HYGIENE and "compacted" in f.problem
+            for f in fsck_wal(path, repair=False)
+        )
+
+    def test_damaged_header_is_unrepairable(self, tmp_path):
+        path = str(tmp_path / "queue.wal")
+        wal_head = json.dumps({"format": servicewal.WAL_FORMAT})
+        with open(path, "w") as fh:
+            fh.write(wal_head[: len(wal_head) // 2] + "\n")
+        # Classifier still sees the marker fragment or not; audit the
+        # path explicitly either way.
+        findings = fsck_wal(path, repair=True)
+        assert len(findings) == 1
+        assert findings[0].severity == DAMAGE
+        assert not findings[0].repairable and not findings[0].repaired
+
+
+class FakeRegistry:
+    """Duck-typed :class:`repro.core.service.AgentRegistry` — the lease
+    pool only touches ``live_links``/``send``/``kill``/``inbox``."""
+
+    def __init__(self, links=()):
+        self.links = list(links)
+        self.inbox = queue.Queue()
+        self.sent = []
+        self.killed = []
+        self.failing = set()
+
+    def live_links(self):
+        return [link for link in self.links if not link.lost]
+
+    def send(self, link, kind, data, corrupt=False):
+        if link.lost or id(link) in self.failing:
+            return False
+        self.sent.append((link, kind, data, corrupt))
+        return True
+
+    def kill(self, link):
+        self.killed.append(link)
+        self.lose(link)
+
+    def lose(self, link):
+        if not link.lost:
+            link.lost = True
+            if link in self.links:
+                self.links.remove(link)
+            self.inbox.put(("lost", link))
+
+    def join(self, link):
+        self.links.append(link)
+        self.inbox.put(("joined", link))
+
+
+def make_link(slot, jobs=2):
+    return svc.ServiceLink(slot, f"127.0.0.1:{9000 + slot}",
+                           {"jobs": jobs}, writer=None)
+
+
+def make_pool(registry, **kwargs):
+    kwargs.setdefault("lease_timeout", 30.0)
+    kwargs.setdefault("heartbeat_interval", 1.0)
+    kwargs.setdefault("poll_interval", 0.01)
+    kwargs.setdefault("agentless_grace", 30.0)
+    return svc.LeasePool(registry, **kwargs)
+
+
+def poll_until(pool, kind, timeout=5.0):
+    """Poll the pool until an event of ``kind`` arrives (fail loudly)."""
+    deadline = time.monotonic() + timeout
+    seen = []
+    while time.monotonic() < deadline:
+        event = pool.poll(timeout=0.1)
+        if event is None:
+            continue
+        if event.kind == kind:
+            return event, seen
+        seen.append(event)
+    raise AssertionError(f"no {kind!r} event within {timeout}s "
+                         f"(saw {[e.kind for e in seen]})")
+
+
+class TestLeasePool:
+    def test_grant_then_result(self):
+        link = make_link(1)
+        registry = FakeRegistry([link])
+        leases = []
+        pool = make_pool(registry,
+                         on_lease=lambda *a: leases.append(a))
+        t0, t1 = make_task(0), make_task(1)
+        pool.submit(t0)
+        pool.submit(t1)
+        assert pool.poll(timeout=0.05) is None  # dispatched, no events
+        assert leases == [(0, 1, link.label), (1, 1, link.label)]
+        assert [kind for _, kind, _, _ in registry.sent] == ["task", "task"]
+        assert link.in_flight == {0: t0, 1: t1}
+
+        registry.inbox.put(("result", link, result_message(t0)))
+        event, _ = poll_until(pool, "result")
+        assert event.task is t0 and event.result[1] == 0
+        assert event.worker == link.slot and event.label == link.label
+        registry.inbox.put(("result", link, result_message(t1)))
+        event, _ = poll_until(pool, "result")
+        assert event.task is t1
+        assert pool.poll() is None  # drained
+        assert link.in_flight == {}
+
+    def test_task_frames_carry_the_runner_payload(self):
+        link = make_link(1)
+        registry = FakeRegistry([link])
+        pool = make_pool(registry)
+        task = make_task(3)
+        pool.submit(task)
+        pool.poll(timeout=0.05)
+        _, kind, data, corrupt = registry.sent[0]
+        assert kind == "task" and not corrupt
+        assert data["key"] == task.key and data["dispatch"] == 1
+        assert dist.wire_to_payload(data["payload"]) == task.payload
+
+    def test_lease_timeout_requeues_at_same_attempt(self):
+        link = make_link(1)
+        registry = FakeRegistry([link])
+        requeues = []
+        before = obs_metrics.counter("service.leases_expired").value
+        pool = make_pool(registry, lease_timeout=0.05,
+                         on_requeue=lambda *a: requeues.append(a))
+        task = make_task(0, attempt=1)
+        pool.submit(task)
+        event, _ = poll_until(pool, "hang")
+        assert event.tasks == [task]
+        assert requeues and requeues[0] == (0, 1, "lease_timeout")
+        assert all(attempt == 1 for _, attempt, _ in requeues)
+        assert obs_metrics.counter("service.leases_expired").value > before
+        # The requeued task re-leases (same attempt) and its eventual
+        # result is accepted normally.  (Stop the expiry churn first so
+        # the injected result cannot land in a between-leases gap.)
+        pool.lease_timeout = 30.0
+        for _ in range(50):  # absorb churned expiries until re-leased
+            if 0 in pool._leases:
+                break
+            pool.poll(timeout=0.02)
+        assert pool._leases[0].task is task  # re-leased, same attempt
+        registry.inbox.put(("result", link, result_message(task)))
+        event, _ = poll_until(pool, "result")
+        assert event.task.attempt == 1
+        assert pool.poll() is None
+
+    def test_duplicate_result_is_dropped_after_acceptance(self):
+        link = make_link(1)
+        registry = FakeRegistry([link])
+        pool = make_pool(registry)
+        task = make_task(0)
+        pool.submit(task)
+        pool.poll(timeout=0.05)
+        before = obs_metrics.counter("service.duplicate_results").value
+        pool._accept_result(link, result_message(task))
+        assert pool.poll(timeout=0.01).kind == "result"
+        pool._accept_result(link, result_message(task))
+        assert obs_metrics.counter(
+            "service.duplicate_results").value == before + 1
+        assert not pool._events  # the duplicate produced nothing
+
+    def test_attempt_mismatch_never_pops_the_live_lease(self):
+        """A stale attempt-1 result must not destroy the attempt-2
+        lease it no longer matches."""
+        link = make_link(1)
+        registry = FakeRegistry([link])
+        pool = make_pool(registry)
+        task = make_task(0, attempt=2)
+        pool.submit(task)
+        pool.poll(timeout=0.05)
+        before = obs_metrics.counter("service.duplicate_results").value
+        pool._accept_result(link, result_message(task, attempt=1))
+        assert obs_metrics.counter(
+            "service.duplicate_results").value == before + 1
+        assert 0 in pool._leases  # still leased, still attempt 2
+        pool._accept_result(link, result_message(task))
+        event = pool.poll(timeout=0.01)
+        assert event.kind == "result" and event.result[2] == 2
+
+    def test_forced_expiry_from_the_fault_plan(self):
+        plan = faults.FaultPlan(seed=5, lease_expire_rate=1.0,
+                                transient_fraction=1.0,
+                                max_transient_attempts=1)
+        link = make_link(1)
+        registry = FakeRegistry([link])
+        requeues = []
+        pool = make_pool(registry, fault_plan=plan,
+                         on_requeue=lambda *a: requeues.append(a))
+        task = make_task(0)
+        pool.submit(task)
+        event, _ = poll_until(pool, "hang")
+        assert event.tasks == [task]
+        assert requeues == [(0, 1, "lease_expire")]
+        # The transient cleared at dispatch 2: the re-lease holds, and
+        # the result lands.
+        for _ in range(50):
+            if 0 in pool._leases:
+                break
+            pool.poll(timeout=0.02)
+        assert 0 in pool._leases and not pool._leases[0].forced
+        registry.inbox.put(("result", link, result_message(task)))
+        event, _ = poll_until(pool, "result")
+        assert event.task.attempt == 1
+        assert pool.poll() is None
+
+    def test_lost_agent_requeues_solely_held_leases(self):
+        link = make_link(1)
+        registry = FakeRegistry([link])
+        requeues = []
+        pool = make_pool(registry,
+                         on_requeue=lambda *a: requeues.append(a))
+        t0, t1 = make_task(0), make_task(1)
+        pool.submit(t0)
+        pool.submit(t1)
+        pool.poll(timeout=0.05)
+        registry.lose(link)
+        event, _ = poll_until(pool, "crash")
+        assert event.tasks == [t0, t1] and event.label == link.label
+        assert requeues == [(0, 1, "agent_lost"), (1, 1, "agent_lost")]
+        # A replacement joins; both tasks re-lease at the same attempt.
+        fresh = make_link(2)
+        registry.join(fresh)
+        for _ in range(50):
+            if len(fresh.in_flight) == 2:
+                break
+            pool.poll(timeout=0.02)
+        assert set(fresh.in_flight) == {0, 1}
+        registry.inbox.put(("result", fresh, result_message(t0)))
+        registry.inbox.put(("result", fresh, result_message(t1)))
+        poll_until(pool, "result")
+        poll_until(pool, "result")
+        assert pool.poll() is None
+
+    def test_idle_agent_steals_from_an_overloaded_one(self):
+        busy = make_link(1, jobs=2)
+        registry = FakeRegistry([busy])
+        pool = make_pool(registry)
+        t0, t1 = make_task(0), make_task(1)
+        pool.submit(t0)
+        pool.submit(t1)
+        pool.poll(timeout=0.05)
+        assert len(busy.in_flight) == 2
+        before = obs_metrics.counter("service.steals").value
+        thief = make_link(2, jobs=2)
+        registry.join(thief)
+        pool.poll(timeout=0.05)
+        assert obs_metrics.counter("service.steals").value == before + 1
+        assert len(thief.in_flight) == 1
+        stolen_index = next(iter(thief.in_flight))
+        lease = pool._leases[stolen_index]
+        assert {l.slot for l in lease.links} == {busy.slot, thief.slot}
+        # First result wins; the loser's copy is a counted duplicate.
+        stolen = busy.in_flight[stolen_index]
+        registry.inbox.put(("result", thief, result_message(stolen)))
+        event, _ = poll_until(pool, "result")
+        assert event.worker == thief.slot
+        assert stolen_index not in busy.in_flight  # popped from both
+        dup_before = obs_metrics.counter("service.duplicate_results").value
+        pool._accept_result(busy, result_message(stolen))
+        assert obs_metrics.counter(
+            "service.duplicate_results").value == dup_before + 1
+        other = next(iter(busy.in_flight.values()))
+        registry.inbox.put(("result", busy, result_message(other)))
+        poll_until(pool, "result")
+        assert pool.poll() is None
+
+    def test_agentless_pool_degrades_honestly(self):
+        registry = FakeRegistry([])
+        before = obs_metrics.counter("service.degraded_studies").value
+        pool = make_pool(registry, agentless_grace=0.05)
+        t0, t1 = make_task(0), make_task(1)
+        pool.submit(t0)
+        pool.submit(t1)
+        event, _ = poll_until(pool, "degraded")
+        assert event.tasks == [t0, t1]
+        assert obs_metrics.counter(
+            "service.degraded_studies").value == before + 1
+
+    def test_effective_lease_timeout(self):
+        registry = FakeRegistry([])
+        pinned = make_pool(registry, lease_timeout=7.5)
+        assert pinned.effective_lease_timeout() == 7.5
+        adaptive = make_pool(registry, lease_timeout=None,
+                             heartbeat_interval=0.2)
+        # No observations yet: the supervisor's default hang budget.
+        assert adaptive.effective_lease_timeout() == max(
+            supervisor.DEFAULT_HANG_TIMEOUT, 1.0
+        )
+
+    def test_stats_counts_leases(self):
+        link = make_link(1)
+        registry = FakeRegistry([link])
+        pool = make_pool(registry)
+        pool.submit(make_task(0))
+        pool.poll(timeout=0.05)
+        stats = pool.stats()
+        assert stats["workers_alive"] == 1
+        assert stats["workers_busy"] == 1
+        assert stats["leases"] == 1 and stats["queue_depth"] == 0
+
+
+class TestAdmissionControl:
+    """The HTTP routing layer, exercised without sockets."""
+
+    @pytest.fixture
+    def coordinator(self, tmp_path):
+        coord = svc.ServiceCoordinator(
+            workdir=str(tmp_path), max_queue=1, quiet=True
+        )
+        wal = ServiceWAL(os.path.join(str(tmp_path), "queue.wal"))
+        wal.load()
+        wal.open_for_append()
+        coord._wal = wal
+        yield coord
+        wal.close()
+
+    def submit(self, coordinator, spec):
+        return coordinator._api_submit(json.dumps(spec.to_dict()).encode())
+
+    def test_bad_spec_is_a_typed_400(self, coordinator):
+        status, doc = coordinator._api_submit(b'{"workload": "doom"}')
+        assert status == 400 and doc["error"] == "bad_spec"
+        status, _doc = coordinator._api_submit(b"not json at all")
+        assert status == 400
+
+    def test_submit_queues_durably(self, coordinator):
+        status, doc = self.submit(coordinator, SPEC)
+        assert status == 202 and doc["state"] == "queued"
+        assert doc["study"] == SPEC.study_id()
+        assert coordinator._runq.get_nowait() == SPEC.study_id()
+        coordinator._wal.close()
+        state = ServiceWAL(coordinator._wal.path).load()
+        assert state.counts["submit"] == 1
+        assert state.studies[SPEC.study_id()].spec == SPEC.to_dict()
+
+    def test_identical_submissions_dedup(self, coordinator):
+        self.submit(coordinator, SPEC)
+        status, doc = self.submit(coordinator, SPEC)
+        assert status == 202 and doc["study"] == SPEC.study_id()
+        assert coordinator._runq.qsize() == 1  # one queue entry
+        assert coordinator._studies[SPEC.study_id()].submits == 2
+
+    def test_bounded_queue_rejects_with_queue_full(self, coordinator):
+        before = obs_metrics.counter("service.queue_full").value
+        self.submit(coordinator, SPEC)
+        status, doc = self.submit(
+            coordinator, dataclasses.replace(SPEC, tag="two"))
+        assert status == 429
+        assert doc == {"error": "queue_full", "limit": 1}
+        assert obs_metrics.counter(
+            "service.queue_full").value == before + 1
+
+    def test_draining_refuses_new_studies(self, coordinator):
+        coordinator._begin_drain()
+        status, doc = self.submit(coordinator, SPEC)
+        assert status == 503 and doc["error"] == "draining"
+
+    def test_client_disconnect_drops_only_the_response(self, coordinator):
+        plan = faults.FaultPlan(seed=3, client_disconnect_rate=1.0,
+                                transient_fraction=1.0,
+                                max_transient_attempts=1)
+        faults.install(plan)
+        before = obs_metrics.counter("service.client_disconnects").value
+        assert self.submit(coordinator, SPEC) is None  # hung up on
+        assert obs_metrics.counter(
+            "service.client_disconnects").value == before + 1
+        # The study is already durable; the client's retry dedups and
+        # gets a real response (the transient cleared at attempt 2).
+        status, doc = self.submit(coordinator, SPEC)
+        assert status == 202 and doc["study"] == SPEC.study_id()
+        assert coordinator._runq.qsize() == 1
+        coordinator._wal.close()
+        state = ServiceWAL(coordinator._wal.path).load()
+        assert state.counts["submit"] == 1
+
+    def test_routes(self, coordinator):
+        status, doc = coordinator._route("GET", "/v1/studies/nope", b"")
+        assert status == 404 and doc["error"] == "unknown_study"
+        status, doc = coordinator._route("GET", "/v1/status", b"")
+        assert status == 200
+        assert doc["queue_limit"] == 1 and doc["draining"] is False
+        status, doc = coordinator._route("PUT", "/v1/status", b"")
+        assert status == 405
+        status, doc = coordinator._route("GET", "/v1/nothing", b"")
+        assert status == 404 and doc["error"] == "not_found"
+        status, doc = coordinator._route("POST", "/v1/drain", b"")
+        assert status == 200 and doc["draining"] is True
+
+    def test_study_doc_reports_progress(self, coordinator):
+        self.submit(coordinator, SPEC)
+        st = coordinator._studies[SPEC.study_id()]
+        st.requested = 8
+        st.completed = {0, 1, 2}
+        st.store_hits = 2
+        status, doc = coordinator._route(
+            "GET", f"/v1/studies/{SPEC.study_id()}", b"")
+        assert status == 200
+        assert doc["requested"] == 8 and doc["completed"] == 3
+        assert doc["store_hits"] == 2
+        assert "report" not in doc  # not finished yet
+
+
+class TestServiceEndToEnd:
+    """The acceptance soak, in-process: a real coordinator, two dial-in
+    agents, service chaos (one agent crash, forced lease expiries), two
+    clients — byte identity and exactly-once accounting throughout.
+    (Coordinator SIGKILL mid-study is covered by ``tools/crashsim.py
+    queue:N``, which needs real processes.)"""
+
+    @pytest.mark.slow
+    def test_chaos_study_is_byte_identical_and_second_client_is_free(
+        self, tmp_path
+    ):
+        exp, setups, _base, _treatment, _points = SPEC.build()
+        keys = [faults.fault_key(exp.workload.name, exp.size, exp.seed, s)
+                for s in setups]
+        crash_keys = sum(
+            SERVICE_PLAN.fires("agent_crash", k, 1) for k in keys)
+        expire_keys = sum(
+            SERVICE_PLAN.fires("lease_expire", k, 1) for k in keys)
+        assert crash_keys == 1, "plan must kill exactly one agent"
+        assert expire_keys >= 1, "plan must force at least one expiry"
+
+        # The fault-free serial reference (the byte-identity oracle).
+        serial_exp, serial_setups, *_ = SPEC.build()
+        serial = SweepRunner(
+            serial_exp, RunnerConfig(jobs=1, max_retries=2),
+            sleep=lambda s: None,
+        ).run(serial_setups)
+        serial_json = serial.report.to_json()
+
+        expired_before = obs_metrics.counter("service.leases_expired").value
+        coordinator = svc.ServiceCoordinator(
+            workdir=str(tmp_path / "svc"),
+            fault_plan=SERVICE_PLAN,
+            heartbeat_interval=0.05,
+            agentless_grace=10.0,
+            quiet=True,
+        )
+        coordinator_thread = threading.Thread(
+            target=coordinator.run, daemon=True
+        )
+        coordinator_thread.start()
+        deadline = time.monotonic() + 10.0
+        while coordinator.http_port is None or coordinator.agent_port is None:
+            assert time.monotonic() < deadline, "service failed to start"
+            time.sleep(0.02)
+
+        agents = []
+        agent_threads = []
+        for seed in (1, 2):
+            server = dist.AgentServer(jobs=2, quiet=True)
+            thread = threading.Thread(
+                target=server.serve_connect,
+                args=("127.0.0.1", coordinator.agent_port),
+                kwargs=dict(backoff_base=0.05, backoff_seed=seed,
+                            connect_timeout=3.0),
+                daemon=True,
+            )
+            thread.start()
+            agents.append(server)
+            agent_threads.append(thread)
+
+        try:
+            host, port = "127.0.0.1", coordinator.http_port
+            doc = svc.submit_study(host, port, SPEC)
+            assert doc["state"] in ("queued", "running")
+            done = svc.wait_for_study(host, port, SPEC.study_id(),
+                                      poll_interval=0.2, timeout=300.0)
+            assert done["state"] == "done", done.get("error")
+            assert done["report"] == serial_json
+            assert done["completed"] == len(setups)
+
+            # The chaos actually happened — and stayed invisible.
+            assert sum(s.crashed for s in agents) == 1
+            assert obs_metrics.counter(
+                "service.leases_expired").value > expired_before
+
+            # Second client, distinct study over the same setups: same
+            # bytes, zero fresh measurements (fully store-served).
+            spec_two = dataclasses.replace(SPEC, tag="client-two")
+            svc.submit_study(host, port, spec_two)
+            done_two = svc.wait_for_study(host, port, spec_two.study_id(),
+                                          poll_interval=0.2, timeout=120.0)
+            assert done_two["state"] == "done", done_two.get("error")
+            assert done_two["report"] == serial_json
+            assert done_two["store_hits"] == len(setups)
+
+            status = svc.get_status(host, port)
+            assert status["studies"].get("done") == 2
+            assert status["degraded"] == []
+
+            # Graceful drain: the service finishes and exits.
+            svc._request(host, port, "POST", "/v1/drain")
+            coordinator_thread.join(timeout=30.0)
+            assert not coordinator_thread.is_alive()
+        finally:
+            for server in agents:
+                server.stop()
+            for thread in agent_threads:
+                thread.join(timeout=5.0)
+            faults.clear()
+
+        # Exactly-once accounting, straight from the WAL: every setup
+        # of both studies completed once, ever — no double counts, no
+        # drops, through one agent crash and forced lease expiries.
+        state = ServiceWAL(
+            os.path.join(str(tmp_path / "svc"), "queue.wal")
+        ).load()
+        assert state.counts["submit"] == 2
+        assert state.counts["done"] == 2
+        assert state.counts["complete"] == 2 * len(setups)
+        for record in state.studies.values():
+            assert record.done
+            assert record.completed == set(range(len(setups)))
+        first, second = state.studies.values()
+        assert first.leases >= len(setups)  # every setup was dispatched
+        assert second.leases == 0  # store-served: nothing ever leased

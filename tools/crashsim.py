@@ -5,10 +5,11 @@ barriers, resume them, and prove the recovery machinery airtight.
 The robustness docs promise that a sweep killed at *any* instant can be
 resumed without losing or changing data.  This tool makes that promise
 executable.  It runs a real ``repro`` command in a subprocess with one
-of three **barriers** monkeypatched into the product code, SIGKILLs the
-process at the barrier, re-runs with the same ``--resume`` journal, and
-then asserts the recovered state is *byte-identical* to what an
-uninterrupted run produces:
+of four **barriers** monkeypatched into the product code, SIGKILLs the
+process at the barrier, re-runs with the same ``--resume`` journal (or
+restarts the service on the same workdir), and then asserts the
+recovered state is *byte-identical* to what an uninterrupted run
+produces:
 
 ``journal:N``
     SIGKILL immediately after the Nth journal record is durably
@@ -21,6 +22,16 @@ uninterrupted run produces:
     On the Nth atomic archive write, persist half the payload to the
     temp file and SIGKILL before ``os.replace`` — readers must keep
     seeing the old state, and a re-run must converge.
+``queue:N``
+    SIGKILL a ``repro serve`` coordinator immediately after the Nth
+    *lease* record lands durably in its study-queue WAL — mid-study,
+    with agents registered and work in flight.  The harness restarts
+    the service on the same workdir (its dial-in agents re-register on
+    their own), resubmits the same spec, and asserts the finished
+    report is byte-identical to a serial ``repro study`` — plus that
+    the WAL holds exactly one ``complete`` record per setup (nothing
+    double-counted, nothing dropped) and that ``repro fsck`` signs off
+    on it.
 
 Byte-identity cannot be asserted on the *resumed* report directly (it
 legitimately says "resumed" where the reference says "measured"), so
@@ -78,7 +89,13 @@ DEFAULT_SPEC = (
 )
 ARCHIVE_SPEC = "archive sphinx3 @RUN@/arch.json"
 
-BARRIER_KINDS = ("journal", "store-put", "archive")
+#: The study the ``queue`` barrier submits to the service, as plain
+#: spec flags shared verbatim between ``repro submit`` and the serial
+#: ``repro study`` reference (that is what makes the byte-identity
+#: comparison honest).
+QUEUE_STUDY = "sphinx3 env --env-start 100 --env-stop 228 --env-step 32"
+
+BARRIER_KINDS = ("journal", "store-put", "archive", "queue")
 
 
 def parse_barrier(text: str) -> Tuple[str, int]:
@@ -141,6 +158,19 @@ def install_barrier(kind: str, count: int) -> None:
             return orig_put(self, key, payload)
 
         backend_mod.DiskBackend.put = disk_put
+    elif kind == "queue":
+        from repro.core import servicewal
+
+        orig_append = servicewal.ServiceWAL.append
+
+        def wal_append(self, record_kind, data):
+            orig_append(self, record_kind, data)
+            if record_kind == "lease":
+                calls["n"] += 1
+                if calls["n"] >= count:
+                    _die()
+
+        servicewal.ServiceWAL.append = wal_append
     else:  # archive
         from repro import storageio
 
@@ -259,6 +289,9 @@ def run_cycle(barrier: str, workdir: str, spec: str) -> None:
     if kind == "archive":
         _archive_cycle(barrier, workdir)
         return
+    if kind == "queue":
+        _queue_cycle(barrier, workdir)
+        return
     tag = barrier.replace(":", "-")
     ref_dir = os.path.join(workdir, f"{tag}-ref")
     crash_dir = os.path.join(workdir, f"{tag}-crash")
@@ -337,6 +370,145 @@ def _archive_cycle(barrier: str, workdir: str) -> None:
         "re-written archive records differ from the reference",
     )
     _fsck([target])
+
+
+def _free_port() -> int:
+    """A currently-free loopback port (bind 0, read, close)."""
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _wait_port_file(path: str, proc: subprocess.Popen) -> dict:
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        if os.path.exists(path):
+            with open(path) as fh:
+                return json.load(fh)
+        _assert(
+            proc.poll() is None,
+            f"serve exited before binding its ports (exit {proc.poll()})",
+        )
+        time.sleep(0.05)
+    raise AssertionError("serve never wrote its port file")
+
+
+def _queue_cycle(barrier: str, workdir: str) -> None:
+    """Kill ``repro serve`` after lease N, restart it on the same
+    workdir, and prove the finished study byte-identical to a serial
+    ``repro study`` — with exactly one WAL ``complete`` per setup."""
+    tag = barrier.replace(":", "-")
+    ref_dir = os.path.join(workdir, f"{tag}-ref")
+    crash_dir = os.path.join(workdir, f"{tag}-crash")
+    os.makedirs(ref_dir, exist_ok=True)
+    os.makedirs(crash_dir, exist_ok=True)
+    state_dir = os.path.join(crash_dir, "svc")
+    http_port, agent_port = _free_port(), _free_port()
+    serve_args = [
+        "serve", "--workdir", state_dir,
+        "--http", f"127.0.0.1:{http_port}",
+        "--listen", f"127.0.0.1:{agent_port}",
+        "--agentless-grace", "60",
+        "--port-file", os.path.join(crash_dir, "ports.json"),
+    ]
+    submit_args = (
+        ["submit"] + QUEUE_STUDY.split()
+        + ["--http", f"127.0.0.1:{http_port}"]
+    )
+    procs: List[subprocess.Popen] = []
+
+    def _spawn(argv: List[str]) -> subprocess.Popen:
+        proc = subprocess.Popen(
+            argv, env=_env(), stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, text=True,
+        )
+        procs.append(proc)
+        return proc
+
+    try:
+        serve = _spawn(
+            [sys.executable, os.path.abspath(__file__), "child",
+             "--barrier", barrier, "--"] + serve_args
+        )
+        _wait_port_file(os.path.join(crash_dir, "ports.json"), serve)
+        for seed in (1, 2):
+            _spawn(
+                [sys.executable, "-m", "repro.cli", "agent",
+                 "--connect", f"127.0.0.1:{agent_port}", "--jobs", "2",
+                 "--backoff-seed", str(seed), "--quiet"]
+            )
+        _run(
+            [sys.executable, "-m", "repro.cli"] + submit_args + ["--no-wait"]
+        )
+        serve.wait(timeout=180)
+        _assert(
+            serve.returncode in (-signal.SIGKILL, 128 + signal.SIGKILL),
+            f"barrier {barrier} did not SIGKILL the coordinator "
+            f"(exit {serve.returncode}); too few leases before the study "
+            f"finished?\nstderr:\n{serve.stderr.read()[-2000:]}",
+        )
+        # Same workdir, same ports: the durable queue resumes the study
+        # and the dial-in agents re-register on their seeded backoff.
+        serve2 = _spawn(
+            [sys.executable, "-m", "repro.cli"] + serve_args
+        )
+        resubmit = _run(
+            [sys.executable, "-m", "repro.cli"] + submit_args
+            + ["--report-out", os.path.join(crash_dir, "rep.json")]
+        )
+        serve2.send_signal(signal.SIGTERM)
+        serve2.wait(timeout=60)
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+
+    ref = _run(
+        [sys.executable, "-m", "repro.cli", "study"] + QUEUE_STUDY.split()
+        + ["--quiet", "--report-out", os.path.join(ref_dir, "rep.json")]
+    )
+    _assert(
+        _read(os.path.join(crash_dir, "rep.json"))
+        == _read(os.path.join(ref_dir, "rep.json")),
+        f"service report after {barrier} crash/restart differs from the "
+        "serial reference",
+    )
+    _assert(
+        _tables(resubmit.stdout) == _tables(ref.stdout),
+        f"published tables diverged after {barrier} crash/restart",
+    )
+
+    # The WAL must account every setup exactly once, ever — across both
+    # coordinator incarnations.
+    sys.path.insert(0, REPO_SRC)
+    from repro.core.servicewal import ServiceWAL
+
+    wal_path = os.path.join(state_dir, "queue.wal")
+    state = ServiceWAL(wal_path).load()
+    requested = 8  # QUEUE_STUDY: 4 env points x (base, treatment)
+    record = next(iter(state.studies.values()))
+    _assert(
+        state.counts["submit"] == 1,
+        f"resubmission was not deduplicated ({state.counts['submit']} "
+        "submit records)",
+    )
+    _assert(
+        record.completed == set(range(requested)),
+        f"WAL completions wrong: {sorted(record.completed)}",
+    )
+    _assert(
+        state.counts["complete"] == requested,
+        f"setups double-counted: {state.counts['complete']} complete "
+        f"records for {requested} setups",
+    )
+    _assert(
+        state.counts["done"] == 1 and record.done,
+        "study never reached its WAL done record",
+    )
+    _fsck([wal_path])
 
 
 def run_sigstop(
@@ -472,7 +644,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         ]
     else:
-        barriers = ["journal:3", "store-put:2", "archive:1"]
+        barriers = ["journal:3", "store-put:2", "archive:1", "queue:3"]
         checks = [
             (b, lambda b=b: run_cycle(b, workdir, args.spec))
             for b in barriers
