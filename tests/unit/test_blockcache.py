@@ -1,0 +1,284 @@
+"""Unit tests: block-compiling fast path (decode cache + timing memo).
+
+The contract under test is byte-identity: for every machine preset and
+every run mode, :mod:`repro.arch.blockcache` must produce *exactly* the
+RunResult the reference interpreter produces under
+``REPRO_ENGINE_FASTPATH=0`` — same float cycles, same counters, same
+profiling attribution, same trap types and messages.  See
+docs/engine.md for why each of these cases is load-bearing.
+"""
+
+import pytest
+
+from repro._errors import RunTimeout, SimulationError
+from repro.arch import blockcache, execute, get_machine
+from repro.arch.engine import EngineProfile, FASTPATH_ENV, fastpath_enabled
+from repro.os import Environment, load_process
+from repro.toolchain.compiler import compile_program
+from repro.toolchain.linker import LinkLayout, link
+
+from tests.conftest import (
+    SMALL_EXPECTED,
+    SMALL_SOURCES,
+    build_small,
+    compile_single,
+)
+
+PRESETS = ("core2", "pentium4", "m5_o3cpu")
+
+
+def _run(exe, fast, machine="core2", env=None, inputs=None, **kw):
+    """One execution on a fresh machine, on the chosen engine path.
+
+    Returns either ("ok", snapshot) or ("trap", type name, message) so
+    trap parity is asserted with the same comparison as result parity.
+    """
+    image = load_process(
+        exe,
+        environment=env if env is not None else Environment.typical(),
+        inputs=inputs,
+        stack_align=4,
+    )
+    machine = get_machine(machine).build()
+    try:
+        r = execute(image, machine, **kw)
+    except (RunTimeout, SimulationError) as exc:
+        return ("trap", type(exc).__name__, str(exc))
+    return (
+        "ok",
+        r.exit_value,
+        r.counters.as_dict(),
+        sorted(r.function_cycles.items()),
+        r.pc_cycles,
+        r.trace,
+    )
+
+
+def both_paths(exe, monkeypatch, **kw):
+    """(reference outcome, fast-path outcome) for identical runs."""
+    monkeypatch.setenv(FASTPATH_ENV, "0")
+    ref = _run(exe, False, **kw)
+    monkeypatch.setenv(FASTPATH_ENV, "1")
+    fast = _run(exe, True, **kw)
+    return ref, fast
+
+
+@pytest.fixture(scope="module")
+def exe():
+    return build_small(2)
+
+
+class TestByteIdentity:
+    def test_fastpath_on_by_default(self, monkeypatch):
+        monkeypatch.delenv(FASTPATH_ENV, raising=False)
+        assert fastpath_enabled()
+        monkeypatch.setenv(FASTPATH_ENV, "0")
+        assert not fastpath_enabled()
+
+    @pytest.mark.parametrize("preset", PRESETS)
+    def test_plain_run_identical(self, exe, monkeypatch, preset):
+        ref, fast = both_paths(exe, monkeypatch, machine=preset)
+        assert ref[0] == "ok" and ref[1] == SMALL_EXPECTED
+        assert fast == ref
+
+    @pytest.mark.parametrize("preset", PRESETS)
+    def test_profiling_attribution_identical(self, exe, monkeypatch, preset):
+        ref, fast = both_paths(
+            exe,
+            monkeypatch,
+            machine=preset,
+            profile_functions=True,
+            profile_pcs=True,
+        )
+        assert fast == ref
+        # pc attribution is exhaustive: per-pc cycles sum to the total.
+        pc_cycles = fast[4]
+        assert sum(pc_cycles) == pytest.approx(
+            fast[2]["cycles"], rel=1e-12
+        )
+
+    def test_lsd_coverage_identical(self, exe, monkeypatch):
+        ref, fast = both_paths(exe, monkeypatch, machine="core2")
+        assert fast[2]["lsd_covered"] == ref[2]["lsd_covered"] > 0
+
+    def test_finite_budget_untripped_identical(self, exe, monkeypatch):
+        ref, fast = both_paths(exe, monkeypatch, max_cycles=1e12)
+        assert ref[0] == "ok"
+        assert fast == ref
+
+
+class TestTrapParity:
+    @pytest.mark.parametrize("budget", [0.0, 1.0, 100.0, 5000.5])
+    def test_cycle_budget_trip_identical(self, exe, monkeypatch, budget):
+        ref, fast = both_paths(exe, monkeypatch, max_cycles=budget)
+        assert ref[0] == "trap" and ref[1] == "RunTimeout"
+        assert fast == ref
+
+    @pytest.mark.parametrize("maxi", [1, 2, 7, 100, 1234])
+    def test_runaway_trip_identical(self, exe, monkeypatch, maxi):
+        ref, fast = both_paths(exe, monkeypatch, max_instructions=maxi)
+        assert ref[0] == "trap" and ref[1] == "SimulationError"
+        assert "runaway" in ref[2]
+        assert fast == ref
+
+    def test_division_by_zero_identical(self, monkeypatch):
+        exe = compile_single(
+            "int z; func main() { return 5 / z; }", opt_level=0
+        )
+        ref, fast = both_paths(exe, monkeypatch)
+        assert ref[0] == "trap" and "division by zero" in ref[2]
+        assert fast == ref
+
+    def test_corrupt_return_address_identical(self, monkeypatch):
+        src = """
+        func main() {
+            var x;
+            poke(&x + 16, 12345);
+            return 0;
+        }
+        """
+        exe = compile_single(src, opt_level=0)
+        ref, fast = both_paths(exe, monkeypatch, max_instructions=100_000)
+        assert ref[0] == "trap"
+        assert fast == ref
+
+
+class TestLateBlockDiscovery:
+    """RET to a computed address can land mid-block — at a pc that is
+    not a static leader.  The decode cache must compile that block
+    lazily and stay byte-identical with the reference."""
+
+    def _poked_exe(self):
+        src = """
+        int target;
+        func main() {
+            var x;
+            // O0 frame layout: return address lives 16 bytes above &x.
+            poke(&x + 16, target);
+            return 0;
+        }
+        """
+        return compile_single(src, opt_level=0)
+
+    def _mid_block_pc(self, exe, cfg):
+        cache = blockcache.block_cache_for(exe, cfg)
+        static_entries = {pl.entry for pl in cache.static_plans()}
+        for j in range(len(exe.ops) - 1, -1, -1):
+            if j not in static_entries and exe.ops[j] not in (31, 32, 34):
+                return j
+        raise AssertionError("no mid-block pc in test program")
+
+    def test_ret_to_mid_block_address_identical(self, monkeypatch):
+        exe = self._poked_exe()
+        cfg = get_machine("core2")
+        j = self._mid_block_pc(exe, cfg)
+        inputs = {"target": exe.addrs[j]}
+        ref, fast = both_paths(
+            exe, monkeypatch, inputs=inputs, max_instructions=100_000
+        )
+        # Whatever the continuation does (halt or trap), both engine
+        # paths must agree exactly.
+        assert fast == ref
+
+    def test_mid_block_entry_compiles_lazily(self, monkeypatch):
+        exe = self._poked_exe()
+        cfg = get_machine("core2")
+        j = self._mid_block_pc(exe, cfg)
+        cache = blockcache.block_cache_for(exe, cfg)
+        variant = (False, False, False, False)
+        assert j not in cache.table(variant)
+        monkeypatch.setenv(FASTPATH_ENV, "1")
+        _run(
+            exe,
+            True,
+            inputs={"target": exe.addrs[j]},
+            max_instructions=100_000,
+        )
+        assert j in cache.table(variant)
+        assert cache.plan(j).entry == j
+
+
+class TestTimingMemoKeys:
+    """The memo key includes the entry alignment state: relinking the
+    same instruction stream at a different alignment must produce
+    different block code (different front-end schedule) while leaving
+    the architectural results untouched."""
+
+    def _exe_aligned(self, alignment):
+        modules = compile_program(SMALL_SOURCES, opt_level=2, profile="gcc")
+        return link(
+            modules, layout=LinkLayout(function_alignment=alignment)
+        )
+
+    def test_alignment_changes_memo_key_not_results(self, monkeypatch):
+        exe16 = self._exe_aligned(16)
+        exe1 = self._exe_aligned(1)
+        cfg = get_machine("core2")
+        plans16 = {
+            pl.pcs: pl
+            for pl in blockcache.block_cache_for(exe16, cfg).static_plans()
+        }
+        plans1 = {
+            pl.pcs: pl
+            for pl in blockcache.block_cache_for(exe1, cfg).static_plans()
+        }
+        shared = set(plans16) & set(plans1)
+        assert shared, "relink should preserve some block shapes"
+        assert any(
+            (plans16[k].entry_window, plans16[k].entry_line)
+            != (plans1[k].entry_window, plans1[k].entry_line)
+            for k in shared
+        ), "alignment change should move at least one block's memo key"
+        # Same program, different layout: identical answers, and each
+        # layout byte-identical with its own reference run.
+        for exe in (exe16, exe1):
+            ref, fast = both_paths(exe, monkeypatch)
+            assert fast == ref
+            assert ref[1] == SMALL_EXPECTED
+
+    def test_caches_keyed_per_executable_and_config(self):
+        exe_a = self._exe_aligned(16)
+        exe_b = self._exe_aligned(1)
+        cfg = get_machine("core2")
+        cfg2 = get_machine("pentium4")
+        assert blockcache.block_cache_for(
+            exe_a, cfg
+        ) is blockcache.block_cache_for(exe_a, cfg)
+        assert blockcache.block_cache_for(
+            exe_a, cfg
+        ) is not blockcache.block_cache_for(exe_b, cfg)
+        assert blockcache.block_cache_for(
+            exe_a, cfg
+        ) is not blockcache.block_cache_for(exe_a, cfg2)
+
+
+class TestTelemetryAndWarm:
+    def test_engine_profile_reports_block_cache(self, exe, monkeypatch):
+        monkeypatch.setenv(FASTPATH_ENV, "1")
+        prof = EngineProfile()
+        image = load_process(exe, Environment.typical(), stack_align=4)
+        execute(image, get_machine("core2").build(), engine_profile=prof)
+        bc = prof.to_dict()["block_cache"]
+        assert bc["fastpath_runs"] == 1
+        assert bc["block_entries"] > 0
+        assert bc["block_hits"] + prof.bc_unique == bc["block_entries"]
+        assert 0.0 <= bc["hit_ratio"] <= 1.0
+
+    def test_engine_profile_zero_on_reference_path(self, exe, monkeypatch):
+        monkeypatch.setenv(FASTPATH_ENV, "0")
+        prof = EngineProfile()
+        image = load_process(exe, Environment.typical(), stack_align=4)
+        execute(image, get_machine("core2").build(), engine_profile=prof)
+        bc = prof.to_dict()["block_cache"]
+        assert bc["fastpath_runs"] == 0
+        assert bc["block_entries"] == 0
+
+    def test_warm_precompiles_static_blocks(self):
+        exe = build_small(2)
+        cfg = get_machine("pentium4")
+        n = blockcache.warm(exe, cfg)
+        cache = blockcache.block_cache_for(exe, cfg)
+        assert n == len(cache.static_plans()) > 0
+        assert set(cache.table((False, False, False, False))) == {
+            pl.entry for pl in cache.static_plans()
+        }

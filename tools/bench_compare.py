@@ -103,6 +103,11 @@ def deterministic_view(sidecar: Dict[str, Any]) -> Dict[str, Any]:
     perf = out.get("perf")
     if isinstance(perf, dict) and isinstance(perf.get("engine"), dict):
         perf["engine"].pop("opcode_wall_ns", None)
+        # Which engine path ran (and how warm its decode cache was) is a
+        # host/session fact, not a measurement: the block-cache tallies
+        # are all zeros under REPRO_ENGINE_FASTPATH=0 and nonzero
+        # otherwise, while every simulated result stays byte-identical.
+        perf["engine"].pop("block_cache", None)
     return out
 
 

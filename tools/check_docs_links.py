@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""CI tool: documentation link and reachability lint.
+
+Usage: python tools/check_docs_links.py [--verbose]
+
+Two checks over every Markdown file in the repository root and
+``docs/``:
+
+1. **Link integrity** — every relative Markdown link (``[x](path)`` and
+   bare ``docs/foo.md`` / ``tools/foo.py`` style path mentions) must
+   point at a file that exists.  Stale pointers are how handbooks rot:
+   a renamed bench or a moved doc silently orphans every cross
+   reference to it.
+
+2. **Reachability** — every file under ``docs/`` must be linked from at
+   least one *other* checked document (README.md counts).  A handbook
+   nobody links to is a handbook nobody finds; new docs must be wired
+   into the navigation the moment they land.
+
+Exit status is non-zero on any broken link or unreachable doc, with a
+per-finding report.  ``--verbose`` also prints the link graph.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from typing import Dict, List, Set
+
+REPO_ROOT = os.path.normpath(
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir)
+)
+
+#: Inline Markdown links: [text](target).  External schemes are skipped.
+_MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s#]+)(?:#[^)\s]*)?\)")
+
+#: Bare repo-relative path mentions in prose or code spans, e.g.
+#: ``docs/engine.md`` or ``tools/bench_compare.py``.  Only directories
+#: whose contents this lint can vouch for are matched.
+_BARE_PATH = re.compile(
+    r"\b((?:docs|tools|benchmarks|tests|src)/[A-Za-z0-9_\-./]+"
+    r"\.(?:md|py|json|yml))\b"
+)
+
+_SCHEMES = ("http://", "https://", "mailto:")
+
+#: Scaffolding written by the growth driver, not by this repo: these
+#: files quote external material (task briefs, paper abstracts, code
+#: excerpts with retrieval pseudo-links) whose references this lint
+#: cannot vouch for.  The repo's own documentation contract starts at
+#: README.md and docs/.
+EXCLUDED = frozenset({"ISSUE.md", "PAPER.md", "PAPERS.md", "SNIPPETS.md"})
+
+
+def checked_files() -> List[str]:
+    """Repo-relative paths of every Markdown document this lint owns."""
+    out = [
+        name
+        for name in sorted(os.listdir(REPO_ROOT))
+        if name.endswith(".md")
+        and name not in EXCLUDED
+        and os.path.isfile(os.path.join(REPO_ROOT, name))
+    ]
+    docs_dir = os.path.join(REPO_ROOT, "docs")
+    if os.path.isdir(docs_dir):
+        out += [
+            f"docs/{name}"
+            for name in sorted(os.listdir(docs_dir))
+            if name.endswith(".md")
+        ]
+    return out
+
+
+def extract_targets(relpath: str, text: str) -> Set[str]:
+    """All repo-relative link targets mentioned by one document."""
+    base = os.path.dirname(relpath)
+    targets: Set[str] = set()
+    for match in _MD_LINK.finditer(text):
+        raw = match.group(1)
+        if raw.startswith(_SCHEMES) or raw.startswith("#"):
+            continue
+        targets.add(os.path.normpath(os.path.join(base, raw)))
+    for match in _BARE_PATH.finditer(text):
+        # Bare mentions are written repo-relative by convention.
+        targets.add(os.path.normpath(match.group(1)))
+    return targets
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--verbose", action="store_true", help="print the link graph"
+    )
+    args = parser.parse_args()
+
+    files = checked_files()
+    graph: Dict[str, Set[str]] = {}
+    problems: List[str] = []
+    for relpath in files:
+        with open(os.path.join(REPO_ROOT, relpath), encoding="utf-8") as fh:
+            text = fh.read()
+        graph[relpath] = extract_targets(relpath, text)
+        for target in sorted(graph[relpath]):
+            if not os.path.exists(os.path.join(REPO_ROOT, target)):
+                problems.append(f"{relpath}: broken link -> {target}")
+
+    linked: Set[str] = set()
+    for relpath, targets in graph.items():
+        linked |= {t for t in targets if t != relpath}
+    for relpath in files:
+        if relpath.startswith("docs/") and relpath not in linked:
+            problems.append(
+                f"{relpath}: unreachable — no other document links to it"
+            )
+
+    if args.verbose:
+        for relpath in files:
+            print(f"{relpath}:")
+            for target in sorted(graph[relpath]):
+                print(f"  -> {target}")
+
+    if problems:
+        for line in problems:
+            print(f"docs-lint: {line}", file=sys.stderr)
+        print(f"docs-lint: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"docs-lint: {len(files)} documents, all links resolve, "
+          "all docs reachable")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
