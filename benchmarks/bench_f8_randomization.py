@@ -7,6 +7,12 @@ Two panels:
 - F8b: the randomized protocol — mean speedup with a 95% Student-t
   interval as setups accumulate; the interval either settles on a
   conclusion or honestly reports "inconclusive".
+- F8c: the full inference work-up of the final sample (see
+  docs/statistics.md) — BCa bootstrap interval, paired Wilcoxon
+  signed-rank test with its rank-biserial effect size, robust
+  aggregates, and the sequential required-sample-size recommendation.
+  The nonparametric verdict must agree in direction with the t-based
+  panel above it.
 """
 
 from repro.core.randomization import (
@@ -69,10 +75,19 @@ def test_f8_setup_randomization(benchmark):
                 ev.interval.hi,
                 scale=scale,
                 reference=1.0,
+                method=ev.interval.method,
             )
             + f"  -> {ev.verdict}"
         )
-    publish("F8_randomization", single_table + "\n\n" + "\n".join(lines))
+
+    final = series[-1][1]
+    analysis = final.analysis(seed=5)
+    f8c = ["F8c: inference work-up of the final sample"]
+    f8c += ["  " + line for line in analysis.summary_lines()]
+    publish(
+        "F8_randomization",
+        single_table + "\n\n" + "\n".join(lines) + "\n\n" + "\n".join(f8c),
+    )
 
     # The paper's motivating contradiction: single setups disagree.
     assert len(verdicts) == 2, (
@@ -81,8 +96,17 @@ def test_f8_setup_randomization(benchmark):
     )
     # The randomized protocol yields a defensible summary: an interval
     # (conclusive or not) rather than a point lie.
-    final = series[-1][1]
     assert final.interval.lo < final.mean < final.interval.hi
+    # The distribution-free verdict must not contradict the t-based one:
+    # when both are conclusive they point the same way.
+    if final.conclusive and analysis.significant:
+        t_direction = (
+            "speedup" if final.verdict == "beneficial" else "slowdown"
+        )
+        assert analysis.direction == t_direction, (
+            f"nonparametric verdict {analysis.direction} contradicts "
+            f"t verdict {final.verdict}"
+        )
 
     benchmark.pedantic(
         lambda: interval_vs_setup_count(

@@ -86,6 +86,22 @@ class RunTimeout(ReproError):
     retryable = True
 
 
+class StatsError(ReproError, ValueError):
+    """A statistical routine was handed a sample it cannot summarize
+    honestly — fewer than two observations, zero variance, a level
+    outside (0, 1).
+
+    Fatal and loud by design: the alternative failure modes are a
+    ``ZeroDivisionError`` deep in an interval formula or, worse, a
+    zero-width "confidence" interval that lends false certainty to a
+    degenerate sample (exactly the benchmarking crimes ``repro audit``
+    exists to flag).  Also a ``ValueError`` so pre-taxonomy callers that
+    guarded the old ad-hoc exceptions keep working.
+    """
+
+    retryable = False
+
+
 class ArchiveCorruption(ReproError, ValueError):
     """A measurement archive or checkpoint journal failed validation.
 

@@ -1,0 +1,173 @@
+"""repro.audit — the benchmarking-crime auditor behind ``repro audit``.
+
+Give :func:`audit_file` any JSON document the suite produces — a
+provenance manifest, a measurement archive (v1 or v2, with or without
+an embedded manifest), or a bare sweep report — and it returns an
+:class:`AuditResult` naming every statistical crime the document
+commits, each with a stable machine-readable code (see
+:data:`repro.audit.rules.CRIME_CODES` and docs/statistics.md).
+
+The deep-audit target is the manifest ``stats`` section: it carries the
+raw speedup sample next to every derived claim, so the auditor
+recomputes skewness and aggregates instead of trusting the recorded
+numbers.  Archives delegate to their embedded manifest and add
+archive-level evidence (duplicate setups); bare sweep reports carry no
+statistical claims and audit clean with a note saying so.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro._errors import ArchiveCorruption
+from repro.audit.rules import (
+    CRIME_CODES,
+    AuditResult,
+    Finding,
+    duplicate_setup_count,
+    run_stats_checks,
+)
+from repro.obs.manifest import MANIFEST_FORMAT
+
+__all__ = [
+    "AuditResult",
+    "CRIME_CODES",
+    "Finding",
+    "audit_document",
+    "audit_file",
+    "audit_manifest",
+]
+
+_ARCHIVE_FORMATS = ("repro-measurements-v1", "repro-measurements-v2")
+
+
+def audit_manifest(
+    manifest: Dict[str, Any], source: str = "<manifest>"
+) -> AuditResult:
+    """Audit one provenance manifest dict.
+
+    Runs the full crime rule set over its ``stats`` section (when
+    present) against the setups and sweep report the same document
+    records.  A manifest without a stats section cannot commit an
+    inference crime and audits clean with a note.
+    """
+    result = AuditResult(source=source, kind="manifest")
+    stats = manifest.get("stats")
+    setups = manifest.get("setups") or []
+    report = manifest.get("report")
+    if stats is None:
+        result.notes.append(
+            "no stats section: the manifest records no statistical "
+            "claims to audit"
+        )
+    else:
+        n = stats.get("n", len(stats.get("speedups") or []))
+        result.notes.append(
+            f"stats section: {n} observations over "
+            f"{stats.get('distinct_setups', '?')} distinct setups, "
+            f"{len(stats.get('intervals') or [])} interval(s)"
+        )
+    result.findings = run_stats_checks(
+        stats, report=report, n_setups=len(setups) or None
+    )
+    return result
+
+
+def _audit_archive_payload(
+    payload: Dict[str, Any], source: str
+) -> AuditResult:
+    """Audit a measurement-archive payload (already JSON-decoded)."""
+    records = payload.get("measurements") or []
+    manifest = payload.get("manifest")
+    if isinstance(manifest, dict):
+        result = audit_manifest(manifest, source=source)
+        result.kind = "archive"
+        result.notes.insert(
+            0,
+            f"{len(records)} archived measurement(s) with an embedded "
+            "provenance manifest",
+        )
+    else:
+        result = AuditResult(source=source, kind="archive")
+        result.notes.append(
+            f"{len(records)} archived measurement(s), no embedded "
+            "manifest: no statistical claims to audit"
+        )
+    setups = []
+    for rec in records:
+        body = rec.get("measurement", rec) if isinstance(rec, dict) else {}
+        setup = body.get("setup") if isinstance(body, dict) else None
+        if isinstance(setup, dict):
+            setups.append(setup)
+    dupes = duplicate_setup_count(setups)
+    if dupes:
+        result.notes.append(
+            f"{dupes} of {len(setups)} archived setups duplicate an "
+            "earlier one — legitimate for noise studies, "
+            "pseudoreplication if counted as independent samples"
+        )
+    return result
+
+
+def _audit_report(report: Dict[str, Any], source: str) -> AuditResult:
+    """Audit a bare sweep-report JSON document."""
+    result = AuditResult(source=source, kind="report")
+    covered = report.get("measured", 0) + report.get("resumed", 0)
+    result.notes.append(
+        f"sweep report: {covered}/{report.get('requested', 0)} setups "
+        "covered; a bare report carries no statistical claims to audit"
+    )
+    if report.get("quarantined"):
+        result.notes.append(
+            f"{len(report['quarantined'])} setup(s) quarantined — any "
+            "conclusion drawn from this sweep must acknowledge them"
+        )
+    return result
+
+
+def audit_document(data: Any, source: str = "<document>") -> AuditResult:
+    """Dispatch on document shape: manifest, archive, or sweep report.
+
+    Raises :class:`~repro.core.errors.ArchiveCorruption` for documents
+    that are none of the three (the caller's path lands in the error).
+    """
+    if not isinstance(data, dict):
+        raise ArchiveCorruption(
+            "auditable documents are JSON objects, got "
+            f"{type(data).__name__}",
+            path=source,
+        )
+    fmt = data.get("format")
+    if fmt == MANIFEST_FORMAT:
+        return audit_manifest(data, source=source)
+    if fmt in _ARCHIVE_FORMATS:
+        return _audit_archive_payload(data, source=source)
+    if "requested" in data and "statuses" in data:
+        return _audit_report(data, source=source)
+    raise ArchiveCorruption(
+        "not an auditable document: expected a provenance manifest, a "
+        "measurement archive, or a sweep report "
+        f"(format={fmt!r})",
+        path=source,
+    )
+
+
+def audit_file(path: str) -> AuditResult:
+    """Load a JSON document from ``path`` and audit it.
+
+    Raises :class:`~repro.core.errors.ArchiveCorruption` on unreadable
+    JSON or an unrecognized document shape.
+    """
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except OSError as exc:
+        raise ArchiveCorruption(
+            f"cannot read document: {exc}", path=path
+        ) from exc
+    except json.JSONDecodeError as exc:
+        raise ArchiveCorruption(
+            f"document is not valid JSON: {exc}", path=path
+        ) from exc
+    return audit_document(data, source=path)

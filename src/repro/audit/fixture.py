@@ -1,0 +1,105 @@
+"""Deterministic crime fixture for exercising ``repro audit``.
+
+:func:`crime_manifest` builds a provenance manifest whose ``stats``
+section commits every crime in the taxonomy at once — a verdict from
+one setup, a pseudoreplicated sample, a t-only interval on a skewed
+sample, fewer observations than recorded setups, and an
+arithmetic-mean aggregate of ratios.  The CI ``audit-smoke`` job and
+the unit suite both run the auditor over it and require every stable
+code to surface::
+
+    python -m repro.audit.fixture crimes.json
+    python -m repro cli audit crimes.json   # exits nonzero, names all 5
+
+The fixture is pure construction — no measurement, no randomness — so
+it is byte-stable across runs (modulo the manifest's wall-clock
+timestamp, which audits ignore).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict, List
+
+from repro.core.setup import ExperimentalSetup
+from repro.obs.manifest import build_manifest
+
+#: The skewed speedup sample behind the fixture's bogus claims: eight
+#: "observations" re-measured under one shared setup, with one large
+#: outlier so the skewness check has something real to recompute.
+CRIME_SPEEDUPS = (1.01, 1.02, 1.02, 1.03, 1.01, 1.02, 1.04, 2.50)
+
+#: How many setups the fixture *records* as measured — more than twice
+#: the claimed sample, so the selective-reporting rule fires.
+RECORDED_SETUPS = 20
+
+
+def crime_stats() -> Dict[str, Any]:
+    """A ``stats`` section committing all five crimes at once."""
+    speedups = list(CRIME_SPEEDUPS)
+    amean = sum(speedups) / len(speedups)
+    return {
+        "n": len(speedups),
+        # One shared setup behind eight "observations": single-setup
+        # and pseudoreplication in one stroke.
+        "distinct_setups": 1,
+        "level": 0.95,
+        "speedups": speedups,
+        # t-only interval on a sample whose outlier skews it hard.
+        "intervals": [
+            {
+                "method": "t",
+                "lo": amean - 0.4,
+                "hi": amean + 0.4,
+                "mean": amean,
+                "level": 0.95,
+            }
+        ],
+        # Ratios aggregated with the arithmetic mean, by name.
+        "aggregate": {"method": "arithmetic-mean", "value": amean},
+        # A confident conclusion resting on all of the above.
+        "verdict": {"significant": True, "direction": "speedup"},
+    }
+
+
+def crime_manifest() -> Dict[str, Any]:
+    """A full provenance manifest seeded with every crime class.
+
+    Records :data:`RECORDED_SETUPS` distinct measured setups next to a
+    stats section claiming only eight observations — so the document is
+    internally inconsistent in exactly the ways the auditor exists to
+    catch.
+    """
+    setups: List[ExperimentalSetup] = [
+        ExperimentalSetup(env_bytes=100 + 64 * i)
+        for i in range(RECORDED_SETUPS)
+    ]
+    return build_manifest(
+        setups=setups,
+        stats=crime_stats(),
+        note=(
+            "audit crime fixture: every finding code should fire "
+            "(see repro.audit.fixture)"
+        ),
+    )
+
+
+def write_fixture(path: str) -> None:
+    """Write the crime manifest to ``path`` as JSON."""
+    from repro.obs.manifest import save_manifest
+
+    save_manifest(path, crime_manifest())
+
+
+def main(argv: List[str]) -> int:
+    """``python -m repro.audit.fixture OUT.json`` — write the fixture."""
+    if len(argv) != 1:
+        print("usage: python -m repro.audit.fixture OUT.json", file=sys.stderr)
+        return 2
+    write_fixture(argv[0])
+    print(f"wrote crime fixture manifest to {argv[0]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -25,6 +25,10 @@ Remaining commands:
 - ``archive`` / ``verify-archive`` — persist a sweep as JSON (with an
   embedded provenance manifest) and later re-measure it, reporting any
   drift,
+- ``audit`` — flag benchmarking crimes (single-setup conclusions,
+  pseudoreplication, weak CIs, selective reporting, ratio
+  mis-aggregation) in any manifest, archive, or sweep report; exits
+  nonzero when a crime is present (see docs/statistics.md),
 - ``obs`` — summarize / validate / merge / diff traces, manifests, and
   checkpoint journals,
 - ``journal`` — compact or summarize a sweep's checkpoint journal,
@@ -305,7 +309,12 @@ def _manifest_path(args: argparse.Namespace) -> Optional[str]:
     return stem + ".manifest.json"
 
 
-def _run_sweep(exp: Experiment, setups, args: argparse.Namespace) -> int:
+def _run_sweep(
+    exp: Experiment,
+    setups,
+    args: argparse.Namespace,
+    stats_provider=None,
+) -> int:
     """Measure ``setups`` through the fault-tolerant runner, priming
     ``exp``'s run cache so the serial study code below is all cache
     hits.  Returns the number of quarantined setups.
@@ -313,6 +322,10 @@ def _run_sweep(exp: Experiment, setups, args: argparse.Namespace) -> int:
     Observability: progress goes to stderr (stdout stays exactly the
     published tables), ``--trace-out`` scopes a real tracer around the
     sweep, and a provenance manifest is written when asked for.
+    ``stats_provider`` (optional, ``() -> Optional[dict]``) supplies the
+    manifest's statistical-inference section; it is called only after a
+    fully-covered sweep (every run a cache hit, no quarantines), so a
+    partial sweep never records confident-looking statistics.
     """
     from repro.obs import manifest as obs_manifest
     from repro.obs import metrics as obs_metrics
@@ -368,6 +381,11 @@ def _run_sweep(exp: Experiment, setups, args: argparse.Namespace) -> int:
             artifacts[args.timeline_out] = obs_manifest.file_checksum(
                 args.timeline_out
             )
+        stats = (
+            stats_provider()
+            if stats_provider is not None and not report.quarantined
+            else None
+        )
         manifest = obs_manifest.build_manifest(
             experiment=exp,
             setups=setups,
@@ -379,6 +397,7 @@ def _run_sweep(exp: Experiment, setups, args: argparse.Namespace) -> int:
             hosts=runner.hosts_served,
             store=store,
             perf=obs_perf.snapshot(),
+            stats=stats,
             note=f"repro {args.command} {args.workload}",
         )
         obs_manifest.save_manifest(manifest_path, manifest)
@@ -495,15 +514,51 @@ def cmd_study(args: argparse.Namespace) -> int:
 
 
 def cmd_randomized(args: argparse.Namespace) -> int:
-    """`repro randomized`: the paper's setup-randomization protocol."""
+    """`repro randomized`: the paper's setup-randomization protocol.
+
+    Beyond the t interval, the verdict block carries the full inference
+    work-up (see docs/statistics.md): a BCa bootstrap interval, the
+    paired Wilcoxon signed-rank test with its rank-biserial effect
+    size, robust aggregates, and the sequential required-sample-size
+    recommendation.  The same bundle lands in the provenance manifest's
+    ``stats`` section when ``--manifest`` is set, which is what
+    ``repro audit`` later recomputes claims from.
+    """
+    from repro.core.errors import StatsError
+
     exp = Experiment(workloads.get(args.workload), size=args.size, seed=args.seed)
     base = _setup_from_args(args, args.base_opt)
     treatment = _setup_from_args(args, args.treatment_opt)
     pairs = paired_random_setups(
         exp, base, treatment, args.setups, seed=args.seed
     )
+
+    # Computed at most once, after the sweep primes the run cache: the
+    # manifest's stats section and the printed verdict block must come
+    # from the same evaluation.
+    cache = {}
+
+    def evaluated():
+        if "ev" not in cache:
+            cache["ev"] = evaluate_with_randomization(
+                exp, base, treatment, n_setups=args.setups, seed=args.seed
+            )
+            try:
+                cache["analysis"] = cache["ev"].analysis(seed=args.seed)
+            except StatsError as exc:
+                cache["analysis"] = None
+                cache["skip_reason"] = str(exc)
+        return cache
+
+    def stats_provider():
+        analysis = evaluated()["analysis"]
+        return analysis.to_dict() if analysis is not None else None
+
     quarantined = _run_sweep(
-        exp, [s for pair in pairs for s in pair], args
+        exp,
+        [s for pair in pairs for s in pair],
+        args,
+        stats_provider=stats_provider,
     )
     if quarantined:
         print(
@@ -511,10 +566,14 @@ def cmd_randomized(args: argparse.Namespace) -> int:
             "needs every sampled setup; see the report above"
         )
         return 1
-    ev = evaluate_with_randomization(
-        exp, base, treatment, n_setups=args.setups, seed=args.seed
-    )
-    print(ev.summary_line())
+    state = evaluated()
+    print(state["ev"].summary_line())
+    analysis = state["analysis"]
+    if analysis is not None:
+        for line in analysis.summary_lines():
+            print(line)
+    else:
+        print(f"inference skipped: {state['skip_reason']}")
     return 0
 
 
@@ -609,6 +668,54 @@ def cmd_verify_archive(args: argparse.Namespace) -> int:
         return 0
     print(f"DRIFT: {drift}")
     return 1
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    """`repro audit`: flag benchmarking crimes in a study document.
+
+    ``PATH`` is a provenance manifest, a measurement archive, or a bare
+    sweep report; the auditor names every statistical crime it finds
+    (stable codes — see docs/statistics.md) and exits nonzero when any
+    is present.  ``--json`` prints the machine-readable verdict;
+    ``--record`` writes the verdict back into the document's manifest
+    as an ``audit`` provenance section.
+    """
+    import json
+    import time
+
+    from repro.audit import audit_file
+    from repro.obs.manifest import MANIFEST_FORMAT, save_manifest
+
+    result = audit_file(args.path)
+    if args.record:
+        with open(args.path) as fh:
+            document = json.load(fh)
+        verdict = dict(result.to_dict(), created_unix=time.time())
+        if document.get("format") == MANIFEST_FORMAT:
+            document["audit"] = verdict
+            save_manifest(args.path, document)
+        elif isinstance(document.get("manifest"), dict):
+            from repro import storageio
+
+            document["manifest"]["audit"] = verdict
+            storageio.atomic_write_text(
+                args.path,
+                json.dumps(document, indent=1),
+                key=f"archive:{os.path.basename(args.path)}",
+            )
+        else:
+            print(
+                "error: --record needs a manifest (or an archive with an "
+                "embedded manifest) to attach the verdict to",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"audit verdict recorded in {args.path}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=1, sort_keys=True))
+    else:
+        print("\n".join(result.summary_lines()))
+    return 0 if result.clean else 1
 
 
 def _cmd_obs_flame(args: argparse.Namespace) -> int:
@@ -1164,6 +1271,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument("path")
     verify.set_defaults(func=cmd_verify_archive)
+
+    audit = sub.add_parser(
+        "audit",
+        help="flag benchmarking crimes in a report/archive/manifest",
+    )
+    audit.add_argument(
+        "path", help="study document: manifest, archive, or sweep report"
+    )
+    audit.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable verdict with stable finding codes",
+    )
+    audit.add_argument(
+        "--record",
+        action="store_true",
+        help="write the verdict into the document's manifest as an "
+        "'audit' provenance section",
+    )
+    audit.set_defaults(func=cmd_audit)
 
     obs = sub.add_parser(
         "obs", help="inspect traces and provenance manifests"

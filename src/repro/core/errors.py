@@ -21,6 +21,8 @@ RunTimeout           retryable  cycle budget or wall-clock deadline blown
 ArchiveCorruption    fatal      archive/journal failed validation
 StorageWriteError    fatal      durable artifact could not be written
 JournalWriteError    fatal      journal append failed (path + record index)
+StatsError           fatal      degenerate sample handed to an inference
+                                routine (n < 2, zero variance, bad level)
 ===================  =========  ============================================
 
 See ``docs/robustness.md`` for how the sweep runner consumes the
@@ -34,6 +36,7 @@ from repro._errors import (
     ReproError,
     RunTimeout,
     SimulationError,
+    StatsError,
     StorageWriteError,
     VerificationError,
     classify,
@@ -47,6 +50,7 @@ __all__ = [
     "ReproError",
     "RunTimeout",
     "SimulationError",
+    "StatsError",
     "StorageWriteError",
     "VerificationError",
     "classify",

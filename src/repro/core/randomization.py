@@ -53,6 +53,36 @@ class RandomizedEvaluation:
             f"{len(self.speedups)} random setups -> {self.verdict}"
         )
 
+    @property
+    def distinct_setups(self) -> int:
+        """Number of *different* setups behind the sample.  Equal to
+        ``len(speedups)`` for a clean randomized run; smaller when runs
+        were replicated under a shared setup (pseudoreplication — see
+        the ``repro audit`` crime taxonomy)."""
+        return len(set(self.setups))
+
+    def analysis(
+        self, target_rel_width: float = 0.01, seed: int = 0
+    ):
+        """Full inference work-up of this evaluation's speedup sample.
+
+        Returns a :class:`repro.stats.SpeedupAnalysis` — nonparametric
+        test, BCa interval, effect size, and the sequential sample-size
+        recommendation — built from the already-measured speedups (no
+        re-measurement).  Raises
+        :class:`~repro.core.errors.StatsError` on degenerate samples,
+        like the interval constructors.
+        """
+        from repro.stats.speedup import analyze_speedups
+
+        return analyze_speedups(
+            self.speedups,
+            distinct_setups=self.distinct_setups,
+            level=self.interval.level,
+            target_rel_width=target_rel_width,
+            seed=seed,
+        )
+
 
 #: Parameters :func:`random_setups` knows how to randomize.  The paper's
 #: protocol uses the first two; the rest are library extensions for
@@ -183,6 +213,41 @@ def evaluate_with_randomization(
         speedups=tuple(speedups),
         interval=interval,
         setups=tuple(s for s, _ in pairs),
+    )
+
+
+def speedup_convergence(
+    speedups: Sequence[float], level: float = 0.95
+) -> List[Tuple[int, float]]:
+    """Relative-half-width trajectory of a randomized run's speedup
+    sample — the F8 convergence curve as plain data.
+
+    ``(n, half_width / |mean|)`` for every prefix with n >= 2, computed
+    sequentially as an experimenter adding setups would have seen it.
+    Raises :class:`~repro.core.errors.StatsError` for samples shorter
+    than 2 or out-of-range levels; all-identical prefixes contribute
+    width 0.0 (already converged).
+    """
+    from repro.stats.samplesize import convergence_trajectory
+
+    return convergence_trajectory(speedups, level=level)
+
+
+def required_setup_count(
+    speedups: Sequence[float],
+    level: float = 0.95,
+    target_rel_width: float = 0.01,
+):
+    """Project how many random setups this protocol needs in total.
+
+    Delegates to :func:`repro.stats.required_setups`; returns its
+    :class:`~repro.stats.SampleSizeEstimate` so the F8 report can print
+    ``estimate.summary_line()`` next to the interval table.
+    """
+    from repro.stats.samplesize import required_setups
+
+    return required_setups(
+        speedups, level=level, target_rel_width=target_rel_width
     )
 
 

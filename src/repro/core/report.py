@@ -107,8 +107,14 @@ def render_violin(
 def render_interval_row(
     label: str, lo: float, mean: float, hi: float, scale: Tuple[float, float],
     width: int = 50, reference: Optional[float] = None,
+    method: Optional[str] = None,
 ) -> str:
-    """One `(----*----)` confidence-interval row on a fixed scale."""
+    """One `(----*----)` confidence-interval row on a fixed scale.
+
+    ``method`` names the procedure behind the interval ("t",
+    "bootstrap", "BCa") so the rendered table is self-describing; omit
+    it only for rows whose method is stated elsewhere in the report.
+    """
     smin, smax = scale
     span = smax - smin or 1.0
 
@@ -124,4 +130,5 @@ def render_interval_row(
     row[col(lo)] = "("
     row[col(hi)] = ")"
     row[col(mean)] = "*"
-    return f"{label}  {''.join(row)}  [{lo:.4f}, {hi:.4f}]"
+    suffix = f" ({method})" if method else ""
+    return f"{label}  {''.join(row)}  [{lo:.4f}, {hi:.4f}]{suffix}"

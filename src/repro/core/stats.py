@@ -8,6 +8,17 @@ summaries (the data behind the paper's violin plots).
 Distribution functions are implemented from first principles (incomplete
 beta continued fraction, bisection inversion) so the library has no
 third-party dependencies; the test suite cross-checks them against scipy.
+
+This module is the *base* layer; the full inference layer — the
+nonparametric tests, BCa bootstrap intervals, effect sizes, and
+required-sample-size estimation Touati et al. call for — lives in
+:mod:`repro.stats` and builds on the primitives here.
+
+Degenerate samples (fewer than two observations, zero variance) raise a
+typed :class:`~repro.core.errors.StatsError` rather than producing a
+zero-width "confidence" interval: lending false certainty to a sample
+with no observed variance is one of the benchmarking crimes
+``repro audit`` exists to flag (see docs/statistics.md).
 """
 
 from __future__ import annotations
@@ -15,6 +26,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro._errors import StatsError
 
 # --------------------------------------------------------------------------
 # Distribution functions
@@ -182,12 +195,19 @@ def quantile(sorted_values: Sequence[float], q: float) -> float:
 
 @dataclass(frozen=True)
 class ConfidenceInterval:
-    """A two-sided confidence interval."""
+    """A two-sided confidence interval.
+
+    ``method`` names the procedure that produced the interval ("t",
+    "bootstrap", "BCa", ...), so every report row built from one is
+    self-describing — an auditor reading an archived table can tell a
+    normal-theory interval from a distribution-free one.
+    """
 
     lo: float
     hi: float
     level: float
     mean: float
+    method: str = "t"
 
     def contains(self, value: float) -> bool:
         return self.lo <= value <= self.hi
@@ -197,19 +217,49 @@ class ConfidenceInterval:
         return self.hi - self.lo
 
     def __str__(self) -> str:
-        return f"[{self.lo:.4f}, {self.hi:.4f}] ({self.level:.0%})"
+        return (
+            f"[{self.lo:.4f}, {self.hi:.4f}] "
+            f"({self.level:.0%}, {self.method})"
+        )
+
+
+def check_sample(
+    values: Sequence[float], level: float, what: str
+) -> SummaryStats:
+    """Common degenerate-sample gate for interval constructors.
+
+    Returns the sample summary; raises :class:`StatsError` for samples
+    no interval procedure can answer for — fewer than two observations
+    (no variance estimate exists) or zero variance (the interval would
+    collapse to a zero-width point, false certainty) — and for a
+    confidence level outside (0, 1).
+    """
+    if len(values) < 2:
+        raise StatsError(
+            f"need at least 2 observations for a {what}, got {len(values)}"
+        )
+    if not 0.0 < level < 1.0:
+        raise StatsError(f"level must be in (0, 1), got {level}")
+    stats = SummaryStats.from_values(values)
+    if stats.std == 0.0:
+        raise StatsError(
+            f"zero-variance sample (all {stats.n} observations equal "
+            f"{stats.mean:g}): a {what} would be a zero-width point, "
+            "which states certainty the data cannot support"
+        )
+    return stats
 
 
 def t_confidence_interval(
     values: Sequence[float], level: float = 0.95
 ) -> ConfidenceInterval:
     """Student-t CI for the mean — the interval the paper recommends
-    reporting over randomized experimental setups."""
-    if len(values) < 2:
-        raise ValueError("need at least 2 observations for a t interval")
-    if not 0.0 < level < 1.0:
-        raise ValueError(f"level must be in (0, 1), got {level}")
-    stats = SummaryStats.from_values(values)
+    reporting over randomized experimental setups.
+
+    Raises :class:`StatsError` on degenerate samples (n < 2, zero
+    variance) and out-of-range levels; see :func:`check_sample`.
+    """
+    stats = check_sample(values, level, "t interval")
     se = stats.std / math.sqrt(stats.n)
     crit = t_ppf(0.5 + level / 2.0, stats.n - 1)
     return ConfidenceInterval(
@@ -217,6 +267,7 @@ def t_confidence_interval(
         hi=stats.mean + crit * se,
         level=level,
         mean=stats.mean,
+        method="t",
     )
 
 
@@ -229,10 +280,13 @@ def bootstrap_confidence_interval(
 ) -> ConfidenceInterval:
     """Percentile-bootstrap CI (default statistic: mean).
 
-    Deterministic given ``seed`` — uses the suite's LCG, not :mod:`random`.
+    Deterministic given ``seed`` — uses the suite's LCG, not
+    :mod:`random`.  Raises :class:`StatsError` on degenerate samples
+    (n < 2, zero variance) and out-of-range levels, like
+    :func:`t_confidence_interval`.  For a skew-corrected interval see
+    :func:`repro.stats.bca_confidence_interval`.
     """
-    if len(values) < 2:
-        raise ValueError("need at least 2 observations to bootstrap")
+    check_sample(values, level, "bootstrap interval")
     from repro.workloads.base import lcg_stream
 
     stat = statistic if statistic is not None else (lambda xs: sum(xs) / len(xs))
@@ -249,7 +303,29 @@ def bootstrap_confidence_interval(
         hi=quantile(estimates, 1.0 - alpha),
         level=level,
         mean=stat(list(values)),
+        method="bootstrap",
     )
+
+
+def skewness(values: Sequence[float]) -> float:
+    """Adjusted Fisher–Pearson sample skewness (g1 with the n-bias
+    correction) — the asymmetry measure the auditor uses to decide
+    whether a normal-theory interval is defensible for a sample.
+
+    Zero for perfectly symmetric data, positive when the right tail is
+    long.  Degenerate samples (n < 3 or zero variance) return 0.0 —
+    there is no asymmetry evidence to report.
+    """
+    n = len(values)
+    if n < 3:
+        return 0.0
+    mean = sum(values) / n
+    m2 = sum((v - mean) ** 2 for v in values) / n
+    if m2 == 0.0:
+        return 0.0
+    m3 = sum((v - mean) ** 3 for v in values) / n
+    g1 = m3 / m2 ** 1.5
+    return g1 * math.sqrt(n * (n - 1)) / (n - 2)
 
 
 def geometric_mean(values: Sequence[float]) -> float:

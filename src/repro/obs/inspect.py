@@ -323,6 +323,50 @@ def summarize_manifest(data: Dict[str, Any]) -> str:
                 f"block replay ×{blocks.get('replay_ratio', 0):.1f}",
             ]
         )
+    if isinstance(stats := data.get("stats"), dict):
+        intervals = [
+            iv for iv in stats.get("intervals") or [] if isinstance(iv, dict)
+        ]
+        methods = ", ".join(
+            str(iv.get("method", "?")) for iv in intervals
+        ) or "none"
+        rows.append(
+            [
+                "stats",
+                f"{stats.get('n')} speedups over "
+                f"{stats.get('distinct_setups')} setups, "
+                f"CI methods: {methods}",
+            ]
+        )
+        for iv in intervals:
+            rows.append(
+                [
+                    f"CI ({iv.get('method', '?')})",
+                    f"[{iv.get('lo', 0.0):.4f}, {iv.get('hi', 0.0):.4f}] "
+                    f"at {iv.get('level', 0.0):.0%}",
+                ]
+            )
+        if isinstance(size := stats.get("sample_size"), dict):
+            rows.append(
+                [
+                    "sample size",
+                    "converged"
+                    if size.get("converged")
+                    else f"recommend ~{size.get('recommended_n')} setups",
+                ]
+            )
+    if isinstance(audit := data.get("audit"), dict):
+        findings = audit.get("findings") or []
+        rows.append(
+            [
+                "audit",
+                "clean"
+                if not findings
+                else ", ".join(
+                    str(f.get("code", "?")) for f in findings
+                ),
+            ]
+        )
     return render_table(
         ["property", "value"], rows, title=f"manifest ({data.get('note') or 'no note'})"
     )

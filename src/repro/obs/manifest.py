@@ -86,6 +86,8 @@ def build_manifest(
     hosts: Optional[Sequence[Dict[str, Any]]] = None,
     store=None,
     perf: Optional[Dict[str, Any]] = None,
+    stats: Optional[Dict[str, Any]] = None,
+    audit: Optional[Dict[str, Any]] = None,
     note: str = "",
 ) -> Dict[str, Any]:
     """Assemble a provenance manifest for one run or sweep.
@@ -118,6 +120,14 @@ def build_manifest(
             (:func:`repro.obs.perf.snapshot` — engine self-profiling
             counters and wall timings).  Wall-clock facts belong here,
             in the manifest, never in canonical report JSON.
+        stats: the statistical-inference section
+            (:meth:`repro.stats.SpeedupAnalysis.to_dict` — raw
+            speedups, labeled intervals, nonparametric test results,
+            the sample-size recommendation).  This is the section
+            ``repro audit`` recomputes claims from.
+        audit: an audit verdict (:meth:`repro.audit.AuditResult.to_dict`)
+            recorded as provenance — which crimes, if any, a prior
+            ``repro audit --record`` run found in this document.
         note: free-form description.
     """
     from dataclasses import asdict
@@ -194,6 +204,8 @@ def build_manifest(
     manifest["hosts"] = [dict(h) for h in hosts] if hosts else []
     manifest["store"] = store.provenance() if store is not None else None
     manifest["perf"] = perf
+    manifest["stats"] = stats
+    manifest["audit"] = audit
     return manifest
 
 
@@ -294,4 +306,25 @@ def validate_manifest(data: Any) -> List[str]:
             )
         elif "opcode_classes" not in perf["engine"]:
             errors.append("perf.engine lacks opcode_classes")
+    # Optional statistical-inference section: absent and null both mean
+    # "no statistical claim recorded"; when present it must carry the
+    # raw sample so an auditor can recompute the claims.
+    stats = data.get("stats")
+    if stats is not None:
+        if not isinstance(stats, dict) or not isinstance(
+            stats.get("speedups"), list
+        ):
+            errors.append(
+                "stats must be null or an object carrying the raw "
+                "speedups list"
+            )
+        elif not isinstance(stats.get("intervals", []), list):
+            errors.append("stats.intervals is not a list")
+    # Optional audit verdict (provenance of a prior `repro audit --record`).
+    audit = data.get("audit")
+    if audit is not None:
+        if not isinstance(audit, dict) or "findings" not in audit:
+            errors.append(
+                "audit must be null or an object carrying its findings"
+            )
     return errors

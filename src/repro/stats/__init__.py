@@ -1,0 +1,62 @@
+"""repro.stats — the full statistical-inference layer.
+
+:mod:`repro.core.stats` holds the primitives (summaries, Student-t and
+percentile-bootstrap intervals, distribution functions); this package
+adds the machinery a defensible performance conclusion needs on top:
+
+- :mod:`repro.stats.inference` — Wilcoxon signed-rank and Mann-Whitney
+  U tests, rank-biserial / Cliff's delta effect sizes, Hodges–Lehmann
+  location estimates,
+- :mod:`repro.stats.bootstrap` — BCa (bias-corrected, accelerated)
+  bootstrap intervals,
+- :mod:`repro.stats.samplesize` — sequential required-sample-size
+  estimation for the F8 randomized protocol,
+- :mod:`repro.stats.speedup` — :func:`analyze_speedups`, the one-call
+  work-up whose output feeds reports, manifests, and ``repro audit``.
+
+Everything is dependency-free and deterministic (LCG resampling, no
+:mod:`random`); degenerate inputs raise the typed
+:class:`~repro.core.errors.StatsError`.  See docs/statistics.md for
+method choices and operator recipes.
+"""
+
+from repro.stats.bootstrap import bca_confidence_interval, jackknife_acceleration
+from repro.stats.inference import (
+    RankTestResult,
+    cliffs_delta,
+    hodges_lehmann,
+    mann_whitney_u,
+    paired_speedup_test,
+    rank_biserial,
+    rankdata,
+    wilcoxon_signed_rank,
+)
+from repro.stats.samplesize import (
+    SampleSizeEstimate,
+    convergence_trajectory,
+    required_setups,
+)
+from repro.stats.speedup import (
+    SKEW_THRESHOLD,
+    SpeedupAnalysis,
+    analyze_speedups,
+)
+
+__all__ = [
+    "RankTestResult",
+    "SKEW_THRESHOLD",
+    "SampleSizeEstimate",
+    "SpeedupAnalysis",
+    "analyze_speedups",
+    "bca_confidence_interval",
+    "cliffs_delta",
+    "convergence_trajectory",
+    "hodges_lehmann",
+    "jackknife_acceleration",
+    "mann_whitney_u",
+    "paired_speedup_test",
+    "rank_biserial",
+    "rankdata",
+    "required_setups",
+    "wilcoxon_signed_rank",
+]

@@ -1,0 +1,283 @@
+"""Tests for repro.audit: every crime rule, the document dispatcher,
+the seeded fixture, and the `repro audit` CLI contract (stable codes,
+exit semantics, --json, --record)."""
+
+import json
+
+import pytest
+
+from repro.audit import CRIME_CODES, audit_document, audit_file, audit_manifest
+from repro.audit.fixture import crime_manifest, write_fixture
+from repro.audit.rules import duplicate_setup_count, run_stats_checks
+from repro.cli import main
+from repro.core.errors import ArchiveCorruption
+from repro.core.setup import ExperimentalSetup
+from repro.obs.manifest import build_manifest, validate_manifest
+from repro.stats import analyze_speedups
+
+SPEEDUPS = [1.02, 1.10, 0.97, 1.15, 1.04, 1.08, 0.99, 1.21, 1.05, 1.11]
+
+
+def clean_stats(**overrides):
+    """A stats section as a healthy F8 run records it."""
+    section = analyze_speedups(SPEEDUPS, seed=3).to_dict()
+    section.update(overrides)
+    return section
+
+
+def manifest_with(stats, n_setups=20, **kwargs):
+    setups = [
+        ExperimentalSetup(env_bytes=100 + 16 * i) for i in range(n_setups)
+    ]
+    return build_manifest(setups=setups, stats=stats, **kwargs)
+
+
+class TestCrimeRules:
+    def test_clean_stats_have_no_findings(self):
+        assert run_stats_checks(clean_stats(), n_setups=20) == []
+
+    def test_single_setup(self):
+        stats = clean_stats(distinct_setups=1)
+        codes = [f.code for f in run_stats_checks(stats, n_setups=20)]
+        assert "single-setup" in codes
+
+    def test_pseudoreplication(self):
+        stats = clean_stats(distinct_setups=3)
+        codes = [f.code for f in run_stats_checks(stats, n_setups=20)]
+        assert "pseudoreplication" in codes
+        assert "single-setup" not in codes
+
+    def test_no_verdict_no_single_setup_charge(self):
+        # Without a claimed conclusion there is nothing to convict.
+        stats = clean_stats(distinct_setups=1)
+        stats.pop("verdict")
+        codes = [f.code for f in run_stats_checks(stats, n_setups=20)]
+        assert "single-setup" not in codes
+
+    def test_weak_ci_no_intervals(self):
+        stats = clean_stats(intervals=[])
+        codes = [f.code for f in run_stats_checks(stats, n_setups=20)]
+        assert "weak-ci" in codes
+
+    def test_weak_ci_normal_only_on_skewed_sample(self):
+        skewed = [1.0, 1.01, 1.02, 1.01, 1.0, 1.02, 1.01, 3.0]
+        stats = analyze_speedups(skewed, seed=1).to_dict()
+        stats["intervals"] = [
+            iv for iv in stats["intervals"] if iv["method"] == "t"
+        ]
+        findings = run_stats_checks(stats, n_setups=16)
+        assert [f.code for f in findings] == ["weak-ci"]
+        # Adding the BCa interval back acquits.
+        assert run_stats_checks(
+            analyze_speedups(skewed, seed=1).to_dict(), n_setups=16
+        ) == []
+
+    def test_weak_ci_recomputes_skew_from_raw_sample(self):
+        # A lying recorded skewness does not fool the rule.
+        skewed = [1.0, 1.01, 1.02, 1.01, 1.0, 1.02, 1.01, 3.0]
+        stats = analyze_speedups(skewed, seed=1).to_dict()
+        stats["intervals"] = [
+            iv for iv in stats["intervals"] if iv["method"] == "t"
+        ]
+        stats["skewness"] = 0.0
+        assert "weak-ci" in [
+            f.code for f in run_stats_checks(stats, n_setups=16)
+        ]
+
+    def test_selective_reporting_fewer_pairs_than_setups(self):
+        findings = run_stats_checks(clean_stats(), n_setups=40)
+        assert [f.code for f in findings] == ["selective-reporting"]
+
+    def test_selective_reporting_unacknowledged_quarantines(self):
+        report = {"requested": 20, "measured": 16, "resumed": 0}
+        findings = run_stats_checks(clean_stats(), report=report, n_setups=20)
+        assert [f.code for f in findings] == ["selective-reporting"]
+
+    def test_ratio_aggregation_declared(self):
+        stats = clean_stats(
+            aggregate={"method": "arithmetic-mean", "value": 1.07}
+        )
+        codes = [f.code for f in run_stats_checks(stats, n_setups=20)]
+        assert "ratio-aggregation" in codes
+
+    def test_ratio_aggregation_mislabeled_geomean(self):
+        amean = sum(SPEEDUPS) / len(SPEEDUPS)
+        stats = clean_stats(
+            aggregate={"method": "geometric-mean", "value": amean}
+        )
+        codes = [f.code for f in run_stats_checks(stats, n_setups=20)]
+        assert "ratio-aggregation" in codes
+
+    def test_honest_geomean_is_acquitted(self):
+        assert run_stats_checks(clean_stats(), n_setups=20) == []
+
+    def test_absent_stats_yield_nothing(self):
+        assert run_stats_checks(None, n_setups=20) == []
+
+    def test_duplicate_setup_count_ignores_describe(self):
+        a = {"machine": "core2", "env_bytes": 100, "describe": "x"}
+        b = {"machine": "core2", "env_bytes": 100, "describe": "y"}
+        c = {"machine": "core2", "env_bytes": 132, "describe": "z"}
+        assert duplicate_setup_count([a, b, c]) == 1
+
+
+class TestDispatcher:
+    def test_manifest_dispatch(self):
+        result = audit_document(manifest_with(clean_stats()), "m.json")
+        assert result.kind == "manifest"
+        assert result.clean
+
+    def test_report_dispatch(self):
+        report = {
+            "requested": 4,
+            "measured": 4,
+            "resumed": 0,
+            "statuses": ["measured"] * 4,
+            "quarantined": [],
+        }
+        result = audit_document(report, "r.json")
+        assert result.kind == "report"
+        assert result.clean
+        assert any("no statistical claims" in n for n in result.notes)
+
+    def test_quarantined_report_gets_a_note(self):
+        report = {
+            "requested": 4,
+            "measured": 3,
+            "resumed": 0,
+            "statuses": ["measured"] * 3 + ["quarantined"],
+            "quarantined": [{"index": 3}],
+        }
+        result = audit_document(report, "r.json")
+        assert result.clean
+        assert any("quarantined" in n for n in result.notes)
+
+    def test_unknown_document_raises(self):
+        with pytest.raises(ArchiveCorruption):
+            audit_document({"format": "something-else"}, "x.json")
+        with pytest.raises(ArchiveCorruption):
+            audit_document([1, 2, 3], "x.json")
+
+    def test_archive_without_manifest_is_clean_with_note(self, tmp_path):
+        from repro.core import Experiment
+        from repro.core.session import save_measurements
+        from repro import workloads
+
+        exp = Experiment(workloads.get("lbm"), size="test")
+        setup = ExperimentalSetup()
+        path = tmp_path / "a.json"
+        save_measurements(str(path), [exp.run(setup), exp.run(setup)])
+        result = audit_file(str(path))
+        assert result.kind == "archive"
+        assert result.clean
+        assert any("no embedded manifest" in n for n in result.notes)
+        # Same setup twice -> the duplicate note, not a conviction.
+        assert any("duplicate" in n for n in result.notes)
+
+    def test_archive_with_crime_manifest_convicts(self, tmp_path):
+        from repro.core import Experiment
+        from repro.core.session import save_measurements
+        from repro import workloads
+
+        exp = Experiment(workloads.get("lbm"), size="test")
+        path = tmp_path / "a.json"
+        save_measurements(
+            str(path),
+            [exp.run(ExperimentalSetup())],
+            manifest=crime_manifest(),
+        )
+        result = audit_file(str(path))
+        assert result.kind == "archive"
+        assert set(result.codes) == set(CRIME_CODES)
+
+    def test_invalid_json_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ArchiveCorruption):
+            audit_file(str(bad))
+
+    def test_missing_file_raises_taxonomy_error(self, tmp_path):
+        # The CLI turns this into a one-line error, never a traceback.
+        with pytest.raises(ArchiveCorruption):
+            audit_file(str(tmp_path / "absent.json"))
+
+
+class TestFixture:
+    def test_fixture_is_a_valid_manifest(self):
+        assert validate_manifest(crime_manifest()) == []
+
+    def test_fixture_commits_every_crime_exactly_once_each(self):
+        result = audit_manifest(crime_manifest(), "fixture")
+        assert result.codes == list(CRIME_CODES)
+
+    def test_write_fixture_round_trips(self, tmp_path):
+        path = tmp_path / "crimes.json"
+        write_fixture(str(path))
+        result = audit_file(str(path))
+        assert set(result.codes) == set(CRIME_CODES)
+
+
+class TestAuditCli:
+    def fixture_path(self, tmp_path):
+        path = tmp_path / "crimes.json"
+        write_fixture(str(path))
+        return str(path)
+
+    def clean_path(self, tmp_path):
+        from repro.obs.manifest import save_manifest
+
+        path = tmp_path / "clean.json"
+        save_manifest(str(path), manifest_with(clean_stats()))
+        return str(path)
+
+    def test_clean_document_exits_zero(self, tmp_path, capsys):
+        assert main(["audit", self.clean_path(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_crimes_exit_nonzero_naming_every_code(self, tmp_path, capsys):
+        assert main(["audit", self.fixture_path(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        for code in CRIME_CODES:
+            assert code in out
+
+    def test_json_verdict_is_machine_readable(self, tmp_path, capsys):
+        assert main(["audit", "--json", self.fixture_path(tmp_path)]) == 1
+        verdict = json.loads(capsys.readouterr().out)
+        assert verdict["clean"] is False
+        assert [f["code"] for f in verdict["findings"]] == list(CRIME_CODES)
+        assert all(
+            f["severity"] in ("high", "medium") for f in verdict["findings"]
+        )
+
+    def test_record_writes_audit_section(self, tmp_path, capsys):
+        path = self.clean_path(tmp_path)
+        assert main(["audit", "--record", path]) == 0
+        with open(path) as fh:
+            document = json.load(fh)
+        assert document["audit"]["clean"] is True
+        assert validate_manifest(document) == []
+        # Auditing the recorded document is still clean.
+        assert main(["audit", path]) == 0
+
+    def test_record_on_bare_report_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "requested": 2,
+                    "measured": 2,
+                    "resumed": 0,
+                    "statuses": ["measured"] * 2,
+                    "quarantined": [],
+                }
+            )
+        )
+        assert main(["audit", "--record", str(path)]) == 2
+        assert "--record" in capsys.readouterr().err
+
+    def test_unknown_document_is_a_one_line_error(self, tmp_path, capsys):
+        path = tmp_path / "x.json"
+        path.write_text("{}")
+        assert main(["audit", str(path)]) == 1
+        assert "error: ArchiveCorruption" in capsys.readouterr().err

@@ -25,8 +25,13 @@ def readme_commands():
         for part in line.split("&&"):
             part = part.strip()
             if part.startswith("python -m repro"):
-                argv = shlex.split(part, comments=True)[3:]
-                commands.append(argv)
+                tokens = shlex.split(part, comments=True)
+                # `python -m repro.audit.fixture ...` runs a different
+                # module, not the repro CLI — skip anything whose module
+                # token is not exactly `repro`.
+                if tokens[2] != "repro":
+                    continue
+                commands.append(tokens[3:])
     return commands
 
 

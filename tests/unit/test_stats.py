@@ -5,6 +5,7 @@ import math
 import pytest
 import scipy.stats
 
+from repro.core.errors import StatsError
 from repro.core.stats import (
     ConfidenceInterval,
     SummaryStats,
@@ -15,6 +16,7 @@ from repro.core.stats import (
     normal_cdf,
     normal_ppf,
     quantile,
+    skewness,
     t_cdf,
     t_confidence_interval,
     t_ppf,
@@ -129,6 +131,66 @@ class TestIntervals:
     def test_interval_str(self):
         ci = ConfidenceInterval(lo=0.9, hi=1.1, level=0.95, mean=1.0)
         assert "0.9" in str(ci) and "95%" in str(ci)
+
+    def test_interval_str_names_its_method(self):
+        ci = ConfidenceInterval(lo=0.9, hi=1.1, level=0.95, mean=1.0)
+        assert ci.method == "t" and "t" in str(ci)
+        boot = bootstrap_confidence_interval([1.0, 3.0, 2.0, 5.0, 4.0])
+        assert boot.method == "bootstrap" and "bootstrap" in str(boot)
+
+
+class TestIntervalHardening:
+    """Degenerate inputs raise typed StatsError (still a ValueError, so
+    pre-existing callers keep working)."""
+
+    def test_stats_error_is_a_value_error(self):
+        assert issubclass(StatsError, ValueError)
+
+    @pytest.mark.parametrize(
+        "interval", [t_confidence_interval, bootstrap_confidence_interval]
+    )
+    def test_small_samples_raise(self, interval):
+        with pytest.raises(StatsError):
+            interval([])
+        with pytest.raises(StatsError):
+            interval([1.0])
+
+    @pytest.mark.parametrize(
+        "interval", [t_confidence_interval, bootstrap_confidence_interval]
+    )
+    def test_zero_variance_raises(self, interval):
+        with pytest.raises(StatsError):
+            interval([2.0, 2.0, 2.0])
+
+    @pytest.mark.parametrize(
+        "interval", [t_confidence_interval, bootstrap_confidence_interval]
+    )
+    @pytest.mark.parametrize("level", [0.0, 1.0, -0.1, 1.5])
+    def test_level_edges_raise(self, interval, level):
+        with pytest.raises(StatsError):
+            interval([1.0, 2.0, 3.0], level=level)
+
+    def test_error_messages_name_the_problem(self):
+        with pytest.raises(StatsError, match="at least 2"):
+            t_confidence_interval([1.0])
+        with pytest.raises(StatsError, match="level"):
+            t_confidence_interval([1.0, 2.0], level=1.0)
+
+
+class TestSkewness:
+    def test_symmetric_sample_is_zero(self):
+        assert skewness([1.0, 2.0, 3.0]) == pytest.approx(0.0)
+
+    def test_matches_scipy_bias_corrected(self):
+        values = [1.0, 1.1, 1.2, 1.1, 1.0, 3.0, 1.2, 1.1]
+        assert skewness(values) == pytest.approx(
+            scipy.stats.skew(values, bias=False)
+        )
+
+    def test_degenerate_samples_report_no_asymmetry(self):
+        assert skewness([]) == 0.0
+        assert skewness([1.0, 2.0]) == 0.0
+        assert skewness([5.0, 5.0, 5.0]) == 0.0
 
 
 class TestGeometricMean:

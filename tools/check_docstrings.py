@@ -28,7 +28,7 @@ from typing import Iterator, List, Tuple
 #: The ratchet: the measured coverage must never drop below this.  Raise
 #: it (see --update) whenever real coverage climbs more than a point
 #: above; never lower it.
-FLOOR = 0.81
+FLOOR = 0.82
 
 #: Hysteresis before the gate asks for a ratchet bump, so routine
 #: commits don't churn the floor.
